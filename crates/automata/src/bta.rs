@@ -1,0 +1,378 @@
+//! Bottom-up nondeterministic tree automata.
+//!
+//! A bottom-up tree automaton assigns states to tree nodes from the leaves
+//! upward: leaf transitions depend on the leaf label, unary and binary
+//! transitions depend on the label and the children's states. A tree is
+//! accepted when the root can be assigned an accepting state.
+//!
+//! Tree automata capture exactly the MSO-definable tree languages
+//! (Thatcher–Wright), which is why the paper phrases its tractability
+//! results in terms of running automata: any query that compiles to an
+//! automaton — MSO, tree patterns, frontier-guarded Datalog — inherits them.
+//! This module provides the automaton type, subset-construction runs,
+//! Boolean combinations, and a small library of MSO-style properties used by
+//! tests, examples and benchmarks.
+
+use crate::tree::LabeledTree;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A bottom-up nondeterministic tree automaton over `usize` labels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BottomUpTreeAutomaton {
+    /// Number of states (states are `0..state_count`).
+    pub state_count: usize,
+    /// Leaf transitions: label → states reachable at a leaf with that label.
+    pub leaf_transitions: BTreeMap<usize, BTreeSet<usize>>,
+    /// Unary transitions: (label, child state) → states.
+    pub unary_transitions: BTreeMap<(usize, usize), BTreeSet<usize>>,
+    /// Binary transitions: (label, left state, right state) → states.
+    pub binary_transitions: BTreeMap<(usize, usize, usize), BTreeSet<usize>>,
+    /// Accepting states.
+    pub accepting: BTreeSet<usize>,
+}
+
+impl BottomUpTreeAutomaton {
+    /// Creates an automaton with the given number of states and no
+    /// transitions.
+    pub fn new(state_count: usize) -> Self {
+        BottomUpTreeAutomaton { state_count, ..Default::default() }
+    }
+
+    /// Adds a leaf transition.
+    pub fn add_leaf_transition(&mut self, label: usize, state: usize) {
+        self.leaf_transitions.entry(label).or_default().insert(state);
+    }
+
+    /// Adds a unary transition.
+    pub fn add_unary_transition(&mut self, label: usize, child: usize, state: usize) {
+        self.unary_transitions.entry((label, child)).or_default().insert(state);
+    }
+
+    /// Adds a binary transition.
+    pub fn add_binary_transition(&mut self, label: usize, left: usize, right: usize, state: usize) {
+        self.binary_transitions
+            .entry((label, left, right))
+            .or_default()
+            .insert(state);
+    }
+
+    /// Marks a state as accepting.
+    pub fn add_accepting(&mut self, state: usize) {
+        self.accepting.insert(state);
+    }
+
+    /// The set of states reachable at a node given its label and the state
+    /// sets of its children (subset construction step).
+    pub fn step(&self, label: usize, children: &[&BTreeSet<usize>]) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        match children {
+            [] => {
+                if let Some(states) = self.leaf_transitions.get(&label) {
+                    out.extend(states.iter().copied());
+                }
+            }
+            [child] => {
+                for &c in child.iter() {
+                    if let Some(states) = self.unary_transitions.get(&(label, c)) {
+                        out.extend(states.iter().copied());
+                    }
+                }
+            }
+            [left, right] => {
+                for &l in left.iter() {
+                    for &r in right.iter() {
+                        if let Some(states) = self.binary_transitions.get(&(label, l, r)) {
+                            out.extend(states.iter().copied());
+                        }
+                    }
+                }
+            }
+            _ => panic!("tree nodes have at most two children"),
+        }
+        out
+    }
+
+    /// The set of states reachable at the root of a tree.
+    pub fn reachable_states(&self, tree: &LabeledTree) -> BTreeSet<usize> {
+        let Some(root) = tree.root() else { return BTreeSet::new() };
+        let mut states: Vec<BTreeSet<usize>> = Vec::with_capacity(tree.len());
+        for (_, node) in tree.iter_bottom_up() {
+            let children: Vec<&BTreeSet<usize>> =
+                node.children.iter().map(|&c| &states[c]).collect();
+            states.push(self.step(node.label, &children));
+        }
+        states[root].clone()
+    }
+
+    /// True if the automaton accepts the tree.
+    pub fn accepts(&self, tree: &LabeledTree) -> bool {
+        self.reachable_states(tree)
+            .iter()
+            .any(|s| self.accepting.contains(s))
+    }
+
+    /// The product automaton accepting the intersection of the two languages.
+    pub fn intersection(&self, other: &BottomUpTreeAutomaton) -> BottomUpTreeAutomaton {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// The product automaton accepting the union of the two languages.
+    pub fn union(&self, other: &BottomUpTreeAutomaton) -> BottomUpTreeAutomaton {
+        self.product(other, |a, b| a || b)
+    }
+
+    fn product(
+        &self,
+        other: &BottomUpTreeAutomaton,
+        accept: impl Fn(bool, bool) -> bool,
+    ) -> BottomUpTreeAutomaton {
+        let pair = |a: usize, b: usize| a * other.state_count + b;
+        let mut result = BottomUpTreeAutomaton::new(self.state_count * other.state_count);
+        for (label, sa) in &self.leaf_transitions {
+            if let Some(sb) = other.leaf_transitions.get(label) {
+                for &a in sa {
+                    for &b in sb {
+                        result.add_leaf_transition(*label, pair(a, b));
+                    }
+                }
+            }
+        }
+        for (&(label, ca), sa) in &self.unary_transitions {
+            for (&(label_b, cb), sb) in &other.unary_transitions {
+                if label != label_b {
+                    continue;
+                }
+                for &a in sa {
+                    for &b in sb {
+                        result.add_unary_transition(label, pair(ca, cb), pair(a, b));
+                    }
+                }
+            }
+        }
+        for (&(label, la, ra), sa) in &self.binary_transitions {
+            for (&(label_b, lb, rb), sb) in &other.binary_transitions {
+                if label != label_b {
+                    continue;
+                }
+                for &a in sa {
+                    for &b in sb {
+                        result.add_binary_transition(label, pair(la, lb), pair(ra, rb), pair(a, b));
+                    }
+                }
+            }
+        }
+        for a in 0..self.state_count {
+            for b in 0..other.state_count {
+                if accept(self.accepting.contains(&a), other.accepting.contains(&b)) {
+                    result.add_accepting(pair(a, b));
+                }
+            }
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // A small library of MSO-definable properties, built as automata.
+    // ------------------------------------------------------------------
+
+    /// "Some node is labeled `target`." States: 0 = not seen, 1 = seen.
+    pub fn exists_label(target: usize, alphabet: &[usize]) -> BottomUpTreeAutomaton {
+        let mut a = BottomUpTreeAutomaton::new(2);
+        for &label in alphabet {
+            let hit = usize::from(label == target);
+            a.add_leaf_transition(label, hit);
+            for child in 0..2 {
+                a.add_unary_transition(label, child, hit.max(child));
+            }
+            for left in 0..2 {
+                for right in 0..2 {
+                    a.add_binary_transition(label, left, right, hit.max(left).max(right));
+                }
+            }
+        }
+        a.add_accepting(1);
+        a
+    }
+
+    /// "The number of nodes labeled `target` is ≡ `residue` (mod `modulus`)."
+    /// A genuinely-MSO (non-FO) property; states count occurrences mod `modulus`.
+    pub fn count_label_modulo(
+        target: usize,
+        modulus: usize,
+        residue: usize,
+        alphabet: &[usize],
+    ) -> BottomUpTreeAutomaton {
+        assert!(modulus >= 1 && residue < modulus);
+        let mut a = BottomUpTreeAutomaton::new(modulus);
+        for &label in alphabet {
+            let hit = usize::from(label == target);
+            a.add_leaf_transition(label, hit % modulus);
+            for child in 0..modulus {
+                a.add_unary_transition(label, child, (child + hit) % modulus);
+            }
+            for left in 0..modulus {
+                for right in 0..modulus {
+                    a.add_binary_transition(label, left, right, (left + right + hit) % modulus);
+                }
+            }
+        }
+        a.add_accepting(residue);
+        a
+    }
+
+    /// "No node labeled `parent_label` has a child labeled `child_label`"
+    /// (a negated tree-pattern / forbidden-edge property).
+    /// States: 0 = subtree OK and root not `child_label`,
+    ///         1 = subtree OK and root is `child_label`. Violations simply
+    /// have no assigned state (the run gets stuck), so acceptance means the
+    /// pattern never occurs.
+    pub fn forbid_child_pattern(
+        parent_label: usize,
+        child_label: usize,
+        alphabet: &[usize],
+    ) -> BottomUpTreeAutomaton {
+        let mut a = BottomUpTreeAutomaton::new(2);
+        for &label in alphabet {
+            let this = usize::from(label == child_label);
+            a.add_leaf_transition(label, this);
+            for child in 0..2 {
+                if label == parent_label && child == 1 {
+                    continue; // forbidden: parent over child_label
+                }
+                a.add_unary_transition(label, child, this);
+            }
+            for left in 0..2 {
+                for right in 0..2 {
+                    if label == parent_label && (left == 1 || right == 1) {
+                        continue;
+                    }
+                    a.add_binary_transition(label, left, right, this);
+                }
+            }
+        }
+        a.add_accepting(0);
+        a.add_accepting(1);
+        a
+    }
+
+    /// "Some node labeled `parent_label` has a descendant labeled
+    /// `descendant_label`" — a simple tree-pattern query (child axis replaced
+    /// by descendant). States: 0 = nothing, 1 = descendant seen below,
+    /// 2 = pattern matched.
+    pub fn pattern_descendant(
+        parent_label: usize,
+        descendant_label: usize,
+        alphabet: &[usize],
+    ) -> BottomUpTreeAutomaton {
+        let mut a = BottomUpTreeAutomaton::new(3);
+        let combine = |states: &[usize], label: usize| -> usize {
+            let max = states.iter().copied().max().unwrap_or(0);
+            if max == 2 {
+                2
+            } else if label == parent_label && max >= 1 {
+                2
+            } else if label == descendant_label || max >= 1 {
+                1
+            } else {
+                0
+            }
+        };
+        for &label in alphabet {
+            a.add_leaf_transition(label, combine(&[], label));
+            for child in 0..3 {
+                a.add_unary_transition(label, child, combine(&[child], label));
+            }
+            for left in 0..3 {
+                for right in 0..3 {
+                    a.add_binary_transition(label, left, right, combine(&[left, right], label));
+                }
+            }
+        }
+        a.add_accepting(2);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHABET: &[usize] = &[0, 1, 2, 3];
+
+    fn sample_tree() -> LabeledTree {
+        // Tree:       3
+        //           /   \
+        //          1     2
+        //          |
+        //          0
+        let mut t = LabeledTree::new();
+        let leaf0 = t.add_leaf(0);
+        let n1 = t.add_node(1, vec![leaf0]);
+        let leaf2 = t.add_leaf(2);
+        let root = t.add_node(3, vec![n1, leaf2]);
+        t.set_root(root);
+        t
+    }
+
+    #[test]
+    fn exists_label_automaton() {
+        let t = sample_tree();
+        assert!(BottomUpTreeAutomaton::exists_label(2, ALPHABET).accepts(&t));
+        assert!(BottomUpTreeAutomaton::exists_label(1, ALPHABET).accepts(&t));
+        assert!(!BottomUpTreeAutomaton::exists_label(9, &[0, 1, 2, 3, 9]).accepts(&t));
+    }
+
+    #[test]
+    fn count_modulo_automaton() {
+        let t = sample_tree();
+        // Exactly one node labeled 1 → count ≡ 1 (mod 2).
+        assert!(BottomUpTreeAutomaton::count_label_modulo(1, 2, 1, ALPHABET).accepts(&t));
+        assert!(!BottomUpTreeAutomaton::count_label_modulo(1, 2, 0, ALPHABET).accepts(&t));
+        // Zero nodes labeled 9 → ≡ 0 (mod 3).
+        assert!(BottomUpTreeAutomaton::count_label_modulo(9, 3, 0, ALPHABET).accepts(&t));
+    }
+
+    #[test]
+    fn forbid_child_pattern_automaton() {
+        let t = sample_tree();
+        // Node labeled 1 has a child labeled 0 → forbidding (1 over 0) rejects.
+        assert!(!BottomUpTreeAutomaton::forbid_child_pattern(1, 0, ALPHABET).accepts(&t));
+        // No node labeled 3 has a child labeled 0 → accepted.
+        assert!(BottomUpTreeAutomaton::forbid_child_pattern(3, 0, ALPHABET).accepts(&t));
+    }
+
+    #[test]
+    fn pattern_descendant_automaton() {
+        let t = sample_tree();
+        // Root labeled 3 has descendant labeled 0.
+        assert!(BottomUpTreeAutomaton::pattern_descendant(3, 0, ALPHABET).accepts(&t));
+        // Node labeled 2 has no descendants.
+        assert!(!BottomUpTreeAutomaton::pattern_descendant(2, 0, ALPHABET).accepts(&t));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let t = sample_tree();
+        let has1 = BottomUpTreeAutomaton::exists_label(1, ALPHABET);
+        let has9 = BottomUpTreeAutomaton::exists_label(9, &[0, 1, 2, 3, 9]);
+        assert!(!has1.intersection(&has9).accepts(&t));
+        assert!(has1.union(&has9).accepts(&t));
+        let has2 = BottomUpTreeAutomaton::exists_label(2, ALPHABET);
+        assert!(has1.intersection(&has2).accepts(&t));
+    }
+
+    #[test]
+    fn empty_tree_is_rejected() {
+        let t = LabeledTree::new();
+        assert!(!BottomUpTreeAutomaton::exists_label(0, ALPHABET).accepts(&t));
+    }
+
+    #[test]
+    fn path_counting_on_long_paths() {
+        // Path of 10 nodes labeled 1: parity automaton accepts residue 0 mod 2.
+        let labels = vec![1usize; 10];
+        let t = LabeledTree::path(&labels);
+        assert!(BottomUpTreeAutomaton::count_label_modulo(1, 2, 0, &[1]).accepts(&t));
+        assert!(!BottomUpTreeAutomaton::count_label_modulo(1, 2, 1, &[1]).accepts(&t));
+    }
+}

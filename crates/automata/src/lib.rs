@@ -1,0 +1,55 @@
+//! # stuc-automata — tree automata, uncertain trees, and Courcelle-style runs
+//!
+//! The technical core of the paper's Theorems 1 and 2: "one compiles the MSO
+//! query q, in a data-independent fashion, to a tree automaton A which can
+//! read tree encodings of bounded-treewidth instances [...] we show that A
+//! can also be run on an uncertain instance I, producing a lineage circuit C
+//! that describes which possible worlds of I are accepted by A."
+//!
+//! * [`tree`] — labeled binary trees, the input of tree automata.
+//! * [`bta`] — bottom-up (nondeterministic) tree automata, Boolean
+//!   operations, and a library of MSO-style properties built directly as
+//!   automata (existence, modular counting, forbidden patterns).
+//! * [`uncertain`] — *uncertain trees*: trees whose node labels depend on
+//!   independent Boolean variables (the shape PrXML documents compile to).
+//!   Running an automaton over an uncertain tree yields either a lineage
+//!   circuit (nondeterministic provenance run, Theorem 2 style) or directly
+//!   the acceptance probability (deterministic subset run, the
+//!   Cohen–Kimelfeld–Sagiv algorithm behind the paper's local-uncertainty
+//!   tractability and Theorem 1).
+//! * [`courcelle`] — the relational side: facts of a bounded-treewidth
+//!   instance are anchored to the bags of a tree decomposition and a
+//!   query-specific automaton (whose states are partial-match types) is run
+//!   bottom-up, producing a lineage circuit or, for tuple-independent
+//!   instances, the exact query probability in linear time.
+//!
+//! ## Example: an MSO property on an uncertain tree
+//!
+//! ```
+//! use stuc_automata::bta::BottomUpTreeAutomaton;
+//! use stuc_automata::uncertain::UncertainTree;
+//! use stuc_circuit::circuit::VarId;
+//! use stuc_circuit::weights::Weights;
+//!
+//! // A root with one uncertain leaf labeled 1 (present → label 1, absent → label 0).
+//! let mut tree = UncertainTree::new();
+//! let leaf = tree.add_leaf_with_variable(VarId(0), 0, 1);
+//! let root = tree.add_node(5, vec![leaf]);
+//! tree.set_root(root);
+//!
+//! // Automaton: "some node is labeled 1".
+//! let automaton = BottomUpTreeAutomaton::exists_label(1, &[0, 1, 5]);
+//! let mut weights = Weights::new();
+//! weights.set(VarId(0), 0.4);
+//! let p = tree.acceptance_probability(&automaton, &weights).unwrap();
+//! assert!((p - 0.4).abs() < 1e-9);
+//! ```
+
+pub mod bta;
+pub mod courcelle;
+pub mod tree;
+pub mod uncertain;
+
+pub use bta::BottomUpTreeAutomaton;
+pub use tree::LabeledTree;
+pub use uncertain::UncertainTree;

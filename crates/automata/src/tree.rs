@@ -1,0 +1,154 @@
+//! Labeled trees with at most two children per node.
+//!
+//! Tree automata in STUC read binary (or unary/leaf) nodes carrying `usize`
+//! labels. Trees are stored as arenas where children always precede their
+//! parents, so `0..len()` is a bottom-up traversal order.
+
+/// One node of a [`LabeledTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// The node label (alphabet symbol).
+    pub label: usize,
+    /// The children, in order; at most two.
+    pub children: Vec<usize>,
+}
+
+/// A labeled tree with at most two children per node, stored bottom-up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabeledTree {
+    nodes: Vec<TreeNode>,
+    root: Option<usize>,
+}
+
+impl LabeledTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given label and children (children must already
+    /// exist). Returns the node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two children are given or a child index is
+    /// invalid (not smaller than the new node's index).
+    pub fn add_node(&mut self, label: usize, children: Vec<usize>) -> usize {
+        assert!(children.len() <= 2, "tree nodes have at most two children");
+        for &c in &children {
+            assert!(c < self.nodes.len(), "child {c} does not exist yet");
+        }
+        self.nodes.push(TreeNode { label, children });
+        self.nodes.len() - 1
+    }
+
+    /// Adds a leaf with the given label.
+    pub fn add_leaf(&mut self, label: usize) -> usize {
+        self.add_node(label, Vec::new())
+    }
+
+    /// Designates the root node.
+    pub fn set_root(&mut self, node: usize) {
+        assert!(node < self.nodes.len(), "root out of range");
+        self.root = Some(node);
+    }
+
+    /// The root node, if set.
+    pub fn root(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    pub fn node(&self, i: usize) -> &TreeNode {
+        &self.nodes[i]
+    }
+
+    /// Iterate bottom-up over `(index, node)`.
+    pub fn iter_bottom_up(&self) -> impl Iterator<Item = (usize, &TreeNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// The set of labels occurring in the tree, sorted.
+    pub fn labels(&self) -> Vec<usize> {
+        let mut labels: Vec<usize> = self.nodes.iter().map(|n| n.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    /// Builds a left-leaning "path" tree from a sequence of labels: the first
+    /// label is the deepest leaf and the last is the root.
+    pub fn path(labels: &[usize]) -> LabeledTree {
+        let mut tree = LabeledTree::new();
+        let mut prev: Option<usize> = None;
+        for &label in labels {
+            let children = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(tree.add_node(label, children));
+        }
+        if let Some(root) = prev {
+            tree.set_root(root);
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_tree() {
+        let mut t = LabeledTree::new();
+        let a = t.add_leaf(1);
+        let b = t.add_leaf(2);
+        let root = t.add_node(3, vec![a, b]);
+        t.set_root(root);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root(), Some(root));
+        assert_eq!(t.node(root).children, vec![a, b]);
+        assert_eq!(t.labels(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn path_builder() {
+        let t = LabeledTree::path(&[7, 8, 9]);
+        assert_eq!(t.len(), 3);
+        let root = t.root().unwrap();
+        assert_eq!(t.node(root).label, 9);
+        assert_eq!(t.node(root).children.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two children")]
+    fn too_many_children_panics() {
+        let mut t = LabeledTree::new();
+        let a = t.add_leaf(0);
+        let b = t.add_leaf(0);
+        let c = t.add_leaf(0);
+        t.add_node(1, vec![a, b, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn dangling_child_panics() {
+        let mut t = LabeledTree::new();
+        t.add_node(1, vec![5]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = LabeledTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.root(), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! A1 (ablation) — decomposition heuristics: min-degree vs min-fill vs the
+//! lexicographic strawman, on partial k-trees and grids; width achieved and
+//! decomposition time.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+use stuc_graph::exact::mmd_lower_bound;
+use stuc_graph::generators;
+
+fn main() {
+    let mut criterion = criterion_config();
+
+    let workloads = [
+        ("partial_3_tree_200", generators::partial_k_tree(200, 3, 0.6, 11)),
+        ("grid_8x8", generators::grid(8, 8)),
+        ("caterpillar_100x3", generators::caterpillar(100, 3)),
+    ];
+
+    for (name, graph) in &workloads {
+        report_value("A1", &format!("{name}_lower_bound"), mmd_lower_bound(graph));
+        for heuristic in EliminationHeuristic::ALL {
+            let td = decompose_with_heuristic(graph, heuristic);
+            assert!(td.validate(graph).is_ok());
+            report_value("A1", &format!("{name}_{}_width", heuristic.name()), td.width());
+        }
+    }
+
+    let mut group = criterion.benchmark_group("a1_decomposition_heuristics");
+    for (name, graph) in &workloads {
+        for heuristic in EliminationHeuristic::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(heuristic.name(), name),
+                &heuristic,
+                |b, &h| b.iter(|| decompose_with_heuristic(graph, h).width()),
+            );
+        }
+    }
+    group.finish();
+    criterion.final_summary();
+}

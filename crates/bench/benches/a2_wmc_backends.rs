@@ -1,0 +1,62 @@
+//! A2 (ablation) — circuit probability back-ends: message passing over a
+//! tree decomposition of the circuit vs DPLL/Shannon expansion vs naive
+//! enumeration, on lineage circuits from the Theorem 1 workloads.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_circuit::dpll::DpllCounter;
+use stuc_circuit::enumeration::probability_by_enumeration;
+use stuc_circuit::wmc::TreewidthWmc;
+use stuc_core::pipeline::TractablePipeline;
+use stuc_core::workloads;
+use stuc_query::cq::ConjunctiveQuery;
+
+fn main() {
+    let mut criterion = criterion_config();
+    let pipeline = TractablePipeline::default();
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+
+    // Agreement of the three back-ends on a small lineage.
+    let small_tid = workloads::path_tid(12, 0.5, 13);
+    let small = pipeline.tid_lineage_circuit(&small_tid, &query).unwrap();
+    let weights = small_tid.fact_weights();
+    let mp = TreewidthWmc::default().probability(&small, &weights).unwrap();
+    let dp = DpllCounter::default().probability(&small, &weights).unwrap();
+    let en = probability_by_enumeration(&small, &weights).unwrap();
+    assert!((mp - dp).abs() < 1e-9 && (mp - en).abs() < 1e-9);
+    report_value("A2", "agreement_probability", format!("{mp:.6}"));
+
+    let mut group = criterion.benchmark_group("a2_wmc_backends_small");
+    group.bench_function("message_passing", |b| {
+        b.iter(|| TreewidthWmc::default().probability(&small, &weights).unwrap())
+    });
+    group.bench_function("dpll", |b| {
+        b.iter(|| DpllCounter::default().probability(&small, &weights).unwrap())
+    });
+    group.bench_function("enumeration", |b| {
+        b.iter(|| probability_by_enumeration(&small, &weights).unwrap())
+    });
+    group.finish();
+
+    // Scaling: message passing and DPLL on growing path lineages
+    // (enumeration is impossible beyond ~30 variables).
+    let mut group = criterion.benchmark_group("a2_wmc_backends_scaling");
+    for &n in &[50usize, 150, 450] {
+        let tid = workloads::path_tid(n, 0.5, 13);
+        let lineage = pipeline.tid_lineage_circuit(&tid, &query).unwrap();
+        let w = tid.fact_weights();
+        report_value(
+            "A2",
+            &format!("n{n}_circuit_width_estimate"),
+            TreewidthWmc::default().estimated_width(&lineage),
+        );
+        group.bench_with_input(BenchmarkId::new("message_passing", n), &n, |b, _| {
+            b.iter(|| TreewidthWmc::default().probability(&lineage, &w).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dpll", n), &n, |b, _| {
+            b.iter(|| DpllCounter::default().probability(&lineage, &w).unwrap())
+        });
+    }
+    group.finish();
+    criterion.final_summary();
+}

@@ -1,0 +1,115 @@
+//! E12 — §3 extensions: a probabilistic model on uncertain orders.
+//!
+//! The uniform distribution over linear extensions (precedence / rank / top-k
+//! probabilities, exact uniform sampling) and the set-semantics operators.
+//! The paper's point — counting-based tasks grow combinatorially with the
+//! "width" of the order while the structured special cases stay cheap — is
+//! measured by sweeping the number of parallel chains being integrated.
+
+use criterion::BenchmarkId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stuc_bench::{criterion_config, report_value};
+use stuc_order::porelation::PoRelation;
+use stuc_order::posra::union_parallel;
+use stuc_order::probability::LinearExtensionDistribution;
+use stuc_order::setops::{distinct_certain, set_possible_worlds};
+
+fn list(prefix: &str, n: usize) -> PoRelation {
+    PoRelation::totally_ordered((0..n).map(|i| vec![format!("{prefix}{i}")]).collect())
+}
+
+fn chains(count: usize, length: usize) -> PoRelation {
+    let mut po = list("c0_", length);
+    for c in 1..count {
+        po = union_parallel(&po, &list(&format!("c{c}_"), length));
+    }
+    po
+}
+
+fn main() {
+    let mut criterion = criterion_config();
+
+    // Exact values on a 2×3-chain integration: precedence probabilities are
+    // symmetric across chains, the first element of each chain is equally
+    // likely to come first.
+    let two_chains = chains(2, 3);
+    let distribution = LinearExtensionDistribution::new(&two_chains).unwrap();
+    report_value("E12", "two_chains_extensions", distribution.total_extensions());
+    let first_a = two_chains.elements().find(|(_, t)| t[0] == "c0_0").unwrap().0;
+    let first_b = two_chains.elements().find(|(_, t)| t[0] == "c1_0").unwrap().0;
+    report_value(
+        "E12",
+        "p_first_of_chain0_before_chain1",
+        format!("{:.4}", distribution.precedence_probability(first_a, first_b)),
+    );
+    report_value(
+        "E12",
+        "p_chain0_head_ranked_first",
+        format!("{:.4}", distribution.rank_distribution(first_a)[0]),
+    );
+
+    // Distribution construction cost grows with the number of elements
+    // (2^n table); the tractable inputs are the small-width ones.
+    let mut group = criterion.benchmark_group("e12_distribution_construction");
+    for &count in &[2usize, 3, 4, 5] {
+        let po = chains(count, 4);
+        report_value(
+            "E12",
+            &format!("chains{count}_extensions"),
+            po.count_linear_extensions().unwrap(),
+        );
+        group.bench_with_input(BenchmarkId::new("build", count), &count, |b, _| {
+            b.iter(|| LinearExtensionDistribution::new(&po).unwrap().total_extensions())
+        });
+    }
+    group.finish();
+
+    // Per-query costs once the distribution is built.
+    let po = chains(4, 4);
+    let distribution = LinearExtensionDistribution::new(&po).unwrap();
+    let a = po.elements().find(|(_, t)| t[0] == "c0_0").unwrap().0;
+    let b_element = po.elements().find(|(_, t)| t[0] == "c3_3").unwrap().0;
+    let mut group = criterion.benchmark_group("e12_distribution_queries");
+    group.bench_function("precedence_probability", |bencher| {
+        bencher.iter(|| distribution.precedence_probability(a, b_element))
+    });
+    group.bench_function("rank_distribution", |bencher| {
+        bencher.iter(|| distribution.rank_distribution(b_element))
+    });
+    let mut rng = StdRng::seed_from_u64(42);
+    group.bench_function("uniform_sample", |bencher| {
+        bencher.iter(|| distribution.sample(&mut rng).len())
+    });
+    group.finish();
+
+    // Set semantics: the certain-order distinct operator is polynomial while
+    // the exact possible-world semantics enumerates linear extensions.
+    let mut group = criterion.benchmark_group("e12_set_semantics");
+    for &count in &[2usize, 3] {
+        // Duplicate labels across chains: every chain ranks the same items.
+        let mut po = list("item", 4);
+        for _ in 1..count {
+            po = union_parallel(&po, &list("item", 4));
+        }
+        let exact_worlds = set_possible_worlds(&po).unwrap().len();
+        let certain = distinct_certain(&po);
+        report_value(
+            "E12",
+            &format!("chains{count}_exact_set_worlds_vs_certain_order_worlds"),
+            format!(
+                "{exact_worlds} vs {}",
+                certain.count_linear_extensions().unwrap()
+            ),
+        );
+        group.bench_with_input(BenchmarkId::new("distinct_certain", count), &count, |b, _| {
+            b.iter(|| distinct_certain(&po).len())
+        });
+        group.bench_with_input(BenchmarkId::new("exact_set_worlds", count), &count, |b, _| {
+            b.iter(|| set_possible_worlds(&po).unwrap().len())
+        });
+    }
+    group.finish();
+
+    criterion.final_summary();
+}

@@ -1,0 +1,116 @@
+//! E13 — §2.2/§2.3: Datalog evaluation and provenance circuits on uncertain
+//! instances.
+//!
+//! The paper points at Datalog fragments (monadic, frontier-guarded) as the
+//! realistic query languages for its programme and casts its lineages as
+//! Datalog provenance circuits. This bench measures (a) the certain fixpoint
+//! evaluation, (b) the construction of provenance circuits for a recursive
+//! program over TID instances, and (c) the probability computation on the
+//! resulting lineages, on path-shaped data where the treewidth-style
+//! tractability should show as polynomial growth.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_circuit::dpll::DpllCounter;
+use stuc_circuit::enumeration::probability_by_enumeration;
+use stuc_data::instance::Instance;
+use stuc_data::tid::TidInstance;
+use stuc_query::datalog::DatalogProgram;
+use stuc_query::datalog_provenance::DatalogProvenance;
+
+fn transitive_closure() -> DatalogProgram {
+    DatalogProgram::parse(
+        "Reach(x, y) :- Edge(x, y)\n\
+         Reach(x, z) :- Reach(x, y), Edge(y, z)",
+    )
+    .unwrap()
+}
+
+fn path_instance(n: usize) -> Instance {
+    let mut instance = Instance::new();
+    for i in 0..n {
+        instance.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+    }
+    instance
+}
+
+fn path_tid(n: usize, p: f64) -> TidInstance {
+    let mut tid = TidInstance::new();
+    for i in 0..n {
+        tid.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)], p);
+    }
+    tid
+}
+
+fn main() {
+    let mut criterion = criterion_config();
+    let program = transitive_closure();
+
+    // Correctness anchor: on a 4-edge path with p = 0.5, reaching the end
+    // requires all edges: 0.5⁴ = 0.0625.
+    let tid = path_tid(4, 0.5);
+    let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+    let lineage = provenance.fact_lineage("Reach", &["v0", "v4"]).unwrap();
+    let p = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+    report_value("E13", "path4_end_to_end_probability", format!("{p:.4} (expected 0.0625)"));
+    assert!((p - 0.0625).abs() < 1e-9);
+
+    // Certain Datalog fixpoint: quadratically many derived facts on a path.
+    let mut group = criterion.benchmark_group("e13_datalog_fixpoint");
+    for &n in &[8usize, 16, 32, 64] {
+        let instance = path_instance(n);
+        let derived =
+            program.evaluate(&instance).unwrap().fact_count() - instance.fact_count();
+        report_value("E13", &format!("path{n}_derived_facts"), derived);
+        group.bench_with_input(BenchmarkId::new("fixpoint", n), &n, |b, _| {
+            b.iter(|| program.evaluate(&instance).unwrap().fact_count())
+        });
+    }
+    group.finish();
+
+    // Provenance circuit construction over uncertain paths.
+    let mut group = criterion.benchmark_group("e13_provenance_construction");
+    for &n in &[4usize, 6, 8, 10] {
+        let tid = path_tid(n, 0.5);
+        let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+        report_value(
+            "E13",
+            &format!("path{n}_provenance_gates"),
+            provenance.circuit().len(),
+        );
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| DatalogProvenance::from_tid(&tid, &program).unwrap().circuit().len())
+        });
+    }
+    group.finish();
+
+    // Probability of the end-to-end reachability fact: DPLL on the lineage
+    // versus brute-force enumeration over the edge events.
+    let mut group = criterion.benchmark_group("e13_reachability_probability");
+    for &n in &[4usize, 8, 12] {
+        let tid = path_tid(n, 0.5);
+        let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+        let lineage = provenance
+            .fact_lineage("Reach", &["v0", &format!("v{n}")])
+            .unwrap();
+        let weights = tid.fact_weights();
+        let expected = 0.5f64.powi(n as i32);
+        let computed = DpllCounter::default().probability(&lineage, &weights).unwrap();
+        report_value(
+            "E13",
+            &format!("path{n}_probability"),
+            format!("{computed:.6} (expected {expected:.6})"),
+        );
+        group.bench_with_input(BenchmarkId::new("dpll_on_lineage", n), &n, |b, _| {
+            b.iter(|| DpllCounter::default().probability(&lineage, &weights).unwrap())
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("enumeration", n), &n, |b, _| {
+                b.iter(|| probability_by_enumeration(&lineage, &weights).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    criterion.final_summary();
+}

@@ -1,0 +1,124 @@
+//! E14 — §2.3 extensions around the probabilistic chase: mining soft rules
+//! from data, the hard-rule (certain) baseline, and truncating a
+//! non-terminating chase with certified error bounds.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_data::instance::Instance;
+use stuc_data::tid::TidInstance;
+use stuc_query::cq::ConjunctiveQuery;
+use stuc_rules::constraints::HardConstraints;
+use stuc_rules::mining::RuleMiner;
+use stuc_rules::truncation::TruncatedChase;
+use stuc_rules::{ChaseConfig, ProbabilisticChase, Rule};
+
+/// A Wikidata-style training KB with `people` persons spread over 4
+/// countries; 3 out of 4 persons live in their country of citizenship and
+/// speak its official language.
+fn training_kb(people: usize) -> Instance {
+    let countries = ["france", "japan", "brazil", "kenya"];
+    let languages = ["french", "japanese", "portuguese", "swahili"];
+    let mut kb = Instance::new();
+    for (country, language) in countries.iter().zip(languages.iter()) {
+        kb.add_fact_named("OfficialLanguage", &[country, language]);
+    }
+    for i in 0..people {
+        let person = format!("person{i}");
+        let country = countries[i % countries.len()];
+        let language = languages[i % languages.len()];
+        kb.add_fact_named("Citizen", &[&person, country]);
+        if i % 4 != 3 {
+            kb.add_fact_named("Lives", &[&person, country]);
+            kb.add_fact_named("Speaks", &[&person, language]);
+        } else {
+            kb.add_fact_named("Lives", &[&person, "elsewhere"]);
+        }
+    }
+    kb
+}
+
+fn main() {
+    let mut criterion = criterion_config();
+
+    // Mined confidences reflect the generator: Lives :- Citizen holds for 3
+    // out of 4 people.
+    let miner = RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: true };
+    let mined = miner.mine(&training_kb(40));
+    report_value("E14", "mined_rules", mined.len());
+    if let Some(lives) = mined.iter().find(|m| {
+        m.rule.head[0].relation == "Lives" && m.rule.body[0].relation == "Citizen"
+    }) {
+        report_value(
+            "E14",
+            "lives_rule_confidence",
+            format!("{:.2} (expected 0.75)", lives.confidence()),
+        );
+    }
+
+    // Rule mining scales with the knowledge-base size.
+    let mut group = criterion.benchmark_group("e14_rule_mining");
+    for &people in &[20usize, 40, 80] {
+        let kb = training_kb(people);
+        group.bench_with_input(BenchmarkId::new("mine", people), &people, |b, _| {
+            b.iter(|| miner.mine(&kb).len())
+        });
+    }
+    group.finish();
+
+    // Hard (certain) chase versus probabilistic chase on the same rules.
+    let soft_rules: Vec<Rule> = vec![
+        Rule::parse("Lives(x, y) :- Citizen(x, y)", 0.75).unwrap(),
+        Rule::parse("Speaks(x, l) :- Lives(x, y), OfficialLanguage(y, l)", 0.9).unwrap(),
+    ];
+    let mut group = criterion.benchmark_group("e14_hard_vs_soft_completion");
+    for &people in &[10usize, 40] {
+        let kb = training_kb(people);
+        let mut uncertain = TidInstance::new();
+        for (_, fact) in kb.facts() {
+            let relation = kb.relation_name(fact.relation).to_string();
+            let args: Vec<String> =
+                fact.args.iter().map(|&c| kb.constant_name(c).to_string()).collect();
+            let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            uncertain.add_fact_named(&relation, &arg_refs, 0.9);
+        }
+        let hard = HardConstraints::new(soft_rules.clone());
+        group.bench_with_input(BenchmarkId::new("hard_chase", people), &people, |b, _| {
+            b.iter(|| hard.saturate(&kb).unwrap().fact_count())
+        });
+        let soft = ProbabilisticChase::new(soft_rules.clone())
+            .with_config(ChaseConfig { max_rounds: 3, max_derived_facts: 100_000 });
+        group.bench_with_input(BenchmarkId::new("soft_chase", people), &people, |b, _| {
+            b.iter(|| soft.run(&uncertain).unwrap().derived_fact_count())
+        });
+    }
+    group.finish();
+
+    // Truncation of a non-terminating rule set: the certified interval per
+    // depth, and the cost of evaluating it.
+    let ancestor_rules =
+        vec![Rule::parse("Ancestor(x, a), Person(a) :- Person(x)", 0.6).unwrap()];
+    let mut people = TidInstance::new();
+    people.add_fact_named("Person", &["root"], 1.0);
+    let truncated = TruncatedChase::new(ancestor_rules);
+    let query = ConjunctiveQuery::parse("Ancestor(\"root\", x)").unwrap();
+    let mut group = criterion.benchmark_group("e14_chase_truncation");
+    for &depth in &[1usize, 2, 4] {
+        let report = truncated.evaluate(&people, &query, depth).unwrap();
+        report_value(
+            "E14",
+            &format!("depth{depth}_bounds"),
+            format!(
+                "[{:.4}, {:.4}] error {:.4}",
+                report.lower_bound,
+                report.upper_bound,
+                report.error()
+            ),
+        );
+        group.bench_with_input(BenchmarkId::new("truncated_evaluate", depth), &depth, |b, _| {
+            b.iter(|| truncated.evaluate(&people, &query, depth).unwrap().lower_bound)
+        });
+    }
+    group.finish();
+
+    criterion.final_summary();
+}

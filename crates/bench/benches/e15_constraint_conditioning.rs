@@ -1,0 +1,124 @@
+//! E15 — §4: conditioning PrXML documents with constraints.
+//!
+//! Conditioning on the value of a named event is a constant-time weight
+//! update; conditioning on an observed constraint (a tree pattern, a negated
+//! pattern, a counting constraint) goes through Bayes over lineage circuits
+//! sharing the document's presence gates. The circuit route stays exact and
+//! fast as long as the circuits do — the conditioning replay of the paper's
+//! structural-tractability story — while the enumeration cross-check grows
+//! exponentially with the number of document variables.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_prxml::constraints::{
+    condition_on_event, conditioned_query_probability,
+    conditioned_query_probability_by_enumeration, constraint_probability, PrxmlConstraint,
+};
+use stuc_prxml::document::PrXmlDocument;
+use stuc_prxml::generator::{wikidata_style_document, WikidataStyleConfig};
+use stuc_prxml::queries::{query_probability, PrxmlQuery};
+
+fn main() {
+    let mut criterion = criterion_config();
+
+    // Figure 1 anchor values: observing the surname makes the (eJane-
+    // correlated) place of birth certain; observing the occupation leaves the
+    // given name at its prior.
+    let figure1 = PrXmlDocument::figure1_example();
+    let birth_given_surname = conditioned_query_probability(
+        &figure1,
+        &PrxmlQuery::LabelExists("Crescent".into()),
+        &PrxmlConstraint::Holds(PrxmlQuery::LabelExists("Manning".into())),
+    )
+    .unwrap();
+    report_value(
+        "E15",
+        "p_place_of_birth_given_surname",
+        format!("{birth_given_surname:.4} (expected 1.0000)"),
+    );
+    let chelsea_given_musician = conditioned_query_probability(
+        &figure1,
+        &PrxmlQuery::LabelExists("Chelsea".into()),
+        &PrxmlConstraint::Holds(PrxmlQuery::LabelExists("musician".into())),
+    )
+    .unwrap();
+    report_value(
+        "E15",
+        "p_chelsea_given_musician",
+        format!("{chelsea_given_musician:.4} (expected 0.6000)"),
+    );
+
+    // Event conditioning is a weight update; constraint conditioning goes
+    // through the circuits.
+    let mut group = criterion.benchmark_group("e15_figure1_conditioning");
+    group.bench_function("condition_on_event", |b| {
+        b.iter(|| {
+            let mut doc = PrXmlDocument::figure1_example();
+            condition_on_event(&mut doc, "eJane", true).unwrap();
+            query_probability(&doc, &PrxmlQuery::LabelExists("Manning".into())).unwrap()
+        })
+    });
+    group.bench_function("condition_on_constraint", |b| {
+        b.iter(|| {
+            conditioned_query_probability(
+                &figure1,
+                &PrxmlQuery::LabelExists("Crescent".into()),
+                &PrxmlConstraint::Holds(PrxmlQuery::LabelExists("Manning".into())),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("condition_by_enumeration", |b| {
+        b.iter(|| {
+            conditioned_query_probability_by_enumeration(
+                &figure1,
+                &PrxmlQuery::LabelExists("Crescent".into()),
+                &PrxmlConstraint::Holds(PrxmlQuery::LabelExists("Manning".into())),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    // Scaling on synthetic Wikidata-style documents: circuit-based
+    // conditioning versus the enumeration cross-check as the document grows.
+    // Query: is the first extracted value present? Constraint: at least two
+    // entities have their "property0" recorded.
+    let query = PrxmlQuery::LabelExists("value_e0_p0".into());
+    let constraint = PrxmlConstraint::AtLeast { label: "property0".into(), min: 2 };
+    let mut group = criterion.benchmark_group("e15_conditioning_scaling");
+    for &entities in &[4usize, 8, 16] {
+        let config = WikidataStyleConfig {
+            entities,
+            properties_per_entity: 2,
+            contributors: 2,
+            scope_depth: 1,
+            extraction_probability: 0.8,
+            trust_probability: 0.9,
+        };
+        let doc = wikidata_style_document(&config);
+        report_value(
+            "E15",
+            &format!("entities{entities}_constraint_probability"),
+            format!("{:.4}", constraint_probability(&doc, &constraint).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("circuit_bayes", entities), &entities, |b, _| {
+            b.iter(|| conditioned_query_probability(&doc, &query, &constraint).unwrap())
+        });
+        if entities <= 4 {
+            group.bench_with_input(
+                BenchmarkId::new("enumeration", entities),
+                &entities,
+                |b, _| {
+                    b.iter(|| {
+                        conditioned_query_probability_by_enumeration(&doc, &query, &constraint)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    criterion.final_summary();
+}

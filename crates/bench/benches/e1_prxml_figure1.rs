@@ -1,0 +1,57 @@
+//! E1 — Figure 1: exact query probabilities on the paper's PrXML document.
+//!
+//! Regenerates every probability implied by Figure 1 (the ind/mux/cie
+//! annotations) and times the tractable evaluation against naive
+//! possible-world enumeration.
+
+
+use stuc_bench::{criterion_config, report_value};
+use stuc_prxml::document::PrXmlDocument;
+use stuc_prxml::queries::{
+    query_probability, query_probability_by_enumeration, PrxmlQuery,
+};
+
+fn main() {
+    let mut criterion = criterion_config();
+    let doc = PrXmlDocument::figure1_example();
+
+    let queries = [
+        ("occupation_musician", PrxmlQuery::LabelExists("musician".into())),
+        ("given_name_chelsea", PrxmlQuery::LabelExists("Chelsea".into())),
+        ("given_name_bradley", PrxmlQuery::LabelExists("Bradley".into())),
+        (
+            "both_jane_facts",
+            PrxmlQuery::And(
+                Box::new(PrxmlQuery::LabelExists("place of birth".into())),
+                Box::new(PrxmlQuery::LabelExists("surname".into())),
+            ),
+        ),
+    ];
+
+    for (name, query) in &queries {
+        let p = query_probability(&doc, query).unwrap();
+        report_value("E1", name, format!("{p:.4}"));
+        let reference = query_probability_by_enumeration(&doc, query).unwrap();
+        assert!((p - reference).abs() < 1e-9, "tractable and naive disagree");
+    }
+
+    let mut group = criterion.benchmark_group("e1_prxml_figure1");
+    group.bench_function("treewidth_backend_all_queries", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(_, q)| query_probability(&doc, q).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("world_enumeration_all_queries", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|(_, q)| query_probability_by_enumeration(&doc, q).unwrap())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+    criterion.final_summary();
+}

@@ -1,0 +1,54 @@
+//! E3 — Theorem 1: evaluating a fixed query on bounded-treewidth TIDs scales
+//! linearly with the data, for several widths, while the naive baselines are
+//! exponential (they are run only on the smallest size as a reference).
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_core::pipeline::TractablePipeline;
+use stuc_core::workloads;
+use stuc_query::cq::ConjunctiveQuery;
+
+fn main() {
+    let mut criterion = criterion_config();
+    let pipeline = TractablePipeline::default();
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+
+    // Linear scaling in the data at fixed width (path instances, width 1).
+    let mut group = criterion.benchmark_group("e3_theorem1_path_scaling");
+    for &n in &[100usize, 400, 1600, 6400] {
+        let tid = workloads::path_tid(n, 0.5, 7);
+        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        report_value("E3", &format!("path_n{n}_probability"), format!("{:.6}", report.probability));
+        group.bench_with_input(BenchmarkId::new("tractable_pipeline", n), &n, |b, _| {
+            b.iter(|| pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability)
+        });
+    }
+    group.finish();
+
+    // Width sweep: partial k-trees of fixed size, width 1..4.
+    let mut group = criterion.benchmark_group("e3_theorem1_width_sweep");
+    for &k in &[1usize, 2, 3, 4] {
+        let tid = workloads::partial_k_tree_tid(200, k, 0.5, 3);
+        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        report_value("E3", &format!("ktree_k{k}_width"), report.decomposition_width);
+        group.bench_with_input(BenchmarkId::new("tractable_pipeline_width", k), &k, |b, _| {
+            b.iter(|| pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability)
+        });
+    }
+    group.finish();
+
+    // Baselines on a small instance only (they blow up quickly).
+    let small = workloads::path_tid(18, 0.5, 7);
+    let mut group = criterion.benchmark_group("e3_theorem1_baselines_small");
+    group.bench_function("tractable_pipeline_n18", |b| {
+        b.iter(|| pipeline.evaluate_cq_on_tid(&small, &query).unwrap().probability)
+    });
+    group.bench_function("dpll_baseline_n18", |b| {
+        b.iter(|| pipeline.baseline_dpll(&small, &query).unwrap())
+    });
+    group.bench_function("enumeration_baseline_n18", |b| {
+        b.iter(|| pipeline.baseline_enumeration(&small, &query).unwrap())
+    });
+    group.finish();
+    criterion.final_summary();
+}

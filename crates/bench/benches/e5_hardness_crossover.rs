@@ -1,0 +1,51 @@
+//! E5 — the §1 hardness example: `∃xy R(x), S(x,y), T(y)` is `#P`-hard on
+//! arbitrary TIDs (here: complete bipartite instances, growing width) but
+//! stays easy on path-shaped data. The extensional safe-plan baseline simply
+//! refuses the query (it is not hierarchical), which is the point of the
+//! comparison: data-based tractability applies where query-based
+//! tractability does not.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_core::pipeline::{PipelineError, TractablePipeline};
+use stuc_core::workloads;
+use stuc_query::cq::ConjunctiveQuery;
+
+fn main() {
+    let mut criterion = criterion_config();
+    let pipeline = TractablePipeline::default();
+    let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+
+    // The extensional baseline refuses the query outright.
+    let refused = matches!(
+        pipeline.baseline_safe_plan(&workloads::rst_path_tid(5, 0.5, 1), &query),
+        Err(PipelineError::SafePlan(_))
+    );
+    report_value("E5", "safe_plan_refuses_unsafe_query", refused);
+
+    // Tree-shaped data: the pipeline scales linearly.
+    let mut group = criterion.benchmark_group("e5_path_shaped_data");
+    for &n in &[50usize, 200, 800] {
+        let tid = workloads::rst_path_tid(n, 0.5, 3);
+        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        report_value("E5", &format!("path_n{n}"), format!("p={:.4} width={}", report.probability, report.decomposition_width));
+        group.bench_with_input(BenchmarkId::new("tractable_pipeline", n), &n, |b, _| {
+            b.iter(|| pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability)
+        });
+    }
+    group.finish();
+
+    // Bipartite data: width grows with n; the DPLL (lineage) method's cost
+    // explodes, the pipeline's width-limited back-end eventually refuses.
+    let mut group = criterion.benchmark_group("e5_bipartite_data");
+    for &n in &[2usize, 3, 4, 5] {
+        let tid = workloads::rst_bipartite_tid(n, 0.5, 3);
+        let width = pipeline.decompose_tid(&tid).width();
+        report_value("E5", &format!("bipartite_n{n}_width"), width);
+        group.bench_with_input(BenchmarkId::new("dpll_lineage", n), &n, |b, _| {
+            b.iter(|| pipeline.baseline_dpll(&tid, &query).unwrap())
+        });
+    }
+    group.finish();
+    criterion.final_summary();
+}

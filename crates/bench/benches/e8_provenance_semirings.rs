@@ -1,0 +1,46 @@
+//! E8 — §2.2 semiring provenance: the lineage circuits produced for monotone
+//! queries are provenance circuits; evaluating them in different absorptive
+//! semirings (Boolean, counting, tropical, Why) costs a single bottom-up
+//! pass.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_circuit::semiring::{
+    evaluate_provenance, BoolSemiring, CountingSemiring, TropicalSemiring, WhyProvenance,
+};
+use stuc_core::pipeline::TractablePipeline;
+use stuc_core::workloads;
+use stuc_query::cq::ConjunctiveQuery;
+
+fn main() {
+    let mut criterion = criterion_config();
+    let pipeline = TractablePipeline::default();
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    let tid = workloads::path_tid(60, 0.5, 9);
+    let lineage = pipeline.tid_lineage_circuit(&tid, &query).unwrap();
+    report_value("E8", "lineage_gates", lineage.len());
+    report_value("E8", "lineage_monotone", lineage.is_monotone());
+
+    let count = evaluate_provenance(&lineage, |_| CountingSemiring(1)).unwrap();
+    report_value("E8", "derivation_count", count.0);
+    let cheapest = evaluate_provenance(&lineage, |v| TropicalSemiring::cost(1 + v.0 as u64 % 3)).unwrap();
+    report_value("E8", "cheapest_derivation_cost", format!("{cheapest:?}"));
+    let why = evaluate_provenance(&lineage, WhyProvenance::var).unwrap();
+    report_value("E8", "minimal_witness_sets", why.0.len());
+
+    let mut group = criterion.benchmark_group("e8_provenance_semirings");
+    group.bench_with_input(BenchmarkId::new("semiring", "boolean"), &(), |b, _| {
+        b.iter(|| evaluate_provenance(&lineage, |_| BoolSemiring(true)).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("semiring", "counting"), &(), |b, _| {
+        b.iter(|| evaluate_provenance(&lineage, |_| CountingSemiring(1)).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("semiring", "tropical"), &(), |b, _| {
+        b.iter(|| evaluate_provenance(&lineage, |v| TropicalSemiring::cost(1 + v.0 as u64 % 3)).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("semiring", "why"), &(), |b, _| {
+        b.iter(|| evaluate_provenance(&lineage, WhyProvenance::var).unwrap())
+    });
+    group.finish();
+    criterion.final_summary();
+}

@@ -1,0 +1,68 @@
+//! E9 — §3 order uncertainty: PosRA over po-relations; possible-world
+//! membership is cheap for the structured cases (unordered / totally
+//! ordered) and expensive in general; counting linear extensions grows
+//! exponentially with the width of the order.
+
+use criterion::BenchmarkId;
+use stuc_bench::{criterion_config, report_value};
+use stuc_order::porelation::PoRelation;
+use stuc_order::posra::{select, union_parallel};
+
+fn list(prefix: &str, n: usize) -> PoRelation {
+    PoRelation::totally_ordered((0..n).map(|i| vec![format!("{prefix}{i}")]).collect())
+}
+
+fn main() {
+    let mut criterion = criterion_config();
+
+    // Counting linear extensions of k parallel chains of length 4.
+    let mut group = criterion.benchmark_group("e9_linear_extension_counting");
+    for &chains in &[1usize, 2, 3, 4] {
+        let mut po = list("c0_", 4);
+        for c in 1..chains {
+            po = union_parallel(&po, &list(&format!("c{c}_"), 4));
+        }
+        let count = po.count_linear_extensions().unwrap();
+        report_value("E9", &format!("chains{chains}_linear_extensions"), count);
+        group.bench_with_input(BenchmarkId::new("count_linear_extensions", chains), &chains, |b, _| {
+            b.iter(|| po.count_linear_extensions().unwrap())
+        });
+    }
+    group.finish();
+
+    // Possible-world membership: structured vs general.
+    let total = list("t", 12);
+    let unordered = PoRelation::unordered((0..12).map(|i| vec![format!("t{}", i % 3)]).collect());
+    let mut general = union_parallel(&list("a", 6), &list("b", 6));
+    // Relabel-free: the general case has duplicate-free labels; build a world.
+    let world_total: Vec<Vec<String>> = (0..12).map(|i| vec![format!("t{i}")]).collect();
+    let world_unordered: Vec<Vec<String>> = (0..12).map(|i| vec![format!("t{}", (i * 7) % 3)]).collect();
+    let mut world_general: Vec<Vec<String>> = Vec::new();
+    for i in 0..6 {
+        world_general.push(vec![format!("a{i}")]);
+        world_general.push(vec![format!("b{i}")]);
+    }
+    report_value("E9", "membership_total_order", total.is_possible_world(&world_total));
+    report_value("E9", "membership_unordered", unordered.is_possible_world(&world_unordered));
+    report_value("E9", "membership_general", general.is_possible_world(&world_general));
+
+    let mut group = criterion.benchmark_group("e9_possible_world_membership");
+    group.bench_function("totally_ordered", |b| b.iter(|| total.is_possible_world(&world_total)));
+    group.bench_function("unordered", |b| b.iter(|| unordered.is_possible_world(&world_unordered)));
+    group.bench_function("general_interleaving", |b| {
+        b.iter(|| general.is_possible_world(&world_general))
+    });
+    group.finish();
+
+    // A PosRA pipeline on the log-integration workload.
+    let mut group = criterion.benchmark_group("e9_posra_pipeline");
+    group.bench_function("merge_select_errors", |b| {
+        b.iter(|| {
+            let merged = union_parallel(&list("server", 20), &list("worker", 20));
+            select(&merged, |t| t[0].ends_with('3')).len()
+        })
+    });
+    group.finish();
+    let _ = &mut general;
+    criterion.final_summary();
+}

@@ -1,0 +1,29 @@
+//! Shared configuration and helpers for the STUC benchmark harness.
+//!
+//! Every table/figure/claim of the paper maps to one Criterion bench target
+//! in `benches/` (see DESIGN.md §4 and EXPERIMENTS.md). All benches use the
+//! same short measurement settings so that `cargo bench --workspace`
+//! completes in minutes while still showing the asymptotic *shape* of each
+//! comparison (who wins, by what factor, where the crossover happens) —
+//! absolute numbers are not the point, as the paper itself reports no
+//! absolute performance figures.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// The Criterion configuration shared by every STUC bench: few samples,
+/// short measurement windows, no plots.
+pub fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+        .without_plots()
+}
+
+/// Prints a labelled scalar result alongside the timing benchmarks, so that
+/// the harness output also records the *values* the paper's examples imply
+/// (probabilities, widths, counts). `cargo bench` output is the record.
+pub fn report_value(experiment: &str, label: &str, value: impl std::fmt::Display) {
+    println!("[{experiment}] {label} = {value}");
+}

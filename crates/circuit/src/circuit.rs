@@ -1,0 +1,700 @@
+//! The Boolean circuit representation used for lineages and annotations.
+//!
+//! A [`Circuit`] is a DAG of gates stored in an arena; every gate's inputs
+//! have smaller indices than the gate itself, so iterating `0..len()` visits
+//! gates bottom-up. Circuits serve three roles in STUC:
+//!
+//! * **lineage circuits** produced by automaton runs (which possible worlds
+//!   satisfy the query),
+//! * **annotation circuits** of pcc-instances (correlations between facts),
+//! * **condition circuits** used by conditioning.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An (event) variable of a circuit — in the paper's terms, a Boolean event
+/// such as "this fact is present" or "user Jane is trustworthy".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A handle to a gate of a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub usize);
+
+impl GateId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One gate of a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Reads the value of an event variable.
+    Input(VarId),
+    /// A Boolean constant.
+    Const(bool),
+    /// Conjunction of the inputs (true when empty).
+    And(Vec<GateId>),
+    /// Disjunction of the inputs (false when empty).
+    Or(Vec<GateId>),
+    /// Negation of the input.
+    Not(GateId),
+}
+
+impl Gate {
+    /// The gates this gate reads from.
+    pub fn inputs(&self) -> &[GateId] {
+        match self {
+            Gate::Input(_) | Gate::Const(_) => &[],
+            Gate::And(xs) | Gate::Or(xs) => xs,
+            Gate::Not(x) => std::slice::from_ref(x),
+        }
+    }
+
+    /// True for gates with no inputs (variables and constants).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Gate::Input(_) | Gate::Const(_))
+    }
+}
+
+/// Errors raised by circuit construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate refers to an identifier that does not exist (or is not older
+    /// than the referring gate).
+    InvalidGateReference(GateId),
+    /// The circuit has no designated output gate.
+    NoOutput,
+    /// A variable needed during evaluation has no assigned value / weight.
+    UnassignedVariable(VarId),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidGateReference(g) => write!(f, "invalid gate reference {g}"),
+            CircuitError::NoOutput => write!(f, "circuit has no output gate"),
+            CircuitError::UnassignedVariable(v) => write!(f, "variable {v} has no value"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A Boolean circuit stored as a bottom-up arena of gates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    output: Option<GateId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Access a gate.
+    pub fn gate(&self, g: GateId) -> &Gate {
+        &self.gates[g.0]
+    }
+
+    /// Iterate over `(id, gate)` bottom-up.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (GateId(i), g))
+    }
+
+    /// The designated output gate, if set.
+    pub fn output(&self) -> Option<GateId> {
+        self.output
+    }
+
+    /// Sets the output gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate does not exist.
+    pub fn set_output(&mut self, g: GateId) {
+        assert!(g.0 < self.gates.len(), "output gate out of range");
+        self.output = Some(g);
+    }
+
+    fn push(&mut self, gate: Gate) -> GateId {
+        for &i in gate.inputs() {
+            assert!(i.0 < self.gates.len(), "gate input {i} out of range");
+        }
+        self.gates.push(gate);
+        GateId(self.gates.len() - 1)
+    }
+
+    /// Adds an input gate reading variable `v`.
+    pub fn add_input(&mut self, v: VarId) -> GateId {
+        self.push(Gate::Input(v))
+    }
+
+    /// Adds a constant gate.
+    pub fn add_const(&mut self, value: bool) -> GateId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds an AND gate over the given inputs.
+    pub fn add_and(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.push(Gate::And(inputs))
+    }
+
+    /// Adds an OR gate over the given inputs.
+    pub fn add_or(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.push(Gate::Or(inputs))
+    }
+
+    /// Adds a NOT gate.
+    pub fn add_not(&mut self, input: GateId) -> GateId {
+        self.push(Gate::Not(input))
+    }
+
+    /// The set of variables read by the circuit.
+    pub fn variables(&self) -> BTreeSet<VarId> {
+        self.gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Input(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluates every gate under a total assignment of the variables.
+    ///
+    /// Returns the value of every gate (indexed by gate id); variables absent
+    /// from `assignment` cause [`CircuitError::UnassignedVariable`].
+    pub fn evaluate_all(
+        &self,
+        assignment: &BTreeMap<VarId, bool>,
+    ) -> Result<Vec<bool>, CircuitError> {
+        let mut values = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let v = match gate {
+                Gate::Input(x) => *assignment
+                    .get(x)
+                    .ok_or(CircuitError::UnassignedVariable(*x))?,
+                Gate::Const(b) => *b,
+                Gate::And(xs) => xs.iter().all(|&g| values[g.0]),
+                Gate::Or(xs) => xs.iter().any(|&g| values[g.0]),
+                Gate::Not(x) => !values[x.0],
+            };
+            values.push(v);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the output gate under a total assignment.
+    pub fn evaluate(&self, assignment: &BTreeMap<VarId, bool>) -> Result<bool, CircuitError> {
+        let out = self.output.ok_or(CircuitError::NoOutput)?;
+        Ok(self.evaluate_all(assignment)?[out.0])
+    }
+
+    /// True if the circuit is monotone (contains no NOT gate and no `false`
+    /// constant feeding the output is required — we use the syntactic
+    /// criterion: no NOT gates).
+    pub fn is_monotone(&self) -> bool {
+        !self.gates.iter().any(|g| matches!(g, Gate::Not(_)))
+    }
+
+    /// The number of gates of each kind `(inputs, consts, ands, ors, nots)`.
+    pub fn gate_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0, 0);
+        for g in &self.gates {
+            match g {
+                Gate::Input(_) => counts.0 += 1,
+                Gate::Const(_) => counts.1 += 1,
+                Gate::And(_) => counts.2 += 1,
+                Gate::Or(_) => counts.3 += 1,
+                Gate::Not(_) => counts.4 += 1,
+            }
+        }
+        counts
+    }
+
+    /// The number of wires (total fan-in over all gates).
+    pub fn wire_count(&self) -> usize {
+        self.gates.iter().map(|g| g.inputs().len()).sum()
+    }
+
+    /// Depth of the circuit (longest path from a leaf to the output; 0 for
+    /// leaf-only circuits).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = g.inputs().iter().map(|x| depth[x.0] + 1).max().unwrap_or(0);
+        }
+        self.output.map(|o| depth[o.0]).unwrap_or(0)
+    }
+
+    /// Builds a new circuit in which every input gate reading a variable that
+    /// appears in `substitution` is replaced by a copy of the corresponding
+    /// circuit (whose output gate is used in its place).
+    ///
+    /// This is how pcc-instance lineages are assembled: the automaton-run
+    /// circuit reads one variable per *fact*, and each fact variable is then
+    /// substituted by the fact's *annotation* sub-circuit over event
+    /// variables.
+    pub fn substitute(&self, substitution: &BTreeMap<VarId, Circuit>) -> Result<Circuit, CircuitError> {
+        let mut result = Circuit::new();
+        // Import each substituted circuit once, remembering its output gate.
+        let mut imported: BTreeMap<VarId, GateId> = BTreeMap::new();
+        for (&var, sub) in substitution {
+            let out = sub.output.ok_or(CircuitError::NoOutput)?;
+            let offset = result.gates.len();
+            for gate in &sub.gates {
+                let remapped = match gate {
+                    Gate::Input(v) => Gate::Input(*v),
+                    Gate::Const(b) => Gate::Const(*b),
+                    Gate::And(xs) => Gate::And(xs.iter().map(|g| GateId(g.0 + offset)).collect()),
+                    Gate::Or(xs) => Gate::Or(xs.iter().map(|g| GateId(g.0 + offset)).collect()),
+                    Gate::Not(x) => Gate::Not(GateId(x.0 + offset)),
+                };
+                result.gates.push(remapped);
+            }
+            imported.insert(var, GateId(out.0 + offset));
+        }
+        // Now import this circuit, redirecting substituted inputs.
+        let offset = result.gates.len();
+        let mut map = vec![GateId(0); self.gates.len()];
+        for (i, gate) in self.gates.iter().enumerate() {
+            let new_id = match gate {
+                Gate::Input(v) => {
+                    if let Some(&target) = imported.get(v) {
+                        map[i] = target;
+                        continue;
+                    } else {
+                        result.push(Gate::Input(*v))
+                    }
+                }
+                Gate::Const(b) => result.push(Gate::Const(*b)),
+                Gate::And(xs) => {
+                    let mapped = xs.iter().map(|g| map[g.0]).collect();
+                    result.push(Gate::And(mapped))
+                }
+                Gate::Or(xs) => {
+                    let mapped = xs.iter().map(|g| map[g.0]).collect();
+                    result.push(Gate::Or(mapped))
+                }
+                Gate::Not(x) => result.push(Gate::Not(map[x.0])),
+            };
+            map[i] = new_id;
+        }
+        let _ = offset;
+        if let Some(out) = self.output {
+            result.output = Some(map[out.0]);
+        }
+        Ok(result)
+    }
+
+    /// Returns an equivalent circuit in which every AND/OR gate has fan-in at
+    /// most two, by expanding wide gates into left-deep chains.
+    ///
+    /// Binarisation matters for the treewidth-based back-end: a gate of
+    /// fan-in `k` forces a clique of size `k + 1` into the circuit graph,
+    /// whereas its binarised chain only adds constraints of scope 3. For
+    /// lineage circuits built over path- or tree-shaped data, the binarised
+    /// circuit graph keeps bounded treewidth, which is what Theorems 1 and 2
+    /// rely on.
+    pub fn binarize(&self) -> Circuit {
+        let mut result = Circuit::new();
+        let mut map: Vec<GateId> = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let id = match gate {
+                Gate::Input(v) => result.add_input(*v),
+                Gate::Const(b) => result.add_const(*b),
+                Gate::Not(x) => result.add_not(map[x.0]),
+                Gate::And(xs) => match xs.len() {
+                    0 => result.add_const(true),
+                    1 => map[xs[0].0],
+                    _ => {
+                        let mut acc = map[xs[0].0];
+                        for x in &xs[1..] {
+                            acc = result.add_and(vec![acc, map[x.0]]);
+                        }
+                        acc
+                    }
+                },
+                Gate::Or(xs) => match xs.len() {
+                    0 => result.add_const(false),
+                    1 => map[xs[0].0],
+                    _ => {
+                        let mut acc = map[xs[0].0];
+                        for x in &xs[1..] {
+                            acc = result.add_or(vec![acc, map[x.0]]);
+                        }
+                        acc
+                    }
+                },
+            };
+            map.push(id);
+        }
+        if let Some(out) = self.output {
+            result.output = Some(map[out.0]);
+        }
+        result
+    }
+
+    /// The largest fan-in over all gates.
+    pub fn max_fanin(&self) -> usize {
+        self.gates.iter().map(|g| g.inputs().len()).max().unwrap_or(0)
+    }
+
+    /// Returns an equivalent circuit with constants propagated and gates not
+    /// reachable from the output removed. The output gate is preserved
+    /// semantically (it may become a constant).
+    pub fn simplify(&self) -> Result<Circuit, CircuitError> {
+        let out = self.output.ok_or(CircuitError::NoOutput)?;
+        // First pass: constant folding bottom-up, producing either a constant
+        // or a pending gate description.
+        #[derive(Clone)]
+        enum Folded {
+            Const(bool),
+            Gate(Gate),
+        }
+        let mut folded: Vec<Folded> = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let f = match gate {
+                Gate::Input(v) => Folded::Gate(Gate::Input(*v)),
+                Gate::Const(b) => Folded::Const(*b),
+                Gate::And(xs) => {
+                    let mut kept = Vec::new();
+                    let mut value = Some(true);
+                    for &x in xs {
+                        match &folded[x.0] {
+                            Folded::Const(false) => {
+                                value = Some(false);
+                                kept.clear();
+                                break;
+                            }
+                            Folded::Const(true) => {}
+                            Folded::Gate(_) => {
+                                value = None;
+                                kept.push(x);
+                            }
+                        }
+                    }
+                    match value {
+                        Some(b) => Folded::Const(b),
+                        None if kept.len() == 1 => folded[kept[0].0].clone(),
+                        None => Folded::Gate(Gate::And(kept)),
+                    }
+                }
+                Gate::Or(xs) => {
+                    let mut kept = Vec::new();
+                    let mut value = Some(false);
+                    for &x in xs {
+                        match &folded[x.0] {
+                            Folded::Const(true) => {
+                                value = Some(true);
+                                kept.clear();
+                                break;
+                            }
+                            Folded::Const(false) => {}
+                            Folded::Gate(_) => {
+                                value = None;
+                                kept.push(x);
+                            }
+                        }
+                    }
+                    match value {
+                        Some(b) => Folded::Const(b),
+                        None if kept.len() == 1 => folded[kept[0].0].clone(),
+                        None => Folded::Gate(Gate::Or(kept)),
+                    }
+                }
+                Gate::Not(x) => match &folded[x.0] {
+                    Folded::Const(b) => Folded::Const(!b),
+                    Folded::Gate(_) => Folded::Gate(Gate::Not(*x)),
+                },
+            };
+            folded.push(f);
+        }
+        // Second pass: rebuild only the gates reachable from the output.
+        // We rebuild *all* folded gates in order but share leaves aggressively;
+        // unreachable gates are then dropped by a reachability filter.
+        let mut result = Circuit::new();
+        let mut map: Vec<Option<GateId>> = vec![None; self.gates.len()];
+        // Mark reachable original gates (through the folded structure).
+        let mut reachable = vec![false; self.gates.len()];
+        let mut stack = vec![out.0];
+        reachable[out.0] = true;
+        while let Some(i) = stack.pop() {
+            let inputs: Vec<GateId> = match &folded[i] {
+                Folded::Const(_) => Vec::new(),
+                Folded::Gate(g) => g.inputs().to_vec(),
+            };
+            for x in inputs {
+                if !reachable[x.0] {
+                    reachable[x.0] = true;
+                    stack.push(x.0);
+                }
+            }
+        }
+        for i in 0..self.gates.len() {
+            if !reachable[i] {
+                continue;
+            }
+            let id = match &folded[i] {
+                Folded::Const(b) => result.add_const(*b),
+                Folded::Gate(Gate::Input(v)) => result.add_input(*v),
+                Folded::Gate(Gate::And(xs)) => {
+                    let mapped = xs.iter().map(|x| map[x.0].expect("input built")).collect();
+                    result.add_and(mapped)
+                }
+                Folded::Gate(Gate::Or(xs)) => {
+                    let mapped = xs.iter().map(|x| map[x.0].expect("input built")).collect();
+                    result.add_or(mapped)
+                }
+                Folded::Gate(Gate::Not(x)) => {
+                    let mapped = map[x.0].expect("input built");
+                    result.add_not(mapped)
+                }
+                Folded::Gate(Gate::Const(b)) => result.add_const(*b),
+            };
+            map[i] = Some(id);
+        }
+        result.output = Some(map[out.0].expect("output built"));
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(pairs: &[(usize, bool)]) -> BTreeMap<VarId, bool> {
+        pairs.iter().map(|&(v, b)| (VarId(v), b)).collect()
+    }
+
+    /// (x0 AND x1) OR NOT x2
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let x0 = c.add_input(VarId(0));
+        let x1 = c.add_input(VarId(1));
+        let x2 = c.add_input(VarId(2));
+        let and = c.add_and(vec![x0, x1]);
+        let not = c.add_not(x2);
+        let or = c.add_or(vec![and, not]);
+        c.set_output(or);
+        c
+    }
+
+    #[test]
+    fn evaluation_matches_truth_table() {
+        let c = sample_circuit();
+        let cases = [
+            ((false, false, false), true),
+            ((false, false, true), false),
+            ((true, true, true), true),
+            ((true, false, true), false),
+            ((true, true, false), true),
+        ];
+        for ((a, b, d), expected) in cases {
+            let asg = assignment(&[(0, a), (1, b), (2, d)]);
+            assert_eq!(c.evaluate(&asg).unwrap(), expected, "{a} {b} {d}");
+        }
+    }
+
+    #[test]
+    fn missing_variable_is_an_error() {
+        let c = sample_circuit();
+        let asg = assignment(&[(0, true), (1, true)]);
+        assert_eq!(
+            c.evaluate(&asg),
+            Err(CircuitError::UnassignedVariable(VarId(2)))
+        );
+    }
+
+    #[test]
+    fn no_output_is_an_error() {
+        let mut c = Circuit::new();
+        c.add_input(VarId(0));
+        assert_eq!(c.evaluate(&assignment(&[(0, true)])), Err(CircuitError::NoOutput));
+    }
+
+    #[test]
+    fn variables_are_collected() {
+        let c = sample_circuit();
+        let vars: Vec<_> = c.variables().into_iter().map(|v| v.0).collect();
+        assert_eq!(vars, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn monotonicity_detection() {
+        let c = sample_circuit();
+        assert!(!c.is_monotone());
+        let mut m = Circuit::new();
+        let a = m.add_input(VarId(0));
+        let b = m.add_input(VarId(1));
+        let and = m.add_and(vec![a, b]);
+        m.set_output(and);
+        assert!(m.is_monotone());
+    }
+
+    #[test]
+    fn gate_statistics() {
+        let c = sample_circuit();
+        assert_eq!(c.gate_counts(), (3, 0, 1, 1, 1));
+        assert_eq!(c.wire_count(), 2 + 1 + 2);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_reference_panics() {
+        let mut c = Circuit::new();
+        c.add_and(vec![GateId(5)]);
+    }
+
+    #[test]
+    fn empty_and_or_have_neutral_values() {
+        let mut c = Circuit::new();
+        let and = c.add_and(vec![]);
+        c.set_output(and);
+        assert!(c.evaluate(&BTreeMap::new()).unwrap());
+        let mut c = Circuit::new();
+        let or = c.add_or(vec![]);
+        c.set_output(or);
+        assert!(!c.evaluate(&BTreeMap::new()).unwrap());
+    }
+
+    #[test]
+    fn substitution_replaces_fact_variables_by_annotations() {
+        // Lineage: f0 AND f1. Annotations: f0 := e0 OR e1, f1 := NOT e0.
+        let mut lineage = Circuit::new();
+        let f0 = lineage.add_input(VarId(100));
+        let f1 = lineage.add_input(VarId(101));
+        let and = lineage.add_and(vec![f0, f1]);
+        lineage.set_output(and);
+
+        let mut ann0 = Circuit::new();
+        let e0 = ann0.add_input(VarId(0));
+        let e1 = ann0.add_input(VarId(1));
+        let or = ann0.add_or(vec![e0, e1]);
+        ann0.set_output(or);
+
+        let mut ann1 = Circuit::new();
+        let e0b = ann1.add_input(VarId(0));
+        let not = ann1.add_not(e0b);
+        ann1.set_output(not);
+
+        let mut subst = BTreeMap::new();
+        subst.insert(VarId(100), ann0);
+        subst.insert(VarId(101), ann1);
+        let combined = lineage.substitute(&subst).unwrap();
+
+        // Combined formula: (e0 OR e1) AND (NOT e0) ≡ e1 AND NOT e0.
+        assert!(combined
+            .evaluate(&assignment(&[(0, false), (1, true)]))
+            .unwrap());
+        assert!(!combined
+            .evaluate(&assignment(&[(0, true), (1, true)]))
+            .unwrap());
+        assert!(!combined
+            .evaluate(&assignment(&[(0, false), (1, false)]))
+            .unwrap());
+        // The fact variables are gone.
+        assert!(!combined.variables().contains(&VarId(100)));
+        assert!(!combined.variables().contains(&VarId(101)));
+    }
+
+    #[test]
+    fn substitution_keeps_untouched_variables() {
+        let mut lineage = Circuit::new();
+        let f0 = lineage.add_input(VarId(100));
+        let f1 = lineage.add_input(VarId(101));
+        let or = lineage.add_or(vec![f0, f1]);
+        lineage.set_output(or);
+
+        let mut ann = Circuit::new();
+        let e = ann.add_input(VarId(0));
+        ann.set_output(e);
+
+        let mut subst = BTreeMap::new();
+        subst.insert(VarId(100), ann);
+        let combined = lineage.substitute(&subst).unwrap();
+        assert!(combined.variables().contains(&VarId(101)));
+        assert!(combined.variables().contains(&VarId(0)));
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let mut c = Circuit::new();
+        let t = c.add_const(true);
+        let x = c.add_input(VarId(0));
+        let and = c.add_and(vec![t, x]);
+        let f = c.add_const(false);
+        let or = c.add_or(vec![and, f]);
+        c.set_output(or);
+        let s = c.simplify().unwrap();
+        // Should reduce to just the input gate x0 (possibly plus nothing else).
+        assert!(s.len() <= 2, "got {} gates", s.len());
+        assert!(s.evaluate(&assignment(&[(0, true)])).unwrap());
+        assert!(!s.evaluate(&assignment(&[(0, false)])).unwrap());
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_on_sample() {
+        let c = sample_circuit();
+        let s = c.simplify().unwrap();
+        for bits in 0..8u32 {
+            let asg = assignment(&[
+                (0, bits & 1 != 0),
+                (1, bits & 2 != 0),
+                (2, bits & 4 != 0),
+            ]);
+            assert_eq!(c.evaluate(&asg).unwrap(), s.evaluate(&asg).unwrap());
+        }
+    }
+
+    #[test]
+    fn simplify_constant_output() {
+        let mut c = Circuit::new();
+        let x = c.add_input(VarId(0));
+        let nx = c.add_not(x);
+        let and = c.add_and(vec![x, nx]);
+        // x AND NOT x is not folded (we only fold constants), but OR with true is.
+        let t = c.add_const(true);
+        let or = c.add_or(vec![and, t]);
+        c.set_output(or);
+        let s = c.simplify().unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.evaluate(&assignment(&[(0, false)])).unwrap());
+    }
+}

@@ -1,0 +1,211 @@
+//! The naive possible-world enumeration baseline.
+//!
+//! The paper's introduction points out that representing and querying all
+//! possible worlds explicitly is hopeless because there are exponentially
+//! many of them. This module implements exactly that strawman so that the
+//! benchmarks can show the crossover against the structural approaches:
+//! the probability of a circuit is computed by enumerating all `2^n`
+//! assignments of its variables.
+
+use crate::circuit::{Circuit, CircuitError, VarId};
+use crate::weights::Weights;
+use std::collections::BTreeMap;
+
+/// Hard cap on the number of variables the enumerator accepts, to avoid
+/// accidentally running a `2^60`-world loop in tests.
+pub const ENUMERATION_LIMIT: usize = 30;
+
+/// Errors specific to the enumeration back-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerationError {
+    /// The circuit has more variables than [`ENUMERATION_LIMIT`].
+    TooManyVariables(usize),
+    /// An underlying circuit error.
+    Circuit(CircuitError),
+}
+
+impl std::fmt::Display for EnumerationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumerationError::TooManyVariables(n) => {
+                write!(f, "{n} variables exceed the enumeration limit of {ENUMERATION_LIMIT}")
+            }
+            EnumerationError::Circuit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnumerationError {}
+
+impl From<CircuitError> for EnumerationError {
+    fn from(e: CircuitError) -> Self {
+        EnumerationError::Circuit(e)
+    }
+}
+
+/// Computes the probability that the circuit's output is true by enumerating
+/// every assignment of its variables (`O(2^n · |C|)`).
+pub fn probability_by_enumeration(
+    circuit: &Circuit,
+    weights: &Weights,
+) -> Result<f64, EnumerationError> {
+    let vars: Vec<VarId> = circuit.variables().into_iter().collect();
+    if vars.len() > ENUMERATION_LIMIT {
+        return Err(EnumerationError::TooManyVariables(vars.len()));
+    }
+    // Check weights up front so the error is deterministic.
+    for &v in &vars {
+        weights.weight(v, true)?;
+    }
+    let mut total = 0.0;
+    for bits in 0..(1u64 << vars.len()) {
+        let mut assignment = BTreeMap::new();
+        let mut weight = 1.0;
+        for (i, &v) in vars.iter().enumerate() {
+            let value = bits & (1 << i) != 0;
+            assignment.insert(v, value);
+            weight *= weights.weight(v, value)?;
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        if circuit.evaluate(&assignment)? {
+            total += weight;
+        }
+    }
+    Ok(total)
+}
+
+/// Counts the models (satisfying assignments) of the circuit over its
+/// variables by enumeration. Returns the number of satisfying assignments.
+pub fn count_models_by_enumeration(circuit: &Circuit) -> Result<u64, EnumerationError> {
+    let vars: Vec<VarId> = circuit.variables().into_iter().collect();
+    if vars.len() > ENUMERATION_LIMIT {
+        return Err(EnumerationError::TooManyVariables(vars.len()));
+    }
+    let mut count = 0;
+    for bits in 0..(1u64 << vars.len()) {
+        let assignment: BTreeMap<VarId, bool> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, bits & (1 << i) != 0))
+            .collect();
+        if circuit.evaluate(&assignment)? {
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+/// True if some assignment satisfies the circuit (possibility).
+pub fn is_possible(circuit: &Circuit) -> Result<bool, EnumerationError> {
+    Ok(count_models_by_enumeration(circuit)? > 0)
+}
+
+/// True if every assignment satisfies the circuit (certainty).
+pub fn is_certain(circuit: &Circuit) -> Result<bool, EnumerationError> {
+    let vars = circuit.variables().len() as u32;
+    Ok(count_models_by_enumeration(circuit)? == 1u64 << vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::VarId;
+
+    fn xor_circuit() -> Circuit {
+        // x XOR y = (x AND NOT y) OR (NOT x AND y)
+        let mut c = Circuit::new();
+        let x = c.add_input(VarId(0));
+        let y = c.add_input(VarId(1));
+        let nx = c.add_not(x);
+        let ny = c.add_not(y);
+        let a = c.add_and(vec![x, ny]);
+        let b = c.add_and(vec![nx, y]);
+        let or = c.add_or(vec![a, b]);
+        c.set_output(or);
+        c
+    }
+
+    #[test]
+    fn xor_probability() {
+        let c = xor_circuit();
+        let mut w = Weights::new();
+        w.set(VarId(0), 0.3);
+        w.set(VarId(1), 0.6);
+        // P(xor) = 0.3·0.4 + 0.7·0.6 = 0.54
+        let p = probability_by_enumeration(&c, &w).unwrap();
+        assert!((p - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_model_count() {
+        let c = xor_circuit();
+        assert_eq!(count_models_by_enumeration(&c).unwrap(), 2);
+    }
+
+    #[test]
+    fn possibility_and_certainty() {
+        let c = xor_circuit();
+        assert!(is_possible(&c).unwrap());
+        assert!(!is_certain(&c).unwrap());
+
+        let mut tautology = Circuit::new();
+        let x = tautology.add_input(VarId(0));
+        let nx = tautology.add_not(x);
+        let or = tautology.add_or(vec![x, nx]);
+        tautology.set_output(or);
+        assert!(is_certain(&tautology).unwrap());
+
+        let mut contradiction = Circuit::new();
+        let x = contradiction.add_input(VarId(0));
+        let nx = contradiction.add_not(x);
+        let and = contradiction.add_and(vec![x, nx]);
+        contradiction.set_output(and);
+        assert!(!is_possible(&contradiction).unwrap());
+    }
+
+    #[test]
+    fn variable_free_circuit() {
+        let mut c = Circuit::new();
+        let t = c.add_const(true);
+        c.set_output(t);
+        assert_eq!(probability_by_enumeration(&c, &Weights::new()).unwrap(), 1.0);
+        assert_eq!(count_models_by_enumeration(&c).unwrap(), 1);
+    }
+
+    #[test]
+    fn refuses_huge_circuits() {
+        let mut c = Circuit::new();
+        let inputs: Vec<_> = (0..=ENUMERATION_LIMIT)
+            .map(|i| c.add_input(VarId(i)))
+            .collect();
+        let or = c.add_or(inputs);
+        c.set_output(or);
+        assert!(matches!(
+            count_models_by_enumeration(&c),
+            Err(EnumerationError::TooManyVariables(_))
+        ));
+    }
+
+    #[test]
+    fn missing_weight_error_propagates() {
+        let c = xor_circuit();
+        let w = Weights::new();
+        assert!(matches!(
+            probability_by_enumeration(&c, &w),
+            Err(EnumerationError::Circuit(CircuitError::UnassignedVariable(_)))
+        ));
+    }
+
+    #[test]
+    fn deterministic_variables_short_circuit() {
+        // With P(x) = 1 the x = false worlds have weight 0 and are skipped.
+        let c = xor_circuit();
+        let mut w = Weights::new();
+        w.set(VarId(0), 1.0);
+        w.set(VarId(1), 0.25);
+        let p = probability_by_enumeration(&c, &w).unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+}

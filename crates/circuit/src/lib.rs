@@ -1,0 +1,65 @@
+//! # stuc-circuit — Boolean circuits, provenance, and exact probability
+//!
+//! Lineage circuits are the central data structure of the paper's approach:
+//! running a tree automaton over the tree encoding of a bounded-treewidth
+//! uncertain instance produces a Boolean circuit `C` describing *which
+//! possible worlds satisfy the query*; because `C` itself has bounded
+//! treewidth, the probability that the query holds can be computed exactly
+//! by message passing over a tree decomposition of `C` (Theorems 1 and 2).
+//!
+//! This crate provides:
+//!
+//! * [`circuit`] — the circuit representation (inputs, constants, AND, OR,
+//!   NOT gates), evaluation, substitution and structural statistics.
+//! * [`semiring`] — semiring provenance for monotone circuits (Boolean,
+//!   counting, tropical, Why-provenance), matching the paper's observation
+//!   that lineage circuits are provenance circuits for absorptive semirings.
+//! * [`weights`] — probability assignments to input variables.
+//! * [`enumeration`] — the naive possible-world enumeration baseline
+//!   (exponential; the paper's "cannot represent them all, much less query
+//!   them" strawman).
+//! * [`dpll`] — a Shannon-expansion / DPLL-style weighted model counter with
+//!   constant propagation and memoisation (a knowledge-compilation-flavoured
+//!   baseline).
+//! * [`wmc`] — the flagship back-end: exact weighted model counting by
+//!   dynamic programming over a (nice) tree decomposition of the circuit
+//!   graph, i.e. the "standard message passing techniques" of the paper.
+//! * [`builder`] — convenience builders for common circuit shapes used by
+//!   tests, examples and benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use stuc_circuit::circuit::{Circuit, VarId};
+//! use stuc_circuit::weights::Weights;
+//! use stuc_circuit::wmc::TreewidthWmc;
+//!
+//! // (x AND y) OR z
+//! let mut c = Circuit::new();
+//! let x = c.add_input(VarId(0));
+//! let y = c.add_input(VarId(1));
+//! let z = c.add_input(VarId(2));
+//! let and = c.add_and(vec![x, y]);
+//! let or = c.add_or(vec![and, z]);
+//! c.set_output(or);
+//!
+//! let mut w = Weights::new();
+//! w.set(VarId(0), 0.5);
+//! w.set(VarId(1), 0.5);
+//! w.set(VarId(2), 0.5);
+//!
+//! let p = TreewidthWmc::default().probability(&c, &w).unwrap();
+//! assert!((p - 0.625).abs() < 1e-12);
+//! ```
+
+pub mod builder;
+pub mod circuit;
+pub mod dpll;
+pub mod enumeration;
+pub mod semiring;
+pub mod weights;
+pub mod wmc;
+
+pub use circuit::{Circuit, Gate, GateId, VarId};
+pub use weights::Weights;
+pub use wmc::TreewidthWmc;

@@ -1,0 +1,331 @@
+//! Semiring provenance on monotone circuits.
+//!
+//! The paper observes (Section 2.2) that for monotone queries the lineage
+//! circuits produced by the automaton run are *provenance circuits* in the
+//! sense of Deutch–Milo–Roy–Tannen, matching the standard semiring
+//! definitions of Green–Karvounarakis–Tannen for **absorptive** semirings.
+//! This module provides the semiring abstraction, several standard
+//! instances, and the evaluation of a monotone circuit in any of them
+//! (experiment E8).
+
+use crate::circuit::{Circuit, Gate, VarId};
+use std::collections::BTreeSet;
+
+/// A commutative semiring `(K, ⊕, ⊗, 0, 1)`.
+///
+/// `⊕` interprets OR gates (alternative derivations) and `⊗` interprets AND
+/// gates (joint use of inputs).
+pub trait Semiring: Clone {
+    /// The additive identity (interpretation of an empty OR).
+    fn zero() -> Self;
+    /// The multiplicative identity (interpretation of an empty AND).
+    fn one() -> Self;
+    /// Addition (OR).
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication (AND).
+    fn mul(&self, other: &Self) -> Self;
+}
+
+/// Errors raised when evaluating provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvenanceError {
+    /// The circuit contains a NOT gate; semiring provenance is only defined
+    /// for monotone circuits.
+    NotMonotone,
+    /// The circuit has no output gate.
+    NoOutput,
+}
+
+impl std::fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvenanceError::NotMonotone => {
+                write!(f, "semiring provenance requires a monotone circuit")
+            }
+            ProvenanceError::NoOutput => write!(f, "circuit has no output gate"),
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
+
+/// Evaluates a monotone circuit in a semiring, mapping each input variable to
+/// an element via `annotation`.
+pub fn evaluate_provenance<S: Semiring>(
+    circuit: &Circuit,
+    annotation: impl Fn(VarId) -> S,
+) -> Result<S, ProvenanceError> {
+    let output = circuit.output().ok_or(ProvenanceError::NoOutput)?;
+    let mut values: Vec<S> = Vec::with_capacity(circuit.len());
+    for (_, gate) in circuit.iter() {
+        let value = match gate {
+            Gate::Input(v) => annotation(*v),
+            Gate::Const(true) => S::one(),
+            Gate::Const(false) => S::zero(),
+            Gate::And(xs) => xs
+                .iter()
+                .fold(S::one(), |acc, x| acc.mul(&values[x.0])),
+            Gate::Or(xs) => xs
+                .iter()
+                .fold(S::zero(), |acc, x| acc.add(&values[x.0])),
+            Gate::Not(_) => return Err(ProvenanceError::NotMonotone),
+        };
+        values.push(value);
+    }
+    Ok(values[output.0].clone())
+}
+
+/// The Boolean semiring `({false, true}, ∨, ∧)`: plain query evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoolSemiring(pub bool);
+
+impl Semiring for BoolSemiring {
+    fn zero() -> Self {
+        BoolSemiring(false)
+    }
+    fn one() -> Self {
+        BoolSemiring(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        BoolSemiring(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        BoolSemiring(self.0 && other.0)
+    }
+}
+
+/// The counting semiring `(ℕ, +, ×)`: number of derivations (bag semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSemiring(pub u64);
+
+impl Semiring for CountingSemiring {
+    fn zero() -> Self {
+        CountingSemiring(0)
+    }
+    fn one() -> Self {
+        CountingSemiring(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        CountingSemiring(self.0.saturating_add(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        CountingSemiring(self.0.saturating_mul(other.0))
+    }
+}
+
+/// The tropical (min-plus) semiring: cheapest derivation cost. `None` is the
+/// additive identity `+∞`. This semiring is absorptive, so the paper's
+/// provenance-circuit correspondence applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TropicalSemiring(pub Option<u64>);
+
+impl TropicalSemiring {
+    /// A finite cost.
+    pub fn cost(c: u64) -> Self {
+        TropicalSemiring(Some(c))
+    }
+}
+
+impl Semiring for TropicalSemiring {
+    fn zero() -> Self {
+        TropicalSemiring(None)
+    }
+    fn one() -> Self {
+        TropicalSemiring(Some(0))
+    }
+    fn add(&self, other: &Self) -> Self {
+        TropicalSemiring(match (self.0, other.0) {
+            (None, x) | (x, None) => x,
+            (Some(a), Some(b)) => Some(a.min(b)),
+        })
+    }
+    fn mul(&self, other: &Self) -> Self {
+        TropicalSemiring(match (self.0, other.0) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        })
+    }
+}
+
+/// Why-provenance: the set of minimal witness sets (an absorptive semiring of
+/// antichains of variable sets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhyProvenance(pub BTreeSet<BTreeSet<VarId>>);
+
+impl WhyProvenance {
+    /// The provenance of a single variable: one singleton witness.
+    pub fn var(v: VarId) -> Self {
+        WhyProvenance(BTreeSet::from([BTreeSet::from([v])]))
+    }
+
+    /// Removes non-minimal witness sets (absorption: `a + ab = a`).
+    fn minimise(sets: BTreeSet<BTreeSet<VarId>>) -> Self {
+        let minimal: BTreeSet<BTreeSet<VarId>> = sets
+            .iter()
+            .filter(|s| {
+                !sets
+                    .iter()
+                    .any(|other| other != *s && other.is_subset(s))
+            })
+            .cloned()
+            .collect();
+        WhyProvenance(minimal)
+    }
+}
+
+impl Semiring for WhyProvenance {
+    fn zero() -> Self {
+        WhyProvenance(BTreeSet::new())
+    }
+    fn one() -> Self {
+        WhyProvenance(BTreeSet::from([BTreeSet::new()]))
+    }
+    fn add(&self, other: &Self) -> Self {
+        let union: BTreeSet<BTreeSet<VarId>> = self.0.union(&other.0).cloned().collect();
+        WhyProvenance::minimise(union)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let mut product = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                product.insert(a.union(b).cloned().collect());
+            }
+        }
+        WhyProvenance::minimise(product)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::circuit::Circuit;
+
+    /// (x0 AND x1) OR x2
+    fn sample() -> Circuit {
+        let mut c = Circuit::new();
+        let x0 = c.add_input(VarId(0));
+        let x1 = c.add_input(VarId(1));
+        let x2 = c.add_input(VarId(2));
+        let and = c.add_and(vec![x0, x1]);
+        let or = c.add_or(vec![and, x2]);
+        c.set_output(or);
+        c
+    }
+
+    #[test]
+    fn boolean_semiring_matches_evaluation() {
+        let c = sample();
+        // x2 = true makes the output true regardless of the rest.
+        let value = evaluate_provenance(&c, |v| BoolSemiring(v == VarId(2))).unwrap();
+        assert!(value.0);
+        let value = evaluate_provenance(&c, |v| BoolSemiring(v == VarId(0))).unwrap();
+        assert!(!value.0);
+    }
+
+    #[test]
+    fn counting_semiring_counts_derivations() {
+        let c = sample();
+        // Each variable present once: derivations are {x0x1} and {x2}: 1·1 + 1 = 2.
+        let value = evaluate_provenance(&c, |_| CountingSemiring(1)).unwrap();
+        assert_eq!(value.0, 2);
+    }
+
+    #[test]
+    fn tropical_semiring_finds_cheapest_derivation() {
+        let c = sample();
+        // Costs: x0 = 1, x1 = 2, x2 = 5. Cheapest derivation: x0 AND x1 = 3.
+        let value = evaluate_provenance(&c, |v| TropicalSemiring::cost(match v.0 {
+            0 => 1,
+            1 => 2,
+            _ => 5,
+        }))
+        .unwrap();
+        assert_eq!(value, TropicalSemiring::cost(3));
+    }
+
+    #[test]
+    fn tropical_zero_annotations_mean_unavailable() {
+        let c = builder::conjunction(2);
+        let value = evaluate_provenance(&c, |v| {
+            if v.0 == 0 { TropicalSemiring::zero() } else { TropicalSemiring::cost(1) }
+        })
+        .unwrap();
+        assert_eq!(value, TropicalSemiring::zero());
+    }
+
+    #[test]
+    fn why_provenance_lists_minimal_witnesses() {
+        let c = sample();
+        let value = evaluate_provenance(&c, WhyProvenance::var).unwrap();
+        let expected = BTreeSet::from([
+            BTreeSet::from([VarId(0), VarId(1)]),
+            BTreeSet::from([VarId(2)]),
+        ]);
+        assert_eq!(value.0, expected);
+    }
+
+    #[test]
+    fn why_provenance_absorption() {
+        // (x0) OR (x0 AND x1) should absorb to just {x0}.
+        let mut c = Circuit::new();
+        let x0 = c.add_input(VarId(0));
+        let x1 = c.add_input(VarId(1));
+        let and = c.add_and(vec![x0, x1]);
+        let or = c.add_or(vec![x0, and]);
+        c.set_output(or);
+        let value = evaluate_provenance(&c, WhyProvenance::var).unwrap();
+        assert_eq!(value.0, BTreeSet::from([BTreeSet::from([VarId(0)])]));
+    }
+
+    #[test]
+    fn non_monotone_circuits_are_rejected() {
+        let mut c = Circuit::new();
+        let x = c.add_input(VarId(0));
+        let n = c.add_not(x);
+        c.set_output(n);
+        assert_eq!(
+            evaluate_provenance(&c, |_| BoolSemiring(true)),
+            Err(ProvenanceError::NotMonotone)
+        );
+    }
+
+    #[test]
+    fn missing_output_is_rejected() {
+        let mut c = Circuit::new();
+        c.add_input(VarId(0));
+        assert_eq!(
+            evaluate_provenance(&c, |_| BoolSemiring(true)),
+            Err(ProvenanceError::NoOutput)
+        );
+    }
+
+    #[test]
+    fn constants_map_to_identities() {
+        let mut c = Circuit::new();
+        let t = c.add_const(true);
+        let f = c.add_const(false);
+        let or = c.add_or(vec![t, f]);
+        c.set_output(or);
+        let count = evaluate_provenance(&c, |_| CountingSemiring(7)).unwrap();
+        assert_eq!(count.0, 1);
+    }
+
+    #[test]
+    fn semiring_laws_hold_for_samples() {
+        // Spot-check associativity/commutativity/absorption interactions on
+        // the Why semiring with a few concrete values.
+        let a = WhyProvenance::var(VarId(0));
+        let b = WhyProvenance::var(VarId(1));
+        let c = WhyProvenance::var(VarId(2));
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        assert_eq!(a.mul(&WhyProvenance::one()), a);
+        assert_eq!(a.add(&WhyProvenance::zero()), a);
+        assert_eq!(a.mul(&WhyProvenance::zero()), WhyProvenance::zero());
+        // Absorption: a + a·b = a
+        assert_eq!(a.add(&a.mul(&b)), a);
+    }
+}

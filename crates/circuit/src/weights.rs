@@ -1,0 +1,148 @@
+//! Probability weights on event variables.
+//!
+//! A [`Weights`] table assigns to each event variable an independent marginal
+//! probability of being true — exactly the probabilistic layer that turns a
+//! c-instance into a pc-instance, or a PrXML document into a distribution on
+//! documents. All probability back-ends consume this table.
+
+use crate::circuit::{CircuitError, VarId};
+use std::collections::BTreeMap;
+
+/// Independent marginal probabilities for event variables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Weights {
+    probabilities: BTreeMap<VarId, f64>,
+}
+
+impl Weights {
+    /// Creates an empty weight table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the probability that `v` is true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability (outside `[0, 1]` or NaN).
+    pub fn set(&mut self, v: VarId, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability {p} for {v} is outside [0, 1]"
+        );
+        self.probabilities.insert(v, p);
+    }
+
+    /// The probability that `v` is true, if assigned.
+    pub fn get(&self, v: VarId) -> Option<f64> {
+        self.probabilities.get(&v).copied()
+    }
+
+    /// The weight of `v` taking the given value, or an error if unassigned.
+    pub fn weight(&self, v: VarId, value: bool) -> Result<f64, CircuitError> {
+        let p = self
+            .probabilities
+            .get(&v)
+            .copied()
+            .ok_or(CircuitError::UnassignedVariable(v))?;
+        Ok(if value { p } else { 1.0 - p })
+    }
+
+    /// Number of variables with an assigned probability.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// True when no variable has an assigned probability.
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+
+    /// Iterator over `(variable, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.probabilities.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// True if every variable in `vars` has an assigned probability.
+    pub fn covers<'a>(&self, vars: impl IntoIterator<Item = &'a VarId>) -> bool {
+        vars.into_iter().all(|v| self.probabilities.contains_key(v))
+    }
+
+    /// Builds a weight table where every listed variable gets probability `p`.
+    pub fn uniform(vars: impl IntoIterator<Item = VarId>, p: f64) -> Self {
+        let mut w = Weights::new();
+        for v in vars {
+            w.set(v, p);
+        }
+        w
+    }
+
+    /// Overwrites the probability of `v` with 0 or 1, used by conditioning.
+    pub fn fix(&mut self, v: VarId, value: bool) {
+        self.probabilities.insert(v, if value { 1.0 } else { 0.0 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut w = Weights::new();
+        w.set(VarId(3), 0.25);
+        assert_eq!(w.get(VarId(3)), Some(0.25));
+        assert_eq!(w.get(VarId(4)), None);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn weight_of_true_and_false() {
+        let mut w = Weights::new();
+        w.set(VarId(0), 0.7);
+        assert!((w.weight(VarId(0), true).unwrap() - 0.7).abs() < 1e-12);
+        assert!((w.weight(VarId(0), false).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_weight_is_an_error() {
+        let w = Weights::new();
+        assert_eq!(
+            w.weight(VarId(1), true),
+            Err(CircuitError::UnassignedVariable(VarId(1)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_panics() {
+        let mut w = Weights::new();
+        w.set(VarId(0), 1.5);
+    }
+
+    #[test]
+    fn uniform_and_covers() {
+        let vars = [VarId(0), VarId(1), VarId(2)];
+        let w = Weights::uniform(vars, 0.5);
+        assert!(w.covers(vars.iter()));
+        assert!(!w.covers([VarId(9)].iter()));
+    }
+
+    #[test]
+    fn fix_overwrites() {
+        let mut w = Weights::uniform([VarId(0)], 0.4);
+        w.fix(VarId(0), true);
+        assert_eq!(w.get(VarId(0)), Some(1.0));
+        w.fix(VarId(0), false);
+        assert_eq!(w.get(VarId(0)), Some(0.0));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut w = Weights::new();
+        w.set(VarId(5), 0.1);
+        w.set(VarId(1), 0.2);
+        let order: Vec<_> = w.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(order, vec![1, 5]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # stuc-cond — conditioning uncertain data and choosing what to ask
+//!
+//! The paper's Section 4: an uncertain instance is *conditioned* when new
+//! observations force the outcome of some of its probabilistic events — for
+//! instance because a human expert (or a crowd worker) was asked. Two
+//! problems arise:
+//!
+//! 1. **Answer integration** ([`conditioning`]): revising the distribution.
+//!    Conditioning on the value of an *event* is cheap (fix the event and
+//!    renormalise, which for independent events is a no-op); conditioning on
+//!    the presence of a *fact* requires conditioning on its arbitrary
+//!    annotation, which is done by Bayes through the lineage back-ends and
+//!    stays tractable exactly when the involved circuits do.
+//! 2. **Question selection** ([`crowd`]): deciding what to ask next. The
+//!    value of a candidate question is measured by the expected reduction in
+//!    the uncertainty (entropy) of a target query; a simulated crowd oracle
+//!    with configurable reliability closes the loop (experiment E11).
+
+pub mod conditioning;
+pub mod crowd;
+
+pub use conditioning::{condition_on_event, conditioned_query_probability, ConditioningError};
+pub use crowd::{CrowdOracle, QuestionSelector};

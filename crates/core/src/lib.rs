@@ -1,0 +1,25 @@
+//! # stuc-core — the structurally tractable query evaluation pipeline
+//!
+//! The paper's headline contribution as a single façade:
+//!
+//! ```text
+//! uncertain instance ──► tree decomposition ──► automaton run over the
+//!   decomposition ──► lineage circuit ──► exact probability
+//! ```
+//!
+//! * [`pipeline`] — [`pipeline::TractablePipeline`]: Theorem 1 (linear-time
+//!   exact probability of a query on a bounded-treewidth TID instance) and
+//!   Theorem 2 (bounded-treewidth pcc-instances with correlated
+//!   annotations), together with possibility/certainty variants and the
+//!   intensional/extensional baselines the benchmarks compare against.
+//! * [`hybrid`] — the partial-decomposition idea sketched in Section 2.2:
+//!   a high-treewidth core handled by sampling, low-treewidth tentacles
+//!   handled exactly.
+//! * [`workloads`] — deterministic TID / pcc workload generators shared by
+//!   the examples, the integration tests and the benchmark harness.
+
+pub mod hybrid;
+pub mod pipeline;
+pub mod workloads;
+
+pub use pipeline::{EvaluationReport, PipelineError, TractablePipeline};

@@ -1,0 +1,318 @@
+//! The tractable evaluation pipeline (Theorems 1 and 2) and its baselines.
+
+use std::collections::BTreeMap;
+use stuc_automata::courcelle::{cq_lineage_circuit, cq_probability_tid, CourcelleError};
+use stuc_circuit::circuit::{Circuit, VarId};
+use stuc_circuit::dpll::DpllCounter;
+use stuc_circuit::enumeration::probability_by_enumeration;
+use stuc_circuit::weights::Weights;
+use stuc_circuit::wmc::{TreewidthWmc, WmcError};
+use stuc_data::pcc::PccInstance;
+use stuc_data::tid::TidInstance;
+use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+use stuc_graph::TreeDecomposition;
+use stuc_query::cq::ConjunctiveQuery;
+use stuc_query::lineage::tid_lineage;
+use stuc_query::safe::{safe_plan_probability, SafePlanError};
+
+/// Errors raised by the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The Courcelle-style run failed (query or anchoring limits).
+    Courcelle(CourcelleError),
+    /// The circuit back-end failed (width limit exceeded).
+    Wmc(WmcError),
+    /// The extensional baseline refused the query.
+    SafePlan(SafePlanError),
+    /// Some other back-end failure, with a description.
+    Backend(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Courcelle(e) => write!(f, "{e}"),
+            PipelineError::Wmc(e) => write!(f, "{e}"),
+            PipelineError::SafePlan(e) => write!(f, "{e}"),
+            PipelineError::Backend(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CourcelleError> for PipelineError {
+    fn from(e: CourcelleError) -> Self {
+        PipelineError::Courcelle(e)
+    }
+}
+
+impl From<WmcError> for PipelineError {
+    fn from(e: WmcError) -> Self {
+        PipelineError::Wmc(e)
+    }
+}
+
+impl From<SafePlanError> for PipelineError {
+    fn from(e: SafePlanError) -> Self {
+        PipelineError::SafePlan(e)
+    }
+}
+
+/// The outcome of a pipeline evaluation, with structural statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// The probability that the Boolean query holds.
+    pub probability: f64,
+    /// Width of the tree decomposition used for the instance.
+    pub decomposition_width: usize,
+    /// Number of facts in the instance.
+    pub fact_count: usize,
+}
+
+impl EvaluationReport {
+    /// The query is possible (holds in some world).
+    pub fn is_possible(&self) -> bool {
+        self.probability > 0.0
+    }
+
+    /// The query is certain (holds in every world), up to rounding.
+    pub fn is_certain(&self) -> bool {
+        (self.probability - 1.0).abs() < 1e-9
+    }
+}
+
+/// The structurally tractable evaluation pipeline.
+#[derive(Debug, Clone)]
+pub struct TractablePipeline {
+    /// Heuristic used to decompose the Gaifman / joint graphs.
+    pub heuristic: EliminationHeuristic,
+    /// Width limit passed to the circuit back-end.
+    pub max_bag_size: usize,
+}
+
+impl Default for TractablePipeline {
+    fn default() -> Self {
+        TractablePipeline { heuristic: EliminationHeuristic::MinDegree, max_bag_size: 22 }
+    }
+}
+
+impl TractablePipeline {
+    /// Decomposes the Gaifman graph of a TID instance.
+    pub fn decompose_tid(&self, tid: &TidInstance) -> TreeDecomposition {
+        decompose_with_heuristic(&tid.gaifman_graph(), self.heuristic)
+    }
+
+    /// **Theorem 1** — exact probability of a Boolean CQ on a TID instance,
+    /// by the deterministic automaton run over a tree decomposition of its
+    /// Gaifman graph. Linear-time data complexity at fixed width.
+    pub fn evaluate_cq_on_tid(
+        &self,
+        tid: &TidInstance,
+        query: &ConjunctiveQuery,
+    ) -> Result<EvaluationReport, PipelineError> {
+        let decomposition = self.decompose_tid(tid);
+        let probability = cq_probability_tid(tid, &decomposition, query)?;
+        Ok(EvaluationReport {
+            probability,
+            decomposition_width: decomposition.width(),
+            fact_count: tid.fact_count(),
+        })
+    }
+
+    /// The lineage circuit of a Boolean CQ on a TID instance, produced by the
+    /// nondeterministic automaton run (inputs are the per-fact events).
+    pub fn tid_lineage_circuit(
+        &self,
+        tid: &TidInstance,
+        query: &ConjunctiveQuery,
+    ) -> Result<Circuit, PipelineError> {
+        let decomposition = self.decompose_tid(tid);
+        Ok(cq_lineage_circuit(tid.instance(), &decomposition, query, |f| tid.fact_event(f))?)
+    }
+
+    /// **Theorem 2** — exact probability of a Boolean CQ on a pcc-instance:
+    /// the automaton run produces a lineage over per-fact variables, each
+    /// fact variable is substituted by the fact's annotation gate in the
+    /// shared circuit, and the resulting bounded-treewidth circuit is
+    /// evaluated by message passing.
+    pub fn evaluate_cq_on_pcc(
+        &self,
+        pcc: &PccInstance,
+        query: &ConjunctiveQuery,
+    ) -> Result<EvaluationReport, PipelineError> {
+        // Decompose the joint graph (instance + annotation circuit), whose
+        // width is the Theorem 2 parameter; report that width.
+        let joint = pcc.joint_graph();
+        let joint_decomposition = decompose_with_heuristic(&joint, self.heuristic);
+
+        // Run the automaton over the instance decomposition with one fresh
+        // variable per fact, then substitute annotations.
+        let instance_decomposition =
+            decompose_with_heuristic(&pcc.instance().gaifman_graph(), self.heuristic);
+        // Fact variables start above the event variables to avoid collisions.
+        let offset = pcc
+            .event_variables()
+            .iter()
+            .map(|v| v.0 + 1)
+            .max()
+            .unwrap_or(0);
+        let lineage = cq_lineage_circuit(pcc.instance(), &instance_decomposition, query, |f| {
+            VarId(offset + f.0)
+        })?;
+        // Substitute each fact variable by its annotation sub-circuit.
+        let mut substitution: BTreeMap<VarId, Circuit> = BTreeMap::new();
+        for (fid, _) in pcc.instance().facts() {
+            let mut annotation = pcc.annotation_circuit().clone();
+            annotation.set_output(pcc.fact_gate(fid));
+            substitution.insert(VarId(offset + fid.0), annotation);
+        }
+        let combined = lineage
+            .substitute(&substitution)
+            .map_err(|e| PipelineError::Backend(e.to_string()))?;
+        let wmc = TreewidthWmc {
+            heuristic: self.heuristic,
+            max_bag_size: self.max_bag_size,
+        };
+        let probability = wmc.probability(&combined, pcc.probabilities())?;
+        Ok(EvaluationReport {
+            probability,
+            decomposition_width: joint_decomposition.width(),
+            fact_count: pcc.fact_count(),
+        })
+    }
+
+    /// Intensional baseline: build the DNF-style lineage by enumerating
+    /// query matches and evaluate it with the DPLL counter (no treewidth
+    /// assumption; exponential in the worst case).
+    pub fn baseline_dpll(
+        &self,
+        tid: &TidInstance,
+        query: &ConjunctiveQuery,
+    ) -> Result<f64, PipelineError> {
+        let lineage = tid_lineage(tid, query);
+        DpllCounter::default()
+            .probability(&lineage, &tid.fact_weights())
+            .map_err(|e| PipelineError::Backend(e.to_string()))
+    }
+
+    /// Naive baseline: possible-world enumeration over the DNF lineage
+    /// (exponential in the number of facts involved).
+    pub fn baseline_enumeration(
+        &self,
+        tid: &TidInstance,
+        query: &ConjunctiveQuery,
+    ) -> Result<f64, PipelineError> {
+        let lineage = tid_lineage(tid, query);
+        probability_by_enumeration(&lineage, &tid.fact_weights())
+            .map_err(|e| PipelineError::Backend(e.to_string()))
+    }
+
+    /// Extensional baseline: Dalvi–Suciu safe-plan evaluation. Only works
+    /// for hierarchical self-join-free queries, on any TID instance.
+    pub fn baseline_safe_plan(
+        &self,
+        tid: &TidInstance,
+        query: &ConjunctiveQuery,
+    ) -> Result<f64, PipelineError> {
+        Ok(safe_plan_probability(tid, query)?)
+    }
+
+    /// Evaluates an arbitrary lineage circuit with this pipeline's
+    /// treewidth-based back-end.
+    pub fn circuit_probability(
+        &self,
+        circuit: &Circuit,
+        weights: &Weights,
+    ) -> Result<f64, PipelineError> {
+        let wmc = TreewidthWmc { heuristic: self.heuristic, max_bag_size: self.max_bag_size };
+        Ok(wmc.probability(circuit, weights)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn theorem1_matches_baselines_on_path_workload() {
+        let tid = workloads::path_tid(8, 0.5, 11);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let pipeline = TractablePipeline::default();
+        let exact = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        let dpll = pipeline.baseline_dpll(&tid, &query).unwrap();
+        let brute = pipeline.baseline_enumeration(&tid, &query).unwrap();
+        assert!(close(exact.probability, dpll));
+        assert!(close(exact.probability, brute));
+        assert!(exact.decomposition_width <= 2);
+    }
+
+    #[test]
+    fn theorem1_matches_safe_plan_on_hierarchical_query() {
+        let tid = workloads::rst_star_tid(5, 0.4, 3);
+        let query = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        let pipeline = TractablePipeline::default();
+        let exact = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        let extensional = pipeline.baseline_safe_plan(&tid, &query).unwrap();
+        assert!(close(exact.probability, extensional));
+    }
+
+    #[test]
+    fn unsafe_query_still_exact_on_tree_shaped_data() {
+        // The paper's hard query: unsafe (extensional baseline refuses), but
+        // tractable on path-shaped data through the decomposition pipeline.
+        let tid = workloads::rst_path_tid(6, 0.5, 5);
+        let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        let pipeline = TractablePipeline::default();
+        assert!(matches!(
+            pipeline.baseline_safe_plan(&tid, &query),
+            Err(PipelineError::SafePlan(SafePlanError::NotHierarchical))
+        ));
+        let exact = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        let brute = pipeline.baseline_enumeration(&tid, &query).unwrap();
+        assert!(close(exact.probability, brute));
+    }
+
+    #[test]
+    fn theorem2_pcc_with_correlated_annotations() {
+        let pcc = workloads::contributor_pcc(6, 3, 0.8, 0.9, 21);
+        let query = ConjunctiveQuery::parse("Claim(x, y)").unwrap();
+        let pipeline = TractablePipeline::default();
+        let report = pipeline.evaluate_cq_on_pcc(&pcc, &query).unwrap();
+        // Cross-check against world enumeration over the events.
+        let reference = workloads::pcc_query_probability_by_enumeration(&pcc, &query);
+        assert!(close(report.probability, reference), "{} vs {reference}", report.probability);
+    }
+
+    #[test]
+    fn report_possibility_and_certainty() {
+        let mut tid = TidInstance::new();
+        tid.add_certain_fact("R", &["a", "b"]);
+        let pipeline = TractablePipeline::default();
+        let query = ConjunctiveQuery::parse("R(x, y)").unwrap();
+        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        assert!(report.is_certain());
+        assert!(report.is_possible());
+        let query = ConjunctiveQuery::parse("Missing(x)").unwrap();
+        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
+        assert!(!report.is_possible());
+    }
+
+    #[test]
+    fn lineage_circuit_agrees_with_direct_probability() {
+        let tid = workloads::path_tid(6, 0.3, 2);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let pipeline = TractablePipeline::default();
+        let direct = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability;
+        let lineage = pipeline.tid_lineage_circuit(&tid, &query).unwrap();
+        let via_circuit = pipeline
+            .circuit_probability(&lineage, &tid.fact_weights())
+            .unwrap();
+        assert!(close(direct, via_circuit));
+    }
+}

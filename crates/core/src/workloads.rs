@@ -1,0 +1,250 @@
+//! Deterministic workload generators shared by tests, examples and benches.
+
+use std::collections::BTreeMap;
+use stuc_circuit::circuit::VarId;
+use stuc_data::pcc::PccInstance;
+use stuc_data::tid::TidInstance;
+use stuc_graph::generators::SplitMix64;
+use stuc_query::cq::ConjunctiveQuery;
+use stuc_query::eval::all_matches;
+
+/// A path-shaped TID instance: `R(c0, c1), R(c1, c2), …` with per-fact
+/// probabilities jittered deterministically around `base_probability`.
+pub fn path_tid(n: usize, base_probability: f64, seed: u64) -> TidInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut tid = TidInstance::new();
+    for i in 0..n {
+        let p = (base_probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+        tid.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)], p);
+    }
+    tid
+}
+
+/// A star-shaped TID for the hierarchical query `R(x), S(x, y)`: `n` hubs,
+/// each with `fan` spokes.
+pub fn rst_star_tid(n: usize, base_probability: f64, seed: u64) -> TidInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut tid = TidInstance::new();
+    for i in 0..n {
+        let p = (base_probability + 0.3 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+        tid.add_fact_named("R", &[&format!("h{i}")], p);
+        for j in 0..2 {
+            let q = (base_probability + 0.3 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+            tid.add_fact_named("S", &[&format!("h{i}"), &format!("s{i}_{j}")], q);
+        }
+    }
+    tid
+}
+
+/// The paper's hard query `R(x), S(x, y), T(y)` on *path-shaped* data:
+/// `S` only links consecutive elements, so the Gaifman graph is a path and
+/// the instance has treewidth 1 regardless of size.
+pub fn rst_path_tid(n: usize, probability: f64, seed: u64) -> TidInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut tid = TidInstance::new();
+    for i in 0..n {
+        let jitter = |rng: &mut SplitMix64| (probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+        tid.add_fact_named("R", &[&format!("v{i}")], jitter(&mut rng));
+        tid.add_fact_named("T", &[&format!("v{i}")], jitter(&mut rng));
+        if i + 1 < n {
+            tid.add_fact_named("S", &[&format!("v{i}"), &format!("v{}", i + 1)], jitter(&mut rng));
+        }
+    }
+    tid
+}
+
+/// The same query on a *complete bipartite* instance: `n` left elements, `n`
+/// right elements, all `S` pairs present — the Gaifman graph contains
+/// `K_{n,n}`, so the treewidth grows with `n` (the `#P`-hard regime).
+pub fn rst_bipartite_tid(n: usize, probability: f64, seed: u64) -> TidInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut tid = TidInstance::new();
+    let jitter = |rng: &mut SplitMix64| (probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+    for i in 0..n {
+        tid.add_fact_named("R", &[&format!("l{i}")], jitter(&mut rng));
+        tid.add_fact_named("T", &[&format!("r{i}")], jitter(&mut rng));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            tid.add_fact_named("S", &[&format!("l{i}"), &format!("r{j}")], jitter(&mut rng));
+        }
+    }
+    tid
+}
+
+/// A partial-k-tree-shaped TID of `R`-facts: one binary fact per edge of a
+/// random partial `k`-tree, so the instance's treewidth is at most `k`.
+pub fn partial_k_tree_tid(n: usize, k: usize, probability: f64, seed: u64) -> TidInstance {
+    let graph = stuc_graph::generators::partial_k_tree(n, k, 0.7, seed);
+    let mut tid = TidInstance::new();
+    for (u, v) in graph.edges() {
+        tid.add_fact_named("R", &[&format!("c{}", u.0), &format!("c{}", v.0)], probability);
+    }
+    tid
+}
+
+/// A "core + tentacles" TID (experiment E7): a dense Erdős–Rényi core of
+/// `core_size` constants with `S`-facts on its edges, plus `tentacles` paths
+/// of `R`-facts of length `tentacle_length` hanging off core constants.
+pub fn core_tentacle_tid(
+    core_size: usize,
+    core_density: f64,
+    tentacles: usize,
+    tentacle_length: usize,
+    probability: f64,
+    seed: u64,
+) -> TidInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut tid = TidInstance::new();
+    for i in 0..core_size {
+        for j in (i + 1)..core_size {
+            if rng.next_bool(core_density) {
+                tid.add_fact_named("S", &[&format!("core{i}"), &format!("core{j}")], probability);
+            }
+        }
+    }
+    for t in 0..tentacles {
+        let attach = rng.next_below(core_size.max(1));
+        let mut previous = format!("core{attach}");
+        for step in 0..tentacle_length {
+            let next = format!("t{t}_{step}");
+            tid.add_fact_named("R", &[&previous, &next], probability);
+            previous = next;
+        }
+    }
+    tid
+}
+
+/// A Wikidata-style pcc-instance (Theorem 2 workload): `claims` facts
+/// `Claim(entity, value)`, each attributed to one of `contributors`
+/// contributors; a fact is present when its contributor is trustworthy AND
+/// its own extraction event holds — a correlated annotation shared across
+/// the contributor's facts.
+pub fn contributor_pcc(
+    claims: usize,
+    contributors: usize,
+    extraction_probability: f64,
+    trust_probability: f64,
+    seed: u64,
+) -> PccInstance {
+    let mut rng = SplitMix64::new(seed);
+    let mut pcc = PccInstance::new();
+    // Events: contributors first, then one extraction event per claim.
+    let contributor_vars: Vec<VarId> = (0..contributors.max(1)).map(VarId).collect();
+    for &v in &contributor_vars {
+        pcc.probabilities_mut().set(v, trust_probability);
+    }
+    let mut contributor_gates = Vec::new();
+    for &v in &contributor_vars {
+        let gate = pcc.annotation_circuit_mut().add_input(v);
+        contributor_gates.push(gate);
+    }
+    for i in 0..claims {
+        let contributor = rng.next_below(contributor_vars.len());
+        let extraction = VarId(contributor_vars.len() + i);
+        pcc.probabilities_mut().set(extraction, extraction_probability);
+        let extraction_gate = pcc.annotation_circuit_mut().add_input(extraction);
+        let gate = pcc
+            .annotation_circuit_mut()
+            .add_and(vec![contributor_gates[contributor], extraction_gate]);
+        pcc.add_fact_with_gate(
+            "Claim",
+            &[&format!("entity{}", i / 2), &format!("value{i}")],
+            gate,
+        );
+    }
+    pcc
+}
+
+/// Ground-truth query probability on a pcc-instance by enumerating all event
+/// valuations (exponential; only for small instances in tests).
+pub fn pcc_query_probability_by_enumeration(pcc: &PccInstance, query: &ConjunctiveQuery) -> f64 {
+    let events: Vec<VarId> = pcc.event_variables().into_iter().collect();
+    assert!(events.len() <= 24, "too many events for enumeration");
+    let mut total = 0.0;
+    for bits in 0..(1u64 << events.len()) {
+        let mut probability = 1.0;
+        let valuation: BTreeMap<VarId, bool> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let value = bits & (1 << i) != 0;
+                probability *= pcc
+                    .probabilities()
+                    .weight(v, value)
+                    .expect("all events weighted");
+                (v, value)
+            })
+            .collect();
+        if probability == 0.0 {
+            continue;
+        }
+        let present = pcc.world(&valuation);
+        // Check whether the query has a match using only present facts.
+        let holds = all_matches(pcc.instance(), query)
+            .into_iter()
+            .any(|m| m.witnesses.iter().all(|w| present.contains(w)));
+        if holds {
+            total += probability;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+
+    #[test]
+    fn path_tid_shape_and_determinism() {
+        let a = path_tid(10, 0.5, 3);
+        let b = path_tid(10, 0.5, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.fact_count(), 10);
+        let td = decompose_with_heuristic(&a.gaifman_graph(), EliminationHeuristic::MinDegree);
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn rst_path_tid_has_width_one() {
+        let tid = rst_path_tid(20, 0.5, 1);
+        let td = decompose_with_heuristic(&tid.gaifman_graph(), EliminationHeuristic::MinFill);
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn rst_bipartite_tid_width_grows() {
+        let small = rst_bipartite_tid(2, 0.5, 1);
+        let large = rst_bipartite_tid(5, 0.5, 1);
+        let w_small =
+            decompose_with_heuristic(&small.gaifman_graph(), EliminationHeuristic::MinFill).width();
+        let w_large =
+            decompose_with_heuristic(&large.gaifman_graph(), EliminationHeuristic::MinFill).width();
+        assert!(w_large > w_small);
+    }
+
+    #[test]
+    fn partial_k_tree_tid_respects_width_bound() {
+        let tid = partial_k_tree_tid(30, 3, 0.5, 9);
+        let td = decompose_with_heuristic(&tid.gaifman_graph(), EliminationHeuristic::MinFill);
+        assert!(td.width() <= 3);
+    }
+
+    #[test]
+    fn contributor_pcc_is_consistent() {
+        let pcc = contributor_pcc(6, 2, 0.7, 0.9, 4);
+        assert_eq!(pcc.fact_count(), 6);
+        assert!(pcc.event_variables().len() <= 2 + 6);
+        // All events weighted.
+        for v in pcc.event_variables() {
+            assert!(pcc.probabilities().get(v).is_some());
+        }
+    }
+
+    #[test]
+    fn core_tentacle_tid_shape() {
+        let tid = core_tentacle_tid(6, 0.8, 3, 4, 0.5, 7);
+        assert!(tid.fact_count() >= 3 * 4);
+    }
+}

@@ -1,0 +1,434 @@
+//! Propositional annotation formulas over Boolean events.
+//!
+//! c-instances (Imieliński–Lipski) annotate every fact with a propositional
+//! formula over event variables; the fact is present in exactly the possible
+//! worlds whose event valuation satisfies the formula. The paper's Table 1
+//! uses annotations such as `pods ∧ ¬stoc`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use stuc_circuit::circuit::{Circuit, GateId, VarId};
+
+/// A propositional formula over event variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Always true (the annotation of a certain fact).
+    True,
+    /// Always false.
+    False,
+    /// An event variable.
+    Var(VarId),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (true when empty).
+    And(Vec<Formula>),
+    /// Disjunction (false when empty).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Convenience constructor: the conjunction of two formulas.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// Convenience constructor: the disjunction of two formulas.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// Convenience constructor: negation.
+    pub fn negate(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// The set of event variables appearing in the formula.
+    pub fn variables(&self) -> BTreeSet<VarId> {
+        let mut vars = BTreeSet::new();
+        self.collect_variables(&mut vars);
+        vars
+    }
+
+    fn collect_variables(&self, out: &mut BTreeSet<VarId>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Var(v) => {
+                out.insert(*v);
+            }
+            Formula::Not(f) => f.collect_variables(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluates the formula under a (total) event valuation; variables
+    /// missing from the valuation are treated as false.
+    pub fn evaluate(&self, valuation: &BTreeMap<VarId, bool>) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => valuation.get(v).copied().unwrap_or(false),
+            Formula::Not(f) => !f.evaluate(valuation),
+            Formula::And(fs) => fs.iter().all(|f| f.evaluate(valuation)),
+            Formula::Or(fs) => fs.iter().any(|f| f.evaluate(valuation)),
+        }
+    }
+
+    /// True if the formula contains no negation.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => true,
+            Formula::Not(_) => false,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_positive),
+        }
+    }
+
+    /// Appends this formula to an existing circuit and returns the gate that
+    /// computes it.
+    pub fn append_to_circuit(&self, circuit: &mut Circuit) -> GateId {
+        match self {
+            Formula::True => circuit.add_const(true),
+            Formula::False => circuit.add_const(false),
+            Formula::Var(v) => circuit.add_input(*v),
+            Formula::Not(f) => {
+                let inner = f.append_to_circuit(circuit);
+                circuit.add_not(inner)
+            }
+            Formula::And(fs) => {
+                let gates: Vec<GateId> =
+                    fs.iter().map(|f| f.append_to_circuit(circuit)).collect();
+                circuit.add_and(gates)
+            }
+            Formula::Or(fs) => {
+                let gates: Vec<GateId> =
+                    fs.iter().map(|f| f.append_to_circuit(circuit)).collect();
+                circuit.add_or(gates)
+            }
+        }
+    }
+
+    /// Builds a standalone circuit computing this formula.
+    pub fn to_circuit(&self) -> Circuit {
+        let mut circuit = Circuit::new();
+        let out = self.append_to_circuit(&mut circuit);
+        circuit.set_output(out);
+        circuit
+    }
+
+    /// Parses a formula from a small textual syntax:
+    ///
+    /// ```text
+    /// formula := or
+    /// or      := and ( ('|' | 'or') and )*
+    /// and     := not ( ('&' | 'and' | '∧') not )*
+    /// not     := ('!' | '¬' | 'not') not | atom
+    /// atom    := 'true' | 'false' | identifier | '(' formula ')'
+    /// ```
+    ///
+    /// Identifiers are resolved to variables through `resolve` (typically an
+    /// event dictionary).
+    pub fn parse(
+        text: &str,
+        mut resolve: impl FnMut(&str) -> VarId,
+    ) -> Result<Formula, FormulaParseError> {
+        let tokens = tokenize(text)?;
+        let mut parser = Parser { tokens, position: 0 };
+        let formula = parser.parse_or(&mut resolve)?;
+        if parser.position != parser.tokens.len() {
+            return Err(FormulaParseError::TrailingInput(
+                parser.tokens[parser.position].clone(),
+            ));
+        }
+        Ok(formula)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Var(v) => write!(f, "{v}"),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| format!("({x})")).collect();
+                write!(f, "{}", parts.join(" ∧ "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| format!("({x})")).collect();
+                write!(f, "{}", parts.join(" ∨ "))
+            }
+        }
+    }
+}
+
+/// Errors raised while parsing annotation formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormulaParseError {
+    /// An unexpected character in the input.
+    UnexpectedCharacter(char),
+    /// The input ended while a sub-formula was expected.
+    UnexpectedEnd,
+    /// A closing parenthesis was expected.
+    ExpectedClosingParen,
+    /// Leftover tokens after a complete formula.
+    TrailingInput(String),
+}
+
+impl fmt::Display for FormulaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaParseError::UnexpectedCharacter(c) => write!(f, "unexpected character '{c}'"),
+            FormulaParseError::UnexpectedEnd => write!(f, "unexpected end of formula"),
+            FormulaParseError::ExpectedClosingParen => write!(f, "expected ')'"),
+            FormulaParseError::TrailingInput(t) => write!(f, "unexpected trailing input '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for FormulaParseError {}
+
+fn tokenize(text: &str) -> Result<Vec<String>, FormulaParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' | ')' | '!' | '&' | '|' | '¬' | '∧' | '∨' => {
+                tokens.push(c.to_string());
+                chars.next();
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(ident);
+            }
+            other => return Err(FormulaParseError::UnexpectedCharacter(other)),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    position: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.position).map(String::as_str)
+    }
+
+    fn advance(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.position).cloned();
+        if t.is_some() {
+            self.position += 1;
+        }
+        t
+    }
+
+    fn parse_or(
+        &mut self,
+        resolve: &mut impl FnMut(&str) -> VarId,
+    ) -> Result<Formula, FormulaParseError> {
+        let mut terms = vec![self.parse_and(resolve)?];
+        while matches!(self.peek(), Some("|") | Some("or") | Some("∨")) {
+            self.advance();
+            terms.push(self.parse_and(resolve)?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Formula::Or(terms) })
+    }
+
+    fn parse_and(
+        &mut self,
+        resolve: &mut impl FnMut(&str) -> VarId,
+    ) -> Result<Formula, FormulaParseError> {
+        let mut terms = vec![self.parse_not(resolve)?];
+        while matches!(self.peek(), Some("&") | Some("and") | Some("∧")) {
+            self.advance();
+            terms.push(self.parse_not(resolve)?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Formula::And(terms) })
+    }
+
+    fn parse_not(
+        &mut self,
+        resolve: &mut impl FnMut(&str) -> VarId,
+    ) -> Result<Formula, FormulaParseError> {
+        if matches!(self.peek(), Some("!") | Some("not") | Some("¬")) {
+            self.advance();
+            let inner = self.parse_not(resolve)?;
+            return Ok(Formula::Not(Box::new(inner)));
+        }
+        self.parse_atom(resolve)
+    }
+
+    fn parse_atom(
+        &mut self,
+        resolve: &mut impl FnMut(&str) -> VarId,
+    ) -> Result<Formula, FormulaParseError> {
+        match self.advance().as_deref() {
+            Some("(") => {
+                let inner = self.parse_or(resolve)?;
+                if self.advance().as_deref() != Some(")") {
+                    return Err(FormulaParseError::ExpectedClosingParen);
+                }
+                Ok(inner)
+            }
+            Some("true") => Ok(Formula::True),
+            Some("false") => Ok(Formula::False),
+            Some(ident) if ident.chars().all(|c| c.is_alphanumeric() || c == '_') => {
+                Ok(Formula::Var(resolve(ident)))
+            }
+            Some(other) => Err(FormulaParseError::TrailingInput(other.to_string())),
+            None => Err(FormulaParseError::UnexpectedEnd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valuation(pairs: &[(usize, bool)]) -> BTreeMap<VarId, bool> {
+        pairs.iter().map(|&(v, b)| (VarId(v), b)).collect()
+    }
+
+    fn resolver() -> impl FnMut(&str) -> VarId {
+        let mut names: Vec<String> = Vec::new();
+        move |name: &str| {
+            if let Some(i) = names.iter().position(|n| n == name) {
+                VarId(i)
+            } else {
+                names.push(name.to_string());
+                VarId(names.len() - 1)
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_of_table1_annotations() {
+        // "pods ∧ ¬stoc" — the Melbourne → Paris trip of Table 1.
+        let pods = Formula::Var(VarId(0));
+        let stoc = Formula::Var(VarId(1));
+        let annotation = pods.clone().and(stoc.clone().negate());
+        assert!(annotation.evaluate(&valuation(&[(0, true), (1, false)])));
+        assert!(!annotation.evaluate(&valuation(&[(0, true), (1, true)])));
+        assert!(!annotation.evaluate(&valuation(&[(0, false), (1, false)])));
+    }
+
+    #[test]
+    fn variables_are_collected() {
+        let f = Formula::Var(VarId(3)).and(Formula::Var(VarId(1)).or(Formula::Var(VarId(3))));
+        assert_eq!(f.variables(), BTreeSet::from([VarId(1), VarId(3)]));
+    }
+
+    #[test]
+    fn positivity_detection() {
+        assert!(Formula::Var(VarId(0)).and(Formula::True).is_positive());
+        assert!(!Formula::Var(VarId(0)).negate().is_positive());
+    }
+
+    #[test]
+    fn to_circuit_matches_formula_semantics() {
+        let f = Formula::Var(VarId(0))
+            .and(Formula::Var(VarId(1)).negate())
+            .or(Formula::Var(VarId(2)));
+        let c = f.to_circuit();
+        for bits in 0..8u32 {
+            let val = valuation(&[(0, bits & 1 != 0), (1, bits & 2 != 0), (2, bits & 4 != 0)]);
+            assert_eq!(f.evaluate(&val), c.evaluate(&val).unwrap(), "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn parse_simple_formulas() {
+        let mut resolve = resolver();
+        let f = Formula::parse("pods & !stoc", &mut resolve).unwrap();
+        assert_eq!(
+            f,
+            Formula::And(vec![
+                Formula::Var(VarId(0)),
+                Formula::Not(Box::new(Formula::Var(VarId(1))))
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_precedence_and_parens() {
+        let mut resolve = resolver();
+        // a | b & c parses as a | (b & c)
+        let f = Formula::parse("a | b & c", &mut resolve).unwrap();
+        assert_eq!(
+            f,
+            Formula::Or(vec![
+                Formula::Var(VarId(0)),
+                Formula::And(vec![Formula::Var(VarId(1)), Formula::Var(VarId(2))])
+            ])
+        );
+        let mut resolve = resolver();
+        let g = Formula::parse("(a | b) & c", &mut resolve).unwrap();
+        assert_eq!(
+            g,
+            Formula::And(vec![
+                Formula::Or(vec![Formula::Var(VarId(0)), Formula::Var(VarId(1))]),
+                Formula::Var(VarId(2))
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_constants_and_keywords() {
+        let mut resolve = resolver();
+        let f = Formula::parse("true & not false", &mut resolve).unwrap();
+        assert!(f.evaluate(&BTreeMap::new()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut resolve = resolver();
+        assert!(matches!(
+            Formula::parse("a &", &mut resolve),
+            Err(FormulaParseError::UnexpectedEnd)
+        ));
+        assert!(matches!(
+            Formula::parse("(a", &mut resolve),
+            Err(FormulaParseError::ExpectedClosingParen)
+        ));
+        assert!(matches!(
+            Formula::parse("a b", &mut resolve),
+            Err(FormulaParseError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            Formula::parse("a # b", &mut resolve),
+            Err(FormulaParseError::UnexpectedCharacter('#'))
+        ));
+    }
+
+    #[test]
+    fn display_round_trips_through_parser_semantics() {
+        let mut resolve = resolver();
+        let f = Formula::parse("a & (b | !c)", &mut resolve).unwrap();
+        let shown = format!("{f}");
+        assert!(shown.contains('∧'));
+        assert!(shown.contains('∨'));
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Formula::And(vec![]).evaluate(&BTreeMap::new()));
+        assert!(!Formula::Or(vec![]).evaluate(&BTreeMap::new()));
+    }
+}

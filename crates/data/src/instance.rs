@@ -1,0 +1,330 @@
+//! Plain relational instances over interned constants.
+//!
+//! An [`Instance`] is a bag of ground facts `R(c₁, …, cₖ)`. Constants and
+//! relation names are interned to dense identifiers so that the structural
+//! algorithms (Gaifman graphs, tree decompositions, tree encodings) can work
+//! with plain indices.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use stuc_graph::graph::{Graph, VertexId};
+
+/// An interned relation name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub usize);
+
+/// An interned constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstId(pub usize);
+
+/// The position of a fact within its instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FactId(pub usize);
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A ground fact: a relation applied to constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fact {
+    /// The relation symbol.
+    pub relation: RelId,
+    /// The arguments, in order.
+    pub args: Vec<ConstId>,
+}
+
+/// A relational instance: interned vocabulary plus a list of facts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Instance {
+    relation_names: Vec<String>,
+    relation_index: BTreeMap<String, RelId>,
+    constant_names: Vec<String>,
+    constant_index: BTreeMap<String, ConstId>,
+    facts: Vec<Fact>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a relation name.
+    pub fn relation(&mut self, name: &str) -> RelId {
+        if let Some(&id) = self.relation_index.get(name) {
+            return id;
+        }
+        let id = RelId(self.relation_names.len());
+        self.relation_names.push(name.to_string());
+        self.relation_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns a constant name.
+    pub fn constant(&mut self, name: &str) -> ConstId {
+        if let Some(&id) = self.constant_index.get(name) {
+            return id;
+        }
+        let id = ConstId(self.constant_names.len());
+        self.constant_names.push(name.to_string());
+        self.constant_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a relation by name without interning.
+    pub fn find_relation(&self, name: &str) -> Option<RelId> {
+        self.relation_index.get(name).copied()
+    }
+
+    /// Looks up a constant by name without interning.
+    pub fn find_constant(&self, name: &str) -> Option<ConstId> {
+        self.constant_index.get(name).copied()
+    }
+
+    /// The name of a relation.
+    pub fn relation_name(&self, r: RelId) -> &str {
+        &self.relation_names[r.0]
+    }
+
+    /// The name of a constant.
+    pub fn constant_name(&self, c: ConstId) -> &str {
+        &self.constant_names[c.0]
+    }
+
+    /// Number of distinct constants.
+    pub fn constant_count(&self) -> usize {
+        self.constant_names.len()
+    }
+
+    /// Number of distinct relation symbols.
+    pub fn relation_count(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Adds a fact from already-interned identifiers and returns its id.
+    pub fn add_fact(&mut self, relation: RelId, args: Vec<ConstId>) -> FactId {
+        self.facts.push(Fact { relation, args });
+        FactId(self.facts.len() - 1)
+    }
+
+    /// Adds a fact given by names, interning as needed.
+    pub fn add_fact_named(&mut self, relation: &str, args: &[&str]) -> FactId {
+        let r = self.relation(relation);
+        let a = args.iter().map(|s| self.constant(s)).collect();
+        self.add_fact(r, a)
+    }
+
+    /// Number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Access a fact by id.
+    pub fn fact(&self, f: FactId) -> &Fact {
+        &self.facts[f.0]
+    }
+
+    /// Iterator over `(id, fact)`.
+    pub fn facts(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts.iter().enumerate().map(|(i, f)| (FactId(i), f))
+    }
+
+    /// All fact ids of a given relation.
+    pub fn facts_of(&self, relation: RelId) -> Vec<FactId> {
+        self.facts()
+            .filter(|(_, f)| f.relation == relation)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// True if the instance contains the exact fact.
+    pub fn contains(&self, relation: RelId, args: &[ConstId]) -> bool {
+        self.facts
+            .iter()
+            .any(|f| f.relation == relation && f.args == args)
+    }
+
+    /// Renders a fact for debugging and examples, e.g. `R(a, b)`.
+    pub fn render_fact(&self, f: FactId) -> String {
+        let fact = self.fact(f);
+        let args: Vec<&str> = fact.args.iter().map(|&c| self.constant_name(c)).collect();
+        format!("{}({})", self.relation_name(fact.relation), args.join(", "))
+    }
+
+    /// The Gaifman graph over *constants*: one vertex per constant, and a
+    /// clique over the constants of every fact. Its treewidth is the
+    /// treewidth the paper's Theorem 1 refers to ("the treewidth of a TID
+    /// [is] that of its underlying relational instance").
+    pub fn gaifman_graph(&self) -> Graph {
+        let mut g = Graph::with_vertices(self.constant_count());
+        for fact in &self.facts {
+            let clique: Vec<VertexId> = fact
+                .args
+                .iter()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .map(|c| VertexId(c.0))
+                .collect();
+            g.add_clique(&clique);
+        }
+        g
+    }
+
+    /// The *fact graph*: one vertex per fact, with an edge between two facts
+    /// that share a constant. Used by the tree-encoding step, which needs to
+    /// place facts into bags of a decomposition.
+    pub fn fact_graph(&self) -> Graph {
+        let mut g = Graph::with_vertices(self.fact_count());
+        // Group facts by constant to avoid the quadratic all-pairs scan.
+        let mut by_constant: BTreeMap<ConstId, Vec<usize>> = BTreeMap::new();
+        for (i, fact) in self.facts.iter().enumerate() {
+            for &c in &fact.args {
+                by_constant.entry(c).or_default().push(i);
+            }
+        }
+        for (_, fact_ids) in by_constant {
+            let clique: Vec<VertexId> = fact_ids
+                .iter()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .map(|&i| VertexId(i))
+                .collect();
+            g.add_clique(&clique);
+        }
+        g
+    }
+
+    /// The set of constants used by a set of facts.
+    pub fn constants_of_facts(&self, facts: &[FactId]) -> BTreeSet<ConstId> {
+        facts
+            .iter()
+            .flat_map(|f| self.fact(*f).args.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuc_graph::exact::exact_treewidth;
+
+    fn path_instance(n: usize) -> Instance {
+        // R(c0, c1), R(c1, c2), ..., a path: Gaifman graph is a path.
+        let mut inst = Instance::new();
+        for i in 0..n {
+            inst.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)]);
+        }
+        inst
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut inst = Instance::new();
+        let r1 = inst.relation("R");
+        let r2 = inst.relation("R");
+        assert_eq!(r1, r2);
+        let c1 = inst.constant("a");
+        let c2 = inst.constant("a");
+        assert_eq!(c1, c2);
+        assert_eq!(inst.relation_name(r1), "R");
+        assert_eq!(inst.constant_name(c1), "a");
+    }
+
+    #[test]
+    fn add_and_lookup_facts() {
+        let mut inst = Instance::new();
+        let f = inst.add_fact_named("R", &["a", "b"]);
+        assert_eq!(inst.fact_count(), 1);
+        assert_eq!(inst.render_fact(f), "R(a, b)");
+        let r = inst.find_relation("R").unwrap();
+        let a = inst.find_constant("a").unwrap();
+        let b = inst.find_constant("b").unwrap();
+        assert!(inst.contains(r, &[a, b]));
+        assert!(!inst.contains(r, &[b, a]));
+    }
+
+    #[test]
+    fn facts_of_relation() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["a", "b"]);
+        inst.add_fact_named("S", &["a"]);
+        inst.add_fact_named("R", &["b", "c"]);
+        let r = inst.find_relation("R").unwrap();
+        assert_eq!(inst.facts_of(r).len(), 2);
+    }
+
+    #[test]
+    fn gaifman_graph_of_path_instance_is_a_path() {
+        let inst = path_instance(5);
+        let g = inst.gaifman_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(exact_treewidth(&g), Some(1));
+    }
+
+    #[test]
+    fn gaifman_graph_of_triangle() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("E", &["a", "b"]);
+        inst.add_fact_named("E", &["b", "c"]);
+        inst.add_fact_named("E", &["c", "a"]);
+        let g = inst.gaifman_graph();
+        assert_eq!(exact_treewidth(&g), Some(2));
+    }
+
+    #[test]
+    fn gaifman_handles_repeated_arguments() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["a", "a"]);
+        let g = inst.gaifman_graph();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fact_graph_links_facts_sharing_constants() {
+        let inst = path_instance(4);
+        let g = inst.fact_graph();
+        // Consecutive path facts share a constant.
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn fact_graph_of_star_shaped_joins() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["hub", "x"]);
+        inst.add_fact_named("R", &["hub", "y"]);
+        inst.add_fact_named("R", &["hub", "z"]);
+        let g = inst.fact_graph();
+        assert_eq!(g.edge_count(), 3); // all pairs share "hub"
+    }
+
+    #[test]
+    fn constants_of_facts_collects_all() {
+        let mut inst = Instance::new();
+        let f0 = inst.add_fact_named("R", &["a", "b"]);
+        let f1 = inst.add_fact_named("S", &["b", "c"]);
+        let cs = inst.constants_of_facts(&[f0, f1]);
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn ternary_relations_are_supported() {
+        let mut inst = Instance::new();
+        let f = inst.add_fact_named("T", &["a", "b", "c"]);
+        assert_eq!(inst.fact(f).args.len(), 3);
+        let g = inst.gaifman_graph();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn arity_zero_facts_are_supported() {
+        let mut inst = Instance::new();
+        let f = inst.add_fact_named("Alarm", &[]);
+        assert_eq!(inst.render_fact(f), "Alarm()");
+        assert_eq!(inst.gaifman_graph().vertex_count(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # stuc-data — relational instances and their uncertain variants
+//!
+//! The paper's relational setting (Section 2.2) is built from the following
+//! tower of formalisms, all of which are provided by this crate:
+//!
+//! * plain **relational instances** ([`instance`]) — named relations over
+//!   interned constants, with Gaifman graphs for structural analysis;
+//! * **TID instances** ([`tid`]) — tuple-independent probabilistic
+//!   instances: every fact is present independently with a probability
+//!   (the formalism of Theorem 1);
+//! * **c-instances** ([`cinstance`]) — facts annotated with propositional
+//!   formulas over Boolean events (Imieliński–Lipski / Green–Tannen), as in
+//!   the paper's Table 1;
+//! * **pc-instances** — c-instances whose events carry independent
+//!   probabilities;
+//! * **pcc-instances** ([`pcc`]) — facts annotated with gates of a shared
+//!   Boolean *circuit*, the formalism of Theorem 2, together with the joint
+//!   instance+circuit graph whose treewidth the theorem bounds;
+//! * **possible worlds** ([`worlds`]) — explicit enumeration semantics used
+//!   as ground truth in tests and as the naive baseline in benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use stuc_data::tid::TidInstance;
+//!
+//! let mut tid = TidInstance::new();
+//! tid.add_fact_named("R", &["a", "b"], 0.5);
+//! tid.add_fact_named("S", &["b", "c"], 0.25);
+//! assert_eq!(tid.instance().fact_count(), 2);
+//! let pc = tid.to_pc_instance();
+//! assert_eq!(pc.event_count(), 2);
+//! ```
+
+pub mod cinstance;
+pub mod formula;
+pub mod instance;
+pub mod pcc;
+pub mod tid;
+pub mod worlds;
+
+pub use cinstance::{CInstance, PcInstance};
+pub use formula::Formula;
+pub use instance::{ConstId, Fact, FactId, Instance, RelId};
+pub use pcc::PccInstance;
+pub use tid::TidInstance;

@@ -1,0 +1,264 @@
+//! pcc-instances: facts annotated with gates of a shared Boolean circuit.
+//!
+//! The paper's Theorem 2 needs a formalism where fact correlations are
+//! expressed as a *circuit* rather than arbitrary formulas: "our idea is to
+//! write annotations as Boolean circuits rather than formulae, and look at
+//! the treewidth of the annotation circuit. [...] we must require the
+//! existence of a bounded-width tree decomposition of the instance and
+//! circuit, which respects the link between circuit gates and the facts that
+//! they annotate."
+//!
+//! A [`PccInstance`] is therefore an instance, a shared annotation
+//! [`Circuit`] over event variables, a per-fact pointer into that circuit,
+//! and independent probabilities on the events. Its *joint graph* has one
+//! vertex per instance constant and one per circuit gate; fact cliques,
+//! gate–input cliques, and fact-to-annotation links all contribute edges,
+//! so its treewidth is exactly the quantity Theorem 2 bounds.
+
+use crate::cinstance::PcInstance;
+use crate::instance::{FactId, Instance};
+use std::collections::BTreeSet;
+use stuc_circuit::circuit::{Circuit, GateId, VarId};
+use stuc_circuit::weights::Weights;
+use stuc_graph::graph::{Graph, VertexId};
+
+/// A pcc-instance: facts annotated by gates of a shared circuit, with
+/// independent event probabilities.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PccInstance {
+    instance: Instance,
+    annotation_circuit: Circuit,
+    fact_gates: Vec<GateId>,
+    probabilities: Weights,
+}
+
+impl PccInstance {
+    /// Creates an empty pcc-instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying relational instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Mutable access to the underlying instance (to pre-intern vocabulary).
+    pub fn instance_mut(&mut self) -> &mut Instance {
+        &mut self.instance
+    }
+
+    /// The shared annotation circuit.
+    pub fn annotation_circuit(&self) -> &Circuit {
+        &self.annotation_circuit
+    }
+
+    /// Mutable access to the annotation circuit, for building annotations.
+    pub fn annotation_circuit_mut(&mut self) -> &mut Circuit {
+        &mut self.annotation_circuit
+    }
+
+    /// The event probabilities.
+    pub fn probabilities(&self) -> &Weights {
+        &self.probabilities
+    }
+
+    /// Mutable access to the event probabilities.
+    pub fn probabilities_mut(&mut self) -> &mut Weights {
+        &mut self.probabilities
+    }
+
+    /// Adds a fact annotated by the given gate of the annotation circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate does not exist in the annotation circuit.
+    pub fn add_fact_with_gate(&mut self, relation: &str, args: &[&str], gate: GateId) -> FactId {
+        assert!(
+            gate.0 < self.annotation_circuit.len(),
+            "annotation gate {gate} out of range"
+        );
+        let id = self.instance.add_fact_named(relation, args);
+        self.fact_gates.push(gate);
+        id
+    }
+
+    /// The annotation gate of a fact.
+    pub fn fact_gate(&self, f: FactId) -> GateId {
+        self.fact_gates[f.0]
+    }
+
+    /// Number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.fact_gates.len()
+    }
+
+    /// The *joint graph* of instance and annotations, whose treewidth is the
+    /// structural parameter of Theorem 2.
+    ///
+    /// Vertices `0 .. constant_count` are the instance constants; vertices
+    /// `constant_count ..` are the circuit gates. Edges:
+    ///
+    /// * a clique over the constants of each fact (instance structure),
+    /// * a clique over each gate and its inputs (circuit structure),
+    /// * an edge between every constant of a fact and the fact's annotation
+    ///   gate (the "link" the paper requires the decomposition to respect).
+    pub fn joint_graph(&self) -> Graph {
+        let constants = self.instance.constant_count();
+        let gates = self.annotation_circuit.len();
+        let mut g = Graph::with_vertices(constants + gates);
+
+        for (_, fact) in self.instance.facts() {
+            let clique: Vec<VertexId> = fact
+                .args
+                .iter()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .map(|c| VertexId(c.0))
+                .collect();
+            g.add_clique(&clique);
+        }
+        for (id, gate) in self.annotation_circuit.iter() {
+            let mut clique: Vec<VertexId> = vec![VertexId(constants + id.0)];
+            clique.extend(gate.inputs().iter().map(|x| VertexId(constants + x.0)));
+            g.add_clique(&clique);
+        }
+        for (fid, fact) in self.instance.facts() {
+            let gate_vertex = VertexId(constants + self.fact_gates[fid.0].0);
+            for &c in fact.args.iter().collect::<BTreeSet<_>>() {
+                g.add_edge(VertexId(c.0), gate_vertex);
+            }
+        }
+        g
+    }
+
+    /// The facts present in the possible world defined by an event valuation.
+    pub fn world(&self, valuation: &std::collections::BTreeMap<VarId, bool>) -> Vec<FactId> {
+        let values = self
+            .annotation_circuit
+            .evaluate_all(valuation)
+            .expect("valuation must cover all annotation events");
+        self.instance
+            .facts()
+            .map(|(id, _)| id)
+            .filter(|id| values[self.fact_gates[id.0].0])
+            .collect()
+    }
+
+    /// The set of event variables used by the annotation circuit.
+    pub fn event_variables(&self) -> BTreeSet<VarId> {
+        self.annotation_circuit.variables()
+    }
+
+    /// Builds a pcc-instance from a pc-instance by compiling each fact's
+    /// annotation formula into the shared circuit.
+    pub fn from_pc_instance(pc: &PcInstance) -> PccInstance {
+        let mut pcc = PccInstance::new();
+        pcc.probabilities = pc.probabilities().clone();
+        for (fid, fact) in pc.instance().facts() {
+            let gate = pc
+                .cinstance()
+                .annotation(fid)
+                .append_to_circuit(&mut pcc.annotation_circuit);
+            let relation = pc.instance().relation_name(fact.relation).to_string();
+            let args: Vec<String> = fact
+                .args
+                .iter()
+                .map(|&c| pc.instance().constant_name(c).to_string())
+                .collect();
+            let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            pcc.add_fact_with_gate(&relation, &arg_refs, gate);
+        }
+        pcc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cinstance::CInstance;
+    use crate::tid::TidInstance;
+    use std::collections::BTreeMap;
+    use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+
+    /// A pcc-instance modelling two facts correlated by one trust event
+    /// (the "user Jane" pattern of the paper's Figure 1, relationally).
+    fn jane_pcc() -> PccInstance {
+        let mut pcc = PccInstance::new();
+        let jane = VarId(0);
+        let g = pcc.annotation_circuit_mut().add_input(jane);
+        pcc.probabilities_mut().set(jane, 0.9);
+        pcc.add_fact_with_gate("PlaceOfBirth", &["Manning", "Crescent"], g);
+        pcc.add_fact_with_gate("Surname", &["Manning", "Manning_surname"], g);
+        pcc
+    }
+
+    #[test]
+    fn correlated_facts_share_a_gate() {
+        let pcc = jane_pcc();
+        assert_eq!(pcc.fact_gate(FactId(0)), pcc.fact_gate(FactId(1)));
+        let world_trust: BTreeMap<VarId, bool> = [(VarId(0), true)].into_iter().collect();
+        assert_eq!(pcc.world(&world_trust).len(), 2);
+        let world_vandal: BTreeMap<VarId, bool> = [(VarId(0), false)].into_iter().collect();
+        assert!(pcc.world(&world_vandal).is_empty());
+    }
+
+    #[test]
+    fn joint_graph_contains_instance_circuit_and_links() {
+        let pcc = jane_pcc();
+        let g = pcc.joint_graph();
+        // 3 constants + 1 gate.
+        assert_eq!(g.vertex_count(), 3 + 1);
+        // Fact cliques (2 edges) + fact-gate links (4 edges, one per
+        // constant-fact incidence) and no gate-input edges (single input gate).
+        assert!(g.edge_count() >= 4);
+    }
+
+    #[test]
+    fn joint_graph_of_tid_conversion_has_small_width() {
+        // A path TID converted to pc then pcc keeps a tree-like joint graph.
+        let mut tid = TidInstance::new();
+        for i in 0..10 {
+            tid.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)], 0.5);
+        }
+        let pcc = PccInstance::from_pc_instance(&tid.to_pc_instance());
+        let joint = pcc.joint_graph();
+        let td = decompose_with_heuristic(&joint, EliminationHeuristic::MinFill);
+        assert!(td.validate(&joint).is_ok());
+        assert!(td.width() <= 3, "joint width {} too large", td.width());
+    }
+
+    #[test]
+    fn from_pc_instance_preserves_worlds() {
+        let ci = CInstance::table1_example();
+        let pods = ci.events().find("pods").unwrap();
+        let stoc = ci.events().find("stoc").unwrap();
+        let weights = Weights::uniform([pods, stoc], 0.5);
+        let pc = ci.with_probabilities(weights);
+        let pcc = PccInstance::from_pc_instance(&pc);
+        for bits in 0..4u32 {
+            let valuation: BTreeMap<VarId, bool> = [
+                (pods, bits & 1 != 0),
+                (stoc, bits & 2 != 0),
+            ]
+            .into_iter()
+            .collect();
+            let pc_world = pc.cinstance().world(&valuation);
+            let pcc_world = pcc.world(&valuation);
+            assert_eq!(pc_world.len(), pcc_world.len(), "bits {bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_gate_panics() {
+        let mut pcc = PccInstance::new();
+        pcc.add_fact_with_gate("R", &["a"], GateId(3));
+    }
+
+    #[test]
+    fn event_variables_are_reported() {
+        let pcc = jane_pcc();
+        assert_eq!(pcc.event_variables(), BTreeSet::from([VarId(0)]));
+    }
+}

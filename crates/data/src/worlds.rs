@@ -1,0 +1,260 @@
+//! Explicit possible-world semantics.
+//!
+//! "The straightforward way to extend existing data management paradigms to
+//! uncertain data is to represent explicitly all possible states of the data
+//! (which we call possible worlds) [...] Of course, this simple scheme is not
+//! practical: there are often exponentially many possible worlds" (paper,
+//! Section 1). This module implements exactly that impractical scheme: it is
+//! the ground truth against which every structural algorithm is tested, and
+//! the baseline the benchmarks show blowing up.
+
+use crate::cinstance::{CInstance, PcInstance};
+use crate::instance::FactId;
+use crate::tid::TidInstance;
+use std::collections::BTreeMap;
+use stuc_circuit::circuit::VarId;
+
+/// Hard cap on the number of events enumerated, to protect the test suite.
+pub const WORLD_ENUMERATION_LIMIT: usize = 24;
+
+/// Errors raised by possible-world enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// Too many events to enumerate all valuations.
+    TooManyEvents(usize),
+    /// An event used by an annotation has no probability.
+    MissingProbability(VarId),
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldError::TooManyEvents(n) => write!(
+                f,
+                "{n} events exceed the possible-world enumeration limit of {WORLD_ENUMERATION_LIMIT}"
+            ),
+            WorldError::MissingProbability(v) => write!(f, "event {v} has no probability"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// A possible world of a c-instance: the valuation that produced it and the
+/// facts it retains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PossibleWorld {
+    /// The event valuation defining the world.
+    pub valuation: BTreeMap<VarId, bool>,
+    /// The facts present in the world.
+    pub facts: Vec<FactId>,
+    /// The probability of the valuation (1.0 when enumerating a c-instance
+    /// without probabilities).
+    pub probability: f64,
+}
+
+/// Enumerates all possible worlds of a c-instance (probability 1.0 each).
+pub fn enumerate_worlds(ci: &CInstance) -> Result<Vec<PossibleWorld>, WorldError> {
+    let events: Vec<VarId> = ci.events().variables().collect();
+    if events.len() > WORLD_ENUMERATION_LIMIT {
+        return Err(WorldError::TooManyEvents(events.len()));
+    }
+    let mut worlds = Vec::with_capacity(1 << events.len());
+    for bits in 0..(1u64 << events.len()) {
+        let valuation: BTreeMap<VarId, bool> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, bits & (1 << i) != 0))
+            .collect();
+        let facts = ci.world(&valuation);
+        worlds.push(PossibleWorld { valuation, facts, probability: 1.0 });
+    }
+    Ok(worlds)
+}
+
+/// Enumerates all possible worlds of a pc-instance with their probabilities.
+pub fn enumerate_weighted_worlds(pc: &PcInstance) -> Result<Vec<PossibleWorld>, WorldError> {
+    let events: Vec<VarId> = pc.cinstance().events().variables().collect();
+    if events.len() > WORLD_ENUMERATION_LIMIT {
+        return Err(WorldError::TooManyEvents(events.len()));
+    }
+    for &v in &events {
+        if pc.probabilities().get(v).is_none() {
+            return Err(WorldError::MissingProbability(v));
+        }
+    }
+    let mut worlds = Vec::with_capacity(1 << events.len());
+    for bits in 0..(1u64 << events.len()) {
+        let mut probability = 1.0;
+        let valuation: BTreeMap<VarId, bool> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let value = bits & (1 << i) != 0;
+                let p = pc.probabilities().get(v).expect("checked above");
+                probability *= if value { p } else { 1.0 - p };
+                (v, value)
+            })
+            .collect();
+        let facts = pc.cinstance().world(&valuation);
+        worlds.push(PossibleWorld { valuation, facts, probability });
+    }
+    Ok(worlds)
+}
+
+/// The probability that a Boolean query (given as a predicate on the set of
+/// present facts) holds on a pc-instance, by world enumeration.
+pub fn query_probability(
+    pc: &PcInstance,
+    query: impl Fn(&[FactId]) -> bool,
+) -> Result<f64, WorldError> {
+    Ok(enumerate_weighted_worlds(pc)?
+        .into_iter()
+        .filter(|w| query(&w.facts))
+        .map(|w| w.probability)
+        .sum())
+}
+
+/// Whether a Boolean query is possible (holds in some world) on a c-instance.
+pub fn is_possible(ci: &CInstance, query: impl Fn(&[FactId]) -> bool) -> Result<bool, WorldError> {
+    Ok(enumerate_worlds(ci)?.into_iter().any(|w| query(&w.facts)))
+}
+
+/// Whether a Boolean query is certain (holds in every world) on a c-instance.
+pub fn is_certain(ci: &CInstance, query: impl Fn(&[FactId]) -> bool) -> Result<bool, WorldError> {
+    Ok(enumerate_worlds(ci)?.into_iter().all(|w| query(&w.facts)))
+}
+
+/// The probability that a Boolean query holds on a TID instance, by
+/// enumerating fact subsets directly (each fact is its own event).
+pub fn tid_query_probability(
+    tid: &TidInstance,
+    query: impl Fn(&[FactId]) -> bool,
+) -> Result<f64, WorldError> {
+    let n = tid.fact_count();
+    if n > WORLD_ENUMERATION_LIMIT {
+        return Err(WorldError::TooManyEvents(n));
+    }
+    let mut total = 0.0;
+    for bits in 0..(1u64 << n) {
+        let mut probability = 1.0;
+        let mut facts = Vec::new();
+        for i in 0..n {
+            let present = bits & (1 << i) != 0;
+            let p = tid.probability(FactId(i));
+            probability *= if present { p } else { 1.0 - p };
+            if present {
+                facts.push(FactId(i));
+            }
+        }
+        if probability > 0.0 && query(&facts) {
+            total += probability;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuc_circuit::weights::Weights;
+
+    #[test]
+    fn table1_has_four_worlds() {
+        let ci = CInstance::table1_example();
+        let worlds = enumerate_worlds(&ci).unwrap();
+        assert_eq!(worlds.len(), 4);
+        // World sizes are 0, 2, 2, 3 in some order.
+        let mut sizes: Vec<usize> = worlds.iter().map(|w| w.facts.len()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![0, 2, 2, 3]);
+    }
+
+    #[test]
+    fn weighted_worlds_sum_to_one() {
+        let ci = CInstance::table1_example();
+        let pods = ci.events().find("pods").unwrap();
+        let stoc = ci.events().find("stoc").unwrap();
+        let mut w = Weights::new();
+        w.set(pods, 0.8);
+        w.set(stoc, 0.3);
+        let pc = ci.with_probabilities(w);
+        let worlds = enumerate_weighted_worlds(&pc).unwrap();
+        let total: f64 = worlds.iter().map(|w| w.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_probability_on_table1() {
+        // "Some trip leaves Paris CDG" holds when pods or stoc is attended.
+        let ci = CInstance::table1_example();
+        let pods = ci.events().find("pods").unwrap();
+        let stoc = ci.events().find("stoc").unwrap();
+        let cdg = ci.instance().find_constant("Paris_CDG").unwrap();
+        let mut w = Weights::new();
+        w.set(pods, 0.8);
+        w.set(stoc, 0.3);
+        let pc = ci.with_probabilities(w);
+        let p = query_probability(&pc, |facts| {
+            facts
+                .iter()
+                .any(|&f| pc.instance().fact(f).args.first() == Some(&cdg))
+        })
+        .unwrap();
+        // 1 - P(neither) = 1 - 0.2·0.7 = 0.86
+        assert!((p - 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn possibility_and_certainty_on_table1() {
+        let ci = CInstance::table1_example();
+        // Possible that there are no trips at all (attend nothing).
+        assert!(is_possible(&ci, |facts| facts.is_empty()).unwrap());
+        // Not certain that some trip exists.
+        assert!(!is_certain(&ci, |facts| !facts.is_empty()).unwrap());
+        // Certain that there are at most 3 trips.
+        assert!(is_certain(&ci, |facts| facts.len() <= 3).unwrap());
+    }
+
+    #[test]
+    fn missing_probability_is_detected() {
+        let ci = CInstance::table1_example();
+        let pc = ci.with_probabilities(Weights::new());
+        assert!(matches!(
+            enumerate_weighted_worlds(&pc),
+            Err(WorldError::MissingProbability(_))
+        ));
+    }
+
+    #[test]
+    fn too_many_events_is_detected() {
+        let mut ci = CInstance::new();
+        for i in 0..=WORLD_ENUMERATION_LIMIT {
+            ci.add_fact_with_condition("R", &[&format!("c{i}")], &format!("e{i}"))
+                .unwrap();
+        }
+        assert!(matches!(
+            enumerate_worlds(&ci),
+            Err(WorldError::TooManyEvents(_))
+        ));
+    }
+
+    #[test]
+    fn tid_query_probability_of_conjunction() {
+        let mut tid = TidInstance::new();
+        tid.add_fact_named("R", &["a"], 0.5);
+        tid.add_fact_named("R", &["b"], 0.5);
+        // Both facts present: 0.25.
+        let p = tid_query_probability(&tid, |facts| facts.len() == 2).unwrap();
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tid_certain_facts() {
+        let mut tid = TidInstance::new();
+        tid.add_certain_fact("R", &["a"]);
+        tid.add_fact_named("R", &["b"], 0.0);
+        let p = tid_query_probability(&tid, |facts| facts == [FactId(0)]).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+}

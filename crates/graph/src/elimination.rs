@@ -1,0 +1,396 @@
+//! Elimination orderings and the greedy treewidth heuristics.
+//!
+//! A classic way to obtain a tree decomposition is to pick an *elimination
+//! ordering* of the vertices: repeatedly remove a vertex after turning its
+//! neighbourhood into a clique. Each eliminated vertex, together with its
+//! neighbourhood at elimination time, becomes a bag; bags are wired into a
+//! tree by connecting each bag to the bag of the first later-eliminated
+//! vertex it contains. The width obtained this way equals the largest
+//! neighbourhood encountered, and the minimum over all orderings is exactly
+//! the treewidth.
+//!
+//! Two standard greedy heuristics choose the ordering:
+//!
+//! * **min-degree** — eliminate a vertex of minimum current degree;
+//! * **min-fill** — eliminate a vertex whose elimination adds the fewest
+//!   fill-in edges.
+//!
+//! Both are cheap and give optimal or near-optimal widths on the tree-like
+//! inputs the paper targets; an ablation benchmark (`a1_decomposition_heuristics`)
+//! compares them.
+
+use crate::decomposition::{BagId, TreeDecomposition};
+use crate::graph::{Graph, VertexId};
+use std::collections::BTreeSet;
+
+/// Which greedy rule selects the next vertex to eliminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EliminationHeuristic {
+    /// Eliminate a vertex of minimum current degree.
+    MinDegree,
+    /// Eliminate a vertex whose elimination creates the fewest fill-in edges.
+    MinFill,
+    /// Eliminate vertices in identifier order (a deliberately poor baseline
+    /// used by the ablation benchmark).
+    Lexicographic,
+}
+
+impl EliminationHeuristic {
+    /// All heuristics, for sweeps.
+    pub const ALL: [EliminationHeuristic; 3] = [
+        EliminationHeuristic::MinDegree,
+        EliminationHeuristic::MinFill,
+        EliminationHeuristic::Lexicographic,
+    ];
+
+    /// Human-readable name (used in benchmark output).
+    pub fn name(self) -> &'static str {
+        match self {
+            EliminationHeuristic::MinDegree => "min-degree",
+            EliminationHeuristic::MinFill => "min-fill",
+            EliminationHeuristic::Lexicographic => "lexicographic",
+        }
+    }
+}
+
+/// An elimination ordering: a permutation of the graph's vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationOrder(pub Vec<VertexId>);
+
+impl EliminationOrder {
+    /// Number of vertices in the ordering.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the ordering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Computes an elimination ordering of `g` with the given heuristic.
+pub fn elimination_order(g: &Graph, heuristic: EliminationHeuristic) -> EliminationOrder {
+    match heuristic {
+        EliminationHeuristic::MinDegree => min_degree_order(g),
+        EliminationHeuristic::MinFill => min_fill_order(g),
+        EliminationHeuristic::Lexicographic => {
+            EliminationOrder(g.vertices().collect())
+        }
+    }
+}
+
+/// Min-degree ordering with a lazy binary heap: near-linear on sparse graphs,
+/// which is what the Theorem 1 scaling benchmark needs (10⁵-fact instances).
+fn min_degree_order(g: &Graph) -> EliminationOrder {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = g.vertex_count();
+    let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
+        .map(|v| g.neighbors(VertexId(v)).map(|u| u.0).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    // Lazy heap: entries may be stale; re-check the degree on pop.
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..n)
+        .map(|v| Reverse((adjacency[v].len(), v)))
+        .collect();
+
+    while order.len() < n {
+        let Reverse((recorded_degree, v)) = heap.pop().expect("heap exhausted too early");
+        if !alive[v] || adjacency[v].len() != recorded_degree {
+            if alive[v] {
+                heap.push(Reverse((adjacency[v].len(), v)));
+            }
+            continue;
+        }
+        let neighbours: Vec<usize> = adjacency[v].iter().copied().collect();
+        eliminate(&mut adjacency, &mut alive, v);
+        order.push(VertexId(v));
+        for u in neighbours {
+            if alive[u] {
+                heap.push(Reverse((adjacency[u].len(), u)));
+            }
+        }
+    }
+    EliminationOrder(order)
+}
+
+/// Min-fill ordering. Quadratic selection: only re-scores vertices whose
+/// neighbourhood changed, but still scans all alive vertices per step, so it
+/// is reserved for moderate-size graphs (the ablation compares it to
+/// min-degree on exactly such inputs).
+fn min_fill_order(g: &Graph) -> EliminationOrder {
+    let n = g.vertex_count();
+    let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
+        .map(|v| g.neighbors(VertexId(v)).map(|u| u.0).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    let mut fill: Vec<usize> = (0..n).map(|v| fill_in_count(&adjacency, v)).collect();
+
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| (fill[v], v))
+            .expect("some vertex is alive");
+        let affected: Vec<usize> = adjacency[next].iter().copied().collect();
+        eliminate(&mut adjacency, &mut alive, next);
+        order.push(VertexId(next));
+        // Fill-in counts can change for the eliminated vertex's neighbours and
+        // for their neighbours (the 2-hop set): re-score exactly that set.
+        let mut to_rescore: BTreeSet<usize> = BTreeSet::new();
+        for &u in &affected {
+            if alive[u] {
+                to_rescore.insert(u);
+                to_rescore.extend(adjacency[u].iter().copied().filter(|&w| alive[w]));
+            }
+        }
+        for u in to_rescore {
+            fill[u] = fill_in_count(&adjacency, u);
+        }
+    }
+    EliminationOrder(order)
+}
+
+/// Number of fill-in edges that eliminating `v` would create.
+fn fill_in_count(adjacency: &[BTreeSet<usize>], v: usize) -> usize {
+    let ns: Vec<usize> = adjacency[v].iter().copied().collect();
+    let mut missing = 0;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if !adjacency[a].contains(&b) {
+                missing += 1;
+            }
+        }
+    }
+    missing
+}
+
+/// Eliminates `v`: connects its neighbourhood into a clique and removes it.
+fn eliminate(adjacency: &mut [BTreeSet<usize>], alive: &mut [bool], v: usize) {
+    let ns: Vec<usize> = adjacency[v].iter().copied().collect();
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            adjacency[a].insert(b);
+            adjacency[b].insert(a);
+        }
+    }
+    for &a in &ns {
+        adjacency[a].remove(&v);
+    }
+    adjacency[v].clear();
+    alive[v] = false;
+}
+
+/// Builds a tree decomposition of `g` from an elimination ordering.
+///
+/// The resulting decomposition is always valid; its width is the width of the
+/// ordering (which is ≥ the treewidth of `g`).
+pub fn decompose_with_order(g: &Graph, order: &EliminationOrder) -> TreeDecomposition {
+    let n = g.vertex_count();
+    assert_eq!(order.len(), n, "ordering must cover every vertex exactly once");
+    if n == 0 {
+        return TreeDecomposition::new();
+    }
+
+    // position[v] = index of v in the elimination order.
+    let mut position = vec![usize::MAX; n];
+    for (i, v) in order.0.iter().enumerate() {
+        position[v.0] = i;
+    }
+
+    // Simulate elimination, recording each vertex's neighbourhood at
+    // elimination time ("higher neighbours" in the filled graph).
+    let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
+        .map(|v| g.neighbors(VertexId(v)).map(|u| u.0).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut bag_of_vertex: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for &v in &order.0 {
+        bag_of_vertex[v.0] = adjacency[v.0].clone();
+        eliminate(&mut adjacency, &mut alive, v.0);
+    }
+
+    let mut td = TreeDecomposition::new();
+    let mut bag_id_of_vertex: Vec<BagId> = Vec::with_capacity(n);
+    for &v in &order.0 {
+        let mut content: BTreeSet<VertexId> =
+            bag_of_vertex[v.0].iter().map(|&u| VertexId(u)).collect();
+        content.insert(v);
+        let id = td.add_bag(content);
+        bag_id_of_vertex.push(id);
+    }
+    // bag_index_by_vertex[v] = the bag created when v was eliminated.
+    let mut bag_index_by_vertex = vec![BagId(0); n];
+    for (i, &v) in order.0.iter().enumerate() {
+        bag_index_by_vertex[v.0] = bag_id_of_vertex[i];
+    }
+
+    // Each bag connects to the bag of the earliest-eliminated vertex among its
+    // strictly-later neighbours (the standard clique-tree wiring).
+    for &v in &order.0 {
+        let later: Option<usize> = bag_of_vertex[v.0]
+            .iter()
+            .copied()
+            .filter(|&u| position[u] > position[v.0])
+            .min_by_key(|&u| position[u]);
+        if let Some(u) = later {
+            td.add_tree_edge(bag_index_by_vertex[v.0], bag_index_by_vertex[u]);
+        }
+    }
+    // Disconnected graphs produce a forest of clique trees; link them.
+    td.connect_components();
+    td
+}
+
+/// The width that an elimination ordering yields on `g` (max neighbourhood
+/// size at elimination time), without materialising the decomposition.
+pub fn order_width(g: &Graph, order: &EliminationOrder) -> usize {
+    let n = g.vertex_count();
+    let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
+        .map(|v| g.neighbors(VertexId(v)).map(|u| u.0).collect())
+        .collect();
+    let mut alive = vec![true; n];
+    let mut width = 0;
+    for &v in &order.0 {
+        width = width.max(adjacency[v.0].len());
+        eliminate(&mut adjacency, &mut alive, v.0);
+    }
+    width
+}
+
+/// Computes a tree decomposition of `g` with the given greedy heuristic.
+///
+/// This is the main entry point used by the rest of STUC.
+pub fn decompose_with_heuristic(g: &Graph, heuristic: EliminationHeuristic) -> TreeDecomposition {
+    let order = elimination_order(g, heuristic);
+    decompose_with_order(g, &order)
+}
+
+/// Runs every heuristic and returns the decomposition of smallest width.
+pub fn decompose_best_effort(g: &Graph) -> TreeDecomposition {
+    EliminationHeuristic::ALL
+        .iter()
+        .map(|&h| decompose_with_heuristic(g, h))
+        .min_by_key(|td| td.width())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_has_width_one() {
+        let g = generators::path(10);
+        for h in EliminationHeuristic::ALL {
+            let td = decompose_with_heuristic(&g, h);
+            assert!(td.validate(&g).is_ok(), "{h:?} produced invalid decomposition");
+            assert_eq!(td.width(), 1, "{h:?} on a path");
+        }
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let g = generators::cycle(8);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinDegree);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn tree_has_width_one() {
+        let g = generators::balanced_binary_tree(4);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinFill);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn complete_graph_has_width_n_minus_one() {
+        let g = generators::complete(6);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinFill);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 5);
+    }
+
+    #[test]
+    fn grid_width_is_at_most_side() {
+        // The m×m grid has treewidth exactly m; heuristics should stay close.
+        let g = generators::grid(4, 4);
+        let td = decompose_best_effort(&g);
+        assert!(td.validate(&g).is_ok());
+        assert!(td.width() >= 4, "width {} below the true treewidth", td.width());
+        assert!(td.width() <= 6, "width {} too far above the true treewidth", td.width());
+    }
+
+    #[test]
+    fn disconnected_graph_is_handled() {
+        let mut g = generators::path(4);
+        // Add an isolated component.
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge(a, b);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinDegree);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_decomposition() {
+        let g = Graph::new();
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinFill);
+        assert_eq!(td.bag_count(), 0);
+        assert!(td.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let mut g = Graph::new();
+        g.add_vertex();
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinDegree);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 0);
+        assert_eq!(td.bag_count(), 1);
+    }
+
+    #[test]
+    fn order_width_matches_decomposition_width() {
+        let g = generators::partial_k_tree(30, 3, 0.3, 42);
+        for h in EliminationHeuristic::ALL {
+            let order = elimination_order(&g, h);
+            let w = order_width(&g, &order);
+            let td = decompose_with_order(&g, &order);
+            assert_eq!(td.width(), w, "{h:?}");
+            assert!(td.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn partial_k_tree_width_at_most_k_with_good_heuristics() {
+        // Partial 2-trees have treewidth ≤ 2 and min-fill recovers that.
+        let g = generators::partial_k_tree(40, 2, 0.5, 7);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinFill);
+        assert!(td.validate(&g).is_ok());
+        assert!(td.width() <= 2, "width {} exceeds 2", td.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "ordering must cover")]
+    fn wrong_length_order_panics() {
+        let g = generators::path(3);
+        let order = EliminationOrder(vec![VertexId(0)]);
+        decompose_with_order(&g, &order);
+    }
+
+    #[test]
+    fn star_graph_has_width_one() {
+        let g = generators::star(9);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinDegree);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 1);
+    }
+}

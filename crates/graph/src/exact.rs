@@ -1,0 +1,214 @@
+//! Exact treewidth (for small graphs) and treewidth lower bounds.
+//!
+//! The greedy heuristics in [`crate::elimination`] only give upper bounds.
+//! For tests and the heuristic-quality ablation we also need ground truth on
+//! small graphs, plus cheap lower bounds on larger ones:
+//!
+//! * [`exact_treewidth`] — the Held–Karp-style dynamic program over vertex
+//!   subsets (`O(2^n · n²)`), practical up to ~20 vertices.
+//! * [`mmd_lower_bound`] — the Maximum Minimum Degree bound: repeatedly
+//!   delete a minimum-degree vertex; the largest minimum degree seen is a
+//!   lower bound on treewidth.
+//! * [`degeneracy_lower_bound`] — identical computation viewed as the graph's
+//!   degeneracy (kept separate for clarity of intent at call sites).
+
+use crate::graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// Maximum number of vertices accepted by [`exact_treewidth`].
+pub const EXACT_LIMIT: usize = 22;
+
+/// Computes the exact treewidth of `g` with a dynamic program over subsets.
+///
+/// Returns `None` if the graph has more than [`EXACT_LIMIT`] vertices.
+///
+/// The recurrence (Bodlaender et al.): for a set `S` of already-eliminated
+/// vertices, `f(S) = min over v ∈ S of max(f(S \ {v}), q(S \ {v}, v))` where
+/// `q(T, v)` is the number of vertices outside `T ∪ {v}` reachable from `v`
+/// through `T`. The treewidth is `f(V)`.
+pub fn exact_treewidth(g: &Graph) -> Option<usize> {
+    let n = g.vertex_count();
+    if n > EXACT_LIMIT {
+        return None;
+    }
+    if n == 0 {
+        return Some(0);
+    }
+
+    let adjacency: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut mask = 0u64;
+            for u in g.neighbors(VertexId(v)) {
+                mask |= 1 << u.0;
+            }
+            mask
+        })
+        .collect();
+
+    // q(T, v): neighbours of the connected "swallowed" region of v through T.
+    let q = |t: u64, v: usize| -> usize {
+        // BFS from v through vertices in T, counting distinct vertices outside
+        // T ∪ {v} that are adjacent to the explored region.
+        let mut region = 1u64 << v;
+        let mut frontier = adjacency[v];
+        let mut reachable_outside = 0u64;
+        loop {
+            let inside_t = frontier & t & !region;
+            reachable_outside |= frontier & !t & !(1 << v);
+            if inside_t == 0 {
+                break;
+            }
+            region |= inside_t;
+            let mut new_frontier = 0u64;
+            let mut bits = inside_t;
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                new_frontier |= adjacency[u];
+            }
+            frontier = new_frontier & !region;
+        }
+        reachable_outside.count_ones() as usize
+    };
+
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut memo: HashMap<u64, usize> = HashMap::new();
+    memo.insert(0, 0);
+
+    // Iterate subsets in increasing popcount order so dependencies are ready.
+    let mut subsets: Vec<u64> = (0..=full).collect();
+    subsets.sort_by_key(|s| s.count_ones());
+    for &s in &subsets {
+        if s == 0 {
+            continue;
+        }
+        let mut best = usize::MAX;
+        let mut bits = s;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let rest = s & !(1 << v);
+            let prev = memo[&rest];
+            let cost = prev.max(q(rest, v));
+            best = best.min(cost);
+        }
+        memo.insert(s, best);
+    }
+    Some(memo[&full])
+}
+
+/// The Maximum Minimum Degree lower bound on treewidth.
+///
+/// Repeatedly remove a vertex of minimum degree; the maximum of the minimum
+/// degrees observed along the way is a lower bound on the treewidth.
+pub fn mmd_lower_bound(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut adjacency: Vec<std::collections::BTreeSet<usize>> = (0..n)
+        .map(|v| g.neighbors(VertexId(v)).map(|u| u.0).collect())
+        .collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    let mut bound = 0;
+    while remaining > 0 {
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| adjacency[v].len())
+            .expect("some vertex alive");
+        bound = bound.max(adjacency[v].len());
+        let ns: Vec<usize> = adjacency[v].iter().copied().collect();
+        for u in ns {
+            adjacency[u].remove(&v);
+        }
+        adjacency[v].clear();
+        alive[v] = false;
+        remaining -= 1;
+    }
+    bound
+}
+
+/// The degeneracy of the graph, which is also a treewidth lower bound.
+///
+/// Computed identically to [`mmd_lower_bound`]; exposed separately so call
+/// sites can state which quantity they mean.
+pub fn degeneracy_lower_bound(g: &Graph) -> usize {
+    mmd_lower_bound(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{decompose_best_effort, decompose_with_heuristic, EliminationHeuristic};
+    use crate::generators;
+
+    #[test]
+    fn exact_treewidth_of_basic_shapes() {
+        assert_eq!(exact_treewidth(&generators::path(6)), Some(1));
+        assert_eq!(exact_treewidth(&generators::cycle(6)), Some(2));
+        assert_eq!(exact_treewidth(&generators::complete(5)), Some(4));
+        assert_eq!(exact_treewidth(&generators::star(7)), Some(1));
+        assert_eq!(exact_treewidth(&generators::grid(3, 3)), Some(3));
+    }
+
+    #[test]
+    fn exact_treewidth_of_empty_and_singleton() {
+        assert_eq!(exact_treewidth(&Graph::new()), Some(0));
+        let mut g = Graph::new();
+        g.add_vertex();
+        assert_eq!(exact_treewidth(&g), Some(0));
+    }
+
+    #[test]
+    fn exact_treewidth_refuses_large_graphs() {
+        let g = generators::path(EXACT_LIMIT + 1);
+        assert_eq!(exact_treewidth(&g), None);
+    }
+
+    #[test]
+    fn heuristics_match_exact_on_small_k_trees() {
+        for k in 1..=3 {
+            let g = generators::k_tree(10, k, 3);
+            let exact = exact_treewidth(&g).unwrap();
+            assert_eq!(exact, k);
+            let heur = decompose_best_effort(&g).width();
+            assert_eq!(heur, exact, "heuristic should be optimal on k-trees, k = {k}");
+        }
+    }
+
+    #[test]
+    fn heuristic_width_never_below_exact() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi(12, 0.3, seed);
+            let exact = exact_treewidth(&g).unwrap();
+            for h in EliminationHeuristic::ALL {
+                let w = decompose_with_heuristic(&g, h).width();
+                assert!(w >= exact, "{h:?}: width {w} below exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn mmd_is_a_lower_bound() {
+        for seed in 0..6 {
+            let g = generators::erdos_renyi(12, 0.35, seed);
+            let exact = exact_treewidth(&g).unwrap();
+            assert!(mmd_lower_bound(&g) <= exact);
+        }
+    }
+
+    #[test]
+    fn mmd_values_on_known_graphs() {
+        assert_eq!(mmd_lower_bound(&generators::path(10)), 1);
+        assert_eq!(mmd_lower_bound(&generators::cycle(10)), 2);
+        assert_eq!(mmd_lower_bound(&generators::complete(6)), 5);
+        assert_eq!(mmd_lower_bound(&Graph::new()), 0);
+    }
+
+    #[test]
+    fn degeneracy_equals_mmd() {
+        let g = generators::grid(4, 4);
+        assert_eq!(degeneracy_lower_bound(&g), mmd_lower_bound(&g));
+    }
+}

@@ -1,0 +1,360 @@
+//! Deterministic graph generators used by tests and benchmarks.
+//!
+//! Randomised generators take an explicit `seed` and use a small SplitMix64
+//! generator internally so that this crate stays dependency-free and every
+//! workload is reproducible bit-for-bit across runs (a requirement for the
+//! benchmark harness in `stuc-bench`).
+
+use crate::graph::{Graph, VertexId};
+
+/// A tiny, deterministic SplitMix64 pseudo-random generator.
+///
+/// Not cryptographic; only used to produce reproducible benchmark workloads.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// A path on `n` vertices (treewidth 1 for `n ≥ 2`).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_vertices(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(VertexId(i), VertexId(i + 1));
+    }
+    g
+}
+
+/// A cycle on `n ≥ 3` vertices (treewidth 2).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(VertexId(n - 1), VertexId(0));
+    g
+}
+
+/// The complete graph on `n` vertices (treewidth `n - 1`).
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_vertices(n);
+    let vs: Vec<_> = g.vertices().collect();
+    g.add_clique(&vs);
+    g
+}
+
+/// A star: one centre connected to `leaves` leaves (treewidth 1).
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::with_vertices(leaves + 1);
+    for i in 1..=leaves {
+        g.add_edge(VertexId(0), VertexId(i));
+    }
+    g
+}
+
+/// A balanced binary tree of the given depth (depth 0 = single vertex;
+/// treewidth 1 for depth ≥ 1).
+pub fn balanced_binary_tree(depth: u32) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut g = Graph::with_vertices(n);
+    for i in 0..n {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        if left < n {
+            g.add_edge(VertexId(i), VertexId(left));
+        }
+        if right < n {
+            g.add_edge(VertexId(i), VertexId(right));
+        }
+    }
+    g
+}
+
+/// The `rows × cols` grid graph (treewidth `min(rows, cols)`).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::with_vertices(rows * cols);
+    let id = |r: usize, c: usize| VertexId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A `k`-tree on `n ≥ k + 1` vertices: start from a `(k+1)`-clique, then each
+/// new vertex is attached to a uniformly chosen existing `k`-clique.
+/// `k`-trees have treewidth exactly `k`.
+pub fn k_tree(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(n >= k + 1, "a k-tree needs at least k + 1 vertices");
+    let mut rng = SplitMix64::new(seed);
+    let mut g = Graph::with_vertices(n);
+    let base: Vec<VertexId> = (0..=k).map(VertexId).collect();
+    g.add_clique(&base);
+    // Track the k-cliques available for attachment.
+    let mut cliques: Vec<Vec<VertexId>> = Vec::new();
+    for i in 0..=k {
+        let mut c = base.clone();
+        c.remove(i);
+        cliques.push(c);
+    }
+    cliques.push(base.clone()[..k].to_vec());
+    for v in (k + 1)..n {
+        let c = cliques[rng.next_below(cliques.len())].clone();
+        for &u in &c {
+            g.add_edge(VertexId(v), u);
+        }
+        // New k-cliques: v plus each (k-1)-subset of c.
+        for skip in 0..c.len() {
+            let mut nc: Vec<VertexId> = c
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &u)| u)
+                .collect();
+            nc.push(VertexId(v));
+            cliques.push(nc);
+        }
+    }
+    g
+}
+
+/// A partial `k`-tree: a `k`-tree with each edge kept with probability
+/// `keep_probability`. Partial `k`-trees are exactly the graphs of treewidth
+/// at most `k`.
+pub fn partial_k_tree(n: usize, k: usize, keep_probability: f64, seed: u64) -> Graph {
+    let full = k_tree(n, k, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xDEAD_BEEF);
+    let mut g = Graph::with_vertices(n);
+    for (u, v) in full.edges() {
+        if rng.next_bool(keep_probability) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// An Erdős–Rényi `G(n, p)` random graph (generally high treewidth once
+/// `p · n` is large; used as the hard baseline workload).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = Graph::with_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.next_bool(p) {
+                g.add_edge(VertexId(u), VertexId(v));
+            }
+        }
+    }
+    g
+}
+
+/// A random tree on `n` vertices built by attaching each vertex to a random
+/// earlier one (treewidth 1).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = Graph::with_vertices(n);
+    for v in 1..n {
+        let parent = rng.next_below(v);
+        g.add_edge(VertexId(v), VertexId(parent));
+    }
+    g
+}
+
+/// A "caterpillar": a path of length `spine` where each spine vertex carries
+/// `legs` pendant leaves (treewidth 1). Models log-like tree data.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let mut g = path(spine);
+    for s in 0..spine {
+        for _ in 0..legs {
+            let leaf = g.add_vertex();
+            g.add_edge(VertexId(s), leaf);
+        }
+    }
+    g
+}
+
+/// The "core + tentacles" workload of experiment E7: a dense core of
+/// `core_size` vertices (an Erdős–Rényi graph with density `core_density`)
+/// with `tentacles` paths of `tentacle_length` vertices attached to random
+/// core vertices. The tentacles have treewidth 1; the core is (typically)
+/// high-treewidth.
+pub fn core_with_tentacles(
+    core_size: usize,
+    core_density: f64,
+    tentacles: usize,
+    tentacle_length: usize,
+    seed: u64,
+) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = erdos_renyi(core_size, core_density, seed ^ 0x1234);
+    for _ in 0..tentacles {
+        let mut previous = VertexId(rng.next_below(core_size.max(1)));
+        for _ in 0..tentacle_length {
+            let v = g.add_vertex();
+            g.add_edge(previous, v);
+            previous = v;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{decompose_with_heuristic, EliminationHeuristic};
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = balanced_binary_tree(3);
+        assert_eq!(g.vertex_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn k_tree_has_treewidth_k() {
+        for k in 1..=3 {
+            let g = k_tree(20, k, 5);
+            let td = decompose_with_heuristic(&g, EliminationHeuristic::MinFill);
+            assert!(td.validate(&g).is_ok());
+            assert_eq!(td.width(), k, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn partial_k_tree_is_subgraph_of_k_tree() {
+        let full = k_tree(25, 3, 11);
+        let part = partial_k_tree(25, 3, 0.6, 11);
+        for (u, v) in part.edges() {
+            assert!(full.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        let empty = erdos_renyi(10, 0.0, 3);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, 3);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let g = random_tree(50, 8);
+        assert_eq!(g.edge_count(), 49);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn caterpillar_has_treewidth_one() {
+        let g = caterpillar(6, 3);
+        let td = decompose_with_heuristic(&g, EliminationHeuristic::MinDegree);
+        assert!(td.validate(&g).is_ok());
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn core_with_tentacles_shape() {
+        let g = core_with_tentacles(10, 0.5, 4, 5, 77);
+        assert_eq!(g.vertex_count(), 10 + 4 * 5);
+        assert!(g.edge_count() >= 4 * 5);
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let a = erdos_renyi(20, 0.3, 42);
+        let b = erdos_renyi(20, 0.3, 42);
+        assert_eq!(a, b);
+        let c = erdos_renyi(20, 0.3, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,463 @@
+//! Combining fact uncertainty and order uncertainty.
+//!
+//! The paper's Section 3 closes with: "It would also be interesting to extend
+//! our approach to allow both fact and order uncertainty, for instance by
+//! extending our constructions to support provenance." This module does
+//! exactly that: an [`AnnotatedPoRelation`] is a po-relation whose elements
+//! carry propositional annotations over Boolean events (the c-instance
+//! annotations of `stuc-data`). A possible world is obtained by first fixing
+//! an event valuation — which selects the surviving elements, as for
+//! c-instances — and then choosing a linear extension of the induced order on
+//! the survivors, as for po-relations.
+//!
+//! The PosRA operators of [`crate::posra`] lift to annotated relations by
+//! combining annotations the way semiring provenance combines tags: products
+//! conjoin the annotations of the paired elements, unions and selections keep
+//! them.
+
+use std::collections::BTreeMap;
+
+use crate::porelation::{ElementId, OrderError, PoRelation};
+use stuc_circuit::circuit::VarId;
+use stuc_circuit::weights::Weights;
+use stuc_data::formula::Formula;
+
+/// Cap on the number of distinct annotation variables for exhaustive
+/// valuation enumeration.
+pub const VALUATION_LIMIT: usize = 20;
+
+/// A po-relation whose elements carry propositional annotations: fact
+/// uncertainty (which elements exist) combined with order uncertainty (how
+/// the existing elements are ordered).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnnotatedPoRelation {
+    order: PoRelation,
+    annotations: Vec<Formula>,
+}
+
+impl AnnotatedPoRelation {
+    /// Creates an empty annotated po-relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a plain po-relation: every element is certain.
+    pub fn certain(order: PoRelation) -> Self {
+        let annotations = vec![Formula::True; order.len()];
+        AnnotatedPoRelation { order, annotations }
+    }
+
+    /// Adds a tuple with an annotation and returns its element id.
+    pub fn add_tuple(&mut self, tuple: Vec<String>, annotation: Formula) -> ElementId {
+        self.annotations.push(annotation);
+        self.order.add_tuple(tuple)
+    }
+
+    /// Adds the order constraint `before < after`.
+    pub fn add_order(&mut self, before: ElementId, after: ElementId) -> Result<(), OrderError> {
+        self.order.add_order(before, after)
+    }
+
+    /// The underlying po-relation (ignoring annotations).
+    pub fn order(&self) -> &PoRelation {
+        &self.order
+    }
+
+    /// The annotation of an element.
+    pub fn annotation(&self, e: ElementId) -> &Formula {
+        &self.annotations[e.0]
+    }
+
+    /// Number of elements (including uncertain ones).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The set of event variables used by the annotations.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut variables: Vec<VarId> = self
+            .annotations
+            .iter()
+            .flat_map(|formula| formula.variables())
+            .collect();
+        variables.sort();
+        variables.dedup();
+        variables
+    }
+
+    /// The po-relation obtained under one event valuation: elements whose
+    /// annotation evaluates to true, with the induced (transitively closed)
+    /// order between survivors.
+    pub fn world_under(&self, valuation: &BTreeMap<VarId, bool>) -> PoRelation {
+        let mut survivors: Vec<ElementId> = Vec::new();
+        for (e, _) in self.order.elements() {
+            if self.annotations[e.0].evaluate(valuation) {
+                survivors.push(e);
+            }
+        }
+        let mut result = PoRelation::new();
+        let new_ids: Vec<ElementId> = survivors
+            .iter()
+            .map(|&e| result.add_tuple(self.order.tuple(e).to_vec()))
+            .collect();
+        for (i, &a) in survivors.iter().enumerate() {
+            for (j, &b) in survivors.iter().enumerate() {
+                if i != j && self.order.precedes(a, b) {
+                    result
+                        .add_order(new_ids[i], new_ids[j])
+                        .expect("induced order is acyclic");
+                }
+            }
+        }
+        result
+    }
+
+    /// Selection: keeps the elements whose tuple satisfies the predicate,
+    /// with their annotations and the induced order.
+    pub fn select(&self, predicate: impl Fn(&[String]) -> bool) -> AnnotatedPoRelation {
+        let mut result = AnnotatedPoRelation::new();
+        let mut kept: Vec<(ElementId, ElementId)> = Vec::new();
+        for (e, tuple) in self.order.elements() {
+            if predicate(tuple) {
+                let new_id = result.add_tuple(tuple.clone(), self.annotations[e.0].clone());
+                kept.push((e, new_id));
+            }
+        }
+        for (i, &(old_a, new_a)) in kept.iter().enumerate() {
+            for &(old_b, new_b) in &kept[i + 1..] {
+                if self.order.precedes(old_a, old_b) {
+                    result.add_order(new_a, new_b).expect("induced order is acyclic");
+                } else if self.order.precedes(old_b, old_a) {
+                    result.add_order(new_b, new_a).expect("induced order is acyclic");
+                }
+            }
+        }
+        result
+    }
+
+    /// Projection onto the listed columns, keeping annotations and order.
+    pub fn project(&self, columns: &[usize]) -> AnnotatedPoRelation {
+        let mut result = AnnotatedPoRelation::new();
+        let mut mapping = Vec::with_capacity(self.len());
+        for (e, tuple) in self.order.elements() {
+            let projected: Vec<String> = columns.iter().map(|&c| tuple[c].clone()).collect();
+            mapping.push(result.add_tuple(projected, self.annotations[e.0].clone()));
+        }
+        for (a, b) in self.order.order_edges() {
+            result.add_order(mapping[a.0], mapping[b.0]).expect("order preserved");
+        }
+        result
+    }
+
+    /// Parallel union: disjoint union with no order between the sides.
+    pub fn union_parallel(&self, other: &AnnotatedPoRelation) -> AnnotatedPoRelation {
+        self.union_with(other, false)
+    }
+
+    /// Concatenation union: everything of `self` before everything of
+    /// `other`.
+    pub fn union_concat(&self, other: &AnnotatedPoRelation) -> AnnotatedPoRelation {
+        self.union_with(other, true)
+    }
+
+    fn union_with(&self, other: &AnnotatedPoRelation, concatenate: bool) -> AnnotatedPoRelation {
+        let mut result = AnnotatedPoRelation::new();
+        let left_map: Vec<ElementId> = self
+            .order
+            .elements()
+            .map(|(e, t)| result.add_tuple(t.clone(), self.annotations[e.0].clone()))
+            .collect();
+        let right_map: Vec<ElementId> = other
+            .order
+            .elements()
+            .map(|(e, t)| result.add_tuple(t.clone(), other.annotations[e.0].clone()))
+            .collect();
+        for (a, b) in self.order.order_edges() {
+            result.add_order(left_map[a.0], left_map[b.0]).expect("acyclic");
+        }
+        for (a, b) in other.order.order_edges() {
+            result.add_order(right_map[a.0], right_map[b.0]).expect("acyclic");
+        }
+        if concatenate {
+            for &l in &left_map {
+                for &r in &right_map {
+                    result.add_order(l, r).expect("acyclic");
+                }
+            }
+        }
+        result
+    }
+
+    /// Parallel (dominance-ordered) product; the annotation of a pair is the
+    /// conjunction of the annotations of its components, as in semiring
+    /// provenance.
+    pub fn product_parallel(&self, other: &AnnotatedPoRelation) -> AnnotatedPoRelation {
+        let mut result = AnnotatedPoRelation::new();
+        let mut ids = vec![vec![ElementId(0); other.len()]; self.len()];
+        for (l, lt) in self.order.elements() {
+            for (r, rt) in other.order.elements() {
+                let mut tuple = lt.clone();
+                tuple.extend(rt.iter().cloned());
+                let annotation =
+                    self.annotations[l.0].clone().and(other.annotations[r.0].clone());
+                ids[l.0][r.0] = result.add_tuple(tuple, annotation);
+            }
+        }
+        for (a, b) in self.order.order_edges() {
+            for r in 0..other.len() {
+                result.add_order(ids[a.0][r], ids[b.0][r]).expect("acyclic");
+            }
+        }
+        for (a, b) in other.order.order_edges() {
+            for l in 0..self.len() {
+                result.add_order(ids[l][a.0], ids[l][b.0]).expect("acyclic");
+            }
+        }
+        result
+    }
+
+    /// The probability, under independent event probabilities, that the given
+    /// label sequence is a possible world — i.e. the probability mass of the
+    /// event valuations under which the surviving elements can be linearly
+    /// ordered to produce exactly this sequence.
+    ///
+    /// Exhaustive over the annotation variables (capped at
+    /// [`VALUATION_LIMIT`]), which is the baseline the structural-tractability
+    /// results are measured against.
+    pub fn sequence_possibility_probability(
+        &self,
+        weights: &Weights,
+        sequence: &[Vec<String>],
+    ) -> Result<f64, OrderError> {
+        let mut probability = 0.0;
+        self.for_each_valuation(weights, |world, mass| {
+            if world.is_possible_world(sequence) {
+                probability += mass;
+            }
+        })?;
+        Ok(probability)
+    }
+
+    /// The probability that a tuple equal to `label` survives (appears in the
+    /// world at all), under independent event probabilities.
+    pub fn label_presence_probability(
+        &self,
+        weights: &Weights,
+        label: &[String],
+    ) -> Result<f64, OrderError> {
+        let mut probability = 0.0;
+        self.for_each_valuation(weights, |world, mass| {
+            if world.elements().any(|(_, t)| t.as_slice() == label) {
+                probability += mass;
+            }
+        })?;
+        Ok(probability)
+    }
+
+    /// The expected number of surviving elements.
+    pub fn expected_size(&self, weights: &Weights) -> Result<f64, OrderError> {
+        let mut expectation = 0.0;
+        self.for_each_valuation(weights, |world, mass| {
+            expectation += world.len() as f64 * mass;
+        })?;
+        Ok(expectation)
+    }
+
+    fn for_each_valuation(
+        &self,
+        weights: &Weights,
+        mut visit: impl FnMut(&PoRelation, f64),
+    ) -> Result<(), OrderError> {
+        let variables = self.variables();
+        if variables.len() > VALUATION_LIMIT {
+            return Err(OrderError::TooManyElements(variables.len()));
+        }
+        let combinations = 1usize << variables.len();
+        for assignment in 0..combinations {
+            let mut valuation = BTreeMap::new();
+            let mut mass = 1.0;
+            for (index, &variable) in variables.iter().enumerate() {
+                let value = assignment & (1 << index) != 0;
+                valuation.insert(variable, value);
+                let p = weights.get(variable).unwrap_or(0.5);
+                mass *= if value { p } else { 1.0 - p };
+            }
+            if mass == 0.0 {
+                continue;
+            }
+            let world = self.world_under(&valuation);
+            visit(&world, mass);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(items: &[&str]) -> Vec<Vec<String>> {
+        items.iter().map(|s| vec![s.to_string()]).collect()
+    }
+
+    fn weights(pairs: &[(usize, f64)]) -> Weights {
+        let mut w = Weights::new();
+        for &(v, p) in pairs {
+            w.set(VarId(v), p);
+        }
+        w
+    }
+
+    #[test]
+    fn certain_relation_behaves_like_a_po_relation() {
+        let po = PoRelation::totally_ordered(labels(&["a", "b"]));
+        let annotated = AnnotatedPoRelation::certain(po);
+        let world = annotated.world_under(&BTreeMap::new());
+        assert_eq!(world.len(), 2);
+        assert!(world.is_possible_world(&labels(&["a", "b"])));
+    }
+
+    #[test]
+    fn world_under_filters_and_induces_order() {
+        // a < b < c where b is uncertain: without b, a still precedes c.
+        let mut annotated = AnnotatedPoRelation::new();
+        let a = annotated.add_tuple(vec!["a".into()], Formula::True);
+        let b = annotated.add_tuple(vec!["b".into()], Formula::Var(VarId(0)));
+        let c = annotated.add_tuple(vec!["c".into()], Formula::True);
+        annotated.add_order(a, b).unwrap();
+        annotated.add_order(b, c).unwrap();
+        let without_b: BTreeMap<VarId, bool> = [(VarId(0), false)].into_iter().collect();
+        let world = annotated.world_under(&without_b);
+        assert_eq!(world.len(), 2);
+        assert!(world.is_possible_world(&labels(&["a", "c"])));
+        assert!(!world.is_possible_world(&labels(&["c", "a"])));
+    }
+
+    #[test]
+    fn sequence_possibility_probability_sums_over_valuations() {
+        // One certain element "x" and one element "y" present with prob 0.3,
+        // unordered: sequence "x" is possible exactly when y is absent.
+        let mut annotated = AnnotatedPoRelation::new();
+        annotated.add_tuple(vec!["x".into()], Formula::True);
+        annotated.add_tuple(vec!["y".into()], Formula::Var(VarId(0)));
+        let w = weights(&[(0, 0.3)]);
+        let p_only_x = annotated
+            .sequence_possibility_probability(&w, &labels(&["x"]))
+            .unwrap();
+        assert!((p_only_x - 0.7).abs() < 1e-12);
+        // "x y" and "y x" are each possible exactly when y is present.
+        let p_xy = annotated
+            .sequence_possibility_probability(&w, &labels(&["x", "y"]))
+            .unwrap();
+        let p_yx = annotated
+            .sequence_possibility_probability(&w, &labels(&["y", "x"]))
+            .unwrap();
+        assert!((p_xy - 0.3).abs() < 1e-12);
+        assert!((p_yx - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_annotations_share_events() {
+        // Two log entries contributed by the same unreliable source: both
+        // present or both absent.
+        let mut annotated = AnnotatedPoRelation::new();
+        let first = annotated.add_tuple(vec!["boot".into()], Formula::Var(VarId(0)));
+        let second = annotated.add_tuple(vec!["crash".into()], Formula::Var(VarId(0)));
+        annotated.add_order(first, second).unwrap();
+        let w = weights(&[(0, 0.6)]);
+        assert!((annotated.expected_size(&w).unwrap() - 1.2).abs() < 1e-12);
+        let p_pair = annotated
+            .sequence_possibility_probability(&w, &labels(&["boot", "crash"]))
+            .unwrap();
+        assert!((p_pair - 0.6).abs() < 1e-12);
+        let p_reversed = annotated
+            .sequence_possibility_probability(&w, &labels(&["crash", "boot"]))
+            .unwrap();
+        assert!(p_reversed.abs() < 1e-12);
+        let p_empty = annotated.sequence_possibility_probability(&w, &[]).unwrap();
+        assert!((p_empty - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_keeps_annotations() {
+        let mut annotated = AnnotatedPoRelation::new();
+        annotated.add_tuple(vec!["error".into()], Formula::Var(VarId(0)));
+        annotated.add_tuple(vec!["info".into()], Formula::True);
+        let errors = annotated.select(|t| t[0] == "error");
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors.annotation(ElementId(0)), &Formula::Var(VarId(0)));
+    }
+
+    #[test]
+    fn product_conjoins_annotations() {
+        let mut hotels = AnnotatedPoRelation::new();
+        hotels.add_tuple(vec!["h1".into()], Formula::Var(VarId(0)));
+        let mut restaurants = AnnotatedPoRelation::new();
+        restaurants.add_tuple(vec!["r1".into()], Formula::Var(VarId(1)));
+        let pairs = hotels.product_parallel(&restaurants);
+        assert_eq!(pairs.len(), 1);
+        let annotation = pairs.annotation(ElementId(0));
+        assert_eq!(annotation.variables().len(), 2);
+        // The pair exists only when both components do.
+        let w = weights(&[(0, 0.5), (1, 0.4)]);
+        let p = pairs
+            .label_presence_probability(&w, &["h1".to_string(), "r1".to_string()])
+            .unwrap();
+        assert!((p - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_parallel_keeps_both_sides_independent() {
+        let mut left = AnnotatedPoRelation::new();
+        left.add_tuple(vec!["a".into()], Formula::Var(VarId(0)));
+        let mut right = AnnotatedPoRelation::new();
+        right.add_tuple(vec!["b".into()], Formula::Var(VarId(1)));
+        let merged = left.union_parallel(&right);
+        let w = weights(&[(0, 0.5), (1, 0.5)]);
+        assert!((merged.expected_size(&w).unwrap() - 1.0).abs() < 1e-12);
+        // Both orders of "a b" are possible when both are present.
+        let p_ab = merged
+            .sequence_possibility_probability(&w, &labels(&["a", "b"]))
+            .unwrap();
+        let p_ba = merged
+            .sequence_possibility_probability(&w, &labels(&["b", "a"]))
+            .unwrap();
+        assert!((p_ab - 0.25).abs() < 1e-12);
+        assert!((p_ba - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_concat_orders_across_sides() {
+        let mut left = AnnotatedPoRelation::new();
+        left.add_tuple(vec!["a".into()], Formula::True);
+        let mut right = AnnotatedPoRelation::new();
+        right.add_tuple(vec!["b".into()], Formula::True);
+        let merged = left.union_concat(&right);
+        let w = Weights::new();
+        let p_ab = merged
+            .sequence_possibility_probability(&w, &labels(&["a", "b"]))
+            .unwrap();
+        let p_ba = merged
+            .sequence_possibility_probability(&w, &labels(&["b", "a"]))
+            .unwrap();
+        assert!((p_ab - 1.0).abs() < 1e-12);
+        assert!(p_ba.abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_keeps_annotations_and_order() {
+        let mut annotated = AnnotatedPoRelation::new();
+        let a = annotated.add_tuple(vec!["a".into(), "1".into()], Formula::Var(VarId(0)));
+        let b = annotated.add_tuple(vec!["b".into(), "2".into()], Formula::True);
+        annotated.add_order(a, b).unwrap();
+        let projected = annotated.project(&[0]);
+        assert_eq!(projected.len(), 2);
+        assert_eq!(projected.annotation(ElementId(0)), &Formula::Var(VarId(0)));
+        assert!(projected.order().precedes(ElementId(0), ElementId(1)));
+    }
+}

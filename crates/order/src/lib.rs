@@ -1,0 +1,42 @@
+//! # stuc-order — order-uncertain data
+//!
+//! The paper's Section 3: data whose *order* is uncertain. The representation
+//! system is the labeled partial order (a *po-relation*): a bag of tuples
+//! together with a partial order on them; the possible worlds are its linear
+//! extensions. The positive relational algebra gets a bag semantics over
+//! po-relations (selection, projection, two unions, two products), following
+//! the design of the cited "Querying order-incomplete data" work [6].
+//!
+//! As the paper notes, many tasks on these representations are intractable —
+//! possible-world membership for a labeled sequence, and counting linear
+//! extensions [14] — but specific structures (unordered relations, totally
+//! ordered relations) remain tractable. This crate implements both the
+//! general (exponential) algorithms and the tractable special cases, which is
+//! what experiment E9 measures.
+//!
+//! Beyond the bag-semantics core, the crate covers the extensions Section 3
+//! lists as open directions:
+//!
+//! * [`setops`] — set semantics (duplicate elimination and set operations)
+//!   with both a possible-world semantics and a certain-order
+//!   representation-level operator;
+//! * [`probability`] — a probabilistic model on orders: the uniform
+//!   distribution over linear extensions, with exact precedence / rank / top-k
+//!   probabilities and exact uniform sampling (experiment E12);
+//! * [`numeric`] — order arising from uncertain numerical values (value
+//!   intervals, comparison-constraint propagation, interpolation, and the
+//!   independent-uniform probabilistic model);
+//! * [`annotated`] — fact uncertainty combined with order uncertainty:
+//!   po-relations whose elements carry c-instance-style event annotations.
+
+pub mod annotated;
+pub mod numeric;
+pub mod porelation;
+pub mod posra;
+pub mod probability;
+pub mod setops;
+
+pub use annotated::AnnotatedPoRelation;
+pub use numeric::NumericPoRelation;
+pub use porelation::PoRelation;
+pub use probability::LinearExtensionDistribution;

@@ -1,0 +1,449 @@
+//! Order uncertainty arising from uncertain numerical values.
+//!
+//! The paper's Section 3 suggests studying "order that arises from numerical
+//! values (e.g., support, in our data mining scenario)" and asks what the
+//! possible worlds are and how to interpolate missing numerical values on
+//! partially ordered data. This module models each tuple as carrying a
+//! numeric *value interval* (an exactly known value is a degenerate
+//! interval):
+//!
+//! * the induced po-relation compares tuples whose intervals do not overlap
+//!   ([`NumericPoRelation::induced_order`]);
+//! * explicit order constraints (`value(a) < value(b)`) tighten the intervals
+//!   by propagation ([`NumericPoRelation::tighten`]), which is the
+//!   "interpolate missing numerical values" primitive — the best guess for a
+//!   missing value is the midpoint of its tightened interval;
+//! * under the independent-uniform probabilistic model on the intervals, the
+//!   probability that one tuple ranks before another has a closed form
+//!   ([`NumericPoRelation::precedence_probability_uniform`]) that can be
+//!   cross-checked against Monte-Carlo sampling
+//!   ([`NumericPoRelation::precedence_probability_monte_carlo`]).
+
+use crate::porelation::{ElementId, PoRelation};
+use rand::Rng;
+
+/// Errors raised by numeric po-relations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericOrderError {
+    /// An interval has its lower bound above its upper bound.
+    EmptyInterval { element: usize, low: f64, high: f64 },
+    /// Constraint propagation derived an empty interval: the order
+    /// constraints contradict the value intervals.
+    Inconsistent { element: usize },
+    /// An order constraint is cyclic.
+    CyclicConstraint,
+}
+
+impl std::fmt::Display for NumericOrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericOrderError::EmptyInterval { element, low, high } => {
+                write!(f, "element {element} has an empty value interval [{low}, {high}]")
+            }
+            NumericOrderError::Inconsistent { element } => {
+                write!(f, "order constraints contradict the value interval of element {element}")
+            }
+            NumericOrderError::CyclicConstraint => write!(f, "order constraints are cyclic"),
+        }
+    }
+}
+
+impl std::error::Error for NumericOrderError {}
+
+/// A relation whose tuples carry uncertain numeric values (intervals), from
+/// which an order is induced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NumericPoRelation {
+    tuples: Vec<Vec<String>>,
+    intervals: Vec<(f64, f64)>,
+    /// Explicit constraints `value(a) < value(b)`, e.g. observed comparisons.
+    constraints: Vec<(usize, usize)>,
+}
+
+impl NumericPoRelation {
+    /// Creates an empty numeric po-relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a tuple with an exactly known value.
+    pub fn add_exact(&mut self, tuple: Vec<String>, value: f64) -> ElementId {
+        self.tuples.push(tuple);
+        self.intervals.push((value, value));
+        ElementId(self.tuples.len() - 1)
+    }
+
+    /// Adds a tuple whose value is only known to lie in `[low, high]`.
+    pub fn add_interval(
+        &mut self,
+        tuple: Vec<String>,
+        low: f64,
+        high: f64,
+    ) -> Result<ElementId, NumericOrderError> {
+        if low > high {
+            return Err(NumericOrderError::EmptyInterval {
+                element: self.tuples.len(),
+                low,
+                high,
+            });
+        }
+        self.tuples.push(tuple);
+        self.intervals.push((low, high));
+        Ok(ElementId(self.tuples.len() - 1))
+    }
+
+    /// Adds the constraint `value(smaller) < value(larger)` (e.g. an observed
+    /// pairwise comparison from a crowd worker).
+    pub fn add_comparison(
+        &mut self,
+        smaller: ElementId,
+        larger: ElementId,
+    ) -> Result<(), NumericOrderError> {
+        if smaller == larger || self.reaches(larger.0, smaller.0) {
+            return Err(NumericOrderError::CyclicConstraint);
+        }
+        self.constraints.push((smaller.0, larger.0));
+        Ok(())
+    }
+
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; self.tuples.len()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            for &(a, b) in &self.constraints {
+                if a == x && !seen[b] {
+                    seen[b] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple of an element.
+    pub fn tuple(&self, e: ElementId) -> &[String] {
+        &self.tuples[e.0]
+    }
+
+    /// The current value interval of an element.
+    pub fn interval(&self, e: ElementId) -> (f64, f64) {
+        self.intervals[e.0]
+    }
+
+    /// Propagates the explicit comparisons into the intervals until a fixed
+    /// point: `value(a) < value(b)` forces `low(b) ≥ low(a)` and
+    /// `high(a) ≤ high(b)`. Fails if an interval becomes empty.
+    pub fn tighten(&mut self) -> Result<(), NumericOrderError> {
+        loop {
+            let mut changed = false;
+            for &(a, b) in &self.constraints {
+                let (low_a, high_a) = self.intervals[a];
+                let (low_b, high_b) = self.intervals[b];
+                if low_b < low_a {
+                    self.intervals[b].0 = low_a;
+                    changed = true;
+                }
+                if high_a > high_b {
+                    self.intervals[a].1 = high_b;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (index, &(low, high)) in self.intervals.iter().enumerate() {
+            if low > high {
+                return Err(NumericOrderError::Inconsistent { element: index });
+            }
+        }
+        Ok(())
+    }
+
+    /// The best guess for every value: the midpoint of its (tightened)
+    /// interval. Call [`Self::tighten`] first to take the comparisons into
+    /// account.
+    pub fn interpolate_midpoints(&self) -> Vec<f64> {
+        self.intervals.iter().map(|&(low, high)| (low + high) / 2.0).collect()
+    }
+
+    /// The po-relation induced by the intervals and explicit comparisons:
+    /// `a < b` when `high(a) < low(b)` (the intervals are disjoint and
+    /// ordered) or when the comparison was explicitly asserted.
+    pub fn induced_order(&self) -> PoRelation {
+        let mut relation = PoRelation::new();
+        let ids: Vec<ElementId> =
+            self.tuples.iter().map(|t| relation.add_tuple(t.clone())).collect();
+        for a in 0..self.tuples.len() {
+            for b in 0..self.tuples.len() {
+                if a == b {
+                    continue;
+                }
+                if self.intervals[a].1 < self.intervals[b].0 {
+                    // Intervals are disjoint; the order cannot be cyclic.
+                    let _ = relation.add_order(ids[a], ids[b]);
+                }
+            }
+        }
+        for &(a, b) in &self.constraints {
+            let _ = relation.add_order(ids[a], ids[b]);
+        }
+        relation
+    }
+
+    /// The probability that `value(a) < value(b)` under the model where each
+    /// value is drawn independently and uniformly from its interval
+    /// (explicit comparisons are ignored here; closed form).
+    pub fn precedence_probability_uniform(&self, a: ElementId, b: ElementId) -> f64 {
+        let (a_low, a_high) = self.intervals[a.0];
+        let (b_low, b_high) = self.intervals[b.0];
+        probability_uniform_less(a_low, a_high, b_low, b_high)
+    }
+
+    /// Monte-Carlo estimate of the same probability, used to cross-check the
+    /// closed form and to extend to conditioned models in tests/benchmarks.
+    pub fn precedence_probability_monte_carlo(
+        &self,
+        a: ElementId,
+        b: ElementId,
+        samples: usize,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        if samples == 0 {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            let x = sample_uniform(self.intervals[a.0], rng);
+            let y = sample_uniform(self.intervals[b.0], rng);
+            if x < y {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    }
+
+    /// Monte-Carlo estimate of the probability that element `e` has one of
+    /// the `k` largest values (a top-`k` by support query, as in the crowd
+    /// data-mining scenario the paper cites).
+    pub fn top_k_probability_monte_carlo(
+        &self,
+        e: ElementId,
+        k: usize,
+        samples: usize,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        if samples == 0 || k == 0 {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            let values: Vec<f64> =
+                self.intervals.iter().map(|&iv| sample_uniform(iv, rng)).collect();
+            let own = values[e.0];
+            let larger = values
+                .iter()
+                .enumerate()
+                .filter(|&(index, &v)| index != e.0 && v > own)
+                .count();
+            if larger < k {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    }
+}
+
+fn sample_uniform(interval: (f64, f64), rng: &mut impl Rng) -> f64 {
+    let (low, high) = interval;
+    if low == high {
+        low
+    } else {
+        low + (high - low) * rng.random::<f64>()
+    }
+}
+
+/// `P[X < Y]` for independent `X ~ U[a_low, a_high]`, `Y ~ U[b_low, b_high]`.
+///
+/// Degenerate (point) intervals are allowed; ties between point values count
+/// as "not less".
+pub fn probability_uniform_less(a_low: f64, a_high: f64, b_low: f64, b_high: f64) -> f64 {
+    // Degenerate (point) X: P[a < Y] = mass of Y above a.
+    if a_low == a_high {
+        if b_low == b_high {
+            return if a_low < b_low { 1.0 } else { 0.0 };
+        }
+        return ((b_high - a_low) / (b_high - b_low)).clamp(0.0, 1.0);
+    }
+    // P[X < Y] = E_Y[ F_X(Y) ] where F_X is the (continuous, piecewise
+    // linear) CDF of X; integrate it over [b_low, b_high] or evaluate at the
+    // point.
+    let cdf_x = |y: f64| -> f64 { ((y - a_low) / (a_high - a_low)).clamp(0.0, 1.0) };
+    if b_low == b_high {
+        return cdf_x(b_low);
+    }
+    // Piecewise-linear integral of cdf_x over [b_low, b_high], divided by the
+    // interval length. Break at a_low and a_high.
+    let mut points = vec![b_low, b_high];
+    for candidate in [a_low, a_high] {
+        if candidate > b_low && candidate < b_high {
+            points.push(candidate);
+        }
+    }
+    points.sort_by(|x, y| x.partial_cmp(y).expect("finite bounds"));
+    let mut integral = 0.0;
+    for window in points.windows(2) {
+        let (left, right) = (window[0], window[1]);
+        // cdf_x is linear on each piece: trapezoid rule is exact.
+        integral += (cdf_x(left) + cdf_x(right)) / 2.0 * (right - left);
+    }
+    integral / (b_high - b_low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn label(name: &str) -> Vec<String> {
+        vec![name.to_string()]
+    }
+
+    #[test]
+    fn disjoint_intervals_induce_a_total_order() {
+        let mut numeric = NumericPoRelation::new();
+        let low = numeric.add_interval(label("low"), 0.0, 1.0).unwrap();
+        let mid = numeric.add_interval(label("mid"), 2.0, 3.0).unwrap();
+        let high = numeric.add_exact(label("high"), 5.0);
+        let order = numeric.induced_order();
+        assert!(order.precedes(ElementId(low.0), ElementId(mid.0)));
+        assert!(order.precedes(ElementId(mid.0), ElementId(high.0)));
+        assert!(order.is_totally_ordered());
+    }
+
+    #[test]
+    fn overlapping_intervals_are_incomparable() {
+        let mut numeric = NumericPoRelation::new();
+        let a = numeric.add_interval(label("a"), 0.0, 2.0).unwrap();
+        let b = numeric.add_interval(label("b"), 1.0, 3.0).unwrap();
+        let order = numeric.induced_order();
+        assert!(!order.precedes(ElementId(a.0), ElementId(b.0)));
+        assert!(!order.precedes(ElementId(b.0), ElementId(a.0)));
+    }
+
+    #[test]
+    fn empty_interval_is_rejected() {
+        let mut numeric = NumericPoRelation::new();
+        assert!(matches!(
+            numeric.add_interval(label("x"), 2.0, 1.0),
+            Err(NumericOrderError::EmptyInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn comparisons_tighten_intervals() {
+        // support(a) < support(b) with a in [0, 10], b in [0, 4]:
+        // propagation keeps a ≤ 4 and leaves b's lower bound at 0 ≥ 0.
+        let mut numeric = NumericPoRelation::new();
+        let a = numeric.add_interval(label("a"), 0.0, 10.0).unwrap();
+        let b = numeric.add_interval(label("b"), 0.0, 4.0).unwrap();
+        numeric.add_comparison(a, b).unwrap();
+        numeric.tighten().unwrap();
+        assert_eq!(numeric.interval(a), (0.0, 4.0));
+        assert_eq!(numeric.interval(b), (0.0, 4.0));
+        let guesses = numeric.interpolate_midpoints();
+        assert!((guesses[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chained_comparisons_propagate_transitively() {
+        let mut numeric = NumericPoRelation::new();
+        let a = numeric.add_exact(label("a"), 1.0);
+        let b = numeric.add_interval(label("b"), 0.0, 10.0).unwrap();
+        let c = numeric.add_exact(label("c"), 3.0);
+        numeric.add_comparison(a, b).unwrap();
+        numeric.add_comparison(b, c).unwrap();
+        numeric.tighten().unwrap();
+        // b is squeezed between the known values 1 and 3.
+        assert_eq!(numeric.interval(b), (1.0, 3.0));
+        assert!((numeric.interpolate_midpoints()[b.0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contradictory_comparisons_are_detected() {
+        let mut numeric = NumericPoRelation::new();
+        let a = numeric.add_exact(label("a"), 5.0);
+        let b = numeric.add_exact(label("b"), 1.0);
+        numeric.add_comparison(a, b).unwrap();
+        assert!(matches!(
+            numeric.tighten(),
+            Err(NumericOrderError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_comparisons_are_rejected() {
+        let mut numeric = NumericPoRelation::new();
+        let a = numeric.add_interval(label("a"), 0.0, 1.0).unwrap();
+        let b = numeric.add_interval(label("b"), 0.0, 1.0).unwrap();
+        numeric.add_comparison(a, b).unwrap();
+        assert_eq!(numeric.add_comparison(b, a), Err(NumericOrderError::CyclicConstraint));
+    }
+
+    #[test]
+    fn uniform_precedence_identical_intervals_is_half() {
+        let p = probability_uniform_less(0.0, 1.0, 0.0, 1.0);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_precedence_disjoint_intervals_is_certain() {
+        assert!((probability_uniform_less(0.0, 1.0, 2.0, 3.0) - 1.0).abs() < 1e-12);
+        assert!(probability_uniform_less(2.0, 3.0, 0.0, 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_precedence_point_versus_interval() {
+        // X = 1, Y ~ U[0, 4]: P[X < Y] = 3/4.
+        assert!((probability_uniform_less(1.0, 1.0, 0.0, 4.0) - 0.75).abs() < 1e-12);
+        // X ~ U[0, 4], Y = 1: P[X < Y] = 1/4.
+        assert!((probability_uniform_less(0.0, 4.0, 1.0, 1.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_form_matches_monte_carlo() {
+        let mut numeric = NumericPoRelation::new();
+        let a = numeric.add_interval(label("a"), 0.0, 3.0).unwrap();
+        let b = numeric.add_interval(label("b"), 1.0, 2.0).unwrap();
+        let exact = numeric.precedence_probability_uniform(a, b);
+        let mut rng = StdRng::seed_from_u64(11);
+        let estimate = numeric.precedence_probability_monte_carlo(a, b, 20_000, &mut rng);
+        assert!((exact - estimate).abs() < 0.02, "exact {exact} vs estimate {estimate}");
+    }
+
+    #[test]
+    fn top_k_probability_of_dominant_element_is_high() {
+        let mut numeric = NumericPoRelation::new();
+        let strong = numeric.add_interval(label("strong"), 8.0, 10.0).unwrap();
+        let _weak1 = numeric.add_interval(label("weak1"), 0.0, 5.0).unwrap();
+        let _weak2 = numeric.add_interval(label("weak2"), 0.0, 5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = numeric.top_k_probability_monte_carlo(strong, 1, 2_000, &mut rng);
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,452 @@
+//! Labeled partial orders (po-relations) and their possible worlds.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A handle to one tuple (element) of a [`PoRelation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElementId(pub usize);
+
+/// A po-relation: a bag of labeled tuples with a partial order on them.
+///
+/// The label of an element is its tuple of values; distinct elements may
+/// carry equal labels (bag semantics). The possible worlds are the linear
+/// extensions of the order, read as sequences of labels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoRelation {
+    /// The tuples, indexed by element id.
+    tuples: Vec<Vec<String>>,
+    /// Direct order constraints `a < b` (not necessarily transitively closed).
+    edges: BTreeSet<(usize, usize)>,
+}
+
+/// Errors raised by po-relation construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderError {
+    /// Adding this constraint would create a cycle.
+    CyclicOrder,
+    /// The arity of a tuple does not match the relation.
+    ArityMismatch { expected: usize, got: usize },
+    /// Too many elements for an exhaustive operation.
+    TooManyElements(usize),
+}
+
+impl std::fmt::Display for OrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderError::CyclicOrder => write!(f, "order constraints are cyclic"),
+            OrderError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match relation arity {expected}")
+            }
+            OrderError::TooManyElements(n) => {
+                write!(f, "{n} elements exceed the exhaustive-enumeration limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+/// Cap for exhaustive linear-extension enumeration and counting.
+pub const ENUMERATION_LIMIT: usize = 20;
+
+impl PoRelation {
+    /// Creates an empty po-relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an unordered relation (empty order) from tuples.
+    pub fn unordered(tuples: Vec<Vec<String>>) -> Self {
+        PoRelation { tuples, edges: BTreeSet::new() }
+    }
+
+    /// Builds a totally ordered relation (a list) from tuples, ordered as
+    /// given.
+    pub fn totally_ordered(tuples: Vec<Vec<String>>) -> Self {
+        let mut edges = BTreeSet::new();
+        for i in 0..tuples.len().saturating_sub(1) {
+            edges.insert((i, i + 1));
+        }
+        PoRelation { tuples, edges }
+    }
+
+    /// Adds a tuple and returns its element id.
+    pub fn add_tuple(&mut self, tuple: Vec<String>) -> ElementId {
+        self.tuples.push(tuple);
+        ElementId(self.tuples.len() - 1)
+    }
+
+    /// Adds the order constraint `before < after`.
+    ///
+    /// Returns an error (and leaves the relation unchanged) if the constraint
+    /// would create a cycle.
+    pub fn add_order(&mut self, before: ElementId, after: ElementId) -> Result<(), OrderError> {
+        if before == after || self.precedes(after, before) {
+            return Err(OrderError::CyclicOrder);
+        }
+        self.edges.insert((before.0, after.0));
+        Ok(())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple of an element.
+    pub fn tuple(&self, e: ElementId) -> &[String] {
+        &self.tuples[e.0]
+    }
+
+    /// Iterator over `(element, tuple)`.
+    pub fn elements(&self) -> impl Iterator<Item = (ElementId, &Vec<String>)> {
+        self.tuples.iter().enumerate().map(|(i, t)| (ElementId(i), t))
+    }
+
+    /// The direct order constraints.
+    pub fn order_edges(&self) -> impl Iterator<Item = (ElementId, ElementId)> + '_ {
+        self.edges.iter().map(|&(a, b)| (ElementId(a), ElementId(b)))
+    }
+
+    /// True if `a` precedes `b` in the transitive closure of the order.
+    pub fn precedes(&self, a: ElementId, b: ElementId) -> bool {
+        if a == b {
+            return false;
+        }
+        let successors = self.successor_lists();
+        let mut seen = vec![false; self.tuples.len()];
+        let mut stack = vec![a.0];
+        seen[a.0] = true;
+        while let Some(x) = stack.pop() {
+            for &y in successors.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if y == b.0 {
+                    return true;
+                }
+                if !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    fn successor_lists(&self) -> BTreeMap<usize, Vec<usize>> {
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(a, b) in &self.edges {
+            map.entry(a).or_default().push(b);
+        }
+        map
+    }
+
+    /// True if the order is total (every pair of elements is comparable).
+    pub fn is_totally_ordered(&self) -> bool {
+        let n = self.tuples.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !self.precedes(ElementId(a), ElementId(b))
+                    && !self.precedes(ElementId(b), ElementId(a))
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if the order is empty (an unordered bag).
+    pub fn is_unordered(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All linear extensions, as sequences of element ids. Exponential;
+    /// refuses relations larger than [`ENUMERATION_LIMIT`].
+    pub fn linear_extensions(&self) -> Result<Vec<Vec<ElementId>>, OrderError> {
+        let n = self.tuples.len();
+        if n > ENUMERATION_LIMIT {
+            return Err(OrderError::TooManyElements(n));
+        }
+        let mut results = Vec::new();
+        let mut remaining: BTreeSet<usize> = (0..n).collect();
+        let mut prefix = Vec::new();
+        self.extend_linearly(&mut remaining, &mut prefix, &mut results);
+        Ok(results)
+    }
+
+    fn extend_linearly(
+        &self,
+        remaining: &mut BTreeSet<usize>,
+        prefix: &mut Vec<ElementId>,
+        results: &mut Vec<Vec<ElementId>>,
+    ) {
+        if remaining.is_empty() {
+            results.push(prefix.clone());
+            return;
+        }
+        let candidates: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&x| {
+                // x is minimal among the remaining elements.
+                !self
+                    .edges
+                    .iter()
+                    .any(|&(a, b)| b == x && remaining.contains(&a))
+            })
+            .collect();
+        for x in candidates {
+            remaining.remove(&x);
+            prefix.push(ElementId(x));
+            self.extend_linearly(remaining, prefix, results);
+            prefix.pop();
+            remaining.insert(x);
+        }
+    }
+
+    /// The number of linear extensions, by dynamic programming over downsets
+    /// (`O(2^n · n)`); the paper cites Brightwell–Winkler for the hardness of
+    /// this problem in general.
+    pub fn count_linear_extensions(&self) -> Result<u64, OrderError> {
+        let n = self.tuples.len();
+        if n > ENUMERATION_LIMIT {
+            return Err(OrderError::TooManyElements(n));
+        }
+        if n == 0 {
+            return Ok(1);
+        }
+        // predecessors[x] = bitmask of elements that must come before x.
+        let mut predecessors = vec![0u64; n];
+        for &(a, b) in &self.edges {
+            predecessors[b] |= 1 << a;
+        }
+        let full = (1u64 << n) - 1;
+        let mut count: HashMap<u64, u64> = HashMap::new();
+        count.insert(0, 1);
+        let mut subsets: Vec<u64> = (0..=full).collect();
+        subsets.sort_by_key(|s| s.count_ones());
+        for &s in &subsets {
+            if s == 0 {
+                continue;
+            }
+            let mut total = 0u64;
+            let mut bits = s;
+            while bits != 0 {
+                let x = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // x can be the last element of the prefix s iff all its
+                // predecessors are in s.
+                if predecessors[x] & s == predecessors[x] {
+                    total += count.get(&(s & !(1 << x))).copied().unwrap_or(0);
+                }
+            }
+            count.insert(s, total);
+        }
+        Ok(count[&full])
+    }
+
+    /// True if the given sequence of labels (tuples) is one of the possible
+    /// worlds, i.e. is the label sequence of some linear extension.
+    ///
+    /// This is the problem the paper points out is intractable in general
+    /// (the sequence gives labels, not element identities, so a matching must
+    /// be found); the implementation is a backtracking search, with the two
+    /// tractable special cases (unordered and totally ordered relations)
+    /// short-circuited.
+    pub fn is_possible_world(&self, sequence: &[Vec<String>]) -> bool {
+        if sequence.len() != self.tuples.len() {
+            return false;
+        }
+        // Tractable special case 1: totally ordered — just compare label
+        // sequences directly.
+        if self.is_totally_ordered() {
+            if let Ok(extensions) = self.single_total_order() {
+                return extensions
+                    .iter()
+                    .map(|e| &self.tuples[e.0])
+                    .eq(sequence.iter());
+            }
+        }
+        // Tractable special case 2: unordered — compare label multisets.
+        if self.is_unordered() {
+            let mut ours: Vec<&Vec<String>> = self.tuples.iter().collect();
+            let mut theirs: Vec<&Vec<String>> = sequence.iter().collect();
+            ours.sort();
+            theirs.sort();
+            return ours == theirs;
+        }
+        // General case: backtracking assignment of sequence positions to
+        // elements respecting labels and the order.
+        let mut used = vec![false; self.tuples.len()];
+        self.match_sequence(sequence, 0, &mut used, &mut Vec::new())
+    }
+
+    fn single_total_order(&self) -> Result<Vec<ElementId>, OrderError> {
+        // Topological sort (unique when totally ordered).
+        let n = self.tuples.len();
+        let mut indegree = vec![0usize; n];
+        for &(_, b) in &self.edges {
+            indegree[b] += 1;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<usize> = (0..n).filter(|&x| indegree[x] == 0).collect();
+        while let Some(x) = queue.pop() {
+            order.push(ElementId(x));
+            for &(a, b) in &self.edges {
+                if a == x {
+                    indegree[b] -= 1;
+                    if indegree[b] == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(OrderError::CyclicOrder)
+        }
+    }
+
+    fn match_sequence(
+        &self,
+        sequence: &[Vec<String>],
+        position: usize,
+        used: &mut Vec<bool>,
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        if position == sequence.len() {
+            return true;
+        }
+        for e in 0..self.tuples.len() {
+            if used[e] || self.tuples[e] != sequence[position] {
+                continue;
+            }
+            // All order-predecessors of e must already be placed.
+            let ok = self
+                .edges
+                .iter()
+                .filter(|&&(_, b)| b == e)
+                .all(|&(a, _)| chosen.contains(&a));
+            if !ok {
+                continue;
+            }
+            used[e] = true;
+            chosen.push(e);
+            if self.match_sequence(sequence, position + 1, used, chosen) {
+                return true;
+            }
+            chosen.pop();
+            used[e] = false;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(items: &[&str]) -> Vec<Vec<String>> {
+        items.iter().map(|s| vec![s.to_string()]).collect()
+    }
+
+    #[test]
+    fn totally_ordered_has_one_extension() {
+        let po = PoRelation::totally_ordered(labels(&["a", "b", "c"]));
+        assert!(po.is_totally_ordered());
+        assert_eq!(po.count_linear_extensions().unwrap(), 1);
+        assert_eq!(po.linear_extensions().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unordered_has_factorial_extensions() {
+        let po = PoRelation::unordered(labels(&["a", "b", "c", "d"]));
+        assert!(po.is_unordered());
+        assert_eq!(po.count_linear_extensions().unwrap(), 24);
+        assert_eq!(po.linear_extensions().unwrap().len(), 24);
+    }
+
+    #[test]
+    fn count_matches_enumeration_on_fence_poset() {
+        // a < b, c < b, c < d: a "fence" with 3 linear extensions... check by
+        // both methods rather than by hand.
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        let c = po.add_tuple(vec!["c".into()]);
+        let d = po.add_tuple(vec!["d".into()]);
+        po.add_order(a, b).unwrap();
+        po.add_order(c, b).unwrap();
+        po.add_order(c, d).unwrap();
+        let enumerated = po.linear_extensions().unwrap().len() as u64;
+        assert_eq!(po.count_linear_extensions().unwrap(), enumerated);
+        assert!(enumerated > 1);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        po.add_order(a, b).unwrap();
+        assert_eq!(po.add_order(b, a), Err(OrderError::CyclicOrder));
+        assert_eq!(po.add_order(a, a), Err(OrderError::CyclicOrder));
+    }
+
+    #[test]
+    fn precedes_is_transitive() {
+        let po = PoRelation::totally_ordered(labels(&["a", "b", "c"]));
+        assert!(po.precedes(ElementId(0), ElementId(2)));
+        assert!(!po.precedes(ElementId(2), ElementId(0)));
+    }
+
+    #[test]
+    fn possible_world_check_total_order() {
+        let po = PoRelation::totally_ordered(labels(&["a", "b", "c"]));
+        assert!(po.is_possible_world(&labels(&["a", "b", "c"])));
+        assert!(!po.is_possible_world(&labels(&["b", "a", "c"])));
+        assert!(!po.is_possible_world(&labels(&["a", "b"])));
+    }
+
+    #[test]
+    fn possible_world_check_unordered() {
+        let po = PoRelation::unordered(labels(&["a", "b", "b"]));
+        assert!(po.is_possible_world(&labels(&["b", "a", "b"])));
+        assert!(!po.is_possible_world(&labels(&["a", "a", "b"])));
+    }
+
+    #[test]
+    fn possible_world_check_with_duplicate_labels_and_order() {
+        // Two elements labeled "x" with one constrained before "y".
+        let mut po = PoRelation::new();
+        let x1 = po.add_tuple(vec!["x".into()]);
+        let _x2 = po.add_tuple(vec!["x".into()]);
+        let y = po.add_tuple(vec!["y".into()]);
+        po.add_order(x1, y).unwrap();
+        // "x y x" is realizable (the unconstrained x goes last).
+        assert!(po.is_possible_world(&labels(&["x", "y", "x"])));
+        // "y x x" is not: some x must precede y.
+        assert!(!po.is_possible_world(&labels(&["y", "x", "x"])));
+    }
+
+    #[test]
+    fn enumeration_limit_is_enforced() {
+        let po = PoRelation::unordered(labels(&vec!["t"; ENUMERATION_LIMIT + 1]));
+        assert!(matches!(
+            po.count_linear_extensions(),
+            Err(OrderError::TooManyElements(_))
+        ));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let po = PoRelation::new();
+        assert_eq!(po.count_linear_extensions().unwrap(), 1);
+        assert!(po.is_possible_world(&[]));
+    }
+}

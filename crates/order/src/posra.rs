@@ -1,0 +1,247 @@
+//! The positive relational algebra with bag semantics on po-relations.
+//!
+//! Following the design the paper summarises from [6]: operators take
+//! po-relations to po-relations, preserving the order constraints of their
+//! inputs and adding only the constraints the operator semantics requires.
+//! Order-ambiguous operators come in two flavours: union as *parallel*
+//! (no constraints between the two sides) or *concatenation* (everything in
+//! the first argument before everything in the second), and product as
+//! *parallel* (component-wise order) or *lexicographic*.
+
+use crate::porelation::{ElementId, PoRelation};
+
+/// Selection: keeps the elements whose tuple satisfies the predicate, with
+/// the induced order.
+pub fn select(relation: &PoRelation, predicate: impl Fn(&[String]) -> bool) -> PoRelation {
+    let mut result = PoRelation::new();
+    let mut kept: Vec<(ElementId, ElementId)> = Vec::new(); // (original, new)
+    for (e, tuple) in relation.elements() {
+        if predicate(tuple) {
+            kept.push((e, result.add_tuple(tuple.clone())));
+        }
+    }
+    // The induced order is the restriction of the *transitive closure*: two
+    // kept elements stay comparable even when the elements between them were
+    // filtered out.
+    for (i, &(original_a, new_a)) in kept.iter().enumerate() {
+        for &(original_b, new_b) in &kept[i + 1..] {
+            if relation.precedes(original_a, original_b) {
+                result.add_order(new_a, new_b).expect("induced order is acyclic");
+            } else if relation.precedes(original_b, original_a) {
+                result.add_order(new_b, new_a).expect("induced order is acyclic");
+            }
+        }
+    }
+    result
+}
+
+/// Projection: keeps the listed columns of every tuple (bag semantics:
+/// duplicates are kept as distinct elements), preserving the order.
+pub fn project(relation: &PoRelation, columns: &[usize]) -> PoRelation {
+    let mut result = PoRelation::new();
+    let mut mapping = Vec::with_capacity(relation.len());
+    for (_, tuple) in relation.elements() {
+        let projected: Vec<String> = columns.iter().map(|&c| tuple[c].clone()).collect();
+        mapping.push(result.add_tuple(projected));
+    }
+    for (a, b) in relation.order_edges() {
+        result.add_order(mapping[a.0], mapping[b.0]).expect("order preserved");
+    }
+    result
+}
+
+/// Parallel union: the disjoint union of the two relations with no order
+/// constraints between the sides (the "integrate two lists whose relative
+/// order is unknown" case).
+pub fn union_parallel(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    union_with(left, right, false)
+}
+
+/// Concatenation union: everything of `left` comes before everything of
+/// `right` (appending one log to another).
+pub fn union_concat(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    union_with(left, right, true)
+}
+
+fn union_with(left: &PoRelation, right: &PoRelation, concatenate: bool) -> PoRelation {
+    let mut result = PoRelation::new();
+    let left_map: Vec<ElementId> = left
+        .elements()
+        .map(|(_, t)| result.add_tuple(t.clone()))
+        .collect();
+    let right_map: Vec<ElementId> = right
+        .elements()
+        .map(|(_, t)| result.add_tuple(t.clone()))
+        .collect();
+    for (a, b) in left.order_edges() {
+        result.add_order(left_map[a.0], left_map[b.0]).expect("acyclic");
+    }
+    for (a, b) in right.order_edges() {
+        result.add_order(right_map[a.0], right_map[b.0]).expect("acyclic");
+    }
+    if concatenate {
+        for &l in &left_map {
+            for &r in &right_map {
+                result.add_order(l, r).expect("acyclic");
+            }
+        }
+    }
+    result
+}
+
+/// Parallel (direct) product: tuples are concatenated; `(a, b) < (a', b')`
+/// whenever `a ≤ a'` and `b ≤ b'` with at least one strict — here realised by
+/// adding the component-wise constraints.
+pub fn product_parallel(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    product_with(left, right, false)
+}
+
+/// Lexicographic product: pairs are ordered first by the left component,
+/// then (within equal left elements) by the right component.
+pub fn product_lexicographic(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    product_with(left, right, true)
+}
+
+fn product_with(left: &PoRelation, right: &PoRelation, lexicographic: bool) -> PoRelation {
+    let mut result = PoRelation::new();
+    let mut ids = vec![vec![ElementId(0); right.len()]; left.len()];
+    for (l, lt) in left.elements() {
+        for (r, rt) in right.elements() {
+            let mut tuple = lt.clone();
+            tuple.extend(rt.iter().cloned());
+            ids[l.0][r.0] = result.add_tuple(tuple);
+        }
+    }
+    // Left-component constraints: (l, r) < (l', r) when l < l'
+    // (lexicographic: (l, r) < (l', r') for all r, r').
+    for (a, b) in left.order_edges() {
+        for r in 0..right.len() {
+            if lexicographic {
+                for r2 in 0..right.len() {
+                    result.add_order(ids[a.0][r], ids[b.0][r2]).expect("acyclic");
+                }
+            } else {
+                result.add_order(ids[a.0][r], ids[b.0][r]).expect("acyclic");
+            }
+        }
+    }
+    // Right-component constraints: (l, r) < (l, r') when r < r'.
+    for (a, b) in right.order_edges() {
+        for l in 0..left.len() {
+            result.add_order(ids[l][a.0], ids[l][b.0]).expect("acyclic");
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(items: &[&str]) -> PoRelation {
+        PoRelation::totally_ordered(items.iter().map(|s| vec![s.to_string()]).collect())
+    }
+
+    #[test]
+    fn selection_preserves_order() {
+        let hotels = list(&["ritz", "motel", "grand", "hostel"]);
+        let fancy = select(&hotels, |t| t[0] == "ritz" || t[0] == "grand");
+        assert_eq!(fancy.len(), 2);
+        assert!(fancy.is_totally_ordered());
+        assert!(fancy.is_possible_world(&[vec!["ritz".into()], vec!["grand".into()]]));
+        assert!(!fancy.is_possible_world(&[vec!["grand".into()], vec!["ritz".into()]]));
+    }
+
+    #[test]
+    fn projection_keeps_duplicates() {
+        let mut po = PoRelation::new();
+        po.add_tuple(vec!["a".into(), "1".into()]);
+        po.add_tuple(vec!["a".into(), "2".into()]);
+        let projected = project(&po, &[0]);
+        assert_eq!(projected.len(), 2);
+    }
+
+    #[test]
+    fn parallel_union_interleaves() {
+        // Two ranked lists integrated with unknown relative order: the
+        // possible worlds are all interleavings.
+        let a = list(&["a1", "a2"]);
+        let b = list(&["b1"]);
+        let u = union_parallel(&a, &b);
+        assert_eq!(u.count_linear_extensions().unwrap(), 3);
+        assert!(u.is_possible_world(&[
+            vec!["a1".into()],
+            vec!["b1".into()],
+            vec!["a2".into()]
+        ]));
+        assert!(!u.is_possible_world(&[
+            vec!["a2".into()],
+            vec!["a1".into()],
+            vec!["b1".into()]
+        ]));
+    }
+
+    #[test]
+    fn concat_union_fixes_relative_order() {
+        let a = list(&["a1", "a2"]);
+        let b = list(&["b1"]);
+        let u = union_concat(&a, &b);
+        assert_eq!(u.count_linear_extensions().unwrap(), 1);
+        assert!(u.is_possible_world(&[
+            vec!["a1".into()],
+            vec!["a2".into()],
+            vec!["b1".into()]
+        ]));
+    }
+
+    #[test]
+    fn parallel_product_pairs_hotels_and_restaurants() {
+        // "choices of a hotel and restaurant in the same neighborhood":
+        // both inputs ranked, the product keeps component-wise dominance.
+        let hotels = list(&["h1", "h2"]);
+        let restaurants = list(&["r1", "r2"]);
+        let pairs = product_parallel(&hotels, &restaurants);
+        assert_eq!(pairs.len(), 4);
+        // (h1, r1) precedes (h2, r2) by transitivity of dominance.
+        assert!(pairs.precedes(
+            crate::porelation::ElementId(0),
+            crate::porelation::ElementId(3)
+        ));
+        // (h1, r2) and (h2, r1) are incomparable.
+        assert!(!pairs.is_totally_ordered());
+        // Dominance order on a 2×2 grid has 2 linear extensions.
+        assert_eq!(pairs.count_linear_extensions().unwrap(), 2);
+    }
+
+    #[test]
+    fn lexicographic_product_is_total_for_total_inputs() {
+        let hotels = list(&["h1", "h2"]);
+        let restaurants = list(&["r1", "r2"]);
+        let pairs = product_lexicographic(&hotels, &restaurants);
+        assert!(pairs.is_totally_ordered());
+        assert_eq!(pairs.count_linear_extensions().unwrap(), 1);
+    }
+
+    #[test]
+    fn union_of_unordered_relations_stays_unordered() {
+        let a = PoRelation::unordered(vec![vec!["x".into()]]);
+        let b = PoRelation::unordered(vec![vec!["y".into()], vec!["z".into()]]);
+        let u = union_parallel(&a, &b);
+        assert!(u.is_unordered());
+        assert_eq!(u.count_linear_extensions().unwrap(), 6);
+    }
+
+    #[test]
+    fn log_integration_scenario() {
+        // Two machine logs (each internally ordered) merged; a query selects
+        // the error lines; the result's possible worlds respect both logs.
+        let log1 = list(&["boot", "error_a", "shutdown"]);
+        let log2 = list(&["start", "error_b"]);
+        let merged = union_parallel(&log1, &log2);
+        let errors = select(&merged, |t| t[0].starts_with("error"));
+        assert_eq!(errors.len(), 2);
+        // Both error orders are possible.
+        assert!(errors.is_possible_world(&[vec!["error_a".into()], vec!["error_b".into()]]));
+        assert!(errors.is_possible_world(&[vec!["error_b".into()], vec!["error_a".into()]]));
+    }
+}

@@ -1,0 +1,359 @@
+//! A probabilistic model on order-uncertain data: the uniform distribution
+//! over the linear extensions of a po-relation.
+//!
+//! The paper's Section 3 asks "How can we define a probability distribution
+//! on the possible ways to order the data?" and notes that even *counting*
+//! the possible worlds of partially ordered data may be intractable
+//! (Brightwell–Winkler). This module implements the natural first answer —
+//! every linear extension is equally likely — with exact computation by
+//! dynamic programming over downsets (exponential in the number of elements,
+//! hence capped at [`ENUMERATION_LIMIT`]) and exact uniform sampling, so
+//! that the tractability frontier the paper describes can be measured
+//! (experiment E12).
+
+use crate::porelation::{ElementId, PoRelation, OrderError, ENUMERATION_LIMIT};
+use rand::Rng;
+
+/// The uniform distribution over the linear extensions of a po-relation.
+///
+/// Construction precomputes, for every downset `S` of the order, the number
+/// of ways to arrange `S` as a prefix (`down[S]`) and the number of ways to
+/// arrange its complement as a suffix (`up[S]`). All per-query operations
+/// (precedence probabilities, rank distributions, uniform sampling) then run
+/// in time polynomial in the number of elements times the table size.
+#[derive(Debug, Clone)]
+pub struct LinearExtensionDistribution {
+    element_count: usize,
+    /// `predecessors[x]` = bitmask of the direct order-predecessors of `x`.
+    predecessors: Vec<u64>,
+    /// `down[S]` = number of linear arrangements of `S` as a prefix.
+    down: Vec<u64>,
+    /// `up[S]` = number of linear arrangements of the complement of `S` as a
+    /// suffix, given that all of `S` is already placed.
+    up: Vec<u64>,
+}
+
+impl LinearExtensionDistribution {
+    /// Builds the distribution for a po-relation.
+    ///
+    /// Fails with [`OrderError::TooManyElements`] beyond the enumeration
+    /// limit (the tables have `2^n` entries).
+    pub fn new(relation: &PoRelation) -> Result<Self, OrderError> {
+        let n = relation.len();
+        if n > ENUMERATION_LIMIT {
+            return Err(OrderError::TooManyElements(n));
+        }
+        let mut predecessors = vec![0u64; n];
+        for (a, b) in relation.order_edges() {
+            predecessors[b.0] |= 1 << a.0;
+        }
+        let (down, up) = Self::tables(n, &predecessors);
+        Ok(LinearExtensionDistribution { element_count: n, predecessors, down, up })
+    }
+
+    fn tables(n: usize, predecessors: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let size = 1usize << n;
+        let mut down = vec![0u64; size];
+        down[0] = 1;
+        for s in 1..size {
+            let mask = s as u64;
+            let mut total = 0u64;
+            let mut bits = mask;
+            while bits != 0 {
+                let x = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // x can be the last element of the prefix `s` iff all its
+                // predecessors are already in `s` (they are then before it).
+                if predecessors[x] & mask == predecessors[x] {
+                    total += down[s & !(1usize << x)];
+                }
+            }
+            down[s] = total;
+        }
+        let mut up = vec![0u64; size];
+        up[size - 1] = 1;
+        for s in (0..size - 1).rev() {
+            let mask = s as u64;
+            let mut total = 0u64;
+            for x in 0..n {
+                if mask & (1 << x) != 0 {
+                    continue;
+                }
+                // x can come immediately after the prefix `s` iff all its
+                // predecessors are in `s`.
+                if predecessors[x] & mask == predecessors[x] {
+                    total += up[s | (1usize << x)];
+                }
+            }
+            up[s] = total;
+        }
+        (down, up)
+    }
+
+    /// Number of elements of the underlying relation.
+    pub fn element_count(&self) -> usize {
+        self.element_count
+    }
+
+    /// The total number of linear extensions (the size of the sample space).
+    pub fn total_extensions(&self) -> u64 {
+        self.up[0]
+    }
+
+    /// The probability that element `a` appears before element `b` in a
+    /// uniformly chosen linear extension.
+    ///
+    /// Computed as the fraction of linear extensions of the order augmented
+    /// with the extra constraint `a < b`.
+    pub fn precedence_probability(&self, a: ElementId, b: ElementId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let total = self.total_extensions();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut predecessors = self.predecessors.clone();
+        predecessors[b.0] |= 1 << a.0;
+        let (_, up) = Self::tables(self.element_count, &predecessors);
+        up[0] as f64 / total as f64
+    }
+
+    /// The distribution of the rank (0-based position) of element `e` in a
+    /// uniformly chosen linear extension. The returned vector has one entry
+    /// per possible rank and sums to 1 (when the order is consistent).
+    pub fn rank_distribution(&self, e: ElementId) -> Vec<f64> {
+        let n = self.element_count;
+        let total = self.total_extensions();
+        let mut distribution = vec![0.0; n];
+        if total == 0 {
+            return distribution;
+        }
+        let size = 1usize << n;
+        for s in 0..size {
+            let mask = s as u64;
+            if mask & (1 << e.0) != 0 {
+                continue;
+            }
+            if self.predecessors[e.0] & mask != self.predecessors[e.0] {
+                continue;
+            }
+            let prefix_ways = self.down[s];
+            if prefix_ways == 0 {
+                continue;
+            }
+            let suffix_ways = self.up[s | (1usize << e.0)];
+            if suffix_ways == 0 {
+                continue;
+            }
+            let rank = mask.count_ones() as usize;
+            distribution[rank] += (prefix_ways * suffix_ways) as f64 / total as f64;
+        }
+        distribution
+    }
+
+    /// The probability that element `e` is among the first `k` positions of a
+    /// uniformly chosen linear extension (a top-`k` membership probability,
+    /// as in the paper's crowd data-mining motivation).
+    pub fn top_k_probability(&self, e: ElementId, k: usize) -> f64 {
+        self.rank_distribution(e).iter().take(k).sum()
+    }
+
+    /// The expected (0-based) rank of element `e`.
+    pub fn expected_rank(&self, e: ElementId) -> f64 {
+        self.rank_distribution(e)
+            .iter()
+            .enumerate()
+            .map(|(rank, p)| rank as f64 * p)
+            .sum()
+    }
+
+    /// Draws a linear extension uniformly at random.
+    ///
+    /// Uses the suffix-count table: after placing the downset `S`, the next
+    /// element is chosen with probability proportional to the number of
+    /// completions it leaves open, which yields the exact uniform
+    /// distribution over linear extensions.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<ElementId> {
+        let n = self.element_count;
+        let mut placed = 0usize;
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let remaining_ways = self.up[placed];
+            if remaining_ways == 0 {
+                break;
+            }
+            let mut target = rng.random_range(0..remaining_ways);
+            for x in 0..n {
+                if placed & (1usize << x) != 0 {
+                    continue;
+                }
+                if self.predecessors[x] & placed as u64 != self.predecessors[x] {
+                    continue;
+                }
+                let ways = self.up[placed | (1usize << x)];
+                if target < ways {
+                    order.push(ElementId(x));
+                    placed |= 1usize << x;
+                    break;
+                }
+                target -= ways;
+            }
+        }
+        order
+    }
+
+    /// The probability that the label at position 0 of a uniformly chosen
+    /// linear extension of `relation` equals `label` (a "who is ranked
+    /// first?" query). The relation must be the one the distribution was
+    /// built from.
+    pub fn first_label_probability(&self, relation: &PoRelation, label: &[String]) -> f64 {
+        relation
+            .elements()
+            .filter(|(_, tuple)| tuple.as_slice() == label)
+            .map(|(e, _)| self.rank_distribution(e)[0])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels(items: &[&str]) -> Vec<Vec<String>> {
+        items.iter().map(|s| vec![s.to_string()]).collect()
+    }
+
+    #[test]
+    fn total_matches_count_linear_extensions() {
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        let c = po.add_tuple(vec!["c".into()]);
+        let d = po.add_tuple(vec!["d".into()]);
+        po.add_order(a, b).unwrap();
+        po.add_order(c, b).unwrap();
+        po.add_order(c, d).unwrap();
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        assert_eq!(dist.total_extensions(), po.count_linear_extensions().unwrap());
+    }
+
+    #[test]
+    fn precedence_probability_unordered_pair_is_half() {
+        let po = PoRelation::unordered(labels(&["a", "b"]));
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        let p = dist.precedence_probability(ElementId(0), ElementId(1));
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_probability_respects_constraints() {
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        po.add_order(a, b).unwrap();
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        assert!((dist.precedence_probability(a, b) - 1.0).abs() < 1e-12);
+        assert!(dist.precedence_probability(b, a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_probabilities_are_complementary() {
+        // In a fence a < b, c < b, c < d the pair (a, d) is unconstrained but
+        // not symmetric; still P[a<d] + P[d<a] = 1.
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        let c = po.add_tuple(vec!["c".into()]);
+        let d = po.add_tuple(vec!["d".into()]);
+        po.add_order(a, b).unwrap();
+        po.add_order(c, b).unwrap();
+        po.add_order(c, d).unwrap();
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        let forward = dist.precedence_probability(a, d);
+        let backward = dist.precedence_probability(d, a);
+        assert!((forward + backward - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_distribution_sums_to_one_and_matches_enumeration() {
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        let c = po.add_tuple(vec!["c".into()]);
+        po.add_order(a, b).unwrap();
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        for element in [a, b, c] {
+            let ranks = dist.rank_distribution(element);
+            let sum: f64 = ranks.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        // Enumerate to cross-check the rank distribution of c.
+        let extensions = po.linear_extensions().unwrap();
+        let total = extensions.len() as f64;
+        let mut expected = vec![0.0; 3];
+        for ext in &extensions {
+            let position = ext.iter().position(|&e| e == c).unwrap();
+            expected[position] += 1.0 / total;
+        }
+        let computed = dist.rank_distribution(c);
+        for (x, y) in expected.iter().zip(computed.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_and_expected_rank_for_total_order() {
+        let po = PoRelation::totally_ordered(labels(&["first", "second", "third"]));
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        assert!((dist.top_k_probability(ElementId(0), 1) - 1.0).abs() < 1e-12);
+        assert!(dist.top_k_probability(ElementId(2), 2).abs() < 1e-12);
+        assert!((dist.expected_rank(ElementId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_the_order_and_is_roughly_uniform() {
+        let mut po = PoRelation::new();
+        let a = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        let c = po.add_tuple(vec!["c".into()]);
+        po.add_order(a, b).unwrap();
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c_first = 0usize;
+        let trials = 3000;
+        for _ in 0..trials {
+            let sample = dist.sample(&mut rng);
+            assert_eq!(sample.len(), 3);
+            let pos_a = sample.iter().position(|&e| e == a).unwrap();
+            let pos_b = sample.iter().position(|&e| e == b).unwrap();
+            assert!(pos_a < pos_b);
+            if sample[0] == c {
+                c_first += 1;
+            }
+        }
+        // c is first in 1/3 of the 3 linear extensions: a b c, a c b, c a b.
+        let observed = c_first as f64 / trials as f64;
+        assert!((observed - 1.0 / 3.0).abs() < 0.05, "observed {observed}");
+    }
+
+    #[test]
+    fn first_label_probability_aggregates_duplicates() {
+        // Two elements labeled "x" and one "y", all unordered: P[first = x] = 2/3.
+        let po = PoRelation::unordered(labels(&["x", "x", "y"]));
+        let dist = LinearExtensionDistribution::new(&po).unwrap();
+        let p = dist.first_label_probability(&po, &[String::from("x")]);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_many_elements_is_rejected() {
+        let po = PoRelation::unordered(labels(&vec!["t"; ENUMERATION_LIMIT + 1]));
+        assert!(matches!(
+            LinearExtensionDistribution::new(&po),
+            Err(OrderError::TooManyElements(_))
+        ));
+    }
+}

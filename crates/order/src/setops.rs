@@ -1,0 +1,309 @@
+//! Set semantics for the positive relational algebra on po-relations.
+//!
+//! The paper's Section 3 lists set semantics as an open extension of the bag
+//! semantics of [`crate::posra`]: "we would need to extend our representation
+//! system to more operators, and to set semantics as well as bag semantics".
+//! This module provides two complementary pieces:
+//!
+//! 1. a **possible-world semantics** of duplicate elimination — the possible
+//!    worlds of `distinct(R)` are the sequences obtained from the linear
+//!    extensions of `R` by keeping only the first occurrence of every label
+//!    ([`set_possible_worlds`], [`is_set_possible_world`]);
+//! 2. a **representation-level operator** [`distinct_certain`], which builds
+//!    a po-relation over the distinct labels ordered by the *certain* order
+//!    (label `x` before label `y` iff every `x`-element precedes every
+//!    `y`-element). Its linear extensions over-approximate the possible
+//!    worlds of the exact semantics, which is the soundness direction needed
+//!    to answer certainty queries; [`distinct_is_exact`] detects the cases
+//!    where the two coincide (notably duplicate-free relations).
+
+use std::collections::BTreeSet;
+
+use crate::porelation::{ElementId, OrderError, PoRelation};
+
+/// Keeps only the first occurrence of every label in a sequence.
+pub fn dedup_sequence(sequence: &[Vec<String>]) -> Vec<Vec<String>> {
+    let mut seen: BTreeSet<&Vec<String>> = BTreeSet::new();
+    let mut result = Vec::new();
+    for tuple in sequence {
+        if seen.insert(tuple) {
+            result.push(tuple.clone());
+        }
+    }
+    result
+}
+
+/// The possible worlds of `distinct(relation)`: all duplicate-free label
+/// sequences obtained by deduplicating a linear extension of the relation.
+///
+/// Exponential (it enumerates linear extensions); refuses relations larger
+/// than the enumeration limit.
+pub fn set_possible_worlds(
+    relation: &PoRelation,
+) -> Result<BTreeSet<Vec<Vec<String>>>, OrderError> {
+    let mut worlds = BTreeSet::new();
+    for extension in relation.linear_extensions()? {
+        let sequence: Vec<Vec<String>> =
+            extension.iter().map(|&e| relation.tuple(e).to_vec()).collect();
+        worlds.insert(dedup_sequence(&sequence));
+    }
+    Ok(worlds)
+}
+
+/// True if the duplicate-free sequence is a possible world of
+/// `distinct(relation)`.
+///
+/// Fast paths: on unordered relations any ordering of the distinct labels is
+/// possible; on totally ordered relations the world is unique. The general
+/// case enumerates linear extensions and is exponential, mirroring the
+/// intractability the paper points out for possible-world membership.
+pub fn is_set_possible_world(
+    relation: &PoRelation,
+    sequence: &[Vec<String>],
+) -> Result<bool, OrderError> {
+    let distinct_labels: BTreeSet<&Vec<String>> =
+        relation.elements().map(|(_, t)| t).collect();
+    let candidate: BTreeSet<&Vec<String>> = sequence.iter().collect();
+    if candidate.len() != sequence.len() || candidate != distinct_labels {
+        return Ok(false);
+    }
+    if relation.is_unordered() {
+        return Ok(true);
+    }
+    if relation.is_totally_ordered() {
+        let extensions = relation.linear_extensions()?;
+        let total: Vec<Vec<String>> = extensions[0]
+            .iter()
+            .map(|&e| relation.tuple(e).to_vec())
+            .collect();
+        return Ok(dedup_sequence(&total) == sequence);
+    }
+    Ok(set_possible_worlds(relation)?.contains(sequence))
+}
+
+/// Duplicate elimination under the *certain order*: the result has one
+/// element per distinct label, and label `x` precedes label `y` iff every
+/// `x`-element precedes every `y`-element of the input.
+///
+/// The linear extensions of the result contain every possible world of the
+/// exact set semantics (the certain order only keeps constraints that hold in
+/// every linear extension of the input), so certainty judgements made on it
+/// are sound.
+pub fn distinct_certain(relation: &PoRelation) -> PoRelation {
+    let mut labels: Vec<Vec<String>> = Vec::new();
+    let mut members: Vec<Vec<ElementId>> = Vec::new();
+    for (e, tuple) in relation.elements() {
+        match labels.iter().position(|l| l == tuple) {
+            Some(index) => members[index].push(e),
+            None => {
+                labels.push(tuple.clone());
+                members.push(vec![e]);
+            }
+        }
+    }
+    let mut result = PoRelation::new();
+    let ids: Vec<ElementId> = labels.iter().map(|l| result.add_tuple(l.clone())).collect();
+    for i in 0..labels.len() {
+        for j in 0..labels.len() {
+            if i == j {
+                continue;
+            }
+            let all_before = members[i]
+                .iter()
+                .all(|&a| members[j].iter().all(|&b| relation.precedes(a, b)));
+            if all_before {
+                result
+                    .add_order(ids[i], ids[j])
+                    .expect("certain order between label groups is acyclic");
+            }
+        }
+    }
+    result
+}
+
+/// True if the representation-level [`distinct_certain`] operator is exact
+/// for this relation, i.e. its linear extensions are exactly the possible
+/// worlds of the set semantics. This holds in particular when no label is
+/// duplicated; the general comparison enumerates both sides.
+pub fn distinct_is_exact(relation: &PoRelation) -> Result<bool, OrderError> {
+    let exact = set_possible_worlds(relation)?;
+    let approximated = distinct_certain(relation);
+    let mut approx_worlds = BTreeSet::new();
+    for extension in approximated.linear_extensions()? {
+        let sequence: Vec<Vec<String>> = extension
+            .iter()
+            .map(|&e| approximated.tuple(e).to_vec())
+            .collect();
+        approx_worlds.insert(sequence);
+    }
+    Ok(exact == approx_worlds)
+}
+
+/// Set-semantics union: parallel (order-free between the sides) union
+/// followed by duplicate elimination under the certain order.
+pub fn union_distinct(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    distinct_certain(&crate::posra::union_parallel(left, right))
+}
+
+/// The distinct labels shared by both relations, as an unordered po-relation
+/// (set-semantics intersection; the input orders generally disagree, so no
+/// order constraint is certain).
+pub fn intersection_distinct(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    let right_labels: BTreeSet<&Vec<String>> = right.elements().map(|(_, t)| t).collect();
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut result = PoRelation::new();
+    for (_, tuple) in left.elements() {
+        if right_labels.contains(tuple) && seen.insert(tuple.clone()) {
+            result.add_tuple(tuple.clone());
+        }
+    }
+    result
+}
+
+/// The distinct labels of `left` that do not occur in `right`, with the
+/// certain order induced from `left` (set-semantics difference).
+pub fn difference_distinct(left: &PoRelation, right: &PoRelation) -> PoRelation {
+    let right_labels: BTreeSet<&Vec<String>> = right.elements().map(|(_, t)| t).collect();
+    let filtered = crate::posra::select(left, |tuple| !right_labels.contains(&tuple.to_vec()));
+    distinct_certain(&filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(items: &[&str]) -> Vec<Vec<String>> {
+        items.iter().map(|s| vec![s.to_string()]).collect()
+    }
+
+    fn list(items: &[&str]) -> PoRelation {
+        PoRelation::totally_ordered(labels(items))
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrences() {
+        let sequence = labels(&["a", "b", "a", "c", "b"]);
+        assert_eq!(dedup_sequence(&sequence), labels(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn set_worlds_of_total_order_with_duplicates() {
+        let po = list(&["a", "b", "a"]);
+        let worlds = set_possible_worlds(&po).unwrap();
+        assert_eq!(worlds.len(), 1);
+        assert!(worlds.contains(&labels(&["a", "b"])));
+    }
+
+    #[test]
+    fn set_worlds_of_parallel_union_cover_both_orders() {
+        // Two rankings of the same two items integrated: distinct results can
+        // come out in either order.
+        let first = list(&["x", "y"]);
+        let second = list(&["y", "x"]);
+        let merged = crate::posra::union_parallel(&first, &second);
+        let worlds = set_possible_worlds(&merged).unwrap();
+        assert!(worlds.contains(&labels(&["x", "y"])));
+        assert!(worlds.contains(&labels(&["y", "x"])));
+        assert_eq!(worlds.len(), 2);
+    }
+
+    #[test]
+    fn membership_fast_paths() {
+        let unordered = PoRelation::unordered(labels(&["a", "b", "b"]));
+        assert!(is_set_possible_world(&unordered, &labels(&["b", "a"])).unwrap());
+        assert!(is_set_possible_world(&unordered, &labels(&["a", "b"])).unwrap());
+        assert!(!is_set_possible_world(&unordered, &labels(&["a"])).unwrap());
+        assert!(!is_set_possible_world(&unordered, &labels(&["a", "b", "b"])).unwrap());
+
+        let total = list(&["a", "b", "a"]);
+        assert!(is_set_possible_world(&total, &labels(&["a", "b"])).unwrap());
+        assert!(!is_set_possible_world(&total, &labels(&["b", "a"])).unwrap());
+    }
+
+    #[test]
+    fn distinct_certain_merges_duplicates_and_keeps_certain_order() {
+        // a1 < b and a2 < b, with a1, a2 both labeled "a": "a" certainly
+        // precedes "b" in the distinct result.
+        let mut po = PoRelation::new();
+        let a1 = po.add_tuple(vec!["a".into()]);
+        let a2 = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        po.add_order(a1, b).unwrap();
+        po.add_order(a2, b).unwrap();
+        let distinct = distinct_certain(&po);
+        assert_eq!(distinct.len(), 2);
+        assert!(distinct.is_possible_world(&labels(&["a", "b"])));
+        assert!(!distinct.is_possible_world(&labels(&["b", "a"])));
+    }
+
+    #[test]
+    fn distinct_certain_drops_uncertain_order() {
+        // Only one of the two "a" elements precedes "b": the order between
+        // the labels is not certain, so the distinct result leaves them
+        // incomparable.
+        let mut po = PoRelation::new();
+        let a1 = po.add_tuple(vec!["a".into()]);
+        let _a2 = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        po.add_order(a1, b).unwrap();
+        let distinct = distinct_certain(&po);
+        assert!(distinct.is_unordered());
+    }
+
+    #[test]
+    fn distinct_exactness_detection() {
+        // Duplicate-free relation: exact.
+        let duplicate_free = list(&["a", "b", "c"]);
+        assert!(distinct_is_exact(&duplicate_free).unwrap());
+        // Strict over-approximation: with a1 < b and a second free "a"
+        // element, every linear extension starts with some "a", so the exact
+        // set semantics only produces "a b" — but the certain order between
+        // the labels is empty, so the approximation also admits "b a".
+        let mut po = PoRelation::new();
+        let a1 = po.add_tuple(vec!["a".into()]);
+        let _a2 = po.add_tuple(vec!["a".into()]);
+        let b = po.add_tuple(vec!["b".into()]);
+        po.add_order(a1, b).unwrap();
+        assert!(!distinct_is_exact(&po).unwrap());
+    }
+
+    #[test]
+    fn union_of_agreeing_rankings_exact_versus_certain() {
+        let first = list(&["gold", "silver"]);
+        let second = list(&["gold", "silver"]);
+        let merged = crate::posra::union_parallel(&first, &second);
+        // Exact set semantics: every interleaving starts with some "gold"
+        // element, so the only deduplicated world is gold-then-silver.
+        let exact = set_possible_worlds(&merged).unwrap();
+        assert_eq!(exact.len(), 1);
+        assert!(exact.contains(&labels(&["gold", "silver"])));
+        // The certain-order operator only keeps constraints holding between
+        // *every* pair across the two sides, so it over-approximates: the
+        // distinct result is unordered (both orders admitted).
+        let distinct = union_distinct(&first, &second);
+        assert_eq!(distinct.len(), 2);
+        assert!(distinct.is_unordered());
+        assert!(!distinct_is_exact(&merged).unwrap());
+    }
+
+    #[test]
+    fn union_distinct_of_conflicting_rankings_is_unordered() {
+        let first = list(&["gold", "silver"]);
+        let second = list(&["silver", "gold"]);
+        let merged = union_distinct(&first, &second);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.is_unordered());
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let left = list(&["a", "b", "c"]);
+        let right = list(&["b", "c", "d"]);
+        let both = intersection_distinct(&left, &right);
+        assert_eq!(both.len(), 2);
+        assert!(both.is_unordered());
+        let only_left = difference_distinct(&left, &right);
+        assert_eq!(only_left.len(), 1);
+        assert_eq!(only_left.tuple(ElementId(0)), &["a".to_string()][..]);
+    }
+}

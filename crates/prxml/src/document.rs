@@ -1,0 +1,453 @@
+//! The PrXML document model.
+//!
+//! A document is a tree of labeled nodes. Every parent→child edge carries a
+//! *condition* describing when the child (and hence its whole subtree) is
+//! present:
+//!
+//! * certain edges — always present;
+//! * `ind` edges — present independently with a given probability (a fresh
+//!   hidden Boolean variable);
+//! * `mux` groups — at most one of the children is present, with given
+//!   probabilities (encoded over fresh independent variables by the usual
+//!   chain construction);
+//! * `cie` edges — present exactly when a conjunction of (possibly negated)
+//!   *named global events* holds; events are shared across the document and
+//!   carry independent probabilities, which is how the correlation "either
+//!   Jane is trustworthy and both her facts are present, or neither is"
+//!   from Figure 1 is expressed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use stuc_circuit::circuit::{Circuit, GateId, VarId};
+use stuc_circuit::weights::Weights;
+
+/// A handle to a node of a [`PrXmlDocument`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// The condition attached to a parent→child edge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeCondition {
+    /// The child is always present (when its parent is).
+    Certain,
+    /// The child is present when the conjunction of these literals holds;
+    /// each literal is `(variable, polarity)`.
+    Literals(Vec<(VarId, bool)>),
+}
+
+/// One node of a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrXmlNode {
+    /// The element label (or text content).
+    pub label: String,
+    /// Children in document order, with their edge conditions.
+    pub children: Vec<(NodeId, EdgeCondition)>,
+}
+
+/// A probabilistic XML document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PrXmlDocument {
+    nodes: Vec<PrXmlNode>,
+    root: Option<NodeId>,
+    /// Probabilities of every variable (hidden ind/mux variables and named
+    /// global events alike).
+    probabilities: Weights,
+    /// Names of the global events, for display and lookup.
+    event_names: BTreeMap<String, VarId>,
+    /// Which variables are *named global events* (as opposed to hidden
+    /// ind/mux variables); used by the scope analysis.
+    global_events: BTreeSet<VarId>,
+    next_variable: usize,
+}
+
+impl PrXmlDocument {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given label (initially parentless and childless).
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        self.nodes.push(PrXmlNode { label: label.to_string(), children: Vec::new() });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Designates the root.
+    pub fn set_root(&mut self, node: NodeId) {
+        assert!(node.0 < self.nodes.len(), "root out of range");
+        self.root = Some(node);
+    }
+
+    /// The root node.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node.
+    pub fn node(&self, n: NodeId) -> &PrXmlNode {
+        &self.nodes[n.0]
+    }
+
+    /// The label of a node.
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.nodes[n.0].label
+    }
+
+    /// The variable probabilities (hidden variables and global events).
+    pub fn probabilities(&self) -> &Weights {
+        &self.probabilities
+    }
+
+    /// Mutable access to the probabilities (used by conditioning).
+    pub fn probabilities_mut(&mut self) -> &mut Weights {
+        &mut self.probabilities
+    }
+
+    /// All variables used by the document.
+    pub fn variables(&self) -> BTreeSet<VarId> {
+        let mut vars = BTreeSet::new();
+        for node in &self.nodes {
+            for (_, condition) in &node.children {
+                if let EdgeCondition::Literals(lits) = condition {
+                    vars.extend(lits.iter().map(|(v, _)| *v));
+                }
+            }
+        }
+        vars
+    }
+
+    /// The set of variables that are named global events.
+    pub fn global_events(&self) -> &BTreeSet<VarId> {
+        &self.global_events
+    }
+
+    /// Declares (or retrieves) a named global event with a probability.
+    pub fn declare_event(&mut self, name: &str, probability: f64) -> VarId {
+        if let Some(&v) = self.event_names.get(name) {
+            self.probabilities.set(v, probability);
+            return v;
+        }
+        let v = self.fresh_variable(probability);
+        self.event_names.insert(name.to_string(), v);
+        self.global_events.insert(v);
+        v
+    }
+
+    /// Looks up a declared event.
+    pub fn find_event(&self, name: &str) -> Option<VarId> {
+        self.event_names.get(name).copied()
+    }
+
+    fn fresh_variable(&mut self, probability: f64) -> VarId {
+        let v = VarId(self.next_variable);
+        self.next_variable += 1;
+        self.probabilities.set(v, probability);
+        v
+    }
+
+    /// Attaches `child` under `parent` with a certain edge.
+    pub fn add_child(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[parent.0].children.push((child, EdgeCondition::Certain));
+    }
+
+    /// Attaches `child` under `parent` through an `ind` edge: present
+    /// independently with the given probability. Returns the hidden variable.
+    pub fn add_ind_child(&mut self, parent: NodeId, child: NodeId, probability: f64) -> VarId {
+        let v = self.fresh_variable(probability);
+        self.nodes[parent.0]
+            .children
+            .push((child, EdgeCondition::Literals(vec![(v, true)])));
+        v
+    }
+
+    /// Attaches a `mux` group under `parent`: at most one of `choices` is
+    /// present, child `i` with probability `choices[i].1`. Probabilities must
+    /// sum to at most 1; any remainder is the probability that none is
+    /// present. Returns the hidden choice variables (chain encoding).
+    pub fn add_mux_children(&mut self, parent: NodeId, choices: &[(NodeId, f64)]) -> Vec<VarId> {
+        let total: f64 = choices.iter().map(|(_, p)| *p).sum();
+        assert!(total <= 1.0 + 1e-9, "mux probabilities sum to {total} > 1");
+        let mut remaining = 1.0;
+        let mut previous: Vec<VarId> = Vec::new();
+        let mut variables = Vec::new();
+        for &(child, p) in choices {
+            // P(v_i) = p_i / remaining mass; child i present iff v_i and no
+            // earlier v_j. This makes the choices mutually exclusive with the
+            // requested marginals while all hidden variables stay independent.
+            let conditional = if remaining <= 1e-12 { 0.0 } else { (p / remaining).min(1.0) };
+            let v = self.fresh_variable(conditional);
+            let mut literals: Vec<(VarId, bool)> = previous.iter().map(|&u| (u, false)).collect();
+            literals.push((v, true));
+            self.nodes[parent.0]
+                .children
+                .push((child, EdgeCondition::Literals(literals)));
+            previous.push(v);
+            variables.push(v);
+            remaining -= p;
+        }
+        variables
+    }
+
+    /// Attaches `child` under `parent` through a `cie` edge: present exactly
+    /// when the conjunction of the event literals holds.
+    pub fn add_cie_child(&mut self, parent: NodeId, child: NodeId, literals: Vec<(VarId, bool)>) {
+        self.nodes[parent.0]
+            .children
+            .push((child, EdgeCondition::Literals(literals)));
+    }
+
+    /// The presence circuit: one gate per node, true exactly when the node is
+    /// present in the possible world defined by the variable valuation.
+    ///
+    /// Gates are shared along paths (a node's gate is the AND of its parent's
+    /// gate and its edge literals), so the circuit is as tree-shaped as the
+    /// document — this is what keeps its treewidth small when event scopes
+    /// are bounded.
+    pub fn presence_circuit(&self) -> (Circuit, Vec<GateId>) {
+        let mut circuit = Circuit::new();
+        let true_gate = circuit.add_const(true);
+        let false_gate = circuit.add_const(false);
+        let mut input_gates: BTreeMap<VarId, GateId> = BTreeMap::new();
+        let mut node_gates: Vec<GateId> = vec![false_gate; self.nodes.len()];
+        let Some(root) = self.root else {
+            return (circuit, node_gates);
+        };
+        node_gates[root.0] = true_gate;
+        // Traverse top-down from the root (children were added after their
+        // parents is not guaranteed, so use an explicit traversal).
+        let mut stack = vec![root];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[root.0] = true;
+        while let Some(parent) = stack.pop() {
+            let parent_gate = node_gates[parent.0];
+            for (child, condition) in self.nodes[parent.0].children.clone() {
+                let gate = match condition {
+                    EdgeCondition::Certain => parent_gate,
+                    EdgeCondition::Literals(literals) => {
+                        let mut inputs = vec![parent_gate];
+                        for (v, polarity) in literals {
+                            let input = *input_gates
+                                .entry(v)
+                                .or_insert_with(|| circuit.add_input(v));
+                            inputs.push(if polarity { input } else { circuit.add_not(input) });
+                        }
+                        circuit.add_and(inputs)
+                    }
+                };
+                node_gates[child.0] = gate;
+                if !visited[child.0] {
+                    visited[child.0] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        (circuit, node_gates)
+    }
+
+    /// The set of nodes present in the possible world defined by a valuation
+    /// of the variables (missing variables default to false).
+    pub fn world_nodes(&self, valuation: &BTreeMap<VarId, bool>) -> BTreeSet<NodeId> {
+        let mut present = BTreeSet::new();
+        let Some(root) = self.root else { return present };
+        let mut stack = vec![root];
+        present.insert(root);
+        while let Some(parent) = stack.pop() {
+            for (child, condition) in &self.nodes[parent.0].children {
+                let holds = match condition {
+                    EdgeCondition::Certain => true,
+                    EdgeCondition::Literals(literals) => literals
+                        .iter()
+                        .all(|(v, polarity)| valuation.get(v).copied().unwrap_or(false) == *polarity),
+                };
+                if holds && present.insert(*child) {
+                    stack.push(*child);
+                }
+            }
+        }
+        present
+    }
+
+    /// The parent of each node (`None` for the root and unattached nodes).
+    pub fn parents(&self) -> Vec<Option<NodeId>> {
+        let mut parents = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (child, _) in &node.children {
+                parents[child.0] = Some(NodeId(i));
+            }
+        }
+        parents
+    }
+
+    /// The PrXML document of the paper's Figure 1: the Wikidata entry about
+    /// Chelsea Manning, with an `ind` occupation, a `mux` given name, and two
+    /// facts correlated by the contributor event `eJane` (probability 0.9).
+    pub fn figure1_example() -> PrXmlDocument {
+        let mut doc = PrXmlDocument::new();
+        let root = doc.add_node("Q298423");
+        doc.set_root(root);
+
+        // ind (0.4) → occupation → musician
+        let occupation = doc.add_node("occupation");
+        let musician = doc.add_node("musician");
+        doc.add_child(occupation, musician);
+        doc.add_ind_child(root, occupation, 0.4);
+
+        // eJane (0.9) conditions both "place of birth" and "surname".
+        let jane = doc.declare_event("eJane", 0.9);
+        let place_of_birth = doc.add_node("place of birth");
+        let crescent = doc.add_node("Crescent");
+        doc.add_child(place_of_birth, crescent);
+        doc.add_cie_child(root, place_of_birth, vec![(jane, true)]);
+
+        let surname = doc.add_node("surname");
+        let manning = doc.add_node("Manning");
+        doc.add_child(surname, manning);
+        doc.add_cie_child(root, surname, vec![(jane, true)]);
+
+        // given name → mux { Bradley 0.4, Chelsea 0.6 }
+        let given_name = doc.add_node("given name");
+        doc.add_child(root, given_name);
+        let bradley = doc.add_node("Bradley");
+        let chelsea = doc.add_node("Chelsea");
+        doc.add_mux_children(given_name, &[(bradley, 0.4), (chelsea, 0.6)]);
+
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_structure() {
+        let doc = PrXmlDocument::figure1_example();
+        assert_eq!(doc.len(), 10);
+        assert!(doc.root().is_some());
+        assert!(doc.find_event("eJane").is_some());
+        // Variables: 1 ind + 1 event + 2 mux.
+        assert_eq!(doc.variables().len(), 4);
+    }
+
+    #[test]
+    fn figure1_worlds_respect_jane_correlation() {
+        let doc = PrXmlDocument::figure1_example();
+        let jane = doc.find_event("eJane").unwrap();
+        // Jane trusted: both her facts are present.
+        let world = doc.world_nodes(&BTreeMap::from([(jane, true)]));
+        let labels: Vec<&str> = world.iter().map(|&n| doc.label(n)).collect();
+        assert!(labels.contains(&"place of birth"));
+        assert!(labels.contains(&"surname"));
+        // Jane untrusted: neither is.
+        let world = doc.world_nodes(&BTreeMap::from([(jane, false)]));
+        let labels: Vec<&str> = world.iter().map(|&n| doc.label(n)).collect();
+        assert!(!labels.contains(&"place of birth"));
+        assert!(!labels.contains(&"surname"));
+    }
+
+    #[test]
+    fn mux_children_are_mutually_exclusive() {
+        let doc = PrXmlDocument::figure1_example();
+        // In every valuation of the two mux variables, at most one of
+        // Bradley/Chelsea is present.
+        let vars: Vec<VarId> = doc.variables().into_iter().collect();
+        for bits in 0..(1u32 << vars.len()) {
+            let valuation: BTreeMap<VarId, bool> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits & (1 << i) != 0))
+                .collect();
+            let world = doc.world_nodes(&valuation);
+            let bradley = world.iter().any(|&n| doc.label(n) == "Bradley");
+            let chelsea = world.iter().any(|&n| doc.label(n) == "Chelsea");
+            assert!(!(bradley && chelsea), "mux children both present");
+        }
+    }
+
+    #[test]
+    fn mux_marginals_match_requested_probabilities() {
+        let mut doc = PrXmlDocument::new();
+        let root = doc.add_node("root");
+        doc.set_root(root);
+        let a = doc.add_node("a");
+        let b = doc.add_node("b");
+        let c = doc.add_node("c");
+        let vars = doc.add_mux_children(root, &[(a, 0.2), (b, 0.5), (c, 0.3)]);
+        // Enumerate the hidden variables and accumulate marginals.
+        let mut marginals = [0.0f64; 3];
+        for bits in 0..(1u32 << vars.len()) {
+            let valuation: BTreeMap<VarId, bool> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits & (1 << i) != 0))
+                .collect();
+            let mut probability = 1.0;
+            for (&v, &value) in vars.iter().zip(valuation.values()) {
+                probability *= doc.probabilities().weight(v, value).unwrap();
+            }
+            let world = doc.world_nodes(&valuation);
+            for (i, node) in [a, b, c].iter().enumerate() {
+                if world.contains(node) {
+                    marginals[i] += probability;
+                }
+            }
+        }
+        assert!((marginals[0] - 0.2).abs() < 1e-9);
+        assert!((marginals[1] - 0.5).abs() < 1e-9);
+        assert!((marginals[2] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presence_circuit_matches_world_semantics() {
+        let doc = PrXmlDocument::figure1_example();
+        let (circuit, gates) = doc.presence_circuit();
+        let vars: Vec<VarId> = doc.variables().into_iter().collect();
+        for bits in 0..(1u32 << vars.len()) {
+            let valuation: BTreeMap<VarId, bool> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, bits & (1 << i) != 0))
+                .collect();
+            let world = doc.world_nodes(&valuation);
+            let values = circuit.evaluate_all(&valuation).unwrap();
+            for n in 0..doc.len() {
+                assert_eq!(
+                    values[gates[n].0],
+                    world.contains(&NodeId(n)),
+                    "node {n} bits {bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parents_are_computed() {
+        let doc = PrXmlDocument::figure1_example();
+        let parents = doc.parents();
+        let root = doc.root().unwrap();
+        assert_eq!(parents[root.0], None);
+        // Every non-root node has a parent in this document.
+        let orphan_count = parents.iter().enumerate().filter(|(i, p)| p.is_none() && NodeId(*i) != root).count();
+        assert_eq!(orphan_count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn mux_over_unit_mass_panics() {
+        let mut doc = PrXmlDocument::new();
+        let root = doc.add_node("root");
+        doc.set_root(root);
+        let a = doc.add_node("a");
+        let b = doc.add_node("b");
+        doc.add_mux_children(root, &[(a, 0.8), (b, 0.4)]);
+    }
+}

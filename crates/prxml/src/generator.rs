@@ -1,0 +1,142 @@
+//! Synthetic Wikidata-style PrXML document generators.
+//!
+//! The paper's Figure 1 is a hand-written excerpt of a Wikidata entry; the
+//! event-scope experiment (E6) needs documents of that shape at scale. The
+//! generator produces documents with:
+//!
+//! * one entity subtree per entity, each with a number of property nodes;
+//! * `ind` uncertainty on property values (extraction noise);
+//! * `mux` choices among alternative values;
+//! * contributor events (`cie`) correlating the facts added by the same
+//!   contributor — the "user Jane" pattern — with a configurable *nesting
+//!   depth* which directly controls the maximum node scope.
+
+use crate::document::PrXmlDocument;
+
+/// Parameters of the synthetic Wikidata-style generator.
+#[derive(Debug, Clone)]
+pub struct WikidataStyleConfig {
+    /// Number of entity subtrees.
+    pub entities: usize,
+    /// Number of property nodes per entity.
+    pub properties_per_entity: usize,
+    /// Number of contributors; each property is attributed to one of them
+    /// round-robin and conditioned on that contributor's trust event.
+    pub contributors: usize,
+    /// Nesting depth of contributor-conditioned sections inside each entity:
+    /// depth `d` wraps properties in `d` nested `cie`-conditioned section
+    /// nodes with *distinct* events, so the maximum node scope is `d`
+    /// (plus one for the property's own contributor event).
+    pub scope_depth: usize,
+    /// Probability that an extracted property value is correct (`ind` edges).
+    pub extraction_probability: f64,
+    /// Probability that a contributor is trustworthy.
+    pub trust_probability: f64,
+}
+
+impl Default for WikidataStyleConfig {
+    fn default() -> Self {
+        WikidataStyleConfig {
+            entities: 10,
+            properties_per_entity: 5,
+            contributors: 3,
+            scope_depth: 1,
+            extraction_probability: 0.8,
+            trust_probability: 0.9,
+        }
+    }
+}
+
+/// Generates a synthetic Wikidata-style PrXML document.
+pub fn wikidata_style_document(config: &WikidataStyleConfig) -> PrXmlDocument {
+    let mut doc = PrXmlDocument::new();
+    let root = doc.add_node("wikidata");
+    doc.set_root(root);
+
+    let contributor_events: Vec<_> = (0..config.contributors.max(1))
+        .map(|i| doc.declare_event(&format!("contributor{i}"), config.trust_probability))
+        .collect();
+
+    let mut property_counter = 0usize;
+    for e in 0..config.entities {
+        let entity = doc.add_node(&format!("entity{e}"));
+        doc.add_child(root, entity);
+
+        // Nested contributor-conditioned sections control the node scope.
+        let mut attach_point = entity;
+        for d in 0..config.scope_depth {
+            let section = doc.add_node(&format!("section_e{e}_d{d}"));
+            let event = doc.declare_event(
+                &format!("section_event_e{e}_d{d}"),
+                config.trust_probability,
+            );
+            doc.add_cie_child(attach_point, section, vec![(event, true)]);
+            attach_point = section;
+        }
+
+        for p in 0..config.properties_per_entity {
+            let contributor = contributor_events[property_counter % contributor_events.len()];
+            property_counter += 1;
+            let property = doc.add_node(&format!("property{p}"));
+            doc.add_cie_child(attach_point, property, vec![(contributor, true)]);
+            // The value itself is uncertain extraction output.
+            let value = doc.add_node(&format!("value_e{e}_p{p}"));
+            doc.add_ind_child(property, value, config.extraction_probability);
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{query_probability, PrxmlQuery};
+    use crate::scope::analyze_scopes;
+
+    #[test]
+    fn generated_document_has_expected_size() {
+        let config = WikidataStyleConfig { entities: 4, properties_per_entity: 3, ..Default::default() };
+        let doc = wikidata_style_document(&config);
+        // root + 4 entities + 4 sections (depth 1) + 4·3 properties + 4·3 values.
+        assert_eq!(doc.len(), 1 + 4 + 4 + 12 + 12);
+    }
+
+    #[test]
+    fn scope_depth_controls_node_scope() {
+        for depth in [0usize, 1, 2, 3] {
+            let config = WikidataStyleConfig { scope_depth: depth, entities: 3, ..Default::default() };
+            let doc = wikidata_style_document(&config);
+            let analysis = analyze_scopes(&doc);
+            assert_eq!(
+                analysis.max_node_scope(),
+                depth + 1,
+                "depth {depth} should give node scope {}",
+                depth + 1
+            );
+        }
+    }
+
+    #[test]
+    fn query_probability_on_generated_document() {
+        let config = WikidataStyleConfig {
+            entities: 2,
+            properties_per_entity: 2,
+            contributors: 2,
+            scope_depth: 1,
+            extraction_probability: 0.5,
+            trust_probability: 0.8,
+        };
+        let doc = wikidata_style_document(&config);
+        // A specific value is present iff its section event, contributor
+        // event and extraction all hold: 0.8 · 0.8 · 0.5 = 0.32.
+        let q = PrxmlQuery::LabelExists("value_e0_p0".into());
+        let p = query_probability(&doc, &q).unwrap();
+        assert!((p - 0.8 * 0.8 * 0.5).abs() < 1e-9, "got {p}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = WikidataStyleConfig::default();
+        assert_eq!(wikidata_style_document(&config), wikidata_style_document(&config));
+    }
+}

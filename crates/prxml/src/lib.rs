@@ -1,0 +1,44 @@
+//! # stuc-prxml — probabilistic XML (PrXML) documents
+//!
+//! The tree-shaped uncertain data of the paper's Section 2.1: XML documents
+//! with *local* uncertainty nodes (`ind` for independent optional children,
+//! `mux` for mutually exclusive choices) and *global* uncertainty through
+//! Boolean events shared across the document (`cie` nodes — conjunctions of
+//! independent events), as in the Wikidata example of Figure 1.
+//!
+//! * [`document`] — the PrXML document model, its possible worlds, and the
+//!   literal document of Figure 1.
+//! * [`queries`] — tree-pattern queries (label existence, ancestor/descendant
+//!   patterns) and their lineage circuits over the document's independent
+//!   events; probabilities are computed by any `stuc-circuit` back-end.
+//! * [`scope`] — event scopes (Section 2.1 / reference [7]): the set of nodes
+//!   where an event's value must be remembered, whose maximum size is the
+//!   structural parameter that makes global uncertainty tractable.
+//! * [`generator`] — synthetic Wikidata-style document generators used by the
+//!   event-scope experiment (E6).
+//! * [`constraints`] — conditioning a document with observed constraints
+//!   (tree patterns, negated patterns, counting constraints): conditioned
+//!   query probabilities by Bayes over shared presence-gate circuits
+//!   (experiment E15).
+//!
+//! ## Example
+//!
+//! ```
+//! use stuc_prxml::document::PrXmlDocument;
+//! use stuc_prxml::queries::{PrxmlQuery, query_probability};
+//!
+//! let doc = PrXmlDocument::figure1_example();
+//! // Probability that the occupation "musician" is recorded: the ind edge, 0.4.
+//! let p = query_probability(&doc, &PrxmlQuery::LabelExists("musician".into())).unwrap();
+//! assert!((p - 0.4).abs() < 1e-9);
+//! ```
+
+pub mod constraints;
+pub mod document;
+pub mod generator;
+pub mod queries;
+pub mod scope;
+
+pub use constraints::PrxmlConstraint;
+pub use document::{NodeId, PrXmlDocument};
+pub use queries::PrxmlQuery;

@@ -1,0 +1,147 @@
+//! Event scopes (Section 2.1 of the paper, after reference [7]).
+//!
+//! "The scope of an event is the set of nodes where the value of this event
+//! must be 'remembered' when trying to evaluate a query on the tree; in
+//! Figure 1, the scope of eJane are the nodes 'surname' and 'place of birth'
+//! and their descendants. The scope of a node n is the set of events having
+//! n in their scope. [...] for PrXML documents where the scope of all nodes
+//! have size bounded by a constant, the evaluation of a fixed MSO query can
+//! be performed in PTIME."
+//!
+//! This module computes event scopes and node scope sizes; the benchmark E6
+//! uses the maximum node scope size as the structural parameter and shows
+//! that the lineage-circuit width (hence query evaluation cost) tracks it.
+
+use crate::document::{EdgeCondition, NodeId, PrXmlDocument};
+use std::collections::{BTreeMap, BTreeSet};
+use stuc_circuit::circuit::VarId;
+
+/// The scope analysis of a document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScopeAnalysis {
+    /// For each global event, the set of nodes in its scope.
+    pub event_scopes: BTreeMap<VarId, BTreeSet<NodeId>>,
+    /// For each node, the set of global events having it in their scope.
+    pub node_scopes: Vec<BTreeSet<VarId>>,
+}
+
+impl ScopeAnalysis {
+    /// The largest node scope size — the boundedness parameter of [7].
+    pub fn max_node_scope(&self) -> usize {
+        self.node_scopes.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// The number of global events that appear on more than one edge
+    /// (the ones that actually create cross-document correlation).
+    pub fn shared_event_count(&self) -> usize {
+        self.event_scopes.values().filter(|s| s.len() > 1).count()
+    }
+}
+
+/// Computes the scope analysis of a document.
+///
+/// The scope of a global event is the union of the subtrees rooted at the
+/// children of edges whose condition mentions the event (matching the
+/// paper's description of Figure 1). Hidden `ind`/`mux` variables are local
+/// by construction and are not part of the analysis.
+pub fn analyze_scopes(doc: &PrXmlDocument) -> ScopeAnalysis {
+    let mut event_scopes: BTreeMap<VarId, BTreeSet<NodeId>> = BTreeMap::new();
+    for event in doc.global_events() {
+        event_scopes.insert(*event, BTreeSet::new());
+    }
+    // For each edge mentioning a global event, add the child's subtree.
+    for parent_index in 0..doc.len() {
+        for (child, condition) in &doc.node(NodeId(parent_index)).children {
+            let EdgeCondition::Literals(literals) = condition else { continue };
+            for (variable, _) in literals {
+                if !doc.global_events().contains(variable) {
+                    continue;
+                }
+                let subtree = collect_subtree(doc, *child);
+                event_scopes.entry(*variable).or_default().extend(subtree);
+            }
+        }
+    }
+    let mut node_scopes = vec![BTreeSet::new(); doc.len()];
+    for (event, nodes) in &event_scopes {
+        for node in nodes {
+            node_scopes[node.0].insert(*event);
+        }
+    }
+    ScopeAnalysis { event_scopes, node_scopes }
+}
+
+fn collect_subtree(doc: &PrXmlDocument, root: NodeId) -> BTreeSet<NodeId> {
+    let mut nodes = BTreeSet::new();
+    let mut stack = vec![root];
+    nodes.insert(root);
+    while let Some(n) = stack.pop() {
+        for (child, _) in &doc.node(n).children {
+            if nodes.insert(*child) {
+                stack.push(*child);
+            }
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_scope_of_jane() {
+        let doc = PrXmlDocument::figure1_example();
+        let analysis = analyze_scopes(&doc);
+        let jane = doc.find_event("eJane").unwrap();
+        let scope = &analysis.event_scopes[&jane];
+        let labels: BTreeSet<&str> = scope.iter().map(|&n| doc.label(n)).collect();
+        // "surname" and "place of birth" and their descendants.
+        assert_eq!(
+            labels,
+            BTreeSet::from(["surname", "place of birth", "Manning", "Crescent"])
+        );
+    }
+
+    #[test]
+    fn figure1_node_scopes_are_bounded_by_one() {
+        let doc = PrXmlDocument::figure1_example();
+        let analysis = analyze_scopes(&doc);
+        assert_eq!(analysis.max_node_scope(), 1);
+        assert_eq!(analysis.shared_event_count(), 1);
+    }
+
+    #[test]
+    fn nested_events_increase_node_scope() {
+        // root → (e1) a → (e2) b → (e3) c: node c is in the scope of all
+        // three events.
+        let mut doc = PrXmlDocument::new();
+        let root = doc.add_node("root");
+        doc.set_root(root);
+        let e1 = doc.declare_event("e1", 0.5);
+        let e2 = doc.declare_event("e2", 0.5);
+        let e3 = doc.declare_event("e3", 0.5);
+        let a = doc.add_node("a");
+        let b = doc.add_node("b");
+        let c = doc.add_node("c");
+        doc.add_cie_child(root, a, vec![(e1, true)]);
+        doc.add_cie_child(a, b, vec![(e2, true)]);
+        doc.add_cie_child(b, c, vec![(e3, true)]);
+        let analysis = analyze_scopes(&doc);
+        assert_eq!(analysis.max_node_scope(), 3);
+        assert_eq!(analysis.node_scopes[c.0].len(), 3);
+        assert_eq!(analysis.node_scopes[a.0].len(), 1);
+    }
+
+    #[test]
+    fn documents_without_events_have_empty_scopes() {
+        let mut doc = PrXmlDocument::new();
+        let root = doc.add_node("root");
+        doc.set_root(root);
+        let a = doc.add_node("a");
+        doc.add_ind_child(root, a, 0.5);
+        let analysis = analyze_scopes(&doc);
+        assert_eq!(analysis.max_node_scope(), 0);
+        assert!(analysis.event_scopes.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Conjunctive queries.
+//!
+//! A conjunctive query (CQ) is an existentially quantified conjunction of
+//! relational atoms, e.g. the paper's hard query `∃x y  R(x) ∧ S(x,y) ∧ T(y)`.
+//! Queries may declare *free* (answer) variables; a query with no free
+//! variables is Boolean.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term of an atom: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A query variable, identified by name.
+    Var(String),
+    /// A constant, identified by its (external) name.
+    Const(String),
+}
+
+impl Term {
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "\"{c}\""),
+        }
+    }
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: String,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// The set of variables appearing in the atom.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.args
+            .iter()
+            .filter_map(|t| t.as_var().map(str::to_string))
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}({})", self.relation, args.join(", "))
+    }
+}
+
+/// A conjunctive query: a conjunction of atoms with optional free variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// The atoms of the query body.
+    pub atoms: Vec<Atom>,
+    /// The free (answer) variables; empty for Boolean queries.
+    pub free_variables: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a Boolean query from atoms.
+    pub fn boolean(atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery { atoms, free_variables: Vec::new() }
+    }
+
+    /// True if the query has no free variables.
+    pub fn is_boolean(&self) -> bool {
+        self.free_variables.is_empty()
+    }
+
+    /// All variables appearing in the query body.
+    pub fn variables(&self) -> BTreeSet<String> {
+        self.atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// True if no relation name appears in two different atoms.
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(a.relation.clone()))
+    }
+
+    /// The atoms in which a variable occurs.
+    pub fn atoms_with_variable(&self, var: &str) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.variables().contains(var))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Parses a query from a textual syntax:
+    ///
+    /// ```text
+    /// query  := (head '<-')? atom (',' atom)*
+    /// head   := 'ans' '(' var (',' var)* ')'
+    /// atom   := relation '(' term (',' term)* ')' | relation '(' ')'
+    /// term   := identifier            (a variable)
+    ///         | '"' characters '"'    (a constant)
+    /// ```
+    ///
+    /// Examples: `R(x), S(x, y), T(y)` (Boolean) or
+    /// `ans(x) <- R(x, y), S(y, "paris")`.
+    pub fn parse(text: &str) -> Result<Self, QueryParseError> {
+        let (head, body) = match text.split_once("<-") {
+            Some((h, b)) => (Some(h.trim()), b.trim()),
+            None => (None, text.trim()),
+        };
+        let free_variables = match head {
+            None => Vec::new(),
+            Some(h) => parse_head(h)?,
+        };
+        let atoms = parse_atoms(body)?;
+        if atoms.is_empty() {
+            return Err(QueryParseError::EmptyQuery);
+        }
+        let query = ConjunctiveQuery { atoms, free_variables };
+        let body_vars = query.variables();
+        for v in &query.free_variables {
+            if !body_vars.contains(v) {
+                return Err(QueryParseError::UnboundHeadVariable(v.clone()));
+            }
+        }
+        Ok(query)
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.free_variables.is_empty() {
+            write!(f, "ans({}) <- ", self.free_variables.join(", "))?;
+        }
+        let atoms: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", atoms.join(", "))
+    }
+}
+
+/// Errors raised when parsing a conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// The query body has no atoms.
+    EmptyQuery,
+    /// General syntax error with a human-readable description.
+    Syntax(String),
+    /// A head variable does not appear in the body.
+    UnboundHeadVariable(String),
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryParseError::EmptyQuery => write!(f, "query has no atoms"),
+            QueryParseError::Syntax(s) => write!(f, "syntax error: {s}"),
+            QueryParseError::UnboundHeadVariable(v) => {
+                write!(f, "head variable {v} does not appear in the body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn parse_head(text: &str) -> Result<Vec<String>, QueryParseError> {
+    let text = text.trim();
+    let inner = text
+        .strip_prefix("ans")
+        .map(str::trim)
+        .and_then(|t| t.strip_prefix('('))
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| QueryParseError::Syntax(format!("invalid head '{text}'")))?;
+    Ok(inner
+        .split(',')
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .collect())
+}
+
+fn parse_atoms(text: &str) -> Result<Vec<Atom>, QueryParseError> {
+    let mut atoms = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let open = rest
+            .find('(')
+            .ok_or_else(|| QueryParseError::Syntax(format!("expected '(' in '{rest}'")))?;
+        let relation = rest[..open].trim().to_string();
+        if relation.is_empty() {
+            return Err(QueryParseError::Syntax("missing relation name".to_string()));
+        }
+        let close = rest[open..]
+            .find(')')
+            .map(|i| open + i)
+            .ok_or_else(|| QueryParseError::Syntax(format!("unclosed '(' in '{rest}'")))?;
+        let args_text = &rest[open + 1..close];
+        let args = parse_terms(args_text)?;
+        atoms.push(Atom { relation, args });
+        rest = rest[close + 1..].trim();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim();
+        } else if !rest.is_empty() {
+            return Err(QueryParseError::Syntax(format!(
+                "expected ',' between atoms near '{rest}'"
+            )));
+        }
+    }
+    Ok(atoms)
+}
+
+fn parse_terms(text: &str) -> Result<Vec<Term>, QueryParseError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| {
+            let t = t.trim();
+            if t.is_empty() {
+                return Err(QueryParseError::Syntax("empty term".to_string()));
+            }
+            if (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+                || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+            {
+                Ok(Term::Const(t[1..t.len() - 1].to_string()))
+            } else if t.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                Ok(Term::Var(t.to_string()))
+            } else {
+                Err(QueryParseError::Syntax(format!("invalid term '{t}'")))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_boolean_query() {
+        let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.variables(), BTreeSet::from(["x".to_string(), "y".to_string()]));
+        assert!(q.is_self_join_free());
+    }
+
+    #[test]
+    fn parse_query_with_head() {
+        let q = ConjunctiveQuery::parse("ans(x) <- R(x, y), S(y, \"paris\")").unwrap();
+        assert_eq!(q.free_variables, vec!["x".to_string()]);
+        assert_eq!(q.atoms[1].args[1], Term::Const("paris".to_string()));
+    }
+
+    #[test]
+    fn parse_self_join() {
+        let q = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        assert!(!q.is_self_join_free());
+    }
+
+    #[test]
+    fn parse_nullary_atom() {
+        let q = ConjunctiveQuery::parse("Alarm()").unwrap();
+        assert_eq!(q.atoms[0].args.len(), 0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            ConjunctiveQuery::parse(""),
+            Err(QueryParseError::EmptyQuery) | Err(QueryParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            ConjunctiveQuery::parse("R(x"),
+            Err(QueryParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            ConjunctiveQuery::parse("ans(z) <- R(x)"),
+            Err(QueryParseError::UnboundHeadVariable(_))
+        ));
+        assert!(matches!(
+            ConjunctiveQuery::parse("R(x) S(y)"),
+            Err(QueryParseError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn atoms_with_variable() {
+        let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        assert_eq!(q.atoms_with_variable("x"), vec![0, 1]);
+        assert_eq!(q.atoms_with_variable("y"), vec![1, 2]);
+        assert_eq!(q.atoms_with_variable("z"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let q = ConjunctiveQuery::parse("ans(x) <- R(x, y), S(y, \"c\")").unwrap();
+        let shown = q.to_string();
+        let reparsed = ConjunctiveQuery::parse(&shown).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn quoted_constants_with_single_quotes() {
+        let q = ConjunctiveQuery::parse("R(x, 'a')").unwrap();
+        assert_eq!(q.atoms[0].args[1], Term::Const("a".to_string()));
+    }
+}

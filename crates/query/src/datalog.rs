@@ -1,0 +1,475 @@
+//! Datalog programs and their evaluation on plain instances.
+//!
+//! The paper repeatedly points at Datalog fragments as the realistic query
+//! languages for its tractability programme: "Datalog [2], or some of its
+//! variants such as frontier-guarded Datalog [11]" as query languages for
+//! (p)c-instances, and monadic Datalog [26] as the way around the
+//! non-elementary cost of compiling MSO to automata. This module provides the
+//! language layer: positive Datalog rules (no negation), program parsing,
+//! fixpoint evaluation by iterated rule application, and the syntactic
+//! fragment tests (monadic, guarded, frontier-guarded) the paper refers to.
+//!
+//! Provenance circuits for Datalog-derived facts over uncertain instances —
+//! the ingredient needed to lift this to probabilistic data — live in
+//! [`crate::datalog_provenance`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::cq::{Atom, ConjunctiveQuery, QueryParseError, Term};
+use crate::eval::all_matches;
+use stuc_data::instance::Instance;
+
+/// A positive Datalog rule `Head(…) :- Body₁(…), …, Bodyₖ(…)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogRule {
+    /// The head atom (the derived fact pattern).
+    pub head: Atom,
+    /// The body atoms, all positive.
+    pub body: Vec<Atom>,
+}
+
+impl DatalogRule {
+    /// Creates a rule, checking safety: every head variable must occur in the
+    /// body (Datalog has no existential variables — those are the subject of
+    /// the `stuc-rules` crate).
+    pub fn new(head: Atom, body: Vec<Atom>) -> Result<Self, DatalogError> {
+        let body_variables: BTreeSet<String> =
+            body.iter().flat_map(|a| a.variables()).collect();
+        for variable in head.variables() {
+            if !body_variables.contains(&variable) {
+                return Err(DatalogError::UnsafeRule {
+                    rule: format!("{head} :- …"),
+                    variable,
+                });
+            }
+        }
+        if body.is_empty() {
+            return Err(DatalogError::EmptyBody { rule: head.to_string() });
+        }
+        Ok(DatalogRule { head, body })
+    }
+
+    /// The variables shared between the head and the body (the *frontier*).
+    pub fn frontier(&self) -> BTreeSet<String> {
+        self.head.variables()
+    }
+
+    /// True if some body atom contains every body variable (guardedness).
+    pub fn is_guarded(&self) -> bool {
+        let all: BTreeSet<String> = self.body.iter().flat_map(|a| a.variables()).collect();
+        self.body.iter().any(|a| all.is_subset(&a.variables()))
+    }
+
+    /// True if some body atom contains every frontier variable
+    /// (frontier-guardedness, the fragment of reference [11]).
+    pub fn is_frontier_guarded(&self) -> bool {
+        let frontier = self.frontier();
+        frontier.is_empty() || self.body.iter().any(|a| frontier.is_subset(&a.variables()))
+    }
+
+    /// The body as a conjunctive query whose free variables are the head
+    /// variables, ready for homomorphism search.
+    pub fn body_query(&self) -> ConjunctiveQuery {
+        let free: Vec<String> = self.head.variables().into_iter().collect();
+        ConjunctiveQuery { atoms: self.body.clone(), free_variables: free }
+    }
+}
+
+impl fmt::Display for DatalogRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        write!(f, "{} :- {}", self.head, body.join(", "))
+    }
+}
+
+/// A positive Datalog program: a list of rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatalogProgram {
+    rules: Vec<DatalogRule>,
+}
+
+/// Errors raised when building or evaluating Datalog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A head variable does not appear in the rule body.
+    UnsafeRule { rule: String, variable: String },
+    /// A rule has an empty body.
+    EmptyBody { rule: String },
+    /// A rule could not be parsed.
+    Parse(String),
+    /// The fixpoint exceeded the configured size bound.
+    FixpointTooLarge { facts: usize, limit: usize },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule { rule, variable } => {
+                write!(f, "unsafe rule {rule}: head variable {variable} not bound in the body")
+            }
+            DatalogError::EmptyBody { rule } => write!(f, "rule {rule} has an empty body"),
+            DatalogError::Parse(message) => write!(f, "parse error: {message}"),
+            DatalogError::FixpointTooLarge { facts, limit } => {
+                write!(f, "fixpoint produced {facts} facts, exceeding the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<QueryParseError> for DatalogError {
+    fn from(error: QueryParseError) -> Self {
+        DatalogError::Parse(error.to_string())
+    }
+}
+
+/// Default bound on the number of facts a fixpoint may produce.
+pub const DEFAULT_FACT_LIMIT: usize = 100_000;
+
+impl DatalogProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: DatalogRule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules of the program.
+    pub fn rules(&self) -> &[DatalogRule] {
+        &self.rules
+    }
+
+    /// Parses a program: one rule per line (or separated by `.`), each of the
+    /// form `Head(x, y) :- Body1(x, z), Body2(z, y)`. Blank lines and lines
+    /// starting with `%` are ignored.
+    pub fn parse(text: &str) -> Result<Self, DatalogError> {
+        let mut program = DatalogProgram::new();
+        for raw in text.split(['\n', '.']) {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('%') {
+                continue;
+            }
+            let (head_text, body_text) = line
+                .split_once(":-")
+                .ok_or_else(|| DatalogError::Parse(format!("missing ':-' in '{line}'")))?;
+            let head_query = ConjunctiveQuery::parse(head_text.trim())?;
+            if head_query.atoms.len() != 1 {
+                return Err(DatalogError::Parse(format!(
+                    "rule head must be a single atom in '{line}'"
+                )));
+            }
+            let body_query = ConjunctiveQuery::parse(body_text.trim())?;
+            program.add_rule(DatalogRule::new(
+                head_query.atoms.into_iter().next().expect("one head atom"),
+                body_query.atoms,
+            )?);
+        }
+        Ok(program)
+    }
+
+    /// The intensional (derived) relation names: those appearing in some
+    /// rule head.
+    pub fn idb_relations(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.relation.clone()).collect()
+    }
+
+    /// The extensional relation names: those appearing only in rule bodies.
+    pub fn edb_relations(&self) -> BTreeSet<String> {
+        let idb = self.idb_relations();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter().map(|a| a.relation.clone()))
+            .filter(|name| !idb.contains(name))
+            .collect()
+    }
+
+    /// True if every intensional relation is monadic (arity at most one) —
+    /// the monadic Datalog fragment the paper cites as a practical substitute
+    /// for MSO-to-automaton compilation.
+    pub fn is_monadic(&self) -> bool {
+        let idb = self.idb_relations();
+        self.rules.iter().all(|rule| {
+            rule.head.args.len() <= 1
+                && rule
+                    .body
+                    .iter()
+                    .all(|atom| !idb.contains(&atom.relation) || atom.args.len() <= 1)
+        })
+    }
+
+    /// True if every rule is guarded.
+    pub fn is_guarded(&self) -> bool {
+        self.rules.iter().all(DatalogRule::is_guarded)
+    }
+
+    /// True if every rule is frontier-guarded.
+    pub fn is_frontier_guarded(&self) -> bool {
+        self.rules.iter().all(DatalogRule::is_frontier_guarded)
+    }
+
+    /// True if the program is non-recursive: no intensional relation is
+    /// (transitively) used to derive itself.
+    pub fn is_recursive(&self) -> bool {
+        // Build the dependency graph between head relations.
+        let idb = self.idb_relations();
+        let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+        for rule in &self.rules {
+            for atom in &rule.body {
+                if idb.contains(&atom.relation) {
+                    edges.insert((rule.head.relation.clone(), atom.relation.clone()));
+                }
+            }
+        }
+        // Depth-first search for a cycle.
+        for start in &idb {
+            let mut stack = vec![start.clone()];
+            let mut seen = BTreeSet::new();
+            while let Some(current) = stack.pop() {
+                for (from, to) in &edges {
+                    if from == &current {
+                        if to == start {
+                            return true;
+                        }
+                        if seen.insert(to.clone()) {
+                            stack.push(to.clone());
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Evaluates the program on an instance: returns the instance extended
+    /// with every derivable intensional fact (the least fixpoint), using the
+    /// default fact limit.
+    pub fn evaluate(&self, instance: &Instance) -> Result<Instance, DatalogError> {
+        self.evaluate_with_limit(instance, DEFAULT_FACT_LIMIT)
+    }
+
+    /// Evaluates the program with an explicit bound on the total number of
+    /// facts, guarding against runaway fixpoints.
+    pub fn evaluate_with_limit(
+        &self,
+        instance: &Instance,
+        limit: usize,
+    ) -> Result<Instance, DatalogError> {
+        let mut saturated = instance.clone();
+        loop {
+            let derived = self.immediate_consequences(&saturated);
+            let mut changed = false;
+            for (relation, args) in derived {
+                let argument_names: Vec<String> = args.clone();
+                let argument_refs: Vec<&str> =
+                    argument_names.iter().map(String::as_str).collect();
+                let relation_id = saturated.relation(&relation);
+                let constant_ids: Vec<_> =
+                    argument_refs.iter().map(|a| saturated.constant(a)).collect();
+                if !saturated.contains(relation_id, &constant_ids) {
+                    saturated.add_fact(relation_id, constant_ids);
+                    changed = true;
+                }
+            }
+            if saturated.fact_count() > limit {
+                return Err(DatalogError::FixpointTooLarge {
+                    facts: saturated.fact_count(),
+                    limit,
+                });
+            }
+            if !changed {
+                return Ok(saturated);
+            }
+        }
+    }
+
+    /// One round of rule application: the ground head atoms derivable from
+    /// the current instance, as `(relation name, argument constant names)`.
+    pub fn immediate_consequences(&self, instance: &Instance) -> Vec<(String, Vec<String>)> {
+        let mut derived = Vec::new();
+        for rule in &self.rules {
+            let query = ConjunctiveQuery { atoms: rule.body.clone(), free_variables: vec![] };
+            for homomorphism in all_matches(instance, &query) {
+                let mut arguments = Vec::with_capacity(rule.head.args.len());
+                for term in &rule.head.args {
+                    match term {
+                        Term::Const(name) => arguments.push(name.clone()),
+                        Term::Var(variable) => {
+                            let constant = homomorphism
+                                .assignment
+                                .get(variable)
+                                .expect("safe rule: head variable bound by the body");
+                            arguments.push(instance.constant_name(*constant).to_string());
+                        }
+                    }
+                }
+                derived.push((rule.head.relation.clone(), arguments));
+            }
+        }
+        derived.sort();
+        derived.dedup();
+        derived
+    }
+}
+
+impl fmt::Display for DatalogProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::query_holds;
+
+    fn transitive_closure_program() -> DatalogProgram {
+        DatalogProgram::parse(
+            "Reach(x, y) :- Edge(x, y)\n\
+             Reach(x, z) :- Reach(x, y), Edge(y, z)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let program = transitive_closure_program();
+        assert_eq!(program.rules().len(), 2);
+        let reparsed = DatalogProgram::parse(&program.to_string()).unwrap();
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn parse_rejects_unsafe_and_malformed_rules() {
+        assert!(matches!(
+            DatalogProgram::parse("Head(x, z) :- Body(x, y)"),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+        assert!(matches!(
+            DatalogProgram::parse("Head(x, y) Body(x, y)"),
+            Err(DatalogError::Parse(_))
+        ));
+        assert!(matches!(
+            DatalogProgram::parse("Head(x), Other(x) :- Body(x)"),
+            Err(DatalogError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let program = DatalogProgram::parse(
+            "% transitive closure\n\
+             \n\
+             Reach(x, y) :- Edge(x, y).\n\
+             Reach(x, z) :- Reach(x, y), Edge(y, z).",
+        )
+        .unwrap();
+        assert_eq!(program.rules().len(), 2);
+    }
+
+    #[test]
+    fn idb_and_edb_relations_are_separated() {
+        let program = transitive_closure_program();
+        assert_eq!(program.idb_relations(), BTreeSet::from(["Reach".to_string()]));
+        assert_eq!(program.edb_relations(), BTreeSet::from(["Edge".to_string()]));
+    }
+
+    #[test]
+    fn fragment_tests() {
+        let transitive = transitive_closure_program();
+        assert!(!transitive.is_monadic());
+        // The recursive rule's frontier {x, z} is split across two body
+        // atoms, so the program is neither guarded nor frontier-guarded.
+        assert!(!transitive.is_frontier_guarded());
+        assert!(!transitive.is_guarded());
+        assert!(transitive.is_recursive());
+
+        let monadic = DatalogProgram::parse(
+            "Good(x) :- Person(x), Trusted(x)\n\
+             Good(x) :- Endorses(y, x), Good(y)",
+        )
+        .unwrap();
+        assert!(monadic.is_monadic());
+        assert!(monadic.is_recursive());
+
+        let guarded = DatalogProgram::parse("Pair(x, y) :- Edge(x, y), Node(x)").unwrap();
+        assert!(guarded.is_guarded());
+        assert!(!guarded.is_recursive());
+    }
+
+    #[test]
+    fn transitive_closure_fixpoint() {
+        let mut instance = Instance::new();
+        instance.add_fact_named("Edge", &["a", "b"]);
+        instance.add_fact_named("Edge", &["b", "c"]);
+        instance.add_fact_named("Edge", &["c", "d"]);
+        let saturated = transitive_closure_program().evaluate(&instance).unwrap();
+        // 3 edges + 6 reachability facts (a→b, b→c, c→d, a→c, b→d, a→d).
+        assert_eq!(saturated.fact_count(), 9);
+        let query = ConjunctiveQuery::parse("Reach(\"a\", \"d\")").unwrap();
+        assert!(query_holds(&saturated, &query));
+        let missing = ConjunctiveQuery::parse("Reach(\"d\", \"a\")").unwrap();
+        assert!(!query_holds(&saturated, &missing));
+    }
+
+    #[test]
+    fn constants_in_heads_are_supported() {
+        let program = DatalogProgram::parse("Flag(\"seen\") :- Edge(x, y)").unwrap();
+        let mut instance = Instance::new();
+        instance.add_fact_named("Edge", &["a", "b"]);
+        let saturated = program.evaluate(&instance).unwrap();
+        let query = ConjunctiveQuery::parse("Flag(\"seen\")").unwrap();
+        assert!(query_holds(&saturated, &query));
+    }
+
+    #[test]
+    fn evaluation_is_idempotent_at_fixpoint() {
+        let mut instance = Instance::new();
+        instance.add_fact_named("Edge", &["a", "b"]);
+        instance.add_fact_named("Edge", &["b", "a"]);
+        let program = transitive_closure_program();
+        let once = program.evaluate(&instance).unwrap();
+        let twice = program.evaluate(&once).unwrap();
+        assert_eq!(once.fact_count(), twice.fact_count());
+    }
+
+    #[test]
+    fn fact_limit_is_enforced() {
+        let mut instance = Instance::new();
+        for i in 0..6 {
+            instance.add_fact_named("Edge", &[&format!("n{i}"), &format!("n{}", i + 1)]);
+        }
+        let result = transitive_closure_program().evaluate_with_limit(&instance, 10);
+        assert!(matches!(result, Err(DatalogError::FixpointTooLarge { .. })));
+    }
+
+    #[test]
+    fn empty_body_is_rejected() {
+        let head = Atom { relation: "R".to_string(), args: vec![] };
+        assert!(matches!(
+            DatalogRule::new(head, vec![]),
+            Err(DatalogError::EmptyBody { .. })
+        ));
+    }
+
+    #[test]
+    fn immediate_consequences_single_round() {
+        let mut instance = Instance::new();
+        instance.add_fact_named("Edge", &["a", "b"]);
+        instance.add_fact_named("Edge", &["b", "c"]);
+        let program = transitive_closure_program();
+        let first_round = program.immediate_consequences(&instance);
+        // Only the base rule fires in the first round.
+        assert_eq!(first_round.len(), 2);
+        assert!(first_round
+            .iter()
+            .all(|(relation, _)| relation == "Reach"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Conjunctive query evaluation on plain instances.
+//!
+//! Evaluation is a backtracking homomorphism search: atoms are matched one by
+//! one against the facts of the instance, threading a partial assignment of
+//! the query variables. This is exponential in the query but polynomial in
+//! the data (the usual combined/data complexity split), which is all the
+//! possible-world baselines and lineage construction need.
+
+use crate::cq::{Atom, ConjunctiveQuery, Term};
+use std::collections::BTreeMap;
+use stuc_data::instance::{ConstId, FactId, Instance};
+
+/// A homomorphism from the query variables to instance constants, together
+/// with the facts used to match each atom (in atom order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Assignment of query variables to constants.
+    pub assignment: BTreeMap<String, ConstId>,
+    /// For each atom (in query order), the fact that matched it.
+    pub witnesses: Vec<FactId>,
+}
+
+/// Returns every homomorphism from the query body into the instance.
+///
+/// The witnesses record which fact matched each atom, which is exactly what
+/// lineage construction needs.
+pub fn all_matches(instance: &Instance, query: &ConjunctiveQuery) -> Vec<Match> {
+    let mut results = Vec::new();
+    let mut assignment = BTreeMap::new();
+    let mut witnesses = Vec::new();
+    search(instance, &query.atoms, 0, &mut assignment, &mut witnesses, &mut results);
+    results
+}
+
+/// True if the Boolean query holds on the instance (some homomorphism exists).
+pub fn query_holds(instance: &Instance, query: &ConjunctiveQuery) -> bool {
+    !all_matches_limited(instance, query, 1).is_empty()
+}
+
+/// Like [`all_matches`] but stops after `limit` matches (used for existence
+/// checks).
+pub fn all_matches_limited(
+    instance: &Instance,
+    query: &ConjunctiveQuery,
+    limit: usize,
+) -> Vec<Match> {
+    let mut results = Vec::new();
+    let mut assignment = BTreeMap::new();
+    let mut witnesses = Vec::new();
+    search_limited(
+        instance,
+        &query.atoms,
+        0,
+        &mut assignment,
+        &mut witnesses,
+        &mut results,
+        limit,
+    );
+    results
+}
+
+/// The distinct answer tuples of a non-Boolean query: projections of the
+/// matches onto the free variables, deduplicated and sorted.
+pub fn all_answers(instance: &Instance, query: &ConjunctiveQuery) -> Vec<Vec<ConstId>> {
+    let mut answers: Vec<Vec<ConstId>> = all_matches(instance, query)
+        .into_iter()
+        .map(|m| {
+            query
+                .free_variables
+                .iter()
+                .map(|v| *m.assignment.get(v).expect("head variables are bound in the body"))
+                .collect()
+        })
+        .collect();
+    answers.sort();
+    answers.dedup();
+    answers
+}
+
+fn search(
+    instance: &Instance,
+    atoms: &[Atom],
+    index: usize,
+    assignment: &mut BTreeMap<String, ConstId>,
+    witnesses: &mut Vec<FactId>,
+    results: &mut Vec<Match>,
+) {
+    search_limited(instance, atoms, index, assignment, witnesses, results, usize::MAX);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_limited(
+    instance: &Instance,
+    atoms: &[Atom],
+    index: usize,
+    assignment: &mut BTreeMap<String, ConstId>,
+    witnesses: &mut Vec<FactId>,
+    results: &mut Vec<Match>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    if index == atoms.len() {
+        results.push(Match { assignment: assignment.clone(), witnesses: witnesses.clone() });
+        return;
+    }
+    let atom = &atoms[index];
+    let Some(relation) = instance.find_relation(&atom.relation) else {
+        return; // no facts for this relation: no match
+    };
+    for fact_id in instance.facts_of(relation) {
+        let fact = instance.fact(fact_id);
+        if fact.args.len() != atom.args.len() {
+            continue;
+        }
+        // Try to extend the assignment to match this fact.
+        let mut newly_bound = Vec::new();
+        let mut ok = true;
+        for (term, &constant) in atom.args.iter().zip(&fact.args) {
+            match term {
+                Term::Const(name) => {
+                    if instance.find_constant(name) != Some(constant) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(&bound) if bound != constant => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment.insert(v.clone(), constant);
+                        newly_bound.push(v.clone());
+                    }
+                },
+            }
+        }
+        if ok {
+            witnesses.push(fact_id);
+            search_limited(instance, atoms, index + 1, assignment, witnesses, results, limit);
+            witnesses.pop();
+        }
+        for v in newly_bound {
+            assignment.remove(&v);
+        }
+        if results.len() >= limit {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::ConjunctiveQuery;
+
+    fn rst_instance() -> Instance {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["a"]);
+        inst.add_fact_named("R", &["b"]);
+        inst.add_fact_named("S", &["a", "c"]);
+        inst.add_fact_named("S", &["b", "d"]);
+        inst.add_fact_named("T", &["c"]);
+        inst
+    }
+
+    #[test]
+    fn boolean_query_holds() {
+        let inst = rst_instance();
+        let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        assert!(query_holds(&inst, &q));
+    }
+
+    #[test]
+    fn boolean_query_fails_when_no_join() {
+        let inst = rst_instance();
+        // T(d) does not exist, so the chain through b fails; only a→c works.
+        let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y), T(x)").unwrap();
+        assert!(!query_holds(&inst, &q));
+    }
+
+    #[test]
+    fn all_matches_enumerates_homomorphisms() {
+        let inst = rst_instance();
+        let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        let matches = all_matches(&inst, &q);
+        assert_eq!(matches.len(), 2);
+        for m in &matches {
+            assert_eq!(m.witnesses.len(), 2);
+        }
+    }
+
+    #[test]
+    fn constants_constrain_matches() {
+        let inst = rst_instance();
+        let q = ConjunctiveQuery::parse("S(\"a\", y)").unwrap();
+        let matches = all_matches(&inst, &q);
+        assert_eq!(matches.len(), 1);
+        let q = ConjunctiveQuery::parse("S(\"z\", y)").unwrap();
+        assert!(all_matches(&inst, &q).is_empty());
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("E", &["a", "a"]);
+        inst.add_fact_named("E", &["a", "b"]);
+        let q = ConjunctiveQuery::parse("E(x, x)").unwrap();
+        let matches = all_matches(&inst, &q);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn answers_with_free_variables() {
+        let inst = rst_instance();
+        let q = ConjunctiveQuery::parse("ans(x) <- R(x), S(x, y)").unwrap();
+        let answers = all_answers(&inst, &q);
+        assert_eq!(answers.len(), 2);
+        let names: Vec<&str> = answers
+            .iter()
+            .map(|t| inst.constant_name(t[0]))
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn answers_are_deduplicated() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["a", "b"]);
+        inst.add_fact_named("R", &["a", "c"]);
+        let q = ConjunctiveQuery::parse("ans(x) <- R(x, y)").unwrap();
+        assert_eq!(all_answers(&inst, &q).len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_means_no_match() {
+        let inst = rst_instance();
+        let q = ConjunctiveQuery::parse("Unknown(x)").unwrap();
+        assert!(!query_holds(&inst, &q));
+    }
+
+    #[test]
+    fn arity_mismatch_is_skipped() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["a", "b"]);
+        let q = ConjunctiveQuery::parse("R(x)").unwrap();
+        assert!(!query_holds(&inst, &q));
+    }
+
+    #[test]
+    fn limited_search_stops_early() {
+        let inst = rst_instance();
+        let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        assert_eq!(all_matches_limited(&inst, &q, 1).len(), 1);
+    }
+
+    #[test]
+    fn self_join_query_on_path() {
+        let mut inst = Instance::new();
+        inst.add_fact_named("R", &["a", "b"]);
+        inst.add_fact_named("R", &["b", "c"]);
+        let q = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let matches = all_matches(&inst, &q);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].witnesses, vec![FactId(0), FactId(1)]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # stuc-query — conjunctive queries, lineage, and the extensional baseline
+//!
+//! The query-language layer of STUC. The paper's data-complexity results are
+//! stated for MSO (handled by `stuc-automata` via tree automata); this crate
+//! provides the *relational* query machinery those results are compared
+//! against and composed with:
+//!
+//! * [`cq`] — conjunctive queries (existentially quantified conjunctions of
+//!   atoms), with a small parser and free variables for non-Boolean queries;
+//! * [`eval`] — query evaluation on plain instances by backtracking join
+//!   (homomorphism search);
+//! * [`lineage`] — lineage circuits of Boolean CQs over TID instances and
+//!   c-instances: the OR-over-matches / AND-over-atoms circuit whose
+//!   probability is the query probability (the "intensional" method);
+//! * [`safe`] — the hierarchical-query test and safe-plan ("extensional")
+//!   probability evaluation for self-join-free CQs on TIDs, the classic
+//!   Dalvi–Suciu tractable case used as a baseline in experiment E5;
+//! * [`datalog`] — positive Datalog programs (parsing, fixpoint evaluation,
+//!   and the monadic / guarded / frontier-guarded fragment tests the paper
+//!   points at as realistic query languages);
+//! * [`datalog_provenance`] — provenance circuits for Datalog-derived facts
+//!   over TID and c-instances (the circuits-for-Datalog-provenance
+//!   construction the paper relates its lineages to).
+//!
+//! ## Example
+//!
+//! ```
+//! use stuc_query::cq::ConjunctiveQuery;
+//! use stuc_data::instance::Instance;
+//! use stuc_query::eval::query_holds;
+//!
+//! let mut inst = Instance::new();
+//! inst.add_fact_named("R", &["a", "b"]);
+//! inst.add_fact_named("S", &["b", "c"]);
+//! let q = ConjunctiveQuery::parse("R(x, y), S(y, z)").unwrap();
+//! assert!(query_holds(&inst, &q));
+//! ```
+
+pub mod cq;
+pub mod datalog;
+pub mod datalog_provenance;
+pub mod eval;
+pub mod lineage;
+pub mod safe;
+
+pub use cq::{Atom, ConjunctiveQuery, Term};
+pub use datalog::{DatalogProgram, DatalogRule};
+pub use datalog_provenance::DatalogProvenance;
+pub use eval::{all_answers, query_holds};
+pub use lineage::{cinstance_lineage, tid_lineage};
+pub use safe::{is_hierarchical, safe_plan_probability};

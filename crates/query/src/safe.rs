@@ -1,0 +1,347 @@
+//! Hierarchical queries and extensional ("safe plan") evaluation on TIDs.
+//!
+//! The paper contrasts its data-based tractability with the *query*-based
+//! dichotomy of Dalvi and Suciu: on arbitrary TID instances, a self-join-free
+//! Boolean CQ can be evaluated in polynomial time exactly when it is
+//! *hierarchical* (for any two variables, their atom sets are disjoint or
+//! nested); otherwise it is `#P`-hard — the canonical example being
+//! `∃x y R(x), S(x,y), T(y)` from the paper's introduction.
+//!
+//! This module implements the hierarchical test and the classic extensional
+//! evaluation rules (independent join, independent project) for self-join-
+//! free queries. It is the baseline of experiment E5: safe queries are easy
+//! for everyone, but for unsafe queries the extensional approach simply gives
+//! up, whereas the paper's treewidth-based method still works when the *data*
+//! is tree-like.
+
+use crate::cq::{Atom, ConjunctiveQuery, Term};
+use std::collections::BTreeSet;
+use stuc_data::instance::FactId;
+use stuc_data::tid::TidInstance;
+
+/// Why extensional evaluation refused a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafePlanError {
+    /// The query has a self-join (two atoms over the same relation), which
+    /// the extensional rules do not handle.
+    SelfJoin,
+    /// The query is not hierarchical, hence unsafe (`#P`-hard in general).
+    NotHierarchical,
+    /// The query has no atoms.
+    EmptyQuery,
+}
+
+impl std::fmt::Display for SafePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafePlanError::SelfJoin => write!(f, "query has a self-join"),
+            SafePlanError::NotHierarchical => write!(f, "query is not hierarchical (unsafe)"),
+            SafePlanError::EmptyQuery => write!(f, "query has no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for SafePlanError {}
+
+/// True if the self-join-free Boolean CQ is hierarchical: for every pair of
+/// variables, their atom sets are disjoint or one contains the other.
+pub fn is_hierarchical(query: &ConjunctiveQuery) -> bool {
+    let vars: Vec<String> = query.variables().into_iter().collect();
+    for (i, x) in vars.iter().enumerate() {
+        let ax: BTreeSet<usize> = query.atoms_with_variable(x).into_iter().collect();
+        for y in &vars[i + 1..] {
+            let ay: BTreeSet<usize> = query.atoms_with_variable(y).into_iter().collect();
+            let disjoint = ax.is_disjoint(&ay);
+            let nested = ax.is_subset(&ay) || ay.is_subset(&ax);
+            if !disjoint && !nested {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Computes the probability of a self-join-free Boolean CQ on a TID instance
+/// using the extensional safe-plan rules (independent join / independent
+/// project / ground-atom base case).
+///
+/// Returns an error for self-joins and for non-hierarchical (unsafe) queries;
+/// the caller is expected to fall back to an intensional method.
+pub fn safe_plan_probability(tid: &TidInstance, query: &ConjunctiveQuery) -> Result<f64, SafePlanError> {
+    if query.atoms.is_empty() {
+        return Err(SafePlanError::EmptyQuery);
+    }
+    if !query.is_self_join_free() {
+        return Err(SafePlanError::SelfJoin);
+    }
+    if !is_hierarchical(query) {
+        return Err(SafePlanError::NotHierarchical);
+    }
+    evaluate(tid, &query.atoms)
+}
+
+fn evaluate(tid: &TidInstance, atoms: &[Atom]) -> Result<f64, SafePlanError> {
+    // Base case: all atoms ground → independent existence probabilities.
+    if atoms.iter().all(|a| a.variables().is_empty()) {
+        let mut p = 1.0;
+        for atom in atoms {
+            p *= ground_atom_probability(tid, atom);
+        }
+        return Ok(p);
+    }
+
+    // Independent join: split into variable-disjoint components.
+    let components = variable_components(atoms);
+    if components.len() > 1 {
+        let mut p = 1.0;
+        for component in components {
+            let component_atoms: Vec<Atom> =
+                component.into_iter().map(|i| atoms[i].clone()).collect();
+            p *= evaluate(tid, &component_atoms)?;
+        }
+        return Ok(p);
+    }
+
+    // Independent project: find a root variable occurring in every non-ground atom.
+    let non_ground: Vec<usize> = atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.variables().is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let mut root: Option<String> = None;
+    for v in atoms.iter().flat_map(|a| a.variables()) {
+        if non_ground
+            .iter()
+            .all(|&i| atoms[i].variables().contains(&v))
+        {
+            root = Some(v);
+            break;
+        }
+    }
+    let Some(root) = root else {
+        // A single connected component with no root variable: not safe.
+        return Err(SafePlanError::NotHierarchical);
+    };
+
+    // Candidate constants: every constant appearing at a position of the root
+    // variable in some fact of a matching relation.
+    let mut candidates: BTreeSet<String> = BTreeSet::new();
+    for atom in atoms {
+        let Some(relation) = tid.instance().find_relation(&atom.relation) else { continue };
+        let positions: Vec<usize> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_var() == Some(root.as_str()))
+            .map(|(i, _)| i)
+            .collect();
+        for f in tid.instance().facts_of(relation) {
+            let fact = tid.instance().fact(f);
+            for &pos in &positions {
+                if let Some(&c) = fact.args.get(pos) {
+                    candidates.insert(tid.instance().constant_name(c).to_string());
+                }
+            }
+        }
+    }
+
+    // Independent project: P = 1 - Π_c (1 - P(q[root := c])).
+    let mut product = 1.0;
+    for constant in candidates {
+        let grounded: Vec<Atom> = atoms
+            .iter()
+            .map(|a| substitute(a, &root, &constant))
+            .collect();
+        let p = evaluate(tid, &grounded)?;
+        product *= 1.0 - p;
+    }
+    Ok(1.0 - product)
+}
+
+/// Probability that at least one TID fact matches the ground atom.
+fn ground_atom_probability(tid: &TidInstance, atom: &Atom) -> f64 {
+    let Some(relation) = tid.instance().find_relation(&atom.relation) else { return 0.0 };
+    let wanted: Option<Vec<_>> = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(name) => tid.instance().find_constant(name),
+            Term::Var(_) => unreachable!("ground atom has no variables"),
+        })
+        .collect();
+    let Some(wanted) = wanted else { return 0.0 };
+    let mut none_present = 1.0;
+    let mut found = false;
+    for f in tid.instance().facts_of(relation) {
+        if tid.instance().fact(f).args == wanted {
+            found = true;
+            none_present *= 1.0 - tid.probability(FactId(f.0));
+        }
+    }
+    if found { 1.0 - none_present } else { 0.0 }
+}
+
+/// Splits atoms into connected components under the "shares a variable"
+/// relation; ground atoms each form their own component.
+fn variable_components(atoms: &[Atom]) -> Vec<Vec<usize>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if !atoms[i].variables().is_disjoint(&atoms[j].variables()) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                parent[a] = b;
+            }
+        }
+    }
+    let mut components: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        components.entry(root).or_default().push(i);
+    }
+    components.into_values().collect()
+}
+
+/// Substitutes a constant for a variable in an atom.
+fn substitute(atom: &Atom, var: &str, constant: &str) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        args: atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) if v == var => Term::Const(constant.to_string()),
+                other => other.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::tid_lineage;
+    use stuc_circuit::enumeration::probability_by_enumeration;
+
+    fn star_tid() -> TidInstance {
+        // R(a), R(b), S(a, c), S(b, d)
+        let mut tid = TidInstance::new();
+        tid.add_fact_named("R", &["a"], 0.5);
+        tid.add_fact_named("R", &["b"], 0.25);
+        tid.add_fact_named("S", &["a", "c"], 0.8);
+        tid.add_fact_named("S", &["b", "d"], 0.4);
+        tid
+    }
+
+    #[test]
+    fn hierarchical_detection() {
+        // R(x), S(x, y): at(x) = {0,1}, at(y) = {1} — nested → hierarchical.
+        let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        assert!(is_hierarchical(&q));
+        // The paper's hard query is not hierarchical.
+        let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        assert!(!is_hierarchical(&q));
+        // Variable-disjoint atoms are fine.
+        let q = ConjunctiveQuery::parse("R(x), T(y)").unwrap();
+        assert!(is_hierarchical(&q));
+    }
+
+    #[test]
+    fn unsafe_query_is_rejected() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        assert_eq!(
+            safe_plan_probability(&tid, &q),
+            Err(SafePlanError::NotHierarchical)
+        );
+    }
+
+    #[test]
+    fn self_join_is_rejected() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("R(x), R(y)").unwrap();
+        assert_eq!(safe_plan_probability(&tid, &q), Err(SafePlanError::SelfJoin));
+    }
+
+    #[test]
+    fn safe_query_matches_lineage_probability() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        let extensional = safe_plan_probability(&tid, &q).unwrap();
+        let lineage = tid_lineage(&tid, &q);
+        let intensional =
+            probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        assert!(
+            (extensional - intensional).abs() < 1e-12,
+            "{extensional} vs {intensional}"
+        );
+    }
+
+    #[test]
+    fn independent_join_of_disjoint_atoms() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("R(x), S(y, z)").unwrap();
+        let extensional = safe_plan_probability(&tid, &q).unwrap();
+        // P(∃x R(x)) = 1 - 0.5·0.75 = 0.625; P(∃yz S(y,z)) = 1 - 0.2·0.6 = 0.88.
+        assert!((extensional - 0.625 * 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_query_probability() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("R(\"a\")").unwrap();
+        assert!((safe_plan_probability(&tid, &q).unwrap() - 0.5).abs() < 1e-12);
+        let q = ConjunctiveQuery::parse("R(\"missing\")").unwrap();
+        assert_eq!(safe_plan_probability(&tid, &q).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn single_atom_existential_query() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("S(x, y)").unwrap();
+        let p = safe_plan_probability(&tid, &q).unwrap();
+        assert!((p - (1.0 - 0.2 * 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_in_safe_queries() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery::parse("S(x, \"c\")").unwrap();
+        let p = safe_plan_probability(&tid, &q).unwrap();
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_with_lineage_on_random_hierarchical_queries() {
+        // Larger instance, same hierarchical query, several probability
+        // settings: extensional and intensional evaluations must agree.
+        let mut tid = TidInstance::new();
+        for i in 0..4 {
+            tid.add_fact_named("R", &[&format!("a{i}")], 0.3 + 0.1 * i as f64);
+            for j in 0..3 {
+                tid.add_fact_named("S", &[&format!("a{i}"), &format!("b{j}")], 0.2 + 0.05 * j as f64);
+            }
+        }
+        let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        let extensional = safe_plan_probability(&tid, &q).unwrap();
+        let lineage = tid_lineage(&tid, &q);
+        let intensional =
+            probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        assert!((extensional - intensional).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_query_is_rejected() {
+        let tid = star_tid();
+        let q = ConjunctiveQuery { atoms: vec![], free_variables: vec![] };
+        assert_eq!(safe_plan_probability(&tid, &q), Err(SafePlanError::EmptyQuery));
+    }
+}

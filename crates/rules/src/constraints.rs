@@ -1,0 +1,339 @@
+//! Hard constraints and open-world query answering.
+//!
+//! The paper's Section 2.3 starts from the classical setting its soft-rule
+//! vision generalises: "if we know some hard constraints about the KB (e.g.,
+//! the 'located in' relation is transitive), it makes more sense to say that a
+//! query is true if it is certain under the constraints, namely, if it is
+//! satisfied by all completions of the KB that obey the constraints. This is
+//! called open world query answering."
+//!
+//! This module implements that baseline: a set of *hard* existential rules, a
+//! bounded certain chase that completes an instance with everything the rules
+//! entail (inventing labelled nulls for existential variables), and certain
+//! answering of conjunctive queries on the completion. Probabilistic rules
+//! (the paper's actual proposal) live in [`crate::chase`]; comparing the two
+//! on the same knowledge base is experiment material for the benchmarks and
+//! examples.
+
+use std::collections::BTreeMap;
+
+use crate::rule::Rule;
+use stuc_data::instance::Instance;
+use stuc_query::cq::{ConjunctiveQuery, Term};
+use stuc_query::eval::{all_matches, query_holds};
+
+/// Errors raised by hard-constraint reasoning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// The chase exceeded its fact budget without terminating.
+    ChaseBudgetExceeded { facts: usize, limit: usize },
+}
+
+impl std::fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintError::ChaseBudgetExceeded { facts, limit } => {
+                write!(f, "certain chase produced {facts} facts, exceeding the limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+/// A set of hard existential rules with a bounded certain chase.
+#[derive(Debug, Clone)]
+pub struct HardConstraints {
+    rules: Vec<Rule>,
+    /// Maximum number of chase rounds.
+    pub max_rounds: usize,
+    /// Hard cap on the number of facts of the completion.
+    pub max_facts: usize,
+}
+
+impl HardConstraints {
+    /// Creates a constraint set. The rules' confidences are ignored: every
+    /// rule is treated as always applying.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        HardConstraints { rules, max_rounds: 8, max_facts: 50_000 }
+    }
+
+    /// Overrides the round bound.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The rules of the constraint set.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Completes the instance with everything the rules entail (the certain
+    /// chase, restricted chase variant: a rule is not fired when its head is
+    /// already satisfied by existing facts). Existential head variables are
+    /// instantiated by fresh labelled nulls named `_null<N>`.
+    pub fn saturate(&self, instance: &Instance) -> Result<Instance, ConstraintError> {
+        let mut completion = instance.clone();
+        let mut next_null = 0usize;
+        for _ in 0..self.max_rounds {
+            let mut changed = false;
+            for rule in &self.rules {
+                let matches = all_matches(&completion, &rule.body_query());
+                for homomorphism in matches {
+                    // Restricted chase: skip the application when the head is
+                    // already satisfiable with the current bindings.
+                    if head_satisfied(&completion, rule, &homomorphism.assignment) {
+                        continue;
+                    }
+                    let mut null_names: BTreeMap<String, String> = BTreeMap::new();
+                    for head_atom in &rule.head {
+                        let arguments: Vec<String> = head_atom
+                            .args
+                            .iter()
+                            .map(|term| match term {
+                                Term::Const(constant) => constant.clone(),
+                                Term::Var(variable) => {
+                                    if let Some(&constant) =
+                                        homomorphism.assignment.get(variable)
+                                    {
+                                        completion.constant_name(constant).to_string()
+                                    } else {
+                                        null_names
+                                            .entry(variable.clone())
+                                            .or_insert_with(|| {
+                                                let name = format!("_null{next_null}");
+                                                next_null += 1;
+                                                name
+                                            })
+                                            .clone()
+                                    }
+                                }
+                            })
+                            .collect();
+                        let argument_refs: Vec<&str> =
+                            arguments.iter().map(String::as_str).collect();
+                        let relation = completion.relation(&head_atom.relation);
+                        let constants: Vec<_> =
+                            argument_refs.iter().map(|a| completion.constant(a)).collect();
+                        if !completion.contains(relation, &constants) {
+                            completion.add_fact(relation, constants);
+                            changed = true;
+                        }
+                    }
+                    if completion.fact_count() > self.max_facts {
+                        return Err(ConstraintError::ChaseBudgetExceeded {
+                            facts: completion.fact_count(),
+                            limit: self.max_facts,
+                        });
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(completion)
+    }
+
+    /// Open-world certain answering of a Boolean query: true iff the query
+    /// holds on the chased completion of the instance (hence in every model
+    /// of the instance and the rules, up to the round bound).
+    pub fn certain(
+        &self,
+        instance: &Instance,
+        query: &ConjunctiveQuery,
+    ) -> Result<bool, ConstraintError> {
+        let completion = self.saturate(instance)?;
+        Ok(query_holds(&completion, query))
+    }
+
+    /// Certain answers of a non-Boolean query: the answers over the chased
+    /// completion that do not mention invented nulls (a null is not a certain
+    /// constant, only a witness of existence).
+    pub fn certain_answers(
+        &self,
+        instance: &Instance,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<Vec<String>>, ConstraintError> {
+        let completion = self.saturate(instance)?;
+        let mut answers: Vec<Vec<String>> = stuc_query::eval::all_answers(&completion, query)
+            .into_iter()
+            .map(|answer| {
+                answer
+                    .iter()
+                    .map(|&constant| completion.constant_name(constant).to_string())
+                    .collect::<Vec<String>>()
+            })
+            .filter(|answer| answer.iter().all(|constant| !constant.starts_with("_null")))
+            .collect();
+        answers.sort();
+        answers.dedup();
+        Ok(answers)
+    }
+}
+
+/// True if the rule head is already satisfied under the given body bindings
+/// (checking only the frontier variables; existential positions may be
+/// witnessed by any constant).
+fn head_satisfied(
+    completion: &Instance,
+    rule: &Rule,
+    assignment: &BTreeMap<String, stuc_data::instance::ConstId>,
+) -> bool {
+    // Build a conjunctive query from the head with frontier variables
+    // replaced by their bound constants and existential variables left free.
+    let atoms = rule
+        .head
+        .iter()
+        .map(|atom| stuc_query::cq::Atom {
+            relation: atom.relation.clone(),
+            args: atom
+                .args
+                .iter()
+                .map(|term| match term {
+                    Term::Const(constant) => Term::Const(constant.clone()),
+                    Term::Var(variable) => match assignment.get(variable) {
+                        Some(&constant) => {
+                            Term::Const(completion.constant_name(constant).to_string())
+                        }
+                        None => Term::Var(variable.clone()),
+                    },
+                })
+                .collect(),
+        })
+        .collect();
+    query_holds(completion, &ConjunctiveQuery::boolean(atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn located_in_kb() -> Instance {
+        let mut instance = Instance::new();
+        instance.add_fact_named("LocatedIn", &["paris", "france"]);
+        instance.add_fact_named("LocatedIn", &["france", "europe"]);
+        instance.add_fact_named("LocatedIn", &["tokyo", "japan"]);
+        instance
+    }
+
+    fn transitivity() -> Rule {
+        Rule::parse("LocatedIn(x, z) :- LocatedIn(x, y), LocatedIn(y, z)", 1.0).unwrap()
+    }
+
+    #[test]
+    fn transitive_constraint_completes_the_kb() {
+        let constraints = HardConstraints::new(vec![transitivity()]);
+        let completion = constraints.saturate(&located_in_kb()).unwrap();
+        let query = ConjunctiveQuery::parse("LocatedIn(\"paris\", \"europe\")").unwrap();
+        assert!(query_holds(&completion, &query));
+    }
+
+    #[test]
+    fn certain_answering_uses_the_completion() {
+        let constraints = HardConstraints::new(vec![transitivity()]);
+        let certain = constraints
+            .certain(
+                &located_in_kb(),
+                &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"europe\")").unwrap(),
+            )
+            .unwrap();
+        assert!(certain);
+        let not_certain = constraints
+            .certain(
+                &located_in_kb(),
+                &ConjunctiveQuery::parse("LocatedIn(\"tokyo\", \"europe\")").unwrap(),
+            )
+            .unwrap();
+        assert!(!not_certain);
+    }
+
+    #[test]
+    fn existential_rules_fire_but_nulls_are_not_certain_answers() {
+        // Every city is located in some country.
+        let rule = Rule::parse("LocatedIn(x, c) :- City(x)", 1.0).unwrap();
+        let mut instance = Instance::new();
+        instance.add_fact_named("City", &["paris"]);
+        instance.add_fact_named("City", &["lyon"]);
+        instance.add_fact_named("LocatedIn", &["paris", "france"]);
+        let constraints = HardConstraints::new(vec![rule]);
+        // Boolean query "lyon is located somewhere" is certain (witnessed by
+        // a null) …
+        let certain = constraints
+            .certain(&instance, &ConjunctiveQuery::parse("LocatedIn(\"lyon\", x)").unwrap())
+            .unwrap();
+        assert!(certain);
+        // … but the null is not a certain *answer*.
+        let answers = constraints
+            .certain_answers(
+                &instance,
+                &ConjunctiveQuery::parse("ans(y) <- LocatedIn(\"lyon\", y)").unwrap(),
+            )
+            .unwrap();
+        assert!(answers.is_empty());
+        let paris_answers = constraints
+            .certain_answers(
+                &instance,
+                &ConjunctiveQuery::parse("ans(y) <- LocatedIn(\"paris\", y)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(paris_answers, vec![vec!["france".to_string()]]);
+    }
+
+    #[test]
+    fn restricted_chase_does_not_invent_redundant_nulls() {
+        // paris already has a country: the existential rule must not add a
+        // second (null) one.
+        let rule = Rule::parse("LocatedIn(x, c) :- City(x)", 1.0).unwrap();
+        let mut instance = Instance::new();
+        instance.add_fact_named("City", &["paris"]);
+        instance.add_fact_named("LocatedIn", &["paris", "france"]);
+        let constraints = HardConstraints::new(vec![rule]);
+        let completion = constraints.saturate(&instance).unwrap();
+        assert_eq!(completion.fact_count(), 2);
+    }
+
+    #[test]
+    fn chase_budget_is_enforced() {
+        // A rule that keeps inventing new elements: x is succeeded by some y,
+        // which is itself a Node, forever.
+        let rules = vec![
+            Rule::parse("Succ(x, y), Node(y) :- Node(x)", 1.0).unwrap(),
+        ];
+        let mut instance = Instance::new();
+        instance.add_fact_named("Node", &["n0"]);
+        let constraints = HardConstraints { rules, max_rounds: 1_000, max_facts: 50 };
+        assert!(matches!(
+            constraints.saturate(&instance),
+            Err(ConstraintError::ChaseBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn round_bound_truncates_non_terminating_chases() {
+        let rules = vec![
+            Rule::parse("Succ(x, y), Node(y) :- Node(x)", 1.0).unwrap(),
+        ];
+        let mut instance = Instance::new();
+        instance.add_fact_named("Node", &["n0"]);
+        let constraints = HardConstraints::new(rules).with_max_rounds(3);
+        let completion = constraints.saturate(&instance).unwrap();
+        // Each round adds one Succ fact and one Node fact.
+        assert_eq!(completion.fact_count(), 1 + 2 * 3);
+    }
+
+    #[test]
+    fn no_rules_means_plain_query_evaluation() {
+        let constraints = HardConstraints::new(vec![]);
+        let instance = located_in_kb();
+        let held = constraints
+            .certain(&instance, &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"france\")").unwrap())
+            .unwrap();
+        assert!(held);
+        let not_held = constraints
+            .certain(&instance, &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"europe\")").unwrap())
+            .unwrap();
+        assert!(!not_held);
+    }
+}

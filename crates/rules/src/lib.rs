@@ -1,0 +1,46 @@
+//! # stuc-rules — reasoning under probabilistic rules
+//!
+//! The paper's Section 2.3 vision: completing an incomplete knowledge base by
+//! applying *soft* (probabilistic) deduction rules, where each rule states
+//! that its head *usually* follows from its body — the rule applies, on
+//! average, in a given fraction of cases, independently across matches.
+//!
+//! This crate implements that semantics for existential rules
+//! (tuple-generating dependencies) with a bounded-depth chase:
+//!
+//! * every rule application (a homomorphism of the rule body into the known
+//!   facts) fires with its own fresh independent event of probability equal
+//!   to the rule's confidence;
+//! * derived facts receive *lineage circuits*: the OR over their derivations
+//!   of the AND of the premises' lineages and the application event;
+//! * head variables that do not occur in the body are instantiated with
+//!   fresh labelled nulls (existential semantics);
+//! * probabilities of derived facts and of queries over the completed
+//!   instance are computed with the `stuc-circuit` back-ends, so the
+//!   treewidth-based tractability transfers whenever the derivations stay
+//!   tree-like (experiment E10).
+//!
+//! Around the probabilistic chase, the crate also covers the neighbouring
+//! pieces of the paper's Section 2.3 programme:
+//!
+//! * [`constraints`] — the classical baseline the soft-rule vision
+//!   generalises: *hard* rules, the certain chase, and open-world certain
+//!   answers;
+//! * [`mining`] — producing soft rules from the data by association-rule
+//!   mining (support / confidence / head coverage), the paper's suggested
+//!   source of rule confidences;
+//! * [`truncation`] — truncating a possibly non-terminating chase with
+//!   certified lower/upper bounds on query probabilities ("truncate it and
+//!   control the error").
+
+pub mod chase;
+pub mod constraints;
+pub mod mining;
+pub mod rule;
+pub mod truncation;
+
+pub use chase::{ChaseConfig, ChaseResult, ProbabilisticChase};
+pub use constraints::HardConstraints;
+pub use mining::{MinedRule, RuleMiner};
+pub use rule::Rule;
+pub use truncation::{TruncatedChase, TruncationReport};

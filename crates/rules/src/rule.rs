@@ -1,0 +1,129 @@
+//! Probabilistic existential rules.
+
+use stuc_query::cq::{Atom, ConjunctiveQuery, QueryParseError, Term};
+
+/// A probabilistic existential rule `body → head` with a confidence.
+///
+/// Variables occurring in the head but not in the body are existential: each
+/// application invents a fresh null for them (e.g. "a PhD student and their
+/// advisor have probably co-authored *some* paper").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The body atoms (the premises).
+    pub body: Vec<Atom>,
+    /// The head atoms (the conclusions).
+    pub head: Vec<Atom>,
+    /// The probability that any given match of the body actually produces
+    /// the head facts (the "usually applies" semantics of the paper).
+    pub confidence: f64,
+}
+
+impl Rule {
+    /// Parses a rule of the form `head :- body` (both comma-separated atom
+    /// lists, same atom syntax as conjunctive queries) with a confidence.
+    ///
+    /// Example: `Lives(x, y) :- Citizen(x, y)` with confidence `0.8`.
+    pub fn parse(text: &str, confidence: f64) -> Result<Rule, QueryParseError> {
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence {confidence} outside [0, 1]"
+        );
+        let (head_text, body_text) = text
+            .split_once(":-")
+            .ok_or_else(|| QueryParseError::Syntax("expected ':-' in rule".to_string()))?;
+        let head = ConjunctiveQuery::parse(head_text.trim())?.atoms;
+        let body = ConjunctiveQuery::parse(body_text.trim())?.atoms;
+        Ok(Rule { body, head, confidence })
+    }
+
+    /// The body as a Boolean conjunctive query (used to find matches).
+    pub fn body_query(&self) -> ConjunctiveQuery {
+        ConjunctiveQuery::boolean(self.body.clone())
+    }
+
+    /// The head variables that do not occur in the body (existential
+    /// variables, instantiated by fresh nulls at application time).
+    pub fn existential_variables(&self) -> Vec<String> {
+        let body_vars: std::collections::BTreeSet<String> =
+            self.body.iter().flat_map(|a| a.variables()).collect();
+        let mut existential: Vec<String> = self
+            .head
+            .iter()
+            .flat_map(|a| a.variables())
+            .filter(|v| !body_vars.contains(v))
+            .collect();
+        existential.sort();
+        existential.dedup();
+        existential
+    }
+
+    /// True if the rule is *guarded*: some body atom contains every body
+    /// variable (the fragment for which the paper hopes to preserve
+    /// treewidth-based tractability).
+    pub fn is_guarded(&self) -> bool {
+        let body_vars: std::collections::BTreeSet<String> =
+            self.body.iter().flat_map(|a| a.variables()).collect();
+        self.body.iter().any(|a| a.variables() == body_vars)
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let head: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
+        let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        write!(f, "{} :- {} [{}]", head.join(", "), body.join(", "), self.confidence)
+    }
+}
+
+/// Convenience: a term that is a variable (used when building rules in code).
+pub fn var(name: &str) -> Term {
+    Term::Var(name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_rule() {
+        let rule = Rule::parse("Lives(x, y) :- Citizen(x, y)", 0.8).unwrap();
+        assert_eq!(rule.body.len(), 1);
+        assert_eq!(rule.head.len(), 1);
+        assert_eq!(rule.confidence, 0.8);
+        assert!(rule.existential_variables().is_empty());
+        assert!(rule.is_guarded());
+    }
+
+    #[test]
+    fn existential_variables_are_detected() {
+        let rule = Rule::parse("CoAuthored(x, y, p) :- Advises(x, y)", 0.7).unwrap();
+        assert_eq!(rule.existential_variables(), vec!["p".to_string()]);
+    }
+
+    #[test]
+    fn guardedness() {
+        let guarded = Rule::parse("R(x) :- S(x, y), T(y)", 0.5);
+        // S(x, y) does not contain all body vars? It contains x and y — T(y) ⊆ it.
+        assert!(guarded.unwrap().is_guarded());
+        let unguarded = Rule::parse("R(x) :- S(x, y), T(y, z)", 0.5).unwrap();
+        assert!(!unguarded.is_guarded());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Rule::parse("no separator here", 0.5).is_err());
+        assert!(Rule::parse("R(x) :- S(x", 0.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_confidence_panics() {
+        let _ = Rule::parse("R(x) :- S(x)", 1.5);
+    }
+
+    #[test]
+    fn display_shows_rule() {
+        let rule = Rule::parse("R(x) :- S(x)", 0.25).unwrap();
+        assert_eq!(rule.to_string(), "R(x) :- S(x) [0.25]");
+    }
+}

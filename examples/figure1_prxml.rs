@@ -1,0 +1,55 @@
+//! Experiment E1 — the paper's Figure 1, reproduced end to end.
+//!
+//! The PrXML document describes part of the Wikidata entry about Chelsea
+//! Manning: an `ind` node for the uncertain occupation, a `mux` node for the
+//! given name, and the contributor event `eJane` correlating the place of
+//! birth and the surname. We compute exact probabilities for the natural
+//! tree-pattern queries on it.
+//!
+//! Run with: `cargo run --example figure1_prxml`
+
+use stuc::prxml::document::PrXmlDocument;
+use stuc::prxml::queries::{query_probability, PrxmlQuery};
+use stuc::prxml::scope::analyze_scopes;
+
+fn main() {
+    let doc = PrXmlDocument::figure1_example();
+    println!("Figure 1 PrXML document: {} nodes, {} variables", doc.len(), doc.variables().len());
+
+    let queries = [
+        ("occupation 'musician' is recorded", PrxmlQuery::LabelExists("musician".into())),
+        ("given name is 'Chelsea'", PrxmlQuery::LabelExists("Chelsea".into())),
+        ("given name is 'Bradley'", PrxmlQuery::LabelExists("Bradley".into())),
+        ("place of birth is recorded", PrxmlQuery::LabelExists("place of birth".into())),
+        (
+            "both of Jane's facts are present",
+            PrxmlQuery::And(
+                Box::new(PrxmlQuery::LabelExists("place of birth".into())),
+                Box::new(PrxmlQuery::LabelExists("surname".into())),
+            ),
+        ),
+        (
+            "occupation recorded AND given name 'Chelsea'",
+            PrxmlQuery::And(
+                Box::new(PrxmlQuery::LabelExists("musician".into())),
+                Box::new(PrxmlQuery::LabelExists("Chelsea".into())),
+            ),
+        ),
+        (
+            "surname 'Manning' under a 'surname' element",
+            PrxmlQuery::ParentChild { parent: "surname".into(), child: "Manning".into() },
+        ),
+    ];
+
+    for (description, query) in queries {
+        let p = query_probability(&doc, &query).expect("tractable document");
+        println!("P[{description}] = {p:.4}");
+    }
+
+    let scopes = analyze_scopes(&doc);
+    println!(
+        "event scopes: max node scope = {}, shared events = {}",
+        scopes.max_node_scope(),
+        scopes.shared_event_count()
+    );
+}

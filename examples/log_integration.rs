@@ -1,0 +1,61 @@
+//! Experiment E9 flavour — order-uncertain data (Section 3 of the paper).
+//!
+//! Two machine logs are each internally ordered but carry no global
+//! timestamps. Integrating them yields a po-relation whose possible worlds
+//! are the interleavings; the positive relational algebra then manipulates
+//! the result while tracking the order uncertainty.
+//!
+//! Run with: `cargo run --example log_integration`
+
+use stuc::order::porelation::PoRelation;
+use stuc::order::posra::{product_parallel, select, union_concat, union_parallel};
+
+fn list(items: &[&str]) -> PoRelation {
+    PoRelation::totally_ordered(items.iter().map(|s| vec![s.to_string()]).collect())
+}
+
+fn main() {
+    // Two logs without synchronised clocks (fetchmail / dmesg style).
+    let server_log = list(&["server: boot", "server: error disk", "server: shutdown"]);
+    let worker_log = list(&["worker: start", "worker: error oom", "worker: done"]);
+
+    let merged = union_parallel(&server_log, &worker_log);
+    println!(
+        "merged log: {} entries, {} possible interleavings",
+        merged.len(),
+        merged.count_linear_extensions().unwrap()
+    );
+
+    // Select only the error lines: the order between them stays uncertain.
+    let errors = select(&merged, |t| t[0].contains("error"));
+    println!(
+        "error lines: {} entries, {} possible orders",
+        errors.len(),
+        errors.count_linear_extensions().unwrap()
+    );
+    let world_a = vec![vec!["server: error disk".to_string()], vec!["worker: error oom".to_string()]];
+    let world_b = vec![vec!["worker: error oom".to_string()], vec!["server: error disk".to_string()]];
+    println!(
+        "  'disk before oom' possible: {} / 'oom before disk' possible: {}",
+        errors.is_possible_world(&world_a),
+        errors.is_possible_world(&world_b)
+    );
+
+    // Appending a third, later log fixes its relative position.
+    let late_log = list(&["archiver: flush"]);
+    let full = union_concat(&merged, &late_log);
+    println!(
+        "after appending the archiver log: {} possible orders (archiver is always last)",
+        full.count_linear_extensions().unwrap()
+    );
+
+    // Preference-style product: ranked hotels × ranked restaurants.
+    let hotels = list(&["hotel Ritz", "hotel Budget"]);
+    let restaurants = list(&["restaurant Fancy", "restaurant Diner"]);
+    let pairs = product_parallel(&hotels, &restaurants);
+    println!(
+        "\nhotel × restaurant pairs: {} tuples, {} possible rankings under dominance",
+        pairs.len(),
+        pairs.count_linear_extensions().unwrap()
+    );
+}

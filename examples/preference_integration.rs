@@ -1,0 +1,109 @@
+//! Integrating ranked lists with uncertain relative order (paper §3).
+//!
+//! Two travel sites rank the same hotels by an unknown proprietary relevance
+//! function. Integrating the lists gives a po-relation whose possible worlds
+//! are the interleavings; this example walks through the PosRA operators, the
+//! set-semantics view, the uniform distribution over linear extensions
+//! (precedence / rank / top-k probabilities, sampling), and order induced by
+//! uncertain numerical scores.
+//!
+//! Run with: `cargo run --example preference_integration`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stuc::order::numeric::NumericPoRelation;
+use stuc::order::porelation::PoRelation;
+use stuc::order::posra::{product_parallel, select, union_parallel};
+use stuc::order::probability::LinearExtensionDistribution;
+use stuc::order::setops::{set_possible_worlds, union_distinct};
+
+fn ranked(items: &[&str]) -> PoRelation {
+    PoRelation::totally_ordered(items.iter().map(|s| vec![s.to_string()]).collect())
+}
+
+fn main() {
+    // Two sources rank overlapping sets of hotels.
+    let site_a = ranked(&["ritz", "grand", "hostel"]);
+    let site_b = ranked(&["palace", "grand"]);
+
+    // Bag-semantics integration: no order constraints between the sources.
+    let merged = union_parallel(&site_a, &site_b);
+    println!(
+        "merged list: {} entries, {} possible orderings",
+        merged.len(),
+        merged.count_linear_extensions().unwrap()
+    );
+
+    // Set-semantics integration: duplicate hotels are merged; only the
+    // *certain* order survives.
+    let distinct = union_distinct(&site_a, &site_b);
+    println!(
+        "distinct hotels: {} entries, {} certain-order worlds, {} exact set worlds",
+        distinct.len(),
+        distinct.count_linear_extensions().unwrap(),
+        set_possible_worlds(&merged).unwrap().len()
+    );
+
+    // The uniform distribution over the merged list's linear extensions.
+    let distribution = LinearExtensionDistribution::new(&merged).unwrap();
+    let ritz = merged
+        .elements()
+        .find(|(_, t)| t[0] == "ritz")
+        .map(|(e, _)| e)
+        .unwrap();
+    let palace = merged
+        .elements()
+        .find(|(_, t)| t[0] == "palace")
+        .map(|(e, _)| e)
+        .unwrap();
+    println!(
+        "P[ritz ranked before palace] = {:.4}",
+        distribution.precedence_probability(ritz, palace)
+    );
+    println!(
+        "P[ritz in the top 2]        = {:.4}",
+        distribution.top_k_probability(ritz, 2)
+    );
+    println!("expected rank of palace      = {:.4}", distribution.expected_rank(palace));
+
+    // Draw a few consensus rankings uniformly at random.
+    let mut rng = StdRng::seed_from_u64(2015);
+    for draw in 0..3 {
+        let sample = distribution.sample(&mut rng);
+        let labels: Vec<&str> =
+            sample.iter().map(|&e| merged.tuple(e)[0].as_str()).collect();
+        println!("sampled ranking {draw}: {}", labels.join(" > "));
+    }
+
+    // Pair the ranked hotels with a ranked restaurant list (dominance order).
+    let restaurants = ranked(&["bistro", "diner"]);
+    let pairs = product_parallel(&select(&merged, |t| t[0] != "hostel"), &restaurants);
+    println!(
+        "hotel × restaurant pairs: {} combinations, {} possible orderings",
+        pairs.len(),
+        pairs.count_linear_extensions().unwrap()
+    );
+
+    // Order arising from uncertain numerical scores (crowd-estimated ratings).
+    let mut scores = NumericPoRelation::new();
+    let ritz_score = scores.add_interval(vec!["ritz".into()], 8.0, 9.5).unwrap();
+    let grand_score = scores.add_interval(vec!["grand".into()], 7.0, 8.5).unwrap();
+    let hostel_score = scores.add_exact(vec!["hostel".into()], 5.0);
+    scores.add_comparison(hostel_score, grand_score).unwrap();
+    scores.tighten().unwrap();
+    let guesses = scores.interpolate_midpoints();
+    println!(
+        "interpolated scores: ritz {:.2}, grand {:.2}, hostel {:.2}",
+        guesses[ritz_score.0], guesses[grand_score.0], guesses[hostel_score.0]
+    );
+    println!(
+        "P[grand outranks ritz under uniform scores] = {:.4}",
+        scores.precedence_probability_uniform(ritz_score, grand_score)
+    );
+    let induced = scores.induced_order();
+    println!(
+        "score-induced order: {} constraints certain, totally ordered: {}",
+        induced.order_edges().count(),
+        induced.is_totally_ordered()
+    );
+}

@@ -1,0 +1,61 @@
+//! # STUC — Structurally Tractable Uncertain Data
+//!
+//! Umbrella crate re-exporting the whole STUC workspace behind one façade.
+//!
+//! STUC is a reproduction of the system described in *"Structurally Tractable
+//! Uncertain Data"* (Amarilli, SIGMOD 2015 PhD symposium): exact query
+//! evaluation (possibility, certainty, probability) on uncertain data whose
+//! *structure* — bounded treewidth of the instance together with its
+//! uncertainty annotations — makes the problem tractable, even though it is
+//! `#P`-hard on arbitrary inputs.
+//!
+//! The workspace is organised as one crate per subsystem:
+//!
+//! * [`graph`] — graphs, tree decompositions, treewidth heuristics.
+//! * [`circuit`] — Boolean/provenance circuits, semirings, exact probability
+//!   computation (weighted model counting by message passing).
+//! * [`data`] — relational instances and their uncertain variants
+//!   (TID, c-instances, pc-instances, pcc-instances).
+//! * [`query`] — conjunctive queries, relational algebra, lineage, the safe
+//!   extensional baseline.
+//! * [`automata`] — bottom-up tree automata, tree encodings of
+//!   bounded-treewidth instances, provenance-producing runs.
+//! * [`prxml`] — probabilistic XML (`ind`/`mux`/`cie` nodes, global events,
+//!   event scopes).
+//! * [`order`] — order-uncertain data: labeled partial orders and the
+//!   positive relational algebra with bag semantics.
+//! * [`rules`] — probabilistic existential rules and the chase.
+//! * [`cond`] — conditioning uncertain data and crowd question selection.
+//! * [`core`] — the headline pipeline: instance → decomposition →
+//!   tree encoding → automaton run → lineage circuit → probability.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stuc::core::pipeline::TractablePipeline;
+//! use stuc::data::tid::TidInstance;
+//! use stuc::query::cq::ConjunctiveQuery;
+//!
+//! // A tiny path-shaped TID instance: R(a,b) with prob 0.5, R(b,c) with prob 0.5.
+//! let mut tid = TidInstance::new();
+//! tid.add_fact_named("R", &["a", "b"], 0.5);
+//! tid.add_fact_named("R", &["b", "c"], 0.5);
+//!
+//! // Query: does some R-path of length 2 exist?
+//! let q = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+//!
+//! let pipeline = TractablePipeline::default();
+//! let report = pipeline.evaluate_cq_on_tid(&tid, &q).unwrap();
+//! assert!((report.probability - 0.25).abs() < 1e-9);
+//! ```
+
+pub use stuc_automata as automata;
+pub use stuc_circuit as circuit;
+pub use stuc_cond as cond;
+pub use stuc_core as core;
+pub use stuc_data as data;
+pub use stuc_graph as graph;
+pub use stuc_order as order;
+pub use stuc_prxml as prxml;
+pub use stuc_query as query;
+pub use stuc_rules as rules;

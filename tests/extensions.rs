@@ -1,0 +1,325 @@
+//! Cross-crate integration tests for the extension modules: order
+//! probabilities and set semantics, combined fact+order uncertainty, Datalog
+//! provenance, rule mining / hard constraints / truncation, and PrXML
+//! constraint conditioning.
+
+use stuc::circuit::circuit::VarId;
+use stuc::circuit::enumeration::probability_by_enumeration;
+use stuc::circuit::weights::Weights;
+use stuc::core::pipeline::TractablePipeline;
+use stuc::data::formula::Formula;
+use stuc::data::tid::TidInstance;
+use stuc::order::annotated::AnnotatedPoRelation;
+use stuc::order::porelation::PoRelation;
+use stuc::order::probability::LinearExtensionDistribution;
+use stuc::order::setops::{distinct_certain, set_possible_worlds};
+use stuc::prxml::constraints::{
+    conditioned_query_probability, constraint_probability, PrxmlConstraint,
+};
+use stuc::prxml::document::PrXmlDocument;
+use stuc::prxml::queries::{query_probability, PrxmlQuery};
+use stuc::query::cq::ConjunctiveQuery;
+use stuc::query::datalog::DatalogProgram;
+use stuc::query::datalog_provenance::DatalogProvenance;
+use stuc::rules::constraints::HardConstraints;
+use stuc::rules::mining::RuleMiner;
+use stuc::rules::truncation::TruncatedChase;
+use stuc::rules::ProbabilisticChase;
+
+/// The non-recursive part of Datalog provenance must agree with the
+/// structurally tractable pipeline of Theorem 1 on the equivalent CQ.
+#[test]
+fn datalog_provenance_agrees_with_the_tractable_pipeline() {
+    let mut tid = TidInstance::new();
+    for (i, p) in [0.9, 0.4, 0.7, 0.2].iter().enumerate() {
+        tid.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)], *p);
+    }
+    // Two-hop reachability as a non-recursive Datalog program …
+    let program = DatalogProgram::parse("TwoHop(x, z) :- Edge(x, y), Edge(y, z)").unwrap();
+    let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+    let query = ConjunctiveQuery::parse("TwoHop(x, z)").unwrap();
+    let lineage = provenance.query_lineage(&query);
+    let from_datalog = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+    // … and as the CQ evaluated by the automaton pipeline.
+    let cq = ConjunctiveQuery::parse("Edge(x, y), Edge(y, z)").unwrap();
+    let report = TractablePipeline::default().evaluate_cq_on_tid(&tid, &cq).unwrap();
+    assert!((from_datalog - report.probability).abs() < 1e-9);
+}
+
+/// Precedence probabilities from the distribution match the ratio of
+/// augmented to total linear-extension counts.
+#[test]
+fn precedence_probability_matches_counting() {
+    let mut po = PoRelation::new();
+    let a = po.add_tuple(vec!["a".into()]);
+    let b = po.add_tuple(vec!["b".into()]);
+    let c = po.add_tuple(vec!["c".into()]);
+    let d = po.add_tuple(vec!["d".into()]);
+    po.add_order(a, b).unwrap();
+    po.add_order(c, d).unwrap();
+    let total = po.count_linear_extensions().unwrap();
+    let mut augmented = po.clone();
+    augmented.add_order(a, d).unwrap();
+    let with_constraint = augmented.count_linear_extensions().unwrap();
+    let distribution = LinearExtensionDistribution::new(&po).unwrap();
+    let expected = with_constraint as f64 / total as f64;
+    assert!((distribution.precedence_probability(a, d) - expected).abs() < 1e-12);
+}
+
+/// The certain-order distinct operator over-approximates the exact set
+/// semantics: every exact world is a linear extension of the operator's
+/// output.
+#[test]
+fn distinct_certain_over_approximates_exact_set_worlds() {
+    let ranking_a = PoRelation::totally_ordered(vec![
+        vec!["x".into()],
+        vec!["y".into()],
+        vec!["z".into()],
+    ]);
+    let ranking_b =
+        PoRelation::totally_ordered(vec![vec!["y".into()], vec!["x".into()]]);
+    let merged = stuc::order::posra::union_parallel(&ranking_a, &ranking_b);
+    let exact = set_possible_worlds(&merged).unwrap();
+    let approximated = distinct_certain(&merged);
+    for world in &exact {
+        assert!(
+            approximated.is_possible_world(world),
+            "exact world {world:?} missing from the certain-order approximation"
+        );
+    }
+}
+
+/// Combined fact and order uncertainty: the annotated po-relation built from
+/// two correlated log entries behaves like the c-instance semantics on the
+/// fact side and like the po-relation semantics on the order side.
+#[test]
+fn annotated_po_relations_combine_fact_and_order_uncertainty() {
+    let mut log = AnnotatedPoRelation::new();
+    let source = VarId(0);
+    let boot = log.add_tuple(vec!["boot".into()], Formula::Var(source));
+    let crash = log.add_tuple(vec!["crash".into()], Formula::Var(source));
+    let audit = log.add_tuple(vec!["audit".into()], Formula::True);
+    log.add_order(boot, crash).unwrap();
+    log.add_order(boot, audit).unwrap();
+    let mut weights = Weights::new();
+    weights.set(source, 0.5);
+    // When the source is trusted all three entries are present, and the two
+    // orderings of {crash, audit} after boot are both possible.
+    let full = log
+        .sequence_possibility_probability(
+            &weights,
+            &[vec!["boot".into()], vec!["crash".into()], vec!["audit".into()]],
+        )
+        .unwrap();
+    assert!((full - 0.5).abs() < 1e-12);
+    // When the source is untrusted only the audit entry survives.
+    let audit_only = log
+        .sequence_possibility_probability(&weights, &[vec!["audit".into()]])
+        .unwrap();
+    assert!((audit_only - 0.5).abs() < 1e-12);
+    assert!((log.expected_size(&weights).unwrap() - 2.0).abs() < 1e-12);
+}
+
+/// Rule mining feeds the probabilistic chase: the mined confidence becomes
+/// the derived-fact probability for a certain premise, and the truncated
+/// chase brackets the same value.
+#[test]
+fn mined_rules_drive_chase_and_truncation_consistently() {
+    let mut training = stuc::data::instance::Instance::new();
+    for (person, country, lives) in [
+        ("alice", "france", true),
+        ("bob", "france", true),
+        ("carol", "japan", true),
+        ("dave", "japan", false),
+    ] {
+        training.add_fact_named("Citizen", &[person, country]);
+        if lives {
+            training.add_fact_named("Lives", &[person, country]);
+        } else {
+            training.add_fact_named("Lives", &[person, "elsewhere"]);
+        }
+    }
+    let miner = RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: false };
+    let mined = miner.mine(&training);
+    let lives_rule = mined
+        .iter()
+        .find(|m| {
+            m.rule.head[0].relation == "Lives"
+                && m.rule.body[0].relation == "Citizen"
+                && m.rule.head[0].args == m.rule.body[0].args
+        })
+        .expect("the Lives rule should be mined");
+    assert!((lives_rule.confidence() - 0.75).abs() < 1e-9);
+
+    let mut fresh = TidInstance::new();
+    fresh.add_fact_named("Citizen", &["erin", "france"], 1.0);
+    let query = ConjunctiveQuery::parse("Lives(\"erin\", \"france\")").unwrap();
+    let chase = ProbabilisticChase::new(vec![lives_rule.rule.clone()]);
+    let probability = chase.run(&fresh).unwrap().query_probability(&query).unwrap();
+    assert!((probability - 0.75).abs() < 1e-9);
+
+    let truncated = TruncatedChase::new(vec![lives_rule.rule.clone()]);
+    let report = truncated.evaluate(&fresh, &query, 2).unwrap();
+    assert!(report.converged);
+    assert!((report.lower_bound - 0.75).abs() < 1e-9);
+    assert!((report.upper_bound - 0.75).abs() < 1e-9);
+}
+
+/// Open-world certain answering under hard rules is the degenerate case the
+/// probabilistic chase must agree with when every confidence is 1 and every
+/// fact is certain.
+#[test]
+fn hard_constraints_agree_with_confidence_one_chase() {
+    let rule =
+        stuc::rules::Rule::parse("LocatedIn(x, z) :- LocatedIn(x, y), LocatedIn(y, z)", 1.0)
+            .unwrap();
+    let mut tid = TidInstance::new();
+    tid.add_fact_named("LocatedIn", &["paris", "france"], 1.0);
+    tid.add_fact_named("LocatedIn", &["france", "europe"], 1.0);
+    let query = ConjunctiveQuery::parse("LocatedIn(\"paris\", \"europe\")").unwrap();
+
+    let hard = HardConstraints::new(vec![rule.clone()]);
+    let certain = hard.certain(tid.instance(), &query).unwrap();
+    let probabilistic = ProbabilisticChase::new(vec![rule])
+        .run(&tid)
+        .unwrap()
+        .query_probability(&query)
+        .unwrap();
+    assert!(certain);
+    assert!((probabilistic - 1.0).abs() < 1e-9);
+}
+
+/// PrXML constraint conditioning obeys the law of total probability on the
+/// Figure 1 document.
+#[test]
+fn prxml_conditioning_obeys_total_probability() {
+    let doc = PrXmlDocument::figure1_example();
+    let query = PrxmlQuery::LabelExists("Chelsea".into());
+    let evidence = PrxmlQuery::LabelExists("musician".into());
+    let p_query = query_probability(&doc, &query).unwrap();
+    let p_evidence = constraint_probability(&doc, &PrxmlConstraint::Holds(evidence.clone())).unwrap();
+    let p_given = conditioned_query_probability(
+        &doc,
+        &query,
+        &PrxmlConstraint::Holds(evidence.clone()),
+    )
+    .unwrap();
+    let p_given_not = conditioned_query_probability(
+        &doc,
+        &query,
+        &PrxmlConstraint::Violated(evidence),
+    )
+    .unwrap();
+    let reconstructed = p_given * p_evidence + p_given_not * (1.0 - p_evidence);
+    assert!((reconstructed - p_query).abs() < 1e-9);
+}
+
+/// Conditioning on a correlated observation shifts probabilities exactly as
+/// the shared event dictates; a world-enumeration cross-check over the
+/// document's variables confirms it.
+#[test]
+fn prxml_conditioning_tracks_shared_events() {
+    let doc = PrXmlDocument::figure1_example();
+    // Observing the place of birth is equivalent to observing eJane = true,
+    // so the surname becomes certain.
+    let conditioned = conditioned_query_probability(
+        &doc,
+        &PrxmlQuery::LabelExists("Manning".into()),
+        &PrxmlConstraint::Holds(PrxmlQuery::LabelExists("Crescent".into())),
+    )
+    .unwrap();
+    assert!((conditioned - 1.0).abs() < 1e-9);
+    // The cheap event-conditioning route gives the same number.
+    let mut fixed = doc.clone();
+    stuc::prxml::constraints::condition_on_event(&mut fixed, "eJane", true).unwrap();
+    let via_event =
+        query_probability(&fixed, &PrxmlQuery::LabelExists("Manning".into())).unwrap();
+    assert!((conditioned - via_event).abs() < 1e-9);
+}
+
+/// The uniform-linear-extension model and the world enumeration agree on a
+/// first-position query for a merged pair of rankings.
+#[test]
+fn rank_distribution_matches_world_enumeration() {
+    let first = PoRelation::totally_ordered(vec![vec!["a1".into()], vec!["a2".into()]]);
+    let second = PoRelation::totally_ordered(vec![vec!["b1".into()], vec!["b2".into()]]);
+    let merged = stuc::order::posra::union_parallel(&first, &second);
+    let distribution = LinearExtensionDistribution::new(&merged).unwrap();
+    let extensions = merged.linear_extensions().unwrap();
+    let a1 = merged.elements().find(|(_, t)| t[0] == "a1").unwrap().0;
+    let by_enumeration = extensions.iter().filter(|ext| ext[0] == a1).count() as f64
+        / extensions.len() as f64;
+    let by_distribution = distribution.rank_distribution(a1)[0];
+    assert!((by_enumeration - by_distribution).abs() < 1e-12);
+    // And both agree with the symmetric answer: each chain's head is equally
+    // likely to open the merged ranking.
+    assert!((by_distribution - 0.5).abs() < 1e-12);
+}
+
+/// A Datalog query over derived relations agrees with brute-force possible
+/// world enumeration of the TID instance.
+#[test]
+fn datalog_provenance_matches_world_enumeration() {
+    let mut tid = TidInstance::new();
+    let probabilities = [0.5, 0.8, 0.3];
+    for (i, p) in probabilities.iter().enumerate() {
+        tid.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)], *p);
+    }
+    let program = DatalogProgram::parse(
+        "Reach(x, y) :- Edge(x, y)\n\
+         Reach(x, z) :- Reach(x, y), Edge(y, z)",
+    )
+    .unwrap();
+    let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+    let lineage = provenance.fact_lineage("Reach", &["v0", "v3"]).unwrap();
+    let exact = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+
+    // Brute force: enumerate the 2³ worlds and run certain Datalog on each.
+    let mut brute_force = 0.0;
+    for world in 0u32..8 {
+        let mut mass = 1.0;
+        let mut instance = stuc::data::instance::Instance::new();
+        for (i, p) in probabilities.iter().enumerate() {
+            if world & (1 << i) != 0 {
+                mass *= p;
+                instance.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)]);
+            } else {
+                mass *= 1.0 - p;
+            }
+        }
+        let saturated = program.evaluate(&instance).unwrap();
+        let query = ConjunctiveQuery::parse("Reach(\"v0\", \"v3\")").unwrap();
+        if stuc::query::eval::query_holds(&saturated, &query) {
+            brute_force += mass;
+        }
+    }
+    assert!((exact - brute_force).abs() < 1e-9);
+}
+
+/// Conditioning valuations: the annotated po-relation's possibility
+/// probability of the empty sequence plus the probability that something
+/// survives must be 1.
+#[test]
+fn annotated_po_relation_possibility_masses_are_consistent() {
+    let mut relation = AnnotatedPoRelation::new();
+    relation.add_tuple(vec!["claim".into()], Formula::Var(VarId(0)));
+    relation.add_tuple(
+        vec!["counter-claim".into()],
+        Formula::Var(VarId(0)).negate(),
+    );
+    let mut weights = Weights::new();
+    weights.set(VarId(0), 0.3);
+    let empty = relation.sequence_possibility_probability(&weights, &[]).unwrap();
+    // Exactly one of the two tuples survives in every world: the empty
+    // sequence is never a possible world.
+    assert!(empty.abs() < 1e-12);
+    let claim = relation
+        .sequence_possibility_probability(&weights, &[vec!["claim".into()]])
+        .unwrap();
+    let counter = relation
+        .sequence_possibility_probability(&weights, &[vec!["counter-claim".into()]])
+        .unwrap();
+    assert!((claim - 0.3).abs() < 1e-12);
+    assert!((counter - 0.7).abs() < 1e-12);
+    assert!((relation.expected_size(&weights).unwrap() - 1.0).abs() < 1e-12);
+}

@@ -1,0 +1,213 @@
+//! Semantic coherence tests for the order-uncertainty stack: PosRA operators
+//! against their possible-world semantics, the uniform linear-extension
+//! distribution against enumeration, numeric orders, set semantics, and
+//! annotated (fact + order uncertain) relations.
+
+use std::collections::BTreeSet;
+
+use stuc::circuit::circuit::VarId;
+use stuc::circuit::weights::Weights;
+use stuc::data::formula::Formula;
+use stuc::order::annotated::AnnotatedPoRelation;
+use stuc::order::numeric::NumericPoRelation;
+use stuc::order::porelation::PoRelation;
+use stuc::order::posra::{project, select, union_concat, union_parallel};
+use stuc::order::probability::LinearExtensionDistribution;
+use stuc::order::setops::{distinct_certain, union_distinct};
+
+fn worlds(relation: &PoRelation) -> BTreeSet<Vec<Vec<String>>> {
+    relation
+        .linear_extensions()
+        .unwrap()
+        .into_iter()
+        .map(|extension| extension.iter().map(|&e| relation.tuple(e).to_vec()).collect())
+        .collect()
+}
+
+fn list(items: &[(&str, &str)]) -> PoRelation {
+    PoRelation::totally_ordered(
+        items.iter().map(|(a, b)| vec![a.to_string(), b.to_string()]).collect(),
+    )
+}
+
+/// Selection commutes with the possible-world semantics: filtering the
+/// representation and filtering each possible world give the same worlds.
+#[test]
+fn selection_commutes_with_possible_worlds() {
+    let logs = union_parallel(
+        &list(&[("boot", "m1"), ("error", "m1"), ("halt", "m1")]),
+        &list(&[("error", "m2"), ("ok", "m2")]),
+    );
+    let predicate = |tuple: &[String]| tuple[0] == "error" || tuple[0] == "halt";
+    let on_representation = worlds(&select(&logs, predicate));
+    let on_worlds: BTreeSet<Vec<Vec<String>>> = worlds(&logs)
+        .into_iter()
+        .map(|world| world.into_iter().filter(|t| predicate(t)).collect())
+        .collect();
+    assert_eq!(on_representation, on_worlds);
+}
+
+/// Projection commutes with the possible-world semantics.
+#[test]
+fn projection_commutes_with_possible_worlds() {
+    let logs = union_parallel(
+        &list(&[("boot", "m1"), ("halt", "m1")]),
+        &list(&[("error", "m2")]),
+    );
+    let on_representation = worlds(&project(&logs, &[1]));
+    let on_worlds: BTreeSet<Vec<Vec<String>>> = worlds(&logs)
+        .into_iter()
+        .map(|world| world.into_iter().map(|t| vec![t[1].clone()]).collect())
+        .collect();
+    assert_eq!(on_representation, on_worlds);
+}
+
+/// Concatenation union has exactly the worlds "every world of the left, then
+/// every world of the right".
+#[test]
+fn concatenation_union_concatenates_worlds() {
+    let left = union_parallel(
+        &list(&[("a", "x")]),
+        &list(&[("b", "x")]),
+    );
+    let right = list(&[("c", "y"), ("d", "y")]);
+    let combined = worlds(&union_concat(&left, &right));
+    let mut expected = BTreeSet::new();
+    for l in worlds(&left) {
+        for r in worlds(&right) {
+            let mut world = l.clone();
+            world.extend(r.clone());
+            expected.insert(world);
+        }
+    }
+    assert_eq!(combined, expected);
+}
+
+/// The expected ranks of all elements sum to n(n−1)/2 (each position is
+/// occupied exactly once), and top-k probabilities are monotone in k.
+#[test]
+fn rank_expectations_are_a_permutation_average() {
+    let merged = union_parallel(
+        &list(&[("a1", "s"), ("a2", "s"), ("a3", "s")]),
+        &list(&[("b1", "t"), ("b2", "t")]),
+    );
+    let distribution = LinearExtensionDistribution::new(&merged).unwrap();
+    let n = merged.len();
+    let total_rank: f64 = (0..n)
+        .map(|i| distribution.expected_rank(stuc::order::porelation::ElementId(i)))
+        .sum();
+    assert!((total_rank - (n * (n - 1)) as f64 / 2.0).abs() < 1e-9);
+    let element = stuc::order::porelation::ElementId(0);
+    let mut previous = 0.0;
+    for k in 0..=n {
+        let current = distribution.top_k_probability(element, k);
+        assert!(current + 1e-12 >= previous);
+        previous = current;
+    }
+    assert!((previous - 1.0).abs() < 1e-9);
+}
+
+/// When the numeric intervals certify an order, the uniform-value precedence
+/// probability is 1 and the induced po-relation agrees.
+#[test]
+fn numeric_certain_orders_are_consistent() {
+    let mut numeric = NumericPoRelation::new();
+    let low = numeric.add_interval(vec!["low".into()], 0.0, 1.0).unwrap();
+    let high = numeric.add_interval(vec!["high".into()], 2.0, 3.0).unwrap();
+    let overlapping = numeric.add_interval(vec!["mid".into()], 0.5, 2.5).unwrap();
+    assert!((numeric.precedence_probability_uniform(low, high) - 1.0).abs() < 1e-12);
+    let induced = numeric.induced_order();
+    assert!(induced.precedes(
+        stuc::order::porelation::ElementId(low.0),
+        stuc::order::porelation::ElementId(high.0)
+    ));
+    // The overlapping element is comparable to neither.
+    assert!(!induced.precedes(
+        stuc::order::porelation::ElementId(overlapping.0),
+        stuc::order::porelation::ElementId(high.0)
+    ));
+    let p = numeric.precedence_probability_uniform(overlapping, high);
+    assert!(p > 0.0 && p < 1.0);
+}
+
+/// Duplicate elimination is idempotent at the representation level.
+#[test]
+fn distinct_certain_is_idempotent() {
+    let merged = union_parallel(
+        &list(&[("x", "a"), ("y", "a")]),
+        &list(&[("x", "a"), ("z", "a")]),
+    );
+    let once = distinct_certain(&merged);
+    let twice = distinct_certain(&once);
+    assert_eq!(worlds(&once), worlds(&twice));
+    let via_union = union_distinct(
+        &list(&[("x", "a"), ("y", "a")]),
+        &list(&[("x", "a"), ("z", "a")]),
+    );
+    assert_eq!(worlds(&once), worlds(&via_union));
+}
+
+/// An annotated po-relation with all-certain annotations behaves exactly like
+/// the underlying po-relation, and PosRA on annotated relations commutes with
+/// fixing a valuation.
+#[test]
+fn annotated_operators_commute_with_world_selection() {
+    let mut left = AnnotatedPoRelation::new();
+    let a = left.add_tuple(vec!["a".into()], Formula::Var(VarId(0)));
+    let b = left.add_tuple(vec!["b".into()], Formula::True);
+    left.add_order(a, b).unwrap();
+    let mut right = AnnotatedPoRelation::new();
+    right.add_tuple(vec!["c".into()], Formula::Var(VarId(1)));
+
+    let union = left.union_parallel(&right);
+    let valuation: std::collections::BTreeMap<VarId, bool> =
+        [(VarId(0), false), (VarId(1), true)].into_iter().collect();
+    // Route 1: combine, then fix the valuation.
+    let combined_world = union.world_under(&valuation);
+    // Route 2: fix the valuation on each side, then combine plain relations.
+    let left_world = left.world_under(&valuation);
+    let right_world = right.world_under(&valuation);
+    let expected = union_parallel(&left_world, &right_world);
+    assert_eq!(worlds(&combined_world), worlds(&expected));
+
+    // Selection commutes as well.
+    let selected = union.select(|t| t[0] != "c").world_under(&valuation);
+    let expected_selected = select(&combined_world, |t| t[0] != "c");
+    assert_eq!(worlds(&selected), worlds(&expected_selected));
+}
+
+/// The probability-weighted possible-sequence masses of an annotated relation
+/// sum to 1 when summed over all (sequence, valuation) combinations — checked
+/// here on a small example by summing over the distinct achievable sequences
+/// of each valuation class.
+#[test]
+fn annotated_sequence_masses_partition_the_space() {
+    let mut relation = AnnotatedPoRelation::new();
+    relation.add_tuple(vec!["claim".into()], Formula::Var(VarId(0)));
+    relation.add_tuple(vec!["review".into()], Formula::True);
+    let mut weights = Weights::new();
+    weights.set(VarId(0), 0.25);
+    // Worlds: {review} with mass 0.75, {claim, review} (unordered) with 0.25.
+    let review_only = relation
+        .sequence_possibility_probability(&weights, &[vec!["review".into()]])
+        .unwrap();
+    let claim_then_review = relation
+        .sequence_possibility_probability(
+            &weights,
+            &[vec!["claim".into()], vec!["review".into()]],
+        )
+        .unwrap();
+    let review_then_claim = relation
+        .sequence_possibility_probability(
+            &weights,
+            &[vec!["review".into()], vec!["claim".into()]],
+        )
+        .unwrap();
+    assert!((review_only - 0.75).abs() < 1e-12);
+    assert!((claim_then_review - 0.25).abs() < 1e-12);
+    assert!((review_then_claim - 0.25).abs() < 1e-12);
+    assert!((relation.label_presence_probability(&weights, &["claim".to_string()]).unwrap()
+        - 0.25)
+        .abs()
+        < 1e-12);
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the extension modules: the uniform distribution
+//! over linear extensions, set semantics, numeric orders, Datalog evaluation
+//! and provenance, and rule mining.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stuc::circuit::enumeration::probability_by_enumeration;
+use stuc::data::instance::Instance;
+use stuc::data::tid::TidInstance;
+use stuc::order::numeric::probability_uniform_less;
+use stuc::order::porelation::{ElementId, PoRelation};
+use stuc::order::probability::LinearExtensionDistribution;
+use stuc::order::setops::{dedup_sequence, distinct_certain, set_possible_worlds};
+use stuc::query::datalog::DatalogProgram;
+use stuc::query::datalog_provenance::DatalogProvenance;
+use stuc::rules::mining::RuleMiner;
+
+/// Builds a random poset on `n` elements from a list of candidate edges,
+/// skipping any edge that would create a cycle.
+fn random_poset(n: usize, edges: &[(usize, usize)]) -> PoRelation {
+    let mut po = PoRelation::new();
+    let ids: Vec<ElementId> =
+        (0..n).map(|i| po.add_tuple(vec![format!("t{}", i % 3)])).collect();
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            let _ = po.add_order(ids[a], ids[b]);
+        }
+    }
+    po
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distribution's total matches the counting DP, every rank
+    /// distribution sums to 1, and precedence probabilities of distinct
+    /// elements are complementary.
+    #[test]
+    fn linear_extension_distribution_is_consistent(
+        n in 2usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..8),
+    ) {
+        let po = random_poset(n, &edges);
+        let distribution = LinearExtensionDistribution::new(&po).unwrap();
+        prop_assert_eq!(distribution.total_extensions(), po.count_linear_extensions().unwrap());
+        for i in 0..n {
+            let ranks = distribution.rank_distribution(ElementId(i));
+            let sum: f64 = ranks.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+        let forward = distribution.precedence_probability(ElementId(0), ElementId(1));
+        let backward = distribution.precedence_probability(ElementId(1), ElementId(0));
+        prop_assert!((forward + backward - 1.0).abs() < 1e-9);
+    }
+
+    /// Uniform sampling always produces a valid linear extension.
+    #[test]
+    fn uniform_samples_are_linear_extensions(
+        n in 2usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..8),
+        seed in 0u64..1000,
+    ) {
+        let po = random_poset(n, &edges);
+        let distribution = LinearExtensionDistribution::new(&po).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = distribution.sample(&mut rng);
+        prop_assert_eq!(sample.len(), n);
+        for (i, &earlier) in sample.iter().enumerate() {
+            for &later in &sample[i + 1..] {
+                prop_assert!(!po.precedes(later, earlier), "sample violates the order");
+            }
+        }
+    }
+
+    /// Deduplication is idempotent, and every exact set-semantics world is a
+    /// linear extension of the certain-order distinct relation (soundness of
+    /// the over-approximation).
+    #[test]
+    fn set_semantics_over_approximation_is_sound(
+        n in 1usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..6),
+    ) {
+        let po = random_poset(n, &edges);
+        let exact = set_possible_worlds(&po).unwrap();
+        let approximated = distinct_certain(&po);
+        for world in &exact {
+            prop_assert_eq!(&dedup_sequence(world), world);
+            prop_assert!(approximated.is_possible_world(world));
+        }
+    }
+
+    /// The closed-form uniform precedence probability is complementary and
+    /// matches a direct Monte-Carlo estimate.
+    #[test]
+    fn uniform_interval_precedence_is_complementary(
+        a_low in -10.0f64..10.0, a_len in 0.1f64..5.0,
+        b_low in -10.0f64..10.0, b_len in 0.1f64..5.0,
+    ) {
+        let forward = probability_uniform_less(a_low, a_low + a_len, b_low, b_low + b_len);
+        let backward = probability_uniform_less(b_low, b_low + b_len, a_low, a_low + a_len);
+        prop_assert!(forward >= -1e-12 && forward <= 1.0 + 1e-12);
+        prop_assert!((forward + backward - 1.0).abs() < 1e-9);
+    }
+
+    /// Datalog evaluation is monotone (more input facts can only derive more
+    /// facts) and idempotent at the fixpoint.
+    #[test]
+    fn datalog_fixpoint_is_monotone_and_idempotent(
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 1..8),
+    ) {
+        let program = DatalogProgram::parse(
+            "Reach(x, y) :- Edge(x, y)\n\
+             Reach(x, z) :- Reach(x, y), Edge(y, z)",
+        ).unwrap();
+        let mut smaller = Instance::new();
+        let mut larger = Instance::new();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            let from = format!("v{a}");
+            let to = format!("v{b}");
+            larger.add_fact_named("Edge", &[&from, &to]);
+            if i % 2 == 0 {
+                smaller.add_fact_named("Edge", &[&from, &to]);
+            }
+        }
+        let small_fixpoint = program.evaluate(&smaller).unwrap();
+        let large_fixpoint = program.evaluate(&larger).unwrap();
+        prop_assert!(small_fixpoint.fact_count() <= large_fixpoint.fact_count());
+        let again = program.evaluate(&large_fixpoint).unwrap();
+        prop_assert_eq!(again.fact_count(), large_fixpoint.fact_count());
+    }
+
+    /// On a path-shaped TID, the provenance of end-to-end reachability is the
+    /// product of the edge probabilities.
+    #[test]
+    fn path_reachability_provenance_is_the_product(
+        probabilities in proptest::collection::vec(0.05f64..0.95, 1..6),
+    ) {
+        let mut tid = TidInstance::new();
+        for (i, p) in probabilities.iter().enumerate() {
+            tid.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)], *p);
+        }
+        let program = DatalogProgram::parse(
+            "Reach(x, y) :- Edge(x, y)\n\
+             Reach(x, z) :- Reach(x, y), Edge(y, z)",
+        ).unwrap();
+        let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+        let target = format!("v{}", probabilities.len());
+        let lineage = provenance.fact_lineage("Reach", &["v0", &target]).unwrap();
+        let computed = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        let expected: f64 = probabilities.iter().product();
+        prop_assert!((computed - expected).abs() < 1e-9);
+    }
+
+    /// Mined rules always satisfy their own thresholds and have consistent
+    /// quality measures.
+    #[test]
+    fn mined_rules_respect_thresholds(
+        pairs in proptest::collection::vec((0usize..6, 0usize..4), 4..16),
+        min_support in 1usize..4,
+    ) {
+        let mut instance = Instance::new();
+        for &(person, country) in &pairs {
+            instance.add_fact_named("Citizen", &[&format!("p{person}"), &format!("c{country}")]);
+            if (person + country) % 3 != 0 {
+                instance.add_fact_named("Lives", &[&format!("p{person}"), &format!("c{country}")]);
+            }
+        }
+        let miner = RuleMiner { min_support, min_confidence: 0.4, mine_path_rules: false };
+        for mined in miner.mine(&instance) {
+            prop_assert!(mined.support >= min_support);
+            prop_assert!(mined.support <= mined.body_matches);
+            prop_assert!(mined.confidence() >= 0.4 - 1e-12);
+            prop_assert!(mined.confidence() <= 1.0 + 1e-12);
+            prop_assert!(mined.head_coverage >= 0.0 && mined.head_coverage <= 1.0 + 1e-12);
+        }
+    }
+}

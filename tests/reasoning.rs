@@ -1,0 +1,188 @@
+//! Cross-crate coherence tests for the reasoning stack: Datalog versus the
+//! certain chase, Datalog provenance versus CQ lineage, truncation versus the
+//! exact chase, rule mining on saturated data, and PrXML constraint algebra.
+
+use stuc::circuit::enumeration::probability_by_enumeration;
+use stuc::data::instance::Instance;
+use stuc::data::tid::TidInstance;
+use stuc::prxml::constraints::{
+    conditioned_query_probability, constraint_probability, PrxmlConstraint,
+};
+use stuc::prxml::document::PrXmlDocument;
+use stuc::prxml::queries::PrxmlQuery;
+use stuc::query::cq::ConjunctiveQuery;
+use stuc::query::datalog::DatalogProgram;
+use stuc::query::datalog_provenance::DatalogProvenance;
+use stuc::query::eval::query_holds;
+use stuc::query::lineage::tid_lineage;
+use stuc::rules::constraints::HardConstraints;
+use stuc::rules::mining::RuleMiner;
+use stuc::rules::truncation::TruncatedChase;
+use stuc::rules::{ProbabilisticChase, Rule};
+
+fn flight_edges() -> Vec<(&'static str, &'static str)> {
+    vec![("CDG", "MEL"), ("MEL", "PDX"), ("CDG", "JFK"), ("JFK", "PDX")]
+}
+
+/// The Datalog fixpoint and the hard-constraint chase compute the same
+/// completion for existential-free rules.
+#[test]
+fn datalog_and_certain_chase_agree_on_transitive_closure() {
+    let mut instance = Instance::new();
+    for (from, to) in flight_edges() {
+        instance.add_fact_named("Edge", &[from, to]);
+    }
+    let program = DatalogProgram::parse(
+        "Reach(x, y) :- Edge(x, y)\n\
+         Reach(x, z) :- Reach(x, y), Edge(y, z)",
+    )
+    .unwrap();
+    let by_datalog = program.evaluate(&instance).unwrap();
+
+    let rules = vec![
+        Rule::parse("Reach(x, y) :- Edge(x, y)", 1.0).unwrap(),
+        Rule::parse("Reach(x, z) :- Reach(x, y), Edge(y, z)", 1.0).unwrap(),
+    ];
+    let by_chase = HardConstraints::new(rules).saturate(&instance).unwrap();
+
+    assert_eq!(by_datalog.fact_count(), by_chase.fact_count());
+    for (from, to) in [("CDG", "PDX"), ("CDG", "MEL"), ("MEL", "PDX")] {
+        let query =
+            ConjunctiveQuery::parse(&format!("Reach(\"{from}\", \"{to}\")")).unwrap();
+        assert_eq!(query_holds(&by_datalog, &query), query_holds(&by_chase, &query));
+    }
+    let absent = ConjunctiveQuery::parse("Reach(\"PDX\", \"CDG\")").unwrap();
+    assert!(!query_holds(&by_datalog, &absent));
+    assert!(!query_holds(&by_chase, &absent));
+}
+
+/// For a non-recursive program whose single rule mirrors a CQ, the Datalog
+/// provenance of the goal equals the classical CQ lineage.
+#[test]
+fn datalog_provenance_equals_cq_lineage_for_nonrecursive_programs() {
+    let mut tid = TidInstance::new();
+    for (i, (from, to)) in flight_edges().into_iter().enumerate() {
+        tid.add_fact_named("Edge", &[from, to], 0.3 + 0.1 * i as f64);
+    }
+    let program = DatalogProgram::parse("TwoHop(x, z) :- Edge(x, y), Edge(y, z)").unwrap();
+    let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
+    let goal = ConjunctiveQuery::parse("TwoHop(x, z)").unwrap();
+    let via_datalog = probability_by_enumeration(
+        &provenance.query_lineage(&goal),
+        &tid.fact_weights(),
+    )
+    .unwrap();
+    let cq = ConjunctiveQuery::parse("Edge(x, y), Edge(y, z)").unwrap();
+    let via_lineage =
+        probability_by_enumeration(&tid_lineage(&tid, &cq), &tid.fact_weights()).unwrap();
+    assert!((via_datalog - via_lineage).abs() < 1e-9);
+}
+
+/// On a terminating rule set, the truncated chase driven to convergence
+/// reports exactly the untruncated probability with zero certified error.
+#[test]
+fn truncation_converges_to_the_exact_chase() {
+    let rules = vec![
+        Rule::parse("Lives(x, y) :- Citizen(x, y)", 0.8).unwrap(),
+        Rule::parse("Speaks(x, l) :- Lives(x, y), OfficialLanguage(y, l)", 0.7).unwrap(),
+    ];
+    let mut tid = TidInstance::new();
+    tid.add_fact_named("Citizen", &["alice", "france"], 0.9);
+    tid.add_fact_named("Citizen", &["bob", "japan"], 0.5);
+    tid.add_fact_named("OfficialLanguage", &["france", "french"], 1.0);
+    tid.add_fact_named("OfficialLanguage", &["japan", "japanese"], 1.0);
+    let query = ConjunctiveQuery::parse("Speaks(x, l)").unwrap();
+
+    let exact = ProbabilisticChase::new(rules.clone())
+        .run(&tid)
+        .unwrap()
+        .query_probability(&query)
+        .unwrap();
+    let report = TruncatedChase::new(rules)
+        .evaluate_until(&tid, &query, 1e-9, 10)
+        .unwrap();
+    assert!(report.converged);
+    assert!(report.error() < 1e-9);
+    assert!((report.lower_bound - exact).abs() < 1e-9);
+}
+
+/// Mining on a Datalog-saturated instance discovers the rule that produced
+/// the derived relation, with confidence 1.
+#[test]
+fn mining_rediscovers_the_saturating_rule() {
+    let mut instance = Instance::new();
+    for (from, to) in flight_edges() {
+        instance.add_fact_named("Edge", &[from, to]);
+    }
+    let program = DatalogProgram::parse("Reach(x, y) :- Edge(x, y)").unwrap();
+    let saturated = program.evaluate(&instance).unwrap();
+    let miner = RuleMiner { min_support: 2, min_confidence: 0.9, mine_path_rules: false };
+    let mined = miner.mine(&saturated);
+    let rediscovered = mined.iter().find(|m| {
+        m.rule.head[0].relation == "Reach"
+            && m.rule.body[0].relation == "Edge"
+            && m.rule.head[0].args == m.rule.body[0].args
+    });
+    let rediscovered = rediscovered.expect("Reach(x, y) :- Edge(x, y) should be mined back");
+    assert!((rediscovered.confidence() - 1.0).abs() < 1e-9);
+    assert_eq!(rediscovered.support, flight_edges().len());
+}
+
+/// The PrXML constraint algebra is coherent: conjunction of observations via
+/// `All` equals conditioning on the conjunction query, and chained Bayes
+/// factors multiply.
+#[test]
+fn prxml_constraint_conjunction_is_coherent() {
+    let doc = PrXmlDocument::figure1_example();
+    let musician = PrxmlQuery::LabelExists("musician".into());
+    let manning = PrxmlQuery::LabelExists("Manning".into());
+    let both_constraint = PrxmlConstraint::All(vec![
+        PrxmlConstraint::Holds(musician.clone()),
+        PrxmlConstraint::Holds(manning.clone()),
+    ]);
+    let p_both = constraint_probability(&doc, &both_constraint).unwrap();
+    let p_and_query = constraint_probability(
+        &doc,
+        &PrxmlConstraint::Holds(PrxmlQuery::And(
+            Box::new(musician.clone()),
+            Box::new(manning.clone()),
+        )),
+    )
+    .unwrap();
+    // The two facts are independent (ind edge versus eJane): 0.4 · 0.9.
+    assert!((p_both - 0.36).abs() < 1e-9);
+    assert!((p_both - p_and_query).abs() < 1e-9);
+
+    // Conditioning the Chelsea query on both observations at once equals
+    // conditioning on either one alone (all three are mutually independent).
+    let chelsea = PrxmlQuery::LabelExists("Chelsea".into());
+    let conditioned_on_both =
+        conditioned_query_probability(&doc, &chelsea, &both_constraint).unwrap();
+    let unconditioned = conditioned_query_probability(
+        &doc,
+        &chelsea,
+        &PrxmlConstraint::AtLeast { label: "Q298423".into(), min: 1 },
+    )
+    .unwrap();
+    assert!((conditioned_on_both - unconditioned).abs() < 1e-9);
+    assert!((conditioned_on_both - 0.6).abs() < 1e-9);
+}
+
+/// Soft completion with mined rules never reports a probability above the
+/// hard-rule certainty judgement: if the soft chase gives probability 1, the
+/// hard chase must agree that the fact is certain.
+#[test]
+fn soft_and_hard_completions_are_consistent_at_the_extremes() {
+    let rule = Rule::parse("Lives(x, y) :- Citizen(x, y)", 1.0).unwrap();
+    let mut tid = TidInstance::new();
+    tid.add_fact_named("Citizen", &["alice", "france"], 1.0);
+    let query = ConjunctiveQuery::parse("Lives(\"alice\", \"france\")").unwrap();
+    let soft = ProbabilisticChase::new(vec![rule.clone()])
+        .run(&tid)
+        .unwrap()
+        .query_probability(&query)
+        .unwrap();
+    let hard = HardConstraints::new(vec![rule]).certain(tid.instance(), &query).unwrap();
+    assert!((soft - 1.0).abs() < 1e-9);
+    assert!(hard);
+}
