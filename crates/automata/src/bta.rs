@@ -35,17 +35,26 @@ impl BottomUpTreeAutomaton {
     /// Creates an automaton with the given number of states and no
     /// transitions.
     pub fn new(state_count: usize) -> Self {
-        BottomUpTreeAutomaton { state_count, ..Default::default() }
+        BottomUpTreeAutomaton {
+            state_count,
+            ..Default::default()
+        }
     }
 
     /// Adds a leaf transition.
     pub fn add_leaf_transition(&mut self, label: usize, state: usize) {
-        self.leaf_transitions.entry(label).or_default().insert(state);
+        self.leaf_transitions
+            .entry(label)
+            .or_default()
+            .insert(state);
     }
 
     /// Adds a unary transition.
     pub fn add_unary_transition(&mut self, label: usize, child: usize, state: usize) {
-        self.unary_transitions.entry((label, child)).or_default().insert(state);
+        self.unary_transitions
+            .entry((label, child))
+            .or_default()
+            .insert(state);
     }
 
     /// Adds a binary transition.
@@ -94,7 +103,9 @@ impl BottomUpTreeAutomaton {
 
     /// The set of states reachable at the root of a tree.
     pub fn reachable_states(&self, tree: &LabeledTree) -> BTreeSet<usize> {
-        let Some(root) = tree.root() else { return BTreeSet::new() };
+        let Some(root) = tree.root() else {
+            return BTreeSet::new();
+        };
         let mut states: Vec<BTreeSet<usize>> = Vec::with_capacity(tree.len());
         for (_, node) in tree.iter_bottom_up() {
             let children: Vec<&BTreeSet<usize>> =
@@ -267,9 +278,7 @@ impl BottomUpTreeAutomaton {
         let mut a = BottomUpTreeAutomaton::new(3);
         let combine = |states: &[usize], label: usize| -> usize {
             let max = states.iter().copied().max().unwrap_or(0);
-            if max == 2 {
-                2
-            } else if label == parent_label && max >= 1 {
+            if max == 2 || (label == parent_label && max >= 1) {
                 2
             } else if label == descendant_label || max >= 1 {
                 1

@@ -37,39 +37,27 @@ pub const MAX_ATOMS: usize = 32;
 /// deterministic (probability) run, which enumerates their presence subsets.
 pub const MAX_ANCHORED_FACTS: usize = 16;
 
-/// Errors raised by the Courcelle-style runs.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CourcelleError {
-    /// The query has more atoms than [`MAX_ATOMS`].
-    TooManyAtoms(usize),
-    /// A fact's constants are not jointly contained in any bag — the
-    /// decomposition does not cover the instance.
-    AnchorNotFound(FactId),
-    /// Too many facts anchored at one node for the probability run.
-    TooManyAnchoredFacts(usize),
-    /// The query is not Boolean (has free variables).
-    NotBoolean,
-}
-
-impl std::fmt::Display for CourcelleError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CourcelleError::TooManyAtoms(n) => {
-                write!(f, "query has {n} atoms, more than the supported {MAX_ATOMS}")
-            }
-            CourcelleError::AnchorNotFound(fact) => {
-                write!(f, "no bag contains all constants of fact {fact}")
-            }
-            CourcelleError::TooManyAnchoredFacts(n) => write!(
-                f,
-                "{n} facts anchored at one node exceed the limit {MAX_ANCHORED_FACTS}"
-            ),
-            CourcelleError::NotBoolean => write!(f, "query must be Boolean (no free variables)"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by the Courcelle-style runs.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum CourcelleError {
+        /// The query has more atoms than [`MAX_ATOMS`].
+        TooManyAtoms(usize),
+        /// A fact's constants are not jointly contained in any bag — the
+        /// decomposition does not cover the instance.
+        AnchorNotFound(FactId),
+        /// Too many facts anchored at one node for the probability run.
+        TooManyAnchoredFacts(usize),
+        /// The query is not Boolean (has free variables).
+        NotBoolean,
+    }
+    display {
+        Self::TooManyAtoms(n) => "query has {n} atoms, more than the supported {MAX_ATOMS}",
+        Self::AnchorNotFound(fact) => "no bag contains all constants of fact {fact}",
+        Self::TooManyAnchoredFacts(n) => "{n} facts anchored at one node exceed the limit {MAX_ANCHORED_FACTS}",
+        Self::NotBoolean => "query must be Boolean (no free variables)",
     }
 }
-
-impl std::error::Error for CourcelleError {}
 
 /// The status of one query variable in a partial-match state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -140,13 +128,25 @@ fn compile_query(query: &ConjunctiveQuery) -> Result<CompiledQuery, CourcelleErr
             }
         }
     }
-    let all_matched = if atoms.is_empty() { 0 } else { (1u64 << atoms.len()) - 1 };
-    Ok(CompiledQuery { variables, atoms, atoms_of_variable, all_matched })
+    let all_matched = if atoms.is_empty() {
+        0
+    } else {
+        (1u64 << atoms.len()) - 1
+    };
+    Ok(CompiledQuery {
+        variables,
+        atoms,
+        atoms_of_variable,
+        all_matched,
+    })
 }
 
 impl CompiledQuery {
     fn initial_state(&self) -> MatchState {
-        MatchState { statuses: vec![VarStatus::Unused; self.variables.len()], matched: 0 }
+        MatchState {
+            statuses: vec![VarStatus::Unused; self.variables.len()],
+            matched: 0,
+        }
     }
 
     /// Attempts to match atom `atom_index` with the given fact under the
@@ -180,7 +180,10 @@ impl CompiledQuery {
                 },
             }
         }
-        Some(MatchState { statuses, matched: state.matched | (1 << atom_index) })
+        Some(MatchState {
+            statuses,
+            matched: state.matched | (1 << atom_index),
+        })
     }
 
     /// Applies the forget of constant `c`: variables bound to `c` become
@@ -196,7 +199,10 @@ impl CompiledQuery {
                 *status = VarStatus::Done;
             }
         }
-        Some(MatchState { statuses, matched: state.matched })
+        Some(MatchState {
+            statuses,
+            matched: state.matched,
+        })
     }
 
     /// Combines the states of the two children of a join node; `None` if they
@@ -211,7 +217,10 @@ impl CompiledQuery {
             };
             statuses.push(combined);
         }
-        Some(MatchState { statuses, matched: left.matched | right.matched })
+        Some(MatchState {
+            statuses,
+            matched: left.matched | right.matched,
+        })
     }
 
     fn is_accepting(&self, state: &MatchState) -> bool {
@@ -337,7 +346,10 @@ pub fn cq_lineage_circuit(
                         if let Some(next) = compiled.try_match(&state, atom_index, fact, instance) {
                             let fact_gate = gate_of_fact(fid, &mut circuit);
                             let new_gate = circuit.add_and(vec![gate, fact_gate]);
-                            contributions.entry(next.clone()).or_default().push(new_gate);
+                            contributions
+                                .entry(next.clone())
+                                .or_default()
+                                .push(new_gate);
                             worklist.push((next, new_gate));
                         }
                     }
@@ -348,7 +360,11 @@ pub fn cq_lineage_circuit(
         // Collapse contributions into one OR gate per state.
         let mut table = HashMap::with_capacity(contributions.len());
         for (state, gates) in contributions {
-            let gate = if gates.len() == 1 { gates[0] } else { circuit.add_or(gates) };
+            let gate = if gates.len() == 1 {
+                gates[0]
+            } else {
+                circuit.add_or(gates)
+            };
             table.insert(state, gate);
         }
         tables.push(table);
@@ -380,7 +396,7 @@ pub fn cq_probability_tid(
     let instance = tid.instance();
 
     type DetState = Vec<MatchState>; // sorted, deduplicated
-    // distributions[node]: det-state → probability.
+                                     // distributions[node]: det-state → probability.
     let mut distributions: Vec<HashMap<DetState, f64>> = Vec::with_capacity(nice.len());
 
     let normalise = |mut states: Vec<MatchState>| -> DetState {
@@ -403,8 +419,10 @@ pub fn cq_probability_tid(
             NiceNodeKind::Forget { vertex, child } => {
                 let c = ConstId(vertex.index());
                 for (states, &p) in &distributions[*child] {
-                    let next: Vec<MatchState> =
-                        states.iter().filter_map(|s| compiled.forget(s, c)).collect();
+                    let next: Vec<MatchState> = states
+                        .iter()
+                        .filter_map(|s| compiled.forget(s, c))
+                        .collect();
                     *dist.entry(normalise(next)).or_insert(0.0) += p;
                 }
             }
@@ -522,8 +540,8 @@ mod tests {
         let circuit =
             cq_lineage_circuit(tid.instance(), &td, &query, |f| tid.fact_event(f)).unwrap();
         let p = probability_by_enumeration(&circuit, &tid.fact_weights()).unwrap();
-        let reference = probability_by_enumeration(&tid_lineage(&tid, &query), &tid.fact_weights())
-            .unwrap();
+        let reference =
+            probability_by_enumeration(&tid_lineage(&tid, &query), &tid.fact_weights()).unwrap();
         assert!((p - reference).abs() < 1e-9, "{p} vs {reference}");
     }
 
@@ -534,8 +552,7 @@ mod tests {
         let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
         let exact = cq_probability_tid(&tid, &td, &query).unwrap();
         let lineage = tid_lineage(&tid, &query);
-        let reference =
-            probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        let reference = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
         assert!((exact - reference).abs() < 1e-9, "{exact} vs {reference}");
     }
 
@@ -547,12 +564,14 @@ mod tests {
             let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
             let exact = cq_probability_tid(&tid, &td, &query).unwrap();
             let reference = worlds::tid_query_probability(&tid, |facts| {
-                (0..n.saturating_sub(1)).any(|i| {
-                    facts.contains(&FactId(i)) && facts.contains(&FactId(i + 1))
-                })
+                (0..n.saturating_sub(1))
+                    .any(|i| facts.contains(&FactId(i)) && facts.contains(&FactId(i + 1)))
             })
             .unwrap();
-            assert!((exact - reference).abs() < 1e-9, "n = {n}: {exact} vs {reference}");
+            assert!(
+                (exact - reference).abs() < 1e-9,
+                "n = {n}: {exact} vs {reference}"
+            );
         }
     }
 
@@ -566,8 +585,8 @@ mod tests {
         let by_wmc = TreewidthWmc::default()
             .probability(&circuit, &tid.fact_weights())
             .unwrap();
-        let reference = probability_by_enumeration(&tid_lineage(&tid, &query), &tid.fact_weights())
-            .unwrap();
+        let reference =
+            probability_by_enumeration(&tid_lineage(&tid, &query), &tid.fact_weights()).unwrap();
         assert!((by_wmc - reference).abs() < 1e-9);
     }
 
@@ -639,11 +658,8 @@ mod tests {
         let td = decomposition_of(&tid);
         let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
         let exact = cq_probability_tid(&tid, &td, &query).unwrap();
-        let reference = probability_by_enumeration(
-            &tid_lineage(&tid, &query),
-            &tid.fact_weights(),
-        )
-        .unwrap();
+        let reference =
+            probability_by_enumeration(&tid_lineage(&tid, &query), &tid.fact_weights()).unwrap();
         assert!((exact - reference).abs() < 1e-9, "{exact} vs {reference}");
     }
 

@@ -48,29 +48,21 @@ pub struct UncertainTree {
     root: Option<usize>,
 }
 
-/// Errors raised by runs over uncertain trees.
-#[derive(Debug, Clone, PartialEq)]
-pub enum UncertainTreeError {
-    /// The tree has no root.
-    NoRoot,
-    /// An event used by a node has no probability.
-    Circuit(CircuitError),
-}
-
-impl std::fmt::Display for UncertainTreeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            UncertainTreeError::NoRoot => write!(f, "uncertain tree has no root"),
-            UncertainTreeError::Circuit(e) => write!(f, "{e}"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by runs over uncertain trees.
+    #[derive(Clone, PartialEq)]
+    pub enum UncertainTreeError {
+        /// The tree has no root.
+        NoRoot,
+        /// An event used by a node has no probability.
+        Circuit(CircuitError),
     }
-}
-
-impl std::error::Error for UncertainTreeError {}
-
-impl From<CircuitError> for UncertainTreeError {
-    fn from(e: CircuitError) -> Self {
-        UncertainTreeError::Circuit(e)
+    display {
+        Self::NoRoot => "uncertain tree has no root",
+        Self::Circuit(e) => "{e}",
+    }
+    from {
+        CircuitError => Circuit,
     }
 }
 
@@ -98,7 +90,11 @@ impl UncertainTree {
         label_absent: usize,
         label_present: usize,
     ) -> usize {
-        self.add_node_with_variables(vec![variable], vec![label_absent, label_present], Vec::new())
+        self.add_node_with_variables(
+            vec![variable],
+            vec![label_absent, label_present],
+            Vec::new(),
+        )
     }
 
     /// Adds a node with explicit local variables and a full label table of
@@ -128,7 +124,11 @@ impl UncertainTree {
         for &c in &children {
             assert!(c < self.nodes.len(), "child {c} does not exist yet");
         }
-        self.nodes.push(UncertainNode { variables, labels, children });
+        self.nodes.push(UncertainNode {
+            variables,
+            labels,
+            children,
+        });
         self.nodes.len() - 1
     }
 
@@ -160,12 +160,18 @@ impl UncertainTree {
 
     /// All event variables used anywhere in the tree.
     pub fn variables(&self) -> BTreeSet<VarId> {
-        self.nodes.iter().flat_map(|n| n.variables.iter().copied()).collect()
+        self.nodes
+            .iter()
+            .flat_map(|n| n.variables.iter().copied())
+            .collect()
     }
 
     /// The certain tree obtained by fixing every event according to the given
     /// valuation (missing events default to false).
-    pub fn world(&self, valuation: &std::collections::BTreeMap<VarId, bool>) -> crate::tree::LabeledTree {
+    pub fn world(
+        &self,
+        valuation: &std::collections::BTreeMap<VarId, bool>,
+    ) -> crate::tree::LabeledTree {
         let mut tree = crate::tree::LabeledTree::new();
         for node in &self.nodes {
             let mut mask = 0usize;
@@ -214,7 +220,11 @@ impl UncertainTree {
                 // The literal gates for this local valuation.
                 let mut literal_gates: Vec<GateId> = Vec::with_capacity(node.variables.len());
                 for (i, &(positive, negative)) in input_gates.iter().enumerate() {
-                    literal_gates.push(if mask & (1 << i) != 0 { positive } else { negative });
+                    literal_gates.push(if mask & (1 << i) != 0 {
+                        positive
+                    } else {
+                        negative
+                    });
                 }
                 let valuation_gate = if literal_gates.is_empty() {
                     true_gate
@@ -231,6 +241,7 @@ impl UncertainTree {
                     }
                     1 => {
                         let child = node.children[0];
+                        #[allow(clippy::needless_range_loop)]
                         for child_state in 0..automaton.state_count {
                             let Some(states) =
                                 automaton.unary_transitions.get(&(label, child_state))
@@ -249,10 +260,11 @@ impl UncertainTree {
                         let right = node.children[1];
                         for left_state in 0..automaton.state_count {
                             for right_state in 0..automaton.state_count {
-                                let Some(states) = automaton
-                                    .binary_transitions
-                                    .get(&(label, left_state, right_state))
-                                else {
+                                let Some(states) = automaton.binary_transitions.get(&(
+                                    label,
+                                    left_state,
+                                    right_state,
+                                )) else {
                                     continue;
                                 };
                                 let lg = state_gates[left][left_state];
@@ -342,8 +354,7 @@ impl UncertainTree {
                         for (left_states, &pl) in &left {
                             let lset: BTreeSet<usize> = left_states.iter().copied().collect();
                             for (right_states, &pr) in right {
-                                let rset: BTreeSet<usize> =
-                                    right_states.iter().copied().collect();
+                                let rset: BTreeSet<usize> = right_states.iter().copied().collect();
                                 let states = automaton.step(label, &[&lset, &rset]);
                                 let key: Vec<usize> = states.into_iter().collect();
                                 *dist.entry(key).or_insert(0.0) += local_probability * pl * pr;
@@ -421,7 +432,10 @@ mod tests {
             let circuit = t.provenance_run(&automaton).unwrap();
             let by_enumeration = probability_by_enumeration(&circuit, &w).unwrap();
             let by_wmc = TreewidthWmc::default().probability(&circuit, &w).unwrap();
-            assert!((direct - by_enumeration).abs() < 1e-9, "{direct} vs {by_enumeration}");
+            assert!(
+                (direct - by_enumeration).abs() < 1e-9,
+                "{direct} vs {by_enumeration}"
+            );
             assert!((direct - by_wmc).abs() < 1e-9, "{direct} vs {by_wmc}");
         }
     }
@@ -443,11 +457,7 @@ mod tests {
         let mut prev: Option<usize> = None;
         for i in 0..6 {
             let children = prev.map(|p| vec![p]).unwrap_or_default();
-            let node = t.add_node_with_variables(
-                vec![VarId(i)],
-                vec![0, 1],
-                children,
-            );
+            let node = t.add_node_with_variables(vec![VarId(i)], vec![0, 1], children);
             prev = Some(node);
         }
         t.set_root(prev.unwrap());
@@ -476,7 +486,10 @@ mod tests {
             let circuit = t.provenance_run(&automaton).unwrap();
             widths.push(TreewidthWmc::default().estimated_width(&circuit));
         }
-        assert!(widths.iter().all(|&w| w <= widths[0] + 2), "widths grew: {widths:?}");
+        assert!(
+            widths.iter().all(|&w| w <= widths[0] + 2),
+            "widths grew: {widths:?}"
+        );
     }
 
     #[test]

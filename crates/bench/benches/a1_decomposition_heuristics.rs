@@ -12,7 +12,10 @@ fn main() {
     let mut criterion = criterion_config();
 
     let workloads = [
-        ("partial_3_tree_200", generators::partial_k_tree(200, 3, 0.6, 11)),
+        (
+            "partial_3_tree_200",
+            generators::partial_k_tree(200, 3, 0.6, 11),
+        ),
         ("grid_8x8", generators::grid(8, 8)),
         ("caterpillar_100x3", generators::caterpillar(100, 3)),
     ];
@@ -22,7 +25,11 @@ fn main() {
         for heuristic in EliminationHeuristic::ALL {
             let td = decompose_with_heuristic(graph, heuristic);
             assert!(td.validate(graph).is_ok());
-            report_value("A1", &format!("{name}_{}_width", heuristic.name()), td.width());
+            report_value(
+                "A1",
+                &format!("{name}_{}_width", heuristic.name()),
+                td.width(),
+            );
         }
     }
 

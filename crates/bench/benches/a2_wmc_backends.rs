@@ -7,31 +7,43 @@ use stuc_bench::{criterion_config, report_value};
 use stuc_circuit::dpll::DpllCounter;
 use stuc_circuit::enumeration::probability_by_enumeration;
 use stuc_circuit::wmc::TreewidthWmc;
-use stuc_core::pipeline::TractablePipeline;
+use stuc_core::engine::Engine;
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
 
 fn main() {
     let mut criterion = criterion_config();
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
     let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
 
     // Agreement of the three back-ends on a small lineage.
     let small_tid = workloads::path_tid(12, 0.5, 13);
-    let small = pipeline.tid_lineage_circuit(&small_tid, &query).unwrap();
+    let small = engine.lineage(&small_tid, &query).unwrap();
     let weights = small_tid.fact_weights();
-    let mp = TreewidthWmc::default().probability(&small, &weights).unwrap();
-    let dp = DpllCounter::default().probability(&small, &weights).unwrap();
+    let mp = TreewidthWmc::default()
+        .probability(&small, &weights)
+        .unwrap();
+    let dp = DpllCounter::default()
+        .probability(&small, &weights)
+        .unwrap();
     let en = probability_by_enumeration(&small, &weights).unwrap();
     assert!((mp - dp).abs() < 1e-9 && (mp - en).abs() < 1e-9);
     report_value("A2", "agreement_probability", format!("{mp:.6}"));
 
     let mut group = criterion.benchmark_group("a2_wmc_backends_small");
     group.bench_function("message_passing", |b| {
-        b.iter(|| TreewidthWmc::default().probability(&small, &weights).unwrap())
+        b.iter(|| {
+            TreewidthWmc::default()
+                .probability(&small, &weights)
+                .unwrap()
+        })
     });
     group.bench_function("dpll", |b| {
-        b.iter(|| DpllCounter::default().probability(&small, &weights).unwrap())
+        b.iter(|| {
+            DpllCounter::default()
+                .probability(&small, &weights)
+                .unwrap()
+        })
     });
     group.bench_function("enumeration", |b| {
         b.iter(|| probability_by_enumeration(&small, &weights).unwrap())
@@ -43,7 +55,7 @@ fn main() {
     let mut group = criterion.benchmark_group("a2_wmc_backends_scaling");
     for &n in &[50usize, 150, 450] {
         let tid = workloads::path_tid(n, 0.5, 13);
-        let lineage = pipeline.tid_lineage_circuit(&tid, &query).unwrap();
+        let lineage = engine.lineage(&tid, &query).unwrap();
         let w = tid.fact_weights();
         report_value(
             "A2",

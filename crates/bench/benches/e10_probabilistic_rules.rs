@@ -40,14 +40,20 @@ fn main() {
     let result = chase.run(&knowledge_base(4)).unwrap();
     let q = ConjunctiveQuery::parse("Speaks(\"person0\", \"language0\")").unwrap();
     let p = result.query_probability(&q).unwrap();
-    report_value("E10", "speaks_probability", format!("{p:.4} (expected {:.4})", 0.9 * 0.8 * 0.7));
+    report_value(
+        "E10",
+        "speaks_probability",
+        format!("{p:.4} (expected {:.4})", 0.9 * 0.8 * 0.7),
+    );
     assert!((p - 0.9 * 0.8 * 0.7).abs() < 1e-9);
 
     let mut group = criterion.benchmark_group("e10_chase_scaling");
     for &people in &[10usize, 40, 160] {
         let kb = knowledge_base(people);
-        let chase = ProbabilisticChase::new(rules())
-            .with_config(ChaseConfig { max_rounds: 3, max_derived_facts: 100_000 });
+        let chase = ProbabilisticChase::new(rules()).with_config(ChaseConfig {
+            max_rounds: 3,
+            max_derived_facts: 100_000,
+        });
         let derived = chase.run(&kb).unwrap().derived_fact_count();
         report_value("E10", &format!("people{people}_derived_facts"), derived);
         group.bench_with_input(BenchmarkId::new("chase", people), &people, |b, _| {

@@ -3,19 +3,18 @@
 //! iterative crowd question selection reduces the entropy of a target query
 //! fastest when picking the maximum-information question.
 
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use stuc_bench::{criterion_config, report_value};
 use stuc_circuit::circuit::VarId;
+use stuc_circuit::weights::Weights;
+use stuc_circuit::wmc::TreewidthWmc;
 use stuc_cond::conditioning::{condition_on_event, conditioned_query_probability};
 use stuc_cond::crowd::{entropy, interactive_conditioning, CrowdOracle};
-use stuc_core::pipeline::TractablePipeline;
 use stuc_core::workloads::contributor_pcc;
 use stuc_data::cinstance::CInstance;
 use stuc_data::instance::FactId;
-use stuc_circuit::weights::Weights;
 use stuc_query::cq::ConjunctiveQuery;
 use stuc_query::lineage::pcc_lineage;
 
@@ -33,7 +32,11 @@ fn main() {
     let query = ConjunctiveQuery::parse("Trip(x, \"Portland_PDX\")").unwrap();
 
     let conditioned = conditioned_query_probability(&pc, &query, FactId(4), true).unwrap();
-    report_value("E11", "p_portland_given_pdx_cdg_booked", format!("{conditioned:.4}"));
+    report_value(
+        "E11",
+        "p_portland_given_pdx_cdg_booked",
+        format!("{conditioned:.4}"),
+    );
 
     let mut group = criterion.benchmark_group("e11_conditioning_modes");
     group.bench_function("condition_on_event", |b| {
@@ -52,9 +55,14 @@ fn main() {
     let pcc = contributor_pcc(8, 3, 0.7, 0.6, 99);
     let target = ConjunctiveQuery::parse("Claim(\"entity0\", x), Claim(\"entity1\", y)").unwrap();
     let lineage = pcc_lineage(&pcc, &target);
-    let pipeline = TractablePipeline::default();
-    let prior = pipeline.circuit_probability(&lineage, pcc.probabilities()).unwrap();
-    report_value("E11", "prior_entropy_bits", format!("{:.4}", entropy(prior)));
+    let prior = TreewidthWmc::default()
+        .probability(&lineage, pcc.probabilities())
+        .unwrap();
+    report_value(
+        "E11",
+        "prior_entropy_bits",
+        format!("{:.4}", entropy(prior)),
+    );
     let oracle = CrowdOracle::perfect(BTreeMap::from([
         (VarId(0), true),
         (VarId(1), true),
@@ -75,7 +83,11 @@ fn main() {
     report_value(
         "E11",
         "informed_selection",
-        format!("questions={} posterior_entropy={:.4}", asked.len(), entropy(posterior)),
+        format!(
+            "questions={} posterior_entropy={:.4}",
+            asked.len(),
+            entropy(posterior)
+        ),
     );
 
     let mut group = criterion.benchmark_group("e11_crowd_loop");

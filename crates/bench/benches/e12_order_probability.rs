@@ -35,13 +35,28 @@ fn main() {
     // likely to come first.
     let two_chains = chains(2, 3);
     let distribution = LinearExtensionDistribution::new(&two_chains).unwrap();
-    report_value("E12", "two_chains_extensions", distribution.total_extensions());
-    let first_a = two_chains.elements().find(|(_, t)| t[0] == "c0_0").unwrap().0;
-    let first_b = two_chains.elements().find(|(_, t)| t[0] == "c1_0").unwrap().0;
+    report_value(
+        "E12",
+        "two_chains_extensions",
+        distribution.total_extensions(),
+    );
+    let first_a = two_chains
+        .elements()
+        .find(|(_, t)| t[0] == "c0_0")
+        .unwrap()
+        .0;
+    let first_b = two_chains
+        .elements()
+        .find(|(_, t)| t[0] == "c1_0")
+        .unwrap()
+        .0;
     report_value(
         "E12",
         "p_first_of_chain0_before_chain1",
-        format!("{:.4}", distribution.precedence_probability(first_a, first_b)),
+        format!(
+            "{:.4}",
+            distribution.precedence_probability(first_a, first_b)
+        ),
     );
     report_value(
         "E12",
@@ -60,7 +75,11 @@ fn main() {
             po.count_linear_extensions().unwrap(),
         );
         group.bench_with_input(BenchmarkId::new("build", count), &count, |b, _| {
-            b.iter(|| LinearExtensionDistribution::new(&po).unwrap().total_extensions())
+            b.iter(|| {
+                LinearExtensionDistribution::new(&po)
+                    .unwrap()
+                    .total_extensions()
+            })
         });
     }
     group.finish();
@@ -102,12 +121,16 @@ fn main() {
                 certain.count_linear_extensions().unwrap()
             ),
         );
-        group.bench_with_input(BenchmarkId::new("distinct_certain", count), &count, |b, _| {
-            b.iter(|| distinct_certain(&po).len())
-        });
-        group.bench_with_input(BenchmarkId::new("exact_set_worlds", count), &count, |b, _| {
-            b.iter(|| set_possible_worlds(&po).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("distinct_certain", count),
+            &count,
+            |b, _| b.iter(|| distinct_certain(&po).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_set_worlds", count),
+            &count,
+            |b, _| b.iter(|| set_possible_worlds(&po).unwrap().len()),
+        );
     }
     group.finish();
 

@@ -52,15 +52,18 @@ fn main() {
     let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
     let lineage = provenance.fact_lineage("Reach", &["v0", "v4"]).unwrap();
     let p = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
-    report_value("E13", "path4_end_to_end_probability", format!("{p:.4} (expected 0.0625)"));
+    report_value(
+        "E13",
+        "path4_end_to_end_probability",
+        format!("{p:.4} (expected 0.0625)"),
+    );
     assert!((p - 0.0625).abs() < 1e-9);
 
     // Certain Datalog fixpoint: quadratically many derived facts on a path.
     let mut group = criterion.benchmark_group("e13_datalog_fixpoint");
     for &n in &[8usize, 16, 32, 64] {
         let instance = path_instance(n);
-        let derived =
-            program.evaluate(&instance).unwrap().fact_count() - instance.fact_count();
+        let derived = program.evaluate(&instance).unwrap().fact_count() - instance.fact_count();
         report_value("E13", &format!("path{n}_derived_facts"), derived);
         group.bench_with_input(BenchmarkId::new("fixpoint", n), &n, |b, _| {
             b.iter(|| program.evaluate(&instance).unwrap().fact_count())
@@ -79,7 +82,12 @@ fn main() {
             provenance.circuit().len(),
         );
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
-            b.iter(|| DatalogProvenance::from_tid(&tid, &program).unwrap().circuit().len())
+            b.iter(|| {
+                DatalogProvenance::from_tid(&tid, &program)
+                    .unwrap()
+                    .circuit()
+                    .len()
+            })
         });
     }
     group.finish();
@@ -95,14 +103,20 @@ fn main() {
             .unwrap();
         let weights = tid.fact_weights();
         let expected = 0.5f64.powi(n as i32);
-        let computed = DpllCounter::default().probability(&lineage, &weights).unwrap();
+        let computed = DpllCounter::default()
+            .probability(&lineage, &weights)
+            .unwrap();
         report_value(
             "E13",
             &format!("path{n}_probability"),
             format!("{computed:.6} (expected {expected:.6})"),
         );
         group.bench_with_input(BenchmarkId::new("dpll_on_lineage", n), &n, |b, _| {
-            b.iter(|| DpllCounter::default().probability(&lineage, &weights).unwrap())
+            b.iter(|| {
+                DpllCounter::default()
+                    .probability(&lineage, &weights)
+                    .unwrap()
+            })
         });
         if n <= 8 {
             group.bench_with_input(BenchmarkId::new("enumeration", n), &n, |b, _| {

@@ -42,12 +42,17 @@ fn main() {
 
     // Mined confidences reflect the generator: Lives :- Citizen holds for 3
     // out of 4 people.
-    let miner = RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: true };
+    let miner = RuleMiner {
+        min_support: 2,
+        min_confidence: 0.5,
+        mine_path_rules: true,
+    };
     let mined = miner.mine(&training_kb(40));
     report_value("E14", "mined_rules", mined.len());
-    if let Some(lives) = mined.iter().find(|m| {
-        m.rule.head[0].relation == "Lives" && m.rule.body[0].relation == "Citizen"
-    }) {
+    if let Some(lives) = mined
+        .iter()
+        .find(|m| m.rule.head[0].relation == "Lives" && m.rule.body[0].relation == "Citizen")
+    {
         report_value(
             "E14",
             "lives_rule_confidence",
@@ -76,8 +81,11 @@ fn main() {
         let mut uncertain = TidInstance::new();
         for (_, fact) in kb.facts() {
             let relation = kb.relation_name(fact.relation).to_string();
-            let args: Vec<String> =
-                fact.args.iter().map(|&c| kb.constant_name(c).to_string()).collect();
+            let args: Vec<String> = fact
+                .args
+                .iter()
+                .map(|&c| kb.constant_name(c).to_string())
+                .collect();
             let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
             uncertain.add_fact_named(&relation, &arg_refs, 0.9);
         }
@@ -85,8 +93,10 @@ fn main() {
         group.bench_with_input(BenchmarkId::new("hard_chase", people), &people, |b, _| {
             b.iter(|| hard.saturate(&kb).unwrap().fact_count())
         });
-        let soft = ProbabilisticChase::new(soft_rules.clone())
-            .with_config(ChaseConfig { max_rounds: 3, max_derived_facts: 100_000 });
+        let soft = ProbabilisticChase::new(soft_rules.clone()).with_config(ChaseConfig {
+            max_rounds: 3,
+            max_derived_facts: 100_000,
+        });
         group.bench_with_input(BenchmarkId::new("soft_chase", people), &people, |b, _| {
             b.iter(|| soft.run(&uncertain).unwrap().derived_fact_count())
         });
@@ -95,8 +105,7 @@ fn main() {
 
     // Truncation of a non-terminating rule set: the certified interval per
     // depth, and the cost of evaluating it.
-    let ancestor_rules =
-        vec![Rule::parse("Ancestor(x, a), Person(a) :- Person(x)", 0.6).unwrap()];
+    let ancestor_rules = vec![Rule::parse("Ancestor(x, a), Person(a) :- Person(x)", 0.6).unwrap()];
     let mut people = TidInstance::new();
     people.add_fact_named("Person", &["root"], 1.0);
     let truncated = TruncatedChase::new(ancestor_rules);
@@ -114,9 +123,18 @@ fn main() {
                 report.error()
             ),
         );
-        group.bench_with_input(BenchmarkId::new("truncated_evaluate", depth), &depth, |b, _| {
-            b.iter(|| truncated.evaluate(&people, &query, depth).unwrap().lower_bound)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("truncated_evaluate", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    truncated
+                        .evaluate(&people, &query, depth)
+                        .unwrap()
+                        .lower_bound
+                })
+            },
+        );
     }
     group.finish();
 

@@ -85,7 +85,10 @@ fn main() {
     // Query: is the first extracted value present? Constraint: at least two
     // entities have their "property0" recorded.
     let query = PrxmlQuery::LabelExists("value_e0_p0".into());
-    let constraint = PrxmlConstraint::AtLeast { label: "property0".into(), min: 2 };
+    let constraint = PrxmlConstraint::AtLeast {
+        label: "property0".into(),
+        min: 2,
+    };
     let mut group = criterion.benchmark_group("e15_conditioning_scaling");
     for &entities in &[4usize, 8, 16] {
         let config = WikidataStyleConfig {
@@ -102,9 +105,11 @@ fn main() {
             &format!("entities{entities}_constraint_probability"),
             format!("{:.4}", constraint_probability(&doc, &constraint).unwrap()),
         );
-        group.bench_with_input(BenchmarkId::new("circuit_bayes", entities), &entities, |b, _| {
-            b.iter(|| conditioned_query_probability(&doc, &query, &constraint).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("circuit_bayes", entities),
+            &entities,
+            |b, _| b.iter(|| conditioned_query_probability(&doc, &query, &constraint).unwrap()),
+        );
         if entities <= 4 {
             group.bench_with_input(
                 BenchmarkId::new("enumeration", entities),

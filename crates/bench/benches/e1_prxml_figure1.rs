@@ -4,21 +4,27 @@
 //! annotations) and times the tractable evaluation against naive
 //! possible-world enumeration.
 
-
 use stuc_bench::{criterion_config, report_value};
 use stuc_prxml::document::PrXmlDocument;
-use stuc_prxml::queries::{
-    query_probability, query_probability_by_enumeration, PrxmlQuery,
-};
+use stuc_prxml::queries::{query_probability, query_probability_by_enumeration, PrxmlQuery};
 
 fn main() {
     let mut criterion = criterion_config();
     let doc = PrXmlDocument::figure1_example();
 
     let queries = [
-        ("occupation_musician", PrxmlQuery::LabelExists("musician".into())),
-        ("given_name_chelsea", PrxmlQuery::LabelExists("Chelsea".into())),
-        ("given_name_bradley", PrxmlQuery::LabelExists("Bradley".into())),
+        (
+            "occupation_musician",
+            PrxmlQuery::LabelExists("musician".into()),
+        ),
+        (
+            "given_name_chelsea",
+            PrxmlQuery::LabelExists("Chelsea".into()),
+        ),
+        (
+            "given_name_bradley",
+            PrxmlQuery::LabelExists("Bradley".into()),
+        ),
         (
             "both_jane_facts",
             PrxmlQuery::And(

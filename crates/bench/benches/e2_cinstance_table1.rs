@@ -1,7 +1,6 @@
 //! E2 — Table 1: possibility, certainty and probability of booking queries
 //! on the paper's c-instance of conference trips.
 
-
 use stuc_bench::{criterion_config, report_value};
 use stuc_circuit::weights::Weights;
 use stuc_circuit::wmc::TreewidthWmc;
@@ -21,7 +20,10 @@ fn main() {
 
     let queries = [
         ("trip_from_cdg", "Trip(\"Paris_CDG\", x)"),
-        ("round_trip_melbourne", "Trip(\"Paris_CDG\", \"Melbourne_MEL\"), Trip(\"Melbourne_MEL\", \"Paris_CDG\")"),
+        (
+            "round_trip_melbourne",
+            "Trip(\"Paris_CDG\", \"Melbourne_MEL\"), Trip(\"Melbourne_MEL\", \"Paris_CDG\")",
+        ),
         ("reaches_portland", "Trip(x, \"Portland_PDX\")"),
         ("any_trip", "Trip(x, y)"),
     ];
@@ -32,10 +34,24 @@ fn main() {
 
     for (name, query) in &parsed {
         let lineage = cinstance_lineage(&ci, query);
-        let p = TreewidthWmc::default().probability(&lineage, &weights).unwrap();
-        report_value("E2", name, format!("p={p:.4} possible={} certain={}", p > 1e-12, (p - 1.0).abs() < 1e-9));
+        let p = TreewidthWmc::default()
+            .probability(&lineage, &weights)
+            .unwrap();
+        report_value(
+            "E2",
+            name,
+            format!(
+                "p={p:.4} possible={} certain={}",
+                p > 1e-12,
+                (p - 1.0).abs() < 1e-9
+            ),
+        );
     }
-    report_value("E2", "possible_worlds", worlds::enumerate_worlds(&ci).unwrap().len());
+    report_value(
+        "E2",
+        "possible_worlds",
+        worlds::enumerate_worlds(&ci).unwrap().len(),
+    );
 
     let mut group = criterion.benchmark_group("e2_cinstance_table1");
     group.bench_function("lineage_plus_wmc", |b| {
@@ -44,7 +60,9 @@ fn main() {
                 .iter()
                 .map(|(_, q)| {
                     let lineage = cinstance_lineage(&ci, q);
-                    TreewidthWmc::default().probability(&lineage, &weights).unwrap()
+                    TreewidthWmc::default()
+                        .probability(&lineage, &weights)
+                        .unwrap()
                 })
                 .sum::<f64>()
         })

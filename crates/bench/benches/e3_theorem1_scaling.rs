@@ -4,23 +4,29 @@
 
 use criterion::BenchmarkId;
 use stuc_bench::{criterion_config, report_value};
-use stuc_core::pipeline::TractablePipeline;
+use stuc_core::engine::{BackendKind, Engine};
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
 
 fn main() {
     let mut criterion = criterion_config();
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
+    let dpll = Engine::builder().backend(BackendKind::Dpll).build();
+    let brute = Engine::builder().backend(BackendKind::Enumeration).build();
     let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
 
     // Linear scaling in the data at fixed width (path instances, width 1).
     let mut group = criterion.benchmark_group("e3_theorem1_path_scaling");
     for &n in &[100usize, 400, 1600, 6400] {
         let tid = workloads::path_tid(n, 0.5, 7);
-        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
-        report_value("E3", &format!("path_n{n}_probability"), format!("{:.6}", report.probability));
+        let report = engine.evaluate(&tid, &query).unwrap();
+        report_value(
+            "E3",
+            &format!("path_n{n}_probability"),
+            format!("{:.6}", report.probability),
+        );
         group.bench_with_input(BenchmarkId::new("tractable_pipeline", n), &n, |b, _| {
-            b.iter(|| pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability)
+            b.iter(|| engine.evaluate(&tid, &query).unwrap().probability)
         });
     }
     group.finish();
@@ -29,11 +35,17 @@ fn main() {
     let mut group = criterion.benchmark_group("e3_theorem1_width_sweep");
     for &k in &[1usize, 2, 3, 4] {
         let tid = workloads::partial_k_tree_tid(200, k, 0.5, 3);
-        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
-        report_value("E3", &format!("ktree_k{k}_width"), report.decomposition_width);
-        group.bench_with_input(BenchmarkId::new("tractable_pipeline_width", k), &k, |b, _| {
-            b.iter(|| pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability)
-        });
+        let report = engine.evaluate(&tid, &query).unwrap();
+        report_value(
+            "E3",
+            &format!("ktree_k{k}_width"),
+            report.decomposition_width.unwrap_or(0),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tractable_pipeline_width", k),
+            &k,
+            |b, _| b.iter(|| engine.evaluate(&tid, &query).unwrap().probability),
+        );
     }
     group.finish();
 
@@ -41,13 +53,13 @@ fn main() {
     let small = workloads::path_tid(18, 0.5, 7);
     let mut group = criterion.benchmark_group("e3_theorem1_baselines_small");
     group.bench_function("tractable_pipeline_n18", |b| {
-        b.iter(|| pipeline.evaluate_cq_on_tid(&small, &query).unwrap().probability)
+        b.iter(|| engine.evaluate(&small, &query).unwrap().probability)
     });
     group.bench_function("dpll_baseline_n18", |b| {
-        b.iter(|| pipeline.baseline_dpll(&small, &query).unwrap())
+        b.iter(|| dpll.evaluate(&small, &query).unwrap().probability)
     });
     group.bench_function("enumeration_baseline_n18", |b| {
-        b.iter(|| pipeline.baseline_enumeration(&small, &query).unwrap())
+        b.iter(|| brute.evaluate(&small, &query).unwrap().probability)
     });
     group.finish();
     criterion.final_summary();

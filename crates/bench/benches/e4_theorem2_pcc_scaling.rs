@@ -4,36 +4,47 @@
 
 use criterion::BenchmarkId;
 use stuc_bench::{criterion_config, report_value};
-use stuc_core::pipeline::TractablePipeline;
+use stuc_core::engine::Engine;
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
 
 fn main() {
     let mut criterion = criterion_config();
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
     let query = ConjunctiveQuery::parse("Claim(x, y)").unwrap();
 
     // Correctness check against enumeration on a small instance.
     let small = workloads::contributor_pcc(8, 3, 0.7, 0.9, 5);
-    let exact = pipeline.evaluate_cq_on_pcc(&small, &query).unwrap();
+    let exact = engine.evaluate(&small, &query).unwrap();
     let reference = workloads::pcc_query_probability_by_enumeration(&small, &query);
     assert!((exact.probability - reference).abs() < 1e-9);
-    report_value("E4", "small_pcc_probability", format!("{:.6}", exact.probability));
-    report_value("E4", "small_pcc_joint_width", exact.decomposition_width);
+    report_value(
+        "E4",
+        "small_pcc_probability",
+        format!("{:.6}", exact.probability),
+    );
+    report_value(
+        "E4",
+        "small_pcc_joint_width",
+        exact.decomposition_width.unwrap_or(0),
+    );
 
     // Scaling in the number of claims with a fixed number of contributors:
     // correlations stay local-ish, so the pipeline scales.
     let mut group = criterion.benchmark_group("e4_theorem2_pcc_scaling");
     for &claims in &[10usize, 20, 40, 80] {
         let pcc = workloads::contributor_pcc(claims, 4, 0.7, 0.9, 11);
-        let report = pipeline.evaluate_cq_on_pcc(&pcc, &query).unwrap();
+        let report = engine.evaluate(&pcc, &query).unwrap();
         report_value(
             "E4",
             &format!("claims{claims}"),
-            format!("p={:.4} joint_width={}", report.probability, report.decomposition_width),
+            format!(
+                "p={:.4} joint_width={:?}",
+                report.probability, report.decomposition_width
+            ),
         );
         group.bench_with_input(BenchmarkId::new("pcc_pipeline", claims), &claims, |b, _| {
-            b.iter(|| pipeline.evaluate_cq_on_pcc(&pcc, &query).unwrap().probability)
+            b.iter(|| engine.evaluate(&pcc, &query).unwrap().probability)
         });
     }
     group.finish();

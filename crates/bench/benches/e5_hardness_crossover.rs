@@ -7,19 +7,20 @@
 
 use criterion::BenchmarkId;
 use stuc_bench::{criterion_config, report_value};
-use stuc_core::pipeline::{PipelineError, TractablePipeline};
+use stuc_core::engine::{BackendKind, Engine, StucError};
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
 
 fn main() {
     let mut criterion = criterion_config();
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
     let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
 
-    // The extensional baseline refuses the query outright.
+    // The extensional back-end refuses the query outright.
+    let safe_plan = Engine::builder().backend(BackendKind::SafePlan).build();
     let refused = matches!(
-        pipeline.baseline_safe_plan(&workloads::rst_path_tid(5, 0.5, 1), &query),
-        Err(PipelineError::SafePlan(_))
+        safe_plan.evaluate(&workloads::rst_path_tid(5, 0.5, 1), &query),
+        Err(StucError::SafePlan(_))
     );
     report_value("E5", "safe_plan_refuses_unsafe_query", refused);
 
@@ -27,10 +28,19 @@ fn main() {
     let mut group = criterion.benchmark_group("e5_path_shaped_data");
     for &n in &[50usize, 200, 800] {
         let tid = workloads::rst_path_tid(n, 0.5, 3);
-        let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
-        report_value("E5", &format!("path_n{n}"), format!("p={:.4} width={}", report.probability, report.decomposition_width));
-        group.bench_with_input(BenchmarkId::new("tractable_pipeline", n), &n, |b, _| {
-            b.iter(|| pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability)
+        let report = engine.evaluate(&tid, &query).unwrap();
+        report_value(
+            "E5",
+            &format!("path_n{n}"),
+            format!(
+                "p={:.4} width={:?} backend={}",
+                report.probability,
+                report.decomposition_width,
+                report.backend_name()
+            ),
+        );
+        group.bench_with_input(BenchmarkId::new("engine_auto", n), &n, |b, _| {
+            b.iter(|| engine.evaluate(&tid, &query).unwrap().probability)
         });
     }
     group.finish();
@@ -40,10 +50,11 @@ fn main() {
     let mut group = criterion.benchmark_group("e5_bipartite_data");
     for &n in &[2usize, 3, 4, 5] {
         let tid = workloads::rst_bipartite_tid(n, 0.5, 3);
-        let width = pipeline.decompose_tid(&tid).width();
+        let width = engine.decomposition_for(&tid).0.width();
         report_value("E5", &format!("bipartite_n{n}_width"), width);
+        let dpll = Engine::builder().backend(BackendKind::Dpll).build();
         group.bench_with_input(BenchmarkId::new("dpll_lineage", n), &n, |b, _| {
-            b.iter(|| pipeline.baseline_dpll(&tid, &query).unwrap())
+            b.iter(|| dpll.evaluate(&tid, &query).unwrap().probability)
         });
     }
     group.finish();

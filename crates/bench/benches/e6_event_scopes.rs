@@ -17,27 +17,45 @@ fn main() {
     // Scope sweep at fixed size.
     let mut group = criterion.benchmark_group("e6_scope_sweep");
     for &depth in &[0usize, 1, 2, 3, 4] {
-        let config = WikidataStyleConfig { scope_depth: depth, entities: 8, properties_per_entity: 4, ..Default::default() };
+        let config = WikidataStyleConfig {
+            scope_depth: depth,
+            entities: 8,
+            properties_per_entity: 4,
+            ..Default::default()
+        };
         let doc = wikidata_style_document(&config);
         let scope = analyze_scopes(&doc).max_node_scope();
         let lineage = query_lineage(&doc, &query);
         let width = TreewidthWmc::default().estimated_width(&lineage);
-        report_value("E6", &format!("depth{depth}"), format!("max_node_scope={scope} lineage_width={width}"));
-        group.bench_with_input(BenchmarkId::new("query_probability", depth), &depth, |b, _| {
-            b.iter(|| query_probability(&doc, &query).unwrap())
-        });
+        report_value(
+            "E6",
+            &format!("depth{depth}"),
+            format!("max_node_scope={scope} lineage_width={width}"),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("query_probability", depth),
+            &depth,
+            |b, _| b.iter(|| query_probability(&doc, &query).unwrap()),
+        );
     }
     group.finish();
 
     // Document-size sweep at fixed (bounded) scope: linear-ish scaling.
     let mut group = criterion.benchmark_group("e6_size_sweep_bounded_scope");
     for &entities in &[10usize, 40, 160] {
-        let config = WikidataStyleConfig { scope_depth: 1, entities, properties_per_entity: 5, ..Default::default() };
+        let config = WikidataStyleConfig {
+            scope_depth: 1,
+            entities,
+            properties_per_entity: 5,
+            ..Default::default()
+        };
         let doc = wikidata_style_document(&config);
         report_value("E6", &format!("entities{entities}_nodes"), doc.len());
-        group.bench_with_input(BenchmarkId::new("query_probability", entities), &entities, |b, _| {
-            b.iter(|| query_probability(&doc, &query).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("query_probability", entities),
+            &entities,
+            |b, _| b.iter(|| query_probability(&doc, &query).unwrap()),
+        );
     }
     group.finish();
     criterion.final_summary();

@@ -3,10 +3,9 @@
 //! budget, the hybrid estimator (tentacles integrated out exactly) has lower
 //! error than naive all-facts sampling.
 
-
 use stuc_bench::{criterion_config, report_value};
+use stuc_core::engine::{BackendKind, Engine};
 use stuc_core::hybrid::{detect_core_facts, hybrid_probability, naive_sampling_probability};
-use stuc_core::pipeline::TractablePipeline;
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
 
@@ -15,7 +14,12 @@ fn main() {
     let tid = workloads::core_tentacle_tid(6, 0.9, 4, 4, 0.5, 17);
     let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
     let core = detect_core_facts(&tid, 1);
-    let exact = TractablePipeline::default().baseline_enumeration(&tid, &query).unwrap();
+    let exact = Engine::builder()
+        .backend(BackendKind::Enumeration)
+        .build()
+        .evaluate(&tid, &query)
+        .unwrap()
+        .probability;
     report_value("E7", "exact_reference", format!("{exact:.6}"));
     report_value("E7", "core_facts", core.len());
     report_value("E7", "tentacle_facts", tid.fact_count() - core.len());
@@ -25,16 +29,27 @@ fn main() {
     let mut hybrid_error = 0.0;
     let mut naive_error = 0.0;
     for seed in 0..10 {
-        let h = hybrid_probability(&tid, &query, &core, budget, seed).unwrap().probability;
+        let h = hybrid_probability(&tid, &query, &core, budget, seed)
+            .unwrap()
+            .probability;
         hybrid_error += (h - exact).abs() / 10.0;
-        naive_error += (naive_sampling_probability(&tid, &query, budget, seed) - exact).abs() / 10.0;
+        naive_error +=
+            (naive_sampling_probability(&tid, &query, budget, seed) - exact).abs() / 10.0;
     }
     report_value("E7", "hybrid_mean_abs_error", format!("{hybrid_error:.5}"));
-    report_value("E7", "naive_sampling_mean_abs_error", format!("{naive_error:.5}"));
+    report_value(
+        "E7",
+        "naive_sampling_mean_abs_error",
+        format!("{naive_error:.5}"),
+    );
 
     let mut group = criterion.benchmark_group("e7_hybrid_core_tentacles");
     group.bench_function("hybrid_200_samples", |b| {
-        b.iter(|| hybrid_probability(&tid, &query, &core, budget, 1).unwrap().probability)
+        b.iter(|| {
+            hybrid_probability(&tid, &query, &core, budget, 1)
+                .unwrap()
+                .probability
+        })
     });
     group.bench_function("naive_sampling_200_samples", |b| {
         b.iter(|| naive_sampling_probability(&tid, &query, budget, 1))

@@ -8,22 +8,23 @@ use stuc_bench::{criterion_config, report_value};
 use stuc_circuit::semiring::{
     evaluate_provenance, BoolSemiring, CountingSemiring, TropicalSemiring, WhyProvenance,
 };
-use stuc_core::pipeline::TractablePipeline;
+use stuc_core::engine::Engine;
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
 
 fn main() {
     let mut criterion = criterion_config();
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
     let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
     let tid = workloads::path_tid(60, 0.5, 9);
-    let lineage = pipeline.tid_lineage_circuit(&tid, &query).unwrap();
+    let lineage = engine.lineage(&tid, &query).unwrap();
     report_value("E8", "lineage_gates", lineage.len());
     report_value("E8", "lineage_monotone", lineage.is_monotone());
 
     let count = evaluate_provenance(&lineage, |_| CountingSemiring(1)).unwrap();
     report_value("E8", "derivation_count", count.0);
-    let cheapest = evaluate_provenance(&lineage, |v| TropicalSemiring::cost(1 + v.0 as u64 % 3)).unwrap();
+    let cheapest =
+        evaluate_provenance(&lineage, |v| TropicalSemiring::cost(1 + v.0 as u64 % 3)).unwrap();
     report_value("E8", "cheapest_derivation_cost", format!("{cheapest:?}"));
     let why = evaluate_provenance(&lineage, WhyProvenance::var).unwrap();
     report_value("E8", "minimal_witness_sets", why.0.len());
@@ -36,7 +37,9 @@ fn main() {
         b.iter(|| evaluate_provenance(&lineage, |_| CountingSemiring(1)).unwrap())
     });
     group.bench_with_input(BenchmarkId::new("semiring", "tropical"), &(), |b, _| {
-        b.iter(|| evaluate_provenance(&lineage, |v| TropicalSemiring::cost(1 + v.0 as u64 % 3)).unwrap())
+        b.iter(|| {
+            evaluate_provenance(&lineage, |v| TropicalSemiring::cost(1 + v.0 as u64 % 3)).unwrap()
+        })
     });
     group.bench_with_input(BenchmarkId::new("semiring", "why"), &(), |b, _| {
         b.iter(|| evaluate_provenance(&lineage, WhyProvenance::var).unwrap())

@@ -24,9 +24,11 @@ fn main() {
         }
         let count = po.count_linear_extensions().unwrap();
         report_value("E9", &format!("chains{chains}_linear_extensions"), count);
-        group.bench_with_input(BenchmarkId::new("count_linear_extensions", chains), &chains, |b, _| {
-            b.iter(|| po.count_linear_extensions().unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("count_linear_extensions", chains),
+            &chains,
+            |b, _| b.iter(|| po.count_linear_extensions().unwrap()),
+        );
     }
     group.finish();
 
@@ -36,19 +38,36 @@ fn main() {
     let mut general = union_parallel(&list("a", 6), &list("b", 6));
     // Relabel-free: the general case has duplicate-free labels; build a world.
     let world_total: Vec<Vec<String>> = (0..12).map(|i| vec![format!("t{i}")]).collect();
-    let world_unordered: Vec<Vec<String>> = (0..12).map(|i| vec![format!("t{}", (i * 7) % 3)]).collect();
+    let world_unordered: Vec<Vec<String>> =
+        (0..12).map(|i| vec![format!("t{}", (i * 7) % 3)]).collect();
     let mut world_general: Vec<Vec<String>> = Vec::new();
     for i in 0..6 {
         world_general.push(vec![format!("a{i}")]);
         world_general.push(vec![format!("b{i}")]);
     }
-    report_value("E9", "membership_total_order", total.is_possible_world(&world_total));
-    report_value("E9", "membership_unordered", unordered.is_possible_world(&world_unordered));
-    report_value("E9", "membership_general", general.is_possible_world(&world_general));
+    report_value(
+        "E9",
+        "membership_total_order",
+        total.is_possible_world(&world_total),
+    );
+    report_value(
+        "E9",
+        "membership_unordered",
+        unordered.is_possible_world(&world_unordered),
+    );
+    report_value(
+        "E9",
+        "membership_general",
+        general.is_possible_world(&world_general),
+    );
 
     let mut group = criterion.benchmark_group("e9_possible_world_membership");
-    group.bench_function("totally_ordered", |b| b.iter(|| total.is_possible_world(&world_total)));
-    group.bench_function("unordered", |b| b.iter(|| unordered.is_possible_world(&world_unordered)));
+    group.bench_function("totally_ordered", |b| {
+        b.iter(|| total.is_possible_world(&world_total))
+    });
+    group.bench_function("unordered", |b| {
+        b.iter(|| unordered.is_possible_world(&world_unordered))
+    });
     group.bench_function("general_interleaving", |b| {
         b.iter(|| general.is_possible_world(&world_general))
     });

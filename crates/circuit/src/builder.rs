@@ -121,6 +121,7 @@ pub fn rst_bipartite_lineage(n: usize) -> Circuit {
     let r: Vec<GateId> = (0..n).map(|i| c.add_input(VarId(i))).collect();
     let t: Vec<GateId> = (0..n).map(|j| c.add_input(VarId(n + j))).collect();
     let mut terms = Vec::with_capacity(n * n);
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in 0..n {
             let s = c.add_input(VarId(2 * n + i * n + j));
@@ -206,7 +207,13 @@ pub fn random_circuit(vars: usize, internal: usize, seed: u64) -> Circuit {
 /// by fan-out per level; read-once circuits are the easy case for every
 /// back-end and serve as the sanity baseline of experiment A2.
 pub fn read_once_tree(levels: usize, fanout: usize) -> Circuit {
-    fn build(c: &mut Circuit, level: usize, fanout: usize, next_var: &mut usize, and_level: bool) -> GateId {
+    fn build(
+        c: &mut Circuit,
+        level: usize,
+        fanout: usize,
+        next_var: &mut usize,
+        and_level: bool,
+    ) -> GateId {
         if level == 0 {
             let g = c.add_input(VarId(*next_var));
             *next_var += 1;
@@ -278,7 +285,10 @@ mod tests {
         let small = TreewidthWmc::default().estimated_width(&rst_path_lineage(20));
         let large = TreewidthWmc::default().estimated_width(&rst_bipartite_lineage(6));
         assert!(small <= 4, "path lineage width {small}");
-        assert!(large > small, "bipartite width {large} should exceed path width {small}");
+        assert!(
+            large > small,
+            "bipartite width {large} should exceed path width {small}"
+        );
     }
 
     #[test]

@@ -78,29 +78,24 @@ impl Gate {
     }
 }
 
-/// Errors raised by circuit construction and evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CircuitError {
-    /// A gate refers to an identifier that does not exist (or is not older
-    /// than the referring gate).
-    InvalidGateReference(GateId),
-    /// The circuit has no designated output gate.
-    NoOutput,
-    /// A variable needed during evaluation has no assigned value / weight.
-    UnassignedVariable(VarId),
-}
-
-impl fmt::Display for CircuitError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CircuitError::InvalidGateReference(g) => write!(f, "invalid gate reference {g}"),
-            CircuitError::NoOutput => write!(f, "circuit has no output gate"),
-            CircuitError::UnassignedVariable(v) => write!(f, "variable {v} has no value"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by circuit construction and evaluation.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum CircuitError {
+        /// A gate refers to an identifier that does not exist (or is not older
+        /// than the referring gate).
+        InvalidGateReference(GateId),
+        /// The circuit has no designated output gate.
+        NoOutput,
+        /// A variable needed during evaluation has no assigned value / weight.
+        UnassignedVariable(VarId),
+    }
+    display {
+        Self::InvalidGateReference(g) => "invalid gate reference {g}",
+        Self::NoOutput => "circuit has no output gate",
+        Self::UnassignedVariable(v) => "variable {v} has no value",
     }
 }
-
-impl std::error::Error for CircuitError {}
 
 /// A Boolean circuit stored as a bottom-up arena of gates.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -269,7 +264,10 @@ impl Circuit {
     /// circuit reads one variable per *fact*, and each fact variable is then
     /// substituted by the fact's *annotation* sub-circuit over event
     /// variables.
-    pub fn substitute(&self, substitution: &BTreeMap<VarId, Circuit>) -> Result<Circuit, CircuitError> {
+    pub fn substitute(
+        &self,
+        substitution: &BTreeMap<VarId, Circuit>,
+    ) -> Result<Circuit, CircuitError> {
         let mut result = Circuit::new();
         // Import each substituted circuit once, remembering its output gate.
         let mut imported: BTreeMap<VarId, GateId> = BTreeMap::new();
@@ -371,7 +369,11 @@ impl Circuit {
 
     /// The largest fan-in over all gates.
     pub fn max_fanin(&self) -> usize {
-        self.gates.iter().map(|g| g.inputs().len()).max().unwrap_or(0)
+        self.gates
+            .iter()
+            .map(|g| g.inputs().len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns an equivalent circuit with constants propagated and gates not
@@ -544,7 +546,10 @@ mod tests {
     fn no_output_is_an_error() {
         let mut c = Circuit::new();
         c.add_input(VarId(0));
-        assert_eq!(c.evaluate(&assignment(&[(0, true)])), Err(CircuitError::NoOutput));
+        assert_eq!(
+            c.evaluate(&assignment(&[(0, true)])),
+            Err(CircuitError::NoOutput)
+        );
     }
 
     #[test]
@@ -674,11 +679,7 @@ mod tests {
         let c = sample_circuit();
         let s = c.simplify().unwrap();
         for bits in 0..8u32 {
-            let asg = assignment(&[
-                (0, bits & 1 != 0),
-                (1, bits & 2 != 0),
-                (2, bits & 4 != 0),
-            ]);
+            let asg = assignment(&[(0, bits & 1 != 0), (1, bits & 2 != 0), (2, bits & 4 != 0)]);
             assert_eq!(c.evaluate(&asg).unwrap(), s.evaluate(&asg).unwrap());
         }
     }

@@ -22,33 +22,27 @@ pub struct DpllCounter {
 
 impl Default for DpllCounter {
     fn default() -> Self {
-        DpllCounter { max_branches: 10_000_000 }
-    }
-}
-
-/// Errors raised by the DPLL back-end.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DpllError {
-    /// The branch budget was exhausted.
-    BranchBudgetExhausted,
-    /// An underlying circuit error.
-    Circuit(CircuitError),
-}
-
-impl std::fmt::Display for DpllError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DpllError::BranchBudgetExhausted => write!(f, "DPLL branch budget exhausted"),
-            DpllError::Circuit(e) => write!(f, "{e}"),
+        DpllCounter {
+            max_branches: 10_000_000,
         }
     }
 }
 
-impl std::error::Error for DpllError {}
-
-impl From<CircuitError> for DpllError {
-    fn from(e: CircuitError) -> Self {
-        DpllError::Circuit(e)
+stuc_errors::stuc_error! {
+    /// Errors raised by the DPLL back-end.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum DpllError {
+        /// The branch budget was exhausted.
+        BranchBudgetExhausted,
+        /// An underlying circuit error.
+        Circuit(CircuitError),
+    }
+    display {
+        Self::BranchBudgetExhausted => "DPLL branch budget exhausted",
+        Self::Circuit(e) => "{e}",
+    }
+    from {
+        CircuitError => Circuit,
     }
 }
 
@@ -230,12 +224,22 @@ mod tests {
         let mut c = Circuit::new();
         let t = c.add_const(true);
         c.set_output(t);
-        assert_eq!(DpllCounter::default().probability(&c, &Weights::new()).unwrap(), 1.0);
+        assert_eq!(
+            DpllCounter::default()
+                .probability(&c, &Weights::new())
+                .unwrap(),
+            1.0
+        );
 
         let mut c = Circuit::new();
         let f = c.add_const(false);
         c.set_output(f);
-        assert_eq!(DpllCounter::default().probability(&c, &Weights::new()).unwrap(), 0.0);
+        assert_eq!(
+            DpllCounter::default()
+                .probability(&c, &Weights::new())
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -258,7 +262,10 @@ mod tests {
         let c = and_or_chain(12);
         let w = weights_uniform(&c, 0.5);
         let tiny = DpllCounter { max_branches: 2 };
-        assert_eq!(tiny.run(&c, &w).unwrap_err(), DpllError::BranchBudgetExhausted);
+        assert_eq!(
+            tiny.run(&c, &w).unwrap_err(),
+            DpllError::BranchBudgetExhausted
+        );
     }
 
     #[test]

@@ -15,31 +15,21 @@ use std::collections::BTreeMap;
 /// accidentally running a `2^60`-world loop in tests.
 pub const ENUMERATION_LIMIT: usize = 30;
 
-/// Errors specific to the enumeration back-end.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EnumerationError {
-    /// The circuit has more variables than [`ENUMERATION_LIMIT`].
-    TooManyVariables(usize),
-    /// An underlying circuit error.
-    Circuit(CircuitError),
-}
-
-impl std::fmt::Display for EnumerationError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EnumerationError::TooManyVariables(n) => {
-                write!(f, "{n} variables exceed the enumeration limit of {ENUMERATION_LIMIT}")
-            }
-            EnumerationError::Circuit(e) => write!(f, "{e}"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors specific to the enumeration back-end.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum EnumerationError {
+        /// The circuit has more variables than [`ENUMERATION_LIMIT`].
+        TooManyVariables(usize),
+        /// An underlying circuit error.
+        Circuit(CircuitError),
     }
-}
-
-impl std::error::Error for EnumerationError {}
-
-impl From<CircuitError> for EnumerationError {
-    fn from(e: CircuitError) -> Self {
-        EnumerationError::Circuit(e)
+    display {
+        Self::TooManyVariables(n) => "{n} variables exceed the enumeration limit of {ENUMERATION_LIMIT}",
+        Self::Circuit(e) => "{e}",
+    }
+    from {
+        CircuitError => Circuit,
     }
 }
 
@@ -170,7 +160,10 @@ mod tests {
         let mut c = Circuit::new();
         let t = c.add_const(true);
         c.set_output(t);
-        assert_eq!(probability_by_enumeration(&c, &Weights::new()).unwrap(), 1.0);
+        assert_eq!(
+            probability_by_enumeration(&c, &Weights::new()).unwrap(),
+            1.0
+        );
         assert_eq!(count_models_by_enumeration(&c).unwrap(), 1);
     }
 
@@ -194,7 +187,9 @@ mod tests {
         let w = Weights::new();
         assert!(matches!(
             probability_by_enumeration(&c, &w),
-            Err(EnumerationError::Circuit(CircuitError::UnassignedVariable(_)))
+            Err(EnumerationError::Circuit(CircuitError::UnassignedVariable(
+                _
+            )))
         ));
     }
 

@@ -26,28 +26,21 @@ pub trait Semiring: Clone {
     fn mul(&self, other: &Self) -> Self;
 }
 
-/// Errors raised when evaluating provenance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProvenanceError {
-    /// The circuit contains a NOT gate; semiring provenance is only defined
-    /// for monotone circuits.
-    NotMonotone,
-    /// The circuit has no output gate.
-    NoOutput,
-}
-
-impl std::fmt::Display for ProvenanceError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ProvenanceError::NotMonotone => {
-                write!(f, "semiring provenance requires a monotone circuit")
-            }
-            ProvenanceError::NoOutput => write!(f, "circuit has no output gate"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised when evaluating provenance.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum ProvenanceError {
+        /// The circuit contains a NOT gate; semiring provenance is only defined
+        /// for monotone circuits.
+        NotMonotone,
+        /// The circuit has no output gate.
+        NoOutput,
+    }
+    display {
+        Self::NotMonotone => "semiring provenance requires a monotone circuit",
+        Self::NoOutput => "circuit has no output gate",
     }
 }
-
-impl std::error::Error for ProvenanceError {}
 
 /// Evaluates a monotone circuit in a semiring, mapping each input variable to
 /// an element via `annotation`.
@@ -62,12 +55,8 @@ pub fn evaluate_provenance<S: Semiring>(
             Gate::Input(v) => annotation(*v),
             Gate::Const(true) => S::one(),
             Gate::Const(false) => S::zero(),
-            Gate::And(xs) => xs
-                .iter()
-                .fold(S::one(), |acc, x| acc.mul(&values[x.0])),
-            Gate::Or(xs) => xs
-                .iter()
-                .fold(S::zero(), |acc, x| acc.add(&values[x.0])),
+            Gate::And(xs) => xs.iter().fold(S::one(), |acc, x| acc.mul(&values[x.0])),
+            Gate::Or(xs) => xs.iter().fold(S::zero(), |acc, x| acc.add(&values[x.0])),
             Gate::Not(_) => return Err(ProvenanceError::NotMonotone),
         };
         values.push(value);
@@ -162,11 +151,7 @@ impl WhyProvenance {
     fn minimise(sets: BTreeSet<BTreeSet<VarId>>) -> Self {
         let minimal: BTreeSet<BTreeSet<VarId>> = sets
             .iter()
-            .filter(|s| {
-                !sets
-                    .iter()
-                    .any(|other| other != *s && other.is_subset(s))
-            })
+            .filter(|s| !sets.iter().any(|other| other != *s && other.is_subset(s)))
             .cloned()
             .collect();
         WhyProvenance(minimal)
@@ -235,11 +220,13 @@ mod tests {
     fn tropical_semiring_finds_cheapest_derivation() {
         let c = sample();
         // Costs: x0 = 1, x1 = 2, x2 = 5. Cheapest derivation: x0 AND x1 = 3.
-        let value = evaluate_provenance(&c, |v| TropicalSemiring::cost(match v.0 {
-            0 => 1,
-            1 => 2,
-            _ => 5,
-        }))
+        let value = evaluate_provenance(&c, |v| {
+            TropicalSemiring::cost(match v.0 {
+                0 => 1,
+                1 => 2,
+                _ => 5,
+            })
+        })
         .unwrap();
         assert_eq!(value, TropicalSemiring::cost(3));
     }
@@ -248,7 +235,11 @@ mod tests {
     fn tropical_zero_annotations_mean_unavailable() {
         let c = builder::conjunction(2);
         let value = evaluate_provenance(&c, |v| {
-            if v.0 == 0 { TropicalSemiring::zero() } else { TropicalSemiring::cost(1) }
+            if v.0 == 0 {
+                TropicalSemiring::zero()
+            } else {
+                TropicalSemiring::cost(1)
+            }
         })
         .unwrap();
         assert_eq!(value, TropicalSemiring::zero());

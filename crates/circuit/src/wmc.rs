@@ -28,34 +28,23 @@ use stuc_graph::graph::{Graph, VertexId};
 use stuc_graph::nice::{NiceDecomposition, NiceNodeKind};
 use stuc_graph::TreeDecomposition;
 
-/// Errors raised by the treewidth-based weighted model counter.
-#[derive(Debug, Clone, PartialEq)]
-pub enum WmcError {
-    /// The decomposition found for the circuit graph is too wide for the
-    /// configured bag-size limit: the instance is not (recognisably)
-    /// structurally tractable, so another back-end should be used.
-    WidthTooLarge { width: usize, limit: usize },
-    /// An underlying circuit error.
-    Circuit(CircuitError),
-}
-
-impl std::fmt::Display for WmcError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WmcError::WidthTooLarge { width, limit } => write!(
-                f,
-                "circuit decomposition width {width} exceeds the configured limit {limit}"
-            ),
-            WmcError::Circuit(e) => write!(f, "{e}"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by the treewidth-based weighted model counter.
+    #[derive(Clone, PartialEq)]
+    pub enum WmcError {
+        /// The decomposition found for the circuit graph is too wide for the
+        /// configured bag-size limit: the instance is not (recognisably)
+        /// structurally tractable, so another back-end should be used.
+        WidthTooLarge { width: usize, limit: usize },
+        /// An underlying circuit error.
+        Circuit(CircuitError),
     }
-}
-
-impl std::error::Error for WmcError {}
-
-impl From<CircuitError> for WmcError {
-    fn from(e: CircuitError) -> Self {
-        WmcError::Circuit(e)
+    display {
+        Self::WidthTooLarge { width, limit } => "circuit decomposition width {width} exceeds the configured limit {limit}",
+        Self::Circuit(e) => "{e}",
+    }
+    from {
+        CircuitError => Circuit,
     }
 }
 
@@ -119,8 +108,10 @@ impl TreewidthWmc {
     /// binarises wide gates.
     fn prepare(circuit: &Circuit) -> Circuit {
         let mut deduped = Circuit::new();
-        let mut input_of_var: std::collections::BTreeMap<crate::circuit::VarId, crate::circuit::GateId> =
-            std::collections::BTreeMap::new();
+        let mut input_of_var: std::collections::BTreeMap<
+            crate::circuit::VarId,
+            crate::circuit::GateId,
+        > = std::collections::BTreeMap::new();
         let mut map: Vec<crate::circuit::GateId> = Vec::with_capacity(circuit.len());
         for (_, gate) in circuit.iter() {
             let id = match gate {
@@ -220,8 +211,7 @@ impl TreewidthWmc {
                 }
                 NiceNodeKind::Introduce { vertex, child } => {
                     let child_node = nice.node(*child);
-                    let child_bag: Vec<usize> =
-                        child_node.bag.iter().map(|v| v.index()).collect();
+                    let child_bag: Vec<usize> = child_node.bag.iter().map(|v| v.index()).collect();
                     let v = vertex.index();
                     // Constraints newly fully contained in the bag: every gate
                     // g whose scope includes v and is a subset of the bag.
@@ -229,8 +219,7 @@ impl TreewidthWmc {
                     let mut t = HashMap::new();
                     for (&child_mask, &weight) in &tables[*child] {
                         for value in [false, true] {
-                            let mask =
-                                extend_assignment(&child_bag, child_mask, &bag, v, value);
+                            let mask = extend_assignment(&child_bag, child_mask, &bag, v, value);
                             if checks_pass(circuit, &bag, mask, &checks) {
                                 *t.entry(mask).or_insert(0.0) += weight;
                             }
@@ -240,8 +229,7 @@ impl TreewidthWmc {
                 }
                 NiceNodeKind::Forget { vertex, child } => {
                     let child_node = nice.node(*child);
-                    let child_bag: Vec<usize> =
-                        child_node.bag.iter().map(|v| v.index()).collect();
+                    let child_bag: Vec<usize> = child_node.bag.iter().map(|v| v.index()).collect();
                     let v = vertex.index();
                     let multiplier = |value: bool| -> Result<f64, WmcError> {
                         match circuit.gate(crate::circuit::GateId(v)) {
@@ -251,7 +239,10 @@ impl TreewidthWmc {
                     };
                     let mut t = HashMap::new();
                     for (&child_mask, &weight) in &tables[*child] {
-                        let position = child_bag.iter().position(|&g| g == v).expect("forgotten gate in child bag");
+                        let position = child_bag
+                            .iter()
+                            .position(|&g| g == v)
+                            .expect("forgotten gate in child bag");
                         let value = child_mask & (1 << position) != 0;
                         let projected = project_assignment(&child_bag, child_mask, &bag);
                         let w = weight * multiplier(value)?;
@@ -387,7 +378,10 @@ fn extend_assignment(
         let bit = if g == introduced {
             value
         } else {
-            let child_pos = child_bag.iter().position(|&x| x == g).expect("gate in child bag");
+            let child_pos = child_bag
+                .iter()
+                .position(|&x| x == g)
+                .expect("gate in child bag");
             child_mask & (1 << child_pos) != 0
         };
         if bit {
@@ -401,7 +395,10 @@ fn extend_assignment(
 fn project_assignment(child_bag: &[usize], child_mask: u64, bag: &[usize]) -> u64 {
     let mut mask = 0u64;
     for (pos, &g) in bag.iter().enumerate() {
-        let child_pos = child_bag.iter().position(|&x| x == g).expect("gate in child bag");
+        let child_pos = child_bag
+            .iter()
+            .position(|&x| x == g)
+            .expect("gate in child bag");
         if child_mask & (1 << child_pos) != 0 {
             mask |= 1 << pos;
         }
@@ -461,12 +458,22 @@ mod tests {
         let mut c = Circuit::new();
         let t = c.add_const(true);
         c.set_output(t);
-        assert_close(TreewidthWmc::default().probability(&c, &Weights::new()).unwrap(), 1.0);
+        assert_close(
+            TreewidthWmc::default()
+                .probability(&c, &Weights::new())
+                .unwrap(),
+            1.0,
+        );
 
         let mut c = Circuit::new();
         let f = c.add_const(false);
         c.set_output(f);
-        assert_close(TreewidthWmc::default().probability(&c, &Weights::new()).unwrap(), 0.0);
+        assert_close(
+            TreewidthWmc::default()
+                .probability(&c, &Weights::new())
+                .unwrap(),
+            0.0,
+        );
     }
 
     #[test]
@@ -500,14 +507,21 @@ mod tests {
         let w = Weights::uniform(c.variables(), 0.5);
         let report = TreewidthWmc::default().run(&c, &w).unwrap();
         assert_close(report.probability, 0.5);
-        assert!(report.width <= 6, "width {} unexpectedly large", report.width);
+        assert!(
+            report.width <= 6,
+            "width {} unexpectedly large",
+            report.width
+        );
     }
 
     #[test]
     fn width_limit_is_enforced() {
         let c = builder::majority_like_dense_circuit(12, 3);
         let w = Weights::uniform(c.variables(), 0.5);
-        let strict = TreewidthWmc { max_bag_size: 2, ..Default::default() };
+        let strict = TreewidthWmc {
+            max_bag_size: 2,
+            ..Default::default()
+        };
         assert!(matches!(
             strict.run(&c, &w),
             Err(WmcError::WidthTooLarge { .. })
@@ -579,9 +593,12 @@ mod tests {
     fn min_fill_heuristic_backend_agrees() {
         let c = builder::random_circuit(12, 20, 3);
         let w = Weights::uniform(c.variables(), 0.35);
-        let a = TreewidthWmc { heuristic: EliminationHeuristic::MinFill, ..Default::default() }
-            .probability(&c, &w)
-            .unwrap();
+        let a = TreewidthWmc {
+            heuristic: EliminationHeuristic::MinFill,
+            ..Default::default()
+        }
+        .probability(&c, &w)
+        .unwrap();
         let b = TreewidthWmc::default().probability(&c, &w).unwrap();
         assert_close(a, b);
     }

@@ -9,27 +9,20 @@ use stuc_data::instance::FactId;
 use stuc_query::cq::ConjunctiveQuery;
 use stuc_query::lineage::cinstance_lineage;
 
-/// Errors raised by conditioning.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ConditioningError {
-    /// The conditioning observation has probability zero.
-    ImpossibleObservation,
-    /// A probability computation failed.
-    Probability(String),
-}
-
-impl std::fmt::Display for ConditioningError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ConditioningError::ImpossibleObservation => {
-                write!(f, "the observation has probability zero")
-            }
-            ConditioningError::Probability(e) => write!(f, "probability computation failed: {e}"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by conditioning.
+    #[derive(Clone, PartialEq)]
+    pub enum ConditioningError {
+        /// The conditioning observation has probability zero.
+        ImpossibleObservation,
+        /// A probability computation failed.
+        Probability(String),
+    }
+    display {
+        Self::ImpossibleObservation => "the observation has probability zero",
+        Self::Probability(e) => "probability computation failed: {e}",
     }
 }
-
-impl std::error::Error for ConditioningError {}
 
 /// Evaluates a lineage circuit with the treewidth back-end, falling back to
 /// DPLL when the decomposition is too wide.
@@ -122,7 +115,9 @@ pub fn conditioned_query_probability(
     let annotation = pc.cinstance().annotation(observed_fact);
     let mut observation = annotation.to_circuit();
     if !observed_present {
-        let output = observation.output().expect("annotation circuit has an output");
+        let output = observation
+            .output()
+            .expect("annotation circuit has an output");
         let negated = observation.add_not(output);
         observation.set_output(negated);
     }
@@ -183,7 +178,11 @@ mod tests {
         })
         .unwrap();
         let evidence = worlds::query_probability(&pc, |facts| !facts.contains(&FactId(1))).unwrap();
-        assert!((p - joint / evidence).abs() < 1e-9, "{p} vs {}", joint / evidence);
+        assert!(
+            (p - joint / evidence).abs() < 1e-9,
+            "{p} vs {}",
+            joint / evidence
+        );
     }
 
     #[test]

@@ -18,7 +18,13 @@ use stuc_circuit::wmc::TreewidthWmc;
 /// Binary entropy (in bits) of a probability.
 pub fn entropy(p: f64) -> f64 {
     let p = p.clamp(0.0, 1.0);
-    let term = |x: f64| if x <= 0.0 || x >= 1.0 { 0.0 } else { -x * x.log2() };
+    let term = |x: f64| {
+        if x <= 0.0 || x >= 1.0 {
+            0.0
+        } else {
+            -x * x.log2()
+        }
+    };
     term(p) + term(1.0 - p)
 }
 
@@ -58,9 +64,9 @@ impl QuestionSelector {
     ) -> Result<Vec<QuestionValue>, ConditioningError> {
         let mut values = Vec::with_capacity(candidates.len());
         for &event in candidates {
-            let p_true = weights
-                .get(event)
-                .ok_or_else(|| ConditioningError::Probability(format!("{event} has no probability")))?;
+            let p_true = weights.get(event).ok_or_else(|| {
+                ConditioningError::Probability(format!("{event} has no probability"))
+            })?;
             let mut expected = 0.0;
             for value in [true, false] {
                 let weight = if value { p_true } else { 1.0 - p_true };
@@ -72,7 +78,11 @@ impl QuestionSelector {
                 let posterior = evaluate(query_lineage, &conditioned)?;
                 expected += weight * entropy(posterior);
             }
-            values.push(QuestionValue { event, probability_true: p_true, expected_entropy: expected });
+            values.push(QuestionValue {
+                event,
+                probability_true: p_true,
+                expected_entropy: expected,
+            });
         }
         values.sort_by(|a, b| a.expected_entropy.total_cmp(&b.expected_entropy));
         Ok(values)
@@ -85,7 +95,10 @@ impl QuestionSelector {
         weights: &Weights,
         candidates: &[VarId],
     ) -> Result<Option<QuestionValue>, ConditioningError> {
-        Ok(self.rank_questions(query_lineage, weights, candidates)?.into_iter().next())
+        Ok(self
+            .rank_questions(query_lineage, weights, candidates)?
+            .into_iter()
+            .next())
     }
 }
 
@@ -102,7 +115,10 @@ pub struct CrowdOracle {
 impl CrowdOracle {
     /// Creates a perfectly reliable oracle.
     pub fn perfect(ground_truth: std::collections::BTreeMap<VarId, bool>) -> Self {
-        CrowdOracle { ground_truth, reliability: 1.0 }
+        CrowdOracle {
+            ground_truth,
+            reliability: 1.0,
+        }
     }
 
     /// Asks the oracle about an event; the answer is flipped with probability
@@ -187,17 +203,18 @@ mod tests {
         let ranked = QuestionSelector
             .rank_questions(&lineage, &weights, &[VarId(0), VarId(1)])
             .unwrap();
-        assert_eq!(ranked[0].event, VarId(1), "should ask about the coin flip first");
+        assert_eq!(
+            ranked[0].event,
+            VarId(1),
+            "should ask about the coin flip first"
+        );
         assert!(ranked[0].expected_entropy < ranked[1].expected_entropy);
     }
 
     #[test]
     fn perfect_oracle_resolves_uncertainty() {
         let (lineage, weights) = and_lineage();
-        let oracle = CrowdOracle::perfect(BTreeMap::from([
-            (VarId(0), true),
-            (VarId(1), true),
-        ]));
+        let oracle = CrowdOracle::perfect(BTreeMap::from([(VarId(0), true), (VarId(1), true)]));
         let mut rng = StdRng::seed_from_u64(1);
         let (asked, p) = interactive_conditioning(
             &lineage,
@@ -226,10 +243,7 @@ mod tests {
     #[test]
     fn budget_limits_questions() {
         let (lineage, weights) = and_lineage();
-        let oracle = CrowdOracle::perfect(BTreeMap::from([
-            (VarId(0), true),
-            (VarId(1), true),
-        ]));
+        let oracle = CrowdOracle::perfect(BTreeMap::from([(VarId(0), true), (VarId(1), true)]));
         let mut rng = StdRng::seed_from_u64(3);
         let (asked, _) = interactive_conditioning(
             &lineage,
@@ -251,16 +265,8 @@ mod tests {
         c.set_output(t);
         let oracle = CrowdOracle::perfect(BTreeMap::new());
         let mut rng = StdRng::seed_from_u64(5);
-        let (asked, p) = interactive_conditioning(
-            &c,
-            &Weights::new(),
-            &[],
-            &oracle,
-            0.1,
-            10,
-            &mut rng,
-        )
-        .unwrap();
+        let (asked, p) =
+            interactive_conditioning(&c, &Weights::new(), &[], &oracle, 0.1, 10, &mut rng).unwrap();
         assert!(asked.is_empty());
         assert_eq!(p, 1.0);
     }

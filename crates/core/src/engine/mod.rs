@@ -1,0 +1,531 @@
+//! # The unified STUC engine
+//!
+//! One façade over every uncertain representation and every probability
+//! back-end in the workspace. The paper's claim is that a *single*
+//! structural pipeline — instance → tree decomposition → automaton/lineage →
+//! circuit → weighted model counting — uniformly covers tuple-independent
+//! instances, c-/pc-/pcc-instances and probabilistic XML; this module is
+//! that uniformity as an API:
+//!
+//! * [`Representation`] — what the engine needs from a representation
+//!   (structure graph, lineage constructor, weights, identity). Implemented
+//!   by `TidInstance`, `CInstance`, `PcInstance`, `PccInstance` and
+//!   `PrXmlDocument`.
+//! * [`Backend`] — one probability strategy. Four implementations:
+//!   [`SafePlanBackend`], [`TreewidthWmcBackend`], [`DpllBackend`],
+//!   [`EnumerationBackend`].
+//! * [`Engine`] / [`EngineBuilder`] — configuration (heuristic, width
+//!   budget, back-end policy) plus a decomposition cache keyed by instance
+//!   fingerprint. [`Engine::evaluate`] is the one public entry point; it
+//!   returns an [`EvaluationReport`] naming the back-end that actually ran,
+//!   the decomposition width, the lineage gate count and the wall time.
+//! * [`StucError`] — the single error enum every per-crate error converts
+//!   into.
+//!
+//! ## Automatic strategy selection
+//!
+//! Under [`BackendPolicy::Auto`] (the default), [`Engine::evaluate`]:
+//!
+//! 1. tries the **safe plan** when the representation offers an extensional
+//!    fast path (TID instances) and the query is hierarchical and
+//!    self-join-free — no circuit is built at all;
+//! 2. otherwise builds the lineage circuit (decomposition-guided automaton
+//!    run for TIDs, match enumeration or shared-annotation extension for the
+//!    other formalisms) and runs **treewidth WMC** when the circuit's
+//!    estimated width fits the budget;
+//! 3. otherwise falls back to **DPLL**, which assumes nothing about width.
+//!
+//! Every decision is recorded in [`EvaluationReport::notes`].
+//!
+//! ```
+//! use stuc_core::engine::Engine;
+//! use stuc_data::tid::TidInstance;
+//! use stuc_query::cq::ConjunctiveQuery;
+//!
+//! let mut tid = TidInstance::new();
+//! tid.add_fact_named("R", &["a", "b"], 0.5);
+//! tid.add_fact_named("R", &["b", "c"], 0.5);
+//! let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+//!
+//! let engine = Engine::new();
+//! let report = engine.evaluate(&tid, &query).unwrap();
+//! assert!((report.probability - 0.25).abs() < 1e-9);
+//! println!("computed by {}", report.backend_name());
+//! ```
+
+pub mod backend;
+pub mod error;
+pub mod report;
+pub mod representation;
+
+pub use backend::{
+    Backend, DpllBackend, EnumerationBackend, EvaluationTask, SafePlanBackend, TreewidthWmcBackend,
+};
+pub use error::StucError;
+pub use report::{BackendKind, BackendPolicy, EvaluationReport};
+pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use stuc_circuit::circuit::Circuit;
+use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+use stuc_graph::TreeDecomposition;
+use stuc_query::safe::is_hierarchical;
+
+/// Builder for [`Engine`]: heuristic, width budget, back-end policy and
+/// cache behaviour.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    heuristic: EliminationHeuristic,
+    width_budget: usize,
+    policy: BackendPolicy,
+    cache_decompositions: bool,
+    dpll_max_branches: u64,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            heuristic: EliminationHeuristic::MinDegree,
+            width_budget: 22,
+            policy: BackendPolicy::Auto,
+            cache_decompositions: true,
+            dpll_max_branches: DpllBackend::default().max_branches,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Elimination heuristic for structure and circuit decompositions.
+    pub fn heuristic(mut self, heuristic: EliminationHeuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Bag-size budget for the treewidth back-end; wider circuits make Auto
+    /// fall back to DPLL (a fixed treewidth policy fails instead).
+    pub fn width_budget(mut self, budget: usize) -> Self {
+        self.width_budget = budget;
+        self
+    }
+
+    /// Back-end selection policy (default: [`BackendPolicy::Auto`]).
+    pub fn policy(mut self, policy: BackendPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for `policy(BackendPolicy::Fixed(kind))`.
+    pub fn backend(self, kind: BackendKind) -> Self {
+        self.policy(BackendPolicy::Fixed(kind))
+    }
+
+    /// Branch budget of the DPLL back-end.
+    pub fn dpll_max_branches(mut self, budget: u64) -> Self {
+        self.dpll_max_branches = budget;
+        self
+    }
+
+    /// Disables the fingerprint-keyed decomposition cache.
+    pub fn without_decomposition_cache(mut self) -> Self {
+        self.cache_decompositions = false;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Engine {
+        Engine {
+            config: self,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The unified evaluation engine: one `evaluate` call over every uncertain
+/// representation, with pluggable and auto-selected back-ends. See the
+/// [module docs](self) for the selection rules.
+///
+/// The engine is `Sync`: the decomposition cache is behind a mutex, so one
+/// engine can be shared across threads serving many queries against the
+/// same instances.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineBuilder,
+    /// Decompositions of structure graphs, keyed by representation
+    /// fingerprint + heuristic. Entries are validated against the structure
+    /// graph before reuse, so a fingerprint collision can never corrupt a
+    /// result — it only costs a recomputation.
+    cache: Mutex<HashMap<(u64, EliminationHeuristic), Arc<TreeDecomposition>>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default configuration (min-degree heuristic, width
+    /// budget 22, automatic back-end selection, caching on).
+    pub fn new() -> Engine {
+        EngineBuilder::default().build()
+    }
+
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The configured back-end policy.
+    pub fn policy(&self) -> BackendPolicy {
+        self.config.policy
+    }
+
+    /// Number of cached decompositions.
+    pub fn cached_decompositions(&self) -> usize {
+        self.cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Drops all cached decompositions.
+    pub fn clear_cache(&self) {
+        if let Ok(mut cache) = self.cache.lock() {
+            cache.clear();
+        }
+    }
+
+    /// Evaluates a Boolean query on any [`Representation`], returning the
+    /// probability together with full provenance of how it was computed.
+    ///
+    /// This is the one public entry point of the STUC system: TID,
+    /// c-/pc-/pcc-instances and PrXML documents all go through here, with
+    /// the back-end picked by the configured [`BackendPolicy`].
+    pub fn evaluate<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> Result<EvaluationReport, StucError> {
+        let started = Instant::now();
+        let mut notes = Vec::new();
+
+        // Stage 1: the extensional fast path, which skips decomposition and
+        // circuit construction entirely.
+        if let Some(extensional) = representation.extensional(query) {
+            match self.config.policy {
+                BackendPolicy::Fixed(BackendKind::SafePlan) => {
+                    let task = EvaluationTask::Extensional {
+                        tid: extensional.tid,
+                        query: extensional.query,
+                    };
+                    let probability = SafePlanBackend.solve(&task)?;
+                    return Ok(self.report(
+                        probability,
+                        BackendKind::SafePlan,
+                        None,
+                        0,
+                        representation.fact_count(),
+                        started,
+                        false,
+                        notes,
+                    ));
+                }
+                BackendPolicy::Auto => {
+                    if is_hierarchical(extensional.query) {
+                        let task = EvaluationTask::Extensional {
+                            tid: extensional.tid,
+                            query: extensional.query,
+                        };
+                        match SafePlanBackend.solve(&task) {
+                            Ok(probability) => {
+                                notes.push(
+                                    "query is hierarchical; extensional safe plan selected"
+                                        .to_string(),
+                                );
+                                return Ok(self.report(
+                                    probability,
+                                    BackendKind::SafePlan,
+                                    None,
+                                    0,
+                                    representation.fact_count(),
+                                    started,
+                                    false,
+                                    notes,
+                                ));
+                            }
+                            Err(refusal) => {
+                                notes.push(format!("safe plan refused ({refusal}); using lineage"))
+                            }
+                        }
+                    } else {
+                        notes.push(
+                            "query is not hierarchical; extensional safe plan skipped".to_string(),
+                        );
+                    }
+                }
+                BackendPolicy::Fixed(_) => {}
+            }
+        } else if self.config.policy == BackendPolicy::Fixed(BackendKind::SafePlan) {
+            return Err(StucError::BackendUnsupported {
+                backend: BackendKind::SafePlan.name(),
+                reason: format!(
+                    "{} offers no extensional evaluation; only TID instances do",
+                    representation.kind()
+                ),
+            });
+        }
+
+        // Stage 2: decompose the structure graph (cached by fingerprint).
+        let (decomposition, cached) = self.decomposition_for(representation);
+        if cached {
+            notes.push("structure decomposition served from cache".to_string());
+        }
+
+        // Stage 3: build the lineage circuit and collect the weights.
+        let outcome = representation.lineage(query, &decomposition)?;
+        if let Some(note) = outcome.note {
+            notes.push(note);
+        }
+        let weights = representation.weights()?;
+        let lineage = &outcome.circuit;
+
+        // Stage 4: pick and run a counting back-end.
+        let task = EvaluationTask::Circuit {
+            lineage,
+            weights: &weights,
+        };
+        let treewidth = TreewidthWmcBackend {
+            heuristic: self.config.heuristic,
+            max_bag_size: self.config.width_budget,
+        };
+        let chosen: Box<dyn Backend> = match self.config.policy {
+            BackendPolicy::Fixed(BackendKind::TreewidthWmc) => Box::new(treewidth),
+            BackendPolicy::Fixed(BackendKind::Dpll) => Box::new(DpllBackend {
+                max_branches: self.config.dpll_max_branches,
+            }),
+            BackendPolicy::Fixed(BackendKind::Enumeration) => Box::new(EnumerationBackend),
+            BackendPolicy::Fixed(BackendKind::SafePlan) => unreachable!("handled in stage 1"),
+            BackendPolicy::Auto => {
+                // `estimated_width` reports decomposition *width*; the WMC
+                // back-end refuses on *bag size* (width + 1), so the strict
+                // comparison here, or Auto would pick a back-end that refuses.
+                let estimated = treewidth.estimated_width(lineage);
+                if estimated < self.config.width_budget {
+                    notes.push(format!(
+                        "lineage width estimate {estimated} within budget {}; treewidth WMC selected",
+                        self.config.width_budget
+                    ));
+                    Box::new(treewidth)
+                } else {
+                    notes.push(format!(
+                        "lineage width estimate {estimated} exceeds budget {}; DPLL selected",
+                        self.config.width_budget
+                    ));
+                    Box::new(DpllBackend {
+                        max_branches: self.config.dpll_max_branches,
+                    })
+                }
+            }
+        };
+        let probability = chosen.solve(&task)?;
+        Ok(self.report(
+            probability,
+            chosen.kind(),
+            Some(decomposition.width()),
+            lineage.len(),
+            representation.fact_count(),
+            started,
+            cached,
+            notes,
+        ))
+    }
+
+    /// Builds (or fetches) the lineage circuit of a query without computing
+    /// its probability — for callers that want to inspect, transform or
+    /// re-weight the circuit themselves.
+    pub fn lineage<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> Result<Circuit, StucError> {
+        let (decomposition, _) = self.decomposition_for(representation);
+        Ok(representation.lineage(query, &decomposition)?.circuit)
+    }
+
+    /// The tree decomposition of the representation's structure graph,
+    /// served from the cache when the fingerprint matches a prior call.
+    ///
+    /// A cache hit amortizes the decomposition itself (the superlinear
+    /// part), but still pays two linear passes per call: the `Debug`-based
+    /// fingerprint and the structure-graph rebuild for collision-safe
+    /// validation. Making hits O(1) needs an incremental content hash on
+    /// each representation and a graph cached alongside the decomposition —
+    /// planned for the batching/caching PRs that build on this engine.
+    pub fn decomposition_for<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+    ) -> (Arc<TreeDecomposition>, bool) {
+        let graph = representation.structure_graph();
+        let key = (representation.fingerprint(), self.config.heuristic);
+        if self.config.cache_decompositions {
+            if let Ok(cache) = self.cache.lock() {
+                if let Some(cached) = cache.get(&key) {
+                    // Fingerprints are not cryptographic: re-validate the
+                    // cached decomposition against today's graph so a
+                    // collision degrades to a recomputation, never to a
+                    // wrong width or an invalid lineage run.
+                    if cached.validate(&graph).is_ok() {
+                        return (Arc::clone(cached), true);
+                    }
+                }
+            }
+        }
+        let decomposition = Arc::new(decompose_with_heuristic(&graph, self.config.heuristic));
+        if self.config.cache_decompositions {
+            if let Ok(mut cache) = self.cache.lock() {
+                cache.insert(key, Arc::clone(&decomposition));
+            }
+        }
+        (decomposition, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        probability: f64,
+        backend: BackendKind,
+        decomposition_width: Option<usize>,
+        circuit_gates: usize,
+        fact_count: usize,
+        started: Instant,
+        decomposition_cached: bool,
+        notes: Vec<String>,
+    ) -> EvaluationReport {
+        EvaluationReport {
+            probability,
+            backend,
+            decomposition_width,
+            circuit_gates,
+            fact_count,
+            wall_time: started.elapsed(),
+            decomposition_cached,
+            notes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use stuc_query::cq::ConjunctiveQuery;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn auto_uses_safe_plan_for_hierarchical_queries() {
+        let tid = workloads::rst_star_tid(4, 0.4, 3);
+        let query = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        let engine = Engine::new();
+        let report = engine.evaluate(&tid, &query).unwrap();
+        assert_eq!(report.backend, BackendKind::SafePlan);
+        assert_eq!(report.decomposition_width, None);
+        assert_eq!(report.circuit_gates, 0);
+        // Cross-check against a forced circuit back-end.
+        let forced = Engine::builder().backend(BackendKind::Dpll).build();
+        let reference = forced.evaluate(&tid, &query).unwrap();
+        assert_eq!(reference.backend, BackendKind::Dpll);
+        assert!(close(report.probability, reference.probability));
+    }
+
+    #[test]
+    fn auto_uses_treewidth_for_unsafe_queries_on_narrow_data() {
+        let tid = workloads::rst_path_tid(6, 0.5, 5);
+        let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        let engine = Engine::new();
+        let report = engine.evaluate(&tid, &query).unwrap();
+        assert_eq!(report.backend, BackendKind::TreewidthWmc);
+        assert!(report.decomposition_width.unwrap() <= 2);
+        assert!(report.circuit_gates > 0);
+        let brute = Engine::builder()
+            .backend(BackendKind::Enumeration)
+            .build()
+            .evaluate(&tid, &query)
+            .unwrap();
+        assert!(close(report.probability, brute.probability));
+    }
+
+    #[test]
+    fn auto_falls_back_to_dpll_when_width_budget_is_tiny() {
+        let tid = workloads::path_tid(8, 0.5, 11);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let engine = Engine::builder().width_budget(1).build();
+        let report = engine.evaluate(&tid, &query).unwrap();
+        assert_eq!(report.backend, BackendKind::Dpll);
+        assert!(report.notes.iter().any(|n| n.contains("DPLL selected")));
+        let reference = Engine::new().evaluate(&tid, &query).unwrap();
+        assert!(close(report.probability, reference.probability));
+    }
+
+    #[test]
+    fn fixed_safe_plan_refuses_unsafe_queries_and_non_tid() {
+        let tid = workloads::rst_path_tid(4, 0.5, 5);
+        let unsafe_query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
+        let engine = Engine::builder().backend(BackendKind::SafePlan).build();
+        assert!(matches!(
+            engine.evaluate(&tid, &unsafe_query),
+            Err(StucError::SafePlan(_))
+        ));
+        let pcc = workloads::contributor_pcc(4, 2, 0.8, 0.9, 21);
+        let query = ConjunctiveQuery::parse("Claim(x, y)").unwrap();
+        assert!(matches!(
+            engine.evaluate(&pcc, &query),
+            Err(StucError::BackendUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn decomposition_cache_hits_on_repeat_evaluations() {
+        let tid = workloads::path_tid(10, 0.5, 7);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let engine = Engine::builder().backend(BackendKind::TreewidthWmc).build();
+        let first = engine.evaluate(&tid, &query).unwrap();
+        assert!(!first.decomposition_cached);
+        assert_eq!(engine.cached_decompositions(), 1);
+        let second = engine.evaluate(&tid, &query).unwrap();
+        assert!(second.decomposition_cached);
+        assert!(close(first.probability, second.probability));
+        engine.clear_cache();
+        assert_eq!(engine.cached_decompositions(), 0);
+    }
+
+    #[test]
+    fn engine_is_sync_and_shareable_across_threads() {
+        let engine = std::sync::Arc::new(Engine::new());
+        let tid = std::sync::Arc::new(workloads::path_tid(8, 0.5, 13));
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let baseline = engine.evaluate(&*tid, &query).unwrap().probability;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let tid = std::sync::Arc::clone(&tid);
+                let query = query.clone();
+                std::thread::spawn(move || engine.evaluate(&*tid, &query).unwrap().probability)
+            })
+            .collect();
+        for handle in handles {
+            assert!(close(handle.join().unwrap(), baseline));
+        }
+    }
+
+    #[test]
+    fn wall_time_and_fact_count_are_populated() {
+        let tid = workloads::path_tid(6, 0.3, 2);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let report = Engine::new().evaluate(&tid, &query).unwrap();
+        assert_eq!(report.fact_count, 6);
+        assert!(report.wall_time.as_nanos() > 0);
+        assert!(!report.notes.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! What an evaluation returns besides the probability itself.
+
+use std::time::Duration;
+
+/// The back-ends an [`crate::engine::Engine`] can dispatch to, and the
+/// policy values a caller can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Dalvi–Suciu extensional safe-plan evaluation (TID + hierarchical
+    /// self-join-free CQs only; no circuit is built at all).
+    SafePlan,
+    /// Exact weighted model counting by message passing over a tree
+    /// decomposition of the lineage circuit (the paper's flagship method).
+    TreewidthWmc,
+    /// Shannon-expansion / DPLL counting with memoisation: no width
+    /// assumption, exponential in the worst case.
+    Dpll,
+    /// Possible-world enumeration over the lineage variables: the paper's
+    /// "cannot represent them all, much less query them" strawman, kept as a
+    /// ground-truth baseline.
+    Enumeration,
+}
+
+impl BackendKind {
+    /// Stable human-readable name, used in reports and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::SafePlan => "safe-plan",
+            BackendKind::TreewidthWmc => "treewidth-wmc",
+            BackendKind::Dpll => "dpll",
+            BackendKind::Enumeration => "enumeration",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the engine picks a back-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendPolicy {
+    /// Inspect the task and pick automatically: safe-plan when the query is
+    /// hierarchical and self-join-free on a TID, else treewidth WMC when the
+    /// lineage circuit's estimated width fits the budget, else DPLL.
+    /// Enumeration is never auto-selected.
+    #[default]
+    Auto,
+    /// Always use the given back-end; fail with
+    /// [`crate::engine::StucError::BackendUnsupported`] if it cannot run.
+    Fixed(BackendKind),
+}
+
+/// The outcome of one [`crate::engine::Engine::evaluate`] call, with full
+/// provenance of *how* the answer was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// The probability that the Boolean query holds.
+    pub probability: f64,
+    /// The back-end that actually computed the probability (after automatic
+    /// selection, this is the choice that ran — not the policy requested).
+    pub backend: BackendKind,
+    /// Width of the tree decomposition of the representation's structure
+    /// graph; `None` when no decomposition was needed (safe-plan path).
+    pub decomposition_width: Option<usize>,
+    /// Gate count of the lineage circuit handed to the back-end (0 on the
+    /// safe-plan path, which never builds a circuit).
+    pub circuit_gates: usize,
+    /// Number of facts (relational) or nodes (PrXML) in the representation.
+    pub fact_count: usize,
+    /// Wall-clock time of the whole evaluation, including decomposition,
+    /// lineage construction and back-end execution.
+    pub wall_time: Duration,
+    /// True when the structure decomposition came from the engine's cache.
+    pub decomposition_cached: bool,
+    /// Human-readable trace of the strategy decisions taken (safe-plan
+    /// refusals, width-budget fallbacks, lineage fallbacks).
+    pub notes: Vec<String>,
+}
+
+impl EvaluationReport {
+    /// The query is possible (holds in some world).
+    pub fn is_possible(&self) -> bool {
+        self.probability > 0.0
+    }
+
+    /// The query is certain (holds in every world), up to rounding.
+    pub fn is_certain(&self) -> bool {
+        (self.probability - 1.0).abs() < 1e-9
+    }
+
+    /// Stable name of the back-end that ran.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(BackendKind::SafePlan.name(), "safe-plan");
+        assert_eq!(BackendKind::TreewidthWmc.name(), "treewidth-wmc");
+        assert_eq!(BackendKind::Dpll.to_string(), "dpll");
+        assert_eq!(BackendKind::Enumeration.name(), "enumeration");
+    }
+
+    #[test]
+    fn default_policy_is_auto() {
+        assert_eq!(BackendPolicy::default(), BackendPolicy::Auto);
+    }
+}

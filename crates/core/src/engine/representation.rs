@@ -1,0 +1,383 @@
+//! The [`Representation`] trait: what the engine needs from an uncertain
+//! data representation, and its implementations for every formalism in the
+//! workspace (TID, c-/pc-/pcc-instances, probabilistic XML).
+//!
+//! The paper's central claim is that *one* structural pipeline — instance →
+//! decomposition → automaton/lineage → circuit → weighted model counting —
+//! uniformly covers all of these. This trait is that claim as an interface:
+//! a representation must expose its structure graph (whose treewidth is the
+//! tractability parameter), a lineage-circuit constructor for its query
+//! language, and the probability weights of its lineage variables.
+
+use super::error::StucError;
+use stuc_circuit::circuit::{Circuit, VarId};
+use stuc_circuit::weights::Weights;
+use stuc_circuit::wmc::TreewidthWmc;
+use stuc_data::cinstance::{CInstance, PcInstance};
+use stuc_data::pcc::PccInstance;
+use stuc_data::tid::TidInstance;
+use stuc_graph::graph::Graph;
+use stuc_graph::TreeDecomposition;
+use stuc_prxml::document::PrXmlDocument;
+use stuc_prxml::queries::{query_lineage, PrxmlQuery};
+use stuc_query::cq::ConjunctiveQuery;
+use stuc_query::lineage::{cinstance_lineage, pcc_lineage};
+
+/// Which representation formalism an implementation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReprKind {
+    /// Tuple-independent probabilistic instance (Theorem 1).
+    Tid,
+    /// c-instance: facts annotated with event formulas, no probabilities.
+    CInstance,
+    /// pc-instance: a c-instance whose events carry probabilities.
+    PcInstance,
+    /// pcc-instance: facts annotated with gates of a shared circuit
+    /// (Theorem 2).
+    PccInstance,
+    /// Probabilistic XML document (`ind`/`mux`/`cie`).
+    PrXml,
+}
+
+impl ReprKind {
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReprKind::Tid => "tid-instance",
+            ReprKind::CInstance => "c-instance",
+            ReprKind::PcInstance => "pc-instance",
+            ReprKind::PccInstance => "pcc-instance",
+            ReprKind::PrXml => "prxml-document",
+        }
+    }
+}
+
+impl std::fmt::Display for ReprKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A lineage circuit plus an optional note about how it was built (e.g. a
+/// fallback from the decomposition-guided construction).
+#[derive(Debug, Clone)]
+pub struct LineageOutcome {
+    /// Circuit over the representation's event variables, true exactly in
+    /// the possible worlds where the query holds.
+    pub circuit: Circuit,
+    /// Strategy note for the evaluation report, if anything noteworthy
+    /// happened during construction.
+    pub note: Option<String>,
+}
+
+impl LineageOutcome {
+    fn plain(circuit: Circuit) -> Self {
+        LineageOutcome {
+            circuit,
+            note: None,
+        }
+    }
+}
+
+/// The input of the extensional (safe-plan) fast path: only representations
+/// that are plain TID instances with conjunctive queries offer it.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtensionalInput<'a> {
+    pub tid: &'a TidInstance,
+    pub query: &'a ConjunctiveQuery,
+}
+
+/// An uncertain data representation the engine can evaluate queries on.
+///
+/// Implementations exist for [`TidInstance`], [`CInstance`], [`PcInstance`],
+/// [`PccInstance`] and [`PrXmlDocument`]; user-defined representations only
+/// need to answer the same four questions (structure, lineage, weights,
+/// identity) to plug into [`crate::engine::Engine`] unchanged.
+pub trait Representation: std::fmt::Debug {
+    /// The query language this representation is evaluated against.
+    type Query;
+
+    /// Which formalism this is (used in reports and error messages).
+    fn kind(&self) -> ReprKind;
+
+    /// Number of facts (or document nodes) — reported, never interpreted.
+    fn fact_count(&self) -> usize;
+
+    /// The graph whose treewidth is the representation's structural
+    /// tractability parameter: the Gaifman graph for TID and c-instances,
+    /// the joint instance+circuit graph for pcc-instances (Theorem 2), the
+    /// presence-circuit graph for PrXML.
+    fn structure_graph(&self) -> Graph;
+
+    /// The lineage circuit of `query`: true in exactly the possible worlds
+    /// where the query holds. `decomposition` is a tree decomposition of
+    /// [`Representation::structure_graph`]; implementations that build the
+    /// lineage by a decomposition-guided automaton run consume it, others
+    /// ignore it.
+    fn lineage(
+        &self,
+        query: &Self::Query,
+        decomposition: &TreeDecomposition,
+    ) -> Result<LineageOutcome, StucError>;
+
+    /// Probabilities of the lineage variables.
+    fn weights(&self) -> Result<Weights, StucError>;
+
+    /// A structural fingerprint identifying this instance for the engine's
+    /// decomposition cache. Two equal representations must fingerprint
+    /// equally within one process; collisions merely cost a wrong-width
+    /// cache entry, never a wrong probability, because cached decompositions
+    /// are validated against the structure graph before reuse.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_debug(self)
+    }
+
+    /// The extensional fast path, if this representation supports one.
+    fn extensional<'a>(&'a self, query: &'a Self::Query) -> Option<ExtensionalInput<'a>> {
+        let _ = query;
+        None
+    }
+}
+
+/// FNV-1a over the `Debug` rendering: a cheap, deterministic-per-process
+/// identity good enough for cache keying (see `Representation::fingerprint`).
+pub(crate) fn fingerprint_debug<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
+    use std::fmt::Write;
+    struct Fnv(u64);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let _ = write!(h, "{value:?}");
+    h.0
+}
+
+impl Representation for TidInstance {
+    type Query = ConjunctiveQuery;
+
+    fn kind(&self) -> ReprKind {
+        ReprKind::Tid
+    }
+
+    fn fact_count(&self) -> usize {
+        TidInstance::fact_count(self)
+    }
+
+    fn structure_graph(&self) -> Graph {
+        self.gaifman_graph()
+    }
+
+    fn lineage(
+        &self,
+        query: &ConjunctiveQuery,
+        decomposition: &TreeDecomposition,
+    ) -> Result<LineageOutcome, StucError> {
+        // Theorem 1 construction: nondeterministic automaton run over the
+        // tree decomposition, linear-time at fixed width. Falls back to the
+        // match-enumeration lineage when the run refuses the query (too many
+        // atoms / anchoring limits) — same circuit semantics, no width bound.
+        match stuc_automata::courcelle::cq_lineage_circuit(
+            self.instance(),
+            decomposition,
+            query,
+            |f| self.fact_event(f),
+        ) {
+            Ok(circuit) => Ok(LineageOutcome::plain(circuit)),
+            Err(refusal) => Ok(LineageOutcome {
+                circuit: stuc_query::lineage::tid_lineage(self, query),
+                note: Some(format!(
+                    "automaton lineage refused ({refusal}); fell back to match-enumeration lineage"
+                )),
+            }),
+        }
+    }
+
+    fn weights(&self) -> Result<Weights, StucError> {
+        Ok(self.fact_weights())
+    }
+
+    fn extensional<'a>(&'a self, query: &'a ConjunctiveQuery) -> Option<ExtensionalInput<'a>> {
+        Some(ExtensionalInput { tid: self, query })
+    }
+}
+
+impl Representation for CInstance {
+    type Query = ConjunctiveQuery;
+
+    fn kind(&self) -> ReprKind {
+        ReprKind::CInstance
+    }
+
+    fn fact_count(&self) -> usize {
+        self.instance().fact_count()
+    }
+
+    fn structure_graph(&self) -> Graph {
+        self.instance().gaifman_graph()
+    }
+
+    fn lineage(
+        &self,
+        query: &ConjunctiveQuery,
+        _decomposition: &TreeDecomposition,
+    ) -> Result<LineageOutcome, StucError> {
+        Ok(LineageOutcome::plain(cinstance_lineage(self, query)))
+    }
+
+    /// A plain c-instance carries no probabilities; evaluating one computes
+    /// the *fraction of event valuations* satisfying the query (each event
+    /// uniform at 1/2), so `probability > 0` is possibility and
+    /// `probability = 1` is certainty — the c-instance questions of the
+    /// paper's Table 1. Attach real probabilities with
+    /// [`CInstance::with_probabilities`] to get a pc-instance instead.
+    fn weights(&self) -> Result<Weights, StucError> {
+        Ok(Weights::uniform(self.events().variables(), 0.5))
+    }
+}
+
+impl Representation for PcInstance {
+    type Query = ConjunctiveQuery;
+
+    fn kind(&self) -> ReprKind {
+        ReprKind::PcInstance
+    }
+
+    fn fact_count(&self) -> usize {
+        self.instance().fact_count()
+    }
+
+    fn structure_graph(&self) -> Graph {
+        self.instance().gaifman_graph()
+    }
+
+    fn lineage(
+        &self,
+        query: &ConjunctiveQuery,
+        _decomposition: &TreeDecomposition,
+    ) -> Result<LineageOutcome, StucError> {
+        Ok(LineageOutcome::plain(cinstance_lineage(
+            self.cinstance(),
+            query,
+        )))
+    }
+
+    fn weights(&self) -> Result<Weights, StucError> {
+        if !self.is_fully_weighted() {
+            return Err(StucError::MissingProbabilities {
+                representation: "pc-instance",
+            });
+        }
+        Ok(self.probabilities().clone())
+    }
+}
+
+impl Representation for PccInstance {
+    type Query = ConjunctiveQuery;
+
+    fn kind(&self) -> ReprKind {
+        ReprKind::PccInstance
+    }
+
+    fn fact_count(&self) -> usize {
+        PccInstance::fact_count(self)
+    }
+
+    /// The joint instance + annotation-circuit graph, whose treewidth is the
+    /// Theorem 2 parameter.
+    fn structure_graph(&self) -> Graph {
+        self.joint_graph()
+    }
+
+    fn lineage(
+        &self,
+        query: &ConjunctiveQuery,
+        _decomposition: &TreeDecomposition,
+    ) -> Result<LineageOutcome, StucError> {
+        Ok(LineageOutcome::plain(pcc_lineage(self, query)))
+    }
+
+    fn weights(&self) -> Result<Weights, StucError> {
+        Ok(self.probabilities().clone())
+    }
+}
+
+impl Representation for PrXmlDocument {
+    type Query = PrxmlQuery;
+
+    fn kind(&self) -> ReprKind {
+        ReprKind::PrXml
+    }
+
+    fn fact_count(&self) -> usize {
+        self.len()
+    }
+
+    /// The graph of the document's presence circuit: tree-shaped documents
+    /// with local uncertainty stay width-bounded, and long-range `cie`
+    /// events widen it exactly as the paper's event scopes predict.
+    fn structure_graph(&self) -> Graph {
+        let (presence, _) = self.presence_circuit();
+        TreewidthWmc::circuit_graph(&presence)
+    }
+
+    fn lineage(
+        &self,
+        query: &PrxmlQuery,
+        _decomposition: &TreeDecomposition,
+    ) -> Result<LineageOutcome, StucError> {
+        Ok(LineageOutcome::plain(query_lineage(self, query)))
+    }
+
+    fn weights(&self) -> Result<Weights, StucError> {
+        let weights = self.probabilities().clone();
+        let covered: Vec<VarId> = self.variables().into_iter().collect();
+        if !weights.covers(covered.iter()) {
+            return Err(StucError::MissingProbabilities {
+                representation: "prxml-document",
+            });
+        }
+        Ok(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_content_sensitive() {
+        let mut a = TidInstance::new();
+        a.add_fact_named("R", &["x", "y"], 0.5);
+        let mut b = TidInstance::new();
+        b.add_fact_named("R", &["x", "y"], 0.5);
+        assert_eq!(
+            Representation::fingerprint(&a),
+            Representation::fingerprint(&b)
+        );
+        b.add_fact_named("R", &["y", "z"], 0.25);
+        assert_ne!(
+            Representation::fingerprint(&a),
+            Representation::fingerprint(&b)
+        );
+    }
+
+    #[test]
+    fn tid_offers_the_extensional_path_and_cinstance_does_not() {
+        let tid = TidInstance::new();
+        let q = ConjunctiveQuery::parse("R(x)").unwrap();
+        assert!(tid.extensional(&q).is_some());
+        let ci = CInstance::new();
+        assert!(Representation::extensional(&ci, &q).is_none());
+    }
+
+    #[test]
+    fn repr_kind_names_are_stable() {
+        assert_eq!(ReprKind::Tid.name(), "tid-instance");
+        assert_eq!(ReprKind::PccInstance.to_string(), "pcc-instance");
+    }
+}

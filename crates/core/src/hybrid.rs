@@ -176,7 +176,7 @@ pub fn naive_sampling_probability(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::TractablePipeline;
+    use crate::engine::{BackendKind, Engine};
     use crate::workloads;
 
     #[test]
@@ -187,7 +187,10 @@ mod tests {
         // Tentacle facts (R relation) must not be in the core.
         let r = tid.instance().find_relation("R").unwrap();
         for f in tid.instance().facts_of(r) {
-            assert!(!core.contains(&f), "tentacle fact {f:?} wrongly classified as core");
+            assert!(
+                !core.contains(&f),
+                "tentacle fact {f:?} wrongly classified as core"
+            );
         }
     }
 
@@ -196,9 +199,12 @@ mod tests {
         let tid = workloads::core_tentacle_tid(4, 1.0, 2, 3, 0.5, 9);
         let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
         let core = detect_core_facts(&tid, 1);
-        let exact = TractablePipeline::default()
-            .baseline_enumeration(&tid, &query)
-            .unwrap();
+        let exact = Engine::builder()
+            .backend(BackendKind::Enumeration)
+            .build()
+            .evaluate(&tid, &query)
+            .unwrap()
+            .probability;
         let hybrid = hybrid_probability(&tid, &query, &core, 600, 42).unwrap();
         assert!(
             (hybrid.probability - exact).abs() < 0.05,
@@ -212,10 +218,7 @@ mod tests {
         // No core facts: a single sample integrates everything exactly.
         let tid = workloads::path_tid(6, 0.5, 8);
         let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
-        let exact = TractablePipeline::default()
-            .evaluate_cq_on_tid(&tid, &query)
-            .unwrap()
-            .probability;
+        let exact = Engine::new().evaluate(&tid, &query).unwrap().probability;
         let hybrid = hybrid_probability(&tid, &query, &BTreeSet::new(), 1, 0).unwrap();
         assert!((hybrid.probability - exact).abs() < 1e-9);
     }
@@ -224,10 +227,7 @@ mod tests {
     fn naive_sampling_converges_roughly() {
         let tid = workloads::path_tid(5, 0.5, 4);
         let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
-        let exact = TractablePipeline::default()
-            .evaluate_cq_on_tid(&tid, &query)
-            .unwrap()
-            .probability;
+        let exact = Engine::new().evaluate(&tid, &query).unwrap().probability;
         let estimate = naive_sampling_probability(&tid, &query, 4000, 7);
         assert!((estimate - exact).abs() < 0.05, "{estimate} vs {exact}");
     }
@@ -239,9 +239,12 @@ mod tests {
         let tid = workloads::core_tentacle_tid(5, 1.0, 3, 3, 0.5, 13);
         let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
         let core = detect_core_facts(&tid, 1);
-        let exact = TractablePipeline::default()
-            .baseline_enumeration(&tid, &query)
-            .unwrap();
+        let exact = Engine::builder()
+            .backend(BackendKind::Enumeration)
+            .build()
+            .evaluate(&tid, &query)
+            .unwrap()
+            .probability;
         let budget = 120;
         let mut hybrid_error = 0.0;
         let mut naive_error = 0.0;

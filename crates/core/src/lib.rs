@@ -1,25 +1,35 @@
-//! # stuc-core — the structurally tractable query evaluation pipeline
+//! # stuc-core — the unified engine over structurally tractable uncertain data
 //!
 //! The paper's headline contribution as a single façade:
 //!
 //! ```text
-//! uncertain instance ──► tree decomposition ──► automaton run over the
-//!   decomposition ──► lineage circuit ──► exact probability
+//! uncertain representation ──► tree decomposition ──► automaton/lineage ──►
+//!   lineage circuit ──► exact probability (back-end auto-selected)
 //! ```
 //!
-//! * [`pipeline`] — [`pipeline::TractablePipeline`]: Theorem 1 (linear-time
-//!   exact probability of a query on a bounded-treewidth TID instance) and
-//!   Theorem 2 (bounded-treewidth pcc-instances with correlated
-//!   annotations), together with possibility/certainty variants and the
-//!   intensional/extensional baselines the benchmarks compare against.
+//! * [`engine`] — **the** public entry point: [`engine::Engine::evaluate`]
+//!   covers TID, c-, pc-, pcc-instances and PrXML documents through the
+//!   [`engine::Representation`] trait, dispatching to pluggable
+//!   [`engine::Backend`]s (safe plan, treewidth WMC, DPLL, enumeration)
+//!   under an automatic selection policy, with a fingerprint-keyed
+//!   decomposition cache and a unified [`engine::StucError`].
+//! * [`pipeline`] — the pre-engine API, kept as thin deprecated shims over
+//!   the engine (see its module docs for the migration table).
 //! * [`hybrid`] — the partial-decomposition idea sketched in Section 2.2:
 //!   a high-treewidth core handled by sampling, low-treewidth tentacles
 //!   handled exactly.
 //! * [`workloads`] — deterministic TID / pcc workload generators shared by
 //!   the examples, the integration tests and the benchmark harness.
 
+pub mod engine;
 pub mod hybrid;
 pub mod pipeline;
 pub mod workloads;
 
-pub use pipeline::{EvaluationReport, PipelineError, TractablePipeline};
+pub use engine::{
+    Backend, BackendKind, BackendPolicy, Engine, EngineBuilder, EvaluationReport as EngineReport,
+    ReprKind, Representation, StucError,
+};
+#[allow(deprecated)]
+pub use pipeline::TractablePipeline;
+pub use pipeline::{EvaluationReport, PipelineError};

@@ -1,65 +1,79 @@
-//! The tractable evaluation pipeline (Theorems 1 and 2) and its baselines.
+//! The original tractable evaluation pipeline, now a deprecated façade over
+//! [`crate::engine::Engine`].
+//!
+//! `TractablePipeline` predates the unified engine: it exposed Theorem 1
+//! (TID) and Theorem 2 (pcc) behind separate methods and its own error enum,
+//! while the other representations shipped bespoke entry points. Everything
+//! here now delegates to the engine; new code should call
+//! [`crate::engine::Engine::evaluate`] directly, which covers every
+//! representation through one method and reports which back-end ran.
+//!
+//! ## Migration
+//!
+//! | pre-engine call                            | engine call |
+//! |--------------------------------------------|-------------|
+//! | `pipeline.evaluate_cq_on_tid(&tid, &q)`    | `engine.evaluate(&tid, &q)` |
+//! | `pipeline.evaluate_cq_on_pcc(&pcc, &q)`    | `engine.evaluate(&pcc, &q)` |
+//! | `pipeline.tid_lineage_circuit(&tid, &q)`   | `engine.lineage(&tid, &q)` |
+//! | `pipeline.baseline_dpll(&tid, &q)`         | `Engine::builder().backend(BackendKind::Dpll).build().evaluate(&tid, &q)` |
+//! | `pipeline.baseline_enumeration(&tid, &q)`  | `Engine::builder().backend(BackendKind::Enumeration).build().evaluate(&tid, &q)` |
+//! | `pipeline.baseline_safe_plan(&tid, &q)`    | `Engine::builder().backend(BackendKind::SafePlan).build().evaluate(&tid, &q)` |
+//! | `pipeline.circuit_probability(&c, &w)`     | `TreewidthWmcBackend` via `Backend::solve`, or `TreewidthWmc` directly |
 
-use std::collections::BTreeMap;
-use stuc_automata::courcelle::{cq_lineage_circuit, cq_probability_tid, CourcelleError};
-use stuc_circuit::circuit::{Circuit, VarId};
-use stuc_circuit::dpll::DpllCounter;
-use stuc_circuit::enumeration::probability_by_enumeration;
+use crate::engine::{Backend, BackendKind, Engine, EvaluationTask, StucError, TreewidthWmcBackend};
+use stuc_automata::courcelle::CourcelleError;
+use stuc_circuit::circuit::Circuit;
 use stuc_circuit::weights::Weights;
-use stuc_circuit::wmc::{TreewidthWmc, WmcError};
+use stuc_circuit::wmc::WmcError;
 use stuc_data::pcc::PccInstance;
 use stuc_data::tid::TidInstance;
 use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
 use stuc_graph::TreeDecomposition;
 use stuc_query::cq::ConjunctiveQuery;
-use stuc_query::lineage::tid_lineage;
-use stuc_query::safe::{safe_plan_probability, SafePlanError};
+use stuc_query::safe::SafePlanError;
 
-/// Errors raised by the pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// The Courcelle-style run failed (query or anchoring limits).
-    Courcelle(CourcelleError),
-    /// The circuit back-end failed (width limit exceeded).
-    Wmc(WmcError),
-    /// The extensional baseline refused the query.
-    SafePlan(SafePlanError),
-    /// Some other back-end failure, with a description.
-    Backend(String),
+stuc_errors::stuc_error! {
+    /// Errors raised by the pipeline.
+    #[derive(Clone, PartialEq)]
+    pub enum PipelineError {
+        /// The Courcelle-style run failed (query or anchoring limits).
+        Courcelle(CourcelleError),
+        /// The circuit back-end failed (width limit exceeded).
+        Wmc(WmcError),
+        /// The extensional baseline refused the query.
+        SafePlan(SafePlanError),
+        /// Some other back-end failure, with a description.
+        Backend(String),
+    }
+    display {
+        Self::Courcelle(e) => "{e}",
+        Self::Wmc(e) => "{e}",
+        Self::SafePlan(e) => "{e}",
+        Self::Backend(e) => "{e}",
+    }
+    from {
+        CourcelleError => Courcelle,
+        WmcError => Wmc,
+        SafePlanError => SafePlan,
+    }
 }
 
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Courcelle(e) => write!(f, "{e}"),
-            PipelineError::Wmc(e) => write!(f, "{e}"),
-            PipelineError::SafePlan(e) => write!(f, "{e}"),
-            PipelineError::Backend(e) => write!(f, "{e}"),
+impl From<StucError> for PipelineError {
+    fn from(e: StucError) -> Self {
+        match e {
+            StucError::Courcelle(e) => PipelineError::Courcelle(e),
+            StucError::Wmc(e) => PipelineError::Wmc(e),
+            StucError::SafePlan(e) => PipelineError::SafePlan(e),
+            other => PipelineError::Backend(other.to_string()),
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
-
-impl From<CourcelleError> for PipelineError {
-    fn from(e: CourcelleError) -> Self {
-        PipelineError::Courcelle(e)
-    }
-}
-
-impl From<WmcError> for PipelineError {
-    fn from(e: WmcError) -> Self {
-        PipelineError::Wmc(e)
-    }
-}
-
-impl From<SafePlanError> for PipelineError {
-    fn from(e: SafePlanError) -> Self {
-        PipelineError::SafePlan(e)
-    }
-}
-
 /// The outcome of a pipeline evaluation, with structural statistics.
+///
+/// The engine's [`crate::engine::EvaluationReport`] supersedes this: it
+/// additionally names the back-end that ran, the lineage gate count, the
+/// wall time and the strategy notes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationReport {
     /// The probability that the Boolean query holds.
@@ -83,6 +97,12 @@ impl EvaluationReport {
 }
 
 /// The structurally tractable evaluation pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use stuc_core::engine::Engine, which evaluates every representation \
+            (TID, c-, pc-, pcc-instances, PrXML) through one `evaluate` method \
+            with automatic back-end selection"
+)]
 #[derive(Debug, Clone)]
 pub struct TractablePipeline {
     /// Heuristic used to decompose the Gaifman / joint graphs.
@@ -91,121 +111,94 @@ pub struct TractablePipeline {
     pub max_bag_size: usize,
 }
 
+#[allow(deprecated)]
 impl Default for TractablePipeline {
     fn default() -> Self {
-        TractablePipeline { heuristic: EliminationHeuristic::MinDegree, max_bag_size: 22 }
+        TractablePipeline {
+            heuristic: EliminationHeuristic::MinDegree,
+            max_bag_size: 22,
+        }
     }
 }
 
+#[allow(deprecated)]
 impl TractablePipeline {
+    /// An [`Engine`] with this pipeline's configuration, pinned to the
+    /// treewidth back-end: the pre-engine pipeline always ran the structural
+    /// (Theorem 1/2) path and reported a real decomposition width, so the
+    /// shims must not let Auto shortcut hierarchical queries through the
+    /// safe plan (which builds no decomposition and would report width 0).
+    fn engine(&self) -> Engine {
+        Engine::builder()
+            .heuristic(self.heuristic)
+            .width_budget(self.max_bag_size)
+            .backend(BackendKind::TreewidthWmc)
+            .build()
+    }
+
     /// Decomposes the Gaifman graph of a TID instance.
     pub fn decompose_tid(&self, tid: &TidInstance) -> TreeDecomposition {
         decompose_with_heuristic(&tid.gaifman_graph(), self.heuristic)
     }
 
-    /// **Theorem 1** — exact probability of a Boolean CQ on a TID instance,
-    /// by the deterministic automaton run over a tree decomposition of its
-    /// Gaifman graph. Linear-time data complexity at fixed width.
+    /// **Theorem 1** — exact probability of a Boolean CQ on a TID instance.
+    /// Delegates to [`Engine::evaluate`].
     pub fn evaluate_cq_on_tid(
         &self,
         tid: &TidInstance,
         query: &ConjunctiveQuery,
     ) -> Result<EvaluationReport, PipelineError> {
-        let decomposition = self.decompose_tid(tid);
-        let probability = cq_probability_tid(tid, &decomposition, query)?;
+        let report = self.engine().evaluate(tid, query)?;
         Ok(EvaluationReport {
-            probability,
-            decomposition_width: decomposition.width(),
+            probability: report.probability,
+            decomposition_width: report.decomposition_width.unwrap_or(0),
             fact_count: tid.fact_count(),
         })
     }
 
-    /// The lineage circuit of a Boolean CQ on a TID instance, produced by the
-    /// nondeterministic automaton run (inputs are the per-fact events).
+    /// The lineage circuit of a Boolean CQ on a TID instance. Delegates to
+    /// [`Engine::lineage`].
     pub fn tid_lineage_circuit(
         &self,
         tid: &TidInstance,
         query: &ConjunctiveQuery,
     ) -> Result<Circuit, PipelineError> {
-        let decomposition = self.decompose_tid(tid);
-        Ok(cq_lineage_circuit(tid.instance(), &decomposition, query, |f| tid.fact_event(f))?)
+        Ok(self.engine().lineage(tid, query)?)
     }
 
-    /// **Theorem 2** — exact probability of a Boolean CQ on a pcc-instance:
-    /// the automaton run produces a lineage over per-fact variables, each
-    /// fact variable is substituted by the fact's annotation gate in the
-    /// shared circuit, and the resulting bounded-treewidth circuit is
-    /// evaluated by message passing.
+    /// **Theorem 2** — exact probability of a Boolean CQ on a pcc-instance.
+    /// Delegates to [`Engine::evaluate`].
     pub fn evaluate_cq_on_pcc(
         &self,
         pcc: &PccInstance,
         query: &ConjunctiveQuery,
     ) -> Result<EvaluationReport, PipelineError> {
-        // Decompose the joint graph (instance + annotation circuit), whose
-        // width is the Theorem 2 parameter; report that width.
-        let joint = pcc.joint_graph();
-        let joint_decomposition = decompose_with_heuristic(&joint, self.heuristic);
-
-        // Run the automaton over the instance decomposition with one fresh
-        // variable per fact, then substitute annotations.
-        let instance_decomposition =
-            decompose_with_heuristic(&pcc.instance().gaifman_graph(), self.heuristic);
-        // Fact variables start above the event variables to avoid collisions.
-        let offset = pcc
-            .event_variables()
-            .iter()
-            .map(|v| v.0 + 1)
-            .max()
-            .unwrap_or(0);
-        let lineage = cq_lineage_circuit(pcc.instance(), &instance_decomposition, query, |f| {
-            VarId(offset + f.0)
-        })?;
-        // Substitute each fact variable by its annotation sub-circuit.
-        let mut substitution: BTreeMap<VarId, Circuit> = BTreeMap::new();
-        for (fid, _) in pcc.instance().facts() {
-            let mut annotation = pcc.annotation_circuit().clone();
-            annotation.set_output(pcc.fact_gate(fid));
-            substitution.insert(VarId(offset + fid.0), annotation);
-        }
-        let combined = lineage
-            .substitute(&substitution)
-            .map_err(|e| PipelineError::Backend(e.to_string()))?;
-        let wmc = TreewidthWmc {
-            heuristic: self.heuristic,
-            max_bag_size: self.max_bag_size,
-        };
-        let probability = wmc.probability(&combined, pcc.probabilities())?;
+        let report = self.engine().evaluate(pcc, query)?;
         Ok(EvaluationReport {
-            probability,
-            decomposition_width: joint_decomposition.width(),
+            probability: report.probability,
+            decomposition_width: report.decomposition_width.unwrap_or(0),
             fact_count: pcc.fact_count(),
         })
     }
 
-    /// Intensional baseline: build the DNF-style lineage by enumerating
-    /// query matches and evaluate it with the DPLL counter (no treewidth
-    /// assumption; exponential in the worst case).
+    /// Intensional baseline: DPLL over the match-enumeration lineage.
     pub fn baseline_dpll(
         &self,
         tid: &TidInstance,
         query: &ConjunctiveQuery,
     ) -> Result<f64, PipelineError> {
-        let lineage = tid_lineage(tid, query);
-        DpllCounter::default()
-            .probability(&lineage, &tid.fact_weights())
-            .map_err(|e| PipelineError::Backend(e.to_string()))
+        let engine = Engine::builder().backend(BackendKind::Dpll).build();
+        Ok(engine.evaluate(tid, query)?.probability)
     }
 
-    /// Naive baseline: possible-world enumeration over the DNF lineage
-    /// (exponential in the number of facts involved).
+    /// Naive baseline: possible-world enumeration over the lineage.
     pub fn baseline_enumeration(
         &self,
         tid: &TidInstance,
         query: &ConjunctiveQuery,
     ) -> Result<f64, PipelineError> {
-        let lineage = tid_lineage(tid, query);
-        probability_by_enumeration(&lineage, &tid.fact_weights())
-            .map_err(|e| PipelineError::Backend(e.to_string()))
+        let engine = Engine::builder().backend(BackendKind::Enumeration).build();
+        Ok(engine.evaluate(tid, query)?.probability)
     }
 
     /// Extensional baseline: Dalvi–Suciu safe-plan evaluation. Only works
@@ -215,22 +208,29 @@ impl TractablePipeline {
         tid: &TidInstance,
         query: &ConjunctiveQuery,
     ) -> Result<f64, PipelineError> {
-        Ok(safe_plan_probability(tid, query)?)
+        let engine = Engine::builder().backend(BackendKind::SafePlan).build();
+        Ok(engine.evaluate(tid, query)?.probability)
     }
 
-    /// Evaluates an arbitrary lineage circuit with this pipeline's
-    /// treewidth-based back-end.
+    /// Evaluates an arbitrary lineage circuit with the treewidth back-end.
     pub fn circuit_probability(
         &self,
         circuit: &Circuit,
         weights: &Weights,
     ) -> Result<f64, PipelineError> {
-        let wmc = TreewidthWmc { heuristic: self.heuristic, max_bag_size: self.max_bag_size };
-        Ok(wmc.probability(circuit, weights)?)
+        let backend = TreewidthWmcBackend {
+            heuristic: self.heuristic,
+            max_bag_size: self.max_bag_size,
+        };
+        Ok(backend.solve(&EvaluationTask::Circuit {
+            lineage: circuit,
+            weights,
+        })?)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::workloads;
@@ -286,7 +286,11 @@ mod tests {
         let report = pipeline.evaluate_cq_on_pcc(&pcc, &query).unwrap();
         // Cross-check against world enumeration over the events.
         let reference = workloads::pcc_query_probability_by_enumeration(&pcc, &query);
-        assert!(close(report.probability, reference), "{} vs {reference}", report.probability);
+        assert!(
+            close(report.probability, reference),
+            "{} vs {reference}",
+            report.probability
+        );
     }
 
     #[test]
@@ -308,7 +312,10 @@ mod tests {
         let tid = workloads::path_tid(6, 0.3, 2);
         let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
         let pipeline = TractablePipeline::default();
-        let direct = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability;
+        let direct = pipeline
+            .evaluate_cq_on_tid(&tid, &query)
+            .unwrap()
+            .probability;
         let lineage = pipeline.tid_lineage_circuit(&tid, &query).unwrap();
         let via_circuit = pipeline
             .circuit_probability(&lineage, &tid.fact_weights())

@@ -43,11 +43,16 @@ pub fn rst_path_tid(n: usize, probability: f64, seed: u64) -> TidInstance {
     let mut rng = SplitMix64::new(seed);
     let mut tid = TidInstance::new();
     for i in 0..n {
-        let jitter = |rng: &mut SplitMix64| (probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+        let jitter =
+            |rng: &mut SplitMix64| (probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
         tid.add_fact_named("R", &[&format!("v{i}")], jitter(&mut rng));
         tid.add_fact_named("T", &[&format!("v{i}")], jitter(&mut rng));
         if i + 1 < n {
-            tid.add_fact_named("S", &[&format!("v{i}"), &format!("v{}", i + 1)], jitter(&mut rng));
+            tid.add_fact_named(
+                "S",
+                &[&format!("v{i}"), &format!("v{}", i + 1)],
+                jitter(&mut rng),
+            );
         }
     }
     tid
@@ -59,7 +64,8 @@ pub fn rst_path_tid(n: usize, probability: f64, seed: u64) -> TidInstance {
 pub fn rst_bipartite_tid(n: usize, probability: f64, seed: u64) -> TidInstance {
     let mut rng = SplitMix64::new(seed);
     let mut tid = TidInstance::new();
-    let jitter = |rng: &mut SplitMix64| (probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
+    let jitter =
+        |rng: &mut SplitMix64| (probability + 0.2 * (rng.next_f64() - 0.5)).clamp(0.05, 0.95);
     for i in 0..n {
         tid.add_fact_named("R", &[&format!("l{i}")], jitter(&mut rng));
         tid.add_fact_named("T", &[&format!("r{i}")], jitter(&mut rng));
@@ -78,7 +84,11 @@ pub fn partial_k_tree_tid(n: usize, k: usize, probability: f64, seed: u64) -> Ti
     let graph = stuc_graph::generators::partial_k_tree(n, k, 0.7, seed);
     let mut tid = TidInstance::new();
     for (u, v) in graph.edges() {
-        tid.add_fact_named("R", &[&format!("c{}", u.0), &format!("c{}", v.0)], probability);
+        tid.add_fact_named(
+            "R",
+            &[&format!("c{}", u.0), &format!("c{}", v.0)],
+            probability,
+        );
     }
     tid
 }
@@ -99,7 +109,11 @@ pub fn core_tentacle_tid(
     for i in 0..core_size {
         for j in (i + 1)..core_size {
             if rng.next_bool(core_density) {
-                tid.add_fact_named("S", &[&format!("core{i}"), &format!("core{j}")], probability);
+                tid.add_fact_named(
+                    "S",
+                    &[&format!("core{i}"), &format!("core{j}")],
+                    probability,
+                );
             }
         }
     }
@@ -111,6 +125,27 @@ pub fn core_tentacle_tid(
             tid.add_fact_named("R", &[&previous, &next], probability);
             previous = next;
         }
+    }
+    tid
+}
+
+/// A small random TID instance for property tests: `facts` binary `R`-facts
+/// drawn uniformly over a `domain`-constant universe (duplicates collapse,
+/// so the result may have fewer facts), each with an independent probability
+/// in `[0.05, 0.95]`. Deterministic in `seed`.
+pub fn random_sparse_tid(facts: usize, domain: usize, seed: u64) -> TidInstance {
+    let mut rng = SplitMix64::new(seed);
+    let domain = domain.max(1);
+    let mut tid = TidInstance::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..facts {
+        let a = rng.next_below(domain);
+        let b = rng.next_below(domain);
+        if !seen.insert((a, b)) {
+            continue;
+        }
+        let p = 0.05 + 0.9 * rng.next_f64();
+        tid.add_fact_named("R", &[&format!("c{a}"), &format!("c{b}")], p);
     }
     tid
 }
@@ -142,7 +177,8 @@ pub fn contributor_pcc(
     for i in 0..claims {
         let contributor = rng.next_below(contributor_vars.len());
         let extraction = VarId(contributor_vars.len() + i);
-        pcc.probabilities_mut().set(extraction, extraction_probability);
+        pcc.probabilities_mut()
+            .set(extraction, extraction_probability);
         let extraction_gate = pcc.annotation_circuit_mut().add_input(extraction);
         let gate = pcc
             .annotation_circuit_mut()

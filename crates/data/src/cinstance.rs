@@ -166,7 +166,10 @@ impl CInstance {
     /// Attaches independent probabilities to the events, yielding a
     /// pc-instance.
     pub fn with_probabilities(self, probabilities: Weights) -> PcInstance {
-        PcInstance { cinstance: self, probabilities }
+        PcInstance {
+            cinstance: self,
+            probabilities,
+        }
     }
 
     /// The paper's Table 1: trips to book depending on which conferences the

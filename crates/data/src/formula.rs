@@ -98,13 +98,11 @@ impl Formula {
                 circuit.add_not(inner)
             }
             Formula::And(fs) => {
-                let gates: Vec<GateId> =
-                    fs.iter().map(|f| f.append_to_circuit(circuit)).collect();
+                let gates: Vec<GateId> = fs.iter().map(|f| f.append_to_circuit(circuit)).collect();
                 circuit.add_and(gates)
             }
             Formula::Or(fs) => {
-                let gates: Vec<GateId> =
-                    fs.iter().map(|f| f.append_to_circuit(circuit)).collect();
+                let gates: Vec<GateId> = fs.iter().map(|f| f.append_to_circuit(circuit)).collect();
                 circuit.add_or(gates)
             }
         }
@@ -135,7 +133,10 @@ impl Formula {
         mut resolve: impl FnMut(&str) -> VarId,
     ) -> Result<Formula, FormulaParseError> {
         let tokens = tokenize(text)?;
-        let mut parser = Parser { tokens, position: 0 };
+        let mut parser = Parser {
+            tokens,
+            position: 0,
+        };
         let formula = parser.parse_or(&mut resolve)?;
         if parser.position != parser.tokens.len() {
             return Err(FormulaParseError::TrailingInput(
@@ -165,31 +166,26 @@ impl fmt::Display for Formula {
     }
 }
 
-/// Errors raised while parsing annotation formulas.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FormulaParseError {
-    /// An unexpected character in the input.
-    UnexpectedCharacter(char),
-    /// The input ended while a sub-formula was expected.
-    UnexpectedEnd,
-    /// A closing parenthesis was expected.
-    ExpectedClosingParen,
-    /// Leftover tokens after a complete formula.
-    TrailingInput(String),
-}
-
-impl fmt::Display for FormulaParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FormulaParseError::UnexpectedCharacter(c) => write!(f, "unexpected character '{c}'"),
-            FormulaParseError::UnexpectedEnd => write!(f, "unexpected end of formula"),
-            FormulaParseError::ExpectedClosingParen => write!(f, "expected ')'"),
-            FormulaParseError::TrailingInput(t) => write!(f, "unexpected trailing input '{t}'"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised while parsing annotation formulas.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum FormulaParseError {
+        /// An unexpected character in the input.
+        UnexpectedCharacter(char),
+        /// The input ended while a sub-formula was expected.
+        UnexpectedEnd,
+        /// A closing parenthesis was expected.
+        ExpectedClosingParen,
+        /// Leftover tokens after a complete formula.
+        TrailingInput(String),
+    }
+    display {
+        Self::UnexpectedCharacter(c) => "unexpected character '{c}'",
+        Self::UnexpectedEnd => "unexpected end of formula",
+        Self::ExpectedClosingParen => "expected ')'",
+        Self::TrailingInput(t) => "unexpected trailing input '{t}'",
     }
 }
-
-impl std::error::Error for FormulaParseError {}
 
 fn tokenize(text: &str) -> Result<Vec<String>, FormulaParseError> {
     let mut tokens = Vec::new();
@@ -248,7 +244,11 @@ impl Parser {
             self.advance();
             terms.push(self.parse_and(resolve)?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Formula::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Formula::Or(terms)
+        })
     }
 
     fn parse_and(
@@ -260,7 +260,11 @@ impl Parser {
             self.advance();
             terms.push(self.parse_not(resolve)?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one term") } else { Formula::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Formula::And(terms)
+        })
     }
 
     fn parse_not(

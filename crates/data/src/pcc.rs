@@ -237,12 +237,9 @@ mod tests {
         let pc = ci.with_probabilities(weights);
         let pcc = PccInstance::from_pc_instance(&pc);
         for bits in 0..4u32 {
-            let valuation: BTreeMap<VarId, bool> = [
-                (pods, bits & 1 != 0),
-                (stoc, bits & 2 != 0),
-            ]
-            .into_iter()
-            .collect();
+            let valuation: BTreeMap<VarId, bool> = [(pods, bits & 1 != 0), (stoc, bits & 2 != 0)]
+                .into_iter()
+                .collect();
             let pc_world = pc.cinstance().world(&valuation);
             let pcc_world = pcc.world(&valuation);
             assert_eq!(pc_world.len(), pcc_world.len(), "bits {bits}");

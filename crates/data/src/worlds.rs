@@ -17,28 +17,20 @@ use stuc_circuit::circuit::VarId;
 /// Hard cap on the number of events enumerated, to protect the test suite.
 pub const WORLD_ENUMERATION_LIMIT: usize = 24;
 
-/// Errors raised by possible-world enumeration.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WorldError {
-    /// Too many events to enumerate all valuations.
-    TooManyEvents(usize),
-    /// An event used by an annotation has no probability.
-    MissingProbability(VarId),
-}
-
-impl std::fmt::Display for WorldError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WorldError::TooManyEvents(n) => write!(
-                f,
-                "{n} events exceed the possible-world enumeration limit of {WORLD_ENUMERATION_LIMIT}"
-            ),
-            WorldError::MissingProbability(v) => write!(f, "event {v} has no probability"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by possible-world enumeration.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum WorldError {
+        /// Too many events to enumerate all valuations.
+        TooManyEvents(usize),
+        /// An event used by an annotation has no probability.
+        MissingProbability(VarId),
+    }
+    display {
+        Self::TooManyEvents(n) => "{n} events exceed the possible-world enumeration limit of {WORLD_ENUMERATION_LIMIT}",
+        Self::MissingProbability(v) => "event {v} has no probability",
     }
 }
-
-impl std::error::Error for WorldError {}
 
 /// A possible world of a c-instance: the valuation that produced it and the
 /// facts it retains.
@@ -67,7 +59,11 @@ pub fn enumerate_worlds(ci: &CInstance) -> Result<Vec<PossibleWorld>, WorldError
             .map(|(i, &v)| (v, bits & (1 << i) != 0))
             .collect();
         let facts = ci.world(&valuation);
-        worlds.push(PossibleWorld { valuation, facts, probability: 1.0 });
+        worlds.push(PossibleWorld {
+            valuation,
+            facts,
+            probability: 1.0,
+        });
     }
     Ok(worlds)
 }
@@ -97,7 +93,11 @@ pub fn enumerate_weighted_worlds(pc: &PcInstance) -> Result<Vec<PossibleWorld>, 
             })
             .collect();
         let facts = pc.cinstance().world(&valuation);
-        worlds.push(PossibleWorld { valuation, facts, probability });
+        worlds.push(PossibleWorld {
+            valuation,
+            facts,
+            probability,
+        });
     }
     Ok(worlds)
 }

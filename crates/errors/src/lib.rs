@@ -1,0 +1,130 @@
+//! # stuc-errors — one declarative macro for every STUC error enum
+//!
+//! Every crate in the workspace defines small error enums. Before this crate
+//! each of them hand-rolled the same three impls (`Display`,
+//! `std::error::Error`, and `From` conversions for wrapped causes) — about
+//! twenty copies of identical boilerplate. [`stuc_error!`] generates all
+//! three from a thiserror-flavoured declaration, without needing the real
+//! `thiserror` proc-macro crate (the build environment is offline).
+//!
+//! ## Usage
+//!
+//! ```
+//! stuc_errors::stuc_error! {
+//!     /// Errors raised by the frobnicator.
+//!     #[derive(Clone, PartialEq, Eq)]
+//!     pub enum FrobError {
+//!         /// The input was empty.
+//!         Empty,
+//!         /// The width limit was exceeded.
+//!         TooWide { width: usize, limit: usize },
+//!         /// A wrapped I/O-ish cause.
+//!         Parse(String),
+//!     }
+//!     display {
+//!         Self::Empty => "input was empty",
+//!         Self::TooWide { width, limit } => "width {width} exceeds limit {limit}",
+//!         Self::Parse(message) => "parse failure: {message}",
+//!     }
+//!     from {
+//!         String => Parse,
+//!     }
+//! }
+//!
+//! let e = FrobError::TooWide { width: 9, limit: 4 };
+//! assert_eq!(e.to_string(), "width 9 exceeds limit 4");
+//! let e: FrobError = String::from("bad token").into();
+//! assert!(matches!(e, FrobError::Parse(_)));
+//! ```
+//!
+//! Display arms are `pattern => "format string"`; bindings introduced by the
+//! pattern are referenced through implicit format captures (`{width}`), so
+//! the arm reads like a `#[error("...")]` attribute. `Debug` is always
+//! derived; list further derives normally. The optional `from { Ty => Variant }`
+//! block generates `From` impls for single-field wrapping variants.
+
+/// Defines an error enum together with its `Display`, `std::error::Error`
+/// and `From` implementations. See the crate docs for the shape.
+#[macro_export]
+macro_rules! stuc_error {
+    (
+        $(#[$meta:meta])*
+        pub enum $name:ident {
+            $($body:tt)*
+        }
+        display {
+            $( $pattern:pat => $format:literal ),+ $(,)?
+        }
+        $( from { $( $source:ty => $variant:ident ),+ $(,)? } )?
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub enum $name {
+            $($body)*
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                #[allow(unused_variables)]
+                match self {
+                    $( $pattern => write!(f, $format) ),+
+                }
+            }
+        }
+
+        impl ::std::error::Error for $name {}
+
+        $($(
+            impl ::std::convert::From<$source> for $name {
+                fn from(source: $source) -> Self {
+                    $name::$variant(source)
+                }
+            }
+        )+)?
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    stuc_error! {
+        /// Sample error exercising all variant shapes.
+        #[derive(Clone, PartialEq)]
+        pub enum SampleError {
+            /// Unit variant.
+            Empty,
+            /// Struct variant.
+            TooWide { width: usize, limit: usize },
+            /// Tuple variant wrapping a cause.
+            Inner(String),
+            /// Tuple variant with two fields.
+            Pair(usize, usize),
+        }
+        display {
+            Self::Empty => "nothing to do",
+            Self::TooWide { width, limit } => "width {width} exceeds limit {limit}",
+            Self::Inner(cause) => "inner failure: {cause}",
+            Self::Pair(first, second) => "pair {first}/{second} rejected",
+        }
+        from {
+            String => Inner,
+        }
+    }
+
+    #[test]
+    fn display_covers_all_shapes() {
+        assert_eq!(SampleError::Empty.to_string(), "nothing to do");
+        assert_eq!(
+            SampleError::TooWide { width: 7, limit: 3 }.to_string(),
+            "width 7 exceeds limit 3"
+        );
+        assert_eq!(SampleError::Pair(1, 2).to_string(), "pair 1/2 rejected");
+    }
+
+    #[test]
+    fn from_and_error_trait() {
+        let e: SampleError = String::from("boom").into();
+        assert_eq!(e.to_string(), "inner failure: boom");
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("boom"));
+    }
+}

@@ -33,42 +33,29 @@ impl fmt::Display for BagId {
     }
 }
 
-/// Why a candidate decomposition is not a valid tree decomposition of a graph.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DecompositionError {
-    /// A graph vertex appears in no bag.
-    VertexNotCovered(VertexId),
-    /// A graph edge is contained in no bag.
-    EdgeNotCovered(VertexId, VertexId),
-    /// The bags containing this vertex do not form a connected subtree.
-    VertexNotConnected(VertexId),
-    /// The bag tree contains a cycle or is disconnected.
-    NotATree,
-    /// A tree edge refers to a bag that does not exist.
-    DanglingTreeEdge(BagId, BagId),
-}
-
-impl fmt::Display for DecompositionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DecompositionError::VertexNotCovered(v) => {
-                write!(f, "vertex {v} appears in no bag")
-            }
-            DecompositionError::EdgeNotCovered(u, v) => {
-                write!(f, "edge {{{u}, {v}}} is contained in no bag")
-            }
-            DecompositionError::VertexNotConnected(v) => {
-                write!(f, "the bags containing {v} are not connected in the tree")
-            }
-            DecompositionError::NotATree => write!(f, "the bag graph is not a tree"),
-            DecompositionError::DanglingTreeEdge(a, b) => {
-                write!(f, "tree edge ({a}, {b}) refers to a missing bag")
-            }
-        }
+stuc_errors::stuc_error! {
+    /// Why a candidate decomposition is not a valid tree decomposition of a graph.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum DecompositionError {
+        /// A graph vertex appears in no bag.
+        VertexNotCovered(VertexId),
+        /// A graph edge is contained in no bag.
+        EdgeNotCovered(VertexId, VertexId),
+        /// The bags containing this vertex do not form a connected subtree.
+        VertexNotConnected(VertexId),
+        /// The bag tree contains a cycle or is disconnected.
+        NotATree,
+        /// A tree edge refers to a bag that does not exist.
+        DanglingTreeEdge(BagId, BagId),
+    }
+    display {
+        Self::VertexNotCovered(v) => "vertex {v} appears in no bag",
+        Self::EdgeNotCovered(u, v) => "edge {{{u}, {v}}} is contained in no bag",
+        Self::VertexNotConnected(v) => "the bags containing {v} are not connected in the tree",
+        Self::NotATree => "the bag graph is not a tree",
+        Self::DanglingTreeEdge(a, b) => "tree edge ({a}, {b}) refers to a missing bag",
     }
 }
-
-impl std::error::Error for DecompositionError {}
 
 /// A tree decomposition: a set of bags and a tree structure over them.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -106,7 +93,10 @@ impl TreeDecomposition {
     ///
     /// Panics if either bag does not exist.
     pub fn add_tree_edge(&mut self, a: BagId, b: BagId) {
-        assert!(a.0 < self.bags.len() && b.0 < self.bags.len(), "bag out of range");
+        assert!(
+            a.0 < self.bags.len() && b.0 < self.bags.len(),
+            "bag out of range"
+        );
         if a != b {
             self.tree[a.0].insert(b.0);
             self.tree[b.0].insert(a.0);
@@ -235,7 +225,9 @@ impl TreeDecomposition {
             }
         }
         for v in g.vertices() {
-            let Some(bags) = occurrence.get(&v) else { continue };
+            let Some(bags) = occurrence.get(&v) else {
+                continue;
+            };
             if bags.len() <= 1 {
                 continue;
             }

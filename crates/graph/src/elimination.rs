@@ -74,9 +74,7 @@ pub fn elimination_order(g: &Graph, heuristic: EliminationHeuristic) -> Eliminat
     match heuristic {
         EliminationHeuristic::MinDegree => min_degree_order(g),
         EliminationHeuristic::MinFill => min_fill_order(g),
-        EliminationHeuristic::Lexicographic => {
-            EliminationOrder(g.vertices().collect())
-        }
+        EliminationHeuristic::Lexicographic => EliminationOrder(g.vertices().collect()),
     }
 }
 
@@ -93,9 +91,8 @@ fn min_degree_order(g: &Graph) -> EliminationOrder {
     let mut alive = vec![true; n];
     let mut order = Vec::with_capacity(n);
     // Lazy heap: entries may be stale; re-check the degree on pop.
-    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..n)
-        .map(|v| Reverse((adjacency[v].len(), v)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+        (0..n).map(|v| Reverse((adjacency[v].len(), v))).collect();
 
     while order.len() < n {
         let Reverse((recorded_degree, v)) = heap.pop().expect("heap exhausted too early");
@@ -190,7 +187,11 @@ fn eliminate(adjacency: &mut [BTreeSet<usize>], alive: &mut [bool], v: usize) {
 /// ordering (which is ≥ the treewidth of `g`).
 pub fn decompose_with_order(g: &Graph, order: &EliminationOrder) -> TreeDecomposition {
     let n = g.vertex_count();
-    assert_eq!(order.len(), n, "ordering must cover every vertex exactly once");
+    assert_eq!(
+        order.len(),
+        n,
+        "ordering must cover every vertex exactly once"
+    );
     if n == 0 {
         return TreeDecomposition::new();
     }
@@ -288,7 +289,10 @@ mod tests {
         let g = generators::path(10);
         for h in EliminationHeuristic::ALL {
             let td = decompose_with_heuristic(&g, h);
-            assert!(td.validate(&g).is_ok(), "{h:?} produced invalid decomposition");
+            assert!(
+                td.validate(&g).is_ok(),
+                "{h:?} produced invalid decomposition"
+            );
             assert_eq!(td.width(), 1, "{h:?} on a path");
         }
     }
@@ -323,8 +327,16 @@ mod tests {
         let g = generators::grid(4, 4);
         let td = decompose_best_effort(&g);
         assert!(td.validate(&g).is_ok());
-        assert!(td.width() >= 4, "width {} below the true treewidth", td.width());
-        assert!(td.width() <= 6, "width {} too far above the true treewidth", td.width());
+        assert!(
+            td.width() >= 4,
+            "width {} below the true treewidth",
+            td.width()
+        );
+        assert!(
+            td.width() <= 6,
+            "width {} too far above the true treewidth",
+            td.width()
+        );
     }
 
     #[test]

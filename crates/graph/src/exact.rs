@@ -140,7 +140,9 @@ pub fn degeneracy_lower_bound(g: &Graph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::elimination::{decompose_best_effort, decompose_with_heuristic, EliminationHeuristic};
+    use crate::elimination::{
+        decompose_best_effort, decompose_with_heuristic, EliminationHeuristic,
+    };
     use crate::generators;
 
     #[test]
@@ -173,7 +175,10 @@ mod tests {
             let exact = exact_treewidth(&g).unwrap();
             assert_eq!(exact, k);
             let heur = decompose_best_effort(&g).width();
-            assert_eq!(heur, exact, "heuristic should be optimal on k-trees, k = {k}");
+            assert_eq!(
+                heur, exact,
+                "heuristic should be optimal on k-trees, k = {k}"
+            );
         }
     }
 

@@ -123,7 +123,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// new vertex is attached to a uniformly chosen existing `k`-clique.
 /// `k`-trees have treewidth exactly `k`.
 pub fn k_tree(n: usize, k: usize, seed: u64) -> Graph {
-    assert!(n >= k + 1, "a k-tree needs at least k + 1 vertices");
+    assert!(n > k, "a k-tree needs at least k + 1 vertices");
     let mut rng = SplitMix64::new(seed);
     let mut g = Graph::with_vertices(n);
     let base: Vec<VertexId> = (0..=k).map(VertexId).collect();

@@ -94,7 +94,10 @@ impl NiceDecomposition {
         let mut builder = Builder { nodes: Vec::new() };
         if td.bag_count() == 0 {
             let root = builder.push(NiceNodeKind::Leaf, BTreeSet::new());
-            return NiceDecomposition { nodes: builder.nodes, root };
+            return NiceDecomposition {
+                nodes: builder.nodes,
+                root,
+            };
         }
 
         // Root the decomposition at bag 0 and collect children lists.
@@ -138,7 +141,10 @@ impl NiceDecomposition {
                 let mut acc = branch_tops[0];
                 for &other in &branch_tops[1..] {
                     acc = builder.push(
-                        NiceNodeKind::Join { left: acc, right: other },
+                        NiceNodeKind::Join {
+                            left: acc,
+                            right: other,
+                        },
                         bag_b.clone(),
                     );
                 }
@@ -148,7 +154,10 @@ impl NiceDecomposition {
         }
 
         let root = top[root_bag.index()].expect("root processed last");
-        NiceDecomposition { nodes: builder.nodes, root }
+        NiceDecomposition {
+            nodes: builder.nodes,
+            root,
+        }
     }
 
     /// Checks internal consistency: child indices precede parents, bags match
@@ -245,7 +254,10 @@ impl Builder {
             if !bag.contains(&v) {
                 bag.insert(v);
                 current = self.push(
-                    NiceNodeKind::Introduce { vertex: v, child: current },
+                    NiceNodeKind::Introduce {
+                        vertex: v,
+                        child: current,
+                    },
                     bag.clone(),
                 );
             }
@@ -266,7 +278,13 @@ impl Builder {
         let to_forget: Vec<VertexId> = from.iter().filter(|v| !keep.contains(v)).copied().collect();
         for v in to_forget {
             bag.remove(&v);
-            current = self.push(NiceNodeKind::Forget { vertex: v, child: current }, bag.clone());
+            current = self.push(
+                NiceNodeKind::Forget {
+                    vertex: v,
+                    child: current,
+                },
+                bag.clone(),
+            );
         }
         current
     }

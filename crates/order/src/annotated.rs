@@ -131,9 +131,13 @@ impl AnnotatedPoRelation {
         for (i, &(old_a, new_a)) in kept.iter().enumerate() {
             for &(old_b, new_b) in &kept[i + 1..] {
                 if self.order.precedes(old_a, old_b) {
-                    result.add_order(new_a, new_b).expect("induced order is acyclic");
+                    result
+                        .add_order(new_a, new_b)
+                        .expect("induced order is acyclic");
                 } else if self.order.precedes(old_b, old_a) {
-                    result.add_order(new_b, new_a).expect("induced order is acyclic");
+                    result
+                        .add_order(new_b, new_a)
+                        .expect("induced order is acyclic");
                 }
             }
         }
@@ -149,7 +153,9 @@ impl AnnotatedPoRelation {
             mapping.push(result.add_tuple(projected, self.annotations[e.0].clone()));
         }
         for (a, b) in self.order.order_edges() {
-            result.add_order(mapping[a.0], mapping[b.0]).expect("order preserved");
+            result
+                .add_order(mapping[a.0], mapping[b.0])
+                .expect("order preserved");
         }
         result
     }
@@ -178,10 +184,14 @@ impl AnnotatedPoRelation {
             .map(|(e, t)| result.add_tuple(t.clone(), other.annotations[e.0].clone()))
             .collect();
         for (a, b) in self.order.order_edges() {
-            result.add_order(left_map[a.0], left_map[b.0]).expect("acyclic");
+            result
+                .add_order(left_map[a.0], left_map[b.0])
+                .expect("acyclic");
         }
         for (a, b) in other.order.order_edges() {
-            result.add_order(right_map[a.0], right_map[b.0]).expect("acyclic");
+            result
+                .add_order(right_map[a.0], right_map[b.0])
+                .expect("acyclic");
         }
         if concatenate {
             for &l in &left_map {
@@ -203,17 +213,20 @@ impl AnnotatedPoRelation {
             for (r, rt) in other.order.elements() {
                 let mut tuple = lt.clone();
                 tuple.extend(rt.iter().cloned());
-                let annotation =
-                    self.annotations[l.0].clone().and(other.annotations[r.0].clone());
+                let annotation = self.annotations[l.0]
+                    .clone()
+                    .and(other.annotations[r.0].clone());
                 ids[l.0][r.0] = result.add_tuple(tuple, annotation);
             }
         }
         for (a, b) in self.order.order_edges() {
+            #[allow(clippy::needless_range_loop)]
             for r in 0..other.len() {
                 result.add_order(ids[a.0][r], ids[b.0][r]).expect("acyclic");
             }
         }
         for (a, b) in other.order.order_edges() {
+            #[allow(clippy::needless_range_loop)]
             for l in 0..self.len() {
                 result.add_order(ids[l][a.0], ids[l][b.0]).expect("acyclic");
             }

@@ -22,33 +22,24 @@
 use crate::porelation::{ElementId, PoRelation};
 use rand::Rng;
 
-/// Errors raised by numeric po-relations.
-#[derive(Debug, Clone, PartialEq)]
-pub enum NumericOrderError {
-    /// An interval has its lower bound above its upper bound.
-    EmptyInterval { element: usize, low: f64, high: f64 },
-    /// Constraint propagation derived an empty interval: the order
-    /// constraints contradict the value intervals.
-    Inconsistent { element: usize },
-    /// An order constraint is cyclic.
-    CyclicConstraint,
-}
-
-impl std::fmt::Display for NumericOrderError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            NumericOrderError::EmptyInterval { element, low, high } => {
-                write!(f, "element {element} has an empty value interval [{low}, {high}]")
-            }
-            NumericOrderError::Inconsistent { element } => {
-                write!(f, "order constraints contradict the value interval of element {element}")
-            }
-            NumericOrderError::CyclicConstraint => write!(f, "order constraints are cyclic"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by numeric po-relations.
+    #[derive(Clone, PartialEq)]
+    pub enum NumericOrderError {
+        /// An interval has its lower bound above its upper bound.
+        EmptyInterval { element: usize, low: f64, high: f64 },
+        /// Constraint propagation derived an empty interval: the order
+        /// constraints contradict the value intervals.
+        Inconsistent { element: usize },
+        /// An order constraint is cyclic.
+        CyclicConstraint,
+    }
+    display {
+        Self::EmptyInterval { element, low, high } => "element {element} has an empty value interval [{low}, {high}]",
+        Self::Inconsistent { element } => "order constraints contradict the value interval of element {element}",
+        Self::CyclicConstraint => "order constraints are cyclic",
     }
 }
-
-impl std::error::Error for NumericOrderError {}
 
 /// A relation whose tuples carry uncertain numeric values (intervals), from
 /// which an order is induced.
@@ -178,7 +169,10 @@ impl NumericPoRelation {
     /// interval. Call [`Self::tighten`] first to take the comparisons into
     /// account.
     pub fn interpolate_midpoints(&self) -> Vec<f64> {
-        self.intervals.iter().map(|&(low, high)| (low + high) / 2.0).collect()
+        self.intervals
+            .iter()
+            .map(|&(low, high)| (low + high) / 2.0)
+            .collect()
     }
 
     /// The po-relation induced by the intervals and explicit comparisons:
@@ -186,8 +180,11 @@ impl NumericPoRelation {
     /// ordered) or when the comparison was explicitly asserted.
     pub fn induced_order(&self) -> PoRelation {
         let mut relation = PoRelation::new();
-        let ids: Vec<ElementId> =
-            self.tuples.iter().map(|t| relation.add_tuple(t.clone())).collect();
+        let ids: Vec<ElementId> = self
+            .tuples
+            .iter()
+            .map(|t| relation.add_tuple(t.clone()))
+            .collect();
         for a in 0..self.tuples.len() {
             for b in 0..self.tuples.len() {
                 if a == b {
@@ -252,8 +249,11 @@ impl NumericPoRelation {
         }
         let mut hits = 0usize;
         for _ in 0..samples {
-            let values: Vec<f64> =
-                self.intervals.iter().map(|&iv| sample_uniform(iv, rng)).collect();
+            let values: Vec<f64> = self
+                .intervals
+                .iter()
+                .map(|&iv| sample_uniform(iv, rng))
+                .collect();
             let own = values[e.0];
             let larger = values
                 .iter()
@@ -402,7 +402,10 @@ mod tests {
         let a = numeric.add_interval(label("a"), 0.0, 1.0).unwrap();
         let b = numeric.add_interval(label("b"), 0.0, 1.0).unwrap();
         numeric.add_comparison(a, b).unwrap();
-        assert_eq!(numeric.add_comparison(b, a), Err(NumericOrderError::CyclicConstraint));
+        assert_eq!(
+            numeric.add_comparison(b, a),
+            Err(NumericOrderError::CyclicConstraint)
+        );
     }
 
     #[test]
@@ -433,7 +436,10 @@ mod tests {
         let exact = numeric.precedence_probability_uniform(a, b);
         let mut rng = StdRng::seed_from_u64(11);
         let estimate = numeric.precedence_probability_monte_carlo(a, b, 20_000, &mut rng);
-        assert!((exact - estimate).abs() < 0.02, "exact {exact} vs estimate {estimate}");
+        assert!(
+            (exact - estimate).abs() < 0.02,
+            "exact {exact} vs estimate {estimate}"
+        );
     }
 
     #[test]

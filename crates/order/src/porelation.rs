@@ -19,32 +19,23 @@ pub struct PoRelation {
     edges: BTreeSet<(usize, usize)>,
 }
 
-/// Errors raised by po-relation construction and evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum OrderError {
-    /// Adding this constraint would create a cycle.
-    CyclicOrder,
-    /// The arity of a tuple does not match the relation.
-    ArityMismatch { expected: usize, got: usize },
-    /// Too many elements for an exhaustive operation.
-    TooManyElements(usize),
-}
-
-impl std::fmt::Display for OrderError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            OrderError::CyclicOrder => write!(f, "order constraints are cyclic"),
-            OrderError::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity {got} does not match relation arity {expected}")
-            }
-            OrderError::TooManyElements(n) => {
-                write!(f, "{n} elements exceed the exhaustive-enumeration limit")
-            }
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by po-relation construction and evaluation.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum OrderError {
+        /// Adding this constraint would create a cycle.
+        CyclicOrder,
+        /// The arity of a tuple does not match the relation.
+        ArityMismatch { expected: usize, got: usize },
+        /// Too many elements for an exhaustive operation.
+        TooManyElements(usize),
+    }
+    display {
+        Self::CyclicOrder => "order constraints are cyclic",
+        Self::ArityMismatch { expected, got } => "tuple arity {got} does not match relation arity {expected}",
+        Self::TooManyElements(n) => "{n} elements exceed the exhaustive-enumeration limit",
     }
 }
-
-impl std::error::Error for OrderError {}
 
 /// Cap for exhaustive linear-extension enumeration and counting.
 pub const ENUMERATION_LIMIT: usize = 20;
@@ -57,7 +48,10 @@ impl PoRelation {
 
     /// Builds an unordered relation (empty order) from tuples.
     pub fn unordered(tuples: Vec<Vec<String>>) -> Self {
-        PoRelation { tuples, edges: BTreeSet::new() }
+        PoRelation {
+            tuples,
+            edges: BTreeSet::new(),
+        }
     }
 
     /// Builds a totally ordered relation (a list) from tuples, ordered as
@@ -105,12 +99,17 @@ impl PoRelation {
 
     /// Iterator over `(element, tuple)`.
     pub fn elements(&self) -> impl Iterator<Item = (ElementId, &Vec<String>)> {
-        self.tuples.iter().enumerate().map(|(i, t)| (ElementId(i), t))
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ElementId(i), t))
     }
 
     /// The direct order constraints.
     pub fn order_edges(&self) -> impl Iterator<Item = (ElementId, ElementId)> + '_ {
-        self.edges.iter().map(|&(a, b)| (ElementId(a), ElementId(b)))
+        self.edges
+            .iter()
+            .map(|&(a, b)| (ElementId(a), ElementId(b)))
     }
 
     /// True if `a` precedes `b` in the transitive closure of the order.

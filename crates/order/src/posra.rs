@@ -26,9 +26,13 @@ pub fn select(relation: &PoRelation, predicate: impl Fn(&[String]) -> bool) -> P
     for (i, &(original_a, new_a)) in kept.iter().enumerate() {
         for &(original_b, new_b) in &kept[i + 1..] {
             if relation.precedes(original_a, original_b) {
-                result.add_order(new_a, new_b).expect("induced order is acyclic");
+                result
+                    .add_order(new_a, new_b)
+                    .expect("induced order is acyclic");
             } else if relation.precedes(original_b, original_a) {
-                result.add_order(new_b, new_a).expect("induced order is acyclic");
+                result
+                    .add_order(new_b, new_a)
+                    .expect("induced order is acyclic");
             }
         }
     }
@@ -45,7 +49,9 @@ pub fn project(relation: &PoRelation, columns: &[usize]) -> PoRelation {
         mapping.push(result.add_tuple(projected));
     }
     for (a, b) in relation.order_edges() {
-        result.add_order(mapping[a.0], mapping[b.0]).expect("order preserved");
+        result
+            .add_order(mapping[a.0], mapping[b.0])
+            .expect("order preserved");
     }
     result
 }
@@ -74,10 +80,14 @@ fn union_with(left: &PoRelation, right: &PoRelation, concatenate: bool) -> PoRel
         .map(|(_, t)| result.add_tuple(t.clone()))
         .collect();
     for (a, b) in left.order_edges() {
-        result.add_order(left_map[a.0], left_map[b.0]).expect("acyclic");
+        result
+            .add_order(left_map[a.0], left_map[b.0])
+            .expect("acyclic");
     }
     for (a, b) in right.order_edges() {
-        result.add_order(right_map[a.0], right_map[b.0]).expect("acyclic");
+        result
+            .add_order(right_map[a.0], right_map[b.0])
+            .expect("acyclic");
     }
     if concatenate {
         for &l in &left_map {
@@ -118,7 +128,9 @@ fn product_with(left: &PoRelation, right: &PoRelation, lexicographic: bool) -> P
         for r in 0..right.len() {
             if lexicographic {
                 for r2 in 0..right.len() {
-                    result.add_order(ids[a.0][r], ids[b.0][r2]).expect("acyclic");
+                    result
+                        .add_order(ids[a.0][r], ids[b.0][r2])
+                        .expect("acyclic");
                 }
             } else {
                 result.add_order(ids[a.0][r], ids[b.0][r]).expect("acyclic");
@@ -127,6 +139,7 @@ fn product_with(left: &PoRelation, right: &PoRelation, lexicographic: bool) -> P
     }
     // Right-component constraints: (l, r) < (l, r') when r < r'.
     for (a, b) in right.order_edges() {
+        #[allow(clippy::needless_range_loop)]
         for l in 0..left.len() {
             result.add_order(ids[l][a.0], ids[l][b.0]).expect("acyclic");
         }
@@ -169,16 +182,8 @@ mod tests {
         let b = list(&["b1"]);
         let u = union_parallel(&a, &b);
         assert_eq!(u.count_linear_extensions().unwrap(), 3);
-        assert!(u.is_possible_world(&[
-            vec!["a1".into()],
-            vec!["b1".into()],
-            vec!["a2".into()]
-        ]));
-        assert!(!u.is_possible_world(&[
-            vec!["a2".into()],
-            vec!["a1".into()],
-            vec!["b1".into()]
-        ]));
+        assert!(u.is_possible_world(&[vec!["a1".into()], vec!["b1".into()], vec!["a2".into()]]));
+        assert!(!u.is_possible_world(&[vec!["a2".into()], vec!["a1".into()], vec!["b1".into()]]));
     }
 
     #[test]
@@ -187,11 +192,7 @@ mod tests {
         let b = list(&["b1"]);
         let u = union_concat(&a, &b);
         assert_eq!(u.count_linear_extensions().unwrap(), 1);
-        assert!(u.is_possible_world(&[
-            vec!["a1".into()],
-            vec!["a2".into()],
-            vec!["b1".into()]
-        ]));
+        assert!(u.is_possible_world(&[vec!["a1".into()], vec!["a2".into()], vec!["b1".into()]]));
     }
 
     #[test]

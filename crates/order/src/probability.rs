@@ -11,7 +11,7 @@
 //! that the tractability frontier the paper describes can be measured
 //! (experiment E12).
 
-use crate::porelation::{ElementId, PoRelation, OrderError, ENUMERATION_LIMIT};
+use crate::porelation::{ElementId, OrderError, PoRelation, ENUMERATION_LIMIT};
 use rand::Rng;
 
 /// The uniform distribution over the linear extensions of a po-relation.
@@ -48,7 +48,12 @@ impl LinearExtensionDistribution {
             predecessors[b.0] |= 1 << a.0;
         }
         let (down, up) = Self::tables(n, &predecessors);
-        Ok(LinearExtensionDistribution { element_count: n, predecessors, down, up })
+        Ok(LinearExtensionDistribution {
+            element_count: n,
+            predecessors,
+            down,
+            up,
+        })
     }
 
     fn tables(n: usize, predecessors: &[u64]) -> (Vec<u64>, Vec<u64>) {
@@ -237,7 +242,10 @@ mod tests {
         po.add_order(c, b).unwrap();
         po.add_order(c, d).unwrap();
         let dist = LinearExtensionDistribution::new(&po).unwrap();
-        assert_eq!(dist.total_extensions(), po.count_linear_extensions().unwrap());
+        assert_eq!(
+            dist.total_extensions(),
+            po.count_linear_extensions().unwrap()
+        );
     }
 
     #[test]
@@ -293,7 +301,7 @@ mod tests {
         // Enumerate to cross-check the rank distribution of c.
         let extensions = po.linear_extensions().unwrap();
         let total = extensions.len() as f64;
-        let mut expected = vec![0.0; 3];
+        let mut expected = [0.0; 3];
         for ext in &extensions {
             let position = ext.iter().position(|&e| e == c).unwrap();
             expected[position] += 1.0 / total;

@@ -43,8 +43,10 @@ pub fn set_possible_worlds(
 ) -> Result<BTreeSet<Vec<Vec<String>>>, OrderError> {
     let mut worlds = BTreeSet::new();
     for extension in relation.linear_extensions()? {
-        let sequence: Vec<Vec<String>> =
-            extension.iter().map(|&e| relation.tuple(e).to_vec()).collect();
+        let sequence: Vec<Vec<String>> = extension
+            .iter()
+            .map(|&e| relation.tuple(e).to_vec())
+            .collect();
         worlds.insert(dedup_sequence(&sequence));
     }
     Ok(worlds)
@@ -61,8 +63,7 @@ pub fn is_set_possible_world(
     relation: &PoRelation,
     sequence: &[Vec<String>],
 ) -> Result<bool, OrderError> {
-    let distinct_labels: BTreeSet<&Vec<String>> =
-        relation.elements().map(|(_, t)| t).collect();
+    let distinct_labels: BTreeSet<&Vec<String>> = relation.elements().map(|(_, t)| t).collect();
     let candidate: BTreeSet<&Vec<String>> = sequence.iter().collect();
     if candidate.len() != sequence.len() || candidate != distinct_labels {
         return Ok(false);

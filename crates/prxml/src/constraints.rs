@@ -48,34 +48,23 @@ pub enum PrxmlConstraint {
     All(Vec<PrxmlConstraint>),
 }
 
-/// Errors raised when conditioning a document.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PrxmlConstraintError {
-    /// The observation has probability zero: conditioning is undefined.
-    ImpossibleObservation,
-    /// No probability back-end could evaluate the circuits.
-    Probability(String),
-    /// A named global event was not found in the document.
-    UnknownEvent(String),
-}
-
-impl std::fmt::Display for PrxmlConstraintError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PrxmlConstraintError::ImpossibleObservation => {
-                write!(f, "the observed constraint has probability zero")
-            }
-            PrxmlConstraintError::Probability(message) => {
-                write!(f, "probability computation failed: {message}")
-            }
-            PrxmlConstraintError::UnknownEvent(name) => {
-                write!(f, "unknown global event '{name}'")
-            }
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised when conditioning a document.
+    #[derive(Clone, PartialEq)]
+    pub enum PrxmlConstraintError {
+        /// The observation has probability zero: conditioning is undefined.
+        ImpossibleObservation,
+        /// No probability back-end could evaluate the circuits.
+        Probability(String),
+        /// A named global event was not found in the document.
+        UnknownEvent(String),
+    }
+    display {
+        Self::ImpossibleObservation => "the observed constraint has probability zero",
+        Self::Probability(message) => "probability computation failed: {message}",
+        Self::UnknownEvent(name) => "unknown global event '{name}'",
     }
 }
-
-impl std::error::Error for PrxmlConstraintError {}
 
 /// True if the constraint is satisfied by a given set of present nodes
 /// (used by tests and by the enumeration cross-check).
@@ -93,9 +82,9 @@ pub fn constraint_holds_in_world(
         PrxmlConstraint::AtMost { label, max } => {
             present.iter().filter(|&&n| doc.label(n) == label).count() <= *max
         }
-        PrxmlConstraint::All(parts) => {
-            parts.iter().all(|part| constraint_holds_in_world(doc, part, present))
-        }
+        PrxmlConstraint::All(parts) => parts
+            .iter()
+            .all(|part| constraint_holds_in_world(doc, part, present)),
     }
 }
 
@@ -254,7 +243,8 @@ pub fn condition_on_event(
     let event = doc
         .find_event(event_name)
         .ok_or_else(|| PrxmlConstraintError::UnknownEvent(event_name.to_string()))?;
-    doc.probabilities_mut().set(event, if value { 1.0 } else { 0.0 });
+    doc.probabilities_mut()
+        .set(event, if value { 1.0 } else { 0.0 });
     Ok(event)
 }
 
@@ -296,19 +286,13 @@ mod tests {
     fn observing_a_pattern_makes_it_certain() {
         let doc = figure1();
         let query = PrxmlQuery::LabelExists("musician".into());
-        let conditioned = conditioned_query_probability(
-            &doc,
-            &query,
-            &PrxmlConstraint::Holds(query.clone()),
-        )
-        .unwrap();
+        let conditioned =
+            conditioned_query_probability(&doc, &query, &PrxmlConstraint::Holds(query.clone()))
+                .unwrap();
         assert!((conditioned - 1.0).abs() < 1e-9);
-        let excluded = conditioned_query_probability(
-            &doc,
-            &query,
-            &PrxmlConstraint::Violated(query.clone()),
-        )
-        .unwrap();
+        let excluded =
+            conditioned_query_probability(&doc, &query, &PrxmlConstraint::Violated(query.clone()))
+                .unwrap();
         assert!(excluded.abs() < 1e-9);
     }
 
@@ -361,12 +345,21 @@ mod tests {
     fn counting_constraints() {
         let doc = figure1();
         // Figure 1 has exactly one node labeled "given name" (always present).
-        let at_least_one = PrxmlConstraint::AtLeast { label: "given name".into(), min: 1 };
+        let at_least_one = PrxmlConstraint::AtLeast {
+            label: "given name".into(),
+            min: 1,
+        };
         let probability = constraint_probability(&doc, &at_least_one).unwrap();
         assert!((probability - 1.0).abs() < 1e-9);
-        let at_least_two = PrxmlConstraint::AtLeast { label: "given name".into(), min: 2 };
+        let at_least_two = PrxmlConstraint::AtLeast {
+            label: "given name".into(),
+            min: 2,
+        };
         assert!(constraint_probability(&doc, &at_least_two).unwrap().abs() < 1e-9);
-        let at_most_zero = PrxmlConstraint::AtMost { label: "musician".into(), max: 0 };
+        let at_most_zero = PrxmlConstraint::AtMost {
+            label: "musician".into(),
+            max: 0,
+        };
         let p_no_musician = constraint_probability(&doc, &at_most_zero).unwrap();
         assert!((p_no_musician - 0.6).abs() < 1e-9);
     }
@@ -382,7 +375,10 @@ mod tests {
             let claim = doc.add_node("claim");
             doc.add_ind_child(root, claim, 0.5);
         }
-        let constraint = PrxmlConstraint::AtLeast { label: "claim".into(), min: 2 };
+        let constraint = PrxmlConstraint::AtLeast {
+            label: "claim".into(),
+            min: 2,
+        };
         let probability = constraint_probability(&doc, &constraint).unwrap();
         assert!((probability - 0.5).abs() < 1e-9);
         // Conditioning "some claim exists" on "at least 2 claims" is certain.

@@ -67,7 +67,10 @@ impl PrXmlDocument {
 
     /// Adds a node with the given label (initially parentless and childless).
     pub fn add_node(&mut self, label: &str) -> NodeId {
-        self.nodes.push(PrXmlNode { label: label.to_string(), children: Vec::new() });
+        self.nodes.push(PrXmlNode {
+            label: label.to_string(),
+            children: Vec::new(),
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -156,7 +159,9 @@ impl PrXmlDocument {
 
     /// Attaches `child` under `parent` with a certain edge.
     pub fn add_child(&mut self, parent: NodeId, child: NodeId) {
-        self.nodes[parent.0].children.push((child, EdgeCondition::Certain));
+        self.nodes[parent.0]
+            .children
+            .push((child, EdgeCondition::Certain));
     }
 
     /// Attaches `child` under `parent` through an `ind` edge: present
@@ -183,7 +188,11 @@ impl PrXmlDocument {
             // P(v_i) = p_i / remaining mass; child i present iff v_i and no
             // earlier v_j. This makes the choices mutually exclusive with the
             // requested marginals while all hidden variables stay independent.
-            let conditional = if remaining <= 1e-12 { 0.0 } else { (p / remaining).min(1.0) };
+            let conditional = if remaining <= 1e-12 {
+                0.0
+            } else {
+                (p / remaining).min(1.0)
+            };
             let v = self.fresh_variable(conditional);
             let mut literals: Vec<(VarId, bool)> = previous.iter().map(|&u| (u, false)).collect();
             literals.push((v, true));
@@ -235,10 +244,13 @@ impl PrXmlDocument {
                     EdgeCondition::Literals(literals) => {
                         let mut inputs = vec![parent_gate];
                         for (v, polarity) in literals {
-                            let input = *input_gates
-                                .entry(v)
-                                .or_insert_with(|| circuit.add_input(v));
-                            inputs.push(if polarity { input } else { circuit.add_not(input) });
+                            let input =
+                                *input_gates.entry(v).or_insert_with(|| circuit.add_input(v));
+                            inputs.push(if polarity {
+                                input
+                            } else {
+                                circuit.add_not(input)
+                            });
                         }
                         circuit.add_and(inputs)
                     }
@@ -257,16 +269,18 @@ impl PrXmlDocument {
     /// of the variables (missing variables default to false).
     pub fn world_nodes(&self, valuation: &BTreeMap<VarId, bool>) -> BTreeSet<NodeId> {
         let mut present = BTreeSet::new();
-        let Some(root) = self.root else { return present };
+        let Some(root) = self.root else {
+            return present;
+        };
         let mut stack = vec![root];
         present.insert(root);
         while let Some(parent) = stack.pop() {
             for (child, condition) in &self.nodes[parent.0].children {
                 let holds = match condition {
                     EdgeCondition::Certain => true,
-                    EdgeCondition::Literals(literals) => literals
-                        .iter()
-                        .all(|(v, polarity)| valuation.get(v).copied().unwrap_or(false) == *polarity),
+                    EdgeCondition::Literals(literals) => literals.iter().all(|(v, polarity)| {
+                        valuation.get(v).copied().unwrap_or(false) == *polarity
+                    }),
                 };
                 if holds && present.insert(*child) {
                     stack.push(*child);
@@ -436,7 +450,11 @@ mod tests {
         let root = doc.root().unwrap();
         assert_eq!(parents[root.0], None);
         // Every non-root node has a parent in this document.
-        let orphan_count = parents.iter().enumerate().filter(|(i, p)| p.is_none() && NodeId(*i) != root).count();
+        let orphan_count = parents
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| p.is_none() && NodeId(*i) != root)
+            .count();
         assert_eq!(orphan_count, 0);
     }
 

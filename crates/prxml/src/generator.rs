@@ -95,7 +95,11 @@ mod tests {
 
     #[test]
     fn generated_document_has_expected_size() {
-        let config = WikidataStyleConfig { entities: 4, properties_per_entity: 3, ..Default::default() };
+        let config = WikidataStyleConfig {
+            entities: 4,
+            properties_per_entity: 3,
+            ..Default::default()
+        };
         let doc = wikidata_style_document(&config);
         // root + 4 entities + 4 sections (depth 1) + 4·3 properties + 4·3 values.
         assert_eq!(doc.len(), 1 + 4 + 4 + 12 + 12);
@@ -104,7 +108,11 @@ mod tests {
     #[test]
     fn scope_depth_controls_node_scope() {
         for depth in [0usize, 1, 2, 3] {
-            let config = WikidataStyleConfig { scope_depth: depth, entities: 3, ..Default::default() };
+            let config = WikidataStyleConfig {
+                scope_depth: depth,
+                entities: 3,
+                ..Default::default()
+            };
             let doc = wikidata_style_document(&config);
             let analysis = analyze_scopes(&doc);
             assert_eq!(
@@ -137,6 +145,9 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let config = WikidataStyleConfig::default();
-        assert_eq!(wikidata_style_document(&config), wikidata_style_document(&config));
+        assert_eq!(
+            wikidata_style_document(&config),
+            wikidata_style_document(&config)
+        );
     }
 }

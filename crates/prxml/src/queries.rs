@@ -38,25 +38,24 @@ pub enum PrxmlQuery {
     And(Box<PrxmlQuery>, Box<PrxmlQuery>),
 }
 
-/// Errors raised by PrXML query evaluation.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PrxmlQueryError {
-    /// The exact back-end refused the instance (width too large).
-    Wmc(WmcError),
-    /// The enumeration back-end refused the instance (too many variables).
-    Enumeration(EnumerationError),
-}
-
-impl std::fmt::Display for PrxmlQueryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PrxmlQueryError::Wmc(e) => write!(f, "{e}"),
-            PrxmlQueryError::Enumeration(e) => write!(f, "{e}"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by PrXML query evaluation.
+    #[derive(Clone, PartialEq)]
+    pub enum PrxmlQueryError {
+        /// The exact back-end refused the instance (width too large).
+        Wmc(WmcError),
+        /// The enumeration back-end refused the instance (too many variables).
+        Enumeration(EnumerationError),
+    }
+    display {
+        Self::Wmc(e) => "{e}",
+        Self::Enumeration(e) => "{e}",
+    }
+    from {
+        WmcError => Wmc,
+        EnumerationError => Enumeration,
     }
 }
-
-impl std::error::Error for PrxmlQueryError {}
 
 /// True if the query holds on the given set of present nodes.
 pub fn query_holds_in_world(
@@ -65,10 +64,11 @@ pub fn query_holds_in_world(
     present: &std::collections::BTreeSet<NodeId>,
 ) -> bool {
     match query {
-        PrxmlQuery::LabelExists(label) => {
-            present.iter().any(|&n| doc.label(n) == label)
-        }
-        PrxmlQuery::AncestorDescendant { ancestor, descendant } => {
+        PrxmlQuery::LabelExists(label) => present.iter().any(|&n| doc.label(n) == label),
+        PrxmlQuery::AncestorDescendant {
+            ancestor,
+            descendant,
+        } => {
             let parents = doc.parents();
             present.iter().any(|&n| {
                 if doc.label(n) != descendant {
@@ -122,7 +122,10 @@ pub(crate) fn lineage_gate(
                 .collect();
             circuit.add_or(witnesses)
         }
-        PrxmlQuery::AncestorDescendant { ancestor, descendant } => {
+        PrxmlQuery::AncestorDescendant {
+            ancestor,
+            descendant,
+        } => {
             // A present descendant implies all its ancestors are present, so
             // the witness condition is simply the descendant's presence gate
             // for each (ancestor, descendant) pair related in the tree.
@@ -148,7 +151,9 @@ pub(crate) fn lineage_gate(
             let witnesses: Vec<GateId> = (0..doc.len())
                 .filter(|&n| {
                     doc.label(NodeId(n)) == child.as_str()
-                        && parents[n].map(|p| doc.label(p) == parent.as_str()).unwrap_or(false)
+                        && parents[n]
+                            .map(|p| doc.label(p) == parent.as_str())
+                            .unwrap_or(false)
                 })
                 .map(|n| node_gates[n])
                 .collect();
@@ -179,7 +184,9 @@ pub fn query_probability_by_enumeration(
 ) -> Result<f64, PrxmlQueryError> {
     let vars: Vec<VarId> = doc.variables().into_iter().collect();
     if vars.len() > stuc_circuit::enumeration::ENUMERATION_LIMIT {
-        return Err(PrxmlQueryError::Enumeration(EnumerationError::TooManyVariables(vars.len())));
+        return Err(PrxmlQueryError::Enumeration(
+            EnumerationError::TooManyVariables(vars.len()),
+        ));
     }
     let mut total = 0.0;
     for bits in 0..(1u64 << vars.len()) {
@@ -227,7 +234,10 @@ mod tests {
         let doc = PrXmlDocument::figure1_example();
         let q = PrxmlQuery::LabelExists("musician".into());
         assert!(close(query_probability(&doc, &q).unwrap(), 0.4));
-        assert!(close(query_probability_by_enumeration(&doc, &q).unwrap(), 0.4));
+        assert!(close(
+            query_probability_by_enumeration(&doc, &q).unwrap(),
+            0.4
+        ));
     }
 
     #[test]
@@ -269,10 +279,16 @@ mod tests {
     #[test]
     fn parent_child_pattern() {
         let doc = PrXmlDocument::figure1_example();
-        let q = PrxmlQuery::ParentChild { parent: "surname".into(), child: "Manning".into() };
+        let q = PrxmlQuery::ParentChild {
+            parent: "surname".into(),
+            child: "Manning".into(),
+        };
         assert!(close(query_probability(&doc, &q).unwrap(), 0.9));
         // "Q298423" is not the direct parent of "Manning".
-        let q = PrxmlQuery::ParentChild { parent: "Q298423".into(), child: "Manning".into() };
+        let q = PrxmlQuery::ParentChild {
+            parent: "Q298423".into(),
+            child: "Manning".into(),
+        };
         assert!(close(query_probability(&doc, &q).unwrap(), 0.0));
     }
 

@@ -52,7 +52,9 @@ pub fn analyze_scopes(doc: &PrXmlDocument) -> ScopeAnalysis {
     // For each edge mentioning a global event, add the child's subtree.
     for parent_index in 0..doc.len() {
         for (child, condition) in &doc.node(NodeId(parent_index)).children {
-            let EdgeCondition::Literals(literals) = condition else { continue };
+            let EdgeCondition::Literals(literals) = condition else {
+                continue;
+            };
             for (variable, _) in literals {
                 if !doc.global_events().contains(variable) {
                     continue;
@@ -68,7 +70,10 @@ pub fn analyze_scopes(doc: &PrXmlDocument) -> ScopeAnalysis {
             node_scopes[node.0].insert(*event);
         }
     }
-    ScopeAnalysis { event_scopes, node_scopes }
+    ScopeAnalysis {
+        event_scopes,
+        node_scopes,
+    }
 }
 
 fn collect_subtree(doc: &PrXmlDocument, root: NodeId) -> BTreeSet<NodeId> {

@@ -74,7 +74,10 @@ pub struct ConjunctiveQuery {
 impl ConjunctiveQuery {
     /// Creates a Boolean query from atoms.
     pub fn boolean(atoms: Vec<Atom>) -> Self {
-        ConjunctiveQuery { atoms, free_variables: Vec::new() }
+        ConjunctiveQuery {
+            atoms,
+            free_variables: Vec::new(),
+        }
     }
 
     /// True if the query has no free variables.
@@ -128,7 +131,10 @@ impl ConjunctiveQuery {
         if atoms.is_empty() {
             return Err(QueryParseError::EmptyQuery);
         }
-        let query = ConjunctiveQuery { atoms, free_variables };
+        let query = ConjunctiveQuery {
+            atoms,
+            free_variables,
+        };
         let body_vars = query.variables();
         for v in &query.free_variables {
             if !body_vars.contains(v) {
@@ -149,30 +155,23 @@ impl fmt::Display for ConjunctiveQuery {
     }
 }
 
-/// Errors raised when parsing a conjunctive query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum QueryParseError {
-    /// The query body has no atoms.
-    EmptyQuery,
-    /// General syntax error with a human-readable description.
-    Syntax(String),
-    /// A head variable does not appear in the body.
-    UnboundHeadVariable(String),
-}
-
-impl fmt::Display for QueryParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            QueryParseError::EmptyQuery => write!(f, "query has no atoms"),
-            QueryParseError::Syntax(s) => write!(f, "syntax error: {s}"),
-            QueryParseError::UnboundHeadVariable(v) => {
-                write!(f, "head variable {v} does not appear in the body")
-            }
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised when parsing a conjunctive query.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum QueryParseError {
+        /// The query body has no atoms.
+        EmptyQuery,
+        /// General syntax error with a human-readable description.
+        Syntax(String),
+        /// A head variable does not appear in the body.
+        UnboundHeadVariable(String),
+    }
+    display {
+        Self::EmptyQuery => "query has no atoms",
+        Self::Syntax(s) => "syntax error: {s}",
+        Self::UnboundHeadVariable(v) => "head variable {v} does not appear in the body",
     }
 }
-
-impl std::error::Error for QueryParseError {}
 
 fn parse_head(text: &str) -> Result<Vec<String>, QueryParseError> {
     let text = text.trim();
@@ -252,7 +251,10 @@ mod tests {
         let q = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
         assert!(q.is_boolean());
         assert_eq!(q.atoms.len(), 3);
-        assert_eq!(q.variables(), BTreeSet::from(["x".to_string(), "y".to_string()]));
+        assert_eq!(
+            q.variables(),
+            BTreeSet::from(["x".to_string(), "y".to_string()])
+        );
         assert!(q.is_self_join_free());
     }
 

@@ -34,8 +34,7 @@ impl DatalogRule {
     /// body (Datalog has no existential variables — those are the subject of
     /// the `stuc-rules` crate).
     pub fn new(head: Atom, body: Vec<Atom>) -> Result<Self, DatalogError> {
-        let body_variables: BTreeSet<String> =
-            body.iter().flat_map(|a| a.variables()).collect();
+        let body_variables: BTreeSet<String> = body.iter().flat_map(|a| a.variables()).collect();
         for variable in head.variables() {
             if !body_variables.contains(&variable) {
                 return Err(DatalogError::UnsafeRule {
@@ -45,7 +44,9 @@ impl DatalogRule {
             }
         }
         if body.is_empty() {
-            return Err(DatalogError::EmptyBody { rule: head.to_string() });
+            return Err(DatalogError::EmptyBody {
+                rule: head.to_string(),
+            });
         }
         Ok(DatalogRule { head, body })
     }
@@ -72,7 +73,10 @@ impl DatalogRule {
     /// variables, ready for homomorphism search.
     pub fn body_query(&self) -> ConjunctiveQuery {
         let free: Vec<String> = self.head.variables().into_iter().collect();
-        ConjunctiveQuery { atoms: self.body.clone(), free_variables: free }
+        ConjunctiveQuery {
+            atoms: self.body.clone(),
+            free_variables: free,
+        }
     }
 }
 
@@ -89,35 +93,26 @@ pub struct DatalogProgram {
     rules: Vec<DatalogRule>,
 }
 
-/// Errors raised when building or evaluating Datalog programs.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DatalogError {
-    /// A head variable does not appear in the rule body.
-    UnsafeRule { rule: String, variable: String },
-    /// A rule has an empty body.
-    EmptyBody { rule: String },
-    /// A rule could not be parsed.
-    Parse(String),
-    /// The fixpoint exceeded the configured size bound.
-    FixpointTooLarge { facts: usize, limit: usize },
-}
-
-impl fmt::Display for DatalogError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DatalogError::UnsafeRule { rule, variable } => {
-                write!(f, "unsafe rule {rule}: head variable {variable} not bound in the body")
-            }
-            DatalogError::EmptyBody { rule } => write!(f, "rule {rule} has an empty body"),
-            DatalogError::Parse(message) => write!(f, "parse error: {message}"),
-            DatalogError::FixpointTooLarge { facts, limit } => {
-                write!(f, "fixpoint produced {facts} facts, exceeding the limit of {limit}")
-            }
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised when building or evaluating Datalog programs.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum DatalogError {
+        /// A head variable does not appear in the rule body.
+        UnsafeRule { rule: String, variable: String },
+        /// A rule has an empty body.
+        EmptyBody { rule: String },
+        /// A rule could not be parsed.
+        Parse(String),
+        /// The fixpoint exceeded the configured size bound.
+        FixpointTooLarge { facts: usize, limit: usize },
+    }
+    display {
+        Self::UnsafeRule { rule, variable } => "unsafe rule {rule}: head variable {variable} not bound in the body",
+        Self::EmptyBody { rule } => "rule {rule} has an empty body",
+        Self::Parse(message) => "parse error: {message}",
+        Self::FixpointTooLarge { facts, limit } => "fixpoint produced {facts} facts, exceeding the limit of {limit}",
     }
 }
-
-impl std::error::Error for DatalogError {}
 
 impl From<QueryParseError> for DatalogError {
     fn from(error: QueryParseError) -> Self {
@@ -265,11 +260,12 @@ impl DatalogProgram {
             let mut changed = false;
             for (relation, args) in derived {
                 let argument_names: Vec<String> = args.clone();
-                let argument_refs: Vec<&str> =
-                    argument_names.iter().map(String::as_str).collect();
+                let argument_refs: Vec<&str> = argument_names.iter().map(String::as_str).collect();
                 let relation_id = saturated.relation(&relation);
-                let constant_ids: Vec<_> =
-                    argument_refs.iter().map(|a| saturated.constant(a)).collect();
+                let constant_ids: Vec<_> = argument_refs
+                    .iter()
+                    .map(|a| saturated.constant(a))
+                    .collect();
                 if !saturated.contains(relation_id, &constant_ids) {
                     saturated.add_fact(relation_id, constant_ids);
                     changed = true;
@@ -292,7 +288,10 @@ impl DatalogProgram {
     pub fn immediate_consequences(&self, instance: &Instance) -> Vec<(String, Vec<String>)> {
         let mut derived = Vec::new();
         for rule in &self.rules {
-            let query = ConjunctiveQuery { atoms: rule.body.clone(), free_variables: vec![] };
+            let query = ConjunctiveQuery {
+                atoms: rule.body.clone(),
+                free_variables: vec![],
+            };
             for homomorphism in all_matches(instance, &query) {
                 let mut arguments = Vec::with_capacity(rule.head.args.len());
                 for term in &rule.head.args {
@@ -377,8 +376,14 @@ mod tests {
     #[test]
     fn idb_and_edb_relations_are_separated() {
         let program = transitive_closure_program();
-        assert_eq!(program.idb_relations(), BTreeSet::from(["Reach".to_string()]));
-        assert_eq!(program.edb_relations(), BTreeSet::from(["Edge".to_string()]));
+        assert_eq!(
+            program.idb_relations(),
+            BTreeSet::from(["Reach".to_string()])
+        );
+        assert_eq!(
+            program.edb_relations(),
+            BTreeSet::from(["Edge".to_string()])
+        );
     }
 
     #[test]
@@ -452,7 +457,10 @@ mod tests {
 
     #[test]
     fn empty_body_is_rejected() {
-        let head = Atom { relation: "R".to_string(), args: vec![] };
+        let head = Atom {
+            relation: "R".to_string(),
+            args: vec![],
+        };
         assert!(matches!(
             DatalogRule::new(head, vec![]),
             Err(DatalogError::EmptyBody { .. })
@@ -468,8 +476,6 @@ mod tests {
         let first_round = program.immediate_consequences(&instance);
         // Only the base rule fires in the first round.
         assert_eq!(first_round.len(), 2);
-        assert!(first_round
-            .iter()
-            .all(|(relation, _)| relation == "Reach"));
+        assert!(first_round.iter().all(|(relation, _)| relation == "Reach"));
     }
 }

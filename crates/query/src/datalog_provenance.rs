@@ -86,8 +86,10 @@ impl DatalogProvenance {
             // the previous stage's gates.
             let mut disjuncts: BTreeMap<FactId, Vec<GateId>> = BTreeMap::new();
             for rule in program.rules() {
-                let body_query =
-                    ConjunctiveQuery { atoms: rule.body.clone(), free_variables: vec![] };
+                let body_query = ConjunctiveQuery {
+                    atoms: rule.body.clone(),
+                    free_variables: vec![],
+                };
                 for homomorphism in all_matches(&saturated, &body_query) {
                     // The derived head fact under this homomorphism.
                     let Some(head_fact) =
@@ -140,11 +142,18 @@ impl DatalogProvenance {
         let fact_gates: BTreeMap<FactId, GateId> = saturated
             .facts()
             .map(|(fact, _)| {
-                let gate = gates.get(&fact).copied().unwrap_or_else(|| circuit.add_const(false));
+                let gate = gates
+                    .get(&fact)
+                    .copied()
+                    .unwrap_or_else(|| circuit.add_const(false));
                 (fact, gate)
             })
             .collect();
-        Ok(DatalogProvenance { saturated, circuit, fact_gates })
+        Ok(DatalogProvenance {
+            saturated,
+            circuit,
+            fact_gates,
+        })
     }
 
     /// The instance saturated with every fact derivable in *some* possible
@@ -163,8 +172,10 @@ impl DatalogProvenance {
     /// fact is not in the saturated instance (it is derivable in no world).
     pub fn fact_lineage(&self, relation: &str, args: &[&str]) -> Option<Circuit> {
         let relation_id = self.saturated.find_relation(relation)?;
-        let argument_ids: Option<Vec<_>> =
-            args.iter().map(|a| self.saturated.find_constant(a)).collect();
+        let argument_ids: Option<Vec<_>> = args
+            .iter()
+            .map(|a| self.saturated.find_constant(a))
+            .collect();
         let argument_ids = argument_ids?;
         let fact = self
             .saturated
@@ -265,7 +276,9 @@ mod tests {
         let p = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
         assert!((p - 0.4375).abs() < 1e-9);
         // The treewidth back-end agrees with enumeration.
-        let p_mp = TreewidthWmc::default().probability(&lineage, &tid.fact_weights()).unwrap();
+        let p_mp = TreewidthWmc::default()
+            .probability(&lineage, &tid.fact_weights())
+            .unwrap();
         assert!((p - p_mp).abs() < 1e-9);
     }
 

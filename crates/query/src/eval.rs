@@ -28,7 +28,14 @@ pub fn all_matches(instance: &Instance, query: &ConjunctiveQuery) -> Vec<Match> 
     let mut results = Vec::new();
     let mut assignment = BTreeMap::new();
     let mut witnesses = Vec::new();
-    search(instance, &query.atoms, 0, &mut assignment, &mut witnesses, &mut results);
+    search(
+        instance,
+        &query.atoms,
+        0,
+        &mut assignment,
+        &mut witnesses,
+        &mut results,
+    );
     results
 }
 
@@ -68,7 +75,11 @@ pub fn all_answers(instance: &Instance, query: &ConjunctiveQuery) -> Vec<Vec<Con
             query
                 .free_variables
                 .iter()
-                .map(|v| *m.assignment.get(v).expect("head variables are bound in the body"))
+                .map(|v| {
+                    *m.assignment
+                        .get(v)
+                        .expect("head variables are bound in the body")
+                })
                 .collect()
         })
         .collect();
@@ -85,7 +96,15 @@ fn search(
     witnesses: &mut Vec<FactId>,
     results: &mut Vec<Match>,
 ) {
-    search_limited(instance, atoms, index, assignment, witnesses, results, usize::MAX);
+    search_limited(
+        instance,
+        atoms,
+        index,
+        assignment,
+        witnesses,
+        results,
+        usize::MAX,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -102,7 +121,10 @@ fn search_limited(
         return;
     }
     if index == atoms.len() {
-        results.push(Match { assignment: assignment.clone(), witnesses: witnesses.clone() });
+        results.push(Match {
+            assignment: assignment.clone(),
+            witnesses: witnesses.clone(),
+        });
         return;
     }
     let atom = &atoms[index];
@@ -140,7 +162,15 @@ fn search_limited(
         }
         if ok {
             witnesses.push(fact_id);
-            search_limited(instance, atoms, index + 1, assignment, witnesses, results, limit);
+            search_limited(
+                instance,
+                atoms,
+                index + 1,
+                assignment,
+                witnesses,
+                results,
+                limit,
+            );
             witnesses.pop();
         }
         for v in newly_bound {
@@ -219,10 +249,7 @@ mod tests {
         let q = ConjunctiveQuery::parse("ans(x) <- R(x), S(x, y)").unwrap();
         let answers = all_answers(&inst, &q);
         assert_eq!(answers.len(), 2);
-        let names: Vec<&str> = answers
-            .iter()
-            .map(|t| inst.constant_name(t[0]))
-            .collect();
+        let names: Vec<&str> = answers.iter().map(|t| inst.constant_name(t[0])).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 

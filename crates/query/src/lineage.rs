@@ -82,8 +82,7 @@ pub fn pcc_lineage(pcc: &PccInstance, query: &ConjunctiveQuery) -> Circuit {
     let matches = all_matches(pcc.instance(), query);
     let mut disjuncts = Vec::with_capacity(matches.len());
     for m in matches {
-        let mut conjuncts: Vec<GateId> =
-            m.witnesses.iter().map(|&f| pcc.fact_gate(f)).collect();
+        let mut conjuncts: Vec<GateId> = m.witnesses.iter().map(|&f| pcc.fact_gate(f)).collect();
         conjuncts.sort();
         conjuncts.dedup();
         disjuncts.push(circuit.add_and(conjuncts));
@@ -122,8 +121,7 @@ mod tests {
         let tid = path_tid(4, 0.3);
         let q = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
         let lineage = tid_lineage(&tid, &q);
-        let from_lineage =
-            probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        let from_lineage = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
         let from_worlds = worlds::tid_query_probability(&tid, |facts| {
             // The query holds when two consecutive path facts are present.
             (0..3).any(|i| {

@@ -15,33 +15,28 @@
 //! is tree-like.
 
 use crate::cq::{Atom, ConjunctiveQuery, Term};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use stuc_data::instance::FactId;
 use stuc_data::tid::TidInstance;
 
-/// Why extensional evaluation refused a query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SafePlanError {
-    /// The query has a self-join (two atoms over the same relation), which
-    /// the extensional rules do not handle.
-    SelfJoin,
-    /// The query is not hierarchical, hence unsafe (`#P`-hard in general).
-    NotHierarchical,
-    /// The query has no atoms.
-    EmptyQuery,
-}
-
-impl std::fmt::Display for SafePlanError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SafePlanError::SelfJoin => write!(f, "query has a self-join"),
-            SafePlanError::NotHierarchical => write!(f, "query is not hierarchical (unsafe)"),
-            SafePlanError::EmptyQuery => write!(f, "query has no atoms"),
-        }
+stuc_errors::stuc_error! {
+    /// Why extensional evaluation refused a query.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum SafePlanError {
+        /// The query has a self-join (two atoms over the same relation), which
+        /// the extensional rules do not handle.
+        SelfJoin,
+        /// The query is not hierarchical, hence unsafe (`#P`-hard in general).
+        NotHierarchical,
+        /// The query has no atoms.
+        EmptyQuery,
+    }
+    display {
+        Self::SelfJoin => "query has a self-join",
+        Self::NotHierarchical => "query is not hierarchical (unsafe)",
+        Self::EmptyQuery => "query has no atoms",
     }
 }
-
-impl std::error::Error for SafePlanError {}
 
 /// True if the self-join-free Boolean CQ is hierarchical: for every pair of
 /// variables, their atom sets are disjoint or one contains the other.
@@ -67,7 +62,10 @@ pub fn is_hierarchical(query: &ConjunctiveQuery) -> bool {
 ///
 /// Returns an error for self-joins and for non-hierarchical (unsafe) queries;
 /// the caller is expected to fall back to an intensional method.
-pub fn safe_plan_probability(tid: &TidInstance, query: &ConjunctiveQuery) -> Result<f64, SafePlanError> {
+pub fn safe_plan_probability(
+    tid: &TidInstance,
+    query: &ConjunctiveQuery,
+) -> Result<f64, SafePlanError> {
     if query.atoms.is_empty() {
         return Err(SafePlanError::EmptyQuery);
     }
@@ -80,40 +78,101 @@ pub fn safe_plan_probability(tid: &TidInstance, query: &ConjunctiveQuery) -> Res
     evaluate(tid, &query.atoms)
 }
 
+/// One atom of the residual query plus the facts still compatible with its
+/// ground positions. Threading these lists through the recursion is what
+/// makes the plan near-linear: the independent-project step partitions each
+/// atom's facts by the root constant instead of re-scanning the instance for
+/// every candidate grounding.
+#[derive(Debug, Clone)]
+struct AtomTask {
+    atom: Atom,
+    facts: Vec<FactId>,
+}
+
 fn evaluate(tid: &TidInstance, atoms: &[Atom]) -> Result<f64, SafePlanError> {
+    let tasks: Vec<AtomTask> = atoms
+        .iter()
+        .map(|atom| AtomTask {
+            atom: atom.clone(),
+            facts: compatible_facts(tid, atom),
+        })
+        .collect();
+    evaluate_tasks(tid, &tasks)
+}
+
+/// All facts of the atom's relation whose constants agree with the atom's
+/// ground positions (repeated variables are *not* checked here; they are
+/// enforced when the variable is grounded).
+fn compatible_facts(tid: &TidInstance, atom: &Atom) -> Vec<FactId> {
+    let Some(relation) = tid.instance().find_relation(&atom.relation) else {
+        return Vec::new();
+    };
+    let wanted: Vec<Option<stuc_data::instance::ConstId>> = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(name) => tid.instance().find_constant(name),
+            Term::Var(_) => None,
+        })
+        .collect();
+    let is_ground: Vec<bool> = atom.args.iter().map(|t| t.as_var().is_none()).collect();
+    // A ground position naming an unknown constant can never match.
+    if is_ground
+        .iter()
+        .zip(&wanted)
+        .any(|(&ground, w)| ground && w.is_none())
+    {
+        return Vec::new();
+    }
+    tid.instance()
+        .facts_of(relation)
+        .into_iter()
+        .filter(|&f| {
+            let args = &tid.instance().fact(f).args;
+            args.len() == atom.args.len()
+                && args
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &c)| !is_ground[i] || wanted[i] == Some(c))
+        })
+        .collect()
+}
+
+fn evaluate_tasks(tid: &TidInstance, tasks: &[AtomTask]) -> Result<f64, SafePlanError> {
     // Base case: all atoms ground → independent existence probabilities.
-    if atoms.iter().all(|a| a.variables().is_empty()) {
+    if tasks.iter().all(|t| t.atom.variables().is_empty()) {
         let mut p = 1.0;
-        for atom in atoms {
-            p *= ground_atom_probability(tid, atom);
+        for task in tasks {
+            p *= ground_task_probability(tid, task);
         }
         return Ok(p);
     }
 
     // Independent join: split into variable-disjoint components.
-    let components = variable_components(atoms);
+    let atoms: Vec<Atom> = tasks.iter().map(|t| t.atom.clone()).collect();
+    let components = variable_components(&atoms);
     if components.len() > 1 {
         let mut p = 1.0;
         for component in components {
-            let component_atoms: Vec<Atom> =
-                component.into_iter().map(|i| atoms[i].clone()).collect();
-            p *= evaluate(tid, &component_atoms)?;
+            let component_tasks: Vec<AtomTask> =
+                component.into_iter().map(|i| tasks[i].clone()).collect();
+            p *= evaluate_tasks(tid, &component_tasks)?;
         }
         return Ok(p);
     }
 
     // Independent project: find a root variable occurring in every non-ground atom.
-    let non_ground: Vec<usize> = atoms
+    let non_ground: Vec<usize> = tasks
         .iter()
         .enumerate()
-        .filter(|(_, a)| !a.variables().is_empty())
+        .filter(|(_, t)| !t.atom.variables().is_empty())
         .map(|(i, _)| i)
         .collect();
     let mut root: Option<String> = None;
-    for v in atoms.iter().flat_map(|a| a.variables()) {
+    for v in tasks.iter().flat_map(|t| t.atom.variables()) {
         if non_ground
             .iter()
-            .all(|&i| atoms[i].variables().contains(&v))
+            .all(|&i| tasks[i].atom.variables().contains(&v))
         {
             root = Some(v);
             break;
@@ -124,62 +183,75 @@ fn evaluate(tid: &TidInstance, atoms: &[Atom]) -> Result<f64, SafePlanError> {
         return Err(SafePlanError::NotHierarchical);
     };
 
-    // Candidate constants: every constant appearing at a position of the root
-    // variable in some fact of a matching relation.
-    let mut candidates: BTreeSet<String> = BTreeSet::new();
-    for atom in atoms {
-        let Some(relation) = tid.instance().find_relation(&atom.relation) else { continue };
-        let positions: Vec<usize> = atom
+    // Partition each atom's compatible facts by the constant they put at the
+    // root variable's positions (facts with conflicting constants at two
+    // root positions can never match and are dropped). `root_occurs[i]`
+    // distinguishes "the root is not in this atom" (fact list passes through
+    // unchanged) from "the root is in this atom but no fact satisfies its
+    // repeated positions" (fact list becomes empty) — conflating the two
+    // would smuggle non-matching facts into the grounded subquery.
+    let mut by_constant: Vec<BTreeMap<stuc_data::instance::ConstId, Vec<FactId>>> =
+        vec![BTreeMap::new(); tasks.len()];
+    let mut root_occurs: Vec<bool> = vec![false; tasks.len()];
+    for (i, task) in tasks.iter().enumerate() {
+        let positions: Vec<usize> = task
+            .atom
             .args
             .iter()
             .enumerate()
             .filter(|(_, t)| t.as_var() == Some(root.as_str()))
-            .map(|(i, _)| i)
+            .map(|(p, _)| p)
             .collect();
-        for f in tid.instance().facts_of(relation) {
-            let fact = tid.instance().fact(f);
-            for &pos in &positions {
-                if let Some(&c) = fact.args.get(pos) {
-                    candidates.insert(tid.instance().constant_name(c).to_string());
-                }
+        if positions.is_empty() {
+            continue;
+        }
+        root_occurs[i] = true;
+        for &f in &task.facts {
+            let args = &tid.instance().fact(f).args;
+            let first = args[positions[0]];
+            if positions.iter().all(|&p| args[p] == first) {
+                by_constant[i].entry(first).or_default().push(f);
             }
         }
     }
+    let candidates: BTreeSet<stuc_data::instance::ConstId> =
+        by_constant.iter().flat_map(|m| m.keys().copied()).collect();
 
     // Independent project: P = 1 - Π_c (1 - P(q[root := c])).
     let mut product = 1.0;
     for constant in candidates {
-        let grounded: Vec<Atom> = atoms
+        let name = tid.instance().constant_name(constant);
+        let grounded: Vec<AtomTask> = tasks
             .iter()
-            .map(|a| substitute(a, &root, &constant))
+            .enumerate()
+            .map(|(i, task)| AtomTask {
+                atom: substitute(&task.atom, &root, name),
+                facts: if root_occurs[i] {
+                    by_constant[i].get(&constant).cloned().unwrap_or_default()
+                } else {
+                    // The root does not occur in this atom (it was ground
+                    // already): its fact list is unchanged.
+                    task.facts.clone()
+                },
+            })
             .collect();
-        let p = evaluate(tid, &grounded)?;
+        let p = evaluate_tasks(tid, &grounded)?;
         product *= 1.0 - p;
     }
     Ok(1.0 - product)
 }
 
-/// Probability that at least one TID fact matches the ground atom.
-fn ground_atom_probability(tid: &TidInstance, atom: &Atom) -> f64 {
-    let Some(relation) = tid.instance().find_relation(&atom.relation) else { return 0.0 };
-    let wanted: Option<Vec<_>> = atom
-        .args
-        .iter()
-        .map(|t| match t {
-            Term::Const(name) => tid.instance().find_constant(name),
-            Term::Var(_) => unreachable!("ground atom has no variables"),
-        })
-        .collect();
-    let Some(wanted) = wanted else { return 0.0 };
-    let mut none_present = 1.0;
-    let mut found = false;
-    for f in tid.instance().facts_of(relation) {
-        if tid.instance().fact(f).args == wanted {
-            found = true;
-            none_present *= 1.0 - tid.probability(FactId(f.0));
-        }
+/// Probability that at least one of the task's remaining facts is present
+/// (the atom is fully ground, so every remaining fact matches it exactly).
+fn ground_task_probability(tid: &TidInstance, task: &AtomTask) -> f64 {
+    if task.facts.is_empty() {
+        return 0.0;
     }
-    if found { 1.0 - none_present } else { 0.0 }
+    let mut none_present = 1.0;
+    for &f in &task.facts {
+        none_present *= 1.0 - tid.probability(f);
+    }
+    1.0 - none_present
 }
 
 /// Splits atoms into connected components under the "shares a variable"
@@ -268,7 +340,10 @@ mod tests {
     fn self_join_is_rejected() {
         let tid = star_tid();
         let q = ConjunctiveQuery::parse("R(x), R(y)").unwrap();
-        assert_eq!(safe_plan_probability(&tid, &q), Err(SafePlanError::SelfJoin));
+        assert_eq!(
+            safe_plan_probability(&tid, &q),
+            Err(SafePlanError::SelfJoin)
+        );
     }
 
     #[test]
@@ -277,8 +352,7 @@ mod tests {
         let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
         let extensional = safe_plan_probability(&tid, &q).unwrap();
         let lineage = tid_lineage(&tid, &q);
-        let intensional =
-            probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        let intensional = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
         assert!(
             (extensional - intensional).abs() < 1e-12,
             "{extensional} vs {intensional}"
@@ -327,21 +401,62 @@ mod tests {
         for i in 0..4 {
             tid.add_fact_named("R", &[&format!("a{i}")], 0.3 + 0.1 * i as f64);
             for j in 0..3 {
-                tid.add_fact_named("S", &[&format!("a{i}"), &format!("b{j}")], 0.2 + 0.05 * j as f64);
+                tid.add_fact_named(
+                    "S",
+                    &[&format!("a{i}"), &format!("b{j}")],
+                    0.2 + 0.05 * j as f64,
+                );
             }
         }
         let q = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
         let extensional = safe_plan_probability(&tid, &q).unwrap();
         let lineage = tid_lineage(&tid, &q);
-        let intensional =
-            probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        let intensional = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
         assert!((extensional - intensional).abs() < 1e-9);
     }
 
     #[test]
     fn empty_query_is_rejected() {
         let tid = star_tid();
-        let q = ConjunctiveQuery { atoms: vec![], free_variables: vec![] };
-        assert_eq!(safe_plan_probability(&tid, &q), Err(SafePlanError::EmptyQuery));
+        let q = ConjunctiveQuery {
+            atoms: vec![],
+            free_variables: vec![],
+        };
+        assert_eq!(
+            safe_plan_probability(&tid, &q),
+            Err(SafePlanError::EmptyQuery)
+        );
+    }
+
+    #[test]
+    fn repeated_variable_atom_with_no_matching_fact_contributes_zero() {
+        // Regression: `R(x, x), S(x)` on {R(a, b), S(a)} — the only R-fact
+        // conflicts at the two x-positions, so no grounding satisfies the
+        // R-atom and the probability is exactly 0. A fact list passed
+        // through unchanged here (instead of emptied) silently yields 0.25.
+        let mut tid = TidInstance::new();
+        tid.add_fact_named("R", &["a", "b"], 0.5);
+        tid.add_fact_named("S", &["a"], 0.5);
+        let q = ConjunctiveQuery::parse("R(x, x), S(x)").unwrap();
+        let extensional = safe_plan_probability(&tid, &q).unwrap();
+        let lineage = tid_lineage(&tid, &q);
+        let intensional = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        assert!(
+            (extensional - intensional).abs() < 1e-12,
+            "{extensional} vs {intensional}"
+        );
+        assert_eq!(extensional, 0.0);
+
+        // And with a fact that *does* satisfy the repeated positions the
+        // plan must count exactly that fact.
+        tid.add_fact_named("R", &["a", "a"], 0.25);
+        let extensional = safe_plan_probability(&tid, &q).unwrap();
+        let lineage = tid_lineage(&tid, &q);
+        let intensional = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
+        assert!(
+            (extensional - intensional).abs() < 1e-12,
+            "{extensional} vs {intensional}"
+        );
+        assert!((extensional - 0.25 * 0.5).abs() < 1e-12);
     }
 }

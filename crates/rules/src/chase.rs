@@ -25,7 +25,10 @@ pub struct ChaseConfig {
 
 impl Default for ChaseConfig {
     fn default() -> Self {
-        ChaseConfig { max_rounds: 3, max_derived_facts: 10_000 }
+        ChaseConfig {
+            max_rounds: 3,
+            max_derived_facts: 10_000,
+        }
     }
 }
 
@@ -48,25 +51,20 @@ pub struct ChaseResult {
     pub applications: usize,
 }
 
-/// Errors raised by chase-based reasoning.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ChaseError {
-    /// The derived-fact budget was exhausted.
-    TooManyDerivedFacts,
-    /// A probability computation failed (width or size limits).
-    Probability(String),
-}
-
-impl std::fmt::Display for ChaseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ChaseError::TooManyDerivedFacts => write!(f, "too many derived facts"),
-            ChaseError::Probability(e) => write!(f, "probability computation failed: {e}"),
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by chase-based reasoning.
+    #[derive(Clone, PartialEq)]
+    pub enum ChaseError {
+        /// The derived-fact budget was exhausted.
+        TooManyDerivedFacts,
+        /// A probability computation failed (width or size limits).
+        Probability(String),
+    }
+    display {
+        Self::TooManyDerivedFacts => "too many derived facts",
+        Self::Probability(e) => "probability computation failed: {e}",
     }
 }
-
-impl std::error::Error for ChaseError {}
 
 /// The probabilistic chase engine.
 #[derive(Debug, Clone, Default)]
@@ -78,7 +76,10 @@ pub struct ProbabilisticChase {
 impl ProbabilisticChase {
     /// Creates a chase engine with the given rules and default configuration.
     pub fn new(rules: Vec<Rule>) -> Self {
-        ProbabilisticChase { rules, config: ChaseConfig::default() }
+        ProbabilisticChase {
+            rules,
+            config: ChaseConfig::default(),
+        }
     }
 
     /// Overrides the configuration.
@@ -119,7 +120,8 @@ impl ProbabilisticChase {
         let base_fact_count = fact_gates.len();
 
         // Applied matches, identified by (rule index, witness facts, frontier bindings).
-        let mut applied: BTreeSet<(usize, Vec<FactId>, Vec<(String, String)>)> = BTreeSet::new();
+        type AppliedMatch = (usize, Vec<FactId>, Vec<(String, String)>);
+        let mut applied: BTreeSet<AppliedMatch> = BTreeSet::new();
 
         for _round in 0..self.config.max_rounds {
             let mut new_facts_this_round = 0usize;
@@ -269,7 +271,8 @@ impl ChaseResult {
         let matches = all_matches(&self.instance, query);
         let mut disjuncts = Vec::with_capacity(matches.len());
         for m in matches {
-            let mut gates: Vec<GateId> = m.witnesses.iter().map(|&f| self.fact_gates[f.0]).collect();
+            let mut gates: Vec<GateId> =
+                m.witnesses.iter().map(|&f| self.fact_gates[f.0]).collect();
             gates.sort();
             gates.dedup();
             disjuncts.push(circuit.add_and(gates));
@@ -360,9 +363,7 @@ mod tests {
     #[test]
     fn multiple_derivations_combine_by_or() {
         // Two independent ways to derive Reachable(a, c).
-        let rules = vec![
-            Rule::parse("Reachable(x, z) :- Edge(x, y), Edge(y, z)", 1.0).unwrap(),
-        ];
+        let rules = vec![Rule::parse("Reachable(x, z) :- Edge(x, y), Edge(y, z)", 1.0).unwrap()];
         let mut tid = TidInstance::new();
         tid.add_fact_named("Edge", &["a", "b1"], 0.5);
         tid.add_fact_named("Edge", &["b1", "c"], 0.5);
@@ -383,10 +384,14 @@ mod tests {
         for i in 0..4 {
             tid.add_fact_named("Edge", &[&format!("v{i}"), &format!("v{}", i + 1)], 1.0);
         }
-        let one_round = ProbabilisticChase::new(rules.clone())
-            .with_config(ChaseConfig { max_rounds: 1, max_derived_facts: 100 });
-        let many_rounds = ProbabilisticChase::new(rules)
-            .with_config(ChaseConfig { max_rounds: 5, max_derived_facts: 100 });
+        let one_round = ProbabilisticChase::new(rules.clone()).with_config(ChaseConfig {
+            max_rounds: 1,
+            max_derived_facts: 100,
+        });
+        let many_rounds = ProbabilisticChase::new(rules).with_config(ChaseConfig {
+            max_rounds: 5,
+            max_derived_facts: 100,
+        });
         let few = one_round.run(&tid).unwrap().derived_fact_count();
         let more = many_rounds.run(&tid).unwrap().derived_fact_count();
         assert!(more >= few);
@@ -401,8 +406,10 @@ mod tests {
         tid.add_fact_named("Bigger", &["a", "b"], 1.0);
         // The rule flips arguments forever (fresh matches each round);
         // a tiny budget must stop it.
-        let chase = ProbabilisticChase::new(rules)
-            .with_config(ChaseConfig { max_rounds: 50, max_derived_facts: 1 });
+        let chase = ProbabilisticChase::new(rules).with_config(ChaseConfig {
+            max_rounds: 50,
+            max_derived_facts: 1,
+        });
         // Either it converges quickly (the flipped fact already exists) or
         // the budget triggers; both are acceptable, but it must not hang.
         let _ = chase.run(&tid);

@@ -22,24 +22,17 @@ use stuc_data::instance::Instance;
 use stuc_query::cq::{ConjunctiveQuery, Term};
 use stuc_query::eval::{all_matches, query_holds};
 
-/// Errors raised by hard-constraint reasoning.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ConstraintError {
-    /// The chase exceeded its fact budget without terminating.
-    ChaseBudgetExceeded { facts: usize, limit: usize },
-}
-
-impl std::fmt::Display for ConstraintError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ConstraintError::ChaseBudgetExceeded { facts, limit } => {
-                write!(f, "certain chase produced {facts} facts, exceeding the limit of {limit}")
-            }
-        }
+stuc_errors::stuc_error! {
+    /// Errors raised by hard-constraint reasoning.
+    #[derive(Clone, PartialEq, Eq)]
+    pub enum ConstraintError {
+        /// The chase exceeded its fact budget without terminating.
+        ChaseBudgetExceeded { facts: usize, limit: usize },
+    }
+    display {
+        Self::ChaseBudgetExceeded { facts, limit } => "certain chase produced {facts} facts, exceeding the limit of {limit}",
     }
 }
-
-impl std::error::Error for ConstraintError {}
 
 /// A set of hard existential rules with a bounded certain chase.
 #[derive(Debug, Clone)]
@@ -55,7 +48,11 @@ impl HardConstraints {
     /// Creates a constraint set. The rules' confidences are ignored: every
     /// rule is treated as always applying.
     pub fn new(rules: Vec<Rule>) -> Self {
-        HardConstraints { rules, max_rounds: 8, max_facts: 50_000 }
+        HardConstraints {
+            rules,
+            max_rounds: 8,
+            max_facts: 50_000,
+        }
     }
 
     /// Overrides the round bound.
@@ -94,9 +91,7 @@ impl HardConstraints {
                             .map(|term| match term {
                                 Term::Const(constant) => constant.clone(),
                                 Term::Var(variable) => {
-                                    if let Some(&constant) =
-                                        homomorphism.assignment.get(variable)
-                                    {
+                                    if let Some(&constant) = homomorphism.assignment.get(variable) {
                                         completion.constant_name(constant).to_string()
                                     } else {
                                         null_names
@@ -114,8 +109,10 @@ impl HardConstraints {
                         let argument_refs: Vec<&str> =
                             arguments.iter().map(String::as_str).collect();
                         let relation = completion.relation(&head_atom.relation);
-                        let constants: Vec<_> =
-                            argument_refs.iter().map(|a| completion.constant(a)).collect();
+                        let constants: Vec<_> = argument_refs
+                            .iter()
+                            .map(|a| completion.constant(a))
+                            .collect();
                         if !completion.contains(relation, &constants) {
                             completion.add_fact(relation, constants);
                             changed = true;
@@ -261,7 +258,10 @@ mod tests {
         // Boolean query "lyon is located somewhere" is certain (witnessed by
         // a null) …
         let certain = constraints
-            .certain(&instance, &ConjunctiveQuery::parse("LocatedIn(\"lyon\", x)").unwrap())
+            .certain(
+                &instance,
+                &ConjunctiveQuery::parse("LocatedIn(\"lyon\", x)").unwrap(),
+            )
             .unwrap();
         assert!(certain);
         // … but the null is not a certain *answer*.
@@ -298,12 +298,14 @@ mod tests {
     fn chase_budget_is_enforced() {
         // A rule that keeps inventing new elements: x is succeeded by some y,
         // which is itself a Node, forever.
-        let rules = vec![
-            Rule::parse("Succ(x, y), Node(y) :- Node(x)", 1.0).unwrap(),
-        ];
+        let rules = vec![Rule::parse("Succ(x, y), Node(y) :- Node(x)", 1.0).unwrap()];
         let mut instance = Instance::new();
         instance.add_fact_named("Node", &["n0"]);
-        let constraints = HardConstraints { rules, max_rounds: 1_000, max_facts: 50 };
+        let constraints = HardConstraints {
+            rules,
+            max_rounds: 1_000,
+            max_facts: 50,
+        };
         assert!(matches!(
             constraints.saturate(&instance),
             Err(ConstraintError::ChaseBudgetExceeded { .. })
@@ -312,9 +314,7 @@ mod tests {
 
     #[test]
     fn round_bound_truncates_non_terminating_chases() {
-        let rules = vec![
-            Rule::parse("Succ(x, y), Node(y) :- Node(x)", 1.0).unwrap(),
-        ];
+        let rules = vec![Rule::parse("Succ(x, y), Node(y) :- Node(x)", 1.0).unwrap()];
         let mut instance = Instance::new();
         instance.add_fact_named("Node", &["n0"]);
         let constraints = HardConstraints::new(rules).with_max_rounds(3);
@@ -328,11 +328,17 @@ mod tests {
         let constraints = HardConstraints::new(vec![]);
         let instance = located_in_kb();
         let held = constraints
-            .certain(&instance, &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"france\")").unwrap())
+            .certain(
+                &instance,
+                &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"france\")").unwrap(),
+            )
             .unwrap();
         assert!(held);
         let not_held = constraints
-            .certain(&instance, &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"europe\")").unwrap())
+            .certain(
+                &instance,
+                &ConjunctiveQuery::parse("LocatedIn(\"paris\", \"europe\")").unwrap(),
+            )
             .unwrap();
         assert!(!not_held);
     }

@@ -55,7 +55,11 @@ pub struct RuleMiner {
 
 impl Default for RuleMiner {
     fn default() -> Self {
-        RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: true }
+        RuleMiner {
+            min_support: 2,
+            min_confidence: 0.5,
+            mine_path_rules: true,
+        }
     }
 }
 
@@ -101,27 +105,42 @@ impl RuleMiner {
             match (body_arity, head_arity) {
                 (1, 1) => {
                     candidates.push((
-                        vec![Atom { relation: body_name.clone(), args: vec![x()] }],
+                        vec![Atom {
+                            relation: body_name.clone(),
+                            args: vec![x()],
+                        }],
                         vec![x()],
                     ));
                 }
                 (2, 1) => {
                     candidates.push((
-                        vec![Atom { relation: body_name.clone(), args: vec![x(), y()] }],
+                        vec![Atom {
+                            relation: body_name.clone(),
+                            args: vec![x(), y()],
+                        }],
                         vec![x()],
                     ));
                     candidates.push((
-                        vec![Atom { relation: body_name.clone(), args: vec![x(), y()] }],
+                        vec![Atom {
+                            relation: body_name.clone(),
+                            args: vec![x(), y()],
+                        }],
                         vec![y()],
                     ));
                 }
                 (2, 2) => {
                     candidates.push((
-                        vec![Atom { relation: body_name.clone(), args: vec![x(), y()] }],
+                        vec![Atom {
+                            relation: body_name.clone(),
+                            args: vec![x(), y()],
+                        }],
                         vec![x(), y()],
                     ));
                     candidates.push((
-                        vec![Atom { relation: body_name.clone(), args: vec![x(), y()] }],
+                        vec![Atom {
+                            relation: body_name.clone(),
+                            args: vec![x(), y()],
+                        }],
                         vec![y(), x()],
                     ));
                 }
@@ -142,8 +161,14 @@ impl RuleMiner {
                     }
                     candidates.push((
                         vec![
-                            Atom { relation: first.clone(), args: vec![x(), y()] },
-                            Atom { relation: second.clone(), args: vec![y(), z()] },
+                            Atom {
+                                relation: first.clone(),
+                                args: vec![x(), y()],
+                            },
+                            Atom {
+                                relation: second.clone(),
+                                args: vec![y(), z()],
+                            },
                         ],
                         vec![x(), z()],
                     ));
@@ -161,7 +186,10 @@ impl RuleMiner {
         candidate: &(Vec<Atom>, Vec<Term>),
     ) -> Option<MinedRule> {
         let (body, head_args) = candidate;
-        let head = Atom { relation: head_name.to_string(), args: head_args.clone() };
+        let head = Atom {
+            relation: head_name.to_string(),
+            args: head_args.clone(),
+        };
         let body_query = ConjunctiveQuery::boolean(body.clone());
         let matches = all_matches(instance, &body_query);
         if matches.is_empty() {
@@ -187,7 +215,9 @@ impl RuleMiner {
                         .map(|&c| instance.constant_name(c).to_string()),
                 })
                 .collect();
-            let Some(instantiation) = instantiation else { continue };
+            let Some(instantiation) = instantiation else {
+                continue;
+            };
             let holds = head_facts.iter().any(|&fact| {
                 let fact = instance.fact(fact);
                 fact.args.len() == instantiation.len()
@@ -211,9 +241,18 @@ impl RuleMiner {
         if confidence < self.min_confidence {
             return None;
         }
-        let rule = Rule { body: body.clone(), head: vec![head], confidence };
+        let rule = Rule {
+            body: body.clone(),
+            head: vec![head],
+            confidence,
+        };
         let head_coverage = support as f64 / head_facts.len() as f64;
-        Some(MinedRule { rule, support, body_matches, head_coverage })
+        Some(MinedRule {
+            rule,
+            support,
+            body_matches,
+            head_coverage,
+        })
     }
 }
 
@@ -237,9 +276,12 @@ mod tests {
     /// their country, and the capital relation composes with residence.
     fn kb() -> Instance {
         let mut instance = Instance::new();
-        for (person, country) in
-            [("alice", "france"), ("bob", "france"), ("carol", "japan"), ("dave", "japan")]
-        {
+        for (person, country) in [
+            ("alice", "france"),
+            ("bob", "france"),
+            ("carol", "japan"),
+            ("dave", "japan"),
+        ] {
             instance.add_fact_named("Citizen", &[person, country]);
         }
         // Three of the four citizens live in their country of citizenship.
@@ -253,7 +295,11 @@ mod tests {
 
     #[test]
     fn translation_rule_is_mined_with_observed_confidence() {
-        let miner = RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: false };
+        let miner = RuleMiner {
+            min_support: 2,
+            min_confidence: 0.5,
+            mine_path_rules: false,
+        };
         let mined = miner.mine(&kb());
         let lives_rule = mined
             .iter()
@@ -272,7 +318,11 @@ mod tests {
 
     #[test]
     fn low_confidence_rules_are_filtered() {
-        let miner = RuleMiner { min_support: 1, min_confidence: 0.9, mine_path_rules: false };
+        let miner = RuleMiner {
+            min_support: 1,
+            min_confidence: 0.9,
+            mine_path_rules: false,
+        };
         let mined = miner.mine(&kb());
         assert!(mined.iter().all(|m| m.confidence() >= 0.9));
         // The 0.75-confidence Lives rule must be gone.
@@ -283,7 +333,11 @@ mod tests {
 
     #[test]
     fn min_support_is_enforced() {
-        let miner = RuleMiner { min_support: 5, min_confidence: 0.0, mine_path_rules: false };
+        let miner = RuleMiner {
+            min_support: 5,
+            min_confidence: 0.0,
+            mine_path_rules: false,
+        };
         assert!(miner.mine(&kb()).is_empty());
     }
 
@@ -296,7 +350,11 @@ mod tests {
         instance.add_fact_named("Speaks", &["alice", "french"]);
         instance.add_fact_named("Speaks", &["bob", "french"]);
         instance.add_fact_named("Speaks", &["carol", "japanese"]);
-        let miner = RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: true };
+        let miner = RuleMiner {
+            min_support: 2,
+            min_confidence: 0.5,
+            mine_path_rules: true,
+        };
         let mined = miner.mine(&instance);
         let speaks_rule = mined
             .iter()
@@ -321,7 +379,11 @@ mod tests {
             instance.add_fact_named("ParentOf", &[a, b]);
             instance.add_fact_named("ChildOf", &[b, a]);
         }
-        let miner = RuleMiner { min_support: 2, min_confidence: 0.9, mine_path_rules: false };
+        let miner = RuleMiner {
+            min_support: 2,
+            min_confidence: 0.9,
+            mine_path_rules: false,
+        };
         let mined = miner.mine(&instance);
         assert!(mined.iter().any(|m| {
             m.rule.head[0].relation == "ChildOf"

@@ -33,7 +33,11 @@ impl Rule {
             .ok_or_else(|| QueryParseError::Syntax("expected ':-' in rule".to_string()))?;
         let head = ConjunctiveQuery::parse(head_text.trim())?.atoms;
         let body = ConjunctiveQuery::parse(body_text.trim())?.atoms;
-        Ok(Rule { body, head, confidence })
+        Ok(Rule {
+            body,
+            head,
+            confidence,
+        })
     }
 
     /// The body as a Boolean conjunctive query (used to find matches).
@@ -71,7 +75,13 @@ impl std::fmt::Display for Rule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let head: Vec<String> = self.head.iter().map(|a| a.to_string()).collect();
         let body: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
-        write!(f, "{} :- {} [{}]", head.join(", "), body.join(", "), self.confidence)
+        write!(
+            f,
+            "{} :- {} [{}]",
+            head.join(", "),
+            body.join(", "),
+            self.confidence
+        )
     }
 }
 

@@ -57,7 +57,10 @@ pub struct TruncatedChase {
 impl TruncatedChase {
     /// Creates a truncated-chase evaluator.
     pub fn new(rules: Vec<Rule>) -> Self {
-        TruncatedChase { rules, max_derived_facts: 10_000 }
+        TruncatedChase {
+            rules,
+            max_derived_facts: 10_000,
+        }
     }
 
     /// The maximum rule confidence, used to bound the probability mass of
@@ -87,8 +90,9 @@ impl TruncatedChase {
             max_derived_facts: self.max_derived_facts,
         });
         let extended_result = extended.run(base)?;
-        let frontier_applications =
-            extended_result.applications.saturating_sub(result.applications);
+        let frontier_applications = extended_result
+            .applications
+            .saturating_sub(result.applications);
         let converged = frontier_applications == 0;
 
         // The query probability can only increase if at least one of the
@@ -198,9 +202,7 @@ mod tests {
         // People have ancestors, who are themselves people: the chase never
         // terminates, but truncation still brackets the probability that
         // alice has a grand-ancestor.
-        let rules = vec![
-            Rule::parse("Ancestor(x, a), Person(a) :- Person(x)", 0.5).unwrap(),
-        ];
+        let rules = vec![Rule::parse("Ancestor(x, a), Person(a) :- Person(x)", 0.5).unwrap()];
         let mut tid = TidInstance::new();
         tid.add_fact_named("Person", &["alice"], 1.0);
         let chase = TruncatedChase::new(rules);

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the Criterion API used by `stuc-bench`:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`] and
+//! [`black_box`]. Timing is a simple adaptive loop — run the closure until
+//! the measurement window is filled, report the mean per-iteration time —
+//! which is enough to show the asymptotic *shape* of each comparison (who
+//! wins, by what factor, where the crossover happens). No statistics, plots
+//! or saved baselines.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The per-measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean wall time per iteration, filled in by [`Bencher::iter`].
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: first a warm-up window, then an adaptive
+    /// measurement window of at least `sample_size` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if iterations >= self.config.sample_size
+                && started.elapsed() >= self.config.measurement_time
+            {
+                break;
+            }
+            // Never spin more than ~16x the window on very fast routines.
+            if iterations >= self.config.sample_size * 16 {
+                break;
+            }
+        }
+        self.elapsed = started.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A named group of related benchmarks, printed as a section.
+pub struct BenchmarkGroup<'a> {
+    criterion: std::marker::PhantomData<&'a mut Criterion>,
+    config: Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<R: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            config: &self.config,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        report_line(&self.name, &id.to_string(), &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            config: &self.config,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        routine(&mut bencher, input);
+        report_line(&self.name, &id.to_string(), &bencher);
+        self
+    }
+
+    /// Overrides the sample size for this group (parity with Criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n as u64;
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.config.measurement_time = window;
+        self
+    }
+
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn report_line(group: &str, id: &str, bencher: &Bencher<'_>) {
+    if bencher.iterations == 0 {
+        println!("{group}/{id:<40} (no iterations recorded)");
+        return;
+    }
+    let nanos = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    let formatted = if nanos >= 1e9 {
+        format!("{:>10.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:>10.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:>10.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:>10.1} ns")
+    };
+    println!(
+        "{group}/{id:<40} time: {formatted}   ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// The top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n as u64;
+        self
+    }
+
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.config.measurement_time = window;
+        self
+    }
+
+    pub fn warm_up_time(mut self, window: Duration) -> Self {
+        self.config.warm_up_time = window;
+        self
+    }
+
+    /// Plots are never produced by the shim; kept for API parity.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: std::marker::PhantomData,
+            config: self.config.clone(),
+            name,
+        }
+    }
+
+    pub fn final_summary(&mut self) {
+        println!("benchmark run complete");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = criterion.benchmark_group("shim_smoke");
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        criterion.final_summary();
+        assert!(runs >= 5);
+    }
+}

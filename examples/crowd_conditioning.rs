@@ -13,9 +13,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use stuc::circuit::circuit::VarId;
+use stuc::circuit::wmc::TreewidthWmc;
 use stuc::cond::crowd::{entropy, interactive_conditioning, CrowdOracle, QuestionSelector};
 use stuc::core::workloads::contributor_pcc;
-use stuc::core::pipeline::TractablePipeline;
 use stuc::query::cq::ConjunctiveQuery;
 use stuc::query::lineage::pcc_lineage;
 
@@ -26,11 +26,13 @@ fn main() {
     let query = ConjunctiveQuery::parse("Claim(\"entity0\", x), Claim(\"entity1\", y)").unwrap();
     let lineage = pcc_lineage(&pcc, &query);
 
-    let pipeline = TractablePipeline::default();
-    let prior = pipeline
-        .circuit_probability(&lineage, pcc.probabilities())
+    let prior = TreewidthWmc::default()
+        .probability(&lineage, pcc.probabilities())
         .expect("tractable lineage");
-    println!("prior P[query] = {prior:.4}, entropy = {:.4} bits", entropy(prior));
+    println!(
+        "prior P[query] = {prior:.4}, entropy = {:.4} bits",
+        entropy(prior)
+    );
 
     // Candidate questions: the contributor trust events.
     let candidates: Vec<VarId> = (0..3).map(VarId).collect();
@@ -49,11 +51,7 @@ fn main() {
     // trustworthy, contributor 2 is a vandal. The crowd answers correctly
     // 85% of the time.
     let oracle = CrowdOracle {
-        ground_truth: BTreeMap::from([
-            (VarId(0), true),
-            (VarId(1), true),
-            (VarId(2), false),
-        ]),
+        ground_truth: BTreeMap::from([(VarId(0), true), (VarId(1), true), (VarId(2), false)]),
         reliability: 0.85,
     };
     let mut rng = StdRng::seed_from_u64(7);

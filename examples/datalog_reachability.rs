@@ -51,7 +51,12 @@ fn main() {
 
     // Probability of every interesting connection, by two back-ends.
     let weights = flights.fact_weights();
-    for (from, to) in [("CDG", "PDX"), ("CDG", "MEL"), ("MEL", "CDG"), ("PDX", "MEL")] {
+    for (from, to) in [
+        ("CDG", "PDX"),
+        ("CDG", "MEL"),
+        ("MEL", "CDG"),
+        ("PDX", "MEL"),
+    ] {
         match provenance.fact_lineage("Reach", &[from, to]) {
             Some(lineage) => {
                 let exact = TreewidthWmc::default()

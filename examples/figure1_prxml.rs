@@ -14,13 +14,29 @@ use stuc::prxml::scope::analyze_scopes;
 
 fn main() {
     let doc = PrXmlDocument::figure1_example();
-    println!("Figure 1 PrXML document: {} nodes, {} variables", doc.len(), doc.variables().len());
+    println!(
+        "Figure 1 PrXML document: {} nodes, {} variables",
+        doc.len(),
+        doc.variables().len()
+    );
 
     let queries = [
-        ("occupation 'musician' is recorded", PrxmlQuery::LabelExists("musician".into())),
-        ("given name is 'Chelsea'", PrxmlQuery::LabelExists("Chelsea".into())),
-        ("given name is 'Bradley'", PrxmlQuery::LabelExists("Bradley".into())),
-        ("place of birth is recorded", PrxmlQuery::LabelExists("place of birth".into())),
+        (
+            "occupation 'musician' is recorded",
+            PrxmlQuery::LabelExists("musician".into()),
+        ),
+        (
+            "given name is 'Chelsea'",
+            PrxmlQuery::LabelExists("Chelsea".into()),
+        ),
+        (
+            "given name is 'Bradley'",
+            PrxmlQuery::LabelExists("Bradley".into()),
+        ),
+        (
+            "place of birth is recorded",
+            PrxmlQuery::LabelExists("place of birth".into()),
+        ),
         (
             "both of Jane's facts are present",
             PrxmlQuery::And(
@@ -37,7 +53,10 @@ fn main() {
         ),
         (
             "surname 'Manning' under a 'surname' element",
-            PrxmlQuery::ParentChild { parent: "surname".into(), child: "Manning".into() },
+            PrxmlQuery::ParentChild {
+                parent: "surname".into(),
+                child: "Manning".into(),
+            },
         ),
     ];
 

@@ -19,9 +19,12 @@ use stuc::rules::{ProbabilisticChase, Rule};
 /// The fully observed part of the knowledge base, used for rule mining.
 fn training_kb() -> Instance {
     let mut kb = Instance::new();
-    for (person, country) in
-        [("alice", "france"), ("bob", "france"), ("carol", "japan"), ("dave", "japan")]
-    {
+    for (person, country) in [
+        ("alice", "france"),
+        ("bob", "france"),
+        ("carol", "japan"),
+        ("dave", "japan"),
+    ] {
         kb.add_fact_named("Citizen", &[person, country]);
     }
     kb.add_fact_named("Lives", &["alice", "france"]);
@@ -38,7 +41,11 @@ fn training_kb() -> Instance {
 
 fn main() {
     // 1. Mine soft rules (with observed confidences) from the training data.
-    let miner = RuleMiner { min_support: 2, min_confidence: 0.6, mine_path_rules: true };
+    let miner = RuleMiner {
+        min_support: 2,
+        min_confidence: 0.6,
+        mine_path_rules: true,
+    };
     let mined = miner.mine(&training_kb());
     println!("mined {} rules:", mined.len());
     for rule in mined.iter().take(6) {
@@ -61,7 +68,9 @@ fn main() {
     // uncertain. This is the paper's argument for soft rules.
     let hard_rules: Vec<Rule> = mined.iter().map(|m| m.rule.clone()).collect();
     let hard = HardConstraints::new(hard_rules);
-    let certain = hard.certain(uncertain_kb.instance(), &query).expect("chase terminates");
+    let certain = hard
+        .certain(uncertain_kb.instance(), &query)
+        .expect("chase terminates");
     println!("\ncertain when the mined rules are (wrongly) treated as hard: {certain}");
 
     // Soft-rule completion: the probabilistic chase combines the fact
@@ -84,8 +93,7 @@ fn main() {
     let mut people = TidInstance::new();
     people.add_fact_named("Person", &["erin"], 1.0);
     let truncated = TruncatedChase::new(ancestor_rules);
-    let ancestor_query =
-        ConjunctiveQuery::parse("Ancestor(\"erin\", x)").expect("valid query");
+    let ancestor_query = ConjunctiveQuery::parse("Ancestor(\"erin\", x)").expect("valid query");
     println!("\ntruncated chase for the non-terminating ancestor rule:");
     for depth in 1..=4 {
         let report = truncated

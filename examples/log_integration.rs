@@ -33,8 +33,14 @@ fn main() {
         errors.len(),
         errors.count_linear_extensions().unwrap()
     );
-    let world_a = vec![vec!["server: error disk".to_string()], vec!["worker: error oom".to_string()]];
-    let world_b = vec![vec!["worker: error oom".to_string()], vec!["server: error disk".to_string()]];
+    let world_a = vec![
+        vec!["server: error disk".to_string()],
+        vec!["worker: error oom".to_string()],
+    ];
+    let world_b = vec![
+        vec!["worker: error oom".to_string()],
+        vec!["server: error disk".to_string()],
+    ];
     println!(
         "  'disk before oom' possible: {} / 'oom before disk' possible: {}",
         errors.is_possible_world(&world_a),

@@ -64,14 +64,19 @@ fn main() {
         "P[ritz in the top 2]        = {:.4}",
         distribution.top_k_probability(ritz, 2)
     );
-    println!("expected rank of palace      = {:.4}", distribution.expected_rank(palace));
+    println!(
+        "expected rank of palace      = {:.4}",
+        distribution.expected_rank(palace)
+    );
 
     // Draw a few consensus rankings uniformly at random.
     let mut rng = StdRng::seed_from_u64(2015);
     for draw in 0..3 {
         let sample = distribution.sample(&mut rng);
-        let labels: Vec<&str> =
-            sample.iter().map(|&e| merged.tuple(e)[0].as_str()).collect();
+        let labels: Vec<&str> = sample
+            .iter()
+            .map(|&e| merged.tuple(e)[0].as_str())
+            .collect();
         println!("sampled ranking {draw}: {}", labels.join(" > "));
     }
 

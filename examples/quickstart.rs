@@ -1,14 +1,16 @@
-//! Quickstart: exact query probability on a tuple-independent instance.
+//! Quickstart: exact query probability through the unified engine.
 //!
-//! Builds a path-shaped TID instance, asks for the probability that a length-2
-//! `R`-path exists, and cross-checks the structurally tractable pipeline
-//! (Theorem 1) against the naive baselines.
+//! Builds a path-shaped TID instance, asks for the probability that a
+//! length-2 `R`-path exists, and shows what the engine reports about *how*
+//! it answered: which back-end ran, the decomposition width, the lineage
+//! size and the wall time. Then runs the same query pinned to each counting
+//! back-end to show they agree.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use stuc::core::pipeline::TractablePipeline;
 use stuc::data::tid::TidInstance;
 use stuc::query::cq::ConjunctiveQuery;
+use stuc::{BackendKind, Engine};
 
 fn main() {
     // A chain of uncertain facts: R(c0, c1), R(c1, c2), ..., each present
@@ -18,20 +20,57 @@ fn main() {
         tid.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)], 0.5);
     }
 
-    // "Is there a path of length two?" — a self-join query.
+    // "Is there a path of length two?" — a self-join query, so the
+    // extensional safe plan is off the table and the engine picks the
+    // structural (treewidth) pipeline.
     let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").expect("valid query");
 
-    let pipeline = TractablePipeline::default();
-    let report = pipeline
-        .evaluate_cq_on_tid(&tid, &query)
+    let engine = Engine::new();
+    let report = engine
+        .evaluate(&tid, &query)
         .expect("bounded-treewidth instance");
 
-    println!("instance: {} facts, decomposition width {}", report.fact_count, report.decomposition_width);
     println!("P[ ∃xyz R(x,y) ∧ R(y,z) ] = {:.6}", report.probability);
-    println!("possible: {}, certain: {}", report.is_possible(), report.is_certain());
+    println!(
+        "backend: {}, width: {:?}, lineage gates: {}, wall time: {:?}",
+        report.backend_name(),
+        report.decomposition_width,
+        report.circuit_gates,
+        report.wall_time,
+    );
+    for note in &report.notes {
+        println!("  note: {note}");
+    }
+    println!(
+        "possible: {}, certain: {}",
+        report.is_possible(),
+        report.is_certain()
+    );
 
-    // Cross-check with the DPLL baseline (no treewidth assumption).
-    let dpll = pipeline.baseline_dpll(&tid, &query).expect("small instance");
-    println!("DPLL baseline agrees: {:.6}", dpll);
-    assert!((report.probability - dpll).abs() < 1e-9);
+    // A hierarchical query on the same instance takes the extensional fast
+    // path instead — no decomposition, no circuit.
+    let hierarchical = ConjunctiveQuery::parse("R(x, y)").expect("valid query");
+    let fast = engine.evaluate(&tid, &hierarchical).expect("safe query");
+    println!(
+        "\nP[ ∃xy R(x,y) ] = {:.6} via {} (gates: {})",
+        fast.probability,
+        fast.backend_name(),
+        fast.circuit_gates,
+    );
+
+    // Cross-check the self-join query on every counting back-end.
+    println!("\nback-end agreement:");
+    for kind in [
+        BackendKind::TreewidthWmc,
+        BackendKind::Dpll,
+        BackendKind::Enumeration,
+    ] {
+        let pinned = Engine::builder().backend(kind).build();
+        let p = pinned
+            .evaluate(&tid, &query)
+            .expect("small instance")
+            .probability;
+        println!("  {kind:<14} {p:.9}");
+        assert!((report.probability - p).abs() < 1e-9);
+    }
 }

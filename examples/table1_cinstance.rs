@@ -8,23 +8,39 @@
 //! Run with: `cargo run --example table1_cinstance`
 
 use stuc::circuit::weights::Weights;
+use stuc::circuit::wmc::TreewidthWmc;
 use stuc::data::cinstance::CInstance;
 use stuc::data::worlds;
 use stuc::query::cq::ConjunctiveQuery;
 use stuc::query::lineage::cinstance_lineage;
-use stuc::circuit::wmc::TreewidthWmc;
 
 fn main() {
     let ci = CInstance::table1_example();
-    println!("Table 1 c-instance: {} facts over events pods, stoc\n", ci.instance().fact_count());
+    println!(
+        "Table 1 c-instance: {} facts over events pods, stoc\n",
+        ci.instance().fact_count()
+    );
     for (id, _) in ci.instance().facts() {
-        println!("  {:<45} [{}]", ci.instance().render_fact(id), ci.annotation(id));
+        println!(
+            "  {:<45} [{}]",
+            ci.instance().render_fact(id),
+            ci.annotation(id)
+        );
     }
 
     println!("\nPossible worlds (by event valuation):");
     for world in worlds::enumerate_worlds(&ci).expect("two events only") {
-        let trips: Vec<String> = world.facts.iter().map(|&f| ci.instance().render_fact(f)).collect();
-        println!("  {:?} -> {} trips: {}", world.valuation, trips.len(), trips.join("; "));
+        let trips: Vec<String> = world
+            .facts
+            .iter()
+            .map(|&f| ci.instance().render_fact(f))
+            .collect();
+        println!(
+            "  {:?} -> {} trips: {}",
+            world.valuation,
+            trips.len(),
+            trips.join("; ")
+        );
     }
 
     // Attach probabilities: the researcher attends PODS with 0.8, STOC with 0.3.
@@ -36,7 +52,10 @@ fn main() {
 
     let queries = [
         ("some trip leaves Paris CDG", "Trip(\"Paris_CDG\", x)"),
-        ("a round trip CDG ⇄ Melbourne exists", "Trip(\"Paris_CDG\", \"Melbourne_MEL\"), Trip(\"Melbourne_MEL\", \"Paris_CDG\")"),
+        (
+            "a round trip CDG ⇄ Melbourne exists",
+            "Trip(\"Paris_CDG\", \"Melbourne_MEL\"), Trip(\"Melbourne_MEL\", \"Paris_CDG\")",
+        ),
         ("some trip reaches Portland", "Trip(x, \"Portland_PDX\")"),
         ("some trip exists at all", "Trip(x, y)"),
     ];
@@ -44,7 +63,9 @@ fn main() {
     for (description, text) in queries {
         let query = ConjunctiveQuery::parse(text).unwrap();
         let lineage = cinstance_lineage(&ci, &query);
-        let probability = TreewidthWmc::default().probability(&lineage, &weights).unwrap();
+        let probability = TreewidthWmc::default()
+            .probability(&lineage, &weights)
+            .unwrap();
         // With event probabilities strictly inside (0, 1), the query is
         // possible iff its probability is non-zero and certain iff it is one.
         println!(

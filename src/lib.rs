@@ -9,6 +9,13 @@
 //! uncertainty annotations — makes the problem tractable, even though it is
 //! `#P`-hard on arbitrary inputs.
 //!
+//! The one public entry point is [`Engine`]: it evaluates Boolean queries on
+//! **every** uncertain representation in the workspace (tuple-independent
+//! instances, c-/pc-/pcc-instances, probabilistic XML) through the
+//! [`core::engine::Representation`] trait, automatically selecting among
+//! four pluggable back-ends (extensional safe plan, treewidth weighted model
+//! counting, DPLL, enumeration) and reporting which one actually ran.
+//!
 //! The workspace is organised as one crate per subsystem:
 //!
 //! * [`graph`] — graphs, tree decompositions, treewidth heuristics.
@@ -26,13 +33,13 @@
 //!   positive relational algebra with bag semantics.
 //! * [`rules`] — probabilistic existential rules and the chase.
 //! * [`cond`] — conditioning uncertain data and crowd question selection.
-//! * [`core`] — the headline pipeline: instance → decomposition →
-//!   tree encoding → automaton run → lineage circuit → probability.
+//! * [`core`] — the unified [`core::engine`] (plus the deprecated
+//!   pre-engine `TractablePipeline` shims and shared workload generators).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use stuc::core::pipeline::TractablePipeline;
+//! use stuc::Engine;
 //! use stuc::data::tid::TidInstance;
 //! use stuc::query::cq::ConjunctiveQuery;
 //!
@@ -44,10 +51,33 @@
 //! // Query: does some R-path of length 2 exist?
 //! let q = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
 //!
-//! let pipeline = TractablePipeline::default();
-//! let report = pipeline.evaluate_cq_on_tid(&tid, &q).unwrap();
+//! // One engine, every representation, back-end picked automatically.
+//! let engine = Engine::new();
+//! let report = engine.evaluate(&tid, &q).unwrap();
 //! assert!((report.probability - 0.25).abs() < 1e-9);
+//! assert_eq!(report.backend_name(), "treewidth-wmc"); // self-join ⇒ no safe plan
 //! ```
+//!
+//! The same engine evaluates a pcc-instance (Theorem 2) or a probabilistic
+//! XML document — only the representation and query types change:
+//!
+//! ```
+//! use stuc::Engine;
+//! use stuc::prxml::document::PrXmlDocument;
+//! use stuc::prxml::queries::PrxmlQuery;
+//!
+//! let doc = PrXmlDocument::figure1_example();
+//! let report = Engine::new()
+//!     .evaluate(&doc, &PrxmlQuery::LabelExists("musician".into()))
+//!     .unwrap();
+//! assert!(report.probability > 0.0);
+//! ```
+//!
+//! ## Migrating from `TractablePipeline`
+//!
+//! The pre-engine entry point `stuc::core::pipeline::TractablePipeline` is
+//! deprecated; each of its methods is now a thin shim over [`Engine`]. See
+//! the migration table in [`core::pipeline`].
 
 pub use stuc_automata as automata;
 pub use stuc_circuit as circuit;
@@ -59,3 +89,8 @@ pub use stuc_order as order;
 pub use stuc_prxml as prxml;
 pub use stuc_query as query;
 pub use stuc_rules as rules;
+
+pub use stuc_core::engine::{
+    Backend, BackendKind, BackendPolicy, Engine, EngineBuilder, EvaluationReport, ReprKind,
+    Representation, StucError,
+};

@@ -1,0 +1,103 @@
+//! Property test for the back-end contract: on small random TID workloads
+//! from `stuc_core::workloads`, the automatically selected strategy and
+//! every explicitly pinned back-end (`TreewidthWmc`, `Dpll`, `Enumeration`)
+//! return the same probability within 1e-9. The enumeration back-end is the
+//! ground truth (it sums the worlds directly), so this pins both the lineage
+//! constructions and the counting algorithms to the semantics.
+
+use proptest::prelude::*;
+use stuc::circuit::wmc::WmcError;
+use stuc::core::workloads;
+use stuc::query::cq::ConjunctiveQuery;
+use stuc::{BackendKind, Engine, StucError};
+
+fn agreement(tid: &stuc::data::tid::TidInstance, query: &ConjunctiveQuery) -> Result<(), String> {
+    let auto = Engine::new()
+        .evaluate(tid, query)
+        .map_err(|e| format!("auto failed: {e}"))?;
+    for kind in [
+        BackendKind::TreewidthWmc,
+        BackendKind::Dpll,
+        BackendKind::Enumeration,
+    ] {
+        let pinned = Engine::builder().backend(kind).build();
+        let report = match pinned.evaluate(tid, query) {
+            // A pinned treewidth back-end may legitimately *refuse* a circuit
+            // wider than its budget (Auto falls back to DPLL in that case);
+            // the agreement contract only covers answers it actually gives.
+            Err(StucError::Wmc(WmcError::WidthTooLarge { .. }))
+                if kind == BackendKind::TreewidthWmc =>
+            {
+                continue;
+            }
+            other => other.map_err(|e| format!("{kind} failed: {e}"))?,
+        };
+        if report.backend != kind {
+            return Err(format!("pinned {kind} but {} ran", report.backend));
+        }
+        if (report.probability - auto.probability).abs() > 1e-9 {
+            return Err(format!(
+                "{kind} disagrees with auto ({}): {} vs {}",
+                auto.backend, report.probability, auto.probability
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Path-shaped TIDs: every back-end agrees on the self-join path query
+    /// (auto picks treewidth WMC here) and on the single-atom query (auto
+    /// picks the safe plan, which the circuit back-ends must match).
+    #[test]
+    fn backends_agree_on_random_paths(
+        n in 2usize..10,
+        p in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let tid = workloads::path_tid(n, p, seed);
+        for query in ["R(x, y), R(y, z)", "R(x, y)"] {
+            let query = ConjunctiveQuery::parse(query).unwrap();
+            if let Err(message) = agreement(&tid, &query) {
+                prop_assert!(false, "n={n} p={p:.3} seed={seed}: {message}");
+            }
+        }
+    }
+
+    /// Random sparse TIDs (arbitrary shape, possibly cyclic Gaifman graphs):
+    /// the same agreement holds with no structural guarantees at all.
+    #[test]
+    fn backends_agree_on_random_sparse_instances(
+        facts in 1usize..12,
+        domain in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let tid = workloads::random_sparse_tid(facts, domain, seed);
+        for query in ["R(x, y), R(y, z)", "R(x, x)", "R(x, y), R(y, x)"] {
+            let query = ConjunctiveQuery::parse(query).unwrap();
+            if let Err(message) = agreement(&tid, &query) {
+                prop_assert!(false, "facts={facts} domain={domain} seed={seed}: {message}");
+            }
+        }
+    }
+
+    /// The paper's hard query on star-shaped data: hierarchical, so auto
+    /// takes the extensional safe plan — which must match the intensional
+    /// circuit back-ends exactly.
+    #[test]
+    fn safe_plan_agrees_with_circuit_backends_on_stars(
+        hubs in 1usize..5,
+        p in 0.1f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let tid = workloads::rst_star_tid(hubs, p, seed);
+        let query = ConjunctiveQuery::parse("R(x), S(x, y)").unwrap();
+        let auto = Engine::new().evaluate(&tid, &query).unwrap();
+        prop_assert_eq!(auto.backend, BackendKind::SafePlan);
+        if let Err(message) = agreement(&tid, &query) {
+            prop_assert!(false, "hubs={hubs} p={p:.3} seed={seed}: {message}");
+        }
+    }
+}

@@ -2,9 +2,9 @@
 //! through the public façade, with all back-ends cross-checked against each
 //! other and against explicit possible-world semantics.
 
+use stuc::circuit::weights::Weights;
 use stuc::circuit::wmc::TreewidthWmc;
 use stuc::cond::conditioning::conditioned_query_probability;
-use stuc::core::pipeline::TractablePipeline;
 use stuc::core::workloads;
 use stuc::data::cinstance::CInstance;
 use stuc::data::instance::FactId;
@@ -16,7 +16,7 @@ use stuc::query::cq::ConjunctiveQuery;
 use stuc::query::lineage::cinstance_lineage;
 use stuc::rules::chase::ProbabilisticChase;
 use stuc::rules::rule::Rule;
-use stuc::circuit::weights::Weights;
+use stuc::{BackendKind, Engine};
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() < 1e-9
@@ -42,7 +42,10 @@ fn figure1_probabilities_match_paper_annotations() {
     for (query, expected) in cases {
         let tractable = query_probability(&doc, &query).unwrap();
         let naive = query_probability_by_enumeration(&doc, &query).unwrap();
-        assert!(close(tractable, expected), "{query:?}: {tractable} vs {expected}");
+        assert!(
+            close(tractable, expected),
+            "{query:?}: {tractable} vs {expected}"
+        );
         assert!(close(tractable, naive));
     }
 }
@@ -63,12 +66,16 @@ fn table1_full_workflow_possibility_certainty_probability() {
     weights.set(stoc, 0.3);
     let query = ConjunctiveQuery::parse("Trip(\"Paris_CDG\", x)").unwrap();
     let lineage = cinstance_lineage(&ci, &query);
-    let p = TreewidthWmc::default().probability(&lineage, &weights).unwrap();
+    let p = TreewidthWmc::default()
+        .probability(&lineage, &weights)
+        .unwrap();
 
     let pc = ci.clone().with_probabilities(weights);
     let cdg = pc.instance().find_constant("Paris_CDG").unwrap();
     let reference = worlds::query_probability(&pc, |facts| {
-        facts.iter().any(|&f| pc.instance().fact(f).args.first() == Some(&cdg))
+        facts
+            .iter()
+            .any(|&f| pc.instance().fact(f).args.first() == Some(&cdg))
     })
     .unwrap();
     assert!(close(p, reference));
@@ -77,7 +84,9 @@ fn table1_full_workflow_possibility_certainty_probability() {
 
 #[test]
 fn theorem1_pipeline_agrees_with_all_baselines() {
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
+    let dpll = Engine::builder().backend(BackendKind::Dpll).build();
+    let brute_force = Engine::builder().backend(BackendKind::Enumeration).build();
     let queries = [
         ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap(),
         ConjunctiveQuery::parse("R(x, y)").unwrap(),
@@ -85,9 +94,9 @@ fn theorem1_pipeline_agrees_with_all_baselines() {
     for seed in 0..3 {
         let tid = workloads::path_tid(10, 0.4, seed);
         for query in &queries {
-            let exact = pipeline.evaluate_cq_on_tid(&tid, query).unwrap().probability;
-            let dpll = pipeline.baseline_dpll(&tid, query).unwrap();
-            let brute = pipeline.baseline_enumeration(&tid, query).unwrap();
+            let exact = engine.evaluate(&tid, query).unwrap().probability;
+            let dpll = dpll.evaluate(&tid, query).unwrap().probability;
+            let brute = brute_force.evaluate(&tid, query).unwrap().probability;
             assert!(close(exact, dpll), "seed {seed}: {exact} vs {dpll}");
             assert!(close(exact, brute), "seed {seed}: {exact} vs {brute}");
         }
@@ -96,25 +105,34 @@ fn theorem1_pipeline_agrees_with_all_baselines() {
 
 #[test]
 fn unsafe_query_tractable_on_tree_data_and_matches_ground_truth() {
-    let pipeline = TractablePipeline::default();
     let query = ConjunctiveQuery::parse("R(x), S(x, y), T(y)").unwrap();
     let tid = workloads::rst_path_tid(5, 0.5, 2);
-    // The safe-plan baseline refuses; the pipeline still answers exactly.
-    assert!(pipeline.baseline_safe_plan(&tid, &query).is_err());
-    let exact = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap().probability;
-    let brute = pipeline.baseline_enumeration(&tid, &query).unwrap();
-    assert!(close(exact, brute));
+    // The safe-plan back-end refuses; the engine still answers exactly.
+    let safe_plan = Engine::builder().backend(BackendKind::SafePlan).build();
+    assert!(safe_plan.evaluate(&tid, &query).is_err());
+    let report = Engine::new().evaluate(&tid, &query).unwrap();
+    assert_eq!(report.backend, BackendKind::TreewidthWmc);
+    let brute = Engine::builder()
+        .backend(BackendKind::Enumeration)
+        .build()
+        .evaluate(&tid, &query)
+        .unwrap()
+        .probability;
+    assert!(close(report.probability, brute));
 }
 
 #[test]
 fn theorem2_pcc_pipeline_matches_enumeration() {
-    let pipeline = TractablePipeline::default();
+    let engine = Engine::new();
     let query = ConjunctiveQuery::parse("Claim(x, y)").unwrap();
     for seed in 0..3 {
         let pcc = workloads::contributor_pcc(7, 3, 0.6, 0.85, seed);
-        let exact = pipeline.evaluate_cq_on_pcc(&pcc, &query).unwrap().probability;
+        let exact = engine.evaluate(&pcc, &query).unwrap().probability;
         let reference = workloads::pcc_query_probability_by_enumeration(&pcc, &query);
-        assert!(close(exact, reference), "seed {seed}: {exact} vs {reference}");
+        assert!(
+            close(exact, reference),
+            "seed {seed}: {exact} vs {reference}"
+        );
     }
 }
 
@@ -148,10 +166,9 @@ fn rules_then_conditioning_end_to_end() {
 fn scaling_smoke_test_large_path_instance() {
     // Theorem 1 in practice: a 20 000-fact path instance evaluates quickly
     // and exactly (the probability of a length-2 path approaches a limit).
-    let pipeline = TractablePipeline::default();
     let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
     let tid = workloads::path_tid(20_000, 0.5, 1);
-    let report = pipeline.evaluate_cq_on_tid(&tid, &query).unwrap();
-    assert_eq!(report.decomposition_width, 1);
+    let report = Engine::new().evaluate(&tid, &query).unwrap();
+    assert_eq!(report.decomposition_width, Some(1));
     assert!(report.probability > 0.99);
 }

@@ -6,7 +6,6 @@
 use stuc::circuit::circuit::VarId;
 use stuc::circuit::enumeration::probability_by_enumeration;
 use stuc::circuit::weights::Weights;
-use stuc::core::pipeline::TractablePipeline;
 use stuc::data::formula::Formula;
 use stuc::data::tid::TidInstance;
 use stuc::order::annotated::AnnotatedPoRelation;
@@ -25,6 +24,7 @@ use stuc::rules::constraints::HardConstraints;
 use stuc::rules::mining::RuleMiner;
 use stuc::rules::truncation::TruncatedChase;
 use stuc::rules::ProbabilisticChase;
+use stuc::Engine;
 
 /// The non-recursive part of Datalog provenance must agree with the
 /// structurally tractable pipeline of Theorem 1 on the equivalent CQ.
@@ -42,7 +42,7 @@ fn datalog_provenance_agrees_with_the_tractable_pipeline() {
     let from_datalog = probability_by_enumeration(&lineage, &tid.fact_weights()).unwrap();
     // … and as the CQ evaluated by the automaton pipeline.
     let cq = ConjunctiveQuery::parse("Edge(x, y), Edge(y, z)").unwrap();
-    let report = TractablePipeline::default().evaluate_cq_on_tid(&tid, &cq).unwrap();
+    let report = Engine::new().evaluate(&tid, &cq).unwrap();
     assert!((from_datalog - report.probability).abs() < 1e-9);
 }
 
@@ -71,13 +71,9 @@ fn precedence_probability_matches_counting() {
 /// output.
 #[test]
 fn distinct_certain_over_approximates_exact_set_worlds() {
-    let ranking_a = PoRelation::totally_ordered(vec![
-        vec!["x".into()],
-        vec!["y".into()],
-        vec!["z".into()],
-    ]);
-    let ranking_b =
-        PoRelation::totally_ordered(vec![vec!["y".into()], vec!["x".into()]]);
+    let ranking_a =
+        PoRelation::totally_ordered(vec![vec!["x".into()], vec!["y".into()], vec!["z".into()]]);
+    let ranking_b = PoRelation::totally_ordered(vec![vec!["y".into()], vec!["x".into()]]);
     let merged = stuc::order::posra::union_parallel(&ranking_a, &ranking_b);
     let exact = set_possible_worlds(&merged).unwrap();
     let approximated = distinct_certain(&merged);
@@ -108,7 +104,11 @@ fn annotated_po_relations_combine_fact_and_order_uncertainty() {
     let full = log
         .sequence_possibility_probability(
             &weights,
-            &[vec!["boot".into()], vec!["crash".into()], vec!["audit".into()]],
+            &[
+                vec!["boot".into()],
+                vec!["crash".into()],
+                vec!["audit".into()],
+            ],
         )
         .unwrap();
     assert!((full - 0.5).abs() < 1e-12);
@@ -139,7 +139,11 @@ fn mined_rules_drive_chase_and_truncation_consistently() {
             training.add_fact_named("Lives", &[person, "elsewhere"]);
         }
     }
-    let miner = RuleMiner { min_support: 2, min_confidence: 0.5, mine_path_rules: false };
+    let miner = RuleMiner {
+        min_support: 2,
+        min_confidence: 0.5,
+        mine_path_rules: false,
+    };
     let mined = miner.mine(&training);
     let lives_rule = mined
         .iter()
@@ -155,7 +159,11 @@ fn mined_rules_drive_chase_and_truncation_consistently() {
     fresh.add_fact_named("Citizen", &["erin", "france"], 1.0);
     let query = ConjunctiveQuery::parse("Lives(\"erin\", \"france\")").unwrap();
     let chase = ProbabilisticChase::new(vec![lives_rule.rule.clone()]);
-    let probability = chase.run(&fresh).unwrap().query_probability(&query).unwrap();
+    let probability = chase
+        .run(&fresh)
+        .unwrap()
+        .query_probability(&query)
+        .unwrap();
     assert!((probability - 0.75).abs() < 1e-9);
 
     let truncated = TruncatedChase::new(vec![lives_rule.rule.clone()]);
@@ -170,9 +178,8 @@ fn mined_rules_drive_chase_and_truncation_consistently() {
 /// fact is certain.
 #[test]
 fn hard_constraints_agree_with_confidence_one_chase() {
-    let rule =
-        stuc::rules::Rule::parse("LocatedIn(x, z) :- LocatedIn(x, y), LocatedIn(y, z)", 1.0)
-            .unwrap();
+    let rule = stuc::rules::Rule::parse("LocatedIn(x, z) :- LocatedIn(x, y), LocatedIn(y, z)", 1.0)
+        .unwrap();
     let mut tid = TidInstance::new();
     tid.add_fact_named("LocatedIn", &["paris", "france"], 1.0);
     tid.add_fact_named("LocatedIn", &["france", "europe"], 1.0);
@@ -197,19 +204,13 @@ fn prxml_conditioning_obeys_total_probability() {
     let query = PrxmlQuery::LabelExists("Chelsea".into());
     let evidence = PrxmlQuery::LabelExists("musician".into());
     let p_query = query_probability(&doc, &query).unwrap();
-    let p_evidence = constraint_probability(&doc, &PrxmlConstraint::Holds(evidence.clone())).unwrap();
-    let p_given = conditioned_query_probability(
-        &doc,
-        &query,
-        &PrxmlConstraint::Holds(evidence.clone()),
-    )
-    .unwrap();
-    let p_given_not = conditioned_query_probability(
-        &doc,
-        &query,
-        &PrxmlConstraint::Violated(evidence),
-    )
-    .unwrap();
+    let p_evidence =
+        constraint_probability(&doc, &PrxmlConstraint::Holds(evidence.clone())).unwrap();
+    let p_given =
+        conditioned_query_probability(&doc, &query, &PrxmlConstraint::Holds(evidence.clone()))
+            .unwrap();
+    let p_given_not =
+        conditioned_query_probability(&doc, &query, &PrxmlConstraint::Violated(evidence)).unwrap();
     let reconstructed = p_given * p_evidence + p_given_not * (1.0 - p_evidence);
     assert!((reconstructed - p_query).abs() < 1e-9);
 }
@@ -232,8 +233,7 @@ fn prxml_conditioning_tracks_shared_events() {
     // The cheap event-conditioning route gives the same number.
     let mut fixed = doc.clone();
     stuc::prxml::constraints::condition_on_event(&mut fixed, "eJane", true).unwrap();
-    let via_event =
-        query_probability(&fixed, &PrxmlQuery::LabelExists("Manning".into())).unwrap();
+    let via_event = query_probability(&fixed, &PrxmlQuery::LabelExists("Manning".into())).unwrap();
     assert!((conditioned - via_event).abs() < 1e-9);
 }
 
@@ -247,8 +247,8 @@ fn rank_distribution_matches_world_enumeration() {
     let distribution = LinearExtensionDistribution::new(&merged).unwrap();
     let extensions = merged.linear_extensions().unwrap();
     let a1 = merged.elements().find(|(_, t)| t[0] == "a1").unwrap().0;
-    let by_enumeration = extensions.iter().filter(|ext| ext[0] == a1).count() as f64
-        / extensions.len() as f64;
+    let by_enumeration =
+        extensions.iter().filter(|ext| ext[0] == a1).count() as f64 / extensions.len() as f64;
     let by_distribution = distribution.rank_distribution(a1)[0];
     assert!((by_enumeration - by_distribution).abs() < 1e-12);
     // And both agree with the symmetric answer: each chain's head is equally
@@ -309,7 +309,9 @@ fn annotated_po_relation_possibility_masses_are_consistent() {
     );
     let mut weights = Weights::new();
     weights.set(VarId(0), 0.3);
-    let empty = relation.sequence_possibility_probability(&weights, &[]).unwrap();
+    let empty = relation
+        .sequence_possibility_probability(&weights, &[])
+        .unwrap();
     // Exactly one of the two tuples survives in every world: the empty
     // sequence is never a possible world.
     assert!(empty.abs() < 1e-12);

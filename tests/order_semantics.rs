@@ -20,13 +20,21 @@ fn worlds(relation: &PoRelation) -> BTreeSet<Vec<Vec<String>>> {
         .linear_extensions()
         .unwrap()
         .into_iter()
-        .map(|extension| extension.iter().map(|&e| relation.tuple(e).to_vec()).collect())
+        .map(|extension| {
+            extension
+                .iter()
+                .map(|&e| relation.tuple(e).to_vec())
+                .collect()
+        })
         .collect()
 }
 
 fn list(items: &[(&str, &str)]) -> PoRelation {
     PoRelation::totally_ordered(
-        items.iter().map(|(a, b)| vec![a.to_string(), b.to_string()]).collect(),
+        items
+            .iter()
+            .map(|(a, b)| vec![a.to_string(), b.to_string()])
+            .collect(),
     )
 }
 
@@ -66,10 +74,7 @@ fn projection_commutes_with_possible_worlds() {
 /// every world of the right".
 #[test]
 fn concatenation_union_concatenates_worlds() {
-    let left = union_parallel(
-        &list(&[("a", "x")]),
-        &list(&[("b", "x")]),
-    );
+    let left = union_parallel(&list(&[("a", "x")]), &list(&[("b", "x")]));
     let right = list(&[("c", "y"), ("d", "y")]);
     let combined = worlds(&union_concat(&left, &right));
     let mut expected = BTreeSet::new();
@@ -192,22 +197,20 @@ fn annotated_sequence_masses_partition_the_space() {
         .sequence_possibility_probability(&weights, &[vec!["review".into()]])
         .unwrap();
     let claim_then_review = relation
-        .sequence_possibility_probability(
-            &weights,
-            &[vec!["claim".into()], vec!["review".into()]],
-        )
+        .sequence_possibility_probability(&weights, &[vec!["claim".into()], vec!["review".into()]])
         .unwrap();
     let review_then_claim = relation
-        .sequence_possibility_probability(
-            &weights,
-            &[vec!["review".into()], vec!["claim".into()]],
-        )
+        .sequence_possibility_probability(&weights, &[vec!["review".into()], vec!["claim".into()]])
         .unwrap();
     assert!((review_only - 0.75).abs() < 1e-12);
     assert!((claim_then_review - 0.25).abs() < 1e-12);
     assert!((review_then_claim - 0.25).abs() < 1e-12);
-    assert!((relation.label_presence_probability(&weights, &["claim".to_string()]).unwrap()
-        - 0.25)
-        .abs()
-        < 1e-12);
+    assert!(
+        (relation
+            .label_presence_probability(&weights, &["claim".to_string()])
+            .unwrap()
+            - 0.25)
+            .abs()
+            < 1e-12
+    );
 }

@@ -20,8 +20,9 @@ use stuc::rules::mining::RuleMiner;
 /// skipping any edge that would create a cycle.
 fn random_poset(n: usize, edges: &[(usize, usize)]) -> PoRelation {
     let mut po = PoRelation::new();
-    let ids: Vec<ElementId> =
-        (0..n).map(|i| po.add_tuple(vec![format!("t{}", i % 3)])).collect();
+    let ids: Vec<ElementId> = (0..n)
+        .map(|i| po.add_tuple(vec![format!("t{}", i % 3)]))
+        .collect();
     for &(a, b) in edges {
         let (a, b) = (a % n, b % n);
         if a != b {
@@ -100,7 +101,7 @@ proptest! {
     ) {
         let forward = probability_uniform_less(a_low, a_low + a_len, b_low, b_low + b_len);
         let backward = probability_uniform_less(b_low, b_low + b_len, a_low, a_low + a_len);
-        prop_assert!(forward >= -1e-12 && forward <= 1.0 + 1e-12);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&forward));
         prop_assert!((forward + backward - 1.0).abs() < 1e-9);
     }
 

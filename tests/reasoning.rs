@@ -21,7 +21,12 @@ use stuc::rules::truncation::TruncatedChase;
 use stuc::rules::{ProbabilisticChase, Rule};
 
 fn flight_edges() -> Vec<(&'static str, &'static str)> {
-    vec![("CDG", "MEL"), ("MEL", "PDX"), ("CDG", "JFK"), ("JFK", "PDX")]
+    vec![
+        ("CDG", "MEL"),
+        ("MEL", "PDX"),
+        ("CDG", "JFK"),
+        ("JFK", "PDX"),
+    ]
 }
 
 /// The Datalog fixpoint and the hard-constraint chase compute the same
@@ -47,9 +52,11 @@ fn datalog_and_certain_chase_agree_on_transitive_closure() {
 
     assert_eq!(by_datalog.fact_count(), by_chase.fact_count());
     for (from, to) in [("CDG", "PDX"), ("CDG", "MEL"), ("MEL", "PDX")] {
-        let query =
-            ConjunctiveQuery::parse(&format!("Reach(\"{from}\", \"{to}\")")).unwrap();
-        assert_eq!(query_holds(&by_datalog, &query), query_holds(&by_chase, &query));
+        let query = ConjunctiveQuery::parse(&format!("Reach(\"{from}\", \"{to}\")")).unwrap();
+        assert_eq!(
+            query_holds(&by_datalog, &query),
+            query_holds(&by_chase, &query)
+        );
     }
     let absent = ConjunctiveQuery::parse("Reach(\"PDX\", \"CDG\")").unwrap();
     assert!(!query_holds(&by_datalog, &absent));
@@ -67,11 +74,8 @@ fn datalog_provenance_equals_cq_lineage_for_nonrecursive_programs() {
     let program = DatalogProgram::parse("TwoHop(x, z) :- Edge(x, y), Edge(y, z)").unwrap();
     let provenance = DatalogProvenance::from_tid(&tid, &program).unwrap();
     let goal = ConjunctiveQuery::parse("TwoHop(x, z)").unwrap();
-    let via_datalog = probability_by_enumeration(
-        &provenance.query_lineage(&goal),
-        &tid.fact_weights(),
-    )
-    .unwrap();
+    let via_datalog =
+        probability_by_enumeration(&provenance.query_lineage(&goal), &tid.fact_weights()).unwrap();
     let cq = ConjunctiveQuery::parse("Edge(x, y), Edge(y, z)").unwrap();
     let via_lineage =
         probability_by_enumeration(&tid_lineage(&tid, &cq), &tid.fact_weights()).unwrap();
@@ -116,7 +120,11 @@ fn mining_rediscovers_the_saturating_rule() {
     }
     let program = DatalogProgram::parse("Reach(x, y) :- Edge(x, y)").unwrap();
     let saturated = program.evaluate(&instance).unwrap();
-    let miner = RuleMiner { min_support: 2, min_confidence: 0.9, mine_path_rules: false };
+    let miner = RuleMiner {
+        min_support: 2,
+        min_confidence: 0.9,
+        mine_path_rules: false,
+    };
     let mined = miner.mine(&saturated);
     let rediscovered = mined.iter().find(|m| {
         m.rule.head[0].relation == "Reach"
@@ -161,7 +169,10 @@ fn prxml_constraint_conjunction_is_coherent() {
     let unconditioned = conditioned_query_probability(
         &doc,
         &chelsea,
-        &PrxmlConstraint::AtLeast { label: "Q298423".into(), min: 1 },
+        &PrxmlConstraint::AtLeast {
+            label: "Q298423".into(),
+            min: 1,
+        },
     )
     .unwrap();
     assert!((conditioned_on_both - unconditioned).abs() < 1e-9);
@@ -182,7 +193,9 @@ fn soft_and_hard_completions_are_consistent_at_the_extremes() {
         .unwrap()
         .query_probability(&query)
         .unwrap();
-    let hard = HardConstraints::new(vec![rule]).certain(tid.instance(), &query).unwrap();
+    let hard = HardConstraints::new(vec![rule])
+        .certain(tid.instance(), &query)
+        .unwrap();
     assert!((soft - 1.0).abs() < 1e-9);
     assert!(hard);
 }
