@@ -1,0 +1,181 @@
+//! A4 (ablation) — batch throughput and weight-only re-evaluation.
+//!
+//! The engine's batch subsystem claims two amortizations on top of the
+//! single-query pipeline:
+//!
+//! * **Parallel batching** — `evaluate_batch` spreads a query batch over a
+//!   scoped worker pool sharing the decomposition and lineage caches, so a
+//!   64-query batch on one instance should beat 64 sequential `evaluate`
+//!   calls by roughly the core count on a multi-core runner (the two are
+//!   identical in total work; the measured `threads` value says how much
+//!   parallelism was actually available).
+//! * **Compile-once-query-many** — `reevaluate_with_weights` reuses the
+//!   cached compiled lineage (circuit + circuit-graph decomposition), so a
+//!   weight-only what-if re-evaluation pays only the counting sweep and
+//!   should beat a cold evaluation of the same query by a wide margin on
+//!   any machine.
+//!
+//! Both factors are printed as `[A4]` report values alongside the timings.
+
+use criterion::black_box;
+use std::time::{Duration, Instant};
+use stuc_bench::{criterion_config, report_value};
+use stuc_core::engine::Engine;
+use stuc_core::workloads;
+use stuc_query::cq::ConjunctiveQuery;
+
+/// 64 distinct anchored self-join chain queries on the path instance: the
+/// anchor constant varies per query, so no two batch slots share a lineage
+/// and the safe plan is off the table (self-joins) — every query pays the
+/// full circuit pipeline.
+fn batch_queries(count: usize) -> Vec<ConjunctiveQuery> {
+    (0..count)
+        .map(|k| {
+            ConjunctiveQuery::parse(&format!("R(\"c{k}\", x), R(x, y), R(y, z)"))
+                .expect("valid anchored chain query")
+        })
+        .collect()
+}
+
+fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let started = Instant::now();
+        black_box(f());
+        best = best.min(started.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let mut criterion = criterion_config();
+    let tid = workloads::path_tid(80, 0.5, 13);
+    let queries = batch_queries(64);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    report_value("A4", "available_parallelism", threads);
+
+    // Sanity: the batch answers exactly what sequential evaluation answers.
+    {
+        let engine = Engine::new();
+        let batch = engine.evaluate_batch(&tid, &queries);
+        assert_eq!(batch.succeeded(), queries.len());
+        let sequential = Engine::new();
+        for (query, result) in queries.iter().zip(&batch.reports) {
+            let expected = sequential.evaluate(&tid, query).unwrap().probability;
+            let got = result.as_ref().unwrap().probability;
+            assert!((expected - got).abs() < 1e-9, "{query:?}");
+        }
+        report_value("A4", "batch_threads_used", batch.threads);
+    }
+
+    // --- Parallel batching: 64 sequential evaluates vs one 64-query batch.
+    // Fresh engines inside the closures keep every iteration cold (no
+    // lineage reuse across iterations), so this measures the pipeline
+    // itself, parallelised vs not.
+    let mut group = criterion.benchmark_group("a4_batch_vs_sequential_64q");
+    group.bench_function("sequential_64", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            queries
+                .iter()
+                .map(|q| engine.evaluate(&tid, q).unwrap().probability)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("batch_64", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            engine.evaluate_batch(&tid, &queries)
+        })
+    });
+    group.finish();
+
+    let sequential_time = timed(3, || {
+        let engine = Engine::new();
+        queries
+            .iter()
+            .map(|q| engine.evaluate(&tid, q).unwrap().probability)
+            .sum::<f64>()
+    });
+    let batch_time = timed(3, || {
+        let engine = Engine::new();
+        engine.evaluate_batch(&tid, &queries)
+    });
+    report_value(
+        "A4",
+        "batch_speedup_over_sequential",
+        format!(
+            "{:.2}x ({sequential_time:?} -> {batch_time:?}, {threads} threads)",
+            sequential_time.as_secs_f64() / batch_time.as_secs_f64()
+        ),
+    );
+
+    // --- Compile-once-query-many: weight-only re-evaluation vs cold
+    // evaluation of the same query. The anchored self-join is the
+    // representative what-if shape: "how does the probability of *this*
+    // chain react to new trust weights?" — asked over and over while the
+    // instance (and hence the compiled lineage) stays fixed.
+    let query = ConjunctiveQuery::parse("R(\"c5\", x), R(x, y), R(y, z)").unwrap();
+    let warm_engine = Engine::new();
+    warm_engine.evaluate(&tid, &query).unwrap(); // compiles + caches
+    let mut what_if = tid.clone();
+    for i in 0..what_if.fact_count() {
+        what_if.set_probability(stuc_data::instance::FactId(i), 0.25);
+    }
+    let new_weights = what_if.fact_weights();
+    // Sanity: the fast path answers what a fresh evaluation answers.
+    {
+        let warm = warm_engine
+            .reevaluate_with_weights(&tid, &query, &new_weights)
+            .unwrap();
+        assert!(warm.lineage_cached);
+        let fresh = Engine::new().evaluate(&what_if, &query).unwrap();
+        assert!((warm.probability - fresh.probability).abs() < 1e-9);
+    }
+
+    let mut group = criterion.benchmark_group("a4_reevaluate_vs_cold");
+    group.bench_function("reevaluate_with_weights_warm", |b| {
+        b.iter(|| {
+            warm_engine
+                .reevaluate_with_weights(&tid, &query, &new_weights)
+                .unwrap()
+                .probability
+        })
+    });
+    group.bench_function("evaluate_cold", |b| {
+        b.iter(|| {
+            let engine = Engine::builder()
+                .without_decomposition_cache()
+                .without_lineage_cache()
+                .build();
+            engine.evaluate(&what_if, &query).unwrap().probability
+        })
+    });
+    group.finish();
+
+    let warm_time = timed(5, || {
+        warm_engine
+            .reevaluate_with_weights(&tid, &query, &new_weights)
+            .unwrap()
+            .probability
+    });
+    let cold_time = timed(5, || {
+        let engine = Engine::builder()
+            .without_decomposition_cache()
+            .without_lineage_cache()
+            .build();
+        engine.evaluate(&what_if, &query).unwrap().probability
+    });
+    report_value(
+        "A4",
+        "reevaluate_speedup_over_cold",
+        format!(
+            "{:.2}x ({cold_time:?} -> {warm_time:?})",
+            cold_time.as_secs_f64() / warm_time.as_secs_f64()
+        ),
+    );
+
+    criterion.final_summary();
+}

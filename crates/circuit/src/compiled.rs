@@ -1,0 +1,244 @@
+//! Compiled lineage circuits: share once, re-weight many times.
+//!
+//! The paper's pipeline factors query evaluation into a *structural* phase
+//! (decompose the instance, run the automaton, build the lineage circuit,
+//! decompose the circuit graph) and a *numerical* phase (propagate the
+//! probability weights through the decomposition). Only the numerical phase
+//! depends on the probabilities — so when fact probabilities change (what-if
+//! analysis, conditioning, weight learning loops), everything structural can
+//! be reused verbatim.
+//!
+//! A [`CompiledCircuit`] is that reusable structural state: the source
+//! lineage circuit behind an [`Arc`] (cheap to share across threads and
+//! cache entries), its normalised form for message passing, and the nice
+//! tree decomposition of its circuit graph. Re-evaluating under a new
+//! [`Weights`] table is a single message-passing sweep — no decomposition,
+//! no circuit construction, no binarisation.
+
+use crate::circuit::{Circuit, CircuitError, VarId};
+use crate::weights::Weights;
+use crate::wmc::{message_passing, TreewidthWmc, WmcError, WmcReport};
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+use stuc_graph::nice::NiceDecomposition;
+
+/// A lineage circuit compiled for repeated probability evaluation.
+///
+/// Compilation runs the structural half of the treewidth back-end once:
+/// input-gate deduplication, binarisation, circuit-graph construction and
+/// tree decomposition. Every subsequent [`CompiledCircuit::probability`]
+/// call pays only for message passing, which is what makes weight-only
+/// re-evaluation (`Engine::reevaluate_with_weights`) and shared batch
+/// caches cheap.
+///
+/// The source circuit is held behind an [`Arc`], so clones of a
+/// `CompiledCircuit` (e.g. cache entries handed to worker threads) share
+/// every structure instead of deep-copying gate arenas.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    source: Arc<Circuit>,
+    prepared: Circuit,
+    output_gate: usize,
+    variables: BTreeSet<VarId>,
+    heuristic: EliminationHeuristic,
+    /// The decomposition of the circuit graph, built on first use: callers
+    /// that never run the treewidth back-end (a pinned DPLL engine, say)
+    /// skip its cost entirely, and once built it is reused by every
+    /// subsequent run.
+    structure: OnceLock<CompiledStructure>,
+}
+
+/// The lazily-built decomposition state of a [`CompiledCircuit`].
+#[derive(Debug, Clone)]
+struct CompiledStructure {
+    nice: NiceDecomposition,
+    width: usize,
+    bag_count: usize,
+}
+
+impl CompiledCircuit {
+    /// Compiles `source` for repeated evaluation; its circuit graph is
+    /// decomposed with `heuristic` on first use.
+    ///
+    /// Fails with [`CircuitError::NoOutput`] if the circuit has no
+    /// designated output gate. Wide circuits still compile — the width
+    /// budget is checked at evaluation time, so callers (like the engine's
+    /// Auto policy) can inspect [`CompiledCircuit::width`] and route wide
+    /// circuits to a width-oblivious back-end instead.
+    pub fn compile(
+        source: Arc<Circuit>,
+        heuristic: EliminationHeuristic,
+    ) -> Result<Self, CircuitError> {
+        source.output().ok_or(CircuitError::NoOutput)?;
+        let prepared = TreewidthWmc::prepare(&source);
+        let output_gate = prepared.output().ok_or(CircuitError::NoOutput)?.index();
+        let variables = source.variables();
+        Ok(CompiledCircuit {
+            source,
+            prepared,
+            output_gate,
+            variables,
+            heuristic,
+            structure: OnceLock::new(),
+        })
+    }
+
+    fn structure(&self) -> &CompiledStructure {
+        self.structure.get_or_init(|| {
+            let graph = TreewidthWmc::circuit_graph(&self.prepared);
+            let decomposition = decompose_with_heuristic(&graph, self.heuristic);
+            CompiledStructure {
+                width: decomposition.width(),
+                bag_count: decomposition.bag_count(),
+                nice: NiceDecomposition::from_decomposition(&decomposition),
+            }
+        })
+    }
+
+    /// The original (uncompiled) lineage circuit.
+    pub fn source(&self) -> &Arc<Circuit> {
+        &self.source
+    }
+
+    /// Width of the tree decomposition of the prepared circuit graph — the
+    /// quantity the engine's Auto policy compares against its width budget.
+    pub fn width(&self) -> usize {
+        self.structure().width
+    }
+
+    /// Number of bags in the (non-nice) decomposition of the circuit graph.
+    pub fn bag_count(&self) -> usize {
+        self.structure().bag_count
+    }
+
+    /// Gate count of the source circuit.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// True if the source circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// The event variables read by the source circuit; a weight table must
+    /// cover all of them for evaluation to succeed.
+    pub fn variables(&self) -> &BTreeSet<VarId> {
+        &self.variables
+    }
+
+    /// The elimination heuristic the circuit graph was decomposed with.
+    pub fn heuristic(&self) -> EliminationHeuristic {
+        self.heuristic
+    }
+
+    /// Probability that the output gate is true under `weights`, refusing
+    /// (like [`TreewidthWmc`]) when the cached decomposition's bag size
+    /// exceeds `max_bag_size`.
+    ///
+    /// This is the weight-only fast path: no decomposition or circuit
+    /// transformation happens here, just one message-passing sweep.
+    pub fn probability(&self, weights: &Weights, max_bag_size: usize) -> Result<f64, WmcError> {
+        self.run(weights, max_bag_size).map(|r| r.probability)
+    }
+
+    /// Like [`CompiledCircuit::probability`], but returns the full
+    /// [`WmcReport`] with decomposition statistics.
+    pub fn run(&self, weights: &Weights, max_bag_size: usize) -> Result<WmcReport, WmcError> {
+        let structure = self.structure();
+        if structure.width + 1 > max_bag_size {
+            return Err(WmcError::WidthTooLarge {
+                width: structure.width,
+                limit: max_bag_size,
+            });
+        }
+        for &v in &self.variables {
+            weights.weight(v, true)?;
+        }
+        let probability =
+            message_passing(&self.prepared, weights, &structure.nice, self.output_gate)?;
+        Ok(WmcReport {
+            probability,
+            width: structure.width,
+            bag_count: structure.bag_count,
+            nice_node_count: structure.nice.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::enumeration::probability_by_enumeration;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn compiled_probability_matches_uncompiled_wmc() {
+        for seed in 0..10 {
+            let circuit = builder::random_circuit(8, 14, seed);
+            let weights = Weights::uniform(circuit.variables(), 0.35);
+            let direct = TreewidthWmc::default()
+                .probability(&circuit, &weights)
+                .unwrap();
+            let compiled =
+                CompiledCircuit::compile(Arc::new(circuit), EliminationHeuristic::MinDegree)
+                    .unwrap();
+            assert_close(compiled.probability(&weights, 22).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn reweighting_reuses_the_compiled_structure() {
+        let circuit = builder::conjunction_of_disjunctions(5, 2);
+        let vars: Vec<VarId> = circuit.variables().into_iter().collect();
+        let compiled = CompiledCircuit::compile(Arc::new(circuit.clone()), Default::default())
+            .expect("compiles");
+        for p in [0.1, 0.5, 0.9] {
+            let weights = Weights::uniform(vars.iter().copied(), p);
+            let expected = probability_by_enumeration(&circuit, &weights).unwrap();
+            assert_close(compiled.probability(&weights, 22).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn width_budget_is_enforced_at_evaluation_time() {
+        let circuit = builder::majority_like_dense_circuit(12, 3);
+        let weights = Weights::uniform(circuit.variables(), 0.5);
+        let compiled =
+            CompiledCircuit::compile(Arc::new(circuit), Default::default()).expect("compiles");
+        assert!(matches!(
+            compiled.run(&weights, 2),
+            Err(WmcError::WidthTooLarge { .. })
+        ));
+        // The same compiled circuit still runs under a generous budget.
+        assert!(compiled.run(&weights, 64).is_ok());
+    }
+
+    #[test]
+    fn missing_output_is_rejected_at_compile_time() {
+        let mut circuit = Circuit::new();
+        circuit.add_input(VarId(0));
+        assert_eq!(
+            CompiledCircuit::compile(Arc::new(circuit), Default::default()).unwrap_err(),
+            CircuitError::NoOutput
+        );
+    }
+
+    #[test]
+    fn clones_share_the_source_arc() {
+        let mut circuit = Circuit::new();
+        let x = circuit.add_input(VarId(0));
+        circuit.set_output(x);
+        let compiled = CompiledCircuit::compile(Arc::new(circuit), Default::default()).unwrap();
+        let clone = compiled.clone();
+        assert!(Arc::ptr_eq(compiled.source(), clone.source()));
+        assert_eq!(compiled.len(), 1);
+        assert!(!compiled.is_empty());
+        assert_eq!(compiled.variables().len(), 1);
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`wmc`] — the flagship back-end: exact weighted model counting by
 //!   dynamic programming over a (nice) tree decomposition of the circuit
 //!   graph, i.e. the "standard message passing techniques" of the paper.
+//! * [`compiled`] — compiled circuits: the structural half of the treewidth
+//!   back-end (normalisation, circuit-graph decomposition) precomputed once
+//!   behind an [`std::sync::Arc`], so probability re-evaluation under new
+//!   weights is a single message-passing sweep. This is what the engine's
+//!   lineage cache and batch evaluation share across queries and threads.
 //! * [`builder`] — convenience builders for common circuit shapes used by
 //!   tests, examples and benchmarks.
 //!
@@ -54,6 +59,7 @@
 
 pub mod builder;
 pub mod circuit;
+pub mod compiled;
 pub mod dpll;
 pub mod enumeration;
 pub mod semiring;
@@ -61,5 +67,6 @@ pub mod weights;
 pub mod wmc;
 
 pub use circuit::{Circuit, Gate, GateId, VarId};
+pub use compiled::CompiledCircuit;
 pub use weights::Weights;
 pub use wmc::TreewidthWmc;

@@ -106,7 +106,7 @@ impl TreewidthWmc {
     /// duplicate input gates reading the same variable (they must carry the
     /// same value and their weight must be counted exactly once) and
     /// binarises wide gates.
-    fn prepare(circuit: &Circuit) -> Circuit {
+    pub(crate) fn prepare(circuit: &Circuit) -> Circuit {
         let mut deduped = Circuit::new();
         let mut input_of_var: std::collections::BTreeMap<
             crate::circuit::VarId,
@@ -181,7 +181,7 @@ impl TreewidthWmc {
             });
         }
         let nice = NiceDecomposition::from_decomposition(td);
-        let probability = self.message_passing(circuit, weights, &nice, output_gate)?;
+        let probability = message_passing(circuit, weights, &nice, output_gate)?;
         Ok(WmcReport {
             probability,
             width: td.width(),
@@ -189,108 +189,111 @@ impl TreewidthWmc {
             nice_node_count: nice.len(),
         })
     }
+}
 
-    fn message_passing(
-        &self,
-        circuit: &Circuit,
-        weights: &Weights,
-        nice: &NiceDecomposition,
-        output_gate: usize,
-    ) -> Result<f64, WmcError> {
-        // tables[node] maps a bag assignment (bitmask over the sorted bag) to
-        // the accumulated weight of all consistent extensions below the node.
-        let mut tables: Vec<HashMap<u64, f64>> = Vec::with_capacity(nice.len());
+/// The message-passing dynamic program itself, over an already-built nice
+/// decomposition of the circuit graph. Shared by [`TreewidthWmc::run`] and
+/// by [`crate::compiled::CompiledCircuit`], which caches the nice
+/// decomposition across re-weighted runs.
+pub(crate) fn message_passing(
+    circuit: &Circuit,
+    weights: &Weights,
+    nice: &NiceDecomposition,
+    output_gate: usize,
+) -> Result<f64, WmcError> {
+    // tables[node] maps a bag assignment (bitmask over the sorted bag) to
+    // the accumulated weight of all consistent extensions below the node.
+    let mut tables: Vec<HashMap<u64, f64>> = Vec::with_capacity(nice.len());
 
-        for (idx, node) in nice.iter_bottom_up() {
-            let bag: Vec<usize> = node.bag.iter().map(|v| v.index()).collect();
-            let table = match &node.kind {
-                NiceNodeKind::Leaf => {
-                    let mut t = HashMap::new();
-                    t.insert(0u64, 1.0);
-                    t
-                }
-                NiceNodeKind::Introduce { vertex, child } => {
-                    let child_node = nice.node(*child);
-                    let child_bag: Vec<usize> = child_node.bag.iter().map(|v| v.index()).collect();
-                    let v = vertex.index();
-                    // Constraints newly fully contained in the bag: every gate
-                    // g whose scope includes v and is a subset of the bag.
-                    let checks = constraints_to_check(circuit, &bag, v, output_gate);
-                    let mut t = HashMap::new();
-                    for (&child_mask, &weight) in &tables[*child] {
-                        for value in [false, true] {
-                            let mask = extend_assignment(&child_bag, child_mask, &bag, v, value);
-                            if checks_pass(circuit, &bag, mask, &checks) {
-                                *t.entry(mask).or_insert(0.0) += weight;
-                            }
-                        }
-                    }
-                    t
-                }
-                NiceNodeKind::Forget { vertex, child } => {
-                    let child_node = nice.node(*child);
-                    let child_bag: Vec<usize> = child_node.bag.iter().map(|v| v.index()).collect();
-                    let v = vertex.index();
-                    let multiplier = |value: bool| -> Result<f64, WmcError> {
-                        match circuit.gate(crate::circuit::GateId(v)) {
-                            Gate::Input(var) => Ok(weights.weight(*var, value)?),
-                            _ => Ok(1.0),
-                        }
-                    };
-                    let mut t = HashMap::new();
-                    for (&child_mask, &weight) in &tables[*child] {
-                        let position = child_bag
-                            .iter()
-                            .position(|&g| g == v)
-                            .expect("forgotten gate in child bag");
-                        let value = child_mask & (1 << position) != 0;
-                        let projected = project_assignment(&child_bag, child_mask, &bag);
-                        let w = weight * multiplier(value)?;
-                        if w != 0.0 {
-                            *t.entry(projected).or_insert(0.0) += w;
-                        }
-                    }
-                    t
-                }
-                NiceNodeKind::Join { left, right } => {
-                    let mut t = HashMap::new();
-                    let (small, large) = if tables[*left].len() <= tables[*right].len() {
-                        (&tables[*left], &tables[*right])
-                    } else {
-                        (&tables[*right], &tables[*left])
-                    };
-                    for (&mask, &wl) in small {
-                        if let Some(&wr) = large.get(&mask) {
-                            let w = wl * wr;
-                            if w != 0.0 {
-                                t.insert(mask, w);
-                            }
-                        }
-                    }
-                    t
-                }
-            };
-            debug_assert_eq!(tables.len(), idx);
-            tables.push(table);
-        }
-
-        // Root: sum over surviving assignments, multiplying in the weights of
-        // input gates still present in the root bag.
-        let root = nice.root();
-        let root_bag: Vec<usize> = nice.node(root).bag.iter().map(|v| v.index()).collect();
-        let mut total = 0.0;
-        for (&mask, &weight) in &tables[root] {
-            let mut w = weight;
-            for (pos, &g) in root_bag.iter().enumerate() {
-                if let Gate::Input(var) = circuit.gate(crate::circuit::GateId(g)) {
-                    let value = mask & (1 << pos) != 0;
-                    w *= weights.weight(*var, value)?;
-                }
+    for (idx, node) in nice.iter_bottom_up() {
+        let bag: Vec<usize> = node.bag.iter().map(|v| v.index()).collect();
+        let table = match &node.kind {
+            NiceNodeKind::Leaf => {
+                let mut t = HashMap::new();
+                t.insert(0u64, 1.0);
+                t
             }
-            total += w;
-        }
-        Ok(total)
+            NiceNodeKind::Introduce { vertex, child } => {
+                let child_node = nice.node(*child);
+                let child_bag: Vec<usize> = child_node.bag.iter().map(|v| v.index()).collect();
+                let v = vertex.index();
+                // Constraints newly fully contained in the bag: every gate
+                // g whose scope includes v and is a subset of the bag.
+                let checks = constraints_to_check(circuit, &bag, v, output_gate);
+                let mut t = HashMap::new();
+                for (&child_mask, &weight) in &tables[*child] {
+                    for value in [false, true] {
+                        let mask = extend_assignment(&child_bag, child_mask, &bag, v, value);
+                        if checks_pass(circuit, &bag, mask, &checks) {
+                            *t.entry(mask).or_insert(0.0) += weight;
+                        }
+                    }
+                }
+                t
+            }
+            NiceNodeKind::Forget { vertex, child } => {
+                let child_node = nice.node(*child);
+                let child_bag: Vec<usize> = child_node.bag.iter().map(|v| v.index()).collect();
+                let v = vertex.index();
+                let multiplier = |value: bool| -> Result<f64, WmcError> {
+                    match circuit.gate(crate::circuit::GateId(v)) {
+                        Gate::Input(var) => Ok(weights.weight(*var, value)?),
+                        _ => Ok(1.0),
+                    }
+                };
+                let mut t = HashMap::new();
+                for (&child_mask, &weight) in &tables[*child] {
+                    let position = child_bag
+                        .iter()
+                        .position(|&g| g == v)
+                        .expect("forgotten gate in child bag");
+                    let value = child_mask & (1 << position) != 0;
+                    let projected = project_assignment(&child_bag, child_mask, &bag);
+                    let w = weight * multiplier(value)?;
+                    if w != 0.0 {
+                        *t.entry(projected).or_insert(0.0) += w;
+                    }
+                }
+                t
+            }
+            NiceNodeKind::Join { left, right } => {
+                let mut t = HashMap::new();
+                let (small, large) = if tables[*left].len() <= tables[*right].len() {
+                    (&tables[*left], &tables[*right])
+                } else {
+                    (&tables[*right], &tables[*left])
+                };
+                for (&mask, &wl) in small {
+                    if let Some(&wr) = large.get(&mask) {
+                        let w = wl * wr;
+                        if w != 0.0 {
+                            t.insert(mask, w);
+                        }
+                    }
+                }
+                t
+            }
+        };
+        debug_assert_eq!(tables.len(), idx);
+        tables.push(table);
     }
+
+    // Root: sum over surviving assignments, multiplying in the weights of
+    // input gates still present in the root bag.
+    let root = nice.root();
+    let root_bag: Vec<usize> = nice.node(root).bag.iter().map(|v| v.index()).collect();
+    let mut total = 0.0;
+    for (&mask, &weight) in &tables[root] {
+        let mut w = weight;
+        for (pos, &g) in root_bag.iter().enumerate() {
+            if let Gate::Input(var) = circuit.gate(crate::circuit::GateId(g)) {
+                let value = mask & (1 << pos) != 0;
+                w *= weights.weight(*var, value)?;
+            }
+        }
+        total += w;
+    }
+    Ok(total)
 }
 
 /// The constraints (gate ids) that must be checked when `introduced` joins a

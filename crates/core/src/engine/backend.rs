@@ -9,6 +9,7 @@
 use super::error::StucError;
 use super::report::BackendKind;
 use stuc_circuit::circuit::Circuit;
+use stuc_circuit::compiled::CompiledCircuit;
 use stuc_circuit::dpll::DpllCounter;
 use stuc_circuit::enumeration::probability_by_enumeration;
 use stuc_circuit::weights::Weights;
@@ -23,13 +24,29 @@ use stuc_query::safe::safe_plan_probability;
 pub enum EvaluationTask<'a> {
     /// The raw extensional inputs: only [`SafePlanBackend`] consumes these.
     Extensional {
+        /// The tuple-independent instance to evaluate on.
         tid: &'a TidInstance,
+        /// The (hierarchical, self-join-free) query to evaluate.
         query: &'a ConjunctiveQuery,
     },
     /// A lineage circuit and the probabilities of its variables: any
     /// counting back-end consumes these.
     Circuit {
+        /// The lineage circuit of the query.
         lineage: &'a Circuit,
+        /// Probabilities of the circuit's event variables.
+        weights: &'a Weights,
+    },
+    /// A *compiled* lineage circuit (see
+    /// [`stuc_circuit::compiled::CompiledCircuit`]) and the probabilities of
+    /// its variables. Same semantics as [`EvaluationTask::Circuit`], but the
+    /// treewidth back-end reuses the cached circuit-graph decomposition
+    /// instead of rebuilding it — the engine's lineage cache and
+    /// weight-only re-evaluation hand every counting back-end this shape.
+    Compiled {
+        /// The compiled lineage circuit of the query.
+        lineage: &'a CompiledCircuit,
+        /// Probabilities of the circuit's event variables.
         weights: &'a Weights,
     },
 }
@@ -66,10 +83,12 @@ impl Backend for SafePlanBackend {
     fn solve(&self, task: &EvaluationTask<'_>) -> Result<f64, StucError> {
         match task {
             EvaluationTask::Extensional { tid, query } => Ok(safe_plan_probability(tid, query)?),
-            EvaluationTask::Circuit { .. } => Err(StucError::BackendUnsupported {
-                backend: self.kind().name(),
-                reason: "safe-plan evaluation needs the raw TID instance, not a circuit".into(),
-            }),
+            EvaluationTask::Circuit { .. } | EvaluationTask::Compiled { .. } => {
+                Err(StucError::BackendUnsupported {
+                    backend: self.kind().name(),
+                    reason: "safe-plan evaluation needs the raw TID instance, not a circuit".into(),
+                })
+            }
         }
     }
 }
@@ -113,13 +132,21 @@ impl Backend for TreewidthWmcBackend {
     }
 
     fn supports(&self, task: &EvaluationTask<'_>) -> bool {
-        matches!(task, EvaluationTask::Circuit { .. })
+        matches!(
+            task,
+            EvaluationTask::Circuit { .. } | EvaluationTask::Compiled { .. }
+        )
     }
 
     fn solve(&self, task: &EvaluationTask<'_>) -> Result<f64, StucError> {
         match task {
             EvaluationTask::Circuit { lineage, weights } => {
                 Ok(self.counter().probability(lineage, weights)?)
+            }
+            EvaluationTask::Compiled { lineage, weights } => {
+                // The compiled circuit already holds the (nice) decomposition
+                // of its circuit graph: only message passing runs here.
+                Ok(lineage.probability(weights, self.max_bag_size)?)
             }
             EvaluationTask::Extensional { .. } => Err(StucError::BackendUnsupported {
                 backend: self.kind().name(),
@@ -151,16 +178,22 @@ impl Backend for DpllBackend {
     }
 
     fn supports(&self, task: &EvaluationTask<'_>) -> bool {
-        matches!(task, EvaluationTask::Circuit { .. })
+        matches!(
+            task,
+            EvaluationTask::Circuit { .. } | EvaluationTask::Compiled { .. }
+        )
     }
 
     fn solve(&self, task: &EvaluationTask<'_>) -> Result<f64, StucError> {
+        let counter = DpllCounter {
+            max_branches: self.max_branches,
+        };
         match task {
             EvaluationTask::Circuit { lineage, weights } => {
-                let counter = DpllCounter {
-                    max_branches: self.max_branches,
-                };
                 Ok(counter.probability(lineage, weights)?)
+            }
+            EvaluationTask::Compiled { lineage, weights } => {
+                Ok(counter.probability(lineage.source(), weights)?)
             }
             EvaluationTask::Extensional { .. } => Err(StucError::BackendUnsupported {
                 backend: self.kind().name(),
@@ -181,13 +214,19 @@ impl Backend for EnumerationBackend {
     }
 
     fn supports(&self, task: &EvaluationTask<'_>) -> bool {
-        matches!(task, EvaluationTask::Circuit { .. })
+        matches!(
+            task,
+            EvaluationTask::Circuit { .. } | EvaluationTask::Compiled { .. }
+        )
     }
 
     fn solve(&self, task: &EvaluationTask<'_>) -> Result<f64, StucError> {
         match task {
             EvaluationTask::Circuit { lineage, weights } => {
                 Ok(probability_by_enumeration(lineage, weights)?)
+            }
+            EvaluationTask::Compiled { lineage, weights } => {
+                Ok(probability_by_enumeration(lineage.source(), weights)?)
             }
             EvaluationTask::Extensional { .. } => Err(StucError::BackendUnsupported {
                 backend: self.kind().name(),
@@ -218,6 +257,31 @@ mod tests {
             lineage: &circuit,
             weights: &weights,
         };
+        for backend in [
+            Box::new(TreewidthWmcBackend::default()) as Box<dyn Backend>,
+            Box::new(DpllBackend::default()),
+            Box::new(EnumerationBackend),
+        ] {
+            assert!(backend.supports(&task));
+            let p = backend.solve(&task).unwrap();
+            assert!((p - 0.3).abs() < 1e-12, "{} got {p}", backend.kind());
+        }
+    }
+
+    #[test]
+    fn circuit_backends_agree_on_compiled_tasks() {
+        let (circuit, weights) = single_var_task();
+        let compiled = CompiledCircuit::compile(
+            std::sync::Arc::new(circuit),
+            EliminationHeuristic::MinDegree,
+        )
+        .unwrap();
+        let task = EvaluationTask::Compiled {
+            lineage: &compiled,
+            weights: &weights,
+        };
+        assert!(!SafePlanBackend.supports(&task));
+        assert!(SafePlanBackend.solve(&task).is_err());
         for backend in [
             Box::new(TreewidthWmcBackend::default()) as Box<dyn Backend>,
             Box::new(DpllBackend::default()),

@@ -60,10 +60,18 @@ stuc_errors::stuc_error! {
         /// PrXML constraint conditioning failed.
         PrxmlConstraint(PrxmlConstraintError),
         /// The selected back-end cannot handle the prepared task.
-        BackendUnsupported { backend: &'static str, reason: String },
+        BackendUnsupported {
+            /// Stable name of the back-end that refused.
+            backend: &'static str,
+            /// Why it cannot run the task.
+            reason: String,
+        },
         /// The representation carries no probability for some event, so no
         /// numeric back-end can run.
-        MissingProbabilities { representation: &'static str },
+        MissingProbabilities {
+            /// Stable name of the representation kind that lacks weights.
+            representation: &'static str,
+        },
     }
     display {
         Self::Decomposition(e) => "{e}",

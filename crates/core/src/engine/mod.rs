@@ -15,10 +15,19 @@
 //!   [`SafePlanBackend`], [`TreewidthWmcBackend`], [`DpllBackend`],
 //!   [`EnumerationBackend`].
 //! * [`Engine`] / [`EngineBuilder`] — configuration (heuristic, width
-//!   budget, back-end policy) plus a decomposition cache keyed by instance
-//!   fingerprint. [`Engine::evaluate`] is the one public entry point; it
-//!   returns an [`EvaluationReport`] naming the back-end that actually ran,
-//!   the decomposition width, the lineage gate count and the wall time.
+//!   budget, back-end policy, batch worker count) plus two fingerprint-keyed
+//!   caches: structure decompositions per instance, and compiled lineage
+//!   circuits per `(instance, query)` pair. [`Engine::evaluate`] is the
+//!   single-query entry point; it returns an [`EvaluationReport`] naming the
+//!   back-end that actually ran, the decomposition width, the lineage gate
+//!   count and the wall time.
+//! * [`Engine::evaluate_batch`] — the same pipeline over a whole query
+//!   batch at once: a scoped-thread worker pool shares both caches and
+//!   returns a [`BatchReport`] of per-query reports plus aggregate
+//!   cache-hit and thread statistics.
+//! * [`Engine::reevaluate_with_weights`] — the what-if fast path: re-runs a
+//!   previously evaluated query under a different weight table, reusing the
+//!   cached compiled lineage so only the counting sweep is paid.
 //! * [`StucError`] — the single error enum every per-crate error converts
 //!   into.
 //!
@@ -54,6 +63,7 @@
 //! ```
 
 pub mod backend;
+pub mod batch;
 pub mod error;
 pub mod report;
 pub mod representation;
@@ -62,13 +72,16 @@ pub use backend::{
     Backend, DpllBackend, EnumerationBackend, EvaluationTask, SafePlanBackend, TreewidthWmcBackend,
 };
 pub use error::StucError;
-pub use report::{BackendKind, BackendPolicy, EvaluationReport};
+pub use report::{BackendKind, BackendPolicy, BatchReport, EvaluationReport};
 pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
 
+use representation::{fingerprint_debug, fingerprint_debug_pair_with, FNV_OFFSET_BASIS};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use stuc_circuit::circuit::Circuit;
+use stuc_circuit::compiled::CompiledCircuit;
+use stuc_circuit::weights::Weights;
 use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
 use stuc_graph::TreeDecomposition;
 use stuc_query::safe::is_hierarchical;
@@ -81,6 +94,9 @@ pub struct EngineBuilder {
     width_budget: usize,
     policy: BackendPolicy,
     cache_decompositions: bool,
+    cache_lineages: bool,
+    cache_capacity: usize,
+    batch_threads: usize,
     dpll_max_branches: u64,
 }
 
@@ -91,6 +107,9 @@ impl Default for EngineBuilder {
             width_budget: 22,
             policy: BackendPolicy::Auto,
             cache_decompositions: true,
+            cache_lineages: true,
+            cache_capacity: 1024,
+            batch_threads: 0,
             dpll_max_branches: DpllBackend::default().max_branches,
         }
     }
@@ -133,11 +152,38 @@ impl EngineBuilder {
         self
     }
 
+    /// Disables the compiled-lineage cache: every evaluation rebuilds the
+    /// lineage circuit, and [`Engine::reevaluate_with_weights`] loses its
+    /// fast path (it still answers correctly, it just recompiles).
+    pub fn without_lineage_cache(mut self) -> Self {
+        self.cache_lineages = false;
+        self
+    }
+
+    /// Maximum number of entries in each engine cache (decompositions,
+    /// compiled lineages); default 1024. When a cache is full, inserting a
+    /// new entry evicts an arbitrary old one, so long-running engines
+    /// serving evolving instances stay memory-bounded without manual
+    /// [`Engine::clear_cache`] calls. A capacity of 0 disables caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Number of worker threads for [`Engine::evaluate_batch`]; `0` (the
+    /// default) uses [`std::thread::available_parallelism`]. The count is
+    /// always additionally capped by the batch size.
+    pub fn batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = threads;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Engine {
         Engine {
             config: self,
             cache: Mutex::new(HashMap::new()),
+            lineage_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -146,9 +192,10 @@ impl EngineBuilder {
 /// representation, with pluggable and auto-selected back-ends. See the
 /// [module docs](self) for the selection rules.
 ///
-/// The engine is `Sync`: the decomposition cache is behind a mutex, so one
-/// engine can be shared across threads serving many queries against the
-/// same instances.
+/// The engine is `Sync`: both caches are behind mutexes, so one engine can
+/// be shared across threads serving many queries against the same
+/// instances — [`Engine::evaluate_batch`] does exactly that with a scoped
+/// worker pool.
 #[derive(Debug)]
 pub struct Engine {
     config: EngineBuilder,
@@ -157,6 +204,41 @@ pub struct Engine {
     /// graph before reuse, so a fingerprint collision can never corrupt a
     /// result — it only costs a recomputation.
     cache: Mutex<HashMap<(u64, EliminationHeuristic), Arc<TreeDecomposition>>>,
+    /// Compiled lineage circuits, keyed by `(instance fingerprint, query
+    /// fingerprint, heuristic)`. A hit skips decomposition *and* lineage
+    /// construction — probability re-evaluation under changed weights
+    /// (what-if analysis, [`Engine::reevaluate_with_weights`]) pays only
+    /// for the counting sweep. Entries additionally store the query's exact
+    /// `Debug` rendering and a second, differently-seeded instance hash;
+    /// both are checked on lookup, so a wrong reuse would need two
+    /// simultaneous 64-bit hash collisions on the same query text.
+    lineage_cache: Mutex<HashMap<LineageKey, Arc<CompiledLineage>>>,
+}
+
+/// Key of the compiled-lineage cache: instance fingerprint, query
+/// fingerprint, elimination heuristic.
+type LineageKey = (u64, u64, EliminationHeuristic);
+
+/// Offset basis of the secondary instance hash stored in lineage-cache
+/// entries (the primary uses the standard FNV-1a basis).
+const LINEAGE_CHECK_BASIS: u64 = 0x6c62_272e_07bb_0142;
+
+/// A cached compiled lineage: everything about an `(instance, query)` pair
+/// that does not depend on the probability weights.
+#[derive(Debug)]
+struct CompiledLineage {
+    /// The compiled circuit (shared structure, cached circuit-graph
+    /// decomposition).
+    compiled: CompiledCircuit,
+    /// Width of the structure-graph decomposition the lineage was built
+    /// from, reported in [`EvaluationReport::decomposition_width`].
+    decomposition_width: Option<usize>,
+    /// Build-time strategy notes (e.g. an automaton-lineage fallback).
+    build_notes: Vec<String>,
+    /// Exact `Debug` rendering of the query, validated on every hit.
+    query_repr: String,
+    /// Secondary instance hash, validated on every hit.
+    instance_check: u64,
 }
 
 impl Default for Engine {
@@ -187,9 +269,17 @@ impl Engine {
         self.cache.lock().map(|c| c.len()).unwrap_or(0)
     }
 
-    /// Drops all cached decompositions.
+    /// Number of cached compiled lineages.
+    pub fn cached_lineages(&self) -> usize {
+        self.lineage_cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Drops all cached decompositions and compiled lineages.
     pub fn clear_cache(&self) {
         if let Ok(mut cache) = self.cache.lock() {
+            cache.clear();
+        }
+        if let Ok(mut cache) = self.lineage_cache.lock() {
             cache.clear();
         }
     }
@@ -205,12 +295,78 @@ impl Engine {
         representation: &R,
         query: &R::Query,
     ) -> Result<EvaluationReport, StucError> {
+        self.evaluate_inner(representation, query, None)
+    }
+
+    /// Re-evaluates a query under a different weight table — the what-if
+    /// fast path.
+    ///
+    /// The lineage circuit of a query depends only on the instance's *facts*
+    /// and their correlation structure, never on the probabilities, so when
+    /// only the weights change (sensitivity analysis, conditioning sweeps,
+    /// weight-learning loops) the compiled lineage can be reused verbatim.
+    /// This method looks the `(instance, query)` pair up in the engine's
+    /// lineage cache — compiling it on a miss — and then runs only the
+    /// counting back-end under `weights`, skipping decomposition and lineage
+    /// construction entirely.
+    ///
+    /// `weights` must cover every event variable of the lineage; the
+    /// extensional safe plan never runs here (it reads the instance's own
+    /// probabilities), so the result is always computed from the circuit.
+    ///
+    /// ```
+    /// use stuc_core::engine::Engine;
+    /// use stuc_core::workloads;
+    /// use stuc_query::cq::ConjunctiveQuery;
+    ///
+    /// let tid = workloads::path_tid(6, 0.5, 7);
+    /// let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    /// let engine = Engine::new();
+    /// engine.evaluate(&tid, &query).unwrap(); // compiles + caches the lineage
+    ///
+    /// // What if every fact were certain? Reuses the compiled lineage.
+    /// let mut certain = tid.clone();
+    /// for i in 0..certain.fact_count() {
+    ///     certain.set_probability(stuc_data::instance::FactId(i), 1.0);
+    /// }
+    /// let report = engine
+    ///     .reevaluate_with_weights(&tid, &query, &certain.fact_weights())
+    ///     .unwrap();
+    /// assert!(report.lineage_cached);
+    /// assert!((report.probability - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn reevaluate_with_weights<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        weights: &Weights,
+    ) -> Result<EvaluationReport, StucError> {
+        self.evaluate_inner(representation, query, Some(weights))
+    }
+
+    fn evaluate_inner<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        weight_override: Option<&Weights>,
+    ) -> Result<EvaluationReport, StucError> {
         let started = Instant::now();
         let mut notes = Vec::new();
 
         // Stage 1: the extensional fast path, which skips decomposition and
-        // circuit construction entirely.
-        if let Some(extensional) = representation.extensional(query) {
+        // circuit construction entirely. It evaluates directly on the
+        // instance's own probabilities, so it is off the table when the
+        // caller supplied a weight override.
+        if weight_override.is_some() {
+            if self.config.policy == BackendPolicy::Fixed(BackendKind::SafePlan) {
+                return Err(StucError::BackendUnsupported {
+                    backend: BackendKind::SafePlan.name(),
+                    reason: "weight re-evaluation runs on the lineage circuit; the extensional \
+                             safe plan reads the instance's own probabilities"
+                        .into(),
+                });
+            }
+        } else if let Some(extensional) = representation.extensional(query) {
             match self.config.policy {
                 BackendPolicy::Fixed(BackendKind::SafePlan) => {
                     let task = EvaluationTask::Extensional {
@@ -225,7 +381,7 @@ impl Engine {
                         0,
                         representation.fact_count(),
                         started,
-                        false,
+                        CacheFlags::default(),
                         notes,
                     ));
                 }
@@ -248,7 +404,7 @@ impl Engine {
                                     0,
                                     representation.fact_count(),
                                     started,
-                                    false,
+                                    CacheFlags::default(),
                                     notes,
                                 ));
                             }
@@ -274,24 +430,31 @@ impl Engine {
             });
         }
 
-        // Stage 2: decompose the structure graph (cached by fingerprint).
-        let (decomposition, cached) = self.decomposition_for(representation);
-        if cached {
+        // Stages 2 + 3: fetch (or build) the compiled lineage — the
+        // decomposition of the structure graph, the lineage circuit, and the
+        // decomposition of the circuit graph, all weight-independent.
+        let (entry, cache_flags) = self.compiled_lineage(representation, query)?;
+        if cache_flags.lineage_cached {
+            notes.push("compiled lineage served from cache".to_string());
+        } else if cache_flags.decomposition_cached {
             notes.push("structure decomposition served from cache".to_string());
         }
+        notes.extend(entry.build_notes.iter().cloned());
 
-        // Stage 3: build the lineage circuit and collect the weights.
-        let outcome = representation.lineage(query, &decomposition)?;
-        if let Some(note) = outcome.note {
-            notes.push(note);
-        }
-        let weights = representation.weights()?;
-        let lineage = &outcome.circuit;
+        // Collect the weights (the caller's override wins).
+        let own_weights;
+        let weights = match weight_override {
+            Some(weights) => weights,
+            None => {
+                own_weights = representation.weights()?;
+                &own_weights
+            }
+        };
 
         // Stage 4: pick and run a counting back-end.
-        let task = EvaluationTask::Circuit {
-            lineage,
-            weights: &weights,
+        let task = EvaluationTask::Compiled {
+            lineage: &entry.compiled,
+            weights,
         };
         let treewidth = TreewidthWmcBackend {
             heuristic: self.config.heuristic,
@@ -305,19 +468,19 @@ impl Engine {
             BackendPolicy::Fixed(BackendKind::Enumeration) => Box::new(EnumerationBackend),
             BackendPolicy::Fixed(BackendKind::SafePlan) => unreachable!("handled in stage 1"),
             BackendPolicy::Auto => {
-                // `estimated_width` reports decomposition *width*; the WMC
-                // back-end refuses on *bag size* (width + 1), so the strict
-                // comparison here, or Auto would pick a back-end that refuses.
-                let estimated = treewidth.estimated_width(lineage);
-                if estimated < self.config.width_budget {
+                // `width()` reports decomposition *width*; the WMC back-end
+                // refuses on *bag size* (width + 1), so the strict comparison
+                // here, or Auto would pick a back-end that refuses.
+                let width = entry.compiled.width();
+                if width < self.config.width_budget {
                     notes.push(format!(
-                        "lineage width estimate {estimated} within budget {}; treewidth WMC selected",
+                        "lineage width estimate {width} within budget {}; treewidth WMC selected",
                         self.config.width_budget
                     ));
                     Box::new(treewidth)
                 } else {
                     notes.push(format!(
-                        "lineage width estimate {estimated} exceeds budget {}; DPLL selected",
+                        "lineage width estimate {width} exceeds budget {}; DPLL selected",
                         self.config.width_budget
                     ));
                     Box::new(DpllBackend {
@@ -330,25 +493,109 @@ impl Engine {
         Ok(self.report(
             probability,
             chosen.kind(),
-            Some(decomposition.width()),
-            lineage.len(),
+            entry.decomposition_width,
+            entry.compiled.len(),
             representation.fact_count(),
             started,
-            cached,
+            cache_flags,
             notes,
+        ))
+    }
+
+    /// Fetches the compiled lineage of `(representation, query)` from the
+    /// lineage cache, or builds and caches it: structure decomposition →
+    /// lineage circuit → compiled circuit.
+    fn compiled_lineage<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> Result<(Arc<CompiledLineage>, CacheFlags), StucError> {
+        // The instance is hashed over its `Debug` rendering (primary + check
+        // hash in one pass); unlike the decomposition cache this does not go
+        // through `Representation::fingerprint`, because the entry cannot be
+        // re-validated structurally on a hit — the dual hash plus the exact
+        // query text is the validation. With caching off, none of this
+        // (instance rendering included) is paid at all.
+        let identity = if self.config.cache_lineages && self.config.cache_capacity > 0 {
+            let (instance_fp, instance_check) =
+                fingerprint_debug_pair_with(representation, FNV_OFFSET_BASIS, LINEAGE_CHECK_BASIS);
+            let query_repr = format!("{query:?}");
+            let key: LineageKey = (
+                instance_fp,
+                fingerprint_debug(&query_repr),
+                self.config.heuristic,
+            );
+            if let Ok(cache) = self.lineage_cache.lock() {
+                if let Some(entry) = cache.get(&key) {
+                    if entry.query_repr == query_repr && entry.instance_check == instance_check {
+                        return Ok((
+                            Arc::clone(entry),
+                            CacheFlags {
+                                lineage_cached: true,
+                                // No decomposition lookup happened at all;
+                                // report it as served-from-cache, which is
+                                // what it is morally.
+                                decomposition_cached: true,
+                            },
+                        ));
+                    }
+                }
+            }
+            Some((key, query_repr, instance_check))
+        } else {
+            None
+        };
+        let (decomposition, decomposition_cached) = self.decomposition_for(representation);
+        let outcome = representation.lineage(query, &decomposition)?;
+        let build_notes = outcome.note.into_iter().collect();
+        // Constant-fold and prune the raw lineage before compiling:
+        // automaton-built circuits carry a constant gate per decomposition
+        // node, so for selective (e.g. anchored) queries the reachable
+        // non-constant core is a tiny fraction of the raw circuit, and both
+        // the circuit-graph decomposition and every later counting sweep
+        // shrink with it.
+        let simplified = outcome.circuit.simplify()?;
+        let compiled = CompiledCircuit::compile(Arc::new(simplified), self.config.heuristic)?;
+        let (query_repr, instance_check, key) = match identity {
+            Some((key, query_repr, instance_check)) => (query_repr, instance_check, Some(key)),
+            None => (String::new(), 0, None),
+        };
+        let entry = Arc::new(CompiledLineage {
+            compiled,
+            decomposition_width: Some(decomposition.width()),
+            build_notes,
+            query_repr,
+            instance_check,
+        });
+        if let Some(key) = key {
+            if let Ok(mut cache) = self.lineage_cache.lock() {
+                insert_bounded(
+                    &mut cache,
+                    key,
+                    Arc::clone(&entry),
+                    self.config.cache_capacity,
+                );
+            }
+        }
+        Ok((
+            entry,
+            CacheFlags {
+                lineage_cached: false,
+                decomposition_cached,
+            },
         ))
     }
 
     /// Builds (or fetches) the lineage circuit of a query without computing
     /// its probability — for callers that want to inspect, transform or
-    /// re-weight the circuit themselves.
+    /// re-weight the circuit themselves. Shares the engine's lineage cache.
     pub fn lineage<R: Representation + ?Sized>(
         &self,
         representation: &R,
         query: &R::Query,
     ) -> Result<Circuit, StucError> {
-        let (decomposition, _) = self.decomposition_for(representation);
-        Ok(representation.lineage(query, &decomposition)?.circuit)
+        let (entry, _) = self.compiled_lineage(representation, query)?;
+        Ok(entry.compiled.source().as_ref().clone())
     }
 
     /// The tree decomposition of the representation's structure graph,
@@ -382,7 +629,12 @@ impl Engine {
         let decomposition = Arc::new(decompose_with_heuristic(&graph, self.config.heuristic));
         if self.config.cache_decompositions {
             if let Ok(mut cache) = self.cache.lock() {
-                cache.insert(key, Arc::clone(&decomposition));
+                insert_bounded(
+                    &mut cache,
+                    key,
+                    Arc::clone(&decomposition),
+                    self.config.cache_capacity,
+                );
             }
         }
         (decomposition, false)
@@ -397,7 +649,7 @@ impl Engine {
         circuit_gates: usize,
         fact_count: usize,
         started: Instant,
-        decomposition_cached: bool,
+        cache_flags: CacheFlags,
         notes: Vec<String>,
     ) -> EvaluationReport {
         EvaluationReport {
@@ -407,10 +659,39 @@ impl Engine {
             circuit_gates,
             fact_count,
             wall_time: started.elapsed(),
-            decomposition_cached,
+            decomposition_cached: cache_flags.decomposition_cached,
+            lineage_cached: cache_flags.lineage_cached,
             notes,
         }
     }
+}
+
+/// Which engine caches served (parts of) one evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheFlags {
+    decomposition_cached: bool,
+    lineage_cached: bool,
+}
+
+/// Inserts into a bounded cache map: at capacity, an arbitrary old entry is
+/// evicted first, so long-running engines stay memory-bounded while the
+/// common case (working set below capacity) is never disturbed. Capacity 0
+/// means the cache is disabled and nothing is stored.
+fn insert_bounded<K: std::hash::Hash + Eq + Copy, V>(
+    map: &mut HashMap<K, V>,
+    key: K,
+    value: V,
+    capacity: usize,
+) {
+    if capacity == 0 {
+        return;
+    }
+    if map.len() >= capacity && !map.contains_key(&key) {
+        if let Some(&victim) = map.keys().next() {
+            map.remove(&victim);
+        }
+    }
+    map.insert(key, value);
 }
 
 #[cfg(test)]

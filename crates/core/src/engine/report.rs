@@ -1,5 +1,8 @@
-//! What an evaluation returns besides the probability itself.
+//! What an evaluation returns besides the probability itself: the
+//! per-query [`EvaluationReport`], the per-batch [`BatchReport`], and the
+//! [`BackendKind`] / [`BackendPolicy`] vocabulary both use.
 
+use super::error::StucError;
 use std::time::Duration;
 
 /// The back-ends an [`crate::engine::Engine`] can dispatch to, and the
@@ -73,8 +76,14 @@ pub struct EvaluationReport {
     /// Wall-clock time of the whole evaluation, including decomposition,
     /// lineage construction and back-end execution.
     pub wall_time: Duration,
-    /// True when the structure decomposition came from the engine's cache.
+    /// True when the structure decomposition came from the engine's cache
+    /// (also set on a lineage-cache hit, which skips the decomposition
+    /// lookup altogether).
     pub decomposition_cached: bool,
+    /// True when the compiled lineage circuit came from the engine's
+    /// lineage cache, skipping decomposition and lineage construction
+    /// entirely — only the counting back-end ran.
+    pub lineage_cached: bool,
     /// Human-readable trace of the strategy decisions taken (safe-plan
     /// refusals, width-budget fallbacks, lineage fallbacks).
     pub notes: Vec<String>,
@@ -94,6 +103,87 @@ impl EvaluationReport {
     /// Stable name of the back-end that ran.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
+    }
+}
+
+/// The outcome of one [`crate::engine::Engine::evaluate_batch`] call:
+/// per-query results in input order plus aggregate statistics about how the
+/// batch was executed (worker threads, cache sharing).
+///
+/// A batch never fails as a whole — a query that errors (unparseable for
+/// its backend, width budget exceeded under a fixed policy, …) carries its
+/// [`StucError`] in its slot while the rest of the batch completes.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One result per input query, in the order the queries were given.
+    pub reports: Vec<Result<EvaluationReport, StucError>>,
+    /// Wall-clock time of the whole batch, spawn to join.
+    pub wall_time: Duration,
+    /// Number of worker threads the batch actually ran on.
+    pub threads: usize,
+    /// How many queries were answered from the compiled-lineage cache.
+    pub lineage_cache_hits: usize,
+    /// How many queries reused a cached (or lineage-cache-implied)
+    /// structure decomposition.
+    pub decomposition_cache_hits: usize,
+}
+
+impl BatchReport {
+    /// Assembles a report from per-query results, deriving the aggregate
+    /// cache statistics from the per-query flags.
+    pub(crate) fn assemble(
+        reports: Vec<Result<EvaluationReport, StucError>>,
+        threads: usize,
+        wall_time: Duration,
+    ) -> Self {
+        let lineage_cache_hits = reports
+            .iter()
+            .filter(|r| matches!(r, Ok(report) if report.lineage_cached))
+            .count();
+        let decomposition_cache_hits = reports
+            .iter()
+            .filter(|r| matches!(r, Ok(report) if report.decomposition_cached))
+            .count();
+        BatchReport {
+            reports,
+            wall_time,
+            threads,
+            lineage_cache_hits,
+            decomposition_cache_hits,
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Number of queries that evaluated successfully.
+    pub fn succeeded(&self) -> usize {
+        self.reports.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of queries that failed.
+    pub fn failed(&self) -> usize {
+        self.len() - self.succeeded()
+    }
+
+    /// The probability of each query, `None` where evaluation failed.
+    pub fn probabilities(&self) -> Vec<Option<f64>> {
+        self.reports
+            .iter()
+            .map(|r| r.as_ref().ok().map(|report| report.probability))
+            .collect()
+    }
+
+    /// Iterates over the successful reports in input order.
+    pub fn successes(&self) -> impl Iterator<Item = &EvaluationReport> {
+        self.reports.iter().filter_map(|r| r.as_ref().ok())
     }
 }
 

@@ -83,7 +83,9 @@ impl LineageOutcome {
 /// that are plain TID instances with conjunctive queries offer it.
 #[derive(Debug, Clone, Copy)]
 pub struct ExtensionalInput<'a> {
+    /// The tuple-independent instance to evaluate on.
     pub tid: &'a TidInstance,
+    /// The conjunctive query to evaluate.
     pub query: &'a ConjunctiveQuery,
 }
 
@@ -94,8 +96,10 @@ pub struct ExtensionalInput<'a> {
 /// need to answer the same four questions (structure, lineage, weights,
 /// identity) to plug into [`crate::engine::Engine`] unchanged.
 pub trait Representation: std::fmt::Debug {
-    /// The query language this representation is evaluated against.
-    type Query;
+    /// The query language this representation is evaluated against. The
+    /// `Debug` bound gives the engine a deterministic rendering to
+    /// fingerprint queries for its compiled-lineage cache.
+    type Query: std::fmt::Debug;
 
     /// Which formalism this is (used in reports and error messages).
     fn kind(&self) -> ReprKind;
@@ -139,22 +143,46 @@ pub trait Representation: std::fmt::Debug {
     }
 }
 
+/// The standard FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a over the `Debug` rendering: a cheap, deterministic-per-process
 /// identity good enough for cache keying (see `Representation::fingerprint`).
 pub(crate) fn fingerprint_debug<T: std::fmt::Debug + ?Sized>(value: &T) -> u64 {
+    fingerprint_debug_with(value, FNV_OFFSET_BASIS)
+}
+
+/// The same FNV-1a pass from a caller-chosen offset basis. The engine's
+/// lineage cache stores a second, differently-seeded hash of the instance
+/// next to the primary fingerprint, so a wrong cache reuse needs two
+/// simultaneous 64-bit collisions (plus identical query text) instead of
+/// one.
+pub(crate) fn fingerprint_debug_with<T: std::fmt::Debug + ?Sized>(value: &T, basis: u64) -> u64 {
+    fingerprint_debug_pair_with(value, basis, basis).0
+}
+
+/// Two differently-seeded FNV-1a hashes computed in a *single* `Debug`
+/// rendering pass — the rendering, not the hashing, is the linear cost, so
+/// the lineage cache's primary + check hashes together cost one pass.
+pub(crate) fn fingerprint_debug_pair_with<T: std::fmt::Debug + ?Sized>(
+    value: &T,
+    basis_a: u64,
+    basis_b: u64,
+) -> (u64, u64) {
     use std::fmt::Write;
-    struct Fnv(u64);
-    impl Write for Fnv {
+    struct Fnv2(u64, u64);
+    impl Write for Fnv2 {
         fn write_str(&mut self, s: &str) -> std::fmt::Result {
             for b in s.bytes() {
                 self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                self.1 = (self.1 ^ b as u64).wrapping_mul(0x100_0000_01b3);
             }
             Ok(())
         }
     }
-    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let mut h = Fnv2(basis_a, basis_b);
     let _ = write!(h, "{value:?}");
-    h.0
+    (h.0, h.1)
 }
 
 impl Representation for TidInstance {

@@ -21,14 +21,16 @@
 //! * [`workloads`] — deterministic TID / pcc workload generators shared by
 //!   the examples, the integration tests and the benchmark harness.
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod hybrid;
 pub mod pipeline;
 pub mod workloads;
 
 pub use engine::{
-    Backend, BackendKind, BackendPolicy, Engine, EngineBuilder, EvaluationReport as EngineReport,
-    ReprKind, Representation, StucError,
+    Backend, BackendKind, BackendPolicy, BatchReport, Engine, EngineBuilder,
+    EvaluationReport as EngineReport, ReprKind, Representation, StucError,
 };
 #[allow(deprecated)]
 pub use pipeline::TractablePipeline;

@@ -157,7 +157,7 @@ impl Instance {
     /// The Gaifman graph over *constants*: one vertex per constant, and a
     /// clique over the constants of every fact. Its treewidth is the
     /// treewidth the paper's Theorem 1 refers to ("the treewidth of a TID
-    /// [is] that of its underlying relational instance").
+    /// \[is\] that of its underlying relational instance").
     pub fn gaifman_graph(&self) -> Graph {
         let mut g = Graph::with_vertices(self.constant_count());
         for fact in &self.facts {

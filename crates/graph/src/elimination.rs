@@ -24,9 +24,11 @@ use crate::graph::{Graph, VertexId};
 use std::collections::BTreeSet;
 
 /// Which greedy rule selects the next vertex to eliminate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EliminationHeuristic {
-    /// Eliminate a vertex of minimum current degree.
+    /// Eliminate a vertex of minimum current degree (the default: cheap and
+    /// near-optimal on the path/tree-shaped workloads of the paper).
+    #[default]
     MinDegree,
     /// Eliminate a vertex whose elimination creates the fewest fill-in edges.
     MinFill,

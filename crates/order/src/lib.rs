@@ -5,11 +5,11 @@
 //! together with a partial order on them; the possible worlds are its linear
 //! extensions. The positive relational algebra gets a bag semantics over
 //! po-relations (selection, projection, two unions, two products), following
-//! the design of the cited "Querying order-incomplete data" work [6].
+//! the design of the cited "Querying order-incomplete data" work \[6\].
 //!
 //! As the paper notes, many tasks on these representations are intractable —
 //! possible-world membership for a labeled sequence, and counting linear
-//! extensions [14] — but specific structures (unordered relations, totally
+//! extensions \[14\] — but specific structures (unordered relations, totally
 //! ordered relations) remain tractable. This crate implements both the
 //! general (exponential) algorithms and the tractable special cases, which is
 //! what experiment E9 measures.

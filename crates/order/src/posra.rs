@@ -1,6 +1,6 @@
 //! The positive relational algebra with bag semantics on po-relations.
 //!
-//! Following the design the paper summarises from [6]: operators take
+//! Following the design the paper summarises from \[6\]: operators take
 //! po-relations to po-relations, preserving the order constraints of their
 //! inputs and adding only the constraints the operator semantics requires.
 //! Order-ambiguous operators come in two flavours: union as *parallel*

@@ -11,7 +11,7 @@
 //! * [`queries`] — tree-pattern queries (label existence, ancestor/descendant
 //!   patterns) and their lineage circuits over the document's independent
 //!   events; probabilities are computed by any `stuc-circuit` back-end.
-//! * [`scope`] — event scopes (Section 2.1 / reference [7]): the set of nodes
+//! * [`scope`] — event scopes (Section 2.1 / reference \[7\]): the set of nodes
 //!   where an event's value must be remembered, whose maximum size is the
 //!   structural parameter that makes global uncertainty tractable.
 //! * [`generator`] — synthetic Wikidata-style document generators used by the

@@ -1,4 +1,4 @@
-//! Event scopes (Section 2.1 of the paper, after reference [7]).
+//! Event scopes (Section 2.1 of the paper, after reference \[7\]).
 //!
 //! "The scope of an event is the set of nodes where the value of this event
 //! must be 'remembered' when trying to evaluate a query on the tree; in
@@ -26,7 +26,7 @@ pub struct ScopeAnalysis {
 }
 
 impl ScopeAnalysis {
-    /// The largest node scope size — the boundedness parameter of [7].
+    /// The largest node scope size — the boundedness parameter of \[7\].
     pub fn max_node_scope(&self) -> usize {
         self.node_scopes.iter().map(|s| s.len()).max().unwrap_or(0)
     }

@@ -1,9 +1,9 @@
 //! Datalog programs and their evaluation on plain instances.
 //!
 //! The paper repeatedly points at Datalog fragments as the realistic query
-//! languages for its tractability programme: "Datalog [2], or some of its
-//! variants such as frontier-guarded Datalog [11]" as query languages for
-//! (p)c-instances, and monadic Datalog [26] as the way around the
+//! languages for its tractability programme: "Datalog \[2\], or some of its
+//! variants such as frontier-guarded Datalog \[11\]" as query languages for
+//! (p)c-instances, and monadic Datalog \[26\] as the way around the
 //! non-elementary cost of compiling MSO to automata. This module provides the
 //! language layer: positive Datalog rules (no negation), program parsing,
 //! fixpoint evaluation by iterated rule application, and the syntactic
@@ -63,7 +63,7 @@ impl DatalogRule {
     }
 
     /// True if some body atom contains every frontier variable
-    /// (frontier-guardedness, the fragment of reference [11]).
+    /// (frontier-guardedness, the fragment of reference \[11\]).
     pub fn is_frontier_guarded(&self) -> bool {
         let frontier = self.frontier();
         frontier.is_empty() || self.body.iter().any(|a| frontier.is_subset(&a.variables()))

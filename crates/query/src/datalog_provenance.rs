@@ -1,7 +1,7 @@
 //! Provenance (lineage) circuits for Datalog over uncertain instances.
 //!
 //! The paper casts its automaton-produced lineages as "provenance circuits
-//! [21] matching standard definitions of semiring provenance [28]", citing
+//! \[21\] matching standard definitions of semiring provenance \[28\]", citing
 //! the circuits-for-Datalog-provenance line of work. This module provides the
 //! classical fixpoint construction of those circuits for positive Datalog
 //! programs over tuple-independent and c-instances: every fact of the

@@ -1,7 +1,7 @@
 //! Association-rule mining: producing probabilistic rules from the data.
 //!
 //! The paper's Section 2.3 says that soft rules "could be produced by
-//! association rule mining [3], or using KB-specific methods [23]" (AMIE).
+//! association rule mining \[3\], or using KB-specific methods \[23\]" (AMIE).
 //! This module closes that loop: it mines candidate existential-free rules
 //! from a plain instance, scores them by support and confidence, and emits
 //! them as [`Rule`]s whose confidence is the observed conditional frequency —

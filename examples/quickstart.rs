@@ -73,4 +73,39 @@ fn main() {
         println!("  {kind:<14} {p:.9}");
         assert!((report.probability - p).abs() < 1e-9);
     }
+
+    // Many queries on one instance? Hand the whole batch to the engine: it
+    // spreads the queries over a worker pool and shares the decomposition
+    // and compiled-lineage caches across all of them.
+    let batch_queries: Vec<ConjunctiveQuery> =
+        ["R(x, y)", "R(x, y), R(y, z)", "R(x, y), R(y, z), R(z, w)"]
+            .iter()
+            .map(|q| ConjunctiveQuery::parse(q).expect("valid query"))
+            .collect();
+    let batch = engine.evaluate_batch(&tid, &batch_queries);
+    println!(
+        "\nbatch of {} on {} thread(s) in {:?}:",
+        batch.len(),
+        batch.threads,
+        batch.wall_time
+    );
+    for (q, result) in batch_queries.iter().zip(&batch.reports) {
+        let r = result.as_ref().expect("batch query evaluates");
+        println!("  P[{q}] = {:.6} via {}", r.probability, r.backend_name());
+    }
+
+    // What-if analysis: the lineage circuit does not depend on the
+    // probabilities, so re-evaluating under new weights reuses the compiled
+    // circuit and pays only the counting sweep.
+    let mut what_if = tid.clone();
+    for i in 0..what_if.fact_count() {
+        what_if.set_probability(stuc::data::instance::FactId(i), 0.9);
+    }
+    let reweighted = engine
+        .reevaluate_with_weights(&tid, &query, &what_if.fact_weights())
+        .expect("weights cover the lineage");
+    println!(
+        "\nwhat-if (all facts at 0.9): P = {:.6} (lineage cached: {})",
+        reweighted.probability, reweighted.lineage_cached
+    );
 }

@@ -91,6 +91,6 @@ pub use stuc_query as query;
 pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
-    Backend, BackendKind, BackendPolicy, Engine, EngineBuilder, EvaluationReport, ReprKind,
-    Representation, StucError,
+    Backend, BackendKind, BackendPolicy, BatchReport, Engine, EngineBuilder, EvaluationReport,
+    ReprKind, Representation, StucError,
 };

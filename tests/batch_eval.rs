@@ -1,0 +1,225 @@
+//! Batched parallel evaluation and weight-only re-evaluation.
+//!
+//! Two contracts pinned here:
+//!
+//! * `Engine::evaluate_batch` is *semantically invisible*: for every
+//!   representation (TID, pc-instance, pcc-instance, PrXML) and any mix of
+//!   queries, the per-query reports agree with sequential
+//!   `Engine::evaluate` calls — same probabilities, same back-end choices.
+//! * `Engine::reevaluate_with_weights` answers exactly what a fresh
+//!   evaluation of the re-weighted instance would answer, while reusing the
+//!   compiled lineage (the what-if fast path).
+
+use proptest::prelude::*;
+use stuc::circuit::weights::Weights;
+use stuc::core::workloads;
+use stuc::data::tid::TidInstance;
+use stuc::prxml::document::PrXmlDocument;
+use stuc::prxml::queries::PrxmlQuery;
+use stuc::query::cq::ConjunctiveQuery;
+use stuc::{BackendKind, Engine};
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+/// The query mix used on relational representations: hierarchical (safe
+/// plan), self-join (treewidth circuit), and a longer chain, plus one
+/// repeat so the batch also exercises the lineage cache.
+fn relational_queries() -> Vec<ConjunctiveQuery> {
+    [
+        "R(x, y)",
+        "R(x, y), R(y, z)",
+        "R(x, y), R(y, z), R(z, w)",
+        "R(x, y), R(y, z)",
+    ]
+    .iter()
+    .map(|q| ConjunctiveQuery::parse(q).unwrap())
+    .collect()
+}
+
+fn assert_batch_matches_sequential<R>(representation: &R, queries: &[R::Query], threads: usize)
+where
+    R: stuc::Representation + Sync,
+    R::Query: Sync,
+{
+    let batch_engine = Engine::builder().batch_threads(threads).build();
+    let batch = batch_engine.evaluate_batch(representation, queries);
+    assert_eq!(batch.len(), queries.len());
+    assert_eq!(batch.succeeded(), queries.len());
+
+    let sequential = Engine::new();
+    for (query, result) in queries.iter().zip(&batch.reports) {
+        let expected = sequential.evaluate(representation, query).unwrap();
+        let got = result.as_ref().unwrap();
+        assert!(
+            close(expected.probability, got.probability),
+            "{query:?}: sequential {} vs batch {}",
+            expected.probability,
+            got.probability
+        );
+        assert_eq!(expected.backend, got.backend, "{query:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch ≡ sequential on TID instances, across worker counts.
+    #[test]
+    fn batch_matches_sequential_on_tid(n in 3usize..12, p in 0.2f64..0.8, seed in 0u64..200, threads in 1usize..5) {
+        let tid = workloads::path_tid(n, p, seed);
+        assert_batch_matches_sequential(&tid, &relational_queries(), threads);
+    }
+
+    /// Batch ≡ sequential on pc-instances (the TID viewed through event
+    /// formulas; no extensional fast path exists).
+    #[test]
+    fn batch_matches_sequential_on_pc_instance(n in 3usize..9, p in 0.2f64..0.8, seed in 0u64..200, threads in 1usize..5) {
+        let pc = workloads::path_tid(n, p, seed).to_pc_instance();
+        assert_batch_matches_sequential(&pc, &relational_queries(), threads);
+    }
+
+    /// Batch ≡ sequential on pcc-instances (Theorem 2: shared annotation
+    /// circuit).
+    #[test]
+    fn batch_matches_sequential_on_pcc_instance(claims in 2usize..6, contributors in 1usize..4, seed in 0u64..200, threads in 1usize..5) {
+        let pcc = workloads::contributor_pcc(claims, contributors, 0.8, 0.6, seed);
+        let queries: Vec<ConjunctiveQuery> = ["Claim(x, y)", "Claim(x, y), Claim(z, y)"]
+            .iter()
+            .map(|q| ConjunctiveQuery::parse(q).unwrap())
+            .collect();
+        assert_batch_matches_sequential(&pcc, &queries, threads);
+    }
+
+    /// Batch ≡ sequential on probabilistic XML documents.
+    #[test]
+    fn batch_matches_sequential_on_prxml(threads in 1usize..5) {
+        let doc = PrXmlDocument::figure1_example();
+        let queries = vec![
+            PrxmlQuery::LabelExists("musician".into()),
+            PrxmlQuery::LabelExists("painter".into()),
+            PrxmlQuery::LabelExists("musician".into()),
+        ];
+        assert_batch_matches_sequential(&doc, &queries, threads);
+    }
+
+    /// Weight-only re-evaluation answers what a fresh evaluation of the
+    /// re-weighted instance answers, for every counting back-end path.
+    #[test]
+    fn reevaluation_matches_fresh_evaluation(n in 3usize..10, p in 0.15f64..0.85, q in 0.15f64..0.85, seed in 0u64..200) {
+        let tid = workloads::path_tid(n, p, seed);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let engine = Engine::new();
+        engine.evaluate(&tid, &query).unwrap();
+
+        // Change every fact probability, then ask the warm engine about the
+        // *old* instance under the *new* weights.
+        let mut reweighted = tid.clone();
+        for i in 0..reweighted.fact_count() {
+            reweighted.set_probability(stuc::data::instance::FactId(i), q);
+        }
+        let warm = engine
+            .reevaluate_with_weights(&tid, &query, &reweighted.fact_weights())
+            .unwrap();
+        prop_assert!(warm.lineage_cached, "expected the compiled lineage to be reused");
+
+        let fresh = Engine::new().evaluate(&reweighted, &query).unwrap();
+        prop_assert!(
+            close(warm.probability, fresh.probability),
+            "warm {} vs fresh {}",
+            warm.probability,
+            fresh.probability
+        );
+    }
+}
+
+#[test]
+fn reevaluation_after_changing_tid_probabilities_matches() {
+    let mut tid = TidInstance::new();
+    for i in 0..8 {
+        tid.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)], 0.5);
+    }
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+
+    let engine = Engine::new();
+    let cold = engine.evaluate(&tid, &query).unwrap();
+    assert!(!cold.lineage_cached);
+    assert_eq!(engine.cached_lineages(), 1);
+
+    // What-if sweep: push every fact probability through several values and
+    // compare against fresh evaluations of an instance that really has them.
+    for new_p in [0.1, 0.35, 0.9, 1.0] {
+        let mut changed = tid.clone();
+        for i in 0..changed.fact_count() {
+            changed.set_probability(stuc::data::instance::FactId(i), new_p);
+        }
+        let warm = engine
+            .reevaluate_with_weights(&tid, &query, &changed.fact_weights())
+            .unwrap();
+        assert!(warm.lineage_cached);
+        assert!(warm.decomposition_cached);
+        let fresh = Engine::new().evaluate(&changed, &query).unwrap();
+        assert!(
+            close(warm.probability, fresh.probability),
+            "p={new_p}: warm {} vs fresh {}",
+            warm.probability,
+            fresh.probability
+        );
+    }
+    // The sweep never grew the cache: one compiled lineage served them all.
+    assert_eq!(engine.cached_lineages(), 1);
+}
+
+#[test]
+fn reevaluation_works_from_cold_and_partial_weights_fail_cleanly() {
+    let tid = workloads::path_tid(6, 0.4, 17);
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    let engine = Engine::new();
+
+    // Cold re-evaluation: no prior evaluate call — it compiles on demand.
+    let report = engine
+        .reevaluate_with_weights(&tid, &query, &tid.fact_weights())
+        .unwrap();
+    assert!(!report.lineage_cached);
+    assert!(close(
+        report.probability,
+        Engine::new().evaluate(&tid, &query).unwrap().probability
+    ));
+
+    // Missing weights surface as an error, not a wrong answer.
+    assert!(engine
+        .reevaluate_with_weights(&tid, &query, &Weights::new())
+        .is_err());
+}
+
+#[test]
+fn reevaluation_with_pinned_safe_plan_is_refused() {
+    let tid = workloads::path_tid(4, 0.5, 3);
+    let query = ConjunctiveQuery::parse("R(x, y)").unwrap();
+    let engine = Engine::builder().backend(BackendKind::SafePlan).build();
+    // The safe plan evaluates on the instance's own probabilities; it cannot
+    // honour a weight override.
+    assert!(engine
+        .reevaluate_with_weights(&tid, &query, &tid.fact_weights())
+        .is_err());
+}
+
+#[test]
+fn batch_shares_one_decomposition_across_workers() {
+    let tid = workloads::path_tid(12, 0.5, 19);
+    let queries: Vec<ConjunctiveQuery> = (2..6)
+        .map(|len| {
+            let atoms: Vec<String> = (0..len).map(|i| format!("R(x{i}, x{})", i + 1)).collect();
+            ConjunctiveQuery::parse(&atoms.join(", ")).unwrap()
+        })
+        .collect();
+    let engine = Engine::builder().batch_threads(4).build();
+    let batch = engine.evaluate_batch(&tid, &queries);
+    assert_eq!(batch.succeeded(), queries.len());
+    // All four queries are distinct, but they share one instance: exactly
+    // one structure decomposition and one lineage per query are cached.
+    assert_eq!(engine.cached_decompositions(), 1);
+    assert_eq!(engine.cached_lineages(), queries.len());
+    assert!(batch.threads >= 1);
+}
