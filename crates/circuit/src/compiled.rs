@@ -15,13 +15,16 @@
 //! [`Weights`] table is a single message-passing sweep — no decomposition,
 //! no circuit construction, no binarisation.
 
-use crate::circuit::{Circuit, CircuitError, VarId};
+use crate::circuit::{Circuit, CircuitError, Gate, GateId, VarId};
 use crate::weights::Weights;
 use crate::wmc::{message_passing, TreewidthWmc, WmcError, WmcReport};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, OnceLock};
 use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+use stuc_graph::graph::VertexId;
 use stuc_graph::nice::NiceDecomposition;
+use stuc_graph::repair::{repair_decomposition, RepairError};
+use stuc_graph::TreeDecomposition;
 
 /// A lineage circuit compiled for repeated probability evaluation.
 ///
@@ -55,6 +58,47 @@ struct CompiledStructure {
     nice: NiceDecomposition,
     width: usize,
     bag_count: usize,
+    /// The raw (non-nice) decomposition the nice one was derived from, kept
+    /// so incremental patches ([`CompiledCircuit::extend_or`]) can repair it
+    /// instead of re-decomposing the grown circuit graph.
+    decomposition: TreeDecomposition,
+}
+
+stuc_errors::stuc_error! {
+    /// Why an incremental circuit patch refused; the caller should fall
+    /// back to a fresh compilation.
+    #[derive(Clone, PartialEq)]
+    pub enum PatchError {
+        /// The delta circuit has no output gate.
+        Circuit(CircuitError),
+        /// The patched circuit-graph decomposition would exceed the bag-size
+        /// budget (or failed validation).
+        Repair(RepairError),
+    }
+    display {
+        Self::Circuit(e) => "{e}",
+        Self::Repair(e) => "{e}",
+    }
+    from {
+        CircuitError => Circuit,
+        RepairError => Repair,
+    }
+}
+
+/// What [`CompiledCircuit::extend_or`] did: the dirty-cone size and the
+/// decomposition-repair statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtendReport {
+    /// Gates appended to the prepared circuit (the rebuilt cone).
+    pub gates_appended: usize,
+    /// Existing decomposition bags grown by the repair.
+    pub bags_touched: usize,
+    /// Bags added by the repair.
+    pub bags_added: usize,
+    /// Circuit-graph decomposition width before the patch (if built).
+    pub width_before: Option<usize>,
+    /// Width after the patch (if built).
+    pub width_after: Option<usize>,
 }
 
 impl CompiledCircuit {
@@ -92,6 +136,7 @@ impl CompiledCircuit {
                 width: decomposition.width(),
                 bag_count: decomposition.bag_count(),
                 nice: NiceDecomposition::from_decomposition(&decomposition),
+                decomposition,
             }
         })
     }
@@ -131,6 +176,207 @@ impl CompiledCircuit {
     /// The elimination heuristic the circuit graph was decomposed with.
     pub fn heuristic(&self) -> EliminationHeuristic {
         self.heuristic
+    }
+
+    /// Rewires the input gates: variables in `pin_false` become `false`
+    /// constants (the fact can never be present again — deletion), and every
+    /// other input variable is renumbered through `remap` (identity when
+    /// absent). Returns the patched circuit and the number of input gates
+    /// rewired.
+    ///
+    /// Neither operation changes the circuit *topology*, so the cached
+    /// circuit-graph decomposition — the superlinear part of compilation —
+    /// is carried over verbatim: this is how a fact deletion patches a
+    /// compiled lineage in O(circuit) instead of recompiling.
+    ///
+    /// `remap` must be injective on the surviving variables (the engine's
+    /// deletion remap, which shifts identifiers down, is).
+    pub fn rewire_inputs(
+        &self,
+        pin_false: &BTreeSet<VarId>,
+        remap: &BTreeMap<VarId, VarId>,
+    ) -> (CompiledCircuit, usize) {
+        let mut rewired = 0usize;
+        let rewire = |circuit: &Circuit, count: &mut usize| -> Circuit {
+            let mut out = Circuit::new();
+            for (_, gate) in circuit.iter() {
+                let replacement = match gate {
+                    Gate::Input(v) if pin_false.contains(v) => {
+                        *count += 1;
+                        Gate::Const(false)
+                    }
+                    Gate::Input(v) => match remap.get(v) {
+                        Some(&to) => {
+                            *count += 1;
+                            Gate::Input(to)
+                        }
+                        None => Gate::Input(*v),
+                    },
+                    other => other.clone(),
+                };
+                // Identifiers are preserved one-to-one, so inputs need no
+                // remapping; push through the arena directly.
+                match replacement {
+                    Gate::Input(v) => out.add_input(v),
+                    Gate::Const(b) => out.add_const(b),
+                    Gate::And(xs) => out.add_and(xs),
+                    Gate::Or(xs) => out.add_or(xs),
+                    Gate::Not(x) => out.add_not(x),
+                };
+            }
+            if let Some(o) = circuit.output() {
+                out.set_output(o);
+            }
+            out
+        };
+        let source = rewire(&self.source, &mut rewired);
+        let mut prepared_rewired = 0usize;
+        let prepared = rewire(&self.prepared, &mut prepared_rewired);
+        let variables = source.variables();
+        (
+            CompiledCircuit {
+                source: Arc::new(source),
+                prepared,
+                output_gate: self.output_gate,
+                variables,
+                heuristic: self.heuristic,
+                // Topology is unchanged: the decomposition of the circuit
+                // graph remains valid as-is.
+                structure: self.structure.clone(),
+            },
+            prepared_rewired,
+        )
+    }
+
+    /// Extends the compiled lineage with a delta circuit: the new output is
+    /// `old_output OR delta_output`. This is the insertion patch — the delta
+    /// holds the lineage of the *new* query matches only, and instead of
+    /// recompiling, the appended gates (the dirty cone) are folded into the
+    /// prepared circuit and the cached circuit-graph decomposition is
+    /// repaired locally under the `max_bag_size` budget.
+    ///
+    /// Fails with [`PatchError`] when the delta has no output or the repair
+    /// exceeds the budget; callers then fall back to a fresh compilation.
+    pub fn extend_or(
+        &self,
+        delta: &Circuit,
+        max_bag_size: usize,
+    ) -> Result<(CompiledCircuit, ExtendReport), PatchError> {
+        let delta_out = delta.output().ok_or(CircuitError::NoOutput)?;
+
+        // New source: append the delta arena, OR the outputs.
+        let mut source = self.source.as_ref().clone();
+        let source_out = source.output().ok_or(CircuitError::NoOutput)?;
+        let offset = source.len();
+        for (_, gate) in delta.iter() {
+            let shifted = match gate {
+                Gate::Input(v) => Gate::Input(*v),
+                Gate::Const(b) => Gate::Const(*b),
+                Gate::And(xs) => Gate::And(xs.iter().map(|g| GateId(g.0 + offset)).collect()),
+                Gate::Or(xs) => Gate::Or(xs.iter().map(|g| GateId(g.0 + offset)).collect()),
+                Gate::Not(x) => Gate::Not(GateId(x.0 + offset)),
+            };
+            match shifted {
+                Gate::Input(v) => source.add_input(v),
+                Gate::Const(b) => source.add_const(b),
+                Gate::And(xs) => source.add_and(xs),
+                Gate::Or(xs) => source.add_or(xs),
+                Gate::Not(x) => source.add_not(x),
+            };
+        }
+        let new_source_out = source.add_or(vec![source_out, GateId(delta_out.0 + offset)]);
+        source.set_output(new_source_out);
+
+        // New prepared circuit: existing gates keep their identifiers (this
+        // is what makes the decomposition patchable); the binarised delta is
+        // appended, sharing the existing per-variable input gates.
+        let mut prepared = self.prepared.clone();
+        let before = prepared.len();
+        let mut input_of_var: BTreeMap<VarId, GateId> = BTreeMap::new();
+        for (id, gate) in prepared.iter() {
+            if let Gate::Input(v) = gate {
+                input_of_var.entry(*v).or_insert(id);
+            }
+        }
+        let delta_prepared = delta.binarize();
+        let delta_prepared_out = delta_prepared
+            .output()
+            .expect("binarize preserves the output");
+        let mut map: Vec<GateId> = Vec::with_capacity(delta_prepared.len());
+        for (_, gate) in delta_prepared.iter() {
+            let id = match gate {
+                Gate::Input(v) => *input_of_var
+                    .entry(*v)
+                    .or_insert_with(|| prepared.add_input(*v)),
+                Gate::Const(b) => prepared.add_const(*b),
+                Gate::And(xs) => {
+                    let inputs = xs.iter().map(|x| map[x.0]).collect();
+                    prepared.add_and(inputs)
+                }
+                Gate::Or(xs) => {
+                    let inputs = xs.iter().map(|x| map[x.0]).collect();
+                    prepared.add_or(inputs)
+                }
+                Gate::Not(x) => prepared.add_not(map[x.0]),
+            };
+            map.push(id);
+        }
+        let old_out = GateId(self.output_gate);
+        let new_out = prepared.add_or(vec![old_out, map[delta_prepared_out.0]]);
+        prepared.set_output(new_out);
+
+        let mut report = ExtendReport {
+            gates_appended: prepared.len() - before,
+            ..Default::default()
+        };
+
+        // Patch the cached decomposition, if one was ever built; otherwise
+        // the grown circuit simply decomposes lazily like a fresh compile.
+        let structure = match self.structure.get() {
+            None => OnceLock::new(),
+            Some(old) => {
+                report.width_before = Some(old.width);
+                let graph = TreewidthWmc::circuit_graph(&prepared);
+                let cliques: Vec<Vec<VertexId>> = (before..prepared.len())
+                    .map(|g| {
+                        let mut clique = vec![VertexId(g)];
+                        clique.extend(
+                            prepared
+                                .gate(GateId(g))
+                                .inputs()
+                                .iter()
+                                .map(|x| VertexId(x.0)),
+                        );
+                        clique
+                    })
+                    .collect();
+                let (patched, repair) =
+                    repair_decomposition(&old.decomposition, &graph, &cliques, max_bag_size)?;
+                report.bags_touched = repair.bags_touched;
+                report.bags_added = repair.bags_added;
+                report.width_after = Some(repair.width_after);
+                let lock = OnceLock::new();
+                let _ = lock.set(CompiledStructure {
+                    width: patched.width(),
+                    bag_count: patched.bag_count(),
+                    nice: NiceDecomposition::from_decomposition(&patched),
+                    decomposition: patched,
+                });
+                lock
+            }
+        };
+        let variables = source.variables();
+        Ok((
+            CompiledCircuit {
+                source: Arc::new(source),
+                prepared,
+                output_gate: new_out.0,
+                variables,
+                heuristic: self.heuristic,
+                structure,
+            },
+            report,
+        ))
     }
 
     /// Probability that the output gate is true under `weights`, refusing
@@ -227,6 +473,131 @@ mod tests {
             CompiledCircuit::compile(Arc::new(circuit), Default::default()).unwrap_err(),
             CircuitError::NoOutput
         );
+    }
+
+    #[test]
+    fn rewire_inputs_pins_and_renumbers_without_redecomposing() {
+        // Lineage of "two consecutive facts" on a 4-fact chain:
+        // (x0 & x1) | (x1 & x2) | (x2 & x3).
+        let mut circuit = Circuit::new();
+        let xs: Vec<_> = (0..4).map(|i| circuit.add_input(VarId(i))).collect();
+        let pairs: Vec<_> = (0..3)
+            .map(|i| circuit.add_and(vec![xs[i], xs[i + 1]]))
+            .collect();
+        let or = circuit.add_or(pairs);
+        circuit.set_output(or);
+        let compiled =
+            CompiledCircuit::compile(Arc::new(circuit), EliminationHeuristic::MinDegree).unwrap();
+        let width = compiled.width(); // force the decomposition
+
+        // Delete fact 1: pin x1 false, shift x2 -> x1, x3 -> x2.
+        let pins = BTreeSet::from([VarId(1)]);
+        let remap = BTreeMap::from([(VarId(2), VarId(1)), (VarId(3), VarId(2))]);
+        let (patched, rewired) = compiled.rewire_inputs(&pins, &remap);
+        assert!(rewired >= 3);
+        assert_eq!(patched.width(), width, "structure carried over verbatim");
+        assert_eq!(
+            patched.variables(),
+            &BTreeSet::from([VarId(0), VarId(1), VarId(2)])
+        );
+
+        // Equivalent fresh lineage on the 3 surviving facts: only the pair
+        // (old x2, old x3) = (new x1, new x2) remains.
+        let mut expected = Circuit::new();
+        let y1 = expected.add_input(VarId(1));
+        let y2 = expected.add_input(VarId(2));
+        let and = expected.add_and(vec![y1, y2]);
+        expected.set_output(and);
+        for p in [0.2, 0.5, 0.8] {
+            let weights = Weights::uniform([VarId(0), VarId(1), VarId(2)], p);
+            let want = probability_by_enumeration(&expected, &weights).unwrap();
+            assert_close(patched.probability(&weights, 22).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn extend_or_patches_the_cached_decomposition() {
+        // Old lineage: x0 & x1. Delta (new matches): x1 & x2.
+        let mut old = Circuit::new();
+        let x0 = old.add_input(VarId(0));
+        let x1 = old.add_input(VarId(1));
+        let and = old.add_and(vec![x0, x1]);
+        old.set_output(and);
+        let compiled =
+            CompiledCircuit::compile(Arc::new(old), EliminationHeuristic::MinDegree).unwrap();
+        let _ = compiled.width(); // structure is built, so the patch must repair it
+
+        let mut delta = Circuit::new();
+        let d1 = delta.add_input(VarId(1));
+        let d2 = delta.add_input(VarId(2));
+        let dand = delta.add_and(vec![d1, d2]);
+        delta.set_output(dand);
+
+        let (patched, report) = compiled.extend_or(&delta, 22).unwrap();
+        assert!(report.gates_appended > 0);
+        assert!(report.width_before.is_some() && report.width_after.is_some());
+
+        // Agreement with the full OR circuit by enumeration.
+        let mut full = Circuit::new();
+        let y0 = full.add_input(VarId(0));
+        let y1 = full.add_input(VarId(1));
+        let y2 = full.add_input(VarId(2));
+        let a = full.add_and(vec![y0, y1]);
+        let b = full.add_and(vec![y1, y2]);
+        let or = full.add_or(vec![a, b]);
+        full.set_output(or);
+        for p in [0.25, 0.5, 0.75] {
+            let weights = Weights::uniform([VarId(0), VarId(1), VarId(2)], p);
+            let want = probability_by_enumeration(&full, &weights).unwrap();
+            assert_close(patched.probability(&weights, 22).unwrap(), want);
+        }
+        // Repeated extension keeps working (patch of a patch).
+        let mut delta2 = Circuit::new();
+        let e = delta2.add_input(VarId(3));
+        delta2.set_output(e);
+        let (patched2, _) = patched.extend_or(&delta2, 22).unwrap();
+        let weights = Weights::uniform([VarId(0), VarId(1), VarId(2), VarId(3)], 0.5);
+        // P((x0&x1)|(x1&x2)|x3) = 1 - (1 - 0.375) * 0.5 = 0.6875.
+        assert_close(patched2.probability(&weights, 22).unwrap(), 0.6875);
+    }
+
+    #[test]
+    fn extend_or_is_lazy_when_no_structure_was_built() {
+        let mut old = Circuit::new();
+        let x = old.add_input(VarId(0));
+        old.set_output(x);
+        let compiled = CompiledCircuit::compile(Arc::new(old), Default::default()).unwrap();
+        let mut delta = Circuit::new();
+        let y = delta.add_input(VarId(1));
+        delta.set_output(y);
+        let (patched, report) = compiled.extend_or(&delta, 22).unwrap();
+        assert_eq!(report.width_before, None);
+        assert_eq!(report.width_after, None);
+        let weights = Weights::uniform([VarId(0), VarId(1)], 0.5);
+        assert_close(patched.probability(&weights, 22).unwrap(), 0.75);
+    }
+
+    #[test]
+    fn extend_or_refuses_on_budget_and_missing_output() {
+        let mut old = Circuit::new();
+        let x = old.add_input(VarId(0));
+        old.set_output(x);
+        let compiled = CompiledCircuit::compile(Arc::new(old), Default::default()).unwrap();
+        let _ = compiled.width();
+        let mut no_output = Circuit::new();
+        no_output.add_input(VarId(1));
+        assert!(matches!(
+            compiled.extend_or(&no_output, 22),
+            Err(PatchError::Circuit(CircuitError::NoOutput))
+        ));
+        // A bag-size budget of 1 cannot host the OR clique: repair refuses.
+        let mut delta = Circuit::new();
+        let y = delta.add_input(VarId(1));
+        delta.set_output(y);
+        assert!(matches!(
+            compiled.extend_or(&delta, 1),
+            Err(PatchError::Repair(_))
+        ));
     }
 
     #[test]

@@ -67,6 +67,6 @@ pub mod weights;
 pub mod wmc;
 
 pub use circuit::{Circuit, Gate, GateId, VarId};
-pub use compiled::CompiledCircuit;
-pub use weights::Weights;
+pub use compiled::{CompiledCircuit, ExtendReport, PatchError};
+pub use weights::{ProbabilityError, Weights};
 pub use wmc::TreewidthWmc;

@@ -8,6 +8,28 @@
 use crate::circuit::{CircuitError, VarId};
 use std::collections::BTreeMap;
 
+stuc_errors::stuc_error! {
+    /// A value offered as a probability was rejected at a mutation site:
+    /// NaN and values outside `[0, 1]` are never silently stored.
+    #[derive(Clone, PartialEq)]
+    pub enum ProbabilityError {
+        /// The offending value (NaN or out of range).
+        NotAProbability(f64),
+    }
+    display {
+        Self::NotAProbability(p) => "probability {p} is NaN or outside [0, 1]",
+    }
+}
+
+/// Validates that `p` is a real probability (finite, in `[0, 1]`).
+pub fn validate_probability(p: f64) -> Result<f64, ProbabilityError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(ProbabilityError::NotAProbability(p))
+    }
+}
+
 /// Independent marginal probabilities for event variables.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Weights {
@@ -26,11 +48,17 @@ impl Weights {
     ///
     /// Panics if `p` is not a probability (outside `[0, 1]` or NaN).
     pub fn set(&mut self, v: VarId, p: f64) {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "probability {p} for {v} is outside [0, 1]"
-        );
+        self.try_set(v, p)
+            .unwrap_or_else(|e| panic!("{e} (for {v})"));
+    }
+
+    /// Sets the probability that `v` is true, rejecting NaN and
+    /// out-of-range values with a [`ProbabilityError`] instead of panicking
+    /// — the mutation-site validation used by the incremental update path.
+    pub fn try_set(&mut self, v: VarId, p: f64) -> Result<(), ProbabilityError> {
+        validate_probability(p)?;
         self.probabilities.insert(v, p);
+        Ok(())
     }
 
     /// The probability that `v` is true, if assigned.
@@ -118,6 +146,20 @@ mod tests {
     fn invalid_probability_panics() {
         let mut w = Weights::new();
         w.set(VarId(0), 1.5);
+    }
+
+    #[test]
+    fn try_set_rejects_nan_and_out_of_range() {
+        let mut w = Weights::new();
+        assert!(matches!(
+            w.try_set(VarId(0), f64::NAN),
+            Err(ProbabilityError::NotAProbability(_))
+        ));
+        assert!(w.try_set(VarId(0), -0.1).is_err());
+        assert!(w.try_set(VarId(0), 1.1).is_err());
+        assert!(w.try_set(VarId(0), 0.0).is_ok());
+        assert!(w.try_set(VarId(0), 1.0).is_ok());
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

@@ -13,10 +13,12 @@ use stuc_circuit::circuit::CircuitError;
 use stuc_circuit::dpll::DpllError;
 use stuc_circuit::enumeration::EnumerationError;
 use stuc_circuit::semiring::ProvenanceError;
+use stuc_circuit::weights::ProbabilityError;
 use stuc_circuit::wmc::WmcError;
 use stuc_data::formula::FormulaParseError;
 use stuc_data::worlds::WorldError;
 use stuc_graph::decomposition::DecompositionError;
+use stuc_incr::UpdateError;
 use stuc_prxml::constraints::PrxmlConstraintError;
 use stuc_prxml::queries::PrxmlQueryError;
 use stuc_query::cq::QueryParseError;
@@ -72,6 +74,10 @@ stuc_errors::stuc_error! {
             /// Stable name of the representation kind that lacks weights.
             representation: &'static str,
         },
+        /// A probability offered at a mutation site was NaN or out of range.
+        Probability(ProbabilityError),
+        /// An incremental update delta was rejected.
+        Update(UpdateError),
     }
     display {
         Self::Decomposition(e) => "{e}",
@@ -91,6 +97,8 @@ stuc_errors::stuc_error! {
         Self::PrxmlConstraint(e) => "{e}",
         Self::BackendUnsupported { backend, reason } => "back-end {backend} cannot run here: {reason}",
         Self::MissingProbabilities { representation } => "{representation} carries no event probabilities",
+        Self::Probability(e) => "{e}",
+        Self::Update(e) => "{e}",
     }
     from {
         DecompositionError => Decomposition,
@@ -108,6 +116,8 @@ stuc_errors::stuc_error! {
         UncertainTreeError => UncertainTree,
         PrxmlQueryError => PrxmlQuery,
         PrxmlConstraintError => PrxmlConstraint,
+        ProbabilityError => Probability,
+        UpdateError => Update,
     }
 }
 

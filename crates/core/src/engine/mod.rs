@@ -67,6 +67,7 @@ pub mod batch;
 pub mod error;
 pub mod report;
 pub mod representation;
+pub mod update;
 
 pub use backend::{
     Backend, DpllBackend, EnumerationBackend, EvaluationTask, SafePlanBackend, TreewidthWmcBackend,
@@ -74,9 +75,11 @@ pub use backend::{
 pub use error::StucError;
 pub use report::{BackendKind, BackendPolicy, BatchReport, EvaluationReport};
 pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
+pub use stuc_incr::{Delta, DeltaOp, Updatable, UpdateLog};
+pub use update::UpdateReport;
 
 use representation::{fingerprint_debug, fingerprint_debug_pair_with, FNV_OFFSET_BASIS};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use stuc_circuit::circuit::Circuit;
@@ -162,9 +165,10 @@ impl EngineBuilder {
 
     /// Maximum number of entries in each engine cache (decompositions,
     /// compiled lineages); default 1024. When a cache is full, inserting a
-    /// new entry evicts an arbitrary old one, so long-running engines
-    /// serving evolving instances stay memory-bounded without manual
-    /// [`Engine::clear_cache`] calls. A capacity of 0 disables caching.
+    /// new entry evicts the **oldest-inserted** one first (FIFO), so
+    /// long-running engines serving evolving instances stay memory-bounded
+    /// without manual [`Engine::clear_cache`] calls and churn cannot evict
+    /// what was just cached. A capacity of 0 disables caching.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
         self
@@ -182,8 +186,8 @@ impl EngineBuilder {
     pub fn build(self) -> Engine {
         Engine {
             config: self,
-            cache: Mutex::new(HashMap::new()),
-            lineage_cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BoundedCache::new()),
+            lineage_cache: Mutex::new(BoundedCache::new()),
         }
     }
 }
@@ -203,7 +207,7 @@ pub struct Engine {
     /// fingerprint + heuristic. Entries are validated against the structure
     /// graph before reuse, so a fingerprint collision can never corrupt a
     /// result — it only costs a recomputation.
-    cache: Mutex<HashMap<(u64, EliminationHeuristic), Arc<TreeDecomposition>>>,
+    cache: Mutex<BoundedCache<(u64, EliminationHeuristic), Arc<TreeDecomposition>>>,
     /// Compiled lineage circuits, keyed by `(instance fingerprint, query
     /// fingerprint, heuristic)`. A hit skips decomposition *and* lineage
     /// construction — probability re-evaluation under changed weights
@@ -212,7 +216,7 @@ pub struct Engine {
     /// `Debug` rendering and a second, differently-seeded instance hash;
     /// both are checked on lookup, so a wrong reuse would need two
     /// simultaneous 64-bit hash collisions on the same query text.
-    lineage_cache: Mutex<HashMap<LineageKey, Arc<CompiledLineage>>>,
+    lineage_cache: Mutex<BoundedCache<LineageKey, Arc<CompiledLineage>>>,
 }
 
 /// Key of the compiled-lineage cache: instance fingerprint, query
@@ -226,19 +230,138 @@ const LINEAGE_CHECK_BASIS: u64 = 0x6c62_272e_07bb_0142;
 /// A cached compiled lineage: everything about an `(instance, query)` pair
 /// that does not depend on the probability weights.
 #[derive(Debug)]
-struct CompiledLineage {
+pub(crate) struct CompiledLineage {
     /// The compiled circuit (shared structure, cached circuit-graph
     /// decomposition).
-    compiled: CompiledCircuit,
+    pub(crate) compiled: CompiledCircuit,
     /// Width of the structure-graph decomposition the lineage was built
     /// from, reported in [`EvaluationReport::decomposition_width`].
-    decomposition_width: Option<usize>,
+    pub(crate) decomposition_width: Option<usize>,
     /// Build-time strategy notes (e.g. an automaton-lineage fallback).
-    build_notes: Vec<String>,
+    pub(crate) build_notes: Vec<String>,
     /// Exact `Debug` rendering of the query, validated on every hit.
-    query_repr: String,
+    pub(crate) query_repr: String,
     /// Secondary instance hash, validated on every hit.
-    instance_check: u64,
+    pub(crate) instance_check: u64,
+    /// The query itself (type-erased): [`Engine::apply_update`] downcasts
+    /// it back to re-derive delta lineages when the instance changes.
+    pub(crate) query: Arc<dyn std::any::Any + Send + Sync>,
+    /// Gate count of the circuit when it was last compiled cold. Patches
+    /// only ever grow a circuit (deleted cones become constants, inserted
+    /// cones are appended), so [`Engine::apply_update`] compares against
+    /// this watermark and schedules a fresh compile once a patched circuit
+    /// has bloated past a fixed factor — sustained churn degrades to an
+    /// amortized rebuild, never to an unboundedly slower sweep.
+    pub(crate) cold_gates: usize,
+}
+
+impl CompiledLineage {
+    /// A rekeyed copy for an update that left the lineage intact: only the
+    /// secondary instance hash changes.
+    pub(crate) fn reusing(&self, instance_check: u64) -> CompiledLineage {
+        CompiledLineage {
+            compiled: self.compiled.clone(),
+            decomposition_width: self.decomposition_width,
+            build_notes: self.build_notes.clone(),
+            query_repr: self.query_repr.clone(),
+            instance_check,
+            query: Arc::clone(&self.query),
+            cold_gates: self.cold_gates,
+        }
+    }
+
+    /// A copy carrying a patched circuit (and, when known, the patched
+    /// structure-decomposition width).
+    pub(crate) fn with_patched_circuit(
+        &self,
+        compiled: CompiledCircuit,
+        instance_check: u64,
+        decomposition_width: Option<usize>,
+    ) -> CompiledLineage {
+        CompiledLineage {
+            compiled,
+            decomposition_width: decomposition_width.or(self.decomposition_width),
+            build_notes: self.build_notes.clone(),
+            query_repr: self.query_repr.clone(),
+            instance_check,
+            query: Arc::clone(&self.query),
+            cold_gates: self.cold_gates,
+        }
+    }
+
+    /// True when patched growth has outrun the cold-compiled size enough
+    /// that a fresh compile beats further patching.
+    pub(crate) fn is_bloated(&self, patched_gates: usize) -> bool {
+        patched_gates > self.cold_gates.saturating_mul(4) + 64
+    }
+}
+
+/// The (primary, check) instance hashes of the lineage cache, computed in
+/// one `Debug` pass — shared by the lookup path and the update path.
+pub(crate) fn lineage_fingerprint_pair<R: Representation + ?Sized>(
+    representation: &R,
+) -> (u64, u64) {
+    fingerprint_debug_pair_with(representation, FNV_OFFSET_BASIS, LINEAGE_CHECK_BASIS)
+}
+
+/// A fingerprint-keyed map bounded to a capacity with FIFO eviction: when
+/// full, the oldest-inserted entry goes first, so a churning workload
+/// cannot evict what it just cached. Capacity 0 disables storage entirely.
+#[derive(Debug)]
+pub(crate) struct BoundedCache<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V> BoundedCache<K, V> {
+    fn new() -> Self {
+        BoundedCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    /// Inserts, evicting oldest-first entries while over capacity.
+    pub(crate) fn insert(&mut self, key: K, value: V, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if !self.map.contains_key(&key) {
+            while self.map.len() >= capacity {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&oldest);
+            }
+            self.order.push_back(key);
+        }
+        self.map.insert(key, value);
+    }
+
+    /// Removes and returns every entry whose key matches the predicate.
+    pub(crate) fn drain_matching(&mut self, mut matches: impl FnMut(&K) -> bool) -> Vec<(K, V)> {
+        let keys: Vec<K> = self.map.keys().copied().filter(|k| matches(k)).collect();
+        self.order.retain(|k| !keys.contains(k));
+        keys.into_iter()
+            .map(|k| {
+                let v = self.map.remove(&k).expect("key listed above");
+                (k, v)
+            })
+            .collect()
+    }
 }
 
 impl Default for Engine {
@@ -282,6 +405,30 @@ impl Engine {
         if let Ok(mut cache) = self.lineage_cache.lock() {
             cache.clear();
         }
+    }
+
+    /// Drops the cached decompositions and compiled lineages of **one**
+    /// instance, identified by its [`Representation::fingerprint`] — the
+    /// targeted alternative to the all-or-nothing [`Engine::clear_cache`].
+    /// Returns the number of entries evicted.
+    ///
+    /// [`Engine::apply_update`] uses this on its fallback path: when an
+    /// update cannot be patched, the stale instance's entries are evicted
+    /// and rebuilt on demand instead of poisoning the caches.
+    ///
+    /// For the built-in representations the lineage cache shares the same
+    /// instance hash, so both caches are swept; a custom
+    /// [`Representation::fingerprint`] override only controls the
+    /// decomposition cache.
+    pub fn evict_instance(&self, fingerprint: u64) -> usize {
+        let mut evicted = 0;
+        if let Ok(mut cache) = self.cache.lock() {
+            evicted += cache.drain_matching(|key| key.0 == fingerprint).len();
+        }
+        if let Ok(mut cache) = self.lineage_cache.lock() {
+            evicted += cache.drain_matching(|key| key.0 == fingerprint).len();
+        }
+        evicted
     }
 
     /// Evaluates a Boolean query on any [`Representation`], returning the
@@ -560,21 +707,19 @@ impl Engine {
             Some((key, query_repr, instance_check)) => (query_repr, instance_check, Some(key)),
             None => (String::new(), 0, None),
         };
+        let cold_gates = compiled.len();
         let entry = Arc::new(CompiledLineage {
             compiled,
             decomposition_width: Some(decomposition.width()),
             build_notes,
             query_repr,
             instance_check,
+            query: Arc::new(query.clone()),
+            cold_gates,
         });
         if let Some(key) = key {
             if let Ok(mut cache) = self.lineage_cache.lock() {
-                insert_bounded(
-                    &mut cache,
-                    key,
-                    Arc::clone(&entry),
-                    self.config.cache_capacity,
-                );
+                cache.insert(key, Arc::clone(&entry), self.config.cache_capacity);
             }
         }
         Ok((
@@ -629,12 +774,7 @@ impl Engine {
         let decomposition = Arc::new(decompose_with_heuristic(&graph, self.config.heuristic));
         if self.config.cache_decompositions {
             if let Ok(mut cache) = self.cache.lock() {
-                insert_bounded(
-                    &mut cache,
-                    key,
-                    Arc::clone(&decomposition),
-                    self.config.cache_capacity,
-                );
+                cache.insert(key, Arc::clone(&decomposition), self.config.cache_capacity);
             }
         }
         (decomposition, false)
@@ -671,27 +811,6 @@ impl Engine {
 struct CacheFlags {
     decomposition_cached: bool,
     lineage_cached: bool,
-}
-
-/// Inserts into a bounded cache map: at capacity, an arbitrary old entry is
-/// evicted first, so long-running engines stay memory-bounded while the
-/// common case (working set below capacity) is never disturbed. Capacity 0
-/// means the cache is disabled and nothing is stored.
-fn insert_bounded<K: std::hash::Hash + Eq + Copy, V>(
-    map: &mut HashMap<K, V>,
-    key: K,
-    value: V,
-    capacity: usize,
-) {
-    if capacity == 0 {
-        return;
-    }
-    if map.len() >= capacity && !map.contains_key(&key) {
-        if let Some(&victim) = map.keys().next() {
-            map.remove(&victim);
-        }
-    }
-    map.insert(key, value);
 }
 
 #[cfg(test)]

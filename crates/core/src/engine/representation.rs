@@ -98,8 +98,11 @@ pub struct ExtensionalInput<'a> {
 pub trait Representation: std::fmt::Debug {
     /// The query language this representation is evaluated against. The
     /// `Debug` bound gives the engine a deterministic rendering to
-    /// fingerprint queries for its compiled-lineage cache.
-    type Query: std::fmt::Debug;
+    /// fingerprint queries for its compiled-lineage cache; `Clone + Send +
+    /// Sync + 'static` lets the cache keep the query itself, so
+    /// [`crate::engine::Engine::apply_update`] can re-derive delta lineages
+    /// for every cached entry when the instance changes.
+    type Query: std::fmt::Debug + Clone + Send + Sync + 'static;
 
     /// Which formalism this is (used in reports and error messages).
     fn kind(&self) -> ReprKind;

@@ -135,6 +135,17 @@ impl CInstance {
         self.annotations[f.0] = annotation;
     }
 
+    /// Removes a fact together with its annotation. Later facts shift down
+    /// by one (see [`Instance::remove_fact`]); interned events are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact does not exist.
+    pub fn remove_fact(&mut self, f: FactId) -> Formula {
+        self.instance.remove_fact(f);
+        self.annotations.remove(f.0)
+    }
+
     /// The facts present in the possible world defined by an event valuation.
     pub fn world(&self, valuation: &BTreeMap<VarId, bool>) -> Vec<FactId> {
         self.instance
@@ -201,6 +212,12 @@ impl PcInstance {
     /// The underlying c-instance.
     pub fn cinstance(&self) -> &CInstance {
         &self.cinstance
+    }
+
+    /// Mutable access to the underlying c-instance (used by the incremental
+    /// update subsystem to insert and remove annotated facts in place).
+    pub fn cinstance_mut(&mut self) -> &mut CInstance {
+        &mut self.cinstance
     }
 
     /// The underlying relational instance.

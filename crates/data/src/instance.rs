@@ -122,6 +122,19 @@ impl Instance {
         self.facts.len()
     }
 
+    /// Removes a fact, returning it. Later facts shift down by one, so every
+    /// `FactId` greater than `f` now names the next fact — callers that hold
+    /// fact identifiers across a removal must renumber them (the incremental
+    /// update subsystem does exactly this). Interned constants and relation
+    /// names are never removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact does not exist.
+    pub fn remove_fact(&mut self, f: FactId) -> Fact {
+        self.facts.remove(f.0)
+    }
+
     /// Access a fact by id.
     pub fn fact(&self, f: FactId) -> &Fact {
         &self.facts[f.0]

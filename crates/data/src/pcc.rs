@@ -88,6 +88,18 @@ impl PccInstance {
         self.fact_gates[f.0]
     }
 
+    /// Removes a fact and its gate pointer. Later facts shift down by one
+    /// (see [`Instance::remove_fact`]); the annotation circuit itself is
+    /// untouched — unreferenced gates simply stop mattering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact does not exist.
+    pub fn remove_fact(&mut self, f: FactId) -> GateId {
+        self.instance.remove_fact(f);
+        self.fact_gates.remove(f.0)
+    }
+
     /// Number of facts.
     pub fn fact_count(&self) -> usize {
         self.fact_gates.len()

@@ -8,9 +8,9 @@
 
 use crate::cinstance::{CInstance, PcInstance};
 use crate::formula::Formula;
-use crate::instance::{FactId, Instance};
+use crate::instance::{Fact, FactId, Instance};
 use stuc_circuit::circuit::VarId;
-use stuc_circuit::weights::Weights;
+use stuc_circuit::weights::{validate_probability, ProbabilityError, Weights};
 use stuc_graph::graph::Graph;
 
 /// A tuple-independent probabilistic instance.
@@ -35,12 +35,26 @@ impl TidInstance {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `[0, 1]`.
+    /// Panics if `p` is NaN or not in `[0, 1]`; see
+    /// [`TidInstance::try_add_fact_named`] for the non-panicking variant.
     pub fn add_fact_named(&mut self, relation: &str, args: &[&str], p: f64) -> FactId {
-        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.try_add_fact_named(relation, args, p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a fact present with probability `p`, rejecting NaN and
+    /// out-of-range probabilities with an error instead of panicking. On
+    /// rejection the instance is left unchanged.
+    pub fn try_add_fact_named(
+        &mut self,
+        relation: &str,
+        args: &[&str],
+        p: f64,
+    ) -> Result<FactId, ProbabilityError> {
+        validate_probability(p)?;
         let id = self.instance.add_fact_named(relation, args);
         self.probabilities.push(p);
-        id
+        Ok(id)
     }
 
     /// Adds a certain fact (probability 1).
@@ -54,9 +68,40 @@ impl TidInstance {
     }
 
     /// Overwrites the probability of a fact (used by conditioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or not in `[0, 1]`; see
+    /// [`TidInstance::try_set_probability`] for the non-panicking variant.
     pub fn set_probability(&mut self, f: FactId, p: f64) {
-        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.try_set_probability(f, p)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Overwrites the probability of a fact, rejecting NaN and out-of-range
+    /// probabilities with an error instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact does not exist (the probability itself never
+    /// panics).
+    pub fn try_set_probability(&mut self, f: FactId, p: f64) -> Result<(), ProbabilityError> {
+        validate_probability(p)?;
         self.probabilities[f.0] = p;
+        Ok(())
+    }
+
+    /// Removes a fact and its probability. Later facts shift down by one
+    /// (see [`Instance::remove_fact`]), and with them the event variables of
+    /// [`TidInstance::fact_event`]: the variable of fact `j > f` becomes
+    /// `j - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact does not exist.
+    pub fn remove_fact(&mut self, f: FactId) -> Fact {
+        self.probabilities.remove(f.0);
+        self.instance.remove_fact(f)
     }
 
     /// Number of facts.
@@ -138,6 +183,31 @@ mod tests {
     fn invalid_probability_panics() {
         let mut tid = TidInstance::new();
         tid.add_fact_named("R", &["a"], 1.2);
+    }
+
+    #[test]
+    fn try_variants_reject_nan_and_out_of_range() {
+        let mut tid = TidInstance::new();
+        assert!(tid.try_add_fact_named("R", &["a"], f64::NAN).is_err());
+        assert!(tid.try_add_fact_named("R", &["a"], -0.5).is_err());
+        assert_eq!(tid.fact_count(), 0, "rejected facts must not be stored");
+        let f = tid.try_add_fact_named("R", &["a"], 0.5).unwrap();
+        assert!(tid.try_set_probability(f, f64::NAN).is_err());
+        assert!(tid.try_set_probability(f, 2.0).is_err());
+        assert_eq!(tid.probability(f), 0.5, "rejected updates must not stick");
+        tid.try_set_probability(f, 1.0).unwrap();
+        assert_eq!(tid.probability(f), 1.0);
+    }
+
+    #[test]
+    fn remove_fact_shifts_later_facts() {
+        let mut tid = path_tid(3, 0.5);
+        tid.set_probability(FactId(2), 0.9);
+        let removed = tid.remove_fact(FactId(1));
+        assert_eq!(tid.fact_count(), 2);
+        assert_eq!(removed.args.len(), 2);
+        // The old fact 2 is now fact 1, probability carried along.
+        assert_eq!(tid.probability(FactId(1)), 0.9);
     }
 
     #[test]

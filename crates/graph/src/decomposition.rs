@@ -108,6 +108,35 @@ impl TreeDecomposition {
         self.bags.len()
     }
 
+    /// Adds a vertex to an existing bag (used by incremental repair).
+    /// Returns `true` if the vertex was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bag does not exist.
+    pub fn add_to_bag(&mut self, b: BagId, v: VertexId) -> bool {
+        self.bags[b.0].insert(v)
+    }
+
+    /// Returns a copy of the decomposition with every vertex `v` replaced by
+    /// `map[v.0]`. Used when the decomposed graph is renumbered (e.g. the
+    /// pcc joint graph shifts its gate vertices when constants are
+    /// inserted): an injective remap preserves validity verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bag contains a vertex outside `map`.
+    pub fn remap_vertices(&self, map: &[VertexId]) -> TreeDecomposition {
+        TreeDecomposition {
+            bags: self
+                .bags
+                .iter()
+                .map(|bag| bag.iter().map(|v| map[v.0]).collect())
+                .collect(),
+            tree: self.tree.clone(),
+        }
+    }
+
     /// The content of a bag.
     pub fn bag(&self, b: BagId) -> &BTreeSet<VertexId> {
         &self.bags[b.0]

@@ -15,6 +15,9 @@
 //!   heuristics (min-degree, min-fill) that build decompositions from them.
 //! * [`nice`] — *nice* tree decompositions (leaf / introduce / forget / join
 //!   nodes), the form consumed by dynamic programming.
+//! * [`repair`] — incremental repair of existing decompositions under graph
+//!   growth (leaf-bag attachment, path augmentation, bag-size budgets), the
+//!   substrate of the engine's update path.
 //! * [`exact`] — exact treewidth for small graphs and lower bounds, used to
 //!   assess heuristic quality in tests and ablations.
 //! * [`generators`] — deterministic graph generators (paths, cycles, grids,
@@ -43,8 +46,10 @@ pub mod exact;
 pub mod generators;
 pub mod graph;
 pub mod nice;
+pub mod repair;
 
 pub use decomposition::TreeDecomposition;
 pub use elimination::{decompose_with_heuristic, EliminationHeuristic};
 pub use graph::{Graph, VertexId};
 pub use nice::NiceDecomposition;
+pub use repair::{repair_decomposition, RepairError, RepairReport};

@@ -1,0 +1,379 @@
+//! Incremental repair of tree decompositions.
+//!
+//! The engine caches one tree decomposition per instance; a tuple insert
+//! adds a clique (the new fact's constants) to the structure graph, and
+//! rebuilding the whole decomposition per update is exactly the cost a live
+//! system cannot pay. This module patches an existing decomposition
+//! *locally* instead:
+//!
+//! * a new clique whose known vertices already share a bag gets a fresh
+//!   **leaf bag** hanging off that bag;
+//! * when the known vertices are scattered, one of them is chosen as an
+//!   anchor and the others are pulled towards it along the **tree path**
+//!   between their bags (the standard running-intersection-preserving
+//!   augmentation), after which the leaf bag attaches to the anchor;
+//! * vertices that appear in no clique (isolated additions) get singleton
+//!   bags.
+//!
+//! Every grown bag is checked against a bag-size budget; when the repair
+//! would exceed it, [`RepairError::BudgetExceeded`] tells the caller to fall
+//! back to a full re-decomposition. The patched decomposition is always
+//! re-validated against the new graph before it is returned, so a repair can
+//! never silently corrupt downstream automaton runs: it either proves
+//! itself or refuses.
+//!
+//! Deletions never need repair at all: removing edges or facts leaves every
+//! decomposition condition intact (bags may merely become wider than
+//! necessary — the *width drift* the caller tracks across updates).
+
+use crate::decomposition::{BagId, DecompositionError, TreeDecomposition};
+use crate::graph::{Graph, VertexId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+stuc_errors::stuc_error! {
+    /// Why an incremental decomposition repair refused.
+    #[derive(Clone, PartialEq)]
+    pub enum RepairError {
+        /// A repaired bag would exceed the bag-size budget; the caller
+        /// should re-decompose from scratch (or accept the wider result of a
+        /// full rebuild).
+        BudgetExceeded {
+            /// Bag size the repair would have produced.
+            bag_size: usize,
+            /// The configured maximum bag size.
+            budget: usize,
+        },
+        /// The patched decomposition failed post-repair validation — a bug
+        /// guard, surfaced instead of propagating a broken decomposition.
+        Invalid(DecompositionError),
+    }
+    display {
+        Self::BudgetExceeded { bag_size, budget } => "repaired bag size {bag_size} exceeds budget {budget}",
+        Self::Invalid(e) => "repaired decomposition is invalid: {e}",
+    }
+    from {
+        DecompositionError => Invalid,
+    }
+}
+
+/// What an incremental repair did — the raw numbers the engine's
+/// `UpdateReport` aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Existing bags whose content grew during path augmentation.
+    pub bags_touched: usize,
+    /// Fresh bags added (leaf bags for new cliques, singleton bags for
+    /// isolated vertices).
+    pub bags_added: usize,
+    /// Width of the decomposition before the repair.
+    pub width_before: usize,
+    /// Width after the repair (at most `max_bag_size - 1` by construction).
+    pub width_after: usize,
+}
+
+/// Patches `td` — a valid decomposition of the pre-update graph — into a
+/// valid decomposition of `graph`, which extends the old graph by
+/// `new_cliques` (one clique per inserted fact / gate) and possibly new
+/// vertices. Bags never exceed `max_bag_size`; repairs that would are
+/// refused with [`RepairError::BudgetExceeded`].
+///
+/// The input decomposition is not modified; on success the patched copy is
+/// returned together with a [`RepairReport`].
+pub fn repair_decomposition(
+    td: &TreeDecomposition,
+    graph: &Graph,
+    new_cliques: &[Vec<VertexId>],
+    max_bag_size: usize,
+) -> Result<(TreeDecomposition, RepairReport), RepairError> {
+    let mut patched = td.clone();
+    let mut report = RepairReport {
+        width_before: td.width(),
+        ..Default::default()
+    };
+    // One representative bag per vertex (any bag containing it).
+    let mut home: HashMap<VertexId, BagId> = HashMap::new();
+    for b in patched.bag_ids() {
+        for &v in patched.bag(b) {
+            home.entry(v).or_insert(b);
+        }
+    }
+    let mut touched: BTreeSet<usize> = BTreeSet::new();
+
+    for clique in new_cliques {
+        let clique: BTreeSet<VertexId> = clique.iter().copied().collect();
+        if clique.is_empty() {
+            continue;
+        }
+        if clique.len() > max_bag_size {
+            return Err(RepairError::BudgetExceeded {
+                bag_size: clique.len(),
+                budget: max_bag_size,
+            });
+        }
+        let known: Vec<VertexId> = clique
+            .iter()
+            .copied()
+            .filter(|v| home.contains_key(v))
+            .collect();
+        let fresh_count = clique.len() - known.len();
+
+        // Fully covered already (e.g. a duplicate fact): nothing to do.
+        if fresh_count == 0 {
+            if let Some(covering) = patched.find_bag_containing(&known) {
+                let _ = covering;
+                continue;
+            }
+        }
+
+        let anchor = if known.is_empty() {
+            // A brand-new component: the leaf bag can hang anywhere.
+            patched.bag_ids().next()
+        } else if let Some(covering) = patched.find_bag_containing(&known) {
+            Some(covering)
+        } else {
+            // Pull every known vertex towards the anchor along tree paths.
+            let anchor = home[&known[0]];
+            for &u in &known[1..] {
+                if patched.bag(anchor).contains(&u) {
+                    continue;
+                }
+                for on_path in path_to_vertex(&patched, anchor, u) {
+                    if patched.add_to_bag(on_path, u) {
+                        let size = patched.bag(on_path).len();
+                        if size > max_bag_size {
+                            return Err(RepairError::BudgetExceeded {
+                                bag_size: size,
+                                budget: max_bag_size,
+                            });
+                        }
+                        touched.insert(on_path.index());
+                    }
+                }
+            }
+            Some(anchor)
+        };
+
+        if fresh_count == 0 {
+            // The augmented anchor now contains the whole clique; no leaf
+            // bag is needed.
+            continue;
+        }
+        let leaf = patched.add_bag(clique.iter().copied());
+        if let Some(anchor) = anchor {
+            patched.add_tree_edge(anchor, leaf);
+        }
+        for &v in &clique {
+            home.entry(v).or_insert(leaf);
+        }
+        report.bags_added += 1;
+    }
+
+    // Cover isolated new vertices (in the graph, but in no clique).
+    let mut isolated_anchor = patched.bag_ids().next();
+    for v in graph.vertices() {
+        if home.contains_key(&v) {
+            continue;
+        }
+        let singleton = patched.add_bag([v]);
+        if let Some(anchor) = isolated_anchor {
+            patched.add_tree_edge(anchor, singleton);
+        }
+        isolated_anchor = isolated_anchor.or(Some(singleton));
+        home.insert(v, singleton);
+        report.bags_added += 1;
+    }
+
+    // Insurance: a repair either proves itself against the new graph or
+    // refuses — it never hands back a broken decomposition.
+    patched.validate(graph)?;
+    report.bags_touched = touched.len();
+    report.width_after = patched.width();
+    Ok((patched, report))
+}
+
+/// The bags on the tree path from `from` (inclusive) to the nearest bag
+/// containing `target` (exclusive). BFS over the bag tree.
+fn path_to_vertex(td: &TreeDecomposition, from: BagId, target: VertexId) -> Vec<BagId> {
+    if td.bag(from).contains(&target) {
+        return Vec::new();
+    }
+    let mut parent: HashMap<BagId, BagId> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    let mut seen: BTreeSet<BagId> = BTreeSet::from([from]);
+    let mut found = None;
+    'bfs: while let Some(b) = queue.pop_front() {
+        for n in td.tree_neighbors(b) {
+            if seen.insert(n) {
+                parent.insert(n, b);
+                if td.bag(n).contains(&target) {
+                    found = Some(n);
+                    break 'bfs;
+                }
+                queue.push_back(n);
+            }
+        }
+    }
+    let Some(found) = found else {
+        // The target occurs somewhere (callers guarantee it), but not in
+        // this tree component; the validation pass will catch the mismatch.
+        return Vec::new();
+    };
+    // Walk back from the found bag to `from`, excluding the found bag.
+    let mut path = Vec::new();
+    let mut current = found;
+    while let Some(&p) = parent.get(&current) {
+        path.push(p);
+        current = p;
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{decompose_with_heuristic, EliminationHeuristic};
+    use crate::generators::SplitMix64;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_vertices(n);
+        for i in 0..n - 1 {
+            g.add_edge(VertexId(i), VertexId(i + 1));
+        }
+        g
+    }
+
+    fn decompose(g: &Graph) -> TreeDecomposition {
+        decompose_with_heuristic(g, EliminationHeuristic::MinDegree)
+    }
+
+    fn grow(graph: &Graph, clique: &[VertexId]) -> Graph {
+        let mut g = graph.clone();
+        g.ensure_vertices(clique.iter().map(|v| v.0 + 1).max().unwrap_or(0));
+        for (i, &u) in clique.iter().enumerate() {
+            for &v in &clique[i + 1..] {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn leaf_bag_extension_for_adjacent_insert() {
+        // Extend a path by one edge at the end: one new leaf bag, width 1.
+        let g = path_graph(6);
+        let td = decompose(&g);
+        let clique = vec![VertexId(5), VertexId(6)];
+        let new_graph = grow(&g, &clique);
+        let (patched, report) = repair_decomposition(&td, &new_graph, &[clique], 8).unwrap();
+        assert!(patched.validate(&new_graph).is_ok());
+        assert_eq!(report.bags_added, 1);
+        assert_eq!(report.bags_touched, 0);
+        assert_eq!(report.width_after, 1);
+    }
+
+    #[test]
+    fn path_augmentation_for_long_range_edge() {
+        // An edge between the two endpoints of a path forces augmentation
+        // along the whole spine; width grows to 2, still within budget.
+        let g = path_graph(6);
+        let td = decompose(&g);
+        let clique = vec![VertexId(0), VertexId(5)];
+        let new_graph = grow(&g, &clique);
+        let (patched, report) =
+            repair_decomposition(&td, &new_graph, &[clique], 8).expect("repair fits budget");
+        assert!(patched.validate(&new_graph).is_ok());
+        assert!(report.bags_touched > 0);
+        assert!(report.width_after >= 2);
+    }
+
+    #[test]
+    fn budget_refusal_forces_fallback() {
+        let g = path_graph(6);
+        let td = decompose(&g);
+        let clique = vec![VertexId(0), VertexId(5)];
+        let new_graph = grow(&g, &clique);
+        assert!(matches!(
+            repair_decomposition(&td, &new_graph, &[clique], 2),
+            Err(RepairError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn brand_new_component_gets_a_leaf_bag() {
+        let g = path_graph(4);
+        let td = decompose(&g);
+        let clique = vec![VertexId(4), VertexId(5)];
+        let new_graph = grow(&g, &clique);
+        let (patched, report) = repair_decomposition(&td, &new_graph, &[clique], 8).unwrap();
+        assert!(patched.validate(&new_graph).is_ok());
+        assert_eq!(report.bags_added, 1);
+    }
+
+    #[test]
+    fn isolated_new_vertices_are_covered() {
+        let g = path_graph(3);
+        let td = decompose(&g);
+        let mut new_graph = g.clone();
+        new_graph.add_vertex();
+        let (patched, report) = repair_decomposition(&td, &new_graph, &[], 8).unwrap();
+        assert!(patched.validate(&new_graph).is_ok());
+        assert_eq!(report.bags_added, 1);
+    }
+
+    #[test]
+    fn duplicate_clique_is_a_no_op() {
+        let g = path_graph(5);
+        let td = decompose(&g);
+        let (patched, report) =
+            repair_decomposition(&td, &g, &[vec![VertexId(1), VertexId(2)]], 8).unwrap();
+        assert_eq!(report.bags_added, 0);
+        assert_eq!(report.bags_touched, 0);
+        assert_eq!(patched.bag_count(), td.bag_count());
+    }
+
+    #[test]
+    fn repair_from_empty_decomposition() {
+        let g = Graph::new();
+        let td = TreeDecomposition::new();
+        let mut new_graph = g.clone();
+        new_graph.ensure_vertices(2);
+        new_graph.add_edge(VertexId(0), VertexId(1));
+        let (patched, report) =
+            repair_decomposition(&td, &new_graph, &[vec![VertexId(0), VertexId(1)]], 8).unwrap();
+        assert!(patched.validate(&new_graph).is_ok());
+        assert_eq!(report.bags_added, 1);
+    }
+
+    #[test]
+    fn random_insert_sequences_stay_valid() {
+        // Grow a random sparse graph one clique at a time; every repair must
+        // validate, and refusals must only happen on genuine budget stress.
+        let mut rng = SplitMix64::new(41);
+        for _ in 0..20 {
+            let n = 8 + rng.next_below(8);
+            let mut graph = Graph::with_vertices(n);
+            for i in 1..n {
+                graph.add_edge(VertexId(i), VertexId(rng.next_below(i)));
+            }
+            let mut td = decompose(&graph);
+            for _ in 0..6 {
+                let a = rng.next_below(graph.vertex_count());
+                let b = rng.next_below(graph.vertex_count() + 2);
+                let clique = vec![VertexId(a), VertexId(b)];
+                let new_graph = grow(&graph, &clique);
+                match repair_decomposition(&td, &new_graph, &[clique], 12) {
+                    Ok((patched, report)) => {
+                        assert!(patched.validate(&new_graph).is_ok());
+                        assert!(report.width_after < 12);
+                        td = patched;
+                    }
+                    Err(RepairError::BudgetExceeded { .. }) => {
+                        td = decompose(&new_graph);
+                    }
+                    Err(other) => panic!("unexpected repair failure: {other}"),
+                }
+                graph = new_graph;
+            }
+        }
+    }
+}

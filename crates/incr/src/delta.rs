@@ -1,0 +1,219 @@
+//! The typed delta model: what an update *is*, independently of which
+//! representation it lands on.
+//!
+//! A [`Delta`] is one batched transaction of [`DeltaOp`]s. Every `FactId`
+//! inside a delta refers to the **pre-delta** instance; application order
+//! within one delta is fixed so that batched transactions are unambiguous:
+//!
+//! 1. every [`DeltaOp::SetProbability`] (on pre-delta identifiers),
+//! 2. every [`DeltaOp::DeleteFact`], processed in descending identifier
+//!    order (so earlier removals never shift the ids of later ones),
+//! 3. every [`DeltaOp::InsertFact`], in the order given (their new ids are
+//!    reported back in [`DeltaApplication::inserted`]).
+//!
+//! [`DeltaApplication::inserted`]: crate::updatable::DeltaApplication
+
+use stuc_circuit::weights::ProbabilityError;
+use stuc_data::instance::FactId;
+
+/// One primitive update.
+///
+/// `InsertFact` always inserts an **independent** fact: a TID fact with the
+/// given probability, a pc-fact annotated by a fresh event, a pcc-fact whose
+/// gate is a fresh input, or (for PrXML) a leaf node on a fresh `ind` edge.
+/// Correlated insertions go through the representation's own builder API —
+/// the delta model deliberately covers the high-traffic independent case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaOp {
+    /// Insert `relation(args)`, present independently with `probability`.
+    ///
+    /// For PrXML documents, `relation` is the new node's label and `args`
+    /// must hold exactly one entry: the decimal id of the parent node the
+    /// new leaf hangs off (through a fresh `ind` edge).
+    InsertFact {
+        /// Relation name (or node label for PrXML).
+        relation: String,
+        /// Argument constants (or the parent node id for PrXML).
+        args: Vec<String>,
+        /// Marginal presence probability of the new fact.
+        probability: f64,
+    },
+    /// Delete a fact (detach a node, for PrXML). The id refers to the
+    /// pre-delta instance.
+    DeleteFact {
+        /// The fact to delete.
+        fact: FactId,
+    },
+    /// Overwrite the presence probability of a fact. The id refers to the
+    /// pre-delta instance.
+    SetProbability {
+        /// The fact to re-weight.
+        fact: FactId,
+        /// The new marginal probability.
+        probability: f64,
+    },
+}
+
+/// A batched update transaction: a sequence of [`DeltaOp`]s applied
+/// atomically (validation happens before any mutation, so a rejected delta
+/// leaves the instance untouched).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an insertion (builder style).
+    pub fn insert(mut self, relation: &str, args: &[&str], probability: f64) -> Self {
+        self.ops.push(DeltaOp::InsertFact {
+            relation: relation.to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+            probability,
+        });
+        self
+    }
+
+    /// Appends a deletion (builder style).
+    pub fn delete(mut self, fact: FactId) -> Self {
+        self.ops.push(DeltaOp::DeleteFact { fact });
+        self
+    }
+
+    /// Appends a probability overwrite (builder style).
+    pub fn set_probability(mut self, fact: FactId, probability: f64) -> Self {
+        self.ops.push(DeltaOp::SetProbability { fact, probability });
+        self
+    }
+
+    /// The operations, in the order they were added.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the delta contains no operation.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of insertions.
+    pub fn insert_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::InsertFact { .. }))
+            .count()
+    }
+
+    /// Number of deletions.
+    pub fn delete_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::DeleteFact { .. }))
+            .count()
+    }
+
+    /// Number of probability overwrites.
+    pub fn reweight_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, DeltaOp::SetProbability { .. }))
+            .count()
+    }
+
+    /// True when the delta only overwrites probabilities (the weights-only
+    /// fast path: caches are rekeyed, nothing is rebuilt).
+    pub fn is_weights_only(&self) -> bool {
+        self.insert_count() == 0 && self.delete_count() == 0
+    }
+}
+
+stuc_errors::stuc_error! {
+    /// Why a delta was rejected. Validation happens before mutation, so a
+    /// rejected delta leaves the instance unchanged.
+    #[derive(Clone, PartialEq)]
+    pub enum UpdateError {
+        /// The delta names a fact (or node) the instance does not have.
+        UnknownFact(FactId),
+        /// A probability value was NaN or outside `[0, 1]`.
+        Probability(ProbabilityError),
+        /// This representation cannot re-weight this fact in isolation
+        /// (e.g. a pcc fact annotated by a derived gate, or a PrXML node on
+        /// a shared-event edge).
+        UnsupportedSetProbability {
+            /// The fact whose probability cannot be overwritten.
+            fact: FactId,
+            /// Why not.
+            reason: String,
+        },
+        /// The insertion is malformed for this representation (e.g. a PrXML
+        /// insert without a valid parent node id).
+        UnsupportedInsert {
+            /// Why not.
+            reason: String,
+        },
+        /// The deletion is not applicable (e.g. detaching the PrXML root).
+        UnsupportedDelete {
+            /// The fact that cannot be deleted.
+            fact: FactId,
+            /// Why not.
+            reason: String,
+        },
+    }
+    display {
+        Self::UnknownFact(f) => "fact {f} does not exist in this instance",
+        Self::Probability(e) => "{e}",
+        Self::UnsupportedSetProbability { fact, reason } => "cannot re-weight {fact} in isolation: {reason}",
+        Self::UnsupportedInsert { reason } => "cannot insert: {reason}",
+        Self::UnsupportedDelete { fact, reason } => "cannot delete {fact}: {reason}",
+    }
+    from {
+        ProbabilityError => Probability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_ops_in_order() {
+        let delta = Delta::new()
+            .insert("R", &["a", "b"], 0.5)
+            .delete(FactId(3))
+            .set_probability(FactId(0), 0.9);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta.insert_count(), 1);
+        assert_eq!(delta.delete_count(), 1);
+        assert_eq!(delta.reweight_count(), 1);
+        assert!(!delta.is_weights_only());
+        assert!(matches!(delta.ops()[0], DeltaOp::InsertFact { .. }));
+    }
+
+    #[test]
+    fn weights_only_detection() {
+        assert!(Delta::new().is_weights_only());
+        assert!(Delta::new()
+            .set_probability(FactId(0), 0.1)
+            .is_weights_only());
+        assert!(!Delta::new().delete(FactId(0)).is_weights_only());
+    }
+
+    #[test]
+    fn update_error_displays() {
+        let e = UpdateError::UnknownFact(FactId(7));
+        assert!(e.to_string().contains("f7"));
+        let e: UpdateError = stuc_circuit::weights::validate_probability(f64::NAN)
+            .unwrap_err()
+            .into();
+        assert!(e.to_string().contains("NaN"));
+    }
+}

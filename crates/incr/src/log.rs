@@ -1,0 +1,127 @@
+//! The update log: an append-only record of applied deltas.
+//!
+//! Replication and recovery both reduce to the same primitive — replay the
+//! deltas, in order, against a copy of the base instance. [`UpdateLog`]
+//! records each applied [`Delta`] together with its application summary and
+//! can [`replay`](UpdateLog::replay) itself onto any [`Updatable`] target,
+//! which is also how the tests pin down determinism of the delta semantics.
+
+use crate::delta::{Delta, UpdateError};
+use crate::updatable::{DeltaApplication, Updatable};
+use stuc_data::instance::FactId;
+
+/// One applied delta and what it did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRecord {
+    /// The delta, as applied.
+    pub delta: Delta,
+    /// The post-delta identifiers of the inserted facts.
+    pub inserted: Vec<FactId>,
+    /// How many facts the delta deleted.
+    pub deleted: usize,
+    /// How many probabilities the delta overwrote.
+    pub reweighted: usize,
+}
+
+/// An append-only log of applied deltas.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UpdateLog {
+    records: Vec<UpdateRecord>,
+}
+
+impl UpdateLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a delta together with its application outcome.
+    pub fn record(&mut self, delta: Delta, application: &DeltaApplication) {
+        self.records.push(UpdateRecord {
+            delta,
+            inserted: application.inserted.clone(),
+            deleted: application.deleted,
+            reweighted: application.reweighted,
+        });
+    }
+
+    /// The recorded updates, oldest first.
+    pub fn records(&self) -> &[UpdateRecord] {
+        &self.records
+    }
+
+    /// Number of recorded deltas.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total operations across all recorded deltas.
+    pub fn op_count(&self) -> usize {
+        self.records.iter().map(|r| r.delta.len()).sum()
+    }
+
+    /// Replays every recorded delta, in order, against `target` (typically
+    /// a copy of the base instance — a replica catching up). Returns the
+    /// number of deltas applied; stops at the first failure.
+    pub fn replay<T: Updatable>(&self, target: &mut T) -> Result<usize, UpdateError> {
+        for (applied, record) in self.records.iter().enumerate() {
+            if let Err(e) = target.apply_delta(&record.delta) {
+                let _ = applied;
+                return Err(e);
+            }
+        }
+        Ok(self.records.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuc_data::tid::TidInstance;
+
+    #[test]
+    fn replaying_the_log_reproduces_the_instance() {
+        let mut base = TidInstance::new();
+        for i in 0..4 {
+            base.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)], 0.5);
+        }
+        let replica = base.clone();
+
+        let mut log = UpdateLog::new();
+        let mut live = base;
+        for delta in [
+            Delta::new().insert("R", &["c5", "c6"], 0.25),
+            Delta::new()
+                .delete(FactId(1))
+                .set_probability(FactId(0), 0.9),
+            Delta::new().insert("R", &["c0", "c3"], 0.75),
+        ] {
+            let application = live.apply_delta(&delta).unwrap();
+            log.record(delta, &application);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.op_count(), 4);
+
+        let mut replayed = replica;
+        assert_eq!(log.replay(&mut replayed).unwrap(), 3);
+        assert_eq!(replayed, live, "replay must reproduce the live instance");
+    }
+
+    #[test]
+    fn replay_stops_at_the_first_failure() {
+        let mut live = TidInstance::new();
+        live.add_fact_named("R", &["a", "b"], 0.5);
+        let mut log = UpdateLog::new();
+        let delta = Delta::new().delete(FactId(0));
+        let application = live.apply_delta(&delta).unwrap();
+        log.record(delta, &application);
+        // Replaying onto an empty instance fails cleanly.
+        let mut empty = TidInstance::new();
+        assert!(log.replay(&mut empty).is_err());
+    }
+}

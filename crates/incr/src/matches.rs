@@ -1,0 +1,197 @@
+//! Delta match enumeration: the homomorphisms an insertion *adds*.
+//!
+//! The lineage of a Boolean CQ is the OR over all matches of the AND of the
+//! matched facts' events. Inserting facts leaves every old match intact, so
+//! the patched lineage is `old OR delta`, where the delta ranges over the
+//! matches using **at least one inserted fact**. Enumerating those without
+//! re-enumerating everything is the classic delta-join trick: partition the
+//! new matches by the first atom position that uses an inserted fact — atom
+//! positions before the pivot are restricted to old facts, the pivot to
+//! inserted facts, and positions after it are unrestricted. The parts are
+//! disjoint and cover exactly the new matches.
+
+use std::collections::{BTreeMap, BTreeSet};
+use stuc_data::instance::{ConstId, FactId, Instance};
+use stuc_query::cq::{Atom, ConjunctiveQuery, Term};
+
+/// Which facts an atom position may match during the pivoted search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AtomClass {
+    /// Only facts that existed before the delta.
+    OldOnly,
+    /// Only freshly inserted facts.
+    InsertedOnly,
+    /// Any fact.
+    Any,
+}
+
+/// The witness lists of every match that uses at least one inserted fact,
+/// in some deterministic order. Each list has one fact per query atom.
+pub fn delta_match_witnesses(
+    instance: &Instance,
+    query: &ConjunctiveQuery,
+    inserted: &BTreeSet<FactId>,
+) -> Vec<Vec<FactId>> {
+    let mut results = Vec::new();
+    if inserted.is_empty() {
+        return results;
+    }
+    for pivot in 0..query.atoms.len() {
+        let classes: Vec<AtomClass> = (0..query.atoms.len())
+            .map(|i| match i.cmp(&pivot) {
+                std::cmp::Ordering::Less => AtomClass::OldOnly,
+                std::cmp::Ordering::Equal => AtomClass::InsertedOnly,
+                std::cmp::Ordering::Greater => AtomClass::Any,
+            })
+            .collect();
+        let mut assignment = BTreeMap::new();
+        let mut witnesses = Vec::new();
+        search(
+            instance,
+            &query.atoms,
+            &classes,
+            inserted,
+            0,
+            &mut assignment,
+            &mut witnesses,
+            &mut results,
+        );
+    }
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    instance: &Instance,
+    atoms: &[Atom],
+    classes: &[AtomClass],
+    inserted: &BTreeSet<FactId>,
+    index: usize,
+    assignment: &mut BTreeMap<String, ConstId>,
+    witnesses: &mut Vec<FactId>,
+    results: &mut Vec<Vec<FactId>>,
+) {
+    if index == atoms.len() {
+        results.push(witnesses.clone());
+        return;
+    }
+    let atom = &atoms[index];
+    let Some(relation) = instance.find_relation(&atom.relation) else {
+        return;
+    };
+    for fact_id in instance.facts_of(relation) {
+        match classes[index] {
+            AtomClass::OldOnly if inserted.contains(&fact_id) => continue,
+            AtomClass::InsertedOnly if !inserted.contains(&fact_id) => continue,
+            _ => {}
+        }
+        let fact = instance.fact(fact_id);
+        if fact.args.len() != atom.args.len() {
+            continue;
+        }
+        let mut newly_bound = Vec::new();
+        let mut ok = true;
+        for (term, &constant) in atom.args.iter().zip(&fact.args) {
+            match term {
+                Term::Const(name) => {
+                    if instance.find_constant(name) != Some(constant) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(&bound) if bound != constant => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment.insert(v.clone(), constant);
+                        newly_bound.push(v.clone());
+                    }
+                },
+            }
+        }
+        if ok {
+            witnesses.push(fact_id);
+            search(
+                instance,
+                atoms,
+                classes,
+                inserted,
+                index + 1,
+                assignment,
+                witnesses,
+                results,
+            );
+            witnesses.pop();
+        }
+        for v in newly_bound {
+            assignment.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuc_query::eval::all_matches;
+
+    /// Ground truth: full enumeration filtered to matches touching an
+    /// inserted fact.
+    fn by_filtering(
+        instance: &Instance,
+        query: &ConjunctiveQuery,
+        inserted: &BTreeSet<FactId>,
+    ) -> usize {
+        all_matches(instance, query)
+            .into_iter()
+            .filter(|m| m.witnesses.iter().any(|w| inserted.contains(w)))
+            .count()
+    }
+
+    #[test]
+    fn delta_matches_agree_with_filtered_full_enumeration() {
+        let mut instance = Instance::new();
+        for i in 0..5 {
+            instance.add_fact_named("R", &[&format!("c{i}"), &format!("c{}", i + 1)]);
+        }
+        // Insert two more chain facts.
+        let f5 = instance.add_fact_named("R", &["c6", "c7"]);
+        let f6 = instance.add_fact_named("R", &["c5", "c6"]);
+        let inserted = BTreeSet::from([f5, f6]);
+        for q in ["R(x, y)", "R(x, y), R(y, z)", "R(x, y), R(y, z), R(z, w)"] {
+            let query = ConjunctiveQuery::parse(q).unwrap();
+            let delta = delta_match_witnesses(&instance, &query, &inserted);
+            assert_eq!(
+                delta.len(),
+                by_filtering(&instance, &query, &inserted),
+                "{q}"
+            );
+            for witnesses in &delta {
+                assert!(witnesses.iter().any(|w| inserted.contains(w)), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_inserted_facts_means_no_delta_matches() {
+        let mut instance = Instance::new();
+        instance.add_fact_named("R", &["a", "b"]);
+        let query = ConjunctiveQuery::parse("R(x, y)").unwrap();
+        assert!(delta_match_witnesses(&instance, &query, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn partitioning_does_not_double_count() {
+        // A self-join where both atoms can map to the same inserted fact:
+        // every new match must be produced exactly once.
+        let mut instance = Instance::new();
+        instance.add_fact_named("R", &["a", "a"]);
+        let f = instance.add_fact_named("R", &["a", "b"]);
+        let inserted = BTreeSet::from([f]);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let delta = delta_match_witnesses(&instance, &query, &inserted);
+        assert_eq!(delta.len(), by_filtering(&instance, &query, &inserted));
+    }
+}

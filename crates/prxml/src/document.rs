@@ -214,6 +214,67 @@ impl PrXmlDocument {
             .push((child, EdgeCondition::Literals(literals)));
     }
 
+    /// Detaches `node` from its parent: the parent→node edge is removed, so
+    /// the node and its whole subtree are absent from every possible world.
+    /// Node identifiers stay stable (the node record itself is kept).
+    /// Returns the removed edge condition, or `None` when the node is the
+    /// root or not attached anywhere.
+    pub fn detach_node(&mut self, node: NodeId) -> Option<EdgeCondition> {
+        if Some(node) == self.root {
+            return None;
+        }
+        for parent in 0..self.nodes.len() {
+            if let Some(position) = self.nodes[parent]
+                .children
+                .iter()
+                .position(|(child, _)| *child == node)
+            {
+                let (_, condition) = self.nodes[parent].children.remove(position);
+                return Some(condition);
+            }
+        }
+        None
+    }
+
+    /// The private `ind` variable of the edge above `node`, if the node
+    /// hangs off a plain independent edge: a single positive literal over a
+    /// hidden variable used by no other edge. Re-weighting such a variable
+    /// re-weights exactly this node's presence, which is what
+    /// `SetProbability` means for a PrXML "fact".
+    pub fn ind_edge_variable(&self, node: NodeId) -> Option<VarId> {
+        let mut found: Option<VarId> = None;
+        for parent in &self.nodes {
+            for (child, condition) in &parent.children {
+                if *child != node {
+                    continue;
+                }
+                match condition {
+                    EdgeCondition::Literals(literals)
+                        if literals.len() == 1
+                            && literals[0].1
+                            && !self.global_events.contains(&literals[0].0) =>
+                    {
+                        found = Some(literals[0].0);
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        let v = found?;
+        // The variable must be private to this one edge (mux chain variables
+        // appear on several edges and must not be re-weighted in isolation).
+        let occurrences: usize = self
+            .nodes
+            .iter()
+            .flat_map(|n| &n.children)
+            .filter(|(_, condition)| match condition {
+                EdgeCondition::Literals(literals) => literals.iter().any(|(u, _)| *u == v),
+                EdgeCondition::Certain => false,
+            })
+            .count();
+        (occurrences == 1).then_some(v)
+    }
+
     /// The presence circuit: one gate per node, true exactly when the node is
     /// present in the possible world defined by the variable valuation.
     ///
@@ -456,6 +517,58 @@ mod tests {
             .filter(|(i, p)| p.is_none() && NodeId(*i) != root)
             .count();
         assert_eq!(orphan_count, 0);
+    }
+
+    #[test]
+    fn detach_node_removes_the_subtree_from_worlds() {
+        let mut doc = PrXmlDocument::figure1_example();
+        let jane = doc.find_event("eJane").unwrap();
+        let surname = NodeId(
+            (0..doc.len())
+                .find(|&n| doc.label(NodeId(n)) == "surname")
+                .unwrap(),
+        );
+        assert!(doc.detach_node(surname).is_some());
+        let world = doc.world_nodes(&BTreeMap::from([(jane, true)]));
+        let labels: Vec<&str> = world.iter().map(|&n| doc.label(n)).collect();
+        assert!(!labels.contains(&"surname"));
+        assert!(!labels.contains(&"Manning"), "subtree goes with the node");
+        assert!(labels.contains(&"place of birth"), "siblings survive");
+        // The root cannot be detached; detached nodes cannot be re-detached.
+        assert!(doc.detach_node(doc.root().unwrap()).is_none());
+        assert!(doc.detach_node(surname).is_none());
+    }
+
+    #[test]
+    fn ind_edge_variable_is_found_only_for_private_ind_edges() {
+        let doc = PrXmlDocument::figure1_example();
+        let occupation = NodeId(
+            (0..doc.len())
+                .find(|&n| doc.label(NodeId(n)) == "occupation")
+                .unwrap(),
+        );
+        assert!(doc.ind_edge_variable(occupation).is_some());
+        // cie edges over global events do not qualify.
+        let surname = NodeId(
+            (0..doc.len())
+                .find(|&n| doc.label(NodeId(n)) == "surname")
+                .unwrap(),
+        );
+        assert!(doc.ind_edge_variable(surname).is_none());
+        // mux children share chain variables and do not qualify.
+        let chelsea = NodeId(
+            (0..doc.len())
+                .find(|&n| doc.label(NodeId(n)) == "Chelsea")
+                .unwrap(),
+        );
+        assert!(doc.ind_edge_variable(chelsea).is_none());
+        // certain edges do not qualify.
+        let given_name = NodeId(
+            (0..doc.len())
+                .find(|&n| doc.label(NodeId(n)) == "given name")
+                .unwrap(),
+        );
+        assert!(doc.ind_edge_variable(given_name).is_none());
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //!   positive relational algebra with bag semantics.
 //! * [`rules`] — probabilistic existential rules and the chase.
 //! * [`cond`] — conditioning uncertain data and crowd question selection.
+//! * [`incr`] — incremental updates: typed [`Delta`] transactions, the
+//!   [`Updatable`] trait, delta-join match enumeration, replayable update
+//!   logs. [`Engine::apply_update`] wires them to the engine caches.
 //! * [`core`] — the unified [`core::engine`] (plus the deprecated
 //!   pre-engine `TractablePipeline` shims and shared workload generators).
 //!
@@ -85,12 +88,13 @@ pub use stuc_cond as cond;
 pub use stuc_core as core;
 pub use stuc_data as data;
 pub use stuc_graph as graph;
+pub use stuc_incr as incr;
 pub use stuc_order as order;
 pub use stuc_prxml as prxml;
 pub use stuc_query as query;
 pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
-    Backend, BackendKind, BackendPolicy, BatchReport, Engine, EngineBuilder, EvaluationReport,
-    ReprKind, Representation, StucError,
+    Backend, BackendKind, BackendPolicy, BatchReport, Delta, DeltaOp, Engine, EngineBuilder,
+    EvaluationReport, ReprKind, Representation, StucError, Updatable, UpdateLog, UpdateReport,
 };

@@ -1,0 +1,123 @@
+//! Cache capacity bounds under churn.
+//!
+//! The engine's two caches (structure decompositions, compiled lineages)
+//! promise to stay within `cache_capacity` no matter how many distinct
+//! instances and queries stream through, and to evict oldest-first (FIFO) —
+//! churn must never evict the entry that was just inserted.
+
+use proptest::prelude::*;
+use stuc::core::workloads;
+use stuc::query::cq::ConjunctiveQuery;
+use stuc::Engine;
+
+fn chain_query(length: usize) -> ConjunctiveQuery {
+    let atoms: Vec<String> = (0..length)
+        .map(|i| format!("R(x{i}, x{})", i + 1))
+        .collect();
+    ConjunctiveQuery::parse(&atoms.join(", ")).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Neither cache ever exceeds its capacity while distinct instances and
+    /// queries churn through the engine.
+    #[test]
+    fn caches_never_exceed_capacity_under_churn(capacity in 1usize..6, rounds in 4usize..16, seed in 0u64..300) {
+        let engine = Engine::builder().cache_capacity(capacity).build();
+        let query = chain_query(2);
+        for round in 0..rounds {
+            // Distinct instance per round (size and seed vary), so every
+            // evaluation is a fresh fingerprint.
+            let tid = workloads::path_tid(3 + (round % 5), 0.5, seed + round as u64);
+            engine.evaluate(&tid, &query).unwrap();
+            prop_assert!(engine.cached_decompositions() <= capacity,
+                "decomposition cache {} exceeds capacity {}", engine.cached_decompositions(), capacity);
+            prop_assert!(engine.cached_lineages() <= capacity,
+                "lineage cache {} exceeds capacity {}", engine.cached_lineages(), capacity);
+        }
+    }
+
+    /// Same bound when one instance churns through many distinct queries
+    /// (the lineage cache is keyed per query).
+    #[test]
+    fn lineage_cache_bounded_across_queries(capacity in 1usize..5, queries in 3usize..10) {
+        let engine = Engine::builder().cache_capacity(capacity).build();
+        let tid = workloads::path_tid(12, 0.5, 7);
+        for len in 2..2 + queries {
+            engine.evaluate(&tid, &chain_query(len)).unwrap();
+            prop_assert!(engine.cached_lineages() <= capacity);
+        }
+        prop_assert!(engine.cached_decompositions() <= capacity);
+    }
+}
+
+#[test]
+fn eviction_is_oldest_first() {
+    // Capacity 2: after evaluating instances A, B, C, the survivor set must
+    // be {B, C} — the newest entries — never contain A.
+    let engine = Engine::builder().cache_capacity(2).build();
+    let query = chain_query(2);
+    let a = workloads::path_tid(4, 0.5, 100);
+    let b = workloads::path_tid(5, 0.5, 200);
+    let c = workloads::path_tid(6, 0.5, 300);
+    engine.evaluate(&a, &query).unwrap();
+    engine.evaluate(&b, &query).unwrap();
+    engine.evaluate(&c, &query).unwrap();
+    assert_eq!(engine.cached_decompositions(), 2);
+    assert_eq!(engine.cached_lineages(), 2);
+
+    // The two newest instances hit; the oldest was the one evicted.
+    assert!(engine.evaluate(&c, &query).unwrap().lineage_cached);
+    assert!(engine.evaluate(&b, &query).unwrap().lineage_cached);
+    assert!(!engine.evaluate(&a, &query).unwrap().lineage_cached);
+}
+
+#[test]
+fn newest_entry_survives_every_insertion() {
+    // FIFO sanity: immediately after inserting an entry, it must be
+    // resident — churn may never evict the entry it just added.
+    let engine = Engine::builder().cache_capacity(1).build();
+    let query = chain_query(2);
+    for seed in 0..6 {
+        let tid = workloads::path_tid(5, 0.5, seed);
+        let first = engine.evaluate(&tid, &query).unwrap();
+        assert!(!first.lineage_cached);
+        let second = engine.evaluate(&tid, &query).unwrap();
+        assert!(
+            second.lineage_cached,
+            "the just-inserted entry must still be resident (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn capacity_zero_disables_caching_entirely() {
+    let engine = Engine::builder().cache_capacity(0).build();
+    let tid = workloads::path_tid(6, 0.5, 3);
+    let query = chain_query(2);
+    engine.evaluate(&tid, &query).unwrap();
+    engine.evaluate(&tid, &query).unwrap();
+    assert_eq!(engine.cached_decompositions(), 0);
+    assert_eq!(engine.cached_lineages(), 0);
+}
+
+#[test]
+fn updates_respect_capacity_bounds() {
+    use stuc::data::instance::FactId;
+    use stuc::incr::Delta;
+    // Patched entries re-enter through the same bounded insert: capacity
+    // holds across an update storm.
+    let engine = Engine::builder().cache_capacity(2).build();
+    let query = chain_query(2);
+    let mut tid = workloads::path_tid(6, 0.5, 17);
+    engine.evaluate(&tid, &query).unwrap();
+    for i in 0..8 {
+        let delta =
+            Delta::new().set_probability(FactId(i % tid.fact_count()), 0.1 + 0.1 * (i % 9) as f64);
+        engine.apply_update(&mut tid, &delta).unwrap();
+        assert!(engine.cached_decompositions() <= 2);
+        assert!(engine.cached_lineages() <= 2);
+        assert!(engine.evaluate(&tid, &query).unwrap().lineage_cached);
+    }
+}
