@@ -4,7 +4,9 @@
 
 use criterion::BenchmarkId;
 use stuc_bench::{criterion_config, report_value};
-use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+use stuc_graph::elimination::{
+    decompose_with_heuristic, elimination_order, reference_min_fill_order, EliminationHeuristic,
+};
 use stuc_graph::exact::mmd_lower_bound;
 use stuc_graph::generators;
 
@@ -31,7 +33,15 @@ fn main() {
                 td.width(),
             );
         }
+        // Micro-assertion: the bitset-backed min-fill must produce exactly
+        // the ordering of the reference BTreeSet implementation.
+        assert_eq!(
+            elimination_order(graph, EliminationHeuristic::MinFill),
+            reference_min_fill_order(graph),
+            "bitset min-fill diverged from the reference ordering on {name}"
+        );
     }
+    report_value("A1", "min_fill_orders_match_reference", "yes");
 
     let mut group = criterion.benchmark_group("a1_decomposition_heuristics");
     for (name, graph) in &workloads {

@@ -17,9 +17,7 @@
 //!
 //! Both factors are printed as `[A4]` report values alongside the timings.
 
-use criterion::black_box;
-use std::time::{Duration, Instant};
-use stuc_bench::{criterion_config, report_value};
+use stuc_bench::{criterion_config, report_value, timed, BenchSummary};
 use stuc_core::engine::Engine;
 use stuc_core::workloads;
 use stuc_query::cq::ConjunctiveQuery;
@@ -37,18 +35,9 @@ fn batch_queries(count: usize) -> Vec<ConjunctiveQuery> {
         .collect()
 }
 
-fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
-    let mut best = Duration::MAX;
-    for _ in 0..runs {
-        let started = Instant::now();
-        black_box(f());
-        best = best.min(started.elapsed());
-    }
-    best
-}
-
 fn main() {
     let mut criterion = criterion_config();
+    let mut summary = BenchSummary::new("a4");
     let tid = workloads::path_tid(80, 0.5, 13);
     let queries = batch_queries(64);
     let threads = std::thread::available_parallelism()
@@ -176,6 +165,96 @@ fn main() {
             cold_time.as_secs_f64() / warm_time.as_secs_f64()
         ),
     );
+    summary.record_speedup("reevaluate_warm_vs_cold", warm_time, cold_time);
+    summary.record("batch_64_queries", batch_time);
+    summary.record_speedup("batch_vs_sequential_64q", batch_time, sequential_time);
 
+    // --- Scenario lanes: K=16 what-if weight tables answered by ONE lane
+    // sweep (`reevaluate_with_weights_many`) vs 16 sequential
+    // `reevaluate_with_weights` calls, all against the same warm compiled
+    // lineage. The lane sweep shares the traversal, mask permutations and
+    // constraint checks across all 16 scenarios.
+    const K: usize = 16;
+    let scenarios: Vec<_> = (0..K)
+        .map(|k| {
+            let mut shadow = tid.clone();
+            for i in 0..shadow.fact_count() {
+                let p = 0.05 + 0.9 * ((i + k) % 11) as f64 / 11.0;
+                shadow.set_probability(stuc_data::instance::FactId(i), p);
+            }
+            shadow.fact_weights()
+        })
+        .collect();
+    // Sanity: lanes agree with per-scenario re-evaluation exactly.
+    {
+        let many = warm_engine
+            .reevaluate_with_weights_many(&tid, &query, &scenarios)
+            .unwrap();
+        assert_eq!(many.len(), K);
+        for (weights, lane) in scenarios.iter().zip(&many) {
+            let single = warm_engine
+                .reevaluate_with_weights(&tid, &query, weights)
+                .unwrap();
+            assert!((single.probability - lane.probability).abs() < 1e-12);
+        }
+    }
+    let mut group = criterion.benchmark_group("a4_scenario_lanes_k16");
+    group.bench_function("reevaluate_many_lane_sweep", |b| {
+        b.iter(|| {
+            warm_engine
+                .reevaluate_with_weights_many(&tid, &query, &scenarios)
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("reevaluate_sequential_16", |b| {
+        b.iter(|| {
+            scenarios
+                .iter()
+                .map(|w| {
+                    warm_engine
+                        .reevaluate_with_weights(&tid, &query, w)
+                        .unwrap()
+                        .probability
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+    let lanes_time = timed(5, || {
+        warm_engine
+            .reevaluate_with_weights_many(&tid, &query, &scenarios)
+            .unwrap()
+            .len()
+    });
+    let sequential_scenarios_time = timed(5, || {
+        scenarios
+            .iter()
+            .map(|w| {
+                warm_engine
+                    .reevaluate_with_weights(&tid, &query, w)
+                    .unwrap()
+                    .probability
+            })
+            .sum::<f64>()
+    });
+    let lane_speedup = sequential_scenarios_time.as_secs_f64() / lanes_time.as_secs_f64();
+    report_value(
+        "A4",
+        "scenario_lanes_k16_speedup_over_sequential",
+        format!("{lane_speedup:.2}x ({sequential_scenarios_time:?} -> {lanes_time:?})"),
+    );
+    summary.record_speedup(
+        "scenario_lanes_k16_vs_sequential",
+        lanes_time,
+        sequential_scenarios_time,
+    );
+    assert!(
+        lane_speedup >= 4.0,
+        "K=16 scenario lanes must be ≥4x faster than 16 sequential \
+         re-evaluations, got {lane_speedup:.2}x"
+    );
+
+    summary.write();
     criterion.final_summary();
 }

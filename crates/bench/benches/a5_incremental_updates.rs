@@ -18,8 +18,7 @@
 //! acceptance bar is ≥5x for single-fact updates on the 64-query workload.
 
 use criterion::black_box;
-use std::time::{Duration, Instant};
-use stuc_bench::{criterion_config, report_value};
+use stuc_bench::{criterion_config, report_value, timed, BenchSummary};
 use stuc_core::engine::{Delta, Engine};
 use stuc_core::workloads;
 use stuc_data::instance::FactId;
@@ -33,16 +32,6 @@ fn batch_queries(count: usize) -> Vec<ConjunctiveQuery> {
                 .expect("valid anchored chain query")
         })
         .collect()
-}
-
-fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
-    let mut best = Duration::MAX;
-    for _ in 0..runs {
-        let started = Instant::now();
-        black_box(f());
-        best = best.min(started.elapsed());
-    }
-    best
 }
 
 /// Evaluates the whole workload sequentially, returning the probability sum.
@@ -67,6 +56,7 @@ fn reweight_delta(size: usize, round: usize) -> Delta {
 
 fn main() {
     let mut criterion = criterion_config();
+    let mut summary = BenchSummary::new("a5");
     let base = workloads::path_tid(80, 0.5, 13);
     let queries = batch_queries(64);
 
@@ -153,6 +143,11 @@ fn main() {
             &format!("speedup_reweight_{size}_facts_64_queries"),
             format!("{speedup:.2}x ({cold_time:?} cold -> {warm_time:?} warm)"),
         );
+        summary.record_speedup(
+            &format!("reweight_{size}_facts_64_queries"),
+            warm_time,
+            cold_time,
+        );
         if size == 1 {
             assert!(
                 speedup >= 5.0,
@@ -188,7 +183,9 @@ fn main() {
             "speedup_insert_1_fact_64_queries",
             format!("{speedup:.2}x ({cold_time:?} cold -> {warm_time:?} warm)"),
         );
+        summary.record_speedup("insert_1_fact_64_queries", warm_time, cold_time);
     }
 
+    summary.write();
     criterion.final_summary();
 }

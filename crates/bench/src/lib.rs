@@ -27,3 +27,169 @@ pub fn criterion_config() -> Criterion {
 pub fn report_value(experiment: &str, label: &str, value: impl std::fmt::Display) {
     println!("[{experiment}] {label} = {value}");
 }
+
+/// Best-of-N wall time of a closure — the measurement the `[A*]` report
+/// lines and [`BenchSummary`] records are built from. Shared by the a2/a4/a5
+/// suites and the release perf-smoke test so all of them time the same way.
+pub fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let started = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(started.elapsed());
+    }
+    best
+}
+
+/// Machine-readable benchmark summary, appended to `BENCH_<suite>.json` so
+/// the performance trajectory of the hot paths is tracked *across PRs*
+/// rather than living only in scrollback. One JSON object per line
+/// (JSON-lines): `{"suite", "case", "best_ns", "speedup_vs_baseline"?}` —
+/// `best_ns` is a best-of-N measurement (see [`timed`]), not a median.
+///
+/// The file lands in the workspace root (override with the
+/// `STUC_BENCH_DIR` environment variable). Writing is best-effort: an
+/// unwritable directory only prints a warning, benches never fail over
+/// bookkeeping.
+#[derive(Debug)]
+pub struct BenchSummary {
+    suite: String,
+    lines: Vec<String>,
+}
+
+impl BenchSummary {
+    /// Starts a summary for one bench suite (e.g. `"a2"`).
+    pub fn new(suite: &str) -> Self {
+        BenchSummary {
+            suite: suite.to_string(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Records a case's best-of-N wall time (see [`timed`]).
+    pub fn record(&mut self, case: &str, best: Duration) {
+        self.push(case, best, None);
+    }
+
+    /// Records a case together with its speedup over a baseline measurement
+    /// (`baseline / best`, >1 means the case is faster).
+    pub fn record_speedup(&mut self, case: &str, best: Duration, baseline: Duration) {
+        let speedup = baseline.as_secs_f64() / best.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.push(case, best, Some(speedup));
+    }
+
+    fn push(&mut self, case: &str, best: Duration, speedup: Option<f64>) {
+        let mut line = format!(
+            "{{\"suite\":\"{}\",\"case\":\"{}\",\"best_ns\":{}",
+            json_escape(&self.suite),
+            json_escape(case),
+            best.as_nanos()
+        );
+        if let Some(speedup) = speedup {
+            line.push_str(&format!(",\"speedup_vs_baseline\":{speedup:.4}"));
+        }
+        line.push('}');
+        self.lines.push(line);
+    }
+
+    /// Appends the recorded lines to `BENCH_<suite>.json` and reports where
+    /// they went. Call once at the end of the bench `main`.
+    pub fn write(&self) {
+        if self.lines.is_empty() {
+            return;
+        }
+        let path = summary_dir().join(format!("BENCH_{}.json", self.suite));
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut file| {
+                use std::io::Write;
+                for line in &self.lines {
+                    writeln!(file, "{line}")?;
+                }
+                Ok(())
+            });
+        match result {
+            Ok(()) => println!(
+                "[{}] wrote {} summary line(s) to {}",
+                self.suite,
+                self.lines.len(),
+                path.display()
+            ),
+            Err(error) => eprintln!(
+                "[{}] could not write bench summary to {}: {error}",
+                self.suite,
+                path.display()
+            ),
+        }
+    }
+}
+
+/// Where summaries go: `STUC_BENCH_DIR` if set, else the workspace root
+/// (two levels above this crate's manifest), else the current directory.
+fn summary_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("STUC_BENCH_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+/// Minimal JSON string escaping for suite/case labels.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_lines_are_json_objects() {
+        let mut summary = BenchSummary::new("t0");
+        summary.record("sweep", Duration::from_nanos(1500));
+        summary.record_speedup(
+            "lanes_vs_sequential",
+            Duration::from_micros(10),
+            Duration::from_micros(45),
+        );
+        assert_eq!(
+            summary.lines[0],
+            "{\"suite\":\"t0\",\"case\":\"sweep\",\"best_ns\":1500}"
+        );
+        assert!(summary.lines[1].contains("\"speedup_vs_baseline\":4.5000"));
+    }
+
+    #[test]
+    fn summary_writes_to_a_directory_override() {
+        let dir = std::env::temp_dir().join(format!("stuc-bench-summary-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut summary = BenchSummary::new("t1");
+        summary.record("case", Duration::from_nanos(7));
+        // Write through the override without mutating global env state in a
+        // multi-threaded test run: call the path computation directly.
+        let path = dir.join("BENCH_t1.json");
+        std::fs::write(&path, format!("{}\n", summary.lines[0])).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"best_ns\":7"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+}

@@ -1,0 +1,134 @@
+//! Release-mode perf smoke: the asserted speedup bars of the compiled sweep
+//! plan, run as a plain `cargo test --release -p stuc-bench --test
+//! perf_smoke` so a plan regression fails CI instead of only showing up in
+//! bench scrollback.
+//!
+//! The speedup *bars* are only asserted in release builds — in debug builds
+//! (plain `cargo test --workspace`) the tests still exercise both code
+//! paths and check agreement, but skip the timing assertions, which would
+//! be meaningless without optimisation.
+
+use std::sync::Arc;
+use stuc_bench::timed;
+use stuc_circuit::compiled::CompiledCircuit;
+use stuc_core::engine::Engine;
+use stuc_core::workloads;
+use stuc_graph::elimination::EliminationHeuristic;
+use stuc_query::cq::ConjunctiveQuery;
+
+fn a2_compiled(n: usize) -> (CompiledCircuit, stuc_circuit::weights::Weights) {
+    let engine = Engine::new();
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    let tid = workloads::path_tid(n, 0.5, 13);
+    let lineage = engine.lineage(&tid, &query).unwrap();
+    let weights = tid.fact_weights();
+    let compiled =
+        CompiledCircuit::compile(Arc::new(lineage), EliminationHeuristic::MinDegree).unwrap();
+    (compiled, weights)
+}
+
+/// The planned dense sweep must be ≥2x faster than the interpreted HashMap
+/// sweep on the a2 workload.
+#[test]
+fn planned_sweep_is_at_least_2x_faster_than_interpreted() {
+    let (compiled, weights) = a2_compiled(450);
+    // Warm both paths and check agreement first.
+    let planned = compiled.run(&weights, 22).unwrap();
+    let interpreted = compiled.run_interpreted(&weights, 22).unwrap();
+    assert!((planned.probability - interpreted.probability).abs() < 1e-9);
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the ≥2x speedup bar (run in release)");
+        return;
+    }
+    let planned_time = timed(5, || compiled.run(&weights, 22).unwrap().probability);
+    let interpreted_time = timed(5, || {
+        compiled.run_interpreted(&weights, 22).unwrap().probability
+    });
+    let speedup = interpreted_time.as_secs_f64() / planned_time.as_secs_f64();
+    assert!(
+        speedup >= 2.0,
+        "planned dense sweep must be ≥2x faster than the interpreted sweep \
+         on the a2 workload ({interpreted_time:?} -> {planned_time:?}, {speedup:.2}x)"
+    );
+}
+
+/// `run_many` with K=16 scenario lanes must be ≥4x faster than 16
+/// sequential `reevaluate_with_weights` calls against the warm engine.
+#[test]
+fn scenario_lanes_k16_are_at_least_4x_faster_than_sequential() {
+    const K: usize = 16;
+    let engine = Engine::new();
+    let query = ConjunctiveQuery::parse("R(\"c5\", x), R(x, y), R(y, z)").unwrap();
+    let tid = workloads::path_tid(80, 0.5, 13);
+    engine.evaluate(&tid, &query).unwrap(); // compile + cache the lineage
+    let scenarios: Vec<_> = (0..K)
+        .map(|k| {
+            let mut shadow = tid.clone();
+            for i in 0..shadow.fact_count() {
+                let p = 0.05 + 0.9 * ((i + k) % 11) as f64 / 11.0;
+                shadow.set_probability(stuc_data::instance::FactId(i), p);
+            }
+            shadow.fact_weights()
+        })
+        .collect();
+    // Agreement first: the lane sweep answers exactly what the sequential
+    // path answers.
+    let many = engine
+        .reevaluate_with_weights_many(&tid, &query, &scenarios)
+        .unwrap();
+    assert_eq!(many.len(), K);
+    for (weights, lane) in scenarios.iter().zip(&many) {
+        let single = engine
+            .reevaluate_with_weights(&tid, &query, weights)
+            .unwrap();
+        assert_eq!(single.probability.to_bits(), lane.probability.to_bits());
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the ≥4x speedup bar (run in release)");
+        return;
+    }
+    let lanes_time = timed(5, || {
+        engine
+            .reevaluate_with_weights_many(&tid, &query, &scenarios)
+            .unwrap()
+            .len()
+    });
+    let sequential_time = timed(5, || {
+        scenarios
+            .iter()
+            .map(|w| {
+                engine
+                    .reevaluate_with_weights(&tid, &query, w)
+                    .unwrap()
+                    .probability
+            })
+            .sum::<f64>()
+    });
+    let speedup = sequential_time.as_secs_f64() / lanes_time.as_secs_f64();
+    assert!(
+        speedup >= 4.0,
+        "K=16 scenario lanes must be ≥4x faster than 16 sequential \
+         re-evaluations ({sequential_time:?} -> {lanes_time:?}, {speedup:.2}x)"
+    );
+}
+
+/// Steady-state repeated evaluation performs zero table allocations,
+/// verified through the arena-reuse counter in `WmcReport`. Holds in every
+/// build profile.
+#[test]
+fn steady_state_sweeps_allocate_nothing() {
+    let (compiled, weights) = a2_compiled(150);
+    let first = compiled.run(&weights, 22).unwrap();
+    assert!(
+        first.table_allocations > 0,
+        "the first run must warm the arena"
+    );
+    for _ in 0..8 {
+        let again = compiled.run(&weights, 22).unwrap();
+        assert_eq!(
+            again.table_allocations, 0,
+            "steady-state planned sweeps must not allocate tables"
+        );
+        assert_eq!(again.probability.to_bits(), first.probability.to_bits());
+    }
+}

@@ -16,10 +16,11 @@
 //! no circuit construction, no binarisation.
 
 use crate::circuit::{Circuit, CircuitError, Gate, GateId, VarId};
+use crate::plan::{SweepArena, SweepPlan, MAX_PLANNED_BAG};
 use crate::weights::Weights;
 use crate::wmc::{message_passing, TreewidthWmc, WmcError, WmcReport};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
 use stuc_graph::graph::VertexId;
 use stuc_graph::nice::NiceDecomposition;
@@ -38,7 +39,7 @@ use stuc_graph::TreeDecomposition;
 /// The source circuit is held behind an [`Arc`], so clones of a
 /// `CompiledCircuit` (e.g. cache entries handed to worker threads) share
 /// every structure instead of deep-copying gate arenas.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompiledCircuit {
     source: Arc<Circuit>,
     prepared: Circuit,
@@ -50,6 +51,38 @@ pub struct CompiledCircuit {
     /// skip its cost entirely, and once built it is reused by every
     /// subsequent run.
     structure: OnceLock<CompiledStructure>,
+    /// The flattened sweep plan over `structure`'s nice decomposition
+    /// ([`SweepPlan`]), built on first counting run. `Some(None)` records
+    /// that the circuit's bags are too wide to plan densely (beyond
+    /// [`MAX_PLANNED_BAG`]); such circuits fall back to the interpreted
+    /// sparse sweep. Invalidated (fresh cell) by the incremental patches —
+    /// [`CompiledCircuit::rewire_inputs`] changes gate semantics and
+    /// [`CompiledCircuit::extend_or`] changes the decomposition, so the
+    /// compiled checks must be re-derived, while the carried-over
+    /// *decomposition* stays valid.
+    plan: OnceLock<Option<Arc<SweepPlan>>>,
+    /// Reusable sweep scratch (dense tables + weight slab): steady-state
+    /// repeated evaluation allocates nothing. Guarded by a mutex so the
+    /// compiled circuit stays `Sync`; concurrent runs fall back to a
+    /// throwaway arena instead of serializing on the lock.
+    arena: Mutex<SweepArena>,
+}
+
+impl Clone for CompiledCircuit {
+    fn clone(&self) -> Self {
+        CompiledCircuit {
+            source: Arc::clone(&self.source),
+            prepared: self.prepared.clone(),
+            output_gate: self.output_gate,
+            variables: self.variables.clone(),
+            heuristic: self.heuristic,
+            structure: self.structure.clone(),
+            plan: self.plan.clone(),
+            // Scratch buffers are per-value: a clone starts with an empty
+            // arena and warms it on its first run.
+            arena: Mutex::new(SweepArena::new()),
+        }
+    }
 }
 
 /// The lazily-built decomposition state of a [`CompiledCircuit`].
@@ -125,6 +158,8 @@ impl CompiledCircuit {
             variables,
             heuristic,
             structure: OnceLock::new(),
+            plan: OnceLock::new(),
+            arena: Mutex::new(SweepArena::new()),
         })
     }
 
@@ -139,6 +174,22 @@ impl CompiledCircuit {
                 decomposition,
             }
         })
+    }
+
+    /// The compiled sweep plan, built on first use; `None` when the bags are
+    /// too wide to plan densely (the interpreted sweep still runs).
+    fn sweep_plan(&self) -> Option<&Arc<SweepPlan>> {
+        self.plan
+            .get_or_init(|| {
+                let structure = self.structure();
+                if structure.width + 1 > MAX_PLANNED_BAG {
+                    return None;
+                }
+                SweepPlan::build(&self.prepared, &structure.nice, self.output_gate)
+                    .ok()
+                    .map(Arc::new)
+            })
+            .as_ref()
     }
 
     /// The original (uncompiled) lineage circuit.
@@ -243,6 +294,13 @@ impl CompiledCircuit {
                 // Topology is unchanged: the decomposition of the circuit
                 // graph remains valid as-is.
                 structure: self.structure.clone(),
+                // The *plan* is not: pinned gates changed from `Input` to
+                // `Const` and variables were renumbered, so the compiled
+                // checks and multiplier slots of the dirty cone must be
+                // re-derived. Re-planning is linear in the circuit and
+                // happens lazily on the next counting run.
+                plan: OnceLock::new(),
+                arena: Mutex::new(SweepArena::new()),
             },
             prepared_rewired,
         )
@@ -374,6 +432,10 @@ impl CompiledCircuit {
                 variables,
                 heuristic: self.heuristic,
                 structure,
+                // The appended dirty cone changed both the circuit and its
+                // (repaired) decomposition: the plan is re-derived lazily.
+                plan: OnceLock::new(),
+                arena: Mutex::new(SweepArena::new()),
             },
             report,
         ))
@@ -391,7 +453,55 @@ impl CompiledCircuit {
 
     /// Like [`CompiledCircuit::probability`], but returns the full
     /// [`WmcReport`] with decomposition statistics.
+    ///
+    /// Runs the compiled dense-table sweep plan (built on first use, see
+    /// [`crate::plan::SweepPlan`]); the sweep's scratch tables live in a
+    /// reusable arena, so repeated evaluations — batch sweeps, what-if
+    /// re-weighting, incremental-update revalidation — allocate nothing in
+    /// steady state ([`WmcReport::table_allocations`] is 0).
     pub fn run(&self, weights: &Weights, max_bag_size: usize) -> Result<WmcReport, WmcError> {
+        let structure = self.structure();
+        if structure.width + 1 > max_bag_size {
+            return Err(WmcError::WidthTooLarge {
+                width: structure.width,
+                limit: max_bag_size,
+            });
+        }
+        let Some(plan) = self.sweep_plan().cloned() else {
+            return self.run_interpreted(weights, max_bag_size);
+        };
+        let (probability, table_allocations) = match self.arena.try_lock() {
+            Ok(mut arena) => {
+                let before = arena.allocations();
+                let p = plan.run(weights, &mut arena)?;
+                (p, arena.allocations() - before)
+            }
+            // Another thread is mid-sweep on this very value: run on a
+            // throwaway arena rather than serializing the sweeps.
+            Err(_) => {
+                let mut arena = SweepArena::new();
+                let p = plan.run(weights, &mut arena)?;
+                (p, arena.allocations())
+            }
+        };
+        Ok(WmcReport {
+            probability,
+            width: structure.width,
+            bag_count: structure.bag_count,
+            nice_node_count: structure.nice.len(),
+            table_allocations,
+        })
+    }
+
+    /// Like [`CompiledCircuit::run`], but forcing the legacy interpreted
+    /// sweep (sparse `HashMap` tables, per-node constraint re-derivation).
+    /// Kept as the reference implementation for differential testing and
+    /// for the plan-vs-interpreted speedup benchmarks.
+    pub fn run_interpreted(
+        &self,
+        weights: &Weights,
+        max_bag_size: usize,
+    ) -> Result<WmcReport, WmcError> {
         let structure = self.structure();
         if structure.width + 1 > max_bag_size {
             return Err(WmcError::WidthTooLarge {
@@ -409,8 +519,103 @@ impl CompiledCircuit {
             width: structure.width,
             bag_count: structure.bag_count,
             nice_node_count: structure.nice.len(),
+            table_allocations: structure.nice.len(),
         })
     }
+
+    /// Evaluates K weight scenarios in a **single sweep**: every dense table
+    /// slot carries K adjacent `f64` lanes, so the traversal, the mask
+    /// permutations and the constraint checks are paid once for all K
+    /// scenarios instead of once per scenario. The returned probabilities
+    /// are bitwise identical to K separate [`CompiledCircuit::run`] calls.
+    ///
+    /// This is the engine's multi-scenario what-if fast path
+    /// (`Engine::reevaluate_with_weights_many`). Falls back to K interpreted
+    /// sweeps when the circuit's bags are too wide to plan.
+    pub fn run_many(
+        &self,
+        scenarios: &[Weights],
+        max_bag_size: usize,
+    ) -> Result<WmcManyReport, WmcError> {
+        let structure = self.structure();
+        if structure.width + 1 > max_bag_size {
+            return Err(WmcError::WidthTooLarge {
+                width: structure.width,
+                limit: max_bag_size,
+            });
+        }
+        let Some(plan) = self.sweep_plan().cloned() else {
+            let mut probabilities = Vec::with_capacity(scenarios.len());
+            for weights in scenarios {
+                probabilities.push(self.run_interpreted(weights, max_bag_size)?.probability);
+            }
+            return Ok(WmcManyReport {
+                probabilities,
+                width: structure.width,
+                bag_count: structure.bag_count,
+                nice_node_count: structure.nice.len(),
+                table_allocations: structure.nice.len() * scenarios.len(),
+            });
+        };
+        // Lane counts are chunked: table memory is `8 << bag` bytes *per
+        // lane*, so an unbounded K would multiply every dense table by the
+        // scenario count. Chunks of `MAX_LANES_PER_SWEEP` keep the buffers
+        // bounded while still amortizing the traversal 32-fold; each lane's
+        // arithmetic order is unchanged, so results stay bitwise identical
+        // to per-scenario runs at any K.
+        let sweep_chunk =
+            |chunk: &[Weights], arena: &mut SweepArena| -> Result<Vec<f64>, WmcError> {
+                let refs: Vec<&Weights> = chunk.iter().collect();
+                plan.run_many(&refs, arena)
+            };
+        let (probabilities, table_allocations) = match self.arena.try_lock() {
+            Ok(mut arena) => {
+                let before = arena.allocations();
+                let mut all = Vec::with_capacity(scenarios.len());
+                for chunk in scenarios.chunks(MAX_LANES_PER_SWEEP) {
+                    all.extend(sweep_chunk(chunk, &mut arena)?);
+                }
+                (all, arena.allocations() - before)
+            }
+            Err(_) => {
+                let mut arena = SweepArena::new();
+                let mut all = Vec::with_capacity(scenarios.len());
+                for chunk in scenarios.chunks(MAX_LANES_PER_SWEEP) {
+                    all.extend(sweep_chunk(chunk, &mut arena)?);
+                }
+                (all, arena.allocations())
+            }
+        };
+        Ok(WmcManyReport {
+            probabilities,
+            width: structure.width,
+            bag_count: structure.bag_count,
+            nice_node_count: structure.nice.len(),
+            table_allocations,
+        })
+    }
+}
+
+/// Most scenario lanes one sweep carries; larger scenario sets are chunked
+/// so dense-table memory stays bounded by `32 * 8 << bag` bytes per slot.
+const MAX_LANES_PER_SWEEP: usize = 32;
+
+/// Result of a multi-scenario sweep ([`CompiledCircuit::run_many`]): one
+/// probability per input weight table, plus the shared structural
+/// statistics of the single traversal that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WmcManyReport {
+    /// Probability of the output gate under each scenario, in input order.
+    pub probabilities: Vec<f64>,
+    /// Width of the tree decomposition used.
+    pub width: usize,
+    /// Number of bags in the (non-nice) decomposition.
+    pub bag_count: usize,
+    /// Number of nodes in the nice decomposition traversed (once, for all
+    /// scenarios).
+    pub nice_node_count: usize,
+    /// Table buffers (re)allocated by this sweep; 0 in steady state.
+    pub table_allocations: usize,
 }
 
 #[cfg(test)]
@@ -435,6 +640,24 @@ mod tests {
                 CompiledCircuit::compile(Arc::new(circuit), EliminationHeuristic::MinDegree)
                     .unwrap();
             assert_close(compiled.probability(&weights, 22).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn run_many_chunks_large_scenario_sets() {
+        // 70 scenarios span three lane chunks; every lane must still be
+        // bitwise identical to its single-scenario run.
+        let circuit = builder::conjunction_of_disjunctions(4, 2);
+        let compiled =
+            CompiledCircuit::compile(Arc::new(circuit.clone()), Default::default()).unwrap();
+        let scenarios: Vec<Weights> = (0..70)
+            .map(|k| Weights::uniform(circuit.variables(), (k as f64 + 1.0) / 72.0))
+            .collect();
+        let many = compiled.run_many(&scenarios, 22).unwrap();
+        assert_eq!(many.probabilities.len(), 70);
+        for (weights, &lane) in scenarios.iter().zip(&many.probabilities) {
+            let single = compiled.run(weights, 22).unwrap();
+            assert_eq!(single.probability.to_bits(), lane.to_bits());
         }
     }
 

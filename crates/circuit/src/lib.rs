@@ -29,6 +29,10 @@
 //!   behind an [`std::sync::Arc`], so probability re-evaluation under new
 //!   weights is a single message-passing sweep. This is what the engine's
 //!   lineage cache and batch evaluation share across queries and threads.
+//! * [`plan`] — the compiled sweep plan behind that sweep: dense tables,
+//!   precomputed mask permutations, bit-position constraint checks, an
+//!   allocation-free scratch arena, and K-wide scenario lanes
+//!   (`run_many`) that evaluate K weight tables in one traversal.
 //! * [`builder`] — convenience builders for common circuit shapes used by
 //!   tests, examples and benchmarks.
 //!
@@ -62,11 +66,13 @@ pub mod circuit;
 pub mod compiled;
 pub mod dpll;
 pub mod enumeration;
+pub mod plan;
 pub mod semiring;
 pub mod weights;
 pub mod wmc;
 
 pub use circuit::{Circuit, Gate, GateId, VarId};
-pub use compiled::{CompiledCircuit, ExtendReport, PatchError};
+pub use compiled::{CompiledCircuit, ExtendReport, PatchError, WmcManyReport};
+pub use plan::{SweepArena, SweepPlan};
 pub use weights::{ProbabilityError, Weights};
 pub use wmc::TreewidthWmc;

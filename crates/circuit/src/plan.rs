@@ -1,0 +1,743 @@
+//! Compiled sweep plans: the message-passing dynamic program flattened into
+//! dense tables and precomputed bit permutations.
+//!
+//! The interpreted sweep in [`crate::wmc`] re-derives everything per run and
+//! per node: bag index vectors, constraint scopes, mask projections (linear
+//! scans over the bag per table entry) and per-variable weights (a `BTreeMap`
+//! lookup in the innermost Forget loop), with a freshly allocated
+//! `HashMap<u64, f64>` per node. All of that is *structural* — it depends
+//! only on the circuit and its nice decomposition, never on the weights — so
+//! a [`SweepPlan`] computes it once per compiled circuit:
+//!
+//! * **Bag layouts** — every bag is kept sorted, so an introduce/forget is an
+//!   *insert-at/remove-at* position and the child-mask → parent-mask
+//!   permutation collapses to a split-shift (`low bits stay, high bits shift
+//!   by one`), precomputed as a mask + shift pair per node.
+//! * **Compiled checks** — each gate constraint that becomes checkable at an
+//!   introduce node is resolved to in-bag *bit positions* (an AND gate is
+//!   `bit(g) == (mask & in_mask) == in_mask`, etc.); no gate or bag lookup
+//!   happens during the sweep.
+//! * **Forget multipliers** — the weight source of each forgotten gate is
+//!   resolved to a dense *variable slot* (or no-op); at sweep start the
+//!   [`crate::weights::Weights`] table is resolved once into a flat
+//!   `[w_false, w_true]`-per-slot slab.
+//! * **Dense tables** — node tables are `Vec<f64>` of length `1 << |bag|`
+//!   (bounded by the evaluation-time width budget) indexed directly by the
+//!   assignment mask. Table buffers live in a [`SweepArena`] and are
+//!   assigned to *slots* by a static liveness analysis at plan-build time,
+//!   so repeated evaluations — batch sweeps, weight-only re-evaluation, the
+//!   incremental-update revalidation path — allocate nothing in steady
+//!   state.
+//! * **Scenario lanes** — [`SweepPlan::run_many`] evaluates K weight tables
+//!   in a single traversal by widening every table slot to K adjacent `f64`
+//!   lanes: the masks, permutations and checks (the expensive, branchy part)
+//!   are computed once and amortized over all K scenarios.
+//!
+//! The interpreted HashMap sweep remains in [`crate::wmc`] as the reference
+//! implementation; differential tests assert agreement within 1e-9.
+
+use crate::circuit::{Circuit, CircuitError, Gate, GateId, VarId};
+use crate::weights::Weights;
+use crate::wmc::WmcError;
+use std::collections::HashMap;
+use stuc_graph::nice::{NiceDecomposition, NiceNodeKind};
+
+/// Largest bag size a plan will compile dense tables for. The binding
+/// constraint is memory, not mask width (`u64` masks only overflow at 64):
+/// a dense table holds `8 << bag` bytes per lane, so bag 25 already costs
+/// 256 MiB per live slot. Wider circuits fall back to the interpreted
+/// sparse sweep, whose memory is proportional to the *reachable* entries.
+pub const MAX_PLANNED_BAG: usize = 25;
+
+/// One compiled gate constraint, resolved to in-bag bit positions. A mask
+/// `m` satisfies the check iff the recorded relation holds between the
+/// gate's own bit and its input bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompiledCheck {
+    /// The designated output gate must be true.
+    OutputTrue { bit: u64 },
+    /// A constant gate must carry its constant.
+    ConstGate { bit: u64, value: bool },
+    /// `bit(g) == !bit(x)`.
+    NotGate { out: u64, input: u64 },
+    /// `bit(g) == ((m & in_mask) == in_mask)` (empty AND is true).
+    AndGate { out: u64, in_mask: u64 },
+    /// `bit(g) == ((m & in_mask) != 0)` (empty OR is false).
+    OrGate { out: u64, in_mask: u64 },
+}
+
+impl CompiledCheck {
+    #[inline(always)]
+    fn passes(self, mask: u64) -> bool {
+        match self {
+            CompiledCheck::OutputTrue { bit } => mask & bit != 0,
+            CompiledCheck::ConstGate { bit, value } => (mask & bit != 0) == value,
+            CompiledCheck::NotGate { out, input } => (mask & out != 0) == (mask & input == 0),
+            CompiledCheck::AndGate { out, in_mask } => {
+                (mask & out != 0) == (mask & in_mask == in_mask)
+            }
+            CompiledCheck::OrGate { out, in_mask } => (mask & out != 0) == (mask & in_mask != 0),
+        }
+    }
+}
+
+/// The compiled form of one nice-decomposition node.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// Empty bag; the single table entry is 1.
+    Leaf,
+    /// Insert the introduced gate's bit at `intro_pos` (split-shift
+    /// permutation) and filter by the checks in
+    /// `checks[checks_start..checks_start + checks_len]`.
+    Introduce {
+        child: usize,
+        /// Bits strictly below the introduced position keep their place.
+        low_mask: u64,
+        intro_pos: u32,
+        checks_start: u32,
+        checks_len: u32,
+    },
+    /// Remove the bit at `forget_pos` (inverse split-shift), multiplying
+    /// each entry by the forgotten gate's weight from `multiplier_slot`.
+    Forget {
+        child: usize,
+        low_mask: u64,
+        forget_pos: u32,
+        /// Dense variable slot of the forgotten input gate, or `u32::MAX`
+        /// for non-input gates (multiplier 1).
+        multiplier_slot: u32,
+    },
+    /// Pointwise product of two identical-bag children.
+    Join { left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct PlanNode {
+    op: PlanOp,
+    /// `1 << |bag|`: the dense table length at lane width 1.
+    table_len: usize,
+    /// Arena slot this node's table lives in (slots are reused once the
+    /// parent has consumed a table — static liveness analysis).
+    slot: u32,
+}
+
+/// A reusable scratch buffer for [`SweepPlan`] evaluations: one dense table
+/// buffer per plan slot plus the resolved weight slab. In steady state
+/// (repeated evaluation of the same plan at the same lane width) no buffer
+/// ever grows, so sweeps allocate nothing; [`SweepArena::allocations`]
+/// counts how many buffers had to grow, which
+/// [`crate::wmc::WmcReport::table_allocations`] surfaces per run.
+#[derive(Debug, Default)]
+pub struct SweepArena {
+    slots: Vec<Vec<f64>>,
+    slab: Vec<f64>,
+    allocations: usize,
+}
+
+impl SweepArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        SweepArena::default()
+    }
+
+    /// Total table (re)allocations performed since the arena was created.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Ensures slot `index` holds a zeroed buffer of at least `len`,
+    /// counting an allocation when its capacity must grow.
+    fn take_zeroed(&mut self, index: usize, len: usize) -> Vec<f64> {
+        if self.slots.len() <= index {
+            self.slots.resize_with(index + 1, Vec::new);
+        }
+        let mut buffer = std::mem::take(&mut self.slots[index]);
+        if buffer.capacity() < len {
+            self.allocations += 1;
+            buffer = Vec::with_capacity(len);
+        }
+        buffer.clear();
+        buffer.resize(len, 0.0);
+        buffer
+    }
+
+    fn put_back(&mut self, index: usize, buffer: Vec<f64>) {
+        self.slots[index] = buffer;
+    }
+}
+
+/// The message-passing sweep of one compiled circuit, flattened into dense
+/// tables, precomputed permutations and compiled checks. Built once per
+/// `(circuit, nice decomposition)` pair; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    nodes: Vec<PlanNode>,
+    checks: Vec<CompiledCheck>,
+    root: usize,
+    /// `(bit position, variable slot)` of every input gate still present in
+    /// the root bag; their weights are multiplied in at the final sum.
+    root_inputs: Vec<(u32, u32)>,
+    /// Slot → event variable; the weight slab is laid out in slot order.
+    var_of_slot: Vec<VarId>,
+    /// Number of distinct arena slots the static allocation uses.
+    slot_count: usize,
+}
+
+impl SweepPlan {
+    /// Compiles the sweep over `nice` (a nice decomposition of the circuit
+    /// graph of `circuit`, which must be prepared: deduplicated inputs,
+    /// fan-in ≤ 2). Fails with [`WmcError::WidthTooLarge`] when some bag
+    /// exceeds [`MAX_PLANNED_BAG`] (dense tables would overflow).
+    pub fn build(
+        circuit: &Circuit,
+        nice: &NiceDecomposition,
+        output_gate: usize,
+    ) -> Result<SweepPlan, WmcError> {
+        let max_bag = nice.max_bag_len();
+        if max_bag > MAX_PLANNED_BAG {
+            return Err(WmcError::WidthTooLarge {
+                width: max_bag.saturating_sub(1),
+                limit: MAX_PLANNED_BAG,
+            });
+        }
+
+        // Dense variable slots for every input gate of the circuit.
+        let mut slot_of_var: HashMap<VarId, u32> = HashMap::new();
+        let mut var_of_slot: Vec<VarId> = Vec::new();
+        for (_, gate) in circuit.iter() {
+            if let Gate::Input(v) = gate {
+                slot_of_var.entry(*v).or_insert_with(|| {
+                    var_of_slot.push(*v);
+                    (var_of_slot.len() - 1) as u32
+                });
+            }
+        }
+
+        let mut nodes: Vec<PlanNode> = Vec::with_capacity(nice.len());
+        let mut checks: Vec<CompiledCheck> = Vec::new();
+        // Sorted bag layouts, kept only during the build.
+        let mut bags: Vec<Vec<usize>> = Vec::with_capacity(nice.len());
+        // Static slot allocation: each table is consumed by exactly one
+        // parent, so freeing the child slots after assigning the parent's
+        // keeps the live-slot count at the sweep's actual peak.
+        let mut free_slots: Vec<u32> = Vec::new();
+        let mut slot_count = 0u32;
+        let mut alloc_slot = |free: &mut Vec<u32>| -> u32 {
+            free.pop().unwrap_or_else(|| {
+                slot_count += 1;
+                slot_count - 1
+            })
+        };
+
+        for (idx, node) in nice.iter_bottom_up() {
+            let bag = node.bag_indices();
+            let op = match &node.kind {
+                NiceNodeKind::Leaf => PlanOp::Leaf,
+                NiceNodeKind::Introduce { vertex, child } => {
+                    let v = vertex.index();
+                    let intro_pos =
+                        bag.iter()
+                            .position(|&g| g == v)
+                            .expect("introduced gate in bag") as u32;
+                    let checks_start = checks.len() as u32;
+                    compile_checks(circuit, &bag, v, output_gate, &mut checks);
+                    PlanOp::Introduce {
+                        child: *child,
+                        low_mask: (1u64 << intro_pos) - 1,
+                        intro_pos,
+                        checks_start,
+                        checks_len: checks.len() as u32 - checks_start,
+                    }
+                }
+                NiceNodeKind::Forget { vertex, child } => {
+                    let v = vertex.index();
+                    let forget_pos = bags[*child]
+                        .iter()
+                        .position(|&g| g == v)
+                        .expect("forgotten gate in child bag")
+                        as u32;
+                    let multiplier_slot = match circuit.gate(GateId(v)) {
+                        Gate::Input(var) => slot_of_var[var],
+                        _ => u32::MAX,
+                    };
+                    PlanOp::Forget {
+                        child: *child,
+                        low_mask: (1u64 << forget_pos) - 1,
+                        forget_pos,
+                        multiplier_slot,
+                    }
+                }
+                NiceNodeKind::Join { left, right } => PlanOp::Join {
+                    left: *left,
+                    right: *right,
+                },
+            };
+            // Allocate this node's slot first, then release the consumed
+            // children: a child buffer is read while the parent is written,
+            // so they must never share a slot.
+            let slot = alloc_slot(&mut free_slots);
+            match &op {
+                PlanOp::Leaf => {}
+                PlanOp::Introduce { child, .. } | PlanOp::Forget { child, .. } => {
+                    free_slots.push(nodes[*child].slot);
+                }
+                PlanOp::Join { left, right } => {
+                    free_slots.push(nodes[*left].slot);
+                    free_slots.push(nodes[*right].slot);
+                }
+            }
+            nodes.push(PlanNode {
+                op,
+                table_len: 1usize << bag.len(),
+                slot,
+            });
+            bags.push(bag);
+            debug_assert_eq!(nodes.len(), idx + 1);
+        }
+
+        let root = nice.root();
+        let mut root_inputs = Vec::new();
+        for (pos, &g) in bags[root].iter().enumerate() {
+            if let Gate::Input(var) = circuit.gate(GateId(g)) {
+                root_inputs.push((pos as u32, slot_of_var[var]));
+            }
+        }
+
+        Ok(SweepPlan {
+            nodes,
+            checks,
+            root,
+            root_inputs,
+            var_of_slot,
+            slot_count: slot_count as usize,
+        })
+    }
+
+    /// Number of nice nodes the plan sweeps over.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the plan has no nodes (never the case for built plans).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of distinct table buffers the static slot allocation needs —
+    /// the sweep's peak number of simultaneously live tables.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Resolves `weights` into the dense `[w_false, w_true]`-per-slot slab,
+    /// laid out lane-major: `slab[(slot * 2 + value) * lanes + lane]`.
+    fn fill_slab(
+        &self,
+        scenarios: &[&Weights],
+        arena: &mut SweepArena,
+    ) -> Result<(), CircuitError> {
+        let lanes = scenarios.len();
+        let len = self.var_of_slot.len() * 2 * lanes;
+        if arena.slab.capacity() < len {
+            arena.allocations += 1;
+        }
+        arena.slab.clear();
+        arena.slab.resize(len, 0.0);
+        for (slot, &var) in self.var_of_slot.iter().enumerate() {
+            for (lane, weights) in scenarios.iter().enumerate() {
+                let [w_false, w_true] = weights.pair(var)?;
+                arena.slab[(slot * 2) * lanes + lane] = w_false;
+                arena.slab[(slot * 2 + 1) * lanes + lane] = w_true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the planned sweep under one weight table, reusing `arena`'s
+    /// buffers. Equivalent to the interpreted
+    /// [`crate::wmc`] message passing, within floating-point association.
+    pub fn run(&self, weights: &Weights, arena: &mut SweepArena) -> Result<f64, WmcError> {
+        self.fill_slab(&[weights], arena)?;
+        let mut total = 0.0f64;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut table = arena.take_zeroed(node.slot as usize, node.table_len);
+            match node.op {
+                PlanOp::Leaf => table[0] = 1.0,
+                PlanOp::Introduce {
+                    child,
+                    low_mask,
+                    intro_pos,
+                    checks_start,
+                    checks_len,
+                } => {
+                    let child_node = &self.nodes[child];
+                    let child_table = &arena.slots[child_node.slot as usize];
+                    let checks =
+                        &self.checks[checks_start as usize..(checks_start + checks_len) as usize];
+                    for (child_mask, &weight) in
+                        child_table[..child_node.table_len].iter().enumerate()
+                    {
+                        if weight == 0.0 {
+                            continue;
+                        }
+                        let child_mask = child_mask as u64;
+                        let base = (child_mask & low_mask) | ((child_mask & !low_mask) << 1);
+                        for value in 0u64..2 {
+                            let mask = base | (value << intro_pos);
+                            if checks.iter().all(|c| c.passes(mask)) {
+                                table[mask as usize] = weight;
+                            }
+                        }
+                    }
+                }
+                PlanOp::Forget {
+                    child,
+                    low_mask,
+                    forget_pos,
+                    multiplier_slot,
+                } => {
+                    let child_node = &self.nodes[child];
+                    let child_table = &arena.slots[child_node.slot as usize];
+                    let (w_false, w_true) = if multiplier_slot == u32::MAX {
+                        (1.0, 1.0)
+                    } else {
+                        let base = multiplier_slot as usize * 2;
+                        (arena.slab[base], arena.slab[base + 1])
+                    };
+                    for (child_mask, &weight) in
+                        child_table[..child_node.table_len].iter().enumerate()
+                    {
+                        if weight == 0.0 {
+                            continue;
+                        }
+                        let child_mask = child_mask as u64;
+                        let value = (child_mask >> forget_pos) & 1;
+                        let projected = (child_mask & low_mask) | ((child_mask >> 1) & !low_mask);
+                        let multiplier = if value == 0 { w_false } else { w_true };
+                        table[projected as usize] += weight * multiplier;
+                    }
+                }
+                PlanOp::Join { left, right } => {
+                    let left_table = &arena.slots[self.nodes[left].slot as usize];
+                    let right_table = &arena.slots[self.nodes[right].slot as usize];
+                    for (slot, (l, r)) in table
+                        .iter_mut()
+                        .zip(left_table.iter().zip(right_table.iter()))
+                    {
+                        *slot = l * r;
+                    }
+                }
+            }
+            if idx == self.root {
+                for (mask, &weight) in table.iter().enumerate() {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let mut w = weight;
+                    for &(pos, slot) in &self.root_inputs {
+                        let value = (mask as u64 >> pos) & 1;
+                        w *= arena.slab[slot as usize * 2 + value as usize];
+                    }
+                    total += w;
+                }
+            }
+            arena.put_back(node.slot as usize, table);
+        }
+        Ok(total)
+    }
+
+    /// Runs the planned sweep for K weight tables in a **single traversal**:
+    /// every table slot is widened to K adjacent `f64` lanes, so the mask
+    /// permutations and constraint checks (the branchy part of the sweep)
+    /// are computed once and shared by all K scenarios. Returns one
+    /// probability per scenario, in input order; each lane's arithmetic is
+    /// performed in exactly the same order as [`SweepPlan::run`], so the
+    /// results are bitwise identical to K separate runs.
+    pub fn run_many(
+        &self,
+        scenarios: &[&Weights],
+        arena: &mut SweepArena,
+    ) -> Result<Vec<f64>, WmcError> {
+        let lanes = scenarios.len();
+        if lanes == 0 {
+            return Ok(Vec::new());
+        }
+        self.fill_slab(scenarios, arena)?;
+        let mut totals = vec![0.0f64; lanes];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut table = arena.take_zeroed(node.slot as usize, node.table_len * lanes);
+            match node.op {
+                PlanOp::Leaf => table[..lanes].fill(1.0),
+                PlanOp::Introduce {
+                    child,
+                    low_mask,
+                    intro_pos,
+                    checks_start,
+                    checks_len,
+                } => {
+                    let child_node = &self.nodes[child];
+                    let child_table = &arena.slots[child_node.slot as usize];
+                    let checks =
+                        &self.checks[checks_start as usize..(checks_start + checks_len) as usize];
+                    for (child_mask, source) in child_table[..child_node.table_len * lanes]
+                        .chunks_exact(lanes)
+                        .enumerate()
+                    {
+                        if source.iter().all(|&w| w == 0.0) {
+                            continue;
+                        }
+                        let child_mask = child_mask as u64;
+                        let base = (child_mask & low_mask) | ((child_mask & !low_mask) << 1);
+                        for value in 0u64..2 {
+                            let mask = base | (value << intro_pos);
+                            if checks.iter().all(|c| c.passes(mask)) {
+                                table[mask as usize * lanes..(mask as usize + 1) * lanes]
+                                    .copy_from_slice(source);
+                            }
+                        }
+                    }
+                }
+                PlanOp::Forget {
+                    child,
+                    low_mask,
+                    forget_pos,
+                    multiplier_slot,
+                } => {
+                    let child_node = &self.nodes[child];
+                    let child_table = &arena.slots[child_node.slot as usize];
+                    for (child_mask, source) in child_table[..child_node.table_len * lanes]
+                        .chunks_exact(lanes)
+                        .enumerate()
+                    {
+                        if source.iter().all(|&w| w == 0.0) {
+                            continue;
+                        }
+                        let child_mask = child_mask as u64;
+                        let value = (child_mask >> forget_pos) & 1;
+                        let projected = (child_mask & low_mask) | ((child_mask >> 1) & !low_mask);
+                        let target = &mut table
+                            [projected as usize * lanes..(projected as usize + 1) * lanes];
+                        if multiplier_slot == u32::MAX {
+                            for (t, &s) in target.iter_mut().zip(source) {
+                                *t += s * 1.0;
+                            }
+                        } else {
+                            let base = (multiplier_slot as usize * 2 + value as usize) * lanes;
+                            let multipliers = &arena.slab[base..base + lanes];
+                            for ((t, &s), &m) in target.iter_mut().zip(source).zip(multipliers) {
+                                *t += s * m;
+                            }
+                        }
+                    }
+                }
+                PlanOp::Join { left, right } => {
+                    let left_table = &arena.slots[self.nodes[left].slot as usize];
+                    let right_table = &arena.slots[self.nodes[right].slot as usize];
+                    for (slot, (l, r)) in table
+                        .iter_mut()
+                        .zip(left_table.iter().zip(right_table.iter()))
+                    {
+                        *slot = l * r;
+                    }
+                }
+            }
+            if idx == self.root {
+                for (mask, source) in table.chunks_exact(lanes).enumerate() {
+                    if source.iter().all(|&w| w == 0.0) {
+                        continue;
+                    }
+                    for (lane, total) in totals.iter_mut().enumerate() {
+                        let mut w = source[lane];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        for &(pos, slot) in &self.root_inputs {
+                            let value = (mask as u64 >> pos) & 1;
+                            w *= arena.slab[(slot as usize * 2 + value as usize) * lanes + lane];
+                        }
+                        *total += w;
+                    }
+                }
+            }
+            arena.put_back(node.slot as usize, table);
+        }
+        Ok(totals)
+    }
+}
+
+/// Compiles the constraints that become checkable when `introduced` joins
+/// `bag`: every gate whose scope (gate + inputs) is contained in the bag and
+/// includes the introduced vertex, plus the output-truth requirement. The
+/// mirror of `constraints_to_check` in [`crate::wmc`], resolved to bit
+/// positions.
+fn compile_checks(
+    circuit: &Circuit,
+    bag: &[usize],
+    introduced: usize,
+    output_gate: usize,
+    out: &mut Vec<CompiledCheck>,
+) {
+    let bit_of =
+        |gate: usize| -> Option<u64> { bag.binary_search(&gate).ok().map(|pos| 1u64 << pos) };
+    for &g in bag {
+        let gate = circuit.gate(GateId(g));
+        if gate.is_leaf() && g != introduced {
+            continue;
+        }
+        let scope_contains_introduced =
+            g == introduced || gate.inputs().iter().any(|x| x.0 == introduced);
+        if !scope_contains_introduced {
+            continue;
+        }
+        let in_bits = match gate
+            .inputs()
+            .iter()
+            .map(|x| bit_of(x.0))
+            .collect::<Option<Vec<u64>>>()
+        {
+            Some(bits) => bits,
+            None => continue, // scope not fully in the bag yet
+        };
+        let out_bit = bit_of(g).expect("gate is in its own bag");
+        let check = match gate {
+            Gate::Input(_) => continue, // free variable, no constraint
+            Gate::Const(b) => CompiledCheck::ConstGate {
+                bit: out_bit,
+                value: *b,
+            },
+            Gate::Not(_) => CompiledCheck::NotGate {
+                out: out_bit,
+                input: in_bits[0],
+            },
+            Gate::And(_) => CompiledCheck::AndGate {
+                out: out_bit,
+                in_mask: in_bits.iter().fold(0, |acc, b| acc | b),
+            },
+            Gate::Or(_) => CompiledCheck::OrGate {
+                out: out_bit,
+                in_mask: in_bits.iter().fold(0, |acc, b| acc | b),
+            },
+        };
+        out.push(check);
+    }
+    if introduced == output_gate {
+        out.push(CompiledCheck::OutputTrue {
+            bit: bit_of(output_gate).expect("output gate is in the bag"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::wmc::TreewidthWmc;
+    use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
+
+    fn plan_for(circuit: &Circuit) -> (Circuit, SweepPlan) {
+        let prepared = TreewidthWmc::prepare(circuit);
+        let output = prepared.output().expect("output");
+        let graph = TreewidthWmc::circuit_graph(&prepared);
+        let td = decompose_with_heuristic(&graph, EliminationHeuristic::MinDegree);
+        let nice = NiceDecomposition::from_decomposition(&td);
+        let plan = SweepPlan::build(&prepared, &nice, output.index()).expect("plan builds");
+        (prepared, plan)
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn planned_sweep_matches_interpreted_sweep() {
+        for seed in 0..20 {
+            let circuit = builder::random_circuit(10, 18, seed);
+            let weights = Weights::uniform(circuit.variables(), 0.4);
+            let reference = TreewidthWmc::default()
+                .probability(&circuit, &weights)
+                .unwrap();
+            let (_, plan) = plan_for(&circuit);
+            let mut arena = SweepArena::new();
+            assert_close(plan.run(&weights, &mut arena).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn steady_state_runs_do_not_allocate() {
+        let circuit = builder::conjunction_of_disjunctions(6, 3);
+        let weights = Weights::uniform(circuit.variables(), 0.5);
+        let (_, plan) = plan_for(&circuit);
+        let mut arena = SweepArena::new();
+        let first = plan.run(&weights, &mut arena).unwrap();
+        let after_first = arena.allocations();
+        assert!(after_first > 0, "first run must populate the arena");
+        for _ in 0..5 {
+            assert_close(plan.run(&weights, &mut arena).unwrap(), first);
+        }
+        assert_eq!(
+            arena.allocations(),
+            after_first,
+            "steady-state sweeps must not allocate"
+        );
+    }
+
+    #[test]
+    fn run_many_is_bitwise_identical_to_per_scenario_runs() {
+        let circuit = builder::random_circuit(9, 16, 5);
+        let scenarios: Vec<Weights> = [0.1, 0.35, 0.5, 0.9]
+            .iter()
+            .map(|&p| Weights::uniform(circuit.variables(), p))
+            .collect();
+        let (_, plan) = plan_for(&circuit);
+        let mut arena = SweepArena::new();
+        let refs: Vec<&Weights> = scenarios.iter().collect();
+        let many = plan.run_many(&refs, &mut arena).unwrap();
+        for (weights, &lane) in scenarios.iter().zip(&many) {
+            let single = plan.run(weights, &mut arena).unwrap();
+            assert_eq!(single.to_bits(), lane.to_bits(), "{single} vs {lane}");
+        }
+    }
+
+    #[test]
+    fn run_many_of_zero_scenarios_is_empty() {
+        let circuit = builder::xor_chain(4);
+        let (_, plan) = plan_for(&circuit);
+        assert!(plan
+            .run_many(&[], &mut SweepArena::new())
+            .unwrap()
+            .is_empty());
+        assert!(!plan.is_empty());
+        assert!(plan.slot_count() >= 1);
+        assert!(plan.len() > 1);
+    }
+
+    #[test]
+    fn missing_weight_is_reported() {
+        let circuit = builder::xor_chain(3);
+        let (_, plan) = plan_for(&circuit);
+        let result = plan.run(&Weights::new(), &mut SweepArena::new());
+        assert!(matches!(
+            result,
+            Err(WmcError::Circuit(CircuitError::UnassignedVariable(_)))
+        ));
+    }
+
+    #[test]
+    fn oversized_bags_are_refused() {
+        // A fake decomposition with a single giant bag trips the guard.
+        use stuc_graph::graph::VertexId;
+        use stuc_graph::TreeDecomposition;
+        let n = MAX_PLANNED_BAG + 2;
+        let mut circuit = Circuit::new();
+        let inputs: Vec<GateId> = (0..n).map(|i| circuit.add_input(VarId(i))).collect();
+        let out = *inputs.last().unwrap();
+        circuit.set_output(out);
+        let mut td = TreeDecomposition::new();
+        td.add_bag((0..n).map(VertexId));
+        let nice = NiceDecomposition::from_decomposition(&td);
+        assert!(matches!(
+            SweepPlan::build(&circuit, &nice, out.index()),
+            Err(WmcError::WidthTooLarge { .. })
+        ));
+    }
+}

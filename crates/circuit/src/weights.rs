@@ -66,6 +66,19 @@ impl Weights {
         self.probabilities.get(&v).copied()
     }
 
+    /// Both weights of `v` at once, as a `[w_false, w_true]` pair — the
+    /// shape the compiled sweep's dense weight slab
+    /// ([`crate::plan::SweepPlan`]) is built from, resolving the `BTreeMap`
+    /// once per variable per sweep instead of once per table entry.
+    pub fn pair(&self, v: VarId) -> Result<[f64; 2], CircuitError> {
+        let p = self
+            .probabilities
+            .get(&v)
+            .copied()
+            .ok_or(CircuitError::UnassignedVariable(v))?;
+        Ok([1.0 - p, p])
+    }
+
     /// The weight of `v` taking the given value, or an error if unassigned.
     pub fn weight(&self, v: VarId, value: bool) -> Result<f64, CircuitError> {
         let p = self

@@ -59,6 +59,12 @@ pub struct WmcReport {
     pub bag_count: usize,
     /// Number of nodes in the nice decomposition actually traversed.
     pub nice_node_count: usize,
+    /// Number of table buffers this run had to (re)allocate. Planned sweeps
+    /// ([`crate::compiled::CompiledCircuit`]) reuse a
+    /// [`crate::plan::SweepArena`] across runs, so steady-state repeated
+    /// evaluation reports 0 here; the interpreted sweep allocates one table
+    /// per nice node on every run.
+    pub table_allocations: usize,
 }
 
 /// The treewidth-based weighted model counter ("message passing" back-end).
@@ -187,14 +193,21 @@ impl TreewidthWmc {
             width: td.width(),
             bag_count: td.bag_count(),
             nice_node_count: nice.len(),
+            // The interpreted sweep allocates one hash table per nice node.
+            table_allocations: nice.len(),
         })
     }
 }
 
 /// The message-passing dynamic program itself, over an already-built nice
 /// decomposition of the circuit graph. Shared by [`TreewidthWmc::run`] and
-/// by [`crate::compiled::CompiledCircuit`], which caches the nice
-/// decomposition across re-weighted runs.
+/// by [`crate::compiled::CompiledCircuit::run_interpreted`].
+///
+/// This is the *reference* implementation: sparse `HashMap` tables, bag
+/// index vectors and constraint scopes re-derived per node, weights looked
+/// up in the `BTreeMap` per entry. The production sweep is the compiled
+/// dense-table plan in [`crate::plan`]; differential tests assert the two
+/// agree within 1e-9 on random, patched and boundary-width circuits.
 pub(crate) fn message_passing(
     circuit: &Circuit,
     weights: &Weights,

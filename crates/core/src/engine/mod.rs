@@ -491,6 +491,131 @@ impl Engine {
         self.evaluate_inner(representation, query, Some(weights))
     }
 
+    /// Re-evaluates a query under **K** different weight tables in a single
+    /// counting sweep — the multi-scenario what-if fast path.
+    ///
+    /// Where K calls to [`Engine::reevaluate_with_weights`] pay K cache
+    /// lookups and K message-passing sweeps, this method fetches the
+    /// compiled lineage once and runs the treewidth back-end's scenario
+    /// lanes ([`CompiledCircuit::run_many`]): one traversal of the sweep
+    /// plan with K `f64` lanes per table slot, so the structural work
+    /// (masks, permutations, constraint checks) is shared by all scenarios.
+    /// The per-scenario probabilities are identical to K sequential calls.
+    ///
+    /// One report is returned per scenario, in input order; shared fields
+    /// (backend, widths, wall time of the whole call) are replicated.
+    /// Back-ends without a lanes implementation (a fixed DPLL/enumeration
+    /// policy, or Auto on an over-budget circuit) fall back to a sequential
+    /// per-scenario loop. Like [`Engine::reevaluate_with_weights`], the
+    /// extensional safe plan never runs here.
+    ///
+    /// ```
+    /// use stuc_core::engine::Engine;
+    /// use stuc_core::workloads;
+    /// use stuc_query::cq::ConjunctiveQuery;
+    ///
+    /// let tid = workloads::path_tid(6, 0.5, 7);
+    /// let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    /// let engine = Engine::new();
+    /// engine.evaluate(&tid, &query).unwrap(); // compiles + caches the lineage
+    ///
+    /// // Sweep 8 what-if scenarios in one pass.
+    /// let scenarios: Vec<_> = (1..=8)
+    ///     .map(|k| {
+    ///         let mut w = tid.clone();
+    ///         for i in 0..w.fact_count() {
+    ///             w.set_probability(stuc_data::instance::FactId(i), 0.1 * k as f64);
+    ///         }
+    ///         w.fact_weights()
+    ///     })
+    ///     .collect();
+    /// let reports = engine
+    ///     .reevaluate_with_weights_many(&tid, &query, &scenarios)
+    ///     .unwrap();
+    /// assert_eq!(reports.len(), 8);
+    /// ```
+    pub fn reevaluate_with_weights_many<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        scenarios: &[Weights],
+    ) -> Result<Vec<EvaluationReport>, StucError> {
+        if scenarios.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.config.policy == BackendPolicy::Fixed(BackendKind::SafePlan) {
+            return Err(StucError::BackendUnsupported {
+                backend: BackendKind::SafePlan.name(),
+                reason: "weight re-evaluation runs on the lineage circuit; the extensional \
+                         safe plan reads the instance's own probabilities"
+                    .into(),
+            });
+        }
+        let started = Instant::now();
+        let mut notes = Vec::new();
+        let (entry, cache_flags) = self.compiled_lineage(representation, query)?;
+        if cache_flags.lineage_cached {
+            notes.push("compiled lineage served from cache".to_string());
+        }
+        notes.extend(entry.build_notes.iter().cloned());
+
+        let use_lanes = match self.config.policy {
+            BackendPolicy::Fixed(BackendKind::TreewidthWmc) => true,
+            BackendPolicy::Auto => entry.compiled.width() < self.config.width_budget,
+            _ => false,
+        };
+        let (probabilities, backend) = if use_lanes {
+            notes.push(format!(
+                "{} scenarios evaluated in one lane sweep",
+                scenarios.len()
+            ));
+            let many = entry
+                .compiled
+                .run_many(scenarios, self.config.width_budget)?;
+            (many.probabilities, BackendKind::TreewidthWmc)
+        } else {
+            // No lanes implementation for this back-end: sequential loop.
+            let chosen: Box<dyn Backend> = match self.config.policy {
+                BackendPolicy::Fixed(BackendKind::Dpll) | BackendPolicy::Auto => {
+                    Box::new(DpllBackend {
+                        max_branches: self.config.dpll_max_branches,
+                    })
+                }
+                BackendPolicy::Fixed(BackendKind::Enumeration) => Box::new(EnumerationBackend),
+                _ => unreachable!("treewidth and safe-plan handled above"),
+            };
+            notes.push(format!(
+                "{} scenarios evaluated sequentially by {} (no lane support)",
+                scenarios.len(),
+                chosen.kind()
+            ));
+            let mut probabilities = Vec::with_capacity(scenarios.len());
+            for weights in scenarios {
+                let task = EvaluationTask::Compiled {
+                    lineage: &entry.compiled,
+                    weights,
+                };
+                probabilities.push(chosen.solve(&task)?);
+            }
+            (probabilities, chosen.kind())
+        };
+        Ok(probabilities
+            .into_iter()
+            .map(|probability| {
+                self.report(
+                    probability,
+                    backend,
+                    entry.decomposition_width,
+                    entry.compiled.len(),
+                    representation.fact_count(),
+                    started,
+                    cache_flags,
+                    notes.clone(),
+                )
+            })
+            .collect())
+    }
+
     fn evaluate_inner<R: Representation + ?Sized>(
         &self,
         representation: &R,
@@ -917,6 +1042,79 @@ mod tests {
         for handle in handles {
             assert!(close(handle.join().unwrap(), baseline));
         }
+    }
+
+    fn reweight_scenarios(tid: &stuc_data::tid::TidInstance, count: usize) -> Vec<Weights> {
+        (1..=count)
+            .map(|k| {
+                let mut shadow = tid.clone();
+                for i in 0..shadow.fact_count() {
+                    shadow.set_probability(
+                        stuc_data::instance::FactId(i),
+                        (0.07 * k as f64).min(1.0),
+                    );
+                }
+                shadow.fact_weights()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reevaluate_many_matches_sequential_reevaluation_exactly() {
+        let tid = workloads::path_tid(10, 0.5, 7);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let engine = Engine::new();
+        engine.evaluate(&tid, &query).unwrap();
+        let scenarios = reweight_scenarios(&tid, 5);
+        let many = engine
+            .reevaluate_with_weights_many(&tid, &query, &scenarios)
+            .unwrap();
+        assert_eq!(many.len(), 5);
+        for (weights, lane) in scenarios.iter().zip(&many) {
+            assert_eq!(lane.backend, BackendKind::TreewidthWmc);
+            assert!(lane.notes.iter().any(|n| n.contains("one lane sweep")));
+            let single = engine
+                .reevaluate_with_weights(&tid, &query, weights)
+                .unwrap();
+            assert_eq!(
+                single.probability.to_bits(),
+                lane.probability.to_bits(),
+                "{} vs {}",
+                single.probability,
+                lane.probability
+            );
+        }
+    }
+
+    #[test]
+    fn reevaluate_many_handles_empty_and_fixed_policies() {
+        let tid = workloads::path_tid(6, 0.5, 3);
+        let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+        let engine = Engine::new();
+        assert!(engine
+            .reevaluate_with_weights_many(&tid, &query, &[])
+            .unwrap()
+            .is_empty());
+
+        // A fixed DPLL policy has no lane support: sequential fallback, same
+        // probabilities as one-at-a-time re-evaluation.
+        let scenarios = reweight_scenarios(&tid, 3);
+        let dpll = Engine::builder().backend(BackendKind::Dpll).build();
+        let many = dpll
+            .reevaluate_with_weights_many(&tid, &query, &scenarios)
+            .unwrap();
+        for (weights, lane) in scenarios.iter().zip(&many) {
+            assert_eq!(lane.backend, BackendKind::Dpll);
+            let single = dpll.reevaluate_with_weights(&tid, &query, weights).unwrap();
+            assert!(close(single.probability, lane.probability));
+        }
+
+        // The safe plan can never serve weight overrides.
+        let safe = Engine::builder().backend(BackendKind::SafePlan).build();
+        assert!(matches!(
+            safe.reevaluate_with_weights_many(&tid, &query, &scenarios),
+            Err(StucError::BackendUnsupported { .. })
+        ));
     }
 
     #[test]

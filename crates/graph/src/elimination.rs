@@ -116,11 +116,59 @@ fn min_degree_order(g: &Graph) -> EliminationOrder {
     EliminationOrder(order)
 }
 
+/// Vertex count above which min-fill falls back to the reference BTreeSet
+/// implementation: the bitset matrix is O(n²/8) bytes, which stops being a
+/// good trade on very large (and then necessarily sparse) graphs.
+const MIN_FILL_BITSET_LIMIT: usize = 16_384;
+
 /// Min-fill ordering. Quadratic selection: only re-scores vertices whose
 /// neighbourhood changed, but still scans all alive vertices per step, so it
 /// is reserved for moderate-size graphs (the ablation compares it to
-/// min-degree on exactly such inputs).
+/// min-degree on exactly such inputs). On those graphs the adjacency is kept
+/// as a word-packed bitset matrix, so each fill-in count is O(n²/64)
+/// intersection counting instead of O(deg²) `BTreeSet` probes; the computed
+/// ordering is identical to [`reference_min_fill_order`].
 fn min_fill_order(g: &Graph) -> EliminationOrder {
+    let n = g.vertex_count();
+    if n > MIN_FILL_BITSET_LIMIT {
+        return reference_min_fill_order(g);
+    }
+    let mut adjacency = BitMatrix::from_graph(g);
+    let mut alive = vec![true; n];
+    let mut order = Vec::with_capacity(n);
+    let mut fill: Vec<usize> = (0..n).map(|v| adjacency.fill_in_count(v)).collect();
+
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| (fill[v], v))
+            .expect("some vertex is alive");
+        let affected: Vec<usize> = adjacency.neighbors(next).collect();
+        adjacency.eliminate(next, &affected);
+        alive[next] = false;
+        order.push(VertexId(next));
+        // Fill-in counts can change for the eliminated vertex's neighbours and
+        // for their neighbours (the 2-hop set): re-score exactly that set.
+        let mut to_rescore: BTreeSet<usize> = BTreeSet::new();
+        for &u in &affected {
+            if alive[u] {
+                to_rescore.insert(u);
+                to_rescore.extend(adjacency.neighbors(u));
+            }
+        }
+        for u in to_rescore {
+            fill[u] = adjacency.fill_in_count(u);
+        }
+    }
+    EliminationOrder(order)
+}
+
+/// The original `BTreeSet`-adjacency min-fill implementation, kept as the
+/// reference for differential testing: the bitset-backed
+/// [`EliminationHeuristic::MinFill`] must produce *identical* orderings
+/// (asserted by unit tests and by the `a1_decomposition_heuristics` bench on
+/// its seed graphs).
+pub fn reference_min_fill_order(g: &Graph) -> EliminationOrder {
     let n = g.vertex_count();
     let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
         .map(|v| g.neighbors(VertexId(v)).map(|u| u.0).collect())
@@ -137,8 +185,6 @@ fn min_fill_order(g: &Graph) -> EliminationOrder {
         let affected: Vec<usize> = adjacency[next].iter().copied().collect();
         eliminate(&mut adjacency, &mut alive, next);
         order.push(VertexId(next));
-        // Fill-in counts can change for the eliminated vertex's neighbours and
-        // for their neighbours (the 2-hop set): re-score exactly that set.
         let mut to_rescore: BTreeSet<usize> = BTreeSet::new();
         for &u in &affected {
             if alive[u] {
@@ -151,6 +197,89 @@ fn min_fill_order(g: &Graph) -> EliminationOrder {
         }
     }
     EliminationOrder(order)
+}
+
+/// Word-packed adjacency matrix: row `v` is a bitset over the vertices, so
+/// neighbourhood intersections (the inner loop of min-fill scoring) run a
+/// word at a time.
+struct BitMatrix {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn from_graph(g: &Graph) -> BitMatrix {
+        let n = g.vertex_count();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for v in 0..n {
+            let row = v * words_per_row;
+            for u in g.neighbors(VertexId(v)) {
+                bits[row + u.0 / 64] |= 1u64 << (u.0 % 64);
+            }
+        }
+        BitMatrix {
+            words_per_row,
+            bits,
+        }
+    }
+
+    fn row(&self, v: usize) -> &[u64] {
+        &self.bits[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(v).iter().enumerate().flat_map(|(i, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(i * 64 + bit)
+            })
+        })
+    }
+
+    /// Number of fill-in edges that eliminating `v` would create: for every
+    /// neighbour `a` of `v`, count the neighbours of `v` that are *not*
+    /// adjacent to `a` (word-wise `N(v) & !N(a)`, with `a` itself masked
+    /// out); every missing pair is counted once from each side.
+    fn fill_in_count(&self, v: usize) -> usize {
+        let mut missing_ordered = 0usize;
+        let row_v = v * self.words_per_row;
+        for a in self.neighbors(v) {
+            let row_a = a * self.words_per_row;
+            for w in 0..self.words_per_row {
+                let mut candidates = self.bits[row_v + w] & !self.bits[row_a + w];
+                if a / 64 == w {
+                    candidates &= !(1u64 << (a % 64));
+                }
+                missing_ordered += candidates.count_ones() as usize;
+            }
+        }
+        missing_ordered / 2
+    }
+
+    /// Eliminates `v` (whose neighbour list is `ns`): connects the
+    /// neighbourhood into a clique and removes `v` from every row.
+    fn eliminate(&mut self, v: usize, ns: &[usize]) {
+        let (v_word, v_bit) = (v / 64, 1u64 << (v % 64));
+        let row_v: Vec<u64> = self.row(v).to_vec();
+        for &a in ns {
+            let row_a = a * self.words_per_row;
+            for (w, &word) in row_v.iter().enumerate() {
+                self.bits[row_a + w] |= word;
+            }
+            // No self-loop, and v is gone.
+            self.bits[row_a + a / 64] &= !(1u64 << (a % 64));
+            self.bits[row_a + v_word] &= !v_bit;
+        }
+        for w in self.bits[v * self.words_per_row..(v + 1) * self.words_per_row].iter_mut() {
+            *w = 0;
+        }
+    }
 }
 
 /// Number of fill-in edges that eliminating `v` would create.
@@ -398,6 +527,32 @@ mod tests {
         let g = generators::path(3);
         let order = EliminationOrder(vec![VertexId(0)]);
         decompose_with_order(&g, &order);
+    }
+
+    #[test]
+    fn bitset_min_fill_matches_reference_ordering() {
+        let mut disconnected = generators::path(6);
+        let a = disconnected.add_vertex();
+        let b = disconnected.add_vertex();
+        disconnected.add_edge(a, b);
+        let graphs = vec![
+            Graph::new(),
+            generators::path(30),
+            generators::cycle(16),
+            generators::grid(5, 5),
+            generators::star(12),
+            generators::balanced_binary_tree(5),
+            generators::partial_k_tree(60, 3, 0.4, 9),
+            generators::caterpillar(20, 3),
+            disconnected,
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            assert_eq!(
+                min_fill_order(g),
+                reference_min_fill_order(g),
+                "bitset and reference min-fill orders diverge on graph {i}"
+            );
+        }
     }
 
     #[test]

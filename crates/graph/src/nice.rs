@@ -39,6 +39,15 @@ pub struct NiceNode {
     pub bag: BTreeSet<VertexId>,
 }
 
+impl NiceNode {
+    /// The bag as a sorted vector of raw vertex indices — the layout sweep
+    /// plans index their dense tables by (bit `i` of a table mask is the
+    /// value of `bag_indices()[i]`).
+    pub fn bag_indices(&self) -> Vec<usize> {
+        self.bag.iter().map(|v| v.index()).collect()
+    }
+}
+
 /// A nice tree decomposition, stored as a flat arena with an explicit root.
 ///
 /// Children always have smaller indices than their parents, so iterating
@@ -78,12 +87,13 @@ impl NiceDecomposition {
 
     /// The width of the nice decomposition.
     pub fn width(&self) -> usize {
-        self.nodes
-            .iter()
-            .map(|n| n.bag.len())
-            .max()
-            .unwrap_or(0)
-            .saturating_sub(1)
+        self.max_bag_len().saturating_sub(1)
+    }
+
+    /// Size of the largest bag (width + 1 on non-empty decompositions) —
+    /// what sweep-plan construction checks against its dense-table budget.
+    pub fn max_bag_len(&self) -> usize {
+        self.nodes.iter().map(|n| n.bag.len()).max().unwrap_or(0)
     }
 
     /// Converts a (rooted) tree decomposition into nice form.
@@ -379,6 +389,33 @@ mod tests {
         let nd = NiceDecomposition::from_decomposition(&td);
         assert!(nd.check_consistency().is_ok());
         assert_eq!(nd.width(), 1);
+    }
+
+    #[test]
+    fn ten_thousand_bag_path_decomposition_converts_iteratively() {
+        // Regression guard for the traversal code (`root_at`, `post_order`,
+        // the builder chains): a maximally deep 10k-bag path decomposition
+        // must convert without recursing on tree depth. Built by hand so the
+        // bag tree is guaranteed to be one long path regardless of what the
+        // elimination heuristics produce.
+        let n = 10_000;
+        let mut td = TreeDecomposition::new();
+        let mut previous = None;
+        for i in 0..n {
+            let bag = td.add_bag([VertexId(i), VertexId(i + 1)]);
+            if let Some(p) = previous {
+                td.add_tree_edge(p, bag);
+            }
+            previous = Some(bag);
+        }
+        let nd = NiceDecomposition::from_decomposition(&td);
+        assert!(nd.check_consistency().is_ok());
+        assert_eq!(nd.width(), 1);
+        assert_eq!(nd.max_bag_len(), 2);
+        assert!(nd.len() >= n);
+        // The accessors used by sweep-plan construction agree with the bags.
+        let root_bag = nd.node(nd.root()).bag_indices();
+        assert!(root_bag.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
