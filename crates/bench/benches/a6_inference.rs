@@ -1,0 +1,154 @@
+//! A6 (ablation) — posterior inference on compiled circuits.
+//!
+//! The inference subsystem claims three amortisations over naive
+//! approaches, all on the a4 workload (the 80-fact path instance):
+//!
+//! * **All-fact marginals** — one backward sweep over the retained plan
+//!   tables answers `P(fact | query)` for every fact; the baseline is one
+//!   conditioned counting sweep per fact (n + 1 sweeps). The speedup is
+//!   asserted (≥5x) in `tests/perf_smoke.rs`; here it is measured and
+//!   recorded in `BENCH_a6.json`.
+//! * **Exact world sampling** — one retained sweep then O(plan) per draw;
+//!   1000 exact i.i.d. worlds are drawn per iteration.
+//! * **Most-probable-world** — one max-product sweep + argmax descent,
+//!   about the cost of a single WMC sweep.
+
+use stuc_bench::{criterion_config, report_value, timed, BenchSummary};
+use stuc_circuit::circuit::VarId;
+use stuc_circuit::weights::Weights;
+use stuc_core::engine::Engine;
+use stuc_core::workloads;
+use stuc_query::cq::ConjunctiveQuery;
+
+/// The conditioned-WMC baseline: `p(v) * P(φ | v:=1) / P(φ)` for every
+/// fact, one counting sweep each, through the warm engine.
+fn conditioned_marginals(
+    engine: &Engine,
+    tid: &stuc_data::tid::TidInstance,
+    query: &ConjunctiveQuery,
+    weights: &Weights,
+    evidence: f64,
+) -> Vec<(VarId, f64)> {
+    weights
+        .iter()
+        .map(|(v, prior)| {
+            let mut fixed = weights.clone();
+            fixed.fix(v, true);
+            let conditioned = engine
+                .reevaluate_with_weights(tid, query, &fixed)
+                .unwrap()
+                .probability;
+            (v, prior * conditioned / evidence)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut criterion = criterion_config();
+    let mut summary = BenchSummary::new("a6");
+
+    // The a4 instance with the unanchored chain query: every one of the 80
+    // facts appears in the lineage, so the marginal workload is n = 80.
+    let tid = workloads::path_tid(80, 0.5, 13);
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    let weights = tid.fact_weights();
+    let engine = Engine::new();
+    let evidence = engine.evaluate(&tid, &query).unwrap().probability; // warm the cache
+    report_value("A6", "facts", tid.fact_count());
+    report_value("A6", "evidence_probability", evidence);
+
+    // Sanity: the backward sweep agrees with the conditioned baseline.
+    let marginals = engine.marginals(&tid, &query).unwrap();
+    let baseline = conditioned_marginals(&engine, &tid, &query, &weights, evidence);
+    for &(v, reference) in &baseline {
+        let got = marginals.get(v).unwrap();
+        assert!((got - reference).abs() < 1e-9, "{v}: {got} vs {reference}");
+    }
+    report_value("A6", "marginal_sweeps", marginals.report.sweeps_run);
+    report_value("A6", "tables_retained", marginals.report.tables_retained);
+
+    // --- All-fact marginals vs n conditioned evaluations.
+    let mut group = criterion.benchmark_group("a6_marginals_80_facts");
+    group.bench_function("backward_sweep_all_facts", |b| {
+        b.iter(|| engine.marginals(&tid, &query).unwrap().len())
+    });
+    group.bench_function("conditioned_per_fact", |b| {
+        b.iter(|| conditioned_marginals(&engine, &tid, &query, &weights, evidence).len())
+    });
+    group.finish();
+
+    let marginals_time = timed(5, || engine.marginals(&tid, &query).unwrap().len());
+    let conditioned_time = timed(5, || {
+        conditioned_marginals(&engine, &tid, &query, &weights, evidence).len()
+    });
+    report_value(
+        "A6",
+        "all_fact_marginals_speedup_vs_conditioned",
+        format!(
+            "{:.1}x ({conditioned_time:?} -> {marginals_time:?})",
+            conditioned_time.as_secs_f64() / marginals_time.as_secs_f64()
+        ),
+    );
+    summary.record_speedup("marginals_all_facts", marginals_time, conditioned_time);
+    summary.record("marginals_conditioned_baseline", conditioned_time);
+
+    // --- Exact world sampling: setup sweep + 1000 descents.
+    let mut group = criterion.benchmark_group("a6_sampling");
+    group.bench_function("sample_1000_worlds", |b| {
+        b.iter(|| {
+            engine
+                .sample_worlds(&tid, &query, 1000, 42)
+                .unwrap()
+                .worlds
+                .len()
+        })
+    });
+    group.finish();
+    let sampling_time = timed(5, || {
+        engine
+            .sample_worlds(&tid, &query, 1000, 42)
+            .unwrap()
+            .worlds
+            .len()
+    });
+    summary.record("sample_1000_worlds", sampling_time);
+    report_value(
+        "A6",
+        "sample_1000_worlds_best",
+        format!("{sampling_time:?}"),
+    );
+
+    // --- Most-probable-world: max-product sweep + argmax descent.
+    let mpe = engine.most_probable_world(&tid, &query).unwrap();
+    report_value("A6", "mpe_probability", mpe.probability);
+    let mut group = criterion.benchmark_group("a6_mpe");
+    group.bench_function("most_probable_world", |b| {
+        b.iter(|| {
+            engine
+                .most_probable_world(&tid, &query)
+                .unwrap()
+                .probability
+        })
+    });
+    group.finish();
+    let mpe_time = timed(5, || {
+        engine
+            .most_probable_world(&tid, &query)
+            .unwrap()
+            .probability
+    });
+    summary.record("most_probable_world", mpe_time);
+
+    // One plain counting sweep for scale: how much do the inference modes
+    // cost relative to the number they generalise?
+    let wmc_time = timed(5, || {
+        engine
+            .reevaluate_with_weights(&tid, &query, &weights)
+            .unwrap()
+            .probability
+    });
+    summary.record("single_wmc_sweep", wmc_time);
+    report_value("A6", "single_wmc_sweep_best", format!("{wmc_time:?}"));
+
+    summary.write();
+}

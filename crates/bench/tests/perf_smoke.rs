@@ -112,6 +112,66 @@ fn scenario_lanes_k16_are_at_least_4x_faster_than_sequential() {
     );
 }
 
+/// All-fact marginals (one backward sweep over retained tables) must be
+/// ≥5x faster than n single-fact conditioned evaluations on the a4
+/// workload (80-fact path instance, chain query: every fact is in the
+/// lineage).
+#[test]
+fn all_fact_marginals_are_at_least_5x_faster_than_conditioned_evaluation() {
+    let engine = Engine::new();
+    let tid = workloads::path_tid(80, 0.5, 13);
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    let weights = tid.fact_weights();
+    let evidence = engine.evaluate(&tid, &query).unwrap().probability; // warm the lineage cache
+
+    // The conditioned-WMC baseline the backward sweep replaces: one
+    // counting sweep per fact against the warm engine.
+    let conditioned_all = || {
+        weights
+            .iter()
+            .map(|(v, prior)| {
+                let mut fixed = weights.clone();
+                fixed.fix(v, true);
+                let conditioned = engine
+                    .reevaluate_with_weights(&tid, &query, &fixed)
+                    .unwrap()
+                    .probability;
+                (v, prior * conditioned / evidence)
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // Agreement first: same posteriors within 1e-9, every fact covered.
+    let marginals = engine.marginals(&tid, &query).unwrap();
+    let baseline = conditioned_all();
+    assert_eq!(marginals.len(), tid.fact_count());
+    for &(v, reference) in &baseline {
+        let got = marginals.get(v).unwrap();
+        assert!(
+            (got - reference).abs() < 1e-9,
+            "{v:?}: {got} vs {reference}"
+        );
+    }
+    assert_eq!(
+        marginals.report.sweeps_run, 2,
+        "up + backward, nothing more"
+    );
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the ≥5x speedup bar (run in release)");
+        return;
+    }
+    let marginals_time = timed(5, || engine.marginals(&tid, &query).unwrap().len());
+    let conditioned_time = timed(5, || conditioned_all().len());
+    let speedup = conditioned_time.as_secs_f64() / marginals_time.as_secs_f64();
+    assert!(
+        speedup >= 5.0,
+        "all-fact marginals must be ≥5x faster than {} conditioned \
+         evaluations ({conditioned_time:?} -> {marginals_time:?}, {speedup:.2}x)",
+        weights.len()
+    );
+}
+
 /// Steady-state repeated evaluation performs zero table allocations,
 /// verified through the arena-reuse counter in `WmcReport`. Holds in every
 /// build profile.

@@ -176,9 +176,16 @@ impl CompiledCircuit {
         })
     }
 
-    /// The compiled sweep plan, built on first use; `None` when the bags are
-    /// too wide to plan densely (the interpreted sweep still runs).
-    fn sweep_plan(&self) -> Option<&Arc<SweepPlan>> {
+    /// The compiled sweep plan over the circuit-graph decomposition, built
+    /// on first use; `None` when the bags are too wide to plan densely
+    /// (beyond [`MAX_PLANNED_BAG`] — the interpreted sweep still runs for
+    /// counting, but plan-based consumers like the posterior-inference
+    /// subsystem in `stuc-infer` must fall back or refuse).
+    ///
+    /// Callers enforcing an evaluation-time width budget should check
+    /// [`CompiledCircuit::width`] themselves — the plan only refuses beyond
+    /// its own dense-table bound.
+    pub fn sweep_plan(&self) -> Option<&Arc<SweepPlan>> {
         self.plan
             .get_or_init(|| {
                 let structure = self.structure();
@@ -451,6 +458,22 @@ impl CompiledCircuit {
         self.run(weights, max_bag_size).map(|r| r.probability)
     }
 
+    /// Enforces an evaluation-time width budget: refuses with
+    /// [`WmcError::WidthTooLarge`] when the circuit-graph decomposition's
+    /// bag size (width + 1) exceeds `max_bag_size`. The single refusal
+    /// check every evaluation mode — counting, lanes, and the posterior
+    /// inference in `stuc-infer` — shares.
+    pub fn ensure_width(&self, max_bag_size: usize) -> Result<(), WmcError> {
+        let width = self.structure().width;
+        if width + 1 > max_bag_size {
+            return Err(WmcError::WidthTooLarge {
+                width,
+                limit: max_bag_size,
+            });
+        }
+        Ok(())
+    }
+
     /// Like [`CompiledCircuit::probability`], but returns the full
     /// [`WmcReport`] with decomposition statistics.
     ///
@@ -460,13 +483,8 @@ impl CompiledCircuit {
     /// re-weighting, incremental-update revalidation — allocate nothing in
     /// steady state ([`WmcReport::table_allocations`] is 0).
     pub fn run(&self, weights: &Weights, max_bag_size: usize) -> Result<WmcReport, WmcError> {
+        self.ensure_width(max_bag_size)?;
         let structure = self.structure();
-        if structure.width + 1 > max_bag_size {
-            return Err(WmcError::WidthTooLarge {
-                width: structure.width,
-                limit: max_bag_size,
-            });
-        }
         let Some(plan) = self.sweep_plan().cloned() else {
             return self.run_interpreted(weights, max_bag_size);
         };
@@ -502,13 +520,8 @@ impl CompiledCircuit {
         weights: &Weights,
         max_bag_size: usize,
     ) -> Result<WmcReport, WmcError> {
+        self.ensure_width(max_bag_size)?;
         let structure = self.structure();
-        if structure.width + 1 > max_bag_size {
-            return Err(WmcError::WidthTooLarge {
-                width: structure.width,
-                limit: max_bag_size,
-            });
-        }
         for &v in &self.variables {
             weights.weight(v, true)?;
         }
@@ -537,13 +550,8 @@ impl CompiledCircuit {
         scenarios: &[Weights],
         max_bag_size: usize,
     ) -> Result<WmcManyReport, WmcError> {
+        self.ensure_width(max_bag_size)?;
         let structure = self.structure();
-        if structure.width + 1 > max_bag_size {
-            return Err(WmcError::WidthTooLarge {
-                width: structure.width,
-                limit: max_bag_size,
-            });
-        }
         let Some(plan) = self.sweep_plan().cloned() else {
             let mut probabilities = Vec::with_capacity(scenarios.len());
             for weights in scenarios {

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # stuc-circuit — Boolean circuits, provenance, and exact probability
 //!
 //! Lineage circuits are the central data structure of the paper's approach:

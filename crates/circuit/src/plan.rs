@@ -32,6 +32,18 @@
 //!   in a single traversal by widening every table slot to K adjacent `f64`
 //!   lanes: the masks, permutations and checks (the expensive, branchy part)
 //!   are computed once and amortized over all K scenarios.
+//! * **Semiring-generic inner loop** — the per-node op application is
+//!   generic over a [`SweepSemiring`] (how alternatives combine):
+//!   [`SumProduct`] is weighted model counting, [`MaxProduct`] is the
+//!   Viterbi sweep behind most-probable-world queries.
+//! * **Table retention & backward permutations** — posterior inference
+//!   needs more than the root total: [`SweepPlan::run_retained`] keeps
+//!   every node table alive, [`SweepPlan::marginal_numerators`] runs the
+//!   backward (outward) sweep over them — inverting each forward
+//!   split-shift permutation — to produce *all* per-variable marginals in
+//!   one reverse traversal, and [`SweepPlan::descend`] decodes concrete
+//!   worlds top-down (stochastic for exact sampling, argmax for MPE). The
+//!   `stuc-infer` crate builds its subsystem on these three.
 //!
 //! The interpreted HashMap sweep remains in [`crate::wmc`] as the reference
 //! implementation; differential tests assert agreement within 1e-9.
@@ -41,6 +53,49 @@ use crate::weights::Weights;
 use crate::wmc::WmcError;
 use std::collections::HashMap;
 use stuc_graph::nice::{NiceDecomposition, NiceNodeKind};
+
+/// The scalar semiring one dense sweep runs in. Multiplication is always
+/// `f64` product (joint weights compose multiplicatively in both tasks);
+/// what varies is how *alternative* partial assignments combine: summing
+/// yields weighted model counting, taking the maximum yields max-product
+/// (Viterbi) sweeps for most-probable-world queries. Zero (`0.0`) is the
+/// annihilator and additive identity of both instances — which is what lets
+/// the sweep's zero-entry skipping stay valid for either — so only the
+/// combine operation is abstracted.
+pub trait SweepSemiring {
+    /// Stable name for reports and diagnostics.
+    const NAME: &'static str;
+    /// `⊕`: folds two alternative partial-assignment weights into one
+    /// (`+` for sum-product, `max` for max-product).
+    fn combine(a: f64, b: f64) -> f64;
+}
+
+/// Sum-product instance: alternatives add. The WMC semiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumProduct;
+
+impl SweepSemiring for SumProduct {
+    const NAME: &'static str = "sum-product";
+    #[inline(always)]
+    fn combine(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Max-product instance: alternatives keep the heavier branch. Running the
+/// sweep in this semiring computes the weight of the single most probable
+/// consistent assignment (the MPE value); a [`SweepPlan::descend`] over the
+/// retained tables with an argmax chooser recovers the assignment itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxProduct;
+
+impl SweepSemiring for MaxProduct {
+    const NAME: &'static str = "max-product";
+    #[inline(always)]
+    fn combine(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+}
 
 /// Largest bag size a plan will compile dense tables for. The binding
 /// constraint is memory, not mask width (`u64` masks only overflow at 64):
@@ -357,65 +412,33 @@ impl SweepPlan {
     /// buffers. Equivalent to the interpreted
     /// [`crate::wmc`] message passing, within floating-point association.
     pub fn run(&self, weights: &Weights, arena: &mut SweepArena) -> Result<f64, WmcError> {
+        self.run_in::<SumProduct>(weights, arena)
+    }
+
+    /// Runs the planned sweep in an arbitrary [`SweepSemiring`] — the same
+    /// dense tables, permutations and compiled checks, with only the
+    /// alternative-combining operation swapped. [`SumProduct`] recovers
+    /// [`SweepPlan::run`] exactly; [`MaxProduct`] computes the weight of the
+    /// most probable consistent assignment instead of the probability mass.
+    pub fn run_in<S: SweepSemiring>(
+        &self,
+        weights: &Weights,
+        arena: &mut SweepArena,
+    ) -> Result<f64, WmcError> {
         self.fill_slab(&[weights], arena)?;
         let mut total = 0.0f64;
         for (idx, node) in self.nodes.iter().enumerate() {
             let mut table = arena.take_zeroed(node.slot as usize, node.table_len);
             match node.op {
                 PlanOp::Leaf => table[0] = 1.0,
-                PlanOp::Introduce {
-                    child,
-                    low_mask,
-                    intro_pos,
-                    checks_start,
-                    checks_len,
-                } => {
-                    let child_node = &self.nodes[child];
-                    let child_table = &arena.slots[child_node.slot as usize];
-                    let checks =
-                        &self.checks[checks_start as usize..(checks_start + checks_len) as usize];
-                    for (child_mask, &weight) in
-                        child_table[..child_node.table_len].iter().enumerate()
-                    {
-                        if weight == 0.0 {
-                            continue;
-                        }
-                        let child_mask = child_mask as u64;
-                        let base = (child_mask & low_mask) | ((child_mask & !low_mask) << 1);
-                        for value in 0u64..2 {
-                            let mask = base | (value << intro_pos);
-                            if checks.iter().all(|c| c.passes(mask)) {
-                                table[mask as usize] = weight;
-                            }
-                        }
-                    }
-                }
-                PlanOp::Forget {
-                    child,
-                    low_mask,
-                    forget_pos,
-                    multiplier_slot,
-                } => {
-                    let child_node = &self.nodes[child];
-                    let child_table = &arena.slots[child_node.slot as usize];
-                    let (w_false, w_true) = if multiplier_slot == u32::MAX {
-                        (1.0, 1.0)
-                    } else {
-                        let base = multiplier_slot as usize * 2;
-                        (arena.slab[base], arena.slab[base + 1])
-                    };
-                    for (child_mask, &weight) in
-                        child_table[..child_node.table_len].iter().enumerate()
-                    {
-                        if weight == 0.0 {
-                            continue;
-                        }
-                        let child_mask = child_mask as u64;
-                        let value = (child_mask >> forget_pos) & 1;
-                        let projected = (child_mask & low_mask) | ((child_mask >> 1) & !low_mask);
-                        let multiplier = if value == 0 { w_false } else { w_true };
-                        table[projected as usize] += weight * multiplier;
-                    }
+                PlanOp::Introduce { child, .. } | PlanOp::Forget { child, .. } => {
+                    let child_table = &arena.slots[self.nodes[child].slot as usize];
+                    self.apply_unary::<S>(
+                        &node.op,
+                        &child_table[..self.nodes[child].table_len],
+                        &mut table,
+                        &arena.slab,
+                    );
                 }
                 PlanOp::Join { left, right } => {
                     let left_table = &arena.slots[self.nodes[left].slot as usize];
@@ -438,12 +461,77 @@ impl SweepPlan {
                         let value = (mask as u64 >> pos) & 1;
                         w *= arena.slab[slot as usize * 2 + value as usize];
                     }
-                    total += w;
+                    total = S::combine(total, w);
                 }
             }
             arena.put_back(node.slot as usize, table);
         }
         Ok(total)
+    }
+
+    /// The shared single-lane inner loop of the planned sweep: applies one
+    /// Introduce/Forget op to a child table, generic over the semiring.
+    /// Reused by the arena-slot sweep ([`SweepPlan::run_in`]) and the
+    /// table-retaining sweep ([`SweepPlan::run_retained`]).
+    fn apply_unary<S: SweepSemiring>(
+        &self,
+        op: &PlanOp,
+        child_table: &[f64],
+        table: &mut [f64],
+        slab: &[f64],
+    ) {
+        match *op {
+            PlanOp::Introduce {
+                low_mask,
+                intro_pos,
+                checks_start,
+                checks_len,
+                ..
+            } => {
+                let checks =
+                    &self.checks[checks_start as usize..(checks_start + checks_len) as usize];
+                for (child_mask, &weight) in child_table.iter().enumerate() {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let child_mask = child_mask as u64;
+                    let base = (child_mask & low_mask) | ((child_mask & !low_mask) << 1);
+                    for value in 0u64..2 {
+                        let mask = base | (value << intro_pos);
+                        if checks.iter().all(|c| c.passes(mask)) {
+                            // Child masks map to disjoint parent masks, so a
+                            // plain store needs no semiring combine.
+                            table[mask as usize] = weight;
+                        }
+                    }
+                }
+            }
+            PlanOp::Forget {
+                low_mask,
+                forget_pos,
+                multiplier_slot,
+                ..
+            } => {
+                let (w_false, w_true) = if multiplier_slot == u32::MAX {
+                    (1.0, 1.0)
+                } else {
+                    let base = multiplier_slot as usize * 2;
+                    (slab[base], slab[base + 1])
+                };
+                for (child_mask, &weight) in child_table.iter().enumerate() {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let child_mask = child_mask as u64;
+                    let value = (child_mask >> forget_pos) & 1;
+                    let projected = (child_mask & low_mask) | ((child_mask >> 1) & !low_mask);
+                    let multiplier = if value == 0 { w_false } else { w_true };
+                    table[projected as usize] =
+                        S::combine(table[projected as usize], weight * multiplier);
+                }
+            }
+            PlanOp::Leaf | PlanOp::Join { .. } => unreachable!("apply_unary takes unary ops"),
+        }
     }
 
     /// Runs the planned sweep for K weight tables in a **single traversal**:
@@ -562,6 +650,383 @@ impl SweepPlan {
             arena.put_back(node.slot as usize, table);
         }
         Ok(totals)
+    }
+
+    /// Resolves `weights` into a standalone `[w_false, w_true]`-per-slot
+    /// slab (the non-arena twin of `fill_slab`, for retained sweeps whose
+    /// tables outlive any arena).
+    fn slab_for(&self, weights: &Weights) -> Result<Vec<f64>, CircuitError> {
+        let mut slab = vec![0.0; self.var_of_slot.len() * 2];
+        for (slot, &var) in self.var_of_slot.iter().enumerate() {
+            let [w_false, w_true] = weights.pair(var)?;
+            slab[slot * 2] = w_false;
+            slab[slot * 2 + 1] = w_true;
+        }
+        Ok(slab)
+    }
+
+    /// Runs the upward sweep in semiring `S`, **retaining every node table**
+    /// instead of recycling arena slots — the table-retention mode that
+    /// posterior inference builds on. The retained tables are what a
+    /// backward pass ([`SweepPlan::marginal_numerators`]) or a top-down
+    /// stochastic/argmax descent ([`SweepPlan::descend`]) consumes; plain
+    /// probability queries should keep using [`SweepPlan::run`], which
+    /// holds only the peak-live tables.
+    ///
+    /// Memory is one dense table per nice node (`8 << |bag|` bytes each)
+    /// plus the weight slab, reported by [`RetainedSweep::table_entries`].
+    pub fn run_retained<S: SweepSemiring>(
+        &self,
+        weights: &Weights,
+    ) -> Result<RetainedSweep, WmcError> {
+        let slab = self.slab_for(weights)?;
+        let mut tables: Vec<Vec<f64>> = Vec::with_capacity(self.nodes.len());
+        let mut value = 0.0f64;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let mut table = vec![0.0f64; node.table_len];
+            match node.op {
+                PlanOp::Leaf => table[0] = 1.0,
+                PlanOp::Introduce { child, .. } | PlanOp::Forget { child, .. } => {
+                    self.apply_unary::<S>(&node.op, &tables[child], &mut table, &slab);
+                }
+                PlanOp::Join { left, right } => {
+                    for (slot, (l, r)) in table
+                        .iter_mut()
+                        .zip(tables[left].iter().zip(tables[right].iter()))
+                    {
+                        *slot = l * r;
+                    }
+                }
+            }
+            if idx == self.root {
+                for (mask, &weight) in table.iter().enumerate() {
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let mut w = weight;
+                    for &(pos, slot) in &self.root_inputs {
+                        let bit = (mask as u64 >> pos) & 1;
+                        w *= slab[slot as usize * 2 + bit as usize];
+                    }
+                    value = S::combine(value, w);
+                }
+            }
+            tables.push(table);
+        }
+        Ok(RetainedSweep {
+            tables,
+            slab,
+            value,
+        })
+    }
+
+    /// The backward (outward) sweep: given the retained tables of a
+    /// **sum-product** upward sweep, computes in one reverse traversal the
+    /// unnormalised marginal `Σ_{worlds ⊨ φ, v true} weight(world)` of
+    /// *every* input variable at once, paired with the variable. Dividing
+    /// by [`RetainedSweep::value`] (the evidence mass `Z`) yields
+    /// `P(v | φ)` — n marginals for the price of ~two sweeps instead of n
+    /// conditioned re-evaluations.
+    ///
+    /// For each node the pass maintains the downward table `D` (the
+    /// weight of everything *outside* the node's subtree, per bag mask),
+    /// the mirror of the retained upward table `U`; the invariant
+    /// `Σ_m U[m]·D[m] = Z` holds at every node, and at the unique place
+    /// where an input gate leaves scope — its Forget edge, or the root bag —
+    /// the restriction of that sum to masks with the gate's bit set is
+    /// exactly the variable's numerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retained` was produced by a different plan (table count
+    /// mismatch). Results are meaningless (not unsafe) if it was produced
+    /// by a max-product sweep.
+    pub fn marginal_numerators(&self, retained: &RetainedSweep) -> Vec<(VarId, f64)> {
+        assert_eq!(
+            retained.tables.len(),
+            self.nodes.len(),
+            "retained sweep belongs to a different plan"
+        );
+        let slab = &retained.slab;
+        let mut numerators = vec![0.0f64; self.var_of_slot.len()];
+        let mut down: Vec<Vec<f64>> = vec![Vec::new(); self.nodes.len()];
+
+        // Seed the root: D is the product of the root-bag input weights.
+        let root_len = self.nodes[self.root].table_len;
+        let mut d_root = vec![1.0f64; root_len];
+        for (mask, d) in d_root.iter_mut().enumerate() {
+            for &(pos, slot) in &self.root_inputs {
+                let bit = (mask as u64 >> pos) & 1;
+                *d *= slab[slot as usize * 2 + bit as usize];
+            }
+        }
+        for &(pos, slot) in &self.root_inputs {
+            let mut numerator = 0.0;
+            for (mask, (&u, &d)) in retained.tables[self.root].iter().zip(&d_root).enumerate() {
+                if (mask >> pos) & 1 == 1 {
+                    numerator += u * d;
+                }
+            }
+            numerators[slot as usize] = numerator;
+        }
+        down[self.root] = d_root;
+
+        // Reverse traversal: parents have larger indices than children, so a
+        // descending scan sees every node's D before its children need it.
+        for idx in (0..self.nodes.len()).rev() {
+            let d_here = std::mem::take(&mut down[idx]);
+            if d_here.is_empty() {
+                continue; // not reachable from the root (never for built plans)
+            }
+            match self.nodes[idx].op {
+                PlanOp::Leaf => {}
+                PlanOp::Introduce {
+                    child,
+                    low_mask,
+                    intro_pos: _,
+                    checks_start,
+                    checks_len,
+                } => {
+                    let checks =
+                        &self.checks[checks_start as usize..(checks_start + checks_len) as usize];
+                    let mut d_child = vec![0.0f64; self.nodes[child].table_len];
+                    for (mask, &d) in d_here.iter().enumerate() {
+                        if d == 0.0 {
+                            continue;
+                        }
+                        let mask = mask as u64;
+                        if checks.iter().all(|c| c.passes(mask)) {
+                            let projected = (mask & low_mask) | ((mask >> 1) & !low_mask);
+                            d_child[projected as usize] += d;
+                        }
+                    }
+                    down[child] = d_child;
+                }
+                PlanOp::Forget {
+                    child,
+                    low_mask,
+                    forget_pos,
+                    multiplier_slot,
+                } => {
+                    let mut d_child = vec![0.0f64; self.nodes[child].table_len];
+                    for (child_mask, d) in d_child.iter_mut().enumerate() {
+                        let child_mask = child_mask as u64;
+                        let value = (child_mask >> forget_pos) & 1;
+                        let projected = (child_mask & low_mask) | ((child_mask >> 1) & !low_mask);
+                        let multiplier = if multiplier_slot == u32::MAX {
+                            1.0
+                        } else {
+                            slab[multiplier_slot as usize * 2 + value as usize]
+                        };
+                        *d = multiplier * d_here[projected as usize];
+                    }
+                    if multiplier_slot != u32::MAX {
+                        let mut numerator = 0.0;
+                        for (child_mask, (&u, &d)) in
+                            retained.tables[child].iter().zip(&d_child).enumerate()
+                        {
+                            if (child_mask >> forget_pos) & 1 == 1 {
+                                numerator += u * d;
+                            }
+                        }
+                        numerators[multiplier_slot as usize] = numerator;
+                    }
+                    down[child] = d_child;
+                }
+                PlanOp::Join { left, right } => {
+                    let u_left = &retained.tables[left];
+                    let u_right = &retained.tables[right];
+                    let mut d_left = vec![0.0f64; u_left.len()];
+                    let mut d_right = vec![0.0f64; u_right.len()];
+                    for (mask, &d) in d_here.iter().enumerate() {
+                        if d == 0.0 {
+                            continue;
+                        }
+                        d_left[mask] = u_right[mask] * d;
+                        d_right[mask] = u_left[mask] * d;
+                    }
+                    down[left] = d_left;
+                    down[right] = d_right;
+                }
+            }
+        }
+
+        self.var_of_slot.iter().copied().zip(numerators).collect()
+    }
+
+    /// Top-down descent through the retained tables, decoding one concrete
+    /// assignment of every input variable. At the root, `choose` picks a
+    /// bag mask from the full weighted root table; at every Forget edge it
+    /// picks the forgotten gate's value from the two branch weights. The
+    /// weights handed to `choose` are unnormalised and non-negative, and
+    /// whenever their sum is positive at the root it stays positive at
+    /// every later choice point, so a chooser that only ever selects a
+    /// positive-weight index decodes a consistent, query-satisfying world.
+    ///
+    /// Two choosers give the two inference modes:
+    /// * a weighted random draw over sum-product tables samples worlds
+    ///   exactly proportional to their probability (conditioned on the
+    ///   output being true);
+    /// * an argmax over max-product tables decodes the most probable world
+    ///   (the Viterbi backtrace).
+    ///
+    /// Returns the `(variable, value)` assignment in slot order.
+    ///
+    /// Repeated descents over one retained sweep (a sampler drawing many
+    /// worlds) should precompute [`SweepPlan::weighted_root_table`] once
+    /// and call [`SweepPlan::descend_with_root`]; this convenience wrapper
+    /// rebuilds the weighted root table per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retained` was produced by a different plan, or if
+    /// `choose` returns an out-of-range index.
+    pub fn descend(
+        &self,
+        retained: &RetainedSweep,
+        choose: &mut dyn FnMut(&[f64]) -> usize,
+    ) -> Vec<(VarId, bool)> {
+        let weighted = self.weighted_root_table(retained);
+        self.descend_with_root(retained, &weighted, choose)
+    }
+
+    /// The root table with the root-bag input weights multiplied in — the
+    /// distribution the descent's root choice is made over. Depends only on
+    /// the retained sweep, so callers descending many times compute it
+    /// once.
+    pub fn weighted_root_table(&self, retained: &RetainedSweep) -> Vec<f64> {
+        assert_eq!(
+            retained.tables.len(),
+            self.nodes.len(),
+            "retained sweep belongs to a different plan"
+        );
+        let slab = &retained.slab;
+        retained.tables[self.root]
+            .iter()
+            .enumerate()
+            .map(|(mask, &u)| {
+                let mut w = u;
+                for &(pos, slot) in &self.root_inputs {
+                    let bit = (mask as u64 >> pos) & 1;
+                    w *= slab[slot as usize * 2 + bit as usize];
+                }
+                w
+            })
+            .collect()
+    }
+
+    /// [`SweepPlan::descend`] with the weighted root table supplied by the
+    /// caller (see [`SweepPlan::weighted_root_table`]): the per-descent
+    /// cost is then O(plan nodes), with no per-call root-table rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retained` or `root_weights` belong to a different plan
+    /// (or sweep), or if `choose` returns an out-of-range index.
+    pub fn descend_with_root(
+        &self,
+        retained: &RetainedSweep,
+        root_weights: &[f64],
+        choose: &mut dyn FnMut(&[f64]) -> usize,
+    ) -> Vec<(VarId, bool)> {
+        assert_eq!(
+            retained.tables.len(),
+            self.nodes.len(),
+            "retained sweep belongs to a different plan"
+        );
+        assert_eq!(
+            root_weights.len(),
+            self.nodes[self.root].table_len,
+            "root weights belong to a different plan"
+        );
+        let slab = &retained.slab;
+        let mut values = vec![false; self.var_of_slot.len()];
+        let mut masks: Vec<Option<u64>> = vec![None; self.nodes.len()];
+
+        // Root choice over the root-input-weighted table.
+        let root_mask = choose(root_weights);
+        assert!(root_mask < root_weights.len(), "chooser index out of range");
+        let root_mask = root_mask as u64;
+        masks[self.root] = Some(root_mask);
+        for &(pos, slot) in &self.root_inputs {
+            values[slot as usize] = (root_mask >> pos) & 1 == 1;
+        }
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(mask) = masks[idx] else { continue };
+            match self.nodes[idx].op {
+                PlanOp::Leaf => {}
+                PlanOp::Introduce {
+                    child, low_mask, ..
+                } => {
+                    masks[child] = Some((mask & low_mask) | ((mask >> 1) & !low_mask));
+                }
+                PlanOp::Forget {
+                    child,
+                    low_mask,
+                    forget_pos,
+                    multiplier_slot,
+                } => {
+                    let base = (mask & low_mask) | ((mask & !low_mask) << 1);
+                    let child_table = &retained.tables[child];
+                    let branch = |value: u64| {
+                        let multiplier = if multiplier_slot == u32::MAX {
+                            1.0
+                        } else {
+                            slab[multiplier_slot as usize * 2 + value as usize]
+                        };
+                        child_table[(base | (value << forget_pos)) as usize] * multiplier
+                    };
+                    let picked = choose(&[branch(0), branch(1)]);
+                    assert!(picked < 2, "chooser index out of range");
+                    let picked = picked as u64;
+                    masks[child] = Some(base | (picked << forget_pos));
+                    if multiplier_slot != u32::MAX {
+                        values[multiplier_slot as usize] = picked == 1;
+                    }
+                }
+                PlanOp::Join { left, right } => {
+                    masks[left] = Some(mask);
+                    masks[right] = Some(mask);
+                }
+            }
+        }
+
+        self.var_of_slot.iter().copied().zip(values).collect()
+    }
+}
+
+/// The output of a table-retaining sweep ([`SweepPlan::run_retained`]): one
+/// dense table per nice node, the resolved weight slab, and the root
+/// aggregate (the evidence mass `Z` under [`SumProduct`], the best-world
+/// weight under [`MaxProduct`]). Consumed by the backward marginal pass and
+/// by top-down descents; must only be used with the plan that produced it.
+#[derive(Debug, Clone)]
+pub struct RetainedSweep {
+    /// Upward message table of every plan node, indexed by node.
+    tables: Vec<Vec<f64>>,
+    /// `[w_false, w_true]` per variable slot, resolved once at sweep start.
+    slab: Vec<f64>,
+    /// Root aggregate in the sweep's semiring.
+    value: f64,
+}
+
+impl RetainedSweep {
+    /// The root aggregate: total weight of consistent output-true
+    /// assignments (sum-product) or the heaviest one (max-product).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of dense tables kept alive — one per nice node.
+    pub fn tables_retained(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total `f64` entries across all retained tables (memory footprint in
+    /// units of 8 bytes, slab excluded).
+    pub fn table_entries(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
     }
 }
 
@@ -709,6 +1174,105 @@ mod tests {
         assert!(!plan.is_empty());
         assert!(plan.slot_count() >= 1);
         assert!(plan.len() > 1);
+    }
+
+    #[test]
+    fn retained_sweep_value_matches_arena_run_bitwise() {
+        for seed in 0..10 {
+            let circuit = builder::random_circuit(8, 14, seed);
+            let weights = Weights::uniform(circuit.variables(), 0.45);
+            let (_, plan) = plan_for(&circuit);
+            let mut arena = SweepArena::new();
+            let run = plan.run(&weights, &mut arena).unwrap();
+            let retained = plan.run_retained::<SumProduct>(&weights).unwrap();
+            assert_eq!(
+                run.to_bits(),
+                retained.value().to_bits(),
+                "retention must not change the arithmetic"
+            );
+            assert_eq!(retained.tables_retained(), plan.len());
+            assert!(retained.table_entries() >= plan.len());
+        }
+    }
+
+    #[test]
+    fn max_product_run_matches_brute_force_best_world() {
+        use crate::circuit::VarId as V;
+        use std::collections::BTreeMap;
+        for seed in 0..12 {
+            let circuit = builder::random_circuit(6, 10, seed);
+            let vars: Vec<V> = circuit.variables().into_iter().collect();
+            let mut weights = Weights::new();
+            for (i, &v) in vars.iter().enumerate() {
+                weights.set(v, 0.2 + 0.09 * ((seed as usize + i) % 7) as f64);
+            }
+            let mut best = 0.0f64;
+            for mask in 0u64..(1 << vars.len()) {
+                let assignment: BTreeMap<V, bool> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, (mask >> i) & 1 == 1))
+                    .collect();
+                if !circuit.evaluate(&assignment).unwrap() {
+                    continue;
+                }
+                let w: f64 = assignment
+                    .iter()
+                    .map(|(&v, &b)| weights.weight(v, b).unwrap())
+                    .product();
+                best = best.max(w);
+            }
+            let (_, plan) = plan_for(&circuit);
+            let mpe = plan
+                .run_in::<MaxProduct>(&weights, &mut SweepArena::new())
+                .unwrap();
+            assert_close(mpe, best);
+            // The retained max-product sweep agrees, and an argmax descent
+            // decodes a world of exactly that weight.
+            let retained = plan.run_retained::<MaxProduct>(&weights).unwrap();
+            assert_close(retained.value(), best);
+            if best > 0.0 {
+                let mut argmax = |ws: &[f64]| {
+                    let mut top = 0;
+                    for (i, &w) in ws.iter().enumerate() {
+                        if w > ws[top] {
+                            top = i;
+                        }
+                    }
+                    top
+                };
+                let decoded = plan.descend(&retained, &mut argmax);
+                let w: f64 = decoded
+                    .iter()
+                    .map(|&(v, b)| weights.weight(v, b).unwrap())
+                    .product();
+                assert_close(w, best);
+                let assignment: BTreeMap<V, bool> = decoded.into_iter().collect();
+                assert!(circuit.evaluate(&assignment).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn backward_pass_numerators_match_conditioned_sweeps() {
+        for seed in 0..10 {
+            let circuit = builder::random_circuit(7, 12, seed);
+            let weights = Weights::uniform(circuit.variables(), 0.4);
+            let (_, plan) = plan_for(&circuit);
+            let retained = plan.run_retained::<SumProduct>(&weights).unwrap();
+            let numerators = plan.marginal_numerators(&retained);
+            assert_eq!(numerators.len(), circuit.variables().len());
+            let mut arena = SweepArena::new();
+            for (v, numerator) in numerators {
+                // Conditioned reference: fix v true (weight 1) and scale by
+                // its prior.
+                let prior = weights.weight(v, true).unwrap();
+                let mut fixed = weights.clone();
+                fixed.fix(v, true);
+                let conditioned = plan.run(&fixed, &mut arena).unwrap();
+                assert_close(numerator, prior * conditioned);
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,12 @@ stuc_errors::stuc_error! {
         /// The decomposition found for the circuit graph is too wide for the
         /// configured bag-size limit: the instance is not (recognisably)
         /// structurally tractable, so another back-end should be used.
-        WidthTooLarge { width: usize, limit: usize },
+        WidthTooLarge {
+            /// Width of the decomposition that was found.
+            width: usize,
+            /// The configured bag-size limit it exceeds.
+            limit: usize,
+        },
         /// An underlying circuit error.
         Circuit(CircuitError),
     }

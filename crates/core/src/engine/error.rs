@@ -19,6 +19,7 @@ use stuc_data::formula::FormulaParseError;
 use stuc_data::worlds::WorldError;
 use stuc_graph::decomposition::DecompositionError;
 use stuc_incr::UpdateError;
+use stuc_infer::InferError;
 use stuc_prxml::constraints::PrxmlConstraintError;
 use stuc_prxml::queries::PrxmlQueryError;
 use stuc_query::cq::QueryParseError;
@@ -78,6 +79,9 @@ stuc_errors::stuc_error! {
         Probability(ProbabilityError),
         /// An incremental update delta was rejected.
         Update(UpdateError),
+        /// A posterior-inference task (marginals, sampling,
+        /// most-probable-world) could not run.
+        Infer(InferError),
     }
     display {
         Self::Decomposition(e) => "{e}",
@@ -99,6 +103,7 @@ stuc_errors::stuc_error! {
         Self::MissingProbabilities { representation } => "{representation} carries no event probabilities",
         Self::Probability(e) => "{e}",
         Self::Update(e) => "{e}",
+        Self::Infer(e) => "{e}",
     }
     from {
         DecompositionError => Decomposition,
@@ -118,6 +123,7 @@ stuc_errors::stuc_error! {
         PrxmlConstraintError => PrxmlConstraint,
         ProbabilityError => Probability,
         UpdateError => Update,
+        InferError => Infer,
     }
 }
 

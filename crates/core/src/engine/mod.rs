@@ -28,6 +28,12 @@
 //! * [`Engine::reevaluate_with_weights`] — the what-if fast path: re-runs a
 //!   previously evaluated query under a different weight table, reusing the
 //!   cached compiled lineage so only the counting sweep is paid.
+//! * [`Engine::marginals`] / [`Engine::sample_worlds`] /
+//!   [`Engine::most_probable_world`] — the posterior-inference modes
+//!   (`stuc-infer`): all-fact marginals in one backward sweep, exact world
+//!   sampling by top-down descent, and max-product most-probable-world.
+//!   All three run on the same cached compiled lineage as the counting
+//!   modes and return an [`InferenceReport`].
 //! * [`StucError`] — the single error enum every per-crate error converts
 //!   into.
 //!
@@ -76,6 +82,9 @@ pub use error::StucError;
 pub use report::{BackendKind, BackendPolicy, BatchReport, EvaluationReport};
 pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
 pub use stuc_incr::{Delta, DeltaOp, Updatable, UpdateLog};
+pub use stuc_infer::{
+    InferError, InferenceReport, Marginals, MostProbableWorld, SampledWorlds, World, WorldSampler,
+};
 pub use update::UpdateReport;
 
 use representation::{fingerprint_debug, fingerprint_debug_pair_with, FNV_OFFSET_BASIS};
@@ -614,6 +623,164 @@ impl Engine {
                 )
             })
             .collect())
+    }
+
+    /// Posterior marginals `P(fact | query)` of **every** fact variable, in
+    /// one backward (outward) sweep over the compiled lineage — the first
+    /// of the engine's three posterior-inference modes (see also
+    /// [`Engine::sample_worlds`] and [`Engine::most_probable_world`]).
+    ///
+    /// Where n conditioned evaluations would pay n counting sweeps, the
+    /// backward pass retains the upward sweep's node tables and reads off
+    /// all n unnormalised marginals in a single reverse traversal: ~2–3×
+    /// one WMC sweep in total. Fact variables the lineage never mentions
+    /// are independent of the query and report their prior. The compiled
+    /// lineage is shared with every other evaluation mode through the
+    /// engine's lineage cache, so a warm what-if workload gets marginals
+    /// for just the sweeps.
+    ///
+    /// Fails with [`StucError::Infer`] when `P(query) = 0` (the posterior
+    /// is undefined) and refuses under a fixed safe-plan policy (no circuit
+    /// is ever built there).
+    ///
+    /// ```
+    /// use stuc_core::engine::Engine;
+    /// use stuc_core::workloads;
+    /// use stuc_query::cq::ConjunctiveQuery;
+    ///
+    /// let tid = workloads::path_tid(5, 0.5, 7);
+    /// let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    /// let engine = Engine::new();
+    /// let marginals = engine.marginals(&tid, &query).unwrap();
+    /// assert_eq!(marginals.len(), tid.fact_count());
+    /// // Every fact is at least as likely once we know the query holds.
+    /// for (v, posterior) in marginals.iter() {
+    ///     assert!(posterior + 1e-9 >= tid.fact_weights().get(v).unwrap());
+    /// }
+    /// assert_eq!(marginals.report.sweeps_run, 2);
+    /// ```
+    pub fn marginals<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> Result<Marginals, StucError> {
+        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
+        let mut result =
+            stuc_infer::marginals(&entry.compiled, &weights, self.config.width_budget)?;
+        result.report.lineage_cached = lineage_cached;
+        Ok(result)
+    }
+
+    /// Draws `count` i.i.d. possible worlds **exactly** proportional to
+    /// their probability, conditioned on the query holding — no Markov
+    /// chain, no rejection. One table-retaining sweep is paid up front;
+    /// each world is then a cheap top-down descent. Deterministic per
+    /// `seed` ([`rand::rngs::SplitMix64`]).
+    ///
+    /// For a long-lived sampler that amortises the sweep across many
+    /// batches, use [`Engine::world_sampler`].
+    ///
+    /// ```
+    /// use stuc_core::engine::Engine;
+    /// use stuc_core::workloads;
+    /// use stuc_query::cq::ConjunctiveQuery;
+    ///
+    /// let tid = workloads::path_tid(5, 0.5, 7);
+    /// let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    /// let engine = Engine::new();
+    /// let sampled = engine.sample_worlds(&tid, &query, 100, 42).unwrap();
+    /// assert_eq!(sampled.worlds.len(), 100);
+    /// let lineage = engine.lineage(&tid, &query).unwrap();
+    /// for world in &sampled.worlds {
+    ///     assert!(world.satisfies(&lineage).unwrap()); // query holds in every draw
+    /// }
+    /// ```
+    pub fn sample_worlds<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        count: usize,
+        seed: u64,
+    ) -> Result<SampledWorlds, StucError> {
+        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
+        let mut result = stuc_infer::sample_worlds(
+            &entry.compiled,
+            &weights,
+            self.config.width_budget,
+            count,
+            seed,
+        )?;
+        result.report.lineage_cached = lineage_cached;
+        Ok(result)
+    }
+
+    /// Builds a reusable exact [`WorldSampler`] for `(representation,
+    /// query)`: the streaming twin of [`Engine::sample_worlds`]. The
+    /// sampler owns its retained tables and RNG stream, so it keeps drawing
+    /// (and replaying, given the same `seed`) without touching the engine
+    /// again.
+    pub fn world_sampler<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        seed: u64,
+    ) -> Result<WorldSampler, StucError> {
+        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
+        let mut sampler =
+            WorldSampler::new(&entry.compiled, &weights, self.config.width_budget, seed)?;
+        sampler.report_mut().lineage_cached = lineage_cached;
+        Ok(sampler)
+    }
+
+    /// The single most probable world in which the query holds, and its
+    /// probability — the max-product (Viterbi) variant of the counting
+    /// sweep, decoded by an argmax descent over the retained tables.
+    ///
+    /// ```
+    /// use stuc_core::engine::Engine;
+    /// use stuc_core::workloads;
+    /// use stuc_query::cq::ConjunctiveQuery;
+    ///
+    /// let tid = workloads::path_tid(5, 0.5, 7);
+    /// let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    /// let engine = Engine::new();
+    /// let mpe = engine.most_probable_world(&tid, &query).unwrap();
+    /// let lineage = engine.lineage(&tid, &query).unwrap();
+    /// assert!(mpe.world.satisfies(&lineage).unwrap());
+    /// assert!(mpe.probability > 0.0);
+    /// ```
+    pub fn most_probable_world<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> Result<MostProbableWorld, StucError> {
+        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
+        let mut result =
+            stuc_infer::most_probable_world(&entry.compiled, &weights, self.config.width_budget)?;
+        result.report.lineage_cached = lineage_cached;
+        Ok(result)
+    }
+
+    /// Shared entry of the posterior-inference modes: refuse the (circuitless)
+    /// fixed safe-plan policy, then fetch the compiled lineage — served from
+    /// the same cache as every counting mode — and the representation's
+    /// weights.
+    fn inference_input<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> Result<(Arc<CompiledLineage>, Weights, bool), StucError> {
+        if self.config.policy == BackendPolicy::Fixed(BackendKind::SafePlan) {
+            return Err(StucError::BackendUnsupported {
+                backend: BackendKind::SafePlan.name(),
+                reason: "posterior inference (marginals, sampling, most-probable-world) runs on \
+                         the lineage circuit; the extensional safe plan never builds one"
+                    .into(),
+            });
+        }
+        let (entry, flags) = self.compiled_lineage(representation, query)?;
+        let weights = representation.weights()?;
+        Ok((entry, weights, flags.lineage_cached))
     }
 
     fn evaluate_inner<R: Representation + ?Sized>(

@@ -1,0 +1,123 @@
+//! Concrete possible worlds: one Boolean value per fact variable.
+
+use std::collections::BTreeMap;
+use stuc_circuit::circuit::{Circuit, CircuitError, VarId};
+use stuc_circuit::weights::Weights;
+
+/// One possible world: a total assignment of the fact (event) variables.
+///
+/// Produced by the exact sampler ([`crate::WorldSampler`]) and the
+/// most-probable-world decoder ([`crate::most_probable_world`]); `true`
+/// means the fact is present in the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct World {
+    values: BTreeMap<VarId, bool>,
+}
+
+impl World {
+    /// A world from explicit `(variable, value)` pairs; later duplicates
+    /// overwrite earlier ones.
+    pub fn from_values(values: impl IntoIterator<Item = (VarId, bool)>) -> Self {
+        World {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// The value of `v`, if this world assigns one.
+    pub fn get(&self, v: VarId) -> Option<bool> {
+        self.values.get(&v).copied()
+    }
+
+    /// True when `v` is assigned `true` (absent variables count as false —
+    /// the closed-world reading of a sampled instance).
+    pub fn is_present(&self, v: VarId) -> bool {
+        self.get(v).unwrap_or(false)
+    }
+
+    /// The variables assigned `true`, in increasing order — the facts of
+    /// the sampled instance.
+    pub fn present(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.values.iter().filter_map(|(&v, &b)| b.then_some(v))
+    }
+
+    /// Iterator over every `(variable, value)` pair, in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, bool)> + '_ {
+        self.values.iter().map(|(&v, &b)| (v, b))
+    }
+
+    /// The full assignment as a map, the shape
+    /// [`Circuit::evaluate`] consumes.
+    pub fn values(&self) -> &BTreeMap<VarId, bool> {
+        &self.values
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the world assigns no variable at all.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The world's prior probability: the product of `w(v, value)` over
+    /// every assigned variable. Fails if `weights` misses one of them.
+    pub fn probability(&self, weights: &Weights) -> Result<f64, CircuitError> {
+        let mut p = 1.0;
+        for (&v, &value) in &self.values {
+            p *= weights.weight(v, value)?;
+        }
+        Ok(p)
+    }
+
+    /// Whether the world satisfies `circuit` (evaluates its output to
+    /// true). Fails if the circuit reads a variable this world leaves
+    /// unassigned.
+    pub fn satisfies(&self, circuit: &Circuit) -> Result<bool, CircuitError> {
+        circuit.evaluate(&self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_accessors_and_probability() {
+        let world = World::from_values([(VarId(0), true), (VarId(2), false), (VarId(5), true)]);
+        assert_eq!(world.len(), 3);
+        assert!(!world.is_empty());
+        assert_eq!(world.get(VarId(0)), Some(true));
+        assert_eq!(world.get(VarId(1)), None);
+        assert!(world.is_present(VarId(5)));
+        assert!(!world.is_present(VarId(2)));
+        assert!(!world.is_present(VarId(99)));
+        assert_eq!(
+            world.present().collect::<Vec<_>>(),
+            vec![VarId(0), VarId(5)]
+        );
+
+        let mut weights = Weights::new();
+        weights.set(VarId(0), 0.5);
+        weights.set(VarId(2), 0.25);
+        weights.set(VarId(5), 0.8);
+        let p = world.probability(&weights).unwrap();
+        assert!((p - 0.5 * 0.75 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfies_evaluates_the_circuit() {
+        let mut circuit = Circuit::new();
+        let x = circuit.add_input(VarId(0));
+        let y = circuit.add_input(VarId(1));
+        let and = circuit.add_and(vec![x, y]);
+        circuit.set_output(and);
+        let yes = World::from_values([(VarId(0), true), (VarId(1), true)]);
+        let no = World::from_values([(VarId(0), true), (VarId(1), false)]);
+        assert!(yes.satisfies(&circuit).unwrap());
+        assert!(!no.satisfies(&circuit).unwrap());
+        let partial = World::from_values([(VarId(0), true)]);
+        assert!(partial.satisfies(&circuit).is_err());
+    }
+}

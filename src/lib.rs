@@ -36,6 +36,10 @@
 //! * [`incr`] — incremental updates: typed [`Delta`] transactions, the
 //!   [`Updatable`] trait, delta-join match enumeration, replayable update
 //!   logs. [`Engine::apply_update`] wires them to the engine caches.
+//! * [`infer`] — posterior inference on compiled lineages: all-fact
+//!   marginals in one backward sweep ([`Engine::marginals`]), exact world
+//!   sampling ([`Engine::sample_worlds`]), and max-product
+//!   most-probable-world ([`Engine::most_probable_world`]).
 //! * [`core`] — the unified [`core::engine`] (plus the deprecated
 //!   pre-engine `TractablePipeline` shims and shared workload generators).
 //!
@@ -89,6 +93,7 @@ pub use stuc_core as core;
 pub use stuc_data as data;
 pub use stuc_graph as graph;
 pub use stuc_incr as incr;
+pub use stuc_infer as infer;
 pub use stuc_order as order;
 pub use stuc_prxml as prxml;
 pub use stuc_query as query;
@@ -96,5 +101,6 @@ pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
     Backend, BackendKind, BackendPolicy, BatchReport, Delta, DeltaOp, Engine, EngineBuilder,
-    EvaluationReport, ReprKind, Representation, StucError, Updatable, UpdateLog, UpdateReport,
+    EvaluationReport, InferenceReport, Marginals, MostProbableWorld, ReprKind, Representation,
+    SampledWorlds, StucError, Updatable, UpdateLog, UpdateReport, World, WorldSampler,
 };
