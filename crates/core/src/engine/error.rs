@@ -82,6 +82,16 @@ stuc_errors::stuc_error! {
         /// A posterior-inference task (marginals, sampling,
         /// most-probable-world) could not run.
         Infer(InferError),
+        /// The textual front-end rejected a program (syntax, safety, or
+        /// lowering).
+        Lang(stuc_lang::LangError),
+        /// `evaluate_text` was handed a program with inline fact statements;
+        /// the instance is supplied separately, so inline facts would be a
+        /// second, conflicting source of data.
+        TextFacts {
+            /// How many fact statements the rejected program declares.
+            count: usize,
+        },
     }
     display {
         Self::Decomposition(e) => "{e}",
@@ -104,6 +114,8 @@ stuc_errors::stuc_error! {
         Self::Probability(e) => "{e}",
         Self::Update(e) => "{e}",
         Self::Infer(e) => "{e}",
+        Self::Lang(e) => "{e}",
+        Self::TextFacts { count } => "program declares {count} inline fact(s), but evaluate_text evaluates against the instance passed in; build an instance from the facts with stuc_lang::lower::program_instance instead",
     }
     from {
         DecompositionError => Decomposition,
@@ -124,6 +136,14 @@ stuc_errors::stuc_error! {
         ProbabilityError => Probability,
         UpdateError => Update,
         InferError => Infer,
+    }
+}
+
+// `LangError` is flattened on the way in, so an unsafe query caught during
+// lowering surfaces identically whether analysis or lowering spotted it.
+impl From<stuc_lang::LangError> for StucError {
+    fn from(e: stuc_lang::LangError) -> Self {
+        StucError::Lang(e.flattened())
     }
 }
 

@@ -28,6 +28,11 @@
 //! * [`Engine::reevaluate_with_weights`] — the what-if fast path: re-runs a
 //!   previously evaluated query under a different weight table, reusing the
 //!   cached compiled lineage so only the counting sweep is paid.
+//! * [`Engine::evaluate_text`] — the textual front-end (`stuc-lang`): a
+//!   datalog/UCQ program is parsed, safety-checked and lowered to signed
+//!   sums of conjunctive queries, and a cost model routes each goal to the
+//!   safe plan or the compiled circuit, recorded in
+//!   [`EvaluationReport::route`].
 //! * [`Engine::marginals`] / [`Engine::sample_worlds`] /
 //!   [`Engine::most_probable_world`] — the posterior-inference modes
 //!   (`stuc-infer`): all-fact marginals in one backward sweep, exact world
@@ -73,6 +78,7 @@ pub mod batch;
 pub mod error;
 pub mod report;
 pub mod representation;
+pub mod text;
 pub mod update;
 
 pub use backend::{
@@ -85,6 +91,7 @@ pub use stuc_incr::{Delta, DeltaOp, Updatable, UpdateLog};
 pub use stuc_infer::{
     InferError, InferenceReport, Marginals, MostProbableWorld, SampledWorlds, World, WorldSampler,
 };
+pub use text::{GoalEvaluation, TextEvaluation};
 pub use update::UpdateReport;
 
 use representation::{fingerprint_debug, fingerprint_debug_pair_with, FNV_OFFSET_BASIS};
@@ -869,6 +876,22 @@ impl Engine {
             });
         }
 
+        self.evaluate_on_circuit(representation, query, weight_override, started, notes)
+    }
+
+    /// Stages 2–4 of an evaluation: compiled lineage → weights → counting
+    /// back-end. Shared by [`Engine::evaluate_inner`] (after its stage-1
+    /// extensional fast path) and by the textual front-end
+    /// ([`Engine::evaluate_text`]), whose cost model makes its own stage-1
+    /// decision per inclusion–exclusion term.
+    fn evaluate_on_circuit<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        weight_override: Option<&Weights>,
+        started: Instant,
+        mut notes: Vec<String>,
+    ) -> Result<EvaluationReport, StucError> {
         // Stages 2 + 3: fetch (or build) the compiled lineage — the
         // decomposition of the structure graph, the lineage circuit, and the
         // decomposition of the circuit graph, all weight-independent.
@@ -1023,6 +1046,35 @@ impl Engine {
         ))
     }
 
+    /// True when the lineage cache already holds a compiled circuit for
+    /// `(representation, query)` — the same dual-hash lookup
+    /// [`Engine::compiled_lineage`] performs, without building anything on a
+    /// miss. The textual front-end's cost model uses this to discount the
+    /// circuit route for already-compiled goals.
+    fn has_cached_lineage<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+    ) -> bool {
+        if !self.config.cache_lineages || self.config.cache_capacity == 0 {
+            return false;
+        }
+        let (instance_fp, instance_check) =
+            fingerprint_debug_pair_with(representation, FNV_OFFSET_BASIS, LINEAGE_CHECK_BASIS);
+        let query_repr = format!("{query:?}");
+        let key: LineageKey = (
+            instance_fp,
+            fingerprint_debug(&query_repr),
+            self.config.heuristic,
+        );
+        match self.lineage_cache.lock() {
+            Ok(cache) => cache.get(&key).is_some_and(|entry| {
+                entry.query_repr == query_repr && entry.instance_check == instance_check
+            }),
+            Err(_) => false,
+        }
+    }
+
     /// Builds (or fetches) the lineage circuit of a query without computing
     /// its probability — for callers that want to inspect, transform or
     /// re-weight the circuit themselves. Shares the engine's lineage cache.
@@ -1094,6 +1146,9 @@ impl Engine {
             decomposition_cached: cache_flags.decomposition_cached,
             lineage_cached: cache_flags.lineage_cached,
             notes,
+            // Only the textual front-end routes through the cost model;
+            // `Engine::evaluate_text` fills this in after the fact.
+            route: None,
         }
     }
 }

@@ -87,6 +87,11 @@ pub struct EvaluationReport {
     /// Human-readable trace of the strategy decisions taken (safe-plan
     /// refusals, width-budget fallbacks, lineage fallbacks).
     pub notes: Vec<String>,
+    /// The cost-model route chosen for this evaluation, when it came in
+    /// through the textual front-end ([`crate::engine::Engine::evaluate_text`]).
+    /// `None` for programmatic [`crate::engine::Engine::evaluate`] calls,
+    /// which bypass the cost model.
+    pub route: Option<stuc_lang::cost::Route>,
 }
 
 impl EvaluationReport {

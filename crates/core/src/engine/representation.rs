@@ -144,6 +144,14 @@ pub trait Representation: std::fmt::Debug {
         let _ = query;
         None
     }
+
+    /// Per-relation fact counts for the textual front-end's cost model
+    /// ([`stuc_lang::cost::CostModel`]). `None` for non-relational
+    /// representations, which makes the cost model fall back to zero
+    /// fan-ins (and hence to the structurally-determined route).
+    fn relation_stats(&self) -> Option<stuc_lang::cost::RelationStats> {
+        None
+    }
 }
 
 /// The standard FNV-1a 64-bit offset basis.
@@ -235,6 +243,12 @@ impl Representation for TidInstance {
     fn extensional<'a>(&'a self, query: &'a ConjunctiveQuery) -> Option<ExtensionalInput<'a>> {
         Some(ExtensionalInput { tid: self, query })
     }
+
+    fn relation_stats(&self) -> Option<stuc_lang::cost::RelationStats> {
+        Some(stuc_lang::cost::RelationStats::from_instance(
+            self.instance(),
+        ))
+    }
 }
 
 impl Representation for CInstance {
@@ -268,6 +282,12 @@ impl Representation for CInstance {
     /// [`CInstance::with_probabilities`] to get a pc-instance instead.
     fn weights(&self) -> Result<Weights, StucError> {
         Ok(Weights::uniform(self.events().variables(), 0.5))
+    }
+
+    fn relation_stats(&self) -> Option<stuc_lang::cost::RelationStats> {
+        Some(stuc_lang::cost::RelationStats::from_instance(
+            self.instance(),
+        ))
     }
 }
 
@@ -305,6 +325,12 @@ impl Representation for PcInstance {
         }
         Ok(self.probabilities().clone())
     }
+
+    fn relation_stats(&self) -> Option<stuc_lang::cost::RelationStats> {
+        Some(stuc_lang::cost::RelationStats::from_instance(
+            self.instance(),
+        ))
+    }
 }
 
 impl Representation for PccInstance {
@@ -334,6 +360,12 @@ impl Representation for PccInstance {
 
     fn weights(&self) -> Result<Weights, StucError> {
         Ok(self.probabilities().clone())
+    }
+
+    fn relation_stats(&self) -> Option<stuc_lang::cost::RelationStats> {
+        Some(stuc_lang::cost::RelationStats::from_instance(
+            self.instance(),
+        ))
     }
 }
 

@@ -1,0 +1,305 @@
+//! Semantic analysis: safety and well-formedness checks on the AST.
+//!
+//! These checks run between parsing and lowering, and report *spanned*
+//! diagnostics just like the parser does:
+//!
+//! * **facts** must be ground (no variables) and carry a probability in
+//!   `[0, 1]`;
+//! * **rules** must be range-restricted (every head variable bound by a
+//!   positive body atom) and contain no negation — rules feed the positive
+//!   datalog unfolder;
+//! * **goals** must be range-restricted per disjunct: every variable of a
+//!   negated atom must also occur in a positive atom of the *same*
+//!   conjunct, so the negation can be grounded before evaluation;
+//! * every relation must be used with one consistent **arity** across the
+//!   whole program (facts, rule heads, rule bodies, and goals alike).
+
+use crate::ast::{AtomAst, ConjunctAst, ProgramAst, RuleAst, UnionAst};
+use crate::lexer::Span;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+stuc_errors::stuc_error! {
+    /// A semantic (safety / well-formedness) violation, with its source span.
+    #[derive(Clone, PartialEq)]
+    pub enum SafetyError {
+        /// A fact atom contains a variable.
+        NonGroundFact {
+            /// The relation of the offending fact.
+            relation: String,
+            /// The first variable found in it.
+            variable: String,
+            /// Where the fact was written.
+            span: Span,
+        },
+        /// A fact probability lies outside `[0, 1]`.
+        InvalidProbability {
+            /// The offending value.
+            value: f64,
+            /// Where the probability literal was written.
+            span: Span,
+        },
+        /// A rule head variable is not bound by any positive body atom.
+        UnsafeRuleHead {
+            /// The unbound head variable.
+            variable: String,
+            /// Where the rule was written.
+            span: Span,
+        },
+        /// A rule body contains a negated literal.
+        NegationInRule {
+            /// The negated relation.
+            relation: String,
+            /// Where the negated literal was written.
+            span: Span,
+        },
+        /// A variable of a negated goal atom is not bound by a positive atom
+        /// of the same conjunct.
+        UnboundNegatedVariable {
+            /// The unbound variable.
+            variable: String,
+            /// The negated relation it appears in.
+            relation: String,
+            /// Where the negated literal was written.
+            span: Span,
+        },
+        /// A relation is used with two different arities.
+        ArityMismatch {
+            /// The relation name.
+            relation: String,
+            /// The arity of its first use.
+            expected: usize,
+            /// The conflicting arity.
+            found: usize,
+            /// Where the conflicting use was written.
+            span: Span,
+        },
+    }
+    display {
+        Self::NonGroundFact { relation, variable, span } =>
+            "fact for {relation} at {span} is not ground: variable {variable}",
+        Self::InvalidProbability { value, span } =>
+            "probability {value} at {span} is outside [0, 1]",
+        Self::UnsafeRuleHead { variable, span } =>
+            "unsafe rule at {span}: head variable {variable} is not bound by a positive body atom",
+        Self::NegationInRule { relation, span } =>
+            "rule at {span} negates {relation}: rules must be positive",
+        Self::UnboundNegatedVariable { variable, relation, span } =>
+            "negated atom {relation} at {span} uses variable {variable} not bound by a positive atom of the same conjunct",
+        Self::ArityMismatch { relation, expected, found, span } =>
+            "relation {relation} used with arity {found} at {span}, but previously with arity {expected}",
+    }
+}
+
+/// Tracks the arity each relation was first used with, so later uses can be
+/// checked for consistency. One table spans a whole program: facts, rules,
+/// and goals all share the relation namespace.
+#[derive(Debug, Default)]
+pub struct ArityTable {
+    arities: BTreeMap<String, usize>,
+}
+
+impl ArityTable {
+    /// Creates an empty table (all relations still unconstrained).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `atom`'s arity, or reports a mismatch with an earlier use.
+    pub fn check(&mut self, atom: &AtomAst) -> Result<(), SafetyError> {
+        let found = atom.args.len();
+        match self.arities.get(&atom.relation) {
+            Some(&expected) if expected != found => Err(SafetyError::ArityMismatch {
+                relation: atom.relation.clone(),
+                expected,
+                found,
+                span: atom.span,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.arities.insert(atom.relation.clone(), found);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Checks a whole program: facts, rules, then goals, in source order.
+pub fn check_program(program: &ProgramAst) -> Result<(), SafetyError> {
+    let mut arities = ArityTable::default();
+    for fact in program.facts() {
+        arities.check(&fact.atom)?;
+        if let Some(variable) = fact.atom.variables().first() {
+            return Err(SafetyError::NonGroundFact {
+                relation: fact.atom.relation.clone(),
+                variable: (*variable).to_string(),
+                span: fact.span,
+            });
+        }
+        if !(0.0..=1.0).contains(&fact.probability) {
+            return Err(SafetyError::InvalidProbability {
+                value: fact.probability,
+                span: fact.probability_span,
+            });
+        }
+    }
+    for rule in program.rules() {
+        check_rule(rule, &mut arities)?;
+    }
+    for query in program.queries() {
+        check_goal_with(&query.goal, &mut arities)?;
+    }
+    Ok(())
+}
+
+/// Checks one rule: arities, positivity, and range restriction of the head.
+pub fn check_rule(rule: &RuleAst, arities: &mut ArityTable) -> Result<(), SafetyError> {
+    arities.check(&rule.head)?;
+    for literal in &rule.body.literals {
+        arities.check(&literal.atom)?;
+        if literal.negated {
+            return Err(SafetyError::NegationInRule {
+                relation: literal.atom.relation.clone(),
+                span: literal.span,
+            });
+        }
+    }
+    let body_variables: BTreeSet<&str> = rule
+        .body
+        .positive()
+        .flat_map(|atom| atom.variables())
+        .collect();
+    for variable in rule.head.variables() {
+        if !body_variables.contains(variable) {
+            return Err(SafetyError::UnsafeRuleHead {
+                variable: variable.to_string(),
+                span: rule.span,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a goal (a union of conjunctions) against fresh arity state.
+/// Convenience for callers that validate a goal outside a whole program.
+pub fn check_goal(goal: &UnionAst) -> Result<(), SafetyError> {
+    check_goal_with(goal, &mut ArityTable::default())
+}
+
+/// Checks a goal against an existing arity table (shared with the rules the
+/// goal will be unfolded through).
+pub fn check_goal_with(goal: &UnionAst, arities: &mut ArityTable) -> Result<(), SafetyError> {
+    for disjunct in &goal.disjuncts {
+        check_conjunct(disjunct, arities)?;
+    }
+    Ok(())
+}
+
+fn check_conjunct(conjunct: &ConjunctAst, arities: &mut ArityTable) -> Result<(), SafetyError> {
+    for literal in &conjunct.literals {
+        arities.check(&literal.atom)?;
+    }
+    let positive_variables: BTreeSet<&str> = conjunct
+        .positive()
+        .flat_map(|atom| atom.variables())
+        .collect();
+    for literal in conjunct.negated() {
+        for variable in literal.atom.variables() {
+            if !positive_variables.contains(variable) {
+                return Err(SafetyError::UnboundNegatedVariable {
+                    variable: variable.to_string(),
+                    relation: literal.atom.relation.clone(),
+                    span: literal.span,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(src: &str) -> Result<(), SafetyError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn well_formed_program_passes() {
+        check(
+            "0.5 :: R(\"a\", \"b\").\n\
+             Hop(x, z) :- R(x, y), R(y, z).\n\
+             ?- Hop(x, z), !R(x, z).",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn non_ground_facts_are_rejected() {
+        let error = check("0.5 :: R(x, \"b\").").unwrap_err();
+        assert!(
+            matches!(error, SafetyError::NonGroundFact { ref variable, .. } if variable == "x")
+        );
+    }
+
+    #[test]
+    fn probabilities_outside_unit_interval_are_rejected() {
+        let error = check("1.5 :: R(\"a\").").unwrap_err();
+        assert!(matches!(error, SafetyError::InvalidProbability { .. }));
+        assert!(error.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn unsafe_rule_heads_are_rejected() {
+        let error = check("Head(x, z) :- Body(x, y).").unwrap_err();
+        assert!(
+            matches!(error, SafetyError::UnsafeRuleHead { ref variable, .. } if variable == "z")
+        );
+    }
+
+    #[test]
+    fn negation_in_rules_is_rejected() {
+        let error = check("Head(x) :- Body(x), !Bad(x).").unwrap_err();
+        assert!(matches!(error, SafetyError::NegationInRule { .. }));
+    }
+
+    #[test]
+    fn unbound_negated_variables_are_rejected() {
+        let error = check("?- R(x), !S(y).").unwrap_err();
+        assert!(
+            matches!(error, SafetyError::UnboundNegatedVariable { ref variable, .. } if variable == "y")
+        );
+        // Bound in a *different* disjunct does not help.
+        assert!(check("?- S(y); R(x), !S(y).").is_err());
+        // Bound in the same conjunct is fine.
+        check("?- R(y), !S(y).").unwrap();
+        // Ground negation needs no binding at all.
+        check("?- !S(\"a\").").unwrap();
+    }
+
+    #[test]
+    fn arity_mismatches_are_caught_across_statement_kinds() {
+        let error = check("0.5 :: R(\"a\", \"b\").\n?- R(x).").unwrap_err();
+        assert!(matches!(
+            error,
+            SafetyError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+        let error = check("Head(x) :- R(x, y).\nHead(x, y) :- R(x, y).").unwrap_err();
+        assert!(matches!(error, SafetyError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_construct() {
+        let error = check("?- R(x),\n   !S(y).").unwrap_err();
+        let SafetyError::UnboundNegatedVariable { span, .. } = error else {
+            panic!("wrong error kind");
+        };
+        assert_eq!(span.line, 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! The spanned abstract syntax tree of the stuc surface language, and its
+//! pretty-printer.
+//!
+//! Every node carries the [`Span`] it was parsed from, so semantic errors
+//! (safety violations, unsupported constructs) point at source positions
+//! just like parse errors do. The `Display` implementations print a
+//! *canonical* rendering — one space after commas, `?-` before every goal,
+//! a trailing `.` after every statement — chosen so that printing is
+//! idempotent under re-parsing: `print ∘ parse ∘ print = print` (the
+//! round-trip property tests in the crate pin this down).
+
+use crate::lexer::Span;
+use std::fmt;
+
+/// A term of an atom: a variable or a constant.
+///
+/// Following the workspace-wide convention of [`stuc_query::cq`], a bare
+/// identifier is a **variable** and a quoted string is a **constant**;
+/// numeric literals in term position are constants too (their lexeme is the
+/// constant name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermAst {
+    /// A variable, named by a bare identifier.
+    Var(String),
+    /// A constant, written quoted (or as a number).
+    Const(String),
+}
+
+impl TermAst {
+    /// The variable name, if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            TermAst::Var(name) => Some(name),
+            TermAst::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for TermAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermAst::Var(name) => f.write_str(name),
+            TermAst::Const(name) => write!(f, "\"{name}\""),
+        }
+    }
+}
+
+/// A term together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTerm {
+    /// The term.
+    pub term: TermAst,
+    /// Where it was parsed from.
+    pub span: Span,
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomAst {
+    /// The relation name.
+    pub relation: String,
+    /// The argument terms.
+    pub args: Vec<SpannedTerm>,
+    /// The span of the whole atom.
+    pub span: Span,
+}
+
+impl AtomAst {
+    /// The variables of the atom, in order of first occurrence.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for arg in &self.args {
+            if let Some(name) = arg.term.as_var() {
+                if !seen.contains(&name) {
+                    seen.push(name);
+                }
+            }
+        }
+        seen
+    }
+
+    /// True when every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|a| a.term.as_var().is_none())
+    }
+}
+
+impl fmt::Display for AtomAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, arg) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", arg.term)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A literal: an atom, possibly negated (`!R(…)` / `not R(…)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiteralAst {
+    /// True for a negated occurrence.
+    pub negated: bool,
+    /// The underlying atom.
+    pub atom: AtomAst,
+    /// The span of the literal (including the negation marker).
+    pub span: Span,
+}
+
+impl fmt::Display for LiteralAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            f.write_str("!")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A conjunction of literals, `L₁, …, Lₙ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctAst {
+    /// The literals, in source order.
+    pub literals: Vec<LiteralAst>,
+    /// The span of the whole conjunction.
+    pub span: Span,
+}
+
+impl ConjunctAst {
+    /// The positive literals' atoms.
+    pub fn positive(&self) -> impl Iterator<Item = &AtomAst> {
+        self.literals.iter().filter(|l| !l.negated).map(|l| &l.atom)
+    }
+
+    /// The negated literals.
+    pub fn negated(&self) -> impl Iterator<Item = &LiteralAst> {
+        self.literals.iter().filter(|l| l.negated)
+    }
+}
+
+impl fmt::Display for ConjunctAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, literal) in self.literals.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{literal}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union (disjunction) of conjunctions, `C₁; …; Cₖ` — a UCQ body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionAst {
+    /// The disjuncts, in source order. Each disjunct is independently
+    /// existentially quantified (UCQ semantics).
+    pub disjuncts: Vec<ConjunctAst>,
+    /// The span of the whole union.
+    pub span: Span,
+}
+
+impl fmt::Display for UnionAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, disjunct) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{disjunct}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rule `Head(…) :- Body₁(…), …, Bodyₙ(…).`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleAst {
+    /// The head atom (the derived fact pattern).
+    pub head: AtomAst,
+    /// The body conjunction.
+    pub body: ConjunctAst,
+    /// The span of the whole rule.
+    pub span: Span,
+}
+
+impl fmt::Display for RuleAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- {}.", self.head, self.body)
+    }
+}
+
+/// A probabilistic fact `p :: R(c₁, …, cₖ).`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactAst {
+    /// The probability of the fact.
+    pub probability: f64,
+    /// The span of the probability literal.
+    pub probability_span: Span,
+    /// The ground atom.
+    pub atom: AtomAst,
+    /// The span of the whole statement.
+    pub span: Span,
+}
+
+impl fmt::Display for FactAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :: {}.", self.probability, self.atom)
+    }
+}
+
+/// A query goal `?- C₁; …; Cₖ.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// The goal body: a union of conjunctions, evaluated as a Boolean UCQ
+    /// (every variable is existentially quantified).
+    pub goal: UnionAst,
+    /// The span of the whole statement.
+    pub span: Span,
+}
+
+impl fmt::Display for QueryAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?- {}.", self.goal)
+    }
+}
+
+/// One statement of a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementAst {
+    /// A probabilistic fact.
+    Fact(FactAst),
+    /// A rule.
+    Rule(RuleAst),
+    /// A query goal.
+    Query(QueryAst),
+}
+
+impl StatementAst {
+    /// The span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            StatementAst::Fact(fact) => fact.span,
+            StatementAst::Rule(rule) => rule.span,
+            StatementAst::Query(query) => query.span,
+        }
+    }
+}
+
+impl fmt::Display for StatementAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementAst::Fact(fact) => write!(f, "{fact}"),
+            StatementAst::Rule(rule) => write!(f, "{rule}"),
+            StatementAst::Query(query) => write!(f, "{query}"),
+        }
+    }
+}
+
+/// A whole program: a sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramAst {
+    /// The statements, in source order.
+    pub statements: Vec<StatementAst>,
+}
+
+impl ProgramAst {
+    /// The fact statements, in order.
+    pub fn facts(&self) -> impl Iterator<Item = &FactAst> {
+        self.statements.iter().filter_map(|s| match s {
+            StatementAst::Fact(fact) => Some(fact),
+            _ => None,
+        })
+    }
+
+    /// The rule statements, in order.
+    pub fn rules(&self) -> Vec<&RuleAst> {
+        self.statements
+            .iter()
+            .filter_map(|s| match s {
+                StatementAst::Rule(rule) => Some(rule),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The query goals, in order.
+    pub fn queries(&self) -> Vec<&QueryAst> {
+        self.statements
+            .iter()
+            .filter_map(|s| match s {
+                StatementAst::Query(query) => Some(query),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ProgramAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, statement) in self.statements.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{statement}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,440 @@
+//! The hand-rolled lexer of the stuc surface language.
+//!
+//! Turns source text into a stream of [`Token`]s, each carrying a [`Span`]
+//! (byte range plus 1-based line/column of its start). The lexer never
+//! fails: characters it cannot tokenise become [`TokenKind::Error`] tokens,
+//! which the parser reports as spanned syntax errors with the usual
+//! expected-token machinery — so one diagnostics pipeline covers lexical
+//! and grammatical problems alike.
+//!
+//! Lexical shape:
+//!
+//! * identifiers `[A-Za-z_][A-Za-z0-9_]*` (relation names and variables);
+//! * numbers `[0-9]+(.[0-9]+)?` (probabilities and numeric constants);
+//! * string literals `"…"` or `'…'` with no escapes (quoted constants);
+//! * punctuation `( ) , ; . !` and the digraphs `:-` `::` `?-`;
+//! * `%` starts a comment running to the end of the line.
+//!
+//! A `.` directly between digits belongs to the number; anywhere else it is
+//! the statement terminator.
+
+use std::fmt;
+
+/// A source region: byte offsets plus the 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering a single point (used for end-of-input diagnostics).
+    pub fn point(offset: usize, line: u32, col: u32) -> Span {
+        Span {
+            start: offset,
+            end: offset,
+            line,
+            col,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// What one token is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier: a relation name or a variable.
+    Ident(String),
+    /// A numeric literal, kept as its lexeme (parsed on demand).
+    Number(String),
+    /// A quoted string literal (the quotes are stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `!`
+    Bang,
+    /// `:-`
+    ColonDash,
+    /// `::`
+    ColonColon,
+    /// `?-`
+    QuestionDash,
+    /// End of input.
+    Eof,
+    /// A lexical error, carrying a human-readable description.
+    Error(String),
+}
+
+impl TokenKind {
+    /// A short rendering of the token for "found …" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier '{name}'"),
+            TokenKind::Number(lexeme) => format!("number '{lexeme}'"),
+            TokenKind::Str(text) => format!("string \"{text}\""),
+            TokenKind::LParen => "'('".to_string(),
+            TokenKind::RParen => "')'".to_string(),
+            TokenKind::Comma => "','".to_string(),
+            TokenKind::Semi => "';'".to_string(),
+            TokenKind::Dot => "'.'".to_string(),
+            TokenKind::Bang => "'!'".to_string(),
+            TokenKind::ColonDash => "':-'".to_string(),
+            TokenKind::ColonColon => "'::'".to_string(),
+            TokenKind::QuestionDash => "'?-'".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            TokenKind::Error(message) => message.clone(),
+        }
+    }
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenises `src` completely. Always succeeds; unrecognised input becomes
+/// [`TokenKind::Error`] tokens. The final token is always [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Consumes the next character, maintaining line/column counters.
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, c)) = next {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn offset(&mut self) -> usize {
+        self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len())
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let end = self.offset();
+        self.tokens.push(Token {
+            kind,
+            span: Span {
+                start,
+                end,
+                line,
+                col,
+            },
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        loop {
+            // Skip whitespace and `%` comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('%') => {
+                        while let Some(c) = self.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some((start, c)) = self.bump() else {
+                let offset = self.src.len();
+                self.tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::point(offset, line, col),
+                });
+                return self.tokens;
+            };
+            match c {
+                '(' => self.push(TokenKind::LParen, start, line, col),
+                ')' => self.push(TokenKind::RParen, start, line, col),
+                ',' => self.push(TokenKind::Comma, start, line, col),
+                ';' => self.push(TokenKind::Semi, start, line, col),
+                '.' => self.push(TokenKind::Dot, start, line, col),
+                '!' => self.push(TokenKind::Bang, start, line, col),
+                ':' => match self.peek() {
+                    Some('-') => {
+                        self.bump();
+                        self.push(TokenKind::ColonDash, start, line, col);
+                    }
+                    Some(':') => {
+                        self.bump();
+                        self.push(TokenKind::ColonColon, start, line, col);
+                    }
+                    other => {
+                        let found = other.map_or("end of input".to_string(), |c| format!("'{c}'"));
+                        self.push(
+                            TokenKind::Error(format!(
+                                "'{found}' after ':' (expected ':-' or '::')",
+                            )),
+                            start,
+                            line,
+                            col,
+                        );
+                    }
+                },
+                '?' => match self.peek() {
+                    Some('-') => {
+                        self.bump();
+                        self.push(TokenKind::QuestionDash, start, line, col);
+                    }
+                    other => {
+                        let found = other.map_or("end of input".to_string(), |c| format!("'{c}'"));
+                        self.push(
+                            TokenKind::Error(format!("'{found}' after '?' (expected '?-')")),
+                            start,
+                            line,
+                            col,
+                        );
+                    }
+                },
+                quote @ ('"' | '\'') => {
+                    let mut text = String::new();
+                    loop {
+                        match self.peek() {
+                            Some(c) if c == quote => {
+                                self.bump();
+                                self.push(TokenKind::Str(text), start, line, col);
+                                break;
+                            }
+                            Some('\n') | None => {
+                                self.push(
+                                    TokenKind::Error(format!(
+                                        "unterminated string literal starting with {quote}"
+                                    )),
+                                    start,
+                                    line,
+                                    col,
+                                );
+                                break;
+                            }
+                            Some(c) => {
+                                text.push(c);
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let mut lexeme = String::from(c);
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() {
+                            lexeme.push(d);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    // A '.' belongs to the number only when a digit follows;
+                    // otherwise it terminates the statement.
+                    if self.peek() == Some('.') {
+                        let mut lookahead = self.chars.clone();
+                        lookahead.next();
+                        if lookahead.peek().is_some_and(|&(_, d)| d.is_ascii_digit()) {
+                            lexeme.push('.');
+                            self.bump();
+                            while let Some(d) = self.peek() {
+                                if d.is_ascii_digit() {
+                                    lexeme.push(d);
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    self.push(TokenKind::Number(lexeme), start, line, col);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut name = String::from(c);
+                    while let Some(d) = self.peek() {
+                        if d.is_alphanumeric() || d == '_' {
+                            name.push(d);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Ident(name), start, line, col);
+                }
+                other => {
+                    self.push(
+                        TokenKind::Error(format!("unexpected character '{other}'")),
+                        start,
+                        line,
+                        col,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_digraphs() {
+        assert_eq!(
+            kinds("( ) , ; . ! :- :: ?-"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Dot,
+                TokenKind::Bang,
+                TokenKind::ColonDash,
+                TokenKind::ColonColon,
+                TokenKind::QuestionDash,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_keep_fractions_but_release_the_statement_dot() {
+        assert_eq!(
+            kinds("0.5 :: R(\"a\")."),
+            vec![
+                TokenKind::Number("0.5".into()),
+                TokenKind::ColonColon,
+                TokenKind::Ident("R".into()),
+                TokenKind::LParen,
+                TokenKind::Str("a".into()),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+        // "1." is a number followed by a statement terminator.
+        assert_eq!(
+            kinds("1."),
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = lex("R(x)\n  ?- S(y)");
+        let question = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::QuestionDash)
+            .unwrap();
+        assert_eq!(question.span.line, 2);
+        assert_eq!(question.span.col, 3);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("% header\nR(x) % trailing\n"),
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_tokens_not_panics() {
+        let tokens = lex("R(@) : \"open");
+        let errors: Vec<_> = tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Error(_)))
+            .collect();
+        assert_eq!(errors.len(), 3);
+    }
+
+    #[test]
+    fn eof_span_points_past_the_input() {
+        let tokens = lex("R");
+        assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+        assert_eq!(tokens.last().unwrap().span.start, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! # stuc-lang — the textual datalog/UCQ front-end
+//!
+//! Everything upstream of this crate builds queries programmatically; this
+//! crate is the text surface. It takes a program in a small datalog-flavoured
+//! syntax —
+//!
+//! ```text
+//! % probabilistic facts
+//! 0.5 :: R("a", "b").
+//! 0.9 :: S("b").
+//!
+//! % non-recursive rules (positive bodies only)
+//! Hop(x, z) :- R(x, y), R(y, z).
+//!
+//! % goals: unions of conjunctions, with ground negation
+//! ?- Hop(x, z); R(x, "b"), !S("b").
+//! ```
+//!
+//! — and turns it into the workspace's existing query structures through
+//! four stages, one module each:
+//!
+//! | stage | module | output |
+//! |-------|--------|--------|
+//! | lex | [`lexer`] | spanned tokens (never fails; errors are tokens) |
+//! | parse | [`parser`] | spanned AST with expected-token diagnostics |
+//! | analyse | [`analysis`] | safety: range restriction, arities, groundness |
+//! | lower | [`lower`] | signed sums of [`stuc_query::cq::ConjunctiveQuery`] |
+//!
+//! plus a [`cost`] model that routes each lowered goal to the safe-plan
+//! evaluator or to lineage/circuit compilation. The engine integration
+//! (`Engine::evaluate_text`) and the `stuc-repl` binary live in the core
+//! and umbrella crates; this crate stays dependency-light so any consumer
+//! can parse and lower without pulling in the evaluators.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod ast;
+pub mod cost;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use analysis::SafetyError;
+pub use ast::{ProgramAst, QueryAst, RuleAst, UnionAst};
+pub use cost::{CostModel, RelationStats, Route, RouteDecision};
+pub use lexer::Span;
+pub use lower::{LoweredGoal, SignedTerm};
+pub use parser::{parse_program, parse_query, ParseError};
+
+stuc_errors::stuc_error! {
+    /// Any front-end failure: syntactic, semantic, or during lowering.
+    #[derive(Clone, PartialEq)]
+    pub enum LangError {
+        /// A syntax error with span and expected-token set.
+        Parse(parser::ParseError),
+        /// A safety / well-formedness violation.
+        Safety(analysis::SafetyError),
+        /// A lowering failure (recursion, non-ground negation, blow-up).
+        Lower(lower::LowerError),
+    }
+    display {
+        Self::Parse(error) => "{error}",
+        Self::Safety(error) => "{error}",
+        Self::Lower(error) => "{error}",
+    }
+    from {
+        parser::ParseError => Parse,
+        analysis::SafetyError => Safety,
+        lower::LowerError => Lower,
+    }
+}
+
+// `LowerError` already wraps `SafetyError`; flatten it so callers match on
+// `LangError::Safety` regardless of which stage caught the violation.
+impl LangError {
+    /// Normalises nested error wrappers to the outermost natural variant.
+    pub fn flattened(self) -> LangError {
+        match self {
+            LangError::Lower(lower::LowerError::Safety(error)) => LangError::Safety(error),
+            other => other,
+        }
+    }
+}
+
+/// Parses a single query goal and lowers it with no rules in scope.
+/// The one-stop entry point for plain UCQ strings.
+pub fn lower_query_text(src: &str) -> Result<LoweredGoal, LangError> {
+    let query = parser::parse_query(src)?;
+    lower::lower_goal(&query.goal, &[])
+        .map_err(LangError::from)
+        .map_err(LangError::flattened)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_query_text_round_trips_the_pipeline() {
+        let goal = lower_query_text("?- R(x); S(x).").unwrap();
+        assert_eq!(goal.terms.len(), 3);
+    }
+
+    #[test]
+    fn errors_from_every_stage_are_wrapped() {
+        assert!(matches!(lower_query_text("R(x"), Err(LangError::Parse(_))));
+        assert!(matches!(
+            lower_query_text("?- R(x), !S(y)."),
+            Err(LangError::Safety(_))
+        ));
+        assert!(matches!(
+            lower_query_text("?- R(x), !S(x)."),
+            Err(LangError::Lower(_))
+        ));
+    }
+
+    #[test]
+    fn lang_errors_render_their_cause() {
+        let error = lower_query_text("R(x").unwrap_err();
+        assert!(error.to_string().contains("line 1"));
+    }
+}

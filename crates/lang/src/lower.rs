@@ -1,0 +1,643 @@
+//! Lowering: from the surface AST to the workspace's query structures.
+//!
+//! A goal (a union of conjunctions, possibly mentioning rule-defined
+//! relations and ground negation) is lowered to a **signed sum of plain
+//! [`ConjunctiveQuery`]s**, so that every downstream evaluator — the safe-plan
+//! engine, lineage compilation, any circuit backend — only ever sees the CQs
+//! it already understands:
+//!
+//! 1. **Rule unfolding.** Rules are collected into a (non-recursive)
+//!    [`DatalogProgram`]; every goal atom over an intensional relation is
+//!    replaced by each rule body whose head unifies with it, distributing
+//!    the resulting unions. Constants flow both ways through unification:
+//!    a constant in the goal selects matching rules, and a constant in a
+//!    rule head binds goal variables.
+//! 2. **Union inclusion–exclusion.** For unfolded disjuncts `D₁ ∨ … ∨ Dₖ`,
+//!    `P(⋁ Dᵢ) = Σ_{∅≠T⊆[k]} (−1)^{|T|+1} P(⋀_{i∈T} Dᵢ)`, with the
+//!    variables of distinct disjuncts renamed apart (suffix `__d{i}`)
+//!    before conjoining, since each disjunct is quantified independently.
+//! 3. **Negation expansion.** Negated atoms must be *ground* once
+//!    unfolding has substituted constants through (the analysis pass
+//!    already guarantees range restriction); each conjunction `C ∧ ¬A₁ ∧ …
+//!    ∧ ¬Aₘ` then expands as `Σ_{S⊆[m]} (−1)^{|S|} P(C ∧ ⋀_{j∈S} Aⱼ)`.
+//!
+//! An empty conjunction (possible when a goal is purely negative) is the
+//! tautology: its probability is 1 and it is represented by a
+//! [`SignedTerm`] with `query: None`. Expansion is capped — see
+//! [`MAX_CONJUNCTS`] and [`MAX_TERMS`] — so adversarial inputs fail with a
+//! clean error instead of exhausting memory.
+
+use crate::analysis::{self, ArityTable, SafetyError};
+use crate::ast::{ConjunctAst, ProgramAst, RuleAst, TermAst, UnionAst};
+use std::collections::{BTreeMap, BTreeSet};
+use stuc_data::tid::TidInstance;
+use stuc_query::cq::{Atom, ConjunctiveQuery, Term};
+use stuc_query::datalog::{DatalogProgram, DatalogRule};
+
+/// Cap on the number of conjuncts a single disjunct may unfold into.
+pub const MAX_CONJUNCTS: usize = 256;
+
+/// Cap on the number of signed inclusion–exclusion terms of a lowered goal.
+pub const MAX_TERMS: usize = 1024;
+
+stuc_errors::stuc_error! {
+    /// Errors raised while lowering a checked AST to query structures.
+    #[derive(Clone, PartialEq)]
+    pub enum LowerError {
+        /// The rule set is recursive; only non-recursive programs unfold.
+        RecursiveProgram,
+        /// Unfolding a disjunct exceeded [`MAX_CONJUNCTS`].
+        TooManyConjuncts {
+            /// The limit that was exceeded.
+            limit: usize,
+        },
+        /// Inclusion–exclusion exceeded [`MAX_TERMS`].
+        TooManyTerms {
+            /// The limit that was exceeded.
+            limit: usize,
+        },
+        /// A negated atom still contains variables after unfolding.
+        NonGroundNegation {
+            /// The negated relation.
+            relation: String,
+        },
+        /// A negated atom refers to a rule-defined relation.
+        NegatedIntensional {
+            /// The negated relation.
+            relation: String,
+        },
+        /// A safety violation detected while re-checking the input.
+        Safety(SafetyError),
+        /// An internal rule-construction failure (should not happen after
+        /// the analysis pass).
+        Rule(String),
+    }
+    display {
+        Self::RecursiveProgram => "recursive rule sets cannot be unfolded into unions of conjunctive queries",
+        Self::TooManyConjuncts { limit } => "rule unfolding produced more than {limit} conjuncts",
+        Self::TooManyTerms { limit } => "inclusion-exclusion expansion produced more than {limit} terms",
+        Self::NonGroundNegation { relation } => "negated atom over {relation} is not ground after unfolding; only ground negation is supported",
+        Self::NegatedIntensional { relation } => "negated atom over rule-defined relation {relation} is not supported",
+        Self::Safety(error) => "safety violation: {error}",
+        Self::Rule(message) => "invalid rule: {message}",
+    }
+    from {
+        SafetyError => Safety,
+    }
+}
+
+/// One signed inclusion–exclusion term: `sign · P(query)`, where a missing
+/// query denotes the tautology (`P = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedTerm {
+    /// `+1` or `−1`.
+    pub sign: i32,
+    /// The conjunctive query of the term; `None` is the empty conjunction.
+    pub query: Option<ConjunctiveQuery>,
+}
+
+/// A goal lowered to a signed sum of conjunctive queries, plus the shape
+/// facts the cost model wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredGoal {
+    /// The signed inclusion–exclusion terms. An empty list means the goal
+    /// is unsatisfiable (probability 0) — e.g. an intensional atom no rule
+    /// can produce.
+    pub terms: Vec<SignedTerm>,
+    /// How many conjuncts the goal flattened into after unfolding.
+    pub disjunct_count: usize,
+    /// True when rule unfolding happened (some atom was intensional).
+    pub used_rules: bool,
+    /// True when ground negation was expanded.
+    pub has_negation: bool,
+}
+
+impl LoweredGoal {
+    /// Every relation mentioned by some term.
+    pub fn relations(&self) -> BTreeSet<String> {
+        self.terms
+            .iter()
+            .filter_map(|t| t.query.as_ref())
+            .flat_map(|q| q.atoms.iter().map(|a| a.relation.clone()))
+            .collect()
+    }
+
+    /// Combines per-query probabilities into the goal probability:
+    /// `clamp(Σ sign · P(query))`, with the tautology contributing 1.
+    /// The clamp absorbs the floating-point drift of alternating sums.
+    pub fn combine<E>(
+        &self,
+        mut eval: impl FnMut(&ConjunctiveQuery) -> Result<f64, E>,
+    ) -> Result<f64, E> {
+        let mut total = 0.0;
+        for term in &self.terms {
+            let p = match &term.query {
+                None => 1.0,
+                Some(query) => eval(query)?,
+            };
+            total += f64::from(term.sign) * p;
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+}
+
+/// Converts an AST term to a query term.
+fn lower_term(term: &TermAst) -> Term {
+    match term {
+        TermAst::Var(name) => Term::Var(name.clone()),
+        TermAst::Const(name) => Term::Const(name.clone()),
+    }
+}
+
+/// Converts an AST atom to a query atom.
+fn lower_atom(atom: &crate::ast::AtomAst) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        args: atom.args.iter().map(|a| lower_term(&a.term)).collect(),
+    }
+}
+
+/// Lowers checked rules to a positive [`DatalogProgram`].
+pub fn lower_rules(rules: &[&RuleAst]) -> Result<DatalogProgram, LowerError> {
+    let mut program = DatalogProgram::new();
+    for rule in rules {
+        let head = lower_atom(&rule.head);
+        let body: Vec<Atom> = rule.body.positive().map(lower_atom).collect();
+        program
+            .add_rule(DatalogRule::new(head, body).map_err(|e| LowerError::Rule(e.to_string()))?);
+    }
+    Ok(program)
+}
+
+/// Builds a tuple-independent instance from the facts of a program. Later
+/// facts for the same ground atom override earlier ones.
+pub fn program_instance(program: &ProgramAst) -> Result<TidInstance, SafetyError> {
+    analysis::check_program(program)?;
+    let mut dedup: BTreeMap<(String, Vec<String>), f64> = BTreeMap::new();
+    let mut order: Vec<(String, Vec<String>)> = Vec::new();
+    for fact in program.facts() {
+        let key = (
+            fact.atom.relation.clone(),
+            fact.atom
+                .args
+                .iter()
+                .map(|a| match &a.term {
+                    TermAst::Const(name) => name.clone(),
+                    TermAst::Var(_) => unreachable!("check_program rejects non-ground facts"),
+                })
+                .collect::<Vec<_>>(),
+        );
+        if dedup.insert(key.clone(), fact.probability).is_none() {
+            order.push(key);
+        }
+    }
+    let mut tid = TidInstance::new();
+    for key in order {
+        let probability = dedup[&key];
+        let args: Vec<&str> = key.1.iter().map(String::as_str).collect();
+        tid.add_fact_named(&key.0, &args, probability);
+    }
+    Ok(tid)
+}
+
+/// Lowers a goal against a rule set. Runs the analysis pass first (with a
+/// shared arity table spanning rules and goal), so callers may hand over
+/// freshly parsed input directly.
+pub fn lower_goal(goal: &UnionAst, rules: &[&RuleAst]) -> Result<LoweredGoal, LowerError> {
+    let mut arities = ArityTable::new();
+    for rule in rules {
+        analysis::check_rule(rule, &mut arities)?;
+    }
+    analysis::check_goal_with(goal, &mut arities)?;
+
+    let program = lower_rules(rules)?;
+    if program.is_recursive() {
+        return Err(LowerError::RecursiveProgram);
+    }
+    let idb = program.idb_relations();
+
+    let mut counter = 0usize;
+    let mut disjuncts: Vec<Conjunct> = Vec::new();
+    let mut used_rules = false;
+    let mut has_negation = false;
+    for conjunct in &goal.disjuncts {
+        let unfolded = unfold_conjunct(conjunct, &program, &idb, &mut counter)?;
+        for c in unfolded {
+            used_rules |= c.unfolded;
+            has_negation |= !c.negatives.is_empty();
+            disjuncts.push(c);
+        }
+    }
+
+    let terms = inclusion_exclusion(&disjuncts)?;
+    Ok(LoweredGoal {
+        terms,
+        disjunct_count: disjuncts.len(),
+        used_rules,
+        has_negation,
+    })
+}
+
+/// A conjunction mid-lowering: positive atoms plus ground negated atoms.
+#[derive(Debug, Clone)]
+struct Conjunct {
+    positives: Vec<Atom>,
+    negatives: Vec<Atom>,
+    unfolded: bool,
+}
+
+/// Unfolds one surface conjunct into purely extensional conjuncts,
+/// distributing rule alternatives. Returns an empty list when no rule can
+/// produce a required intensional atom (the conjunct is unsatisfiable).
+fn unfold_conjunct(
+    conjunct: &ConjunctAst,
+    program: &DatalogProgram,
+    idb: &BTreeSet<String>,
+    counter: &mut usize,
+) -> Result<Vec<Conjunct>, LowerError> {
+    let initial = Conjunct {
+        positives: conjunct.positive().map(lower_atom).collect(),
+        negatives: conjunct.negated().map(|l| lower_atom(&l.atom)).collect(),
+        unfolded: false,
+    };
+    let mut worklist = vec![initial];
+    let mut done: Vec<Conjunct> = Vec::new();
+    while let Some(current) = worklist.pop() {
+        let intensional = current
+            .positives
+            .iter()
+            .position(|a| idb.contains(&a.relation));
+        let Some(index) = intensional else {
+            for negative in &current.negatives {
+                if idb.contains(&negative.relation) {
+                    return Err(LowerError::NegatedIntensional {
+                        relation: negative.relation.clone(),
+                    });
+                }
+                if !negative.variables().is_empty() {
+                    return Err(LowerError::NonGroundNegation {
+                        relation: negative.relation.clone(),
+                    });
+                }
+            }
+            done.push(current);
+            continue;
+        };
+        let goal_atom = current.positives[index].clone();
+        for rule in program.rules() {
+            if rule.head.relation != goal_atom.relation {
+                continue;
+            }
+            *counter += 1;
+            let suffix = format!("__u{counter}");
+            let head = rename_atom(&rule.head, &suffix);
+            let body: Vec<Atom> = rule.body.iter().map(|a| rename_atom(a, &suffix)).collect();
+            let Some(subst) = unify(&head.args, &goal_atom.args) else {
+                continue;
+            };
+            let mut positives: Vec<Atom> = Vec::new();
+            for (i, atom) in current.positives.iter().enumerate() {
+                if i != index {
+                    positives.push(apply(atom, &subst));
+                }
+            }
+            positives.extend(body.iter().map(|a| apply(a, &subst)));
+            let negatives = current.negatives.iter().map(|a| apply(a, &subst)).collect();
+            if done.len() + worklist.len() >= MAX_CONJUNCTS {
+                return Err(LowerError::TooManyConjuncts {
+                    limit: MAX_CONJUNCTS,
+                });
+            }
+            worklist.push(Conjunct {
+                positives,
+                negatives,
+                unfolded: true,
+            });
+        }
+    }
+    Ok(done)
+}
+
+/// Renames every variable of an atom with a fresh suffix.
+fn rename_atom(atom: &Atom, suffix: &str) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        args: atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Term::Var(format!("{v}{suffix}")),
+                Term::Const(c) => Term::Const(c.clone()),
+            })
+            .collect(),
+    }
+}
+
+/// Unifies two argument vectors (assumed disjoint variable namespaces),
+/// returning the substitution, or `None` on a constant clash.
+fn unify(left: &[Term], right: &[Term]) -> Option<BTreeMap<String, Term>> {
+    debug_assert_eq!(left.len(), right.len(), "arity checked by analysis");
+    let mut subst: BTreeMap<String, Term> = BTreeMap::new();
+    for (l, r) in left.iter().zip(right) {
+        let l = resolve(l.clone(), &subst);
+        let r = resolve(r.clone(), &subst);
+        match (l, r) {
+            (Term::Const(a), Term::Const(b)) => {
+                if a != b {
+                    return None;
+                }
+            }
+            (Term::Var(v), other) => {
+                if other != Term::Var(v.clone()) {
+                    subst.insert(v, other);
+                }
+            }
+            (other, Term::Var(v)) => {
+                subst.insert(v, other);
+            }
+        }
+    }
+    Some(subst)
+}
+
+/// Follows substitution chains to the representative term.
+fn resolve(mut term: Term, subst: &BTreeMap<String, Term>) -> Term {
+    while let Term::Var(v) = &term {
+        match subst.get(v) {
+            Some(next) => term = next.clone(),
+            None => break,
+        }
+    }
+    term
+}
+
+/// Applies a substitution to every argument of an atom.
+fn apply(atom: &Atom, subst: &BTreeMap<String, Term>) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        args: atom
+            .args
+            .iter()
+            .map(|t| resolve(t.clone(), subst))
+            .collect(),
+    }
+}
+
+fn push_unique(atoms: &mut Vec<Atom>, atom: Atom) {
+    if !atoms.contains(&atom) {
+        atoms.push(atom);
+    }
+}
+
+/// Expands a flattened disjunct list into signed inclusion–exclusion terms,
+/// including the ground-negation expansion of each combined conjunction.
+fn inclusion_exclusion(disjuncts: &[Conjunct]) -> Result<Vec<SignedTerm>, LowerError> {
+    let k = disjuncts.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    if k > MAX_TERMS.ilog2() as usize {
+        return Err(LowerError::TooManyTerms { limit: MAX_TERMS });
+    }
+    let mut terms: Vec<SignedTerm> = Vec::new();
+    for mask in 1u64..(1u64 << k) {
+        let chosen: Vec<usize> = (0..k).filter(|i| mask & (1 << i) != 0).collect();
+        let base_sign: i32 = if chosen.len() % 2 == 1 { 1 } else { -1 };
+        let rename_apart = chosen.len() > 1;
+        let mut positives: Vec<Atom> = Vec::new();
+        let mut negatives: Vec<Atom> = Vec::new();
+        for &i in &chosen {
+            let suffix = format!("__d{i}");
+            for atom in &disjuncts[i].positives {
+                let atom = if rename_apart {
+                    rename_atom(atom, &suffix)
+                } else {
+                    atom.clone()
+                };
+                push_unique(&mut positives, atom);
+            }
+            for atom in &disjuncts[i].negatives {
+                // Ground (checked during unfolding): renaming is a no-op.
+                push_unique(&mut negatives, atom.clone());
+            }
+        }
+        // A ground atom both asserted and negated makes the term
+        // unsatisfiable: it contributes probability 0 and is dropped.
+        if negatives.iter().any(|n| positives.contains(n)) {
+            continue;
+        }
+        let m = negatives.len();
+        if m >= MAX_TERMS.ilog2() as usize || terms.len() + (1usize << m) > MAX_TERMS {
+            return Err(LowerError::TooManyTerms { limit: MAX_TERMS });
+        }
+        for nmask in 0u64..(1u64 << m) {
+            let picked = nmask.count_ones();
+            let sign = base_sign * if picked % 2 == 0 { 1 } else { -1 };
+            let mut atoms = positives.clone();
+            for (j, negative) in negatives.iter().enumerate() {
+                if nmask & (1 << j) != 0 {
+                    push_unique(&mut atoms, negative.clone());
+                }
+            }
+            let query = if atoms.is_empty() {
+                None
+            } else {
+                Some(ConjunctiveQuery::boolean(atoms))
+            };
+            terms.push(SignedTerm { sign, query });
+        }
+    }
+    Ok(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// Lowers the single goal of `src`, with all rules of `src` in scope.
+    fn lower(src: &str) -> Result<LoweredGoal, LowerError> {
+        let program = parse_program(src).unwrap();
+        let rules = program.rules();
+        let queries = program.queries();
+        assert_eq!(queries.len(), 1, "test source must have one goal");
+        lower_goal(&queries[0].goal, &rules)
+    }
+
+    fn queries_of(goal: &LoweredGoal) -> Vec<String> {
+        goal.terms
+            .iter()
+            .map(|t| {
+                let body = t
+                    .query
+                    .as_ref()
+                    .map_or("true".to_string(), |q| q.to_string());
+                format!("{:+} {body}", t.sign)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_conjunction_lowers_to_one_positive_term() {
+        let goal = lower("?- R(x), S(x, y).").unwrap();
+        assert_eq!(queries_of(&goal), vec!["+1 R(x), S(x, y)"]);
+        assert!(!goal.used_rules);
+        assert!(!goal.has_negation);
+    }
+
+    #[test]
+    fn union_expands_by_inclusion_exclusion_with_renaming() {
+        let goal = lower("?- R(x); S(x).").unwrap();
+        assert_eq!(
+            queries_of(&goal),
+            vec!["+1 R(x)", "+1 S(x)", "-1 R(x__d0), S(x__d1)"]
+        );
+    }
+
+    #[test]
+    fn rules_unfold_with_unification() {
+        let goal = lower("Hop(x, z) :- R(x, y), R(y, z).\n?- Hop(\"a\", z).").unwrap();
+        assert_eq!(goal.disjunct_count, 1);
+        assert!(goal.used_rules);
+        let only = goal.terms[0].query.as_ref().unwrap();
+        assert_eq!(only.atoms.len(), 2);
+        assert_eq!(only.atoms[0].args[0], Term::Const("a".to_string()));
+    }
+
+    #[test]
+    fn multiple_rules_become_a_union() {
+        let goal = lower(
+            "P(x) :- R(x).\n\
+             P(x) :- S(x).\n\
+             ?- P(\"a\").",
+        )
+        .unwrap();
+        assert_eq!(goal.disjunct_count, 2);
+        assert_eq!(goal.terms.len(), 3);
+    }
+
+    #[test]
+    fn head_constants_select_rules_and_bind_goal_variables() {
+        let goal = lower(
+            "Special(\"a\") :- R(\"a\").\n\
+             ?- Special(x).",
+        )
+        .unwrap();
+        assert_eq!(queries_of(&goal), vec!["+1 R(\"a\")"]);
+        // A clashing constant drops the rule entirely.
+        let empty = lower(
+            "Special(\"a\") :- R(\"a\").\n\
+             ?- Special(\"b\").",
+        )
+        .unwrap();
+        assert!(empty.terms.is_empty());
+    }
+
+    #[test]
+    fn nested_rules_unfold_transitively() {
+        let goal = lower(
+            "Mid(x) :- R(x).\n\
+             Top(x) :- Mid(x), S(x).\n\
+             ?- Top(y).",
+        )
+        .unwrap();
+        assert_eq!(goal.disjunct_count, 1);
+        let only = goal.terms[0].query.as_ref().unwrap();
+        let relations: Vec<&str> = only.atoms.iter().map(|a| a.relation.as_str()).collect();
+        assert_eq!(relations, vec!["S", "R"]);
+    }
+
+    #[test]
+    fn recursive_programs_are_rejected() {
+        let error = lower(
+            "Reach(x, y) :- Edge(x, y).\n\
+             Reach(x, z) :- Reach(x, y), Edge(y, z).\n\
+             ?- Reach(\"a\", \"b\").",
+        )
+        .unwrap_err();
+        assert!(matches!(error, LowerError::RecursiveProgram));
+    }
+
+    #[test]
+    fn ground_negation_expands_with_alternating_signs() {
+        let goal = lower("?- R(x), !S(\"b\").").unwrap();
+        assert!(goal.has_negation);
+        assert_eq!(queries_of(&goal), vec!["+1 R(x)", "-1 R(x), S(\"b\")"]);
+    }
+
+    #[test]
+    fn purely_negative_goals_use_the_tautology_term() {
+        let goal = lower("?- !S(\"b\").").unwrap();
+        assert_eq!(queries_of(&goal), vec!["+1 true", "-1 S(\"b\")"]);
+    }
+
+    #[test]
+    fn non_ground_negation_is_rejected() {
+        let error = lower("?- R(x), !S(x).").unwrap_err();
+        assert!(matches!(error, LowerError::NonGroundNegation { .. }));
+    }
+
+    #[test]
+    fn negated_intensional_atoms_are_rejected() {
+        let error = lower(
+            "P(x) :- R(x).\n\
+             ?- S(y), !P(\"a\").",
+        )
+        .unwrap_err();
+        assert!(matches!(error, LowerError::NegatedIntensional { .. }));
+    }
+
+    #[test]
+    fn contradictory_terms_are_dropped() {
+        // R("a") ∨ (S("c") ∧ ¬R("a")): the conjoined term R("a") ∧ S("c") ∧
+        // ¬R("a") is unsatisfiable, so only its negation-free expansion
+        // remains.
+        let goal = lower("?- R(\"a\"); S(\"c\"), !R(\"a\").").unwrap();
+        for rendered in queries_of(&goal) {
+            assert!(
+                !(rendered.contains("R(\"a\")")
+                    && rendered.contains("S(\"c\")")
+                    && rendered.starts_with("-1")
+                    && rendered.matches("R(\"a\")").count() > 1),
+                "unsatisfiable term survived: {rendered}"
+            );
+        }
+        // Sanity: 2 disjuncts → 3 subsets; negation doubles the second
+        // disjunct's subsets, minus dropped contradictions.
+        assert_eq!(goal.disjunct_count, 2);
+    }
+
+    #[test]
+    fn expansion_caps_are_enforced() {
+        let wide: Vec<String> = (0..12).map(|i| format!("R{i}(x{i})")).collect();
+        let source = format!("?- {}.", wide.join("; "));
+        let error = lower(&source).unwrap_err();
+        assert!(matches!(error, LowerError::TooManyTerms { .. }));
+    }
+
+    #[test]
+    fn combine_applies_signs_and_tautology() {
+        let goal = lower("?- !S(\"b\").").unwrap();
+        let p = goal.combine(|_q| Ok::<f64, ()>(0.3)).unwrap();
+        assert!((p - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn program_instance_builds_a_tid_with_override_semantics() {
+        let program = parse_program(
+            "0.5 :: R(\"a\", \"b\").\n\
+             0.25 :: S(\"b\").\n\
+             0.75 :: S(\"b\").",
+        )
+        .unwrap();
+        let tid = program_instance(&program).unwrap();
+        assert_eq!(tid.instance().fact_count(), 2);
+        let probabilities: Vec<f64> = tid
+            .instance()
+            .facts()
+            .map(|(id, _)| tid.probability(id))
+            .collect();
+        assert!(probabilities.contains(&0.5));
+        assert!(probabilities.contains(&0.75));
+    }
+}

@@ -1,0 +1,465 @@
+//! The recursive-descent parser of the stuc surface language.
+//!
+//! Grammar (statements separated by `.`, the final `.` optional at EOF):
+//!
+//! ```text
+//! program   := statement ('.' statement)* '.'?
+//! statement := fact | rule | query
+//! fact      := NUMBER '::' atom
+//! rule      := atom ':-' conjunct
+//! query     := '?-'? union
+//! union     := conjunct (';' conjunct)*
+//! conjunct  := literal (',' literal)*
+//! literal   := ('!' | 'not')? atom
+//! atom      := IDENT '(' (term (',' term)*)? ')'
+//! term      := IDENT          (variable)
+//!            | STRING         (constant)
+//!            | NUMBER         (numeric constant)
+//! ```
+//!
+//! A statement that starts with an atom and is not followed by `:-` is a
+//! *goal* — `?-` is optional, so `R(x), S(x, y)` on its own parses as a
+//! query, keeping the front-end compatible with the bare query strings the
+//! rest of the workspace uses. Facts always need the `p :: atom` form
+//! (there is no bare-fact statement), which keeps the grammar unambiguous.
+//!
+//! Errors are [`ParseError`]s: the span of the offending token, what was
+//! found, and the set of tokens that would have been accepted there.
+
+use crate::ast::{
+    AtomAst, ConjunctAst, FactAst, LiteralAst, ProgramAst, QueryAst, RuleAst, SpannedTerm,
+    StatementAst, TermAst, UnionAst,
+};
+use crate::lexer::{lex, Span, Token, TokenKind};
+use std::fmt;
+
+/// A syntax error: where it happened, what was found, and the token set
+/// that was expected there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// The span of the offending token.
+    pub span: Span,
+    /// A short rendering of the token that was found.
+    pub found: String,
+    /// The tokens that would have been accepted at this position.
+    pub expected: Vec<&'static str>,
+}
+
+impl ParseError {
+    fn new(token: &Token, expected: Vec<&'static str>) -> ParseError {
+        ParseError {
+            span: token.span,
+            found: token.kind.describe(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: expected ", self.span)?;
+        match self.expected.as_slice() {
+            [] => f.write_str("nothing")?,
+            [only] => f.write_str(only)?,
+            many => {
+                f.write_str("one of ")?;
+                for (i, e) in many.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(e)?;
+                }
+            }
+        }
+        write!(f, ", found {}", self.found)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole program (facts, rules, goals).
+pub fn parse_program(src: &str) -> Result<ProgramAst, ParseError> {
+    Parser::new(src).program()
+}
+
+/// Parses a single query goal (a union of conjunctions, `?-` optional).
+/// Convenience for callers that only ever feed one query string.
+pub fn parse_query(src: &str) -> Result<QueryAst, ParseError> {
+    let program = parse_program(src)?;
+    let mut queries = Vec::new();
+    for statement in program.statements {
+        match statement {
+            StatementAst::Query(query) => queries.push(query),
+            other => {
+                return Err(ParseError {
+                    span: other.span(),
+                    found: match other {
+                        StatementAst::Fact(_) => "a fact statement".to_string(),
+                        StatementAst::Rule(_) => "a rule statement".to_string(),
+                        StatementAst::Query(_) => unreachable!("matched above"),
+                    },
+                    expected: vec!["a single query goal"],
+                })
+            }
+        }
+    }
+    match queries.len() {
+        1 => Ok(queries.into_iter().next().expect("one query")),
+        _ => Err(ParseError {
+            span: Span::point(0, 1, 1),
+            found: format!("{} query goals", queries.len()),
+            expected: vec!["a single query goal"],
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Parser {
+        Parser {
+            tokens: lex(src),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    /// The token after the next one (for the `not` contextual keyword).
+    fn peek2_kind(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn error(&self, expected: Vec<&'static str>) -> ParseError {
+        ParseError::new(self.peek(), expected)
+    }
+
+    fn expect(&mut self, kind: TokenKind, label: &'static str) -> Result<Token, ParseError> {
+        if self.peek_kind() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error(vec![label]))
+        }
+    }
+
+    fn program(&mut self) -> Result<ProgramAst, ParseError> {
+        let mut statements = Vec::new();
+        loop {
+            // Skip statement separators and stop at EOF.
+            while matches!(self.peek_kind(), TokenKind::Dot) {
+                self.bump();
+            }
+            if matches!(self.peek_kind(), TokenKind::Eof) {
+                return Ok(ProgramAst { statements });
+            }
+            statements.push(self.statement()?);
+            match self.peek_kind() {
+                TokenKind::Dot => {
+                    self.bump();
+                }
+                TokenKind::Eof => {}
+                _ => return Err(self.error(vec!["'.'", "end of input"])),
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<StatementAst, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Number(_) => self.fact().map(StatementAst::Fact),
+            TokenKind::QuestionDash => {
+                let start = self.bump().span;
+                let goal = self.union()?;
+                let span = start.merge(goal.span);
+                Ok(StatementAst::Query(QueryAst { goal, span }))
+            }
+            TokenKind::Bang => {
+                let goal = self.union()?;
+                let span = goal.span;
+                Ok(StatementAst::Query(QueryAst { goal, span }))
+            }
+            TokenKind::Ident(_) => {
+                // `not Atom` can only start a goal; a bare atom may start a
+                // rule or a goal — decide after parsing it.
+                if self.is_negation_keyword() {
+                    let goal = self.union()?;
+                    let span = goal.span;
+                    return Ok(StatementAst::Query(QueryAst { goal, span }));
+                }
+                let first = self.atom()?;
+                if matches!(self.peek_kind(), TokenKind::ColonDash) {
+                    self.bump();
+                    let body = self.conjunct()?;
+                    let span = first.span.merge(body.span);
+                    Ok(StatementAst::Rule(RuleAst {
+                        head: first,
+                        body,
+                        span,
+                    }))
+                } else {
+                    let goal = self.union_continuing(LiteralAst {
+                        negated: false,
+                        span: first.span,
+                        atom: first,
+                    })?;
+                    let span = goal.span;
+                    Ok(StatementAst::Query(QueryAst { goal, span }))
+                }
+            }
+            _ => Err(self.error(vec![
+                "a probability (fact)",
+                "'?-' (query)",
+                "'!' (negated goal)",
+                "an identifier (rule or goal)",
+            ])),
+        }
+    }
+
+    fn fact(&mut self) -> Result<FactAst, ParseError> {
+        let token = self.bump();
+        let TokenKind::Number(lexeme) = &token.kind else {
+            unreachable!("statement dispatch peeked a number");
+        };
+        let probability: f64 = lexeme
+            .parse()
+            .expect("lexer only emits digit/digit.digit numbers");
+        self.expect(TokenKind::ColonColon, "'::'")?;
+        let atom = self.atom()?;
+        let span = token.span.merge(atom.span);
+        Ok(FactAst {
+            probability,
+            probability_span: token.span,
+            atom,
+            span,
+        })
+    }
+
+    fn union(&mut self) -> Result<UnionAst, ParseError> {
+        let first = self.conjunct()?;
+        self.union_rest(first)
+    }
+
+    /// A union whose first conjunct starts with an already-parsed literal.
+    fn union_continuing(&mut self, first_literal: LiteralAst) -> Result<UnionAst, ParseError> {
+        let first = self.conjunct_continuing(first_literal)?;
+        self.union_rest(first)
+    }
+
+    fn union_rest(&mut self, first: ConjunctAst) -> Result<UnionAst, ParseError> {
+        let mut span = first.span;
+        let mut disjuncts = vec![first];
+        while matches!(self.peek_kind(), TokenKind::Semi) {
+            self.bump();
+            let next = self.conjunct()?;
+            span = span.merge(next.span);
+            disjuncts.push(next);
+        }
+        Ok(UnionAst { disjuncts, span })
+    }
+
+    fn conjunct(&mut self) -> Result<ConjunctAst, ParseError> {
+        let first = self.literal()?;
+        self.conjunct_continuing(first)
+    }
+
+    fn conjunct_continuing(&mut self, first: LiteralAst) -> Result<ConjunctAst, ParseError> {
+        let mut span = first.span;
+        let mut literals = vec![first];
+        while matches!(self.peek_kind(), TokenKind::Comma) {
+            self.bump();
+            let next = self.literal()?;
+            span = span.merge(next.span);
+            literals.push(next);
+        }
+        Ok(ConjunctAst { literals, span })
+    }
+
+    /// True when the upcoming tokens are the contextual keyword `not`
+    /// followed by an atom (`not(x)` is an ordinary atom named `not`).
+    fn is_negation_keyword(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(name) if name == "not")
+            && matches!(self.peek2_kind(), TokenKind::Ident(_))
+    }
+
+    fn literal(&mut self) -> Result<LiteralAst, ParseError> {
+        let negation_marker =
+            matches!(self.peek_kind(), TokenKind::Bang) || self.is_negation_keyword();
+        let (negated, start) = if negation_marker {
+            (true, Some(self.bump().span))
+        } else {
+            (false, None)
+        };
+        let atom = self.atom()?;
+        let span = start.map_or(atom.span, |s| s.merge(atom.span));
+        Ok(LiteralAst {
+            negated,
+            atom,
+            span,
+        })
+    }
+
+    fn atom(&mut self) -> Result<AtomAst, ParseError> {
+        let TokenKind::Ident(relation) = self.peek_kind().clone() else {
+            return Err(self.error(vec!["a relation name"]));
+        };
+        let start = self.bump().span;
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek_kind(), TokenKind::RParen) {
+            loop {
+                args.push(self.term()?);
+                match self.peek_kind() {
+                    TokenKind::Comma => {
+                        self.bump();
+                    }
+                    TokenKind::RParen => break,
+                    _ => return Err(self.error(vec!["','", "')'"])),
+                }
+            }
+        }
+        let close = self.expect(TokenKind::RParen, "')'")?;
+        Ok(AtomAst {
+            relation,
+            args,
+            span: start.merge(close.span),
+        })
+    }
+
+    fn term(&mut self) -> Result<SpannedTerm, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok(SpannedTerm {
+                    term: TermAst::Var(name),
+                    span,
+                })
+            }
+            TokenKind::Str(text) => {
+                let span = self.bump().span;
+                Ok(SpannedTerm {
+                    term: TermAst::Const(text),
+                    span,
+                })
+            }
+            TokenKind::Number(lexeme) => {
+                let span = self.bump().span;
+                Ok(SpannedTerm {
+                    term: TermAst::Const(lexeme),
+                    span,
+                })
+            }
+            _ => Err(self.error(vec![
+                "a variable",
+                "a quoted constant",
+                "a numeric constant",
+            ])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_conjunction_parses_as_a_goal() {
+        let program = parse_program("R(x, y), S(y, \"paris\")").unwrap();
+        assert_eq!(program.statements.len(), 1);
+        let StatementAst::Query(query) = &program.statements[0] else {
+            panic!("expected a query");
+        };
+        assert_eq!(query.goal.disjuncts.len(), 1);
+        assert_eq!(query.goal.disjuncts[0].literals.len(), 2);
+        assert_eq!(query.to_string(), "?- R(x, y), S(y, \"paris\").");
+    }
+
+    #[test]
+    fn full_program_parses() {
+        let src = "0.5 :: R(\"a\", \"b\").\n\
+                   0.25 :: R(\"b\", \"c\").\n\
+                   Hop(x, z) :- R(x, y), R(y, z).\n\
+                   ?- Hop(x, z); R(x, \"c\").";
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.facts().count(), 2);
+        assert_eq!(program.rules().len(), 1);
+        let queries = program.queries();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].goal.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn negation_forms() {
+        let bang = parse_query("?- R(x, y), !S(\"a\").").unwrap();
+        let keyword = parse_query("?- R(x, y), not S(\"a\").").unwrap();
+        // Same goal up to spans (the `!` and `not` markers differ in width).
+        assert_eq!(bang.goal.to_string(), keyword.goal.to_string());
+        assert!(bang.goal.disjuncts[0].literals[1].negated);
+        // `not(...)` is an atom named `not`, not a negation.
+        let atom = parse_query("?- not(x)").unwrap();
+        assert!(!atom.goal.disjuncts[0].literals[0].negated);
+        assert_eq!(atom.goal.disjuncts[0].literals[0].atom.relation, "not");
+    }
+
+    #[test]
+    fn errors_carry_spans_and_expected_sets() {
+        let error = parse_program("R(x").unwrap_err();
+        assert_eq!(error.span.line, 1);
+        assert!(error.expected.iter().any(|e| e.contains("','")));
+        assert!(error.to_string().contains("line 1"));
+
+        let error = parse_program("R(x,, y)").unwrap_err();
+        assert!(error.expected.iter().any(|e| e.contains("variable")));
+
+        let error = parse_program("R(x) S(y)").unwrap_err();
+        assert!(error.found.contains("identifier 'S'"));
+        assert!(error.expected.contains(&"'.'"));
+
+        let error = parse_program("0.5 : R(\"a\")").unwrap_err();
+        assert!(error.found.contains("':'"));
+    }
+
+    #[test]
+    fn lexical_errors_surface_with_positions() {
+        let error = parse_program("R(@)").unwrap_err();
+        assert!(error.found.contains("unexpected character '@'"));
+        assert_eq!(error.span.col, 3);
+    }
+
+    #[test]
+    fn trailing_dot_is_optional_and_repeated_dots_are_tolerated() {
+        assert!(parse_program("?- R(x).").is_ok());
+        assert!(parse_program("?- R(x)").is_ok());
+        assert!(parse_program("..?- R(x)..").is_ok());
+        assert!(parse_program("").unwrap().statements.is_empty());
+    }
+
+    #[test]
+    fn parse_query_rejects_non_query_programs() {
+        assert!(parse_query("0.5 :: R(\"a\").").is_err());
+        assert!(parse_query("?- R(x). ?- S(x).").is_err());
+        assert!(parse_query("").is_err());
+    }
+
+    #[test]
+    fn nullary_atoms_parse() {
+        let query = parse_query("?- Alarm()").unwrap();
+        assert!(query.goal.disjuncts[0].literals[0].atom.args.is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! `stuc-repl` — an interactive loop over the textual front-end.
+//!
+//! Reads `stuc-lang` statements from stdin, one batch per line: facts
+//! (`0.5 :: R("a").`) grow the session's tuple-independent instance, rules
+//! (`H(x) :- B(x).`) accumulate for goal unfolding, and goals (`?- R(x).`)
+//! evaluate immediately, printing the probability, the cost-model route and
+//! the engine's strategy notes. Colon commands (`:help`, `:load`, `:facts`,
+//! `:rules`, `:clear`, `:quit`) manage the session.
+//!
+//! The loop is plain `BufRead` over stdin — no readline, no external
+//! dependencies — and its output is deterministic unless `--timing` is
+//! given, so a scripted session can be checked against a golden transcript
+//! (see `ci/repl_session.in`).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, IsTerminal, Write};
+
+use stuc::data::tid::TidInstance;
+use stuc::lang::analysis::{check_goal_with, check_rule, ArityTable, SafetyError};
+use stuc::lang::ast::{FactAst, ProgramAst, RuleAst, StatementAst};
+use stuc::lang::parse_program;
+use stuc::Engine;
+
+const BANNER: &str = "stuc-repl — textual queries over uncertain data (:help for commands)";
+
+const HELP: &str = "\
+commands:
+  :help          show this help
+  :load <path>   run a program file (facts, rules, goals) in this session
+  :facts         list the session's facts
+  :rules         list the session's rules
+  :clear         drop all facts and rules
+  :quit          exit (also :exit, or end-of-input)
+statements (end each with '.'):
+  0.5 :: R(\"a\").            a probabilistic fact
+  Head(x) :- R(x), S(x, y).  a non-recursive positive rule
+  ?- R(x); S(x, y).          a goal: union of conjunctions, '!' negates";
+
+/// One REPL session: the instance under construction, the accumulated
+/// rules, the cross-line arity table, and the engine that evaluates goals.
+struct Session {
+    engine: Engine,
+    tid: TidInstance,
+    /// Insert-ordered facts: canonical `(relation, args)` → display text,
+    /// so re-asserting a fact overrides its probability instead of piling
+    /// up duplicate rows.
+    facts: BTreeMap<(String, Vec<String>), stuc::data::instance::FactId>,
+    rules: Vec<RuleAst>,
+    arities: ArityTable,
+    timing: bool,
+}
+
+impl Session {
+    fn new(timing: bool) -> Session {
+        Session {
+            engine: Engine::new(),
+            tid: TidInstance::new(),
+            facts: BTreeMap::new(),
+            rules: Vec::new(),
+            arities: ArityTable::new(),
+            timing,
+        }
+    }
+
+    /// Runs one input line (or one loaded file) through parse → dispatch.
+    fn run_source(&mut self, src: &str, out: &mut impl Write) -> std::io::Result<()> {
+        let program = match parse_program(src) {
+            Ok(program) => program,
+            Err(error) => return writeln!(out, "error: {error}"),
+        };
+        self.run_program(&program, out)
+    }
+
+    fn run_program(&mut self, program: &ProgramAst, out: &mut impl Write) -> std::io::Result<()> {
+        for statement in &program.statements {
+            match statement {
+                StatementAst::Fact(fact) => self.add_fact(fact, out)?,
+                StatementAst::Rule(rule) => self.add_rule(rule, out)?,
+                StatementAst::Query(query) => self.run_goal(query, out)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn add_fact(&mut self, fact: &FactAst, out: &mut impl Write) -> std::io::Result<()> {
+        if let Err(error) = self.check_fact(fact) {
+            return writeln!(out, "error: {error}");
+        }
+        let args: Vec<String> = fact
+            .atom
+            .args
+            .iter()
+            .map(|t| match &t.term {
+                stuc::lang::ast::TermAst::Const(c) => c.clone(),
+                // Unreachable after `check_fact`, which rejects variables.
+                stuc::lang::ast::TermAst::Var(v) => v.clone(),
+            })
+            .collect();
+        let key = (fact.atom.relation.clone(), args.clone());
+        match self.facts.get(&key) {
+            Some(&id) => self.tid.set_probability(id, fact.probability),
+            None => {
+                let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+                let id = self
+                    .tid
+                    .add_fact_named(&fact.atom.relation, &arg_refs, fact.probability);
+                self.facts.insert(key, id);
+            }
+        }
+        writeln!(out, "ok: {}", fact)
+    }
+
+    fn check_fact(&mut self, fact: &FactAst) -> Result<(), SafetyError> {
+        self.arities.check(&fact.atom)?;
+        if let Some(variable) = fact.atom.variables().into_iter().next() {
+            return Err(SafetyError::NonGroundFact {
+                relation: fact.atom.relation.clone(),
+                variable: variable.to_string(),
+                span: fact.atom.span,
+            });
+        }
+        if !(0.0..=1.0).contains(&fact.probability) || fact.probability.is_nan() {
+            return Err(SafetyError::InvalidProbability {
+                value: fact.probability,
+                span: fact.probability_span,
+            });
+        }
+        Ok(())
+    }
+
+    fn add_rule(&mut self, rule: &RuleAst, out: &mut impl Write) -> std::io::Result<()> {
+        if let Err(error) = check_rule(rule, &mut self.arities) {
+            return writeln!(out, "error: {error}");
+        }
+        writeln!(out, "ok: {}", rule)?;
+        self.rules.push(rule.clone());
+        Ok(())
+    }
+
+    fn run_goal(
+        &mut self,
+        query: &stuc::lang::ast::QueryAst,
+        out: &mut impl Write,
+    ) -> std::io::Result<()> {
+        if let Err(error) = check_goal_with(&query.goal, &mut self.arities) {
+            return writeln!(out, "error: {error}");
+        }
+        let rules: Vec<&RuleAst> = self.rules.iter().collect();
+        writeln!(out, "?- {}.", query.goal)?;
+        match self.engine.evaluate_goal(&self.tid, &query.goal, &rules) {
+            Ok(goal) => {
+                writeln!(
+                    out,
+                    "= {:.9}  [backend: {}, gates: {}]",
+                    goal.probability,
+                    goal.report.backend_name(),
+                    goal.report.circuit_gates
+                )?;
+                for note in &goal.report.notes {
+                    writeln!(out, "  note: {note}")?;
+                }
+                if self.timing {
+                    writeln!(out, "  time: {:?}", goal.report.wall_time)?;
+                }
+                Ok(())
+            }
+            Err(error) => writeln!(out, "error: {error}"),
+        }
+    }
+
+    fn list_facts(&self, out: &mut impl Write) -> std::io::Result<()> {
+        if self.facts.is_empty() {
+            return writeln!(out, "(no facts)");
+        }
+        for ((relation, args), &id) in &self.facts {
+            let rendered: Vec<String> = args.iter().map(|a| format!("{a:?}")).collect();
+            writeln!(
+                out,
+                "{} :: {}({}).",
+                self.tid.probability(id),
+                relation,
+                rendered.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+
+    fn list_rules(&self, out: &mut impl Write) -> std::io::Result<()> {
+        if self.rules.is_empty() {
+            return writeln!(out, "(no rules)");
+        }
+        for rule in &self.rules {
+            writeln!(out, "{rule}")?;
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, path: &str, out: &mut impl Write) -> std::io::Result<()> {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(error) => return writeln!(out, "error: cannot read {path}: {error}"),
+        };
+        let program = match parse_program(&src) {
+            Ok(program) => program,
+            Err(error) => return writeln!(out, "error: {path}: {error}"),
+        };
+        writeln!(
+            out,
+            "loading {path}: {} fact(s), {} rule(s), {} goal(s)",
+            program.facts().count(),
+            program.rules().len(),
+            program.queries().len()
+        )?;
+        self.run_program(&program, out)
+    }
+
+    fn clear(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        self.tid = TidInstance::new();
+        self.facts.clear();
+        self.rules.clear();
+        self.arities = ArityTable::new();
+        writeln!(out, "cleared")
+    }
+
+    /// Dispatches one line. Returns `false` when the session should end.
+    fn handle_line(&mut self, line: &str, out: &mut impl Write) -> std::io::Result<bool> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(true);
+        }
+        if let Some(command) = trimmed.strip_prefix(':') {
+            let mut words = command.split_whitespace();
+            match words.next() {
+                Some("help") => writeln!(out, "{HELP}")?,
+                Some("quit") | Some("exit") => return Ok(false),
+                Some("facts") => self.list_facts(out)?,
+                Some("rules") => self.list_rules(out)?,
+                Some("clear") => self.clear(out)?,
+                Some("load") => match words.next() {
+                    Some(path) => self.load(path, out)?,
+                    None => writeln!(out, "error: :load needs a file path")?,
+                },
+                other => writeln!(
+                    out,
+                    "error: unknown command :{} (:help lists commands)",
+                    other.unwrap_or("")
+                )?,
+            }
+            return Ok(true);
+        }
+        self.run_source(trimmed, out)?;
+        Ok(true)
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut timing = false;
+    let mut program_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--timing" => timing = true,
+            "--help" | "-h" => {
+                println!("usage: stuc-repl [--timing] [program.stuc]");
+                println!("{HELP}");
+                return Ok(());
+            }
+            path if !path.starts_with('-') => program_path = Some(path.to_string()),
+            other => {
+                eprintln!("error: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let interactive = stdin.is_terminal();
+    let mut out = stdout.lock();
+    let mut session = Session::new(timing);
+
+    writeln!(out, "{BANNER}")?;
+    if let Some(path) = program_path {
+        session.load(&path, &mut out)?;
+    }
+
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            write!(out, "stuc> ")?;
+            out.flush()?;
+        }
+        let Some(line) = lines.next() else {
+            break;
+        };
+        if !session.handle_line(&line?, &mut out)? {
+            break;
+        }
+    }
+    writeln!(out, "bye")?;
+    Ok(())
+}

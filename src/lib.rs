@@ -25,6 +25,10 @@
 //!   (TID, c-instances, pc-instances, pcc-instances).
 //! * [`query`] — conjunctive queries, relational algebra, lineage, the safe
 //!   extensional baseline.
+//! * [`lang`] — the textual datalog/UCQ front-end: lexer, parser, safety
+//!   analysis, lowering to signed sums of conjunctive queries, and the
+//!   cost model behind [`Engine::evaluate_text`]. The `stuc-repl` binary
+//!   wraps it interactively.
 //! * [`automata`] — bottom-up tree automata, tree encodings of
 //!   bounded-treewidth instances, provenance-producing runs.
 //! * [`prxml`] — probabilistic XML (`ind`/`mux`/`cie` nodes, global events,
@@ -80,6 +84,27 @@
 //! assert!(report.probability > 0.0);
 //! ```
 //!
+//! ## Textual queries
+//!
+//! The same evaluation is available from text through the [`lang`] front-end
+//! ([`Engine::evaluate_text`]): programs may define non-recursive rules,
+//! goals may use unions and ground negation, and a cost model routes each
+//! goal to the safe plan or the compiled circuit:
+//!
+//! ```
+//! use stuc::Engine;
+//! use stuc::data::tid::TidInstance;
+//!
+//! let mut tid = TidInstance::new();
+//! tid.add_fact_named("R", &["a"], 0.4);
+//! tid.add_fact_named("S", &["a", "b"], 0.5);
+//!
+//! let outcome = Engine::new()
+//!     .evaluate_text(&tid, "Both(x) :- R(x), S(x, y).  ?- Both(x).")
+//!     .unwrap();
+//! assert!((outcome.goals[0].probability - 0.2).abs() < 1e-9);
+//! ```
+//!
 //! ## Migrating from `TractablePipeline`
 //!
 //! The pre-engine entry point `stuc::core::pipeline::TractablePipeline` is
@@ -94,6 +119,7 @@ pub use stuc_data as data;
 pub use stuc_graph as graph;
 pub use stuc_incr as incr;
 pub use stuc_infer as infer;
+pub use stuc_lang as lang;
 pub use stuc_order as order;
 pub use stuc_prxml as prxml;
 pub use stuc_query as query;
@@ -101,6 +127,8 @@ pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
     Backend, BackendKind, BackendPolicy, BatchReport, Delta, DeltaOp, Engine, EngineBuilder,
-    EvaluationReport, InferenceReport, Marginals, MostProbableWorld, ReprKind, Representation,
-    SampledWorlds, StucError, Updatable, UpdateLog, UpdateReport, World, WorldSampler,
+    EvaluationReport, GoalEvaluation, InferenceReport, Marginals, MostProbableWorld, ReprKind,
+    Representation, SampledWorlds, StucError, TextEvaluation, Updatable, UpdateLog, UpdateReport,
+    World, WorldSampler,
 };
+pub use stuc_lang::{LangError, ParseError};

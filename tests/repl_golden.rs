@@ -1,0 +1,76 @@
+//! Golden-output check of the `stuc-repl` binary: the scripted session in
+//! `ci/repl_session.in` must reproduce `ci/repl_session.golden` exactly.
+//!
+//! Everything the REPL prints without `--timing` is deterministic by
+//! construction — probabilities use fixed-width `{:.9}` formatting, the
+//! cost-model summaries are float-free, and gate/width counts come from
+//! deterministic compilation — so byte equality is the right bar. When a
+//! legitimate change alters the transcript, regenerate it with
+//! `./target/debug/stuc-repl < ci/repl_session.in > ci/repl_session.golden`.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+#[test]
+fn scripted_session_matches_the_golden_transcript() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let script = std::fs::read_to_string(format!("{root}/ci/repl_session.in")).unwrap();
+    let golden = std::fs::read_to_string(format!("{root}/ci/repl_session.golden")).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stuc-repl"))
+        .current_dir(root) // `:load examples/trips.stuc` is root-relative
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn stuc-repl");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let output = child.wait_with_output().expect("wait for stuc-repl");
+
+    assert!(
+        output.status.success(),
+        "stuc-repl exited with {:?}; stderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let transcript = String::from_utf8(output.stdout).expect("transcript is UTF-8");
+    assert_eq!(
+        transcript, golden,
+        "REPL transcript diverged from ci/repl_session.golden; regenerate it if the change is intended"
+    );
+}
+
+#[test]
+fn the_help_flag_prints_usage_and_exits_cleanly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_stuc-repl"))
+        .arg("--help")
+        .output()
+        .expect("run stuc-repl --help");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("usage: stuc-repl"));
+    assert!(text.contains(":load"));
+}
+
+#[test]
+fn a_program_file_argument_is_loaded_before_the_loop() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stuc-repl"))
+        .arg("examples/trips.stuc")
+        .current_dir(root)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn stuc-repl");
+    child.stdin.take().unwrap(); // closing stdin ends the loop
+    let output = child.wait_with_output().expect("wait for stuc-repl");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("loading examples/trips.stuc"));
+    assert!(text.contains("= 0.480000000"));
+}

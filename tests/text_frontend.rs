@@ -1,0 +1,363 @@
+//! Differential coverage of the textual front-end: a corpus of textual
+//! queries — safe (hierarchical, self-join-free), unsafe-but-compilable
+//! (non-hierarchical or self-joining, handled by circuits), and
+//! syntactically invalid — evaluated through `Engine::evaluate_text` and
+//! checked against the same queries built programmatically with
+//! `stuc_query`, on TID, pc- and pcc-instances, across every back-end.
+//!
+//! Also asserts the cost model's route choice per corpus kind: safe queries
+//! take the safe-plan route, unsafe-but-compilable ones take the circuit
+//! route, and invalid ones fail with a spanned parse error before any
+//! routing happens.
+
+use stuc::circuit::weights::Weights;
+use stuc::circuit::wmc::WmcError;
+use stuc::data::cinstance::{CInstance, PcInstance};
+use stuc::data::pcc::PccInstance;
+use stuc::data::tid::TidInstance;
+use stuc::lang::cost::Route;
+use stuc::query::cq::ConjunctiveQuery;
+use stuc::{BackendKind, Engine, LangError, StucError};
+
+/// What the cost model must decide for a corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    /// Hierarchical and self-join-free: routed to the safe plan.
+    Safe,
+    /// Unsafe for extensional evaluation but compilable: routed to circuits.
+    Circuit,
+    /// Must fail to parse with a spanned error.
+    Invalid,
+}
+
+/// One corpus entry: the surface text, the expected route, and (when the
+/// goal is a single conjunctive query, possibly via rules) the equivalent
+/// programmatic `stuc_query` construction to check probabilities against.
+struct Case {
+    text: &'static str,
+    kind: Kind,
+    cq: Option<&'static str>,
+}
+
+/// ≥ 15 textual queries: 7 safe, 6 circuit-bound, 5 invalid.
+const CORPUS: &[Case] = &[
+    // — safe: hierarchical, self-join-free, cheap —
+    Case {
+        text: "?- R(x).",
+        kind: Kind::Safe,
+        cq: Some("R(x)"),
+    },
+    Case {
+        text: "?- S(x, y).",
+        kind: Kind::Safe,
+        cq: Some("S(x, y)"),
+    },
+    Case {
+        text: "?- R(x), S(x, y).",
+        kind: Kind::Safe,
+        cq: Some("R(x), S(x, y)"),
+    },
+    Case {
+        text: "?- R(\"a\").",
+        kind: Kind::Safe,
+        cq: Some("R(\"a\")"),
+    },
+    Case {
+        text: "?- R(x), S(x, \"b\").",
+        kind: Kind::Safe,
+        cq: Some("R(x), S(x, \"b\")"),
+    },
+    Case {
+        text: "?- Missing(x).",
+        kind: Kind::Safe,
+        cq: None,
+    },
+    Case {
+        text: "?- T(y); R(x).",
+        kind: Kind::Safe,
+        cq: None,
+    },
+    // — unsafe for the safe plan, compilable as circuits —
+    Case {
+        text: "?- R(x), S(x, y), T(y).",
+        kind: Kind::Circuit,
+        cq: Some("R(x), S(x, y), T(y)"),
+    },
+    Case {
+        text: "?- E(x, y), E(y, z).",
+        kind: Kind::Circuit,
+        cq: Some("E(x, y), E(y, z)"),
+    },
+    Case {
+        text: "?- E(x, y), E(y, x).",
+        kind: Kind::Circuit,
+        cq: Some("E(x, y), E(y, x)"),
+    },
+    Case {
+        text: "Hop(x, z) :- E(x, y), E(y, z). ?- Hop(x, z).",
+        kind: Kind::Circuit,
+        cq: Some("E(x, y), E(y, z)"),
+    },
+    Case {
+        text: "Q(x) :- R(x), S(x, y), T(y). ?- Q(x).",
+        kind: Kind::Circuit,
+        cq: Some("R(x), S(x, y), T(y)"),
+    },
+    Case {
+        text: "A(x) :- E(x, y), E(y, x). ?- A(\"a\").",
+        kind: Kind::Circuit,
+        cq: Some("E(\"a\", y), E(y, \"a\")"),
+    },
+    // — syntactically invalid —
+    Case {
+        text: "?- R(x",
+        kind: Kind::Invalid,
+        cq: None,
+    },
+    Case {
+        text: "0.5 : R(\"a\").",
+        kind: Kind::Invalid,
+        cq: None,
+    },
+    Case {
+        text: "?- R(x), .",
+        kind: Kind::Invalid,
+        cq: None,
+    },
+    Case {
+        text: "R() :- .",
+        kind: Kind::Invalid,
+        cq: None,
+    },
+    Case {
+        text: "?- ; R(x).",
+        kind: Kind::Invalid,
+        cq: None,
+    },
+];
+
+/// `(relation, args, probability)` triples shared by all three instances.
+const FACTS: &[(&str, &[&str], f64)] = &[
+    ("R", &["a"], 0.4),
+    ("R", &["b"], 0.7),
+    ("S", &["a", "b"], 0.5),
+    ("S", &["a", "c"], 0.3),
+    ("S", &["b", "b"], 0.6),
+    ("T", &["b"], 0.8),
+    ("T", &["c"], 0.2),
+    ("E", &["a", "b"], 0.5),
+    ("E", &["b", "c"], 0.5),
+    ("E", &["c", "a"], 0.5),
+];
+
+fn tid() -> TidInstance {
+    let mut tid = TidInstance::new();
+    for (relation, args, p) in FACTS {
+        tid.add_fact_named(relation, args, *p);
+    }
+    tid
+}
+
+/// The same facts as a pc-instance: one independent event per fact, so the
+/// semantics (and every probability) must coincide with the TID exactly.
+fn pc() -> PcInstance {
+    let mut ci = CInstance::new();
+    let mut weights = Weights::new();
+    for (i, (relation, args, p)) in FACTS.iter().enumerate() {
+        let event = format!("e{i}");
+        ci.add_fact_with_condition(relation, args, &event).unwrap();
+        let var = ci.events().find(&event).unwrap();
+        weights.set(var, *p);
+    }
+    ci.with_probabilities(weights)
+}
+
+fn pcc() -> PccInstance {
+    PccInstance::from_pc_instance(&pc())
+}
+
+#[test]
+fn the_corpus_routes_and_parses_as_specified() {
+    let tid = tid();
+    let engine = Engine::new();
+    for case in CORPUS {
+        match case.kind {
+            Kind::Invalid => {
+                let error = engine.evaluate_text(&tid, case.text).expect_err(case.text);
+                match error {
+                    StucError::Lang(LangError::Parse(parse)) => {
+                        assert!(parse.span.line >= 1, "{}: span missing", case.text);
+                        assert!(
+                            !parse.expected.is_empty(),
+                            "{}: no expected-token set",
+                            case.text
+                        );
+                    }
+                    other => panic!("{}: expected a parse error, got {other}", case.text),
+                }
+            }
+            Kind::Safe | Kind::Circuit => {
+                let outcome = engine.evaluate_text(&tid, case.text).expect(case.text);
+                let goal = &outcome.goals[0];
+                let expected_route = match case.kind {
+                    Kind::Safe => Route::SafePlan,
+                    _ => Route::Circuit,
+                };
+                assert_eq!(
+                    goal.report.route,
+                    Some(expected_route),
+                    "{}: wrong route ({})",
+                    case.text,
+                    goal.decision.summary()
+                );
+                assert!(
+                    (0.0..=1.0).contains(&goal.probability),
+                    "{}: probability {} out of range",
+                    case.text,
+                    goal.probability
+                );
+            }
+        }
+    }
+}
+
+/// Textual evaluation agrees with the programmatic construction on the TID,
+/// under the automatic policy and under every pinned circuit back-end.
+#[test]
+fn text_agrees_with_programmatic_queries_on_tid_across_backends() {
+    let tid = tid();
+    for case in CORPUS {
+        let Some(cq_text) = case.cq else { continue };
+        let cq = ConjunctiveQuery::parse(cq_text).unwrap();
+        let reference = Engine::new()
+            .evaluate(&tid, &cq)
+            .expect(cq_text)
+            .probability;
+
+        let text_auto = Engine::new()
+            .evaluate_text(&tid, case.text)
+            .expect(case.text);
+        assert!(
+            (text_auto.goals[0].probability - reference).abs() < 1e-9,
+            "{}: text {} vs programmatic {}",
+            case.text,
+            text_auto.goals[0].probability,
+            reference
+        );
+
+        for kind in [
+            BackendKind::TreewidthWmc,
+            BackendKind::Dpll,
+            BackendKind::Enumeration,
+        ] {
+            let engine = Engine::builder().backend(kind).build();
+            let text = match engine.evaluate_text(&tid, case.text) {
+                // Pinned treewidth WMC may legitimately refuse a circuit
+                // wider than its budget; agreement covers given answers.
+                Err(StucError::Wmc(WmcError::WidthTooLarge { .. }))
+                    if kind == BackendKind::TreewidthWmc =>
+                {
+                    continue;
+                }
+                other => other.expect(case.text),
+            };
+            let goal = &text.goals[0];
+            assert_eq!(goal.report.backend, kind, "{}: pinned {kind}", case.text);
+            assert_eq!(goal.report.route, Some(Route::Circuit));
+            assert!(
+                (goal.probability - reference).abs() < 1e-9,
+                "{}: pinned {kind} gave {} vs {}",
+                case.text,
+                goal.probability,
+                reference
+            );
+        }
+    }
+}
+
+/// The same differential on pc- and pcc-instances: per-fact independent
+/// events make them TID-equivalent, so text, programmatic, and
+/// cross-representation probabilities must all coincide.
+#[test]
+fn text_agrees_with_programmatic_queries_on_pc_and_pcc() {
+    let tid = tid();
+    let pc = pc();
+    let pcc = pcc();
+    let engine = Engine::new();
+    for case in CORPUS {
+        let Some(cq_text) = case.cq else { continue };
+        let cq = ConjunctiveQuery::parse(cq_text).unwrap();
+        let reference = engine.evaluate(&tid, &cq).unwrap().probability;
+
+        let on_pc = engine.evaluate_text(&pc, case.text).expect(case.text);
+        let programmatic_pc = engine.evaluate(&pc, &cq).expect(cq_text);
+        assert!(
+            (on_pc.goals[0].probability - programmatic_pc.probability).abs() < 1e-9,
+            "{}: pc text vs pc programmatic",
+            case.text
+        );
+        assert!(
+            (on_pc.goals[0].probability - reference).abs() < 1e-9,
+            "{}: pc {} vs tid {}",
+            case.text,
+            on_pc.goals[0].probability,
+            reference
+        );
+
+        let on_pcc = engine.evaluate_text(&pcc, case.text).expect(case.text);
+        assert!(
+            (on_pcc.goals[0].probability - reference).abs() < 1e-9,
+            "{}: pcc {} vs tid {}",
+            case.text,
+            on_pcc.goals[0].probability,
+            reference
+        );
+        // Neither carrier offers the extensional fast path, so even safe
+        // queries run on circuits there.
+        assert_eq!(on_pc.goals[0].report.route, Some(Route::Circuit));
+        assert_eq!(on_pcc.goals[0].report.route, Some(Route::Circuit));
+    }
+}
+
+/// Unions and ground negation lower by inclusion–exclusion; check them
+/// against the same formula assembled from programmatic evaluations.
+#[test]
+fn unions_and_negation_match_manual_inclusion_exclusion() {
+    let tid = tid();
+    let engine = Engine::new();
+    let p = |text: &str| {
+        engine
+            .evaluate(&tid, &ConjunctiveQuery::parse(text).unwrap())
+            .unwrap()
+            .probability
+    };
+
+    let union = engine.evaluate_text(&tid, "?- T(y); R(x).").unwrap();
+    let expected = p("T(y)") + p("R(x)") - p("T(y), R(x)");
+    assert!((union.goals[0].probability - expected).abs() < 1e-9);
+
+    let negation = engine
+        .evaluate_text(&tid, "?- R(x), !S(\"a\", \"b\").")
+        .unwrap();
+    let expected = p("R(x)") - p("R(x), S(\"a\", \"b\")");
+    assert!((negation.goals[0].probability - expected).abs() < 1e-9);
+    assert_eq!(negation.goals[0].report.route, Some(Route::SafePlan));
+}
+
+/// A safe query stays pinnable to the safe plan through the text path, and
+/// the goal's report exposes the decision evidence.
+#[test]
+fn pinned_safe_plan_runs_safe_corpus_queries() {
+    let tid = tid();
+    let engine = Engine::builder().backend(BackendKind::SafePlan).build();
+    let outcome = engine.evaluate_text(&tid, "?- R(x), S(x, y).").unwrap();
+    let goal = &outcome.goals[0];
+    assert_eq!(goal.report.backend, BackendKind::SafePlan);
+    assert_eq!(goal.report.route, Some(Route::SafePlan));
+    assert!(goal.decision.safe_eligible);
+    let reference = Engine::new()
+        .evaluate(&tid, &ConjunctiveQuery::parse("R(x), S(x, y)").unwrap())
+        .unwrap()
+        .probability;
+    assert!((goal.probability - reference).abs() < 1e-9);
+}
