@@ -1,0 +1,306 @@
+//! `stuc-loadgen` — drives a `stuc-serve` instance at high connection
+//! counts and records service-level numbers (p50/p99 latency, queries/sec,
+//! overload behaviour) to `BENCH_a7.json`.
+//!
+//! Two phases:
+//!
+//! 1. **Throughput** — N client threads (default 1000, each a real TCP
+//!    connection per request, rotating over a mix of safe-plan and
+//!    circuit-bound goals so the engine's sharded caches see both routes)
+//!    hammer an in-process server sized for the load. Records p50/p99
+//!    latency and queries/sec.
+//! 2. **Overload probe** — a deliberately tiny server (1 worker, queue of
+//!    2) under a burst of concurrent clients. Admission control must answer
+//!    every surplus connection with a typed `503 overload` immediately:
+//!    the probe asserts rejections happened, every client got *some*
+//!    complete response (no hangs), and records the rejection count.
+//!
+//! Offline-container friendly: `std::net` + threads only. Client threads
+//! use small stacks so 1000+ of them fit comfortably.
+//!
+//! ```text
+//! cargo run --release -p stuc-bench --bin stuc-loadgen
+//! stuc-loadgen --connections 1000 --requests 3000   # explicit sizing
+//! stuc-loadgen --addr 127.0.0.1:7878                # drive an external server
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use stuc_bench::{report_value, BenchSummary};
+use stuc_core::serve::{ServeConfig, Server, ServiceState};
+use stuc_core::Engine;
+
+const SUITE: &str = "a7";
+
+/// The served workload: a probabilistic path relation. Anchored self-join
+/// goals over it route to the circuit; the open scan routes to the safe
+/// plan.
+fn path_program(edges: usize) -> String {
+    let mut program = String::new();
+    for i in 0..edges {
+        program.push_str(&format!("0.5 :: R(\"v{i}\", \"v{}\").\n", i + 1));
+    }
+    program
+}
+
+/// The goal mix, rotated over by request index: mostly warm repeats (the
+/// service case), a few distinct anchors (cache diversity), one safe scan.
+fn goal_mix() -> Vec<String> {
+    let mut goals: Vec<String> = (0..6)
+        .map(|k| format!("?- R(\"v{k}\", x), R(x, y), R(y, z)."))
+        .collect();
+    goals.push("?- R(x, y).".to_string());
+    goals.push("?- R(x, y), R(y, z).".to_string());
+    goals
+}
+
+/// One request over a fresh connection; returns (status, latency).
+fn one_request(addr: SocketAddr, body: &str, timeout: Duration) -> Option<(u16, Duration)> {
+    let started = Instant::now();
+    let stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    let mut stream = stream;
+    let request = format!(
+        "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let status: u16 = response.split_whitespace().nth(1)?.parse().ok()?;
+    // A complete response carries the full declared body.
+    let body_len: usize = response
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())?;
+    let payload = response.split("\r\n\r\n").nth(1)?;
+    if payload.len() != body_len {
+        return None;
+    }
+    Some((status, started.elapsed()))
+}
+
+struct PhaseOutcome {
+    latencies: Vec<Duration>,
+    ok: u64,
+    overloaded: u64,
+    failed: u64,
+    wall: Duration,
+}
+
+/// Fans `total_requests` over `connections` client threads against `addr`.
+fn drive(
+    addr: SocketAddr,
+    connections: usize,
+    total_requests: usize,
+    timeout: Duration,
+) -> PhaseOutcome {
+    let goals = goal_mix();
+    let cursor = AtomicUsize::new(0);
+    let ok = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let all_latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(total_requests));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let goals = &goals;
+                let cursor = &cursor;
+                let ok = &ok;
+                let overloaded = &overloaded;
+                let failed = &failed;
+                let all_latencies = &all_latencies;
+                std::thread::Builder::new()
+                    .stack_size(128 * 1024)
+                    .spawn_scoped(scope, move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= total_requests {
+                                break;
+                            }
+                            let goal = &goals[index % goals.len()];
+                            match one_request(addr, goal, timeout) {
+                                Some((200, latency)) => {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                    local.push(latency);
+                                }
+                                Some((503, latency)) => {
+                                    overloaded.fetch_add(1, Ordering::Relaxed);
+                                    local.push(latency);
+                                }
+                                Some(_) | None => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        all_latencies
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .extend(local);
+                    })
+                    .expect("spawn loadgen client thread")
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("loadgen client panicked");
+        }
+    });
+    let mut latencies = all_latencies
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner());
+    latencies.sort_unstable();
+    PhaseOutcome {
+        latencies,
+        ok: ok.into_inner(),
+        overloaded: overloaded.into_inner(),
+        failed: failed.into_inner(),
+        wall: started.elapsed(),
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut connections = 1000usize;
+    let mut total_requests = 3000usize;
+    let mut external_addr: Option<SocketAddr> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("usage: stuc-loadgen [--connections N] [--requests N] [--addr HOST:PORT]");
+                return;
+            }
+            "--connections" => {
+                connections = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --connections needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--requests" => {
+                total_requests = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --requests needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--addr" => {
+                external_addr =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("error: --addr needs HOST:PORT");
+                        std::process::exit(2);
+                    }))
+            }
+            other => {
+                eprintln!("error: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let timeout = Duration::from_secs(120);
+    let mut summary = BenchSummary::new(SUITE);
+
+    // --- phase 1: throughput at high connection count ----------------------
+    let own_server = if external_addr.is_none() {
+        let state = ServiceState::from_program(Engine::new(), &path_program(60))
+            .expect("workload program is well-formed");
+        let config = ServeConfig {
+            // Admit the whole connection herd: this phase measures service
+            // latency, not rejection (phase 2 covers that).
+            queue_capacity: connections.max(1024) * 2,
+            io_timeout: timeout,
+            ..ServeConfig::default()
+        };
+        Some(Server::spawn(config, state).expect("bind loadgen server"))
+    } else {
+        None
+    };
+    let addr = external_addr.unwrap_or_else(|| own_server.as_ref().unwrap().addr());
+    report_value(
+        SUITE,
+        "phase1",
+        format!("{connections} connections x {total_requests} requests against {addr}"),
+    );
+    let outcome = drive(addr, connections, total_requests, timeout);
+    assert_eq!(
+        outcome.failed, 0,
+        "throughput phase must not drop requests (ok={}, overloaded={}, failed={})",
+        outcome.ok, outcome.overloaded, outcome.failed
+    );
+    let p50 = percentile(&outcome.latencies, 0.50);
+    let p99 = percentile(&outcome.latencies, 0.99);
+    report_value(SUITE, "completed", outcome.ok + outcome.overloaded);
+    report_value(SUITE, "p50_latency", format!("{p50:?}"));
+    report_value(SUITE, "p99_latency", format!("{p99:?}"));
+    report_value(
+        SUITE,
+        "queries_per_sec",
+        format!(
+            "{:.1}",
+            outcome.ok as f64 / outcome.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    );
+    summary.record(&format!("serve_p50_latency_{connections}conns"), p50);
+    summary.record(&format!("serve_p99_latency_{connections}conns"), p99);
+    summary.record_rate(
+        &format!("serve_throughput_{connections}conns"),
+        outcome.ok,
+        outcome.wall,
+    );
+    if let Some(server) = own_server {
+        let stats = server.stats();
+        report_value(SUITE, "server_stats", format!("{stats:?}"));
+        server.shutdown();
+    }
+
+    // --- phase 2: overload probe (admission control) -----------------------
+    if external_addr.is_none() {
+        let state = ServiceState::from_program(Engine::new(), &path_program(60))
+            .expect("workload program is well-formed");
+        let tiny = Server::spawn(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                io_timeout: timeout,
+                ..ServeConfig::default()
+            },
+            state,
+        )
+        .expect("bind overload server");
+        let burst = drive(tiny.addr(), 64, 256, timeout);
+        let stats = tiny.stats();
+        report_value(
+            SUITE,
+            "overload_probe",
+            format!(
+                "ok={} overloaded={} failed={} server={stats:?}",
+                burst.ok, burst.overloaded, burst.failed
+            ),
+        );
+        assert_eq!(
+            burst.failed, 0,
+            "overload must degrade to typed rejections, never to hangs or dropped connections"
+        );
+        assert!(
+            burst.overloaded > 0,
+            "a 64-client burst against a 1-worker/queue-2 server must trip admission control"
+        );
+        assert_eq!(burst.ok + burst.overloaded, 256, "every request answered");
+        summary.record_count("serve_overload_rejections_64burst", burst.overloaded);
+        tiny.shutdown();
+    }
+
+    summary.write();
+}

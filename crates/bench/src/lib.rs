@@ -78,6 +78,30 @@ impl BenchSummary {
         self.push(case, best, Some(speedup));
     }
 
+    /// Records a throughput case: `count` completions over `elapsed`,
+    /// written as `best_ns` (the elapsed wall time) plus a
+    /// `"rate_per_sec"` field. Used by the `stuc-loadgen` service bench
+    /// for queries/sec.
+    pub fn record_rate(&mut self, case: &str, count: u64, elapsed: Duration) {
+        let rate = count as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.lines.push(format!(
+            "{{\"suite\":\"{}\",\"case\":\"{}\",\"best_ns\":{},\"rate_per_sec\":{rate:.2}}}",
+            json_escape(&self.suite),
+            json_escape(case),
+            elapsed.as_nanos()
+        ));
+    }
+
+    /// Records a bare counter case (`{"suite","case","count"}`), e.g. how
+    /// many typed overload rejections the admission-control probe saw.
+    pub fn record_count(&mut self, case: &str, count: u64) {
+        self.lines.push(format!(
+            "{{\"suite\":\"{}\",\"case\":\"{}\",\"count\":{count}}}",
+            json_escape(&self.suite),
+            json_escape(case)
+        ));
+    }
+
     fn push(&mut self, case: &str, best: Duration, speedup: Option<f64>) {
         let mut line = format!(
             "{{\"suite\":\"{}\",\"case\":\"{}\",\"best_ns\":{}",
@@ -170,6 +194,13 @@ mod tests {
             "{\"suite\":\"t0\",\"case\":\"sweep\",\"best_ns\":1500}"
         );
         assert!(summary.lines[1].contains("\"speedup_vs_baseline\":4.5000"));
+        summary.record_rate("throughput", 500, Duration::from_secs(2));
+        assert!(summary.lines[2].contains("\"rate_per_sec\":250.00"));
+        summary.record_count("overload_rejections", 7);
+        assert_eq!(
+            summary.lines[3],
+            "{\"suite\":\"t0\",\"case\":\"overload_rejections\",\"count\":7}"
+        );
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! batch/shared evaluation as the practical route to throughput on
 //! structured probabilistic data — this module is that route:
 //! [`Engine::evaluate_batch`] partitions a query batch across scoped worker
-//! threads (std only, no extra dependencies) that all share the engine's
-//! fingerprint-keyed decomposition cache and compiled-lineage cache.
+//! threads (std only, no extra dependencies) that all hammer the shared
+//! engine directly; the engine's [sharded, clone-on-read
+//! caches](super::cache) make that contention-free (hits take one shard
+//! read lock, misses compile without holding any lock and publish
+//! first-writer-wins).
 //!
 //! Work is distributed by an atomic cursor, so long-running queries do not
 //! stall the rest of the batch behind a static partition. Per-query errors
@@ -98,17 +101,11 @@ impl Engine {
                 .map(|query| self.evaluate(representation, query))
                 .collect()
         } else {
-            // Pre-warm the structure decomposition when some query is
-            // guaranteed to need it (no extensional fast path exists), so
-            // workers do not race to decompose the same instance.
-            if self.config.cache_decompositions
-                && unique
-                    .iter()
-                    .any(|query| representation.extensional(query).is_none())
-            {
-                let _ = self.decomposition_for(representation);
-            }
-
+            // No pre-warm: workers that race on the same fingerprint publish
+            // their decompositions first-writer-wins and converge on one
+            // shared Arc, so the worst case is a bounded handful of
+            // duplicate decompositions instead of a serial warm-up pass
+            // blocking the whole pool.
             let cursor = AtomicUsize::new(0);
             let mut indexed = Vec::with_capacity(unique.len());
             std::thread::scope(|scope| {

@@ -75,6 +75,7 @@
 
 pub mod backend;
 pub mod batch;
+pub mod cache;
 pub mod error;
 pub mod report;
 pub mod representation;
@@ -84,6 +85,7 @@ pub mod update;
 pub use backend::{
     Backend, DpllBackend, EnumerationBackend, EvaluationTask, SafePlanBackend, TreewidthWmcBackend,
 };
+pub use cache::{CacheCounters, EngineCacheStats};
 pub use error::StucError;
 pub use report::{BackendKind, BackendPolicy, BatchReport, EvaluationReport};
 pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
@@ -94,9 +96,9 @@ pub use stuc_infer::{
 pub use text::{GoalEvaluation, TextEvaluation};
 pub use update::UpdateReport;
 
+use cache::ShardedCache;
 use representation::{fingerprint_debug, fingerprint_debug_pair_with, FNV_OFFSET_BASIS};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 use stuc_circuit::circuit::Circuit;
 use stuc_circuit::compiled::CompiledCircuit;
@@ -115,6 +117,7 @@ pub struct EngineBuilder {
     cache_decompositions: bool,
     cache_lineages: bool,
     cache_capacity: usize,
+    cache_shards: usize,
     batch_threads: usize,
     dpll_max_branches: u64,
 }
@@ -128,6 +131,7 @@ impl Default for EngineBuilder {
             cache_decompositions: true,
             cache_lineages: true,
             cache_capacity: 1024,
+            cache_shards: cache::DEFAULT_SHARDS,
             batch_threads: 0,
             dpll_max_branches: DpllBackend::default().max_branches,
         }
@@ -190,6 +194,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Number of lock shards in each engine cache (default 16). More shards
+    /// means concurrent readers and writers on *different* fingerprints are
+    /// less likely to touch the same lock; the capacity bound stays global
+    /// regardless of the shard count. Clamped to at least 1.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards.max(1);
+        self
+    }
+
     /// Number of worker threads for [`Engine::evaluate_batch`]; `0` (the
     /// default) uses [`std::thread::available_parallelism`]. The count is
     /// always additionally capped by the batch size.
@@ -200,10 +213,23 @@ impl EngineBuilder {
 
     /// Finishes the builder.
     pub fn build(self) -> Engine {
+        // A disabled cache is a capacity-0 cache: same no-storage behaviour,
+        // one code path.
+        let decomposition_capacity = if self.cache_decompositions {
+            self.cache_capacity
+        } else {
+            0
+        };
+        let lineage_capacity = if self.cache_lineages {
+            self.cache_capacity
+        } else {
+            0
+        };
+        let shards = self.cache_shards;
         Engine {
             config: self,
-            cache: Mutex::new(BoundedCache::new()),
-            lineage_cache: Mutex::new(BoundedCache::new()),
+            cache: ShardedCache::new(decomposition_capacity, shards),
+            lineage_cache: ShardedCache::new(lineage_capacity, shards),
         }
     }
 }
@@ -212,10 +238,15 @@ impl EngineBuilder {
 /// representation, with pluggable and auto-selected back-ends. See the
 /// [module docs](self) for the selection rules.
 ///
-/// The engine is `Sync`: both caches are behind mutexes, so one engine can
-/// be shared across threads serving many queries against the same
-/// instances — [`Engine::evaluate_batch`] does exactly that with a scoped
-/// worker pool.
+/// The engine is `Send + Sync` and cheaply shareable behind an
+/// `Arc<Engine>`: both caches are [sharded, clone-on-read maps](cache)
+/// whose hot path (a warm hit) takes only one shard's read lock for the
+/// duration of an `Arc` clone, and whose miss path never holds any lock
+/// across compilation — workers compile privately and publish under
+/// first-writer-wins. [`Engine::evaluate_batch`] and the `stuc-serve`
+/// worker pool both hammer one engine from many threads this way;
+/// [`Engine::cache_stats`] exposes hit/miss counters so tests can prove
+/// the sharing happened.
 #[derive(Debug)]
 pub struct Engine {
     config: EngineBuilder,
@@ -223,7 +254,7 @@ pub struct Engine {
     /// fingerprint + heuristic. Entries are validated against the structure
     /// graph before reuse, so a fingerprint collision can never corrupt a
     /// result — it only costs a recomputation.
-    cache: Mutex<BoundedCache<(u64, EliminationHeuristic), Arc<TreeDecomposition>>>,
+    cache: ShardedCache<(u64, EliminationHeuristic), Arc<TreeDecomposition>>,
     /// Compiled lineage circuits, keyed by `(instance fingerprint, query
     /// fingerprint, heuristic)`. A hit skips decomposition *and* lineage
     /// construction — probability re-evaluation under changed weights
@@ -232,8 +263,15 @@ pub struct Engine {
     /// `Debug` rendering and a second, differently-seeded instance hash;
     /// both are checked on lookup, so a wrong reuse would need two
     /// simultaneous 64-bit hash collisions on the same query text.
-    lineage_cache: Mutex<BoundedCache<LineageKey, Arc<CompiledLineage>>>,
+    lineage_cache: ShardedCache<LineageKey, Arc<CompiledLineage>>,
 }
+
+/// Compile-time proof of the sharing contract: one `Arc<Engine>` may be
+/// handed to any number of threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>()
+};
 
 /// Key of the compiled-lineage cache: instance fingerprint, query
 /// fingerprint, elimination heuristic.
@@ -320,66 +358,6 @@ pub(crate) fn lineage_fingerprint_pair<R: Representation + ?Sized>(
     fingerprint_debug_pair_with(representation, FNV_OFFSET_BASIS, LINEAGE_CHECK_BASIS)
 }
 
-/// A fingerprint-keyed map bounded to a capacity with FIFO eviction: when
-/// full, the oldest-inserted entry goes first, so a churning workload
-/// cannot evict what it just cached. Capacity 0 disables storage entirely.
-#[derive(Debug)]
-pub(crate) struct BoundedCache<K, V> {
-    map: HashMap<K, V>,
-    order: VecDeque<K>,
-}
-
-impl<K: std::hash::Hash + Eq + Copy, V> BoundedCache<K, V> {
-    fn new() -> Self {
-        BoundedCache {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-        }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    pub(crate) fn get(&self, key: &K) -> Option<&V> {
-        self.map.get(key)
-    }
-
-    fn clear(&mut self) {
-        self.map.clear();
-        self.order.clear();
-    }
-
-    /// Inserts, evicting oldest-first entries while over capacity.
-    pub(crate) fn insert(&mut self, key: K, value: V, capacity: usize) {
-        if capacity == 0 {
-            return;
-        }
-        if !self.map.contains_key(&key) {
-            while self.map.len() >= capacity {
-                let Some(oldest) = self.order.pop_front() else {
-                    break;
-                };
-                self.map.remove(&oldest);
-            }
-            self.order.push_back(key);
-        }
-        self.map.insert(key, value);
-    }
-
-    /// Removes and returns every entry whose key matches the predicate.
-    pub(crate) fn drain_matching(&mut self, mut matches: impl FnMut(&K) -> bool) -> Vec<(K, V)> {
-        let keys: Vec<K> = self.map.keys().copied().filter(|k| matches(k)).collect();
-        self.order.retain(|k| !keys.contains(k));
-        keys.into_iter()
-            .map(|k| {
-                let v = self.map.remove(&k).expect("key listed above");
-                (k, v)
-            })
-            .collect()
-    }
-}
-
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
@@ -405,22 +383,30 @@ impl Engine {
 
     /// Number of cached decompositions.
     pub fn cached_decompositions(&self) -> usize {
-        self.cache.lock().map(|c| c.len()).unwrap_or(0)
+        self.cache.len()
     }
 
     /// Number of cached compiled lineages.
     pub fn cached_lineages(&self) -> usize {
-        self.lineage_cache.lock().map(|c| c.len()).unwrap_or(0)
+        self.lineage_cache.len()
+    }
+
+    /// Hit/miss/entry counters of both engine caches — lifetime totals of
+    /// validated hits and of misses (absent or failed-revalidation), plus
+    /// lost publish races. Concurrency tests use these to prove that
+    /// parallel workers actually shared compiled entries instead of each
+    /// compiling privately.
+    pub fn cache_stats(&self) -> EngineCacheStats {
+        EngineCacheStats {
+            decompositions: self.cache.counters(),
+            lineages: self.lineage_cache.counters(),
+        }
     }
 
     /// Drops all cached decompositions and compiled lineages.
     pub fn clear_cache(&self) {
-        if let Ok(mut cache) = self.cache.lock() {
-            cache.clear();
-        }
-        if let Ok(mut cache) = self.lineage_cache.lock() {
-            cache.clear();
-        }
+        self.cache.clear();
+        self.lineage_cache.clear();
     }
 
     /// Drops the cached decompositions and compiled lineages of **one**
@@ -437,14 +423,11 @@ impl Engine {
     /// [`Representation::fingerprint`] override only controls the
     /// decomposition cache.
     pub fn evict_instance(&self, fingerprint: u64) -> usize {
-        let mut evicted = 0;
-        if let Ok(mut cache) = self.cache.lock() {
-            evicted += cache.drain_matching(|key| key.0 == fingerprint).len();
-        }
-        if let Ok(mut cache) = self.lineage_cache.lock() {
-            evicted += cache.drain_matching(|key| key.0 == fingerprint).len();
-        }
-        evicted
+        self.cache.drain_matching(|key| key.0 == fingerprint).len()
+            + self
+                .lineage_cache
+                .drain_matching(|key| key.0 == fingerprint)
+                .len()
     }
 
     /// Evaluates a Boolean query on any [`Representation`], returning the
@@ -987,22 +970,22 @@ impl Engine {
                 fingerprint_debug(&query_repr),
                 self.config.heuristic,
             );
-            if let Ok(cache) = self.lineage_cache.lock() {
-                if let Some(entry) = cache.get(&key) {
-                    if entry.query_repr == query_repr && entry.instance_check == instance_check {
-                        return Ok((
-                            Arc::clone(entry),
-                            CacheFlags {
-                                lineage_cached: true,
-                                // No decomposition lookup happened at all;
-                                // report it as served-from-cache, which is
-                                // what it is morally.
-                                decomposition_cached: true,
-                            },
-                        ));
-                    }
+            if let Some(entry) = self.lineage_cache.get(&key) {
+                if entry.query_repr == query_repr && entry.instance_check == instance_check {
+                    self.lineage_cache.note_hit();
+                    return Ok((
+                        entry,
+                        CacheFlags {
+                            lineage_cached: true,
+                            // No decomposition lookup happened at all;
+                            // report it as served-from-cache, which is
+                            // what it is morally.
+                            decomposition_cached: true,
+                        },
+                    ));
                 }
             }
+            self.lineage_cache.note_miss();
             Some((key, query_repr, instance_check))
         } else {
             None
@@ -1032,18 +1015,29 @@ impl Engine {
             query: Arc::new(query.clone()),
             cold_gates,
         });
+        let flags = CacheFlags {
+            lineage_cached: false,
+            decomposition_cached,
+        };
         if let Some(key) = key {
-            if let Ok(mut cache) = self.lineage_cache.lock() {
-                cache.insert(key, Arc::clone(&entry), self.config.cache_capacity);
+            // Publish under first-writer-wins: if another worker compiled the
+            // same pair concurrently, adopt its entry (identical semantics —
+            // same instance rendering, same query text, same heuristic) so
+            // every thread converges on one shared circuit.
+            let (winner, won) = self.lineage_cache.publish(key, Arc::clone(&entry));
+            if !won {
+                if winner.query_repr == entry.query_repr
+                    && winner.instance_check == entry.instance_check
+                {
+                    return Ok((winner, flags));
+                }
+                // The key is held by a fingerprint-colliding stranger (which
+                // is also why the lookup above missed): replace it — our
+                // entry is the one matching the live `(instance, query)`.
+                self.lineage_cache.insert_replacing(key, Arc::clone(&entry));
             }
         }
-        Ok((
-            entry,
-            CacheFlags {
-                lineage_cached: false,
-                decomposition_cached,
-            },
-        ))
+        Ok((entry, flags))
     }
 
     /// True when the lineage cache already holds a compiled circuit for
@@ -1067,12 +1061,9 @@ impl Engine {
             fingerprint_debug(&query_repr),
             self.config.heuristic,
         );
-        match self.lineage_cache.lock() {
-            Ok(cache) => cache.get(&key).is_some_and(|entry| {
-                entry.query_repr == query_repr && entry.instance_check == instance_check
-            }),
-            Err(_) => false,
-        }
+        self.lineage_cache.get(&key).is_some_and(|entry| {
+            entry.query_repr == query_repr && entry.instance_check == instance_check
+        })
     }
 
     /// Builds (or fetches) the lineage circuit of a query without computing
@@ -1102,25 +1093,32 @@ impl Engine {
     ) -> (Arc<TreeDecomposition>, bool) {
         let graph = representation.structure_graph();
         let key = (representation.fingerprint(), self.config.heuristic);
+        let mut stale_resident = false;
         if self.config.cache_decompositions {
-            if let Ok(cache) = self.cache.lock() {
-                if let Some(cached) = cache.get(&key) {
-                    // Fingerprints are not cryptographic: re-validate the
-                    // cached decomposition against today's graph so a
-                    // collision degrades to a recomputation, never to a
-                    // wrong width or an invalid lineage run.
-                    if cached.validate(&graph).is_ok() {
-                        return (Arc::clone(cached), true);
-                    }
+            if let Some(cached) = self.cache.get(&key) {
+                // Fingerprints are not cryptographic: re-validate the
+                // cached decomposition against today's graph so a
+                // collision degrades to a recomputation, never to a
+                // wrong width or an invalid lineage run.
+                if cached.validate(&graph).is_ok() {
+                    self.cache.note_hit();
+                    return (cached, true);
                 }
+                stale_resident = true;
             }
+            self.cache.note_miss();
         }
         let decomposition = Arc::new(decompose_with_heuristic(&graph, self.config.heuristic));
-        if self.config.cache_decompositions {
-            if let Ok(mut cache) = self.cache.lock() {
-                cache.insert(key, Arc::clone(&decomposition), self.config.cache_capacity);
-            }
+        if stale_resident {
+            // A fingerprint-colliding stranger holds the key: replace it, or
+            // every future lookup would keep missing.
+            self.cache.insert_replacing(key, Arc::clone(&decomposition));
+            return (decomposition, false);
         }
+        // First-writer-wins publish: concurrent workers that raced on the
+        // same fingerprint all converge on whichever decomposition landed
+        // first (any valid decomposition of the graph is equally correct).
+        let (decomposition, _won) = self.cache.publish(key, decomposition);
         (decomposition, false)
     }
 

@@ -136,10 +136,9 @@ impl Engine {
         // *collide* with this instance (different secondary check hash) are
         // put back untouched: rekeying validates against the same dual-hash
         // discipline as a cold lookup.
-        let mut stale_lineages = match self.lineage_cache.lock() {
-            Ok(mut cache) => cache.drain_matching(|key| key.0 == old_lineage_fp),
-            Err(_) => Vec::new(),
-        };
+        let mut stale_lineages = self
+            .lineage_cache
+            .drain_matching(|key| key.0 == old_lineage_fp);
         let colliding: Vec<_> = {
             let (ours, theirs) = stale_lineages
                 .into_iter()
@@ -147,21 +146,13 @@ impl Engine {
             stale_lineages = ours;
             theirs
         };
-        let old_decomposition = self.cache.lock().ok().and_then(|cache| {
-            cache
-                .get(&(old_fingerprint, self.config.heuristic))
-                .cloned()
-        });
+        let old_decomposition = self.cache.get(&(old_fingerprint, self.config.heuristic));
         // Everything still keyed by the old fingerprint is now stale (other
         // heuristics, collision leftovers): evict it in one targeted sweep —
         // and only then restore the colliding strangers it must not touch.
         self.evict_instance(old_fingerprint);
-        if !colliding.is_empty() {
-            if let Ok(mut cache) = self.lineage_cache.lock() {
-                for (key, entry) in colliding {
-                    cache.insert(key, entry, self.config.cache_capacity);
-                }
-            }
+        for (key, entry) in colliding {
+            self.lineage_cache.insert_replacing(key, entry);
         }
 
         // --- decomposition maintenance -------------------------------------
@@ -215,15 +206,8 @@ impl Engine {
             };
             if let Some(patched) = patched {
                 report.width_after = Some(patched.width());
-                if self.config.cache_decompositions {
-                    if let Ok(mut cache) = self.cache.lock() {
-                        cache.insert(
-                            (new_fingerprint, self.config.heuristic),
-                            Arc::new(patched),
-                            self.config.cache_capacity,
-                        );
-                    }
-                }
+                self.cache
+                    .insert_replacing((new_fingerprint, self.config.heuristic), Arc::new(patched));
             }
         }
 
@@ -314,15 +298,8 @@ impl Engine {
             match patched {
                 Some(fresh) => {
                     report.lineages_patched += 1;
-                    if self.config.cache_lineages {
-                        if let Ok(mut cache) = self.lineage_cache.lock() {
-                            cache.insert(
-                                (new_lineage_fp, key.1, key.2),
-                                Arc::new(fresh),
-                                self.config.cache_capacity,
-                            );
-                        }
-                    }
+                    self.lineage_cache
+                        .insert_replacing((new_lineage_fp, key.1, key.2), Arc::new(fresh));
                 }
                 None => report.lineages_dropped += 1,
             }

@@ -26,6 +26,7 @@
 pub mod engine;
 pub mod hybrid;
 pub mod pipeline;
+pub mod serve;
 pub mod workloads;
 
 pub use engine::{

@@ -1,0 +1,591 @@
+//! `stuc-serve` — a long-running query service over one shared [`Engine`].
+//!
+//! The engine's sharded caches make it cheaply shareable across threads
+//! ([`Engine`] is `Send + Sync`); this module puts a network front on that:
+//! a hand-rolled HTTP/1.1 server over `std::net` (the container is offline;
+//! zero new dependencies) that loads a `stuc-lang` program once and serves
+//! its goals to any number of clients.
+//!
+//! Architecture — three moving parts, all `std`:
+//!
+//! * an **acceptor** thread that accepts connections and pushes them onto a
+//!   **bounded queue** — when the queue is full the acceptor immediately
+//!   writes a typed `503 {"error":{"kind":"overload",…}}` and closes, so
+//!   overload degrades to fast rejections instead of unbounded queueing or
+//!   stalled clients (admission control);
+//! * a **worker pool** (thread-per-core by default) popping connections,
+//!   reading one request each ([`http`]), evaluating `POST /query` bodies
+//!   through [`Engine::evaluate_goal`] against the loaded instance, and
+//!   reporting per-goal probability, cost-model route, back-end and
+//!   cache-hit flag in the JSON response;
+//! * a [`ServeStats`] block of atomics (accepted / served / rejected /
+//!   in-flight / errors) that tests and the `/stats` endpoint read.
+//!
+//! Protocol: one request per connection (`Connection: close`), endpoints
+//! `POST /query` (body = `stuc-lang` rules + goals; inline facts are
+//! rejected — the instance is the one loaded at startup), `GET /health`,
+//! `GET /stats`. All responses are deterministic given the request and the
+//! loaded program, which is what the byte-exact golden protocol test
+//! (`tests/serve_golden.rs`, `ci/serve_session.golden`) pins down.
+
+pub mod http;
+
+use crate::engine::{Engine, StucError};
+use http::{escape_json, HttpError, Request, Response};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use stuc_data::tid::TidInstance;
+use stuc_lang::ast::RuleAst;
+use stuc_lang::lower::program_instance;
+use stuc_lang::{parse_program, LangError};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878`; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads; 0 (default) uses
+    /// [`std::thread::available_parallelism`] (thread-per-core).
+    pub workers: usize,
+    /// Bounded accept-queue capacity; connections arriving while the queue
+    /// is full are rejected with a typed overload response.
+    pub queue_capacity: usize,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 1024,
+            io_timeout: Duration::from_secs(10),
+            max_body: 64 * 1024,
+        }
+    }
+}
+
+/// Everything the workers share: the engine, the loaded instance, and the
+/// program's rules (kept for goal unfolding, exactly like the REPL).
+#[derive(Debug)]
+pub struct ServiceState {
+    engine: Engine,
+    instance: TidInstance,
+    rules: Vec<RuleAst>,
+}
+
+impl ServiceState {
+    /// A service over an explicit engine, instance and rule set.
+    pub fn new(engine: Engine, instance: TidInstance, rules: Vec<RuleAst>) -> ServiceState {
+        ServiceState {
+            engine,
+            instance,
+            rules,
+        }
+    }
+
+    /// Builds the service from `stuc-lang` source: facts become the served
+    /// instance, rules stay in scope for every request's goals.
+    pub fn from_program(engine: Engine, src: &str) -> Result<ServiceState, StucError> {
+        let program = parse_program(src).map_err(LangError::from)?;
+        let instance = program_instance(&program).map_err(LangError::from)?;
+        let rules = program.rules().into_iter().cloned().collect();
+        Ok(ServiceState::new(engine, instance, rules))
+    }
+
+    /// The shared engine (e.g. to read [`Engine::cache_stats`]).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Facts in the served instance.
+    pub fn fact_count(&self) -> usize {
+        self.instance.fact_count()
+    }
+
+    /// Rules in scope for every request.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Evaluates one request body (rules + goals) and renders the response.
+    /// Exposed for the golden test, which also replays bodies in-process.
+    pub fn respond(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/query") => self.respond_query(&request.body),
+            ("GET", "/health") => Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"facts\":{},\"rules\":{}}}",
+                    self.fact_count(),
+                    self.rule_count()
+                ),
+            ),
+            (method, path) => Response::error(
+                404,
+                "not-found",
+                &format!("no such endpoint: {method} {path}"),
+            ),
+        }
+    }
+
+    fn respond_query(&self, body: &str) -> Response {
+        let program = match parse_program(body) {
+            Ok(program) => program,
+            Err(error) => return Response::error(400, "parse", &error.to_string()),
+        };
+        let facts = program.facts().count();
+        if facts > 0 {
+            return Response::error(
+                400,
+                "facts",
+                &format!(
+                    "request declares {facts} inline fact(s); the served instance is fixed at \
+                     startup — send rules and goals only"
+                ),
+            );
+        }
+        let mut rules: Vec<&RuleAst> = self.rules.iter().collect();
+        rules.extend(program.rules());
+        let mut results = Vec::new();
+        for query in program.queries() {
+            match self.engine.evaluate_goal(&self.instance, &query.goal, &rules) {
+                Ok(goal) => results.push(format!(
+                    "{{\"goal\":\"{}\",\"probability\":{:.9},\"route\":\"{}\",\"backend\":\"{}\",\"lineage_cached\":{},\"gates\":{}}}",
+                    escape_json(&goal.source),
+                    goal.probability,
+                    goal.decision.route,
+                    goal.report.backend_name(),
+                    goal.report.lineage_cached,
+                    goal.report.circuit_gates
+                )),
+                Err(error) => {
+                    return Response::error(422, "evaluate", &error.to_string());
+                }
+            }
+        }
+        Response::json(200, format!("{{\"results\":[{}]}}", results.join(",")))
+    }
+}
+
+/// Lifetime counters of a running server, all atomics — cheap to bump on
+/// the hot path, coherent enough for tests and dashboards.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    accepted: AtomicU64,
+    rejected_overload: AtomicU64,
+    served: AtomicU64,
+    request_errors: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeStats`] plus the live queue depth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSnapshot {
+    /// Connections accepted (admitted to the queue).
+    pub accepted: u64,
+    /// Connections rejected with the typed overload response.
+    pub rejected_overload: u64,
+    /// Requests answered (any status).
+    pub served: u64,
+    /// Requests that failed to parse as HTTP (timeout included).
+    pub request_errors: u64,
+    /// Requests currently being handled by workers.
+    pub in_flight: u64,
+    /// Connections currently waiting in the accept queue.
+    pub queued: usize,
+}
+
+/// The bounded hand-off between the acceptor and the workers.
+#[derive(Debug)]
+struct ConnQueue {
+    inner: Mutex<VecQueue>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct VecQueue {
+    connections: std::collections::VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(VecQueue::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admission control: enqueue, or hand the connection back on overflow.
+    fn try_push(&self, connection: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if queue.closed || queue.connections.len() >= self.capacity {
+            return Err(connection);
+        }
+        queue.connections.push_back(connection);
+        drop(queue);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available; `None` once closed and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut queue = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(connection) = queue.connections.pop_front() {
+                return Some(connection);
+            }
+            if queue.closed {
+                return None;
+            }
+            queue = self
+                .available
+                .wait(queue)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .connections
+            .len()
+    }
+
+    /// Closes the queue: workers drain what is left, then exit. Remaining
+    /// connections after the drain are dropped (the peer sees a close).
+    fn close(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A running `stuc-serve` instance: acceptor + bounded queue + worker pool
+/// over one shared [`ServiceState`]. Dropping without calling
+/// [`Server::shutdown`] detaches the threads (the process-exit case);
+/// tests call `shutdown` for a clean join.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    stats: Arc<ServeStats>,
+    queue: Arc<ConnQueue>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving. Returns as soon as the acceptor and the
+    /// workers are running; [`Server::addr`] has the actual address (useful
+    /// with port 0).
+    pub fn spawn(config: ServeConfig, state: ServiceState) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(state);
+        let stats = Arc::new(ServeStats::default());
+        let queue = Arc::new(ConnQueue::new(config.queue_capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let worker_count = match config.workers {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        let workers = (0..worker_count)
+            .map(|index| {
+                let state = Arc::clone(&state);
+                let stats = Arc::clone(&stats);
+                let queue = Arc::clone(&queue);
+                let config = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("stuc-serve-worker-{index}"))
+                    .spawn(move || {
+                        while let Some(connection) = queue.pop() {
+                            stats.in_flight.fetch_add(1, Ordering::SeqCst);
+                            handle_connection(connection, &state, &stats, &config);
+                            stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let stats = Arc::clone(&stats);
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let capacity = config.queue_capacity;
+            let io_timeout = config.io_timeout;
+            std::thread::Builder::new()
+                .name("stuc-serve-acceptor".into())
+                .spawn(move || {
+                    for connection in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(mut connection) = connection else {
+                            continue;
+                        };
+                        match queue.try_push(connection) {
+                            Ok(()) => {
+                                stats.accepted.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(rejected) => {
+                                // Admission control: typed rejection, written
+                                // inline (small fixed-size response), never a
+                                // stall.
+                                connection = rejected;
+                                let _ = connection.set_write_timeout(Some(io_timeout));
+                                stats.rejected_overload.fetch_add(1, Ordering::SeqCst);
+                                Response::error(
+                                    503,
+                                    "overload",
+                                    &format!(
+                                        "request queue full (capacity {capacity}); retry later"
+                                    ),
+                                )
+                                .write_to(&mut connection);
+                                reject_close(connection);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            stats,
+            queue,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (engine, instance, rules).
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            accepted: self.stats.accepted.load(Ordering::SeqCst),
+            rejected_overload: self.stats.rejected_overload.load(Ordering::SeqCst),
+            served: self.stats.served.load(Ordering::SeqCst),
+            request_errors: self.stats.request_errors.load(Ordering::SeqCst),
+            in_flight: self.stats.in_flight.load(Ordering::SeqCst),
+            queued: self.queue.len(),
+        }
+    }
+
+    /// Blocks forever serving requests — the `stuc-serve` binary's main
+    /// loop (the process is stopped by signal/kill).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Closes a rejected connection without triggering a TCP reset. The
+/// rejection path never reads the request, so the client's bytes are still
+/// in our receive buffer; closing now would send RST and the client could
+/// lose the 503 it was owed. Instead: FIN our side, then drain whatever the
+/// client sends until it sees the response and closes (bounded by a short
+/// timeout so a stalled peer cannot hold the acceptor).
+fn reject_close(mut connection: TcpStream) {
+    use std::io::Read;
+    let _ = connection.shutdown(std::net::Shutdown::Write);
+    let _ = connection.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 1024];
+    while let Ok(n) = connection.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+/// One connection end to end: read a request, route it, write the
+/// response, close. Errors become typed 4xx responses (best effort).
+fn handle_connection(
+    mut connection: TcpStream,
+    state: &ServiceState,
+    stats: &ServeStats,
+    config: &ServeConfig,
+) {
+    let _ = connection.set_read_timeout(Some(config.io_timeout));
+    let _ = connection.set_write_timeout(Some(config.io_timeout));
+    let response = match http::read_request(&connection, config.max_body) {
+        Ok(request) => match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/stats") => {
+                let snapshot = ServeSnapshot {
+                    accepted: stats.accepted.load(Ordering::SeqCst),
+                    rejected_overload: stats.rejected_overload.load(Ordering::SeqCst),
+                    served: stats.served.load(Ordering::SeqCst),
+                    request_errors: stats.request_errors.load(Ordering::SeqCst),
+                    in_flight: stats.in_flight.load(Ordering::SeqCst),
+                    queued: 0,
+                };
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"accepted\":{},\"served\":{},\"rejected_overload\":{},\"request_errors\":{},\"in_flight\":{}}}",
+                        snapshot.accepted,
+                        snapshot.served,
+                        snapshot.rejected_overload,
+                        snapshot.request_errors,
+                        snapshot.in_flight
+                    ),
+                )
+            }
+            _ => state.respond(&request),
+        },
+        Err(HttpError::BodyTooLarge { declared, limit }) => {
+            stats.request_errors.fetch_add(1, Ordering::SeqCst);
+            Response::error(
+                413,
+                "too-large",
+                &format!("body of {declared} bytes exceeds limit {limit}"),
+            )
+        }
+        Err(HttpError::Malformed(what)) => {
+            stats.request_errors.fetch_add(1, Ordering::SeqCst);
+            Response::error(400, "malformed", &format!("malformed request: {what}"))
+        }
+        Err(HttpError::Io(error)) => {
+            stats.request_errors.fetch_add(1, Ordering::SeqCst);
+            Response::error(408, "read", &format!("could not read request: {error}"))
+        }
+    };
+    response.write_to(&mut connection);
+    stats.served.fetch_add(1, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    const PROGRAM: &str = "\
+        0.9 :: Train(\"paris\", \"lyon\").\n\
+        0.8 :: Train(\"lyon\", \"nice\").\n\
+        Hop(x, y) :- Train(x, y).\n";
+
+    fn request(addr: SocketAddr, payload: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn post_query(addr: SocketAddr, body: &str) -> String {
+        request(
+            addr,
+            &format!(
+                "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        )
+    }
+
+    #[test]
+    fn serves_goals_health_and_errors_end_to_end() {
+        let state = ServiceState::from_program(Engine::new(), PROGRAM).unwrap();
+        let server = Server::spawn(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            state,
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let health = request(addr, "GET /health HTTP/1.1\r\n\r\n");
+        assert!(health.contains("200 OK"));
+        assert!(health.ends_with("{\"status\":\"ok\",\"facts\":2,\"rules\":1}"));
+
+        let answer = post_query(addr, "?- Train(x, y).");
+        assert!(answer.contains("200 OK"), "{answer}");
+        assert!(answer.contains("\"probability\":0.980000000"), "{answer}");
+        assert!(answer.contains("\"route\":\"safe-plan\""), "{answer}");
+
+        // Rules from the loaded program stay in scope.
+        let hop = post_query(addr, "?- Hop(x, y), Hop(y, z).");
+        assert!(hop.contains("200 OK"), "{hop}");
+        assert!(hop.contains("\"route\":\"circuit\""), "{hop}");
+
+        let parse_error = post_query(addr, "?- Train(x");
+        assert!(parse_error.contains("400 Bad Request"), "{parse_error}");
+        assert!(parse_error.contains("\"kind\":\"parse\""), "{parse_error}");
+
+        let facts = post_query(addr, "0.5 :: Train(\"a\", \"b\").");
+        assert!(facts.contains("\"kind\":\"facts\""), "{facts}");
+
+        let missing = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.contains("404 Not Found"), "{missing}");
+
+        let snapshot = server.stats();
+        assert!(snapshot.served >= 6);
+        assert_eq!(snapshot.rejected_overload, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_goals_hit_the_shared_lineage_cache() {
+        let state = ServiceState::from_program(Engine::new(), PROGRAM).unwrap();
+        let server = Server::spawn(
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+            state,
+        )
+        .unwrap();
+        let addr = server.addr();
+        let goal = "?- Hop(x, y), Hop(y, z).";
+        let cold = post_query(addr, goal);
+        assert!(cold.contains("\"lineage_cached\":false"), "{cold}");
+        let warm = post_query(addr, goal);
+        assert!(warm.contains("\"lineage_cached\":true"), "{warm}");
+        let stats = server.state().engine().cache_stats();
+        assert!(stats.lineages.hits >= 1, "{stats:?}");
+        server.shutdown();
+    }
+}

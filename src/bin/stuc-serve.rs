@@ -1,0 +1,86 @@
+//! `stuc-serve` — a long-running HTTP query service over one `.stuc`
+//! program.
+//!
+//! Loads the program's facts into a tuple-independent instance, keeps its
+//! rules in scope, and serves `POST /query` goals from a thread-per-core
+//! worker pool over one shared engine (sharded caches, no lock held across
+//! compilation). A bounded accept queue applies admission control: when it
+//! is full, clients get a typed `503 overload` JSON response immediately
+//! instead of queueing without bound.
+//!
+//! ```text
+//! stuc-serve examples/trips.stuc --addr 127.0.0.1:7878
+//! curl -s -d '?- Reach2(x, y).' http://127.0.0.1:7878/query
+//! ```
+//!
+//! Endpoints: `POST /query` (stuc-lang rules + goals; inline facts are
+//! rejected), `GET /health`, `GET /stats`.
+
+use stuc::serve::{ServeConfig, Server, ServiceState};
+use stuc::Engine;
+
+const USAGE: &str = "usage: stuc-serve [options] program.stuc
+options:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = any free port)
+  --workers N        worker threads (default: one per core)
+  --queue N          accept-queue capacity before overload rejection (default 1024)";
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServeConfig::default()
+    };
+    let mut program_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => die("--addr needs HOST:PORT"),
+            },
+            "--workers" => config.workers = numeric_flag(args.next(), "--workers"),
+            "--queue" => config.queue_capacity = numeric_flag(args.next(), "--queue"),
+            path if !path.starts_with('-') => program_path = Some(path.to_string()),
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+    let Some(path) = program_path else {
+        die("a program file is required (try --help)")
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(error) => die(&format!("cannot read {path}: {error}")),
+    };
+    let state = match ServiceState::from_program(Engine::new(), &src) {
+        Ok(state) => state,
+        Err(error) => die(&format!("{path}: {error}")),
+    };
+    let facts = state.fact_count();
+    let rules = state.rule_count();
+    let queue = config.queue_capacity;
+    let server = match Server::spawn(config, state) {
+        Ok(server) => server,
+        Err(error) => die(&format!("cannot bind: {error}")),
+    };
+    println!(
+        "stuc-serve listening on http://{} ({facts} facts, {rules} rules, queue {queue})",
+        server.addr()
+    );
+    server.wait();
+}
+
+fn numeric_flag(value: Option<String>, flag: &str) -> usize {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => die(&format!("{flag} needs a number")),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

@@ -126,9 +126,10 @@ pub use stuc_query as query;
 pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
-    Backend, BackendKind, BackendPolicy, BatchReport, Delta, DeltaOp, Engine, EngineBuilder,
-    EvaluationReport, GoalEvaluation, InferenceReport, Marginals, MostProbableWorld, ReprKind,
-    Representation, SampledWorlds, StucError, TextEvaluation, Updatable, UpdateLog, UpdateReport,
-    World, WorldSampler,
+    Backend, BackendKind, BackendPolicy, BatchReport, CacheCounters, Delta, DeltaOp, Engine,
+    EngineBuilder, EngineCacheStats, EvaluationReport, GoalEvaluation, InferenceReport, Marginals,
+    MostProbableWorld, ReprKind, Representation, SampledWorlds, StucError, TextEvaluation,
+    Updatable, UpdateLog, UpdateReport, World, WorldSampler,
 };
+pub use stuc_core::serve;
 pub use stuc_lang::{LangError, ParseError};

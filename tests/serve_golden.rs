@@ -1,0 +1,197 @@
+//! Golden protocol check of `stuc-serve`: a fixed request sequence against
+//! a fixed program must reproduce `ci/serve_session.golden` byte-exactly —
+//! response lines, headers and JSON bodies included.
+//!
+//! Every response is deterministic by construction: the header set is fixed
+//! (no `Date`), probabilities use `{:.9}`, the route/back-end strings are
+//! float-free, and the overload message depends only on the configured
+//! capacity. The transcript covers the four protocol outcomes the service
+//! promises: a safe-plan goal, a circuit-bound goal, a typed parse error,
+//! and a typed `503 overload` rejection from admission control.
+//!
+//! When a legitimate change alters the transcript, regenerate it with
+//! `STUC_GOLDEN_WRITE=1 cargo test --test serve_golden`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use stuc::serve::{ServeConfig, Server, ServiceState};
+use stuc::Engine;
+
+const PROGRAM: &str = "\
+0.9 :: Train(\"paris\", \"lyon\").\n\
+0.8 :: Train(\"lyon\", \"nice\").\n\
+Hop(x, y) :- Train(x, y).\n";
+
+fn exchange(addr: SocketAddr, payload: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(payload.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn post_query(addr: SocketAddr, body: &str) -> String {
+    exchange(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ),
+    )
+}
+
+/// Holds a worker (or queue slot) hostage: declares a body it never sends,
+/// so the server blocks reading until the stream is dropped.
+fn stall(addr: SocketAddr) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /query HTTP/1.1\r\nContent-Length: 64\r\n\r\npartial")
+        .unwrap();
+    stream
+}
+
+/// The deterministic `503 overload` from a saturated 1-worker/1-slot
+/// server: one stalled connection occupies the worker, a second fills the
+/// queue, and only then is the probe sent — its rejection is certain, not
+/// a race.
+fn overload_response() -> String {
+    let state = ServiceState::from_program(Engine::new(), PROGRAM).unwrap();
+    let server = Server::spawn(
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::default()
+        },
+        state,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let wait_until = |what: &str, ready: &dyn Fn(&stuc::serve::ServeSnapshot) -> bool| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = server.stats();
+            if ready(&stats) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "server never {what}: {stats:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    // Two steps, each confirmed before the next, so neither hostage is
+    // itself rejected: the worker must hold the first before the second
+    // occupies the queue's only slot.
+    let hostage_worker = stall(addr);
+    wait_until("picked up the first hostage", &|s| {
+        s.in_flight == 1 && s.queued == 0
+    });
+    let hostage_queue = stall(addr);
+    wait_until("queued the second hostage", &|s| s.queued == 1);
+
+    let rejected = post_query(addr, "?- Train(x, y).");
+    drop(hostage_worker);
+    drop(hostage_queue);
+    server.shutdown();
+    rejected
+}
+
+#[test]
+fn scripted_session_matches_the_golden_transcript() {
+    let state = ServiceState::from_program(Engine::new(), PROGRAM).unwrap();
+    let server = Server::spawn(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        state,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut transcript = String::new();
+    let mut record = |label: &str, response: String| {
+        transcript.push_str(&format!(">>> {label}\n{response}\n\n"));
+    };
+    record(
+        "GET /health",
+        exchange(addr, "GET /health HTTP/1.1\r\n\r\n"),
+    );
+    record(
+        "POST /query ?- Train(x, y).  (safe plan)",
+        post_query(addr, "?- Train(x, y)."),
+    );
+    record(
+        "POST /query ?- Hop(x, y), Hop(y, z).  (circuit)",
+        post_query(addr, "?- Hop(x, y), Hop(y, z)."),
+    );
+    record(
+        "POST /query ?- Train(x  (parse error)",
+        post_query(addr, "?- Train(x"),
+    );
+    record(
+        "GET /nope  (unknown endpoint)",
+        exchange(addr, "GET /nope HTTP/1.1\r\n\r\n"),
+    );
+    server.shutdown();
+    record(
+        "POST /query against a saturated server  (overload)",
+        overload_response(),
+    );
+
+    let path = format!("{}/ci/serve_session.golden", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("STUC_GOLDEN_WRITE").is_some() {
+        std::fs::write(&path, &transcript).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("read ci/serve_session.golden");
+    assert_eq!(
+        transcript, golden,
+        "serve transcript diverged from ci/serve_session.golden; regenerate it if the change is intended"
+    );
+}
+
+#[test]
+fn the_serve_binary_help_flag_prints_usage() {
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_stuc-serve"))
+        .arg("--help")
+        .output()
+        .expect("run stuc-serve --help");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("usage: stuc-serve"));
+    assert!(text.contains("--queue"));
+}
+
+#[test]
+fn the_serve_binary_serves_a_program_file_end_to_end() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_stuc-serve"))
+        .args(["--addr", "127.0.0.1:0", "examples/trips.stuc"])
+        .current_dir(root)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn stuc-serve");
+
+    // The banner carries the bound address (port 0 = ephemeral).
+    let mut stdout = child.stdout.take().unwrap();
+    let mut banner = Vec::new();
+    let mut byte = [0u8; 1];
+    while stdout.read(&mut byte).unwrap() == 1 && byte[0] != b'\n' {
+        banner.push(byte[0]);
+    }
+    let banner = String::from_utf8(banner).unwrap();
+    let addr: SocketAddr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|addr| addr.parse().ok())
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"));
+
+    let answer = post_query(addr, "?- Hop(x, y).");
+    child.kill().unwrap();
+    let _ = child.wait();
+    assert!(answer.contains("200 OK"), "{answer}");
+    assert!(answer.contains("\"probability\":0.960000000"), "{answer}");
+}
