@@ -1,6 +1,8 @@
 //! `stuc-loadgen` — drives a `stuc-serve` instance at high connection
-//! counts and records service-level numbers (p50/p99 latency, queries/sec,
-//! overload behaviour) to `BENCH_a7.json`.
+//! counts and records service-level numbers (p50/p90/p99 latency,
+//! queries/sec, overload behaviour) to `BENCH_a7.json`, plus the full
+//! latency histogram and server-side `/metrics` counter deltas to
+//! `BENCH_a8.json`.
 //!
 //! Two phases:
 //!
@@ -32,8 +34,13 @@ use std::time::{Duration, Instant};
 use stuc_bench::{report_value, BenchSummary};
 use stuc_core::serve::{ServeConfig, Server, ServiceState};
 use stuc_core::Engine;
+use stuc_obs::metrics::Histogram;
 
 const SUITE: &str = "a7";
+
+/// The observability suite: full latency histograms and server-side
+/// `/metrics` deltas land in `BENCH_a8.json`, next to a7's quantiles.
+const OBS_SUITE: &str = "a8";
 
 /// The served workload: a probabilistic path relation. Anchored self-join
 /// goals over it route to the circuit; the open scan routes to the safe
@@ -165,6 +172,35 @@ fn drive(
     }
 }
 
+/// Scrapes one single-sample metric from the server's `GET /metrics`
+/// Prometheus exposition (`None` when the request fails or the family is
+/// absent — e.g. against an external server without observability).
+fn scrape_metric(addr: SocketAddr, name: &str, timeout: Duration) -> Option<f64> {
+    let stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    let mut stream = stream;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let body = response.split("\r\n\r\n").nth(1)?;
+    body.lines().find_map(|line| {
+        line.strip_prefix(name)?
+            .strip_prefix(' ')?
+            .parse::<f64>()
+            .ok()
+    })
+}
+
+/// The server-side counters whose phase-1 deltas a8 records: how much
+/// engine and cache work the request herd actually caused.
+const SCRAPED_COUNTERS: [&str; 4] = [
+    "stuc_serve_requests_total",
+    "stuc_engine_evaluate_goal_total",
+    "stuc_cache_lineage_hits_total",
+    "stuc_cache_lineage_misses_total",
+];
+
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -211,6 +247,7 @@ fn main() {
     }
     let timeout = Duration::from_secs(120);
     let mut summary = BenchSummary::new(SUITE);
+    let mut obs_summary = BenchSummary::new(OBS_SUITE);
 
     // --- phase 1: throughput at high connection count ----------------------
     let own_server = if external_addr.is_none() {
@@ -233,16 +270,44 @@ fn main() {
         "phase1",
         format!("{connections} connections x {total_requests} requests against {addr}"),
     );
+    // Counter baselines before the herd: the registry is process-cumulative,
+    // so a8 records deltas, not absolutes.
+    let baselines: Vec<Option<f64>> = SCRAPED_COUNTERS
+        .iter()
+        .map(|name| scrape_metric(addr, name, timeout))
+        .collect();
     let outcome = drive(addr, connections, total_requests, timeout);
     assert_eq!(
         outcome.failed, 0,
         "throughput phase must not drop requests (ok={}, overloaded={}, failed={})",
         outcome.ok, outcome.overloaded, outcome.failed
     );
+    for (name, baseline) in SCRAPED_COUNTERS.iter().zip(&baselines) {
+        let Some(after) = scrape_metric(addr, name, timeout) else {
+            continue; // e.g. an external server without observability
+        };
+        // Families register lazily; absent at baseline means zero so far.
+        let before = baseline.unwrap_or(0.0);
+        let delta = (after - before).max(0.0).round() as u64;
+        report_value(SUITE, &format!("{name}_delta"), delta);
+        obs_summary.record_count(&format!("{name}_delta_{connections}conns"), delta);
+    }
     let p50 = percentile(&outcome.latencies, 0.50);
+    let p90 = percentile(&outcome.latencies, 0.90);
     let p99 = percentile(&outcome.latencies, 0.99);
+    // The full distribution, not just quantiles: every client-observed
+    // latency lands in one histogram over the standard bucket ladder.
+    let latency_histogram = Histogram::latency();
+    for latency in &outcome.latencies {
+        latency_histogram.observe(*latency);
+    }
+    obs_summary.record_histogram(
+        &format!("serve_latency_{connections}conns"),
+        &latency_histogram,
+    );
     report_value(SUITE, "completed", outcome.ok + outcome.overloaded);
     report_value(SUITE, "p50_latency", format!("{p50:?}"));
+    report_value(SUITE, "p90_latency", format!("{p90:?}"));
     report_value(SUITE, "p99_latency", format!("{p99:?}"));
     report_value(
         SUITE,
@@ -253,6 +318,7 @@ fn main() {
         ),
     );
     summary.record(&format!("serve_p50_latency_{connections}conns"), p50);
+    summary.record(&format!("serve_p90_latency_{connections}conns"), p90);
     summary.record(&format!("serve_p99_latency_{connections}conns"), p99);
     summary.record_rate(
         &format!("serve_throughput_{connections}conns"),
@@ -303,4 +369,5 @@ fn main() {
     }
 
     summary.write();
+    obs_summary.write();
 }

@@ -92,6 +92,36 @@ impl BenchSummary {
         ));
     }
 
+    /// Records a full latency distribution from a [`stuc_obs`] histogram:
+    /// `{"suite","case","count","p50_ns","p90_ns","p99_ns","buckets":[…]}`
+    /// with cumulative `{"le_ns","count"}` buckets (Prometheus-style,
+    /// truncated after the first bucket that holds every observation — the
+    /// rest repeat the total). Used by `stuc-loadgen` so the *shape* of
+    /// service latency is tracked across PRs, not just two quantiles.
+    pub fn record_histogram(&mut self, case: &str, histogram: &stuc_obs::metrics::Histogram) {
+        let nanos = |secs: f64| (secs * 1e9).round() as u64;
+        let total = histogram.count();
+        let mut buckets = Vec::new();
+        for (bound, cum) in histogram.cumulative_buckets() {
+            if bound.is_infinite() {
+                break;
+            }
+            buckets.push(format!("{{\"le_ns\":{},\"count\":{cum}}}", nanos(bound)));
+            if cum == total {
+                break;
+            }
+        }
+        self.lines.push(format!(
+            "{{\"suite\":\"{}\",\"case\":\"{}\",\"count\":{total},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"buckets\":[{}]}}",
+            json_escape(&self.suite),
+            json_escape(case),
+            nanos(histogram.quantile(0.50)),
+            nanos(histogram.quantile(0.90)),
+            nanos(histogram.quantile(0.99)),
+            buckets.join(",")
+        ));
+    }
+
     /// Records a bare counter case (`{"suite","case","count"}`), e.g. how
     /// many typed overload rejections the admission-control probe saw.
     pub fn record_count(&mut self, case: &str, count: u64) {
@@ -201,6 +231,27 @@ mod tests {
             summary.lines[3],
             "{\"suite\":\"t0\",\"case\":\"overload_rejections\",\"count\":7}"
         );
+    }
+
+    #[test]
+    fn histogram_rows_carry_quantiles_and_truncated_buckets() {
+        let histogram = stuc_obs::metrics::Histogram::latency();
+        for _ in 0..99 {
+            histogram.observe(Duration::from_micros(10));
+        }
+        histogram.observe(Duration::from_millis(50));
+        let mut summary = BenchSummary::new("t2");
+        summary.record_histogram("latency", &histogram);
+        let line = &summary.lines[0];
+        assert!(line.contains("\"count\":100"), "{line}");
+        assert!(line.contains("\"p50_ns\":"), "{line}");
+        assert!(line.contains("\"p90_ns\":"), "{line}");
+        assert!(line.contains("\"p99_ns\":"), "{line}");
+        assert!(line.contains("\"buckets\":[{\"le_ns\":1000,"), "{line}");
+        // Truncated after the first bucket holding all 100 observations:
+        // the 16.8s tail of the ladder never shows up.
+        assert!(line.contains(",\"count\":100}]"), "{line}");
+        assert!(!line.contains("16777"), "{line}");
     }
 
     #[test]

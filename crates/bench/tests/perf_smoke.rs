@@ -230,6 +230,64 @@ fn batch_evaluation_is_at_least_3x_faster_than_sequential_on_4_cores() {
     );
 }
 
+/// The observability layer must be close to free. Two bars on the warm a4
+/// workload (anchored chain query, cached lineage — the fast path where
+/// fixed per-call costs weigh the most):
+///
+/// * tracer **enabled**, the evaluate loop stays within 5% of the
+///   tracer-disabled baseline;
+/// * tracer **disabled** (the default), a span is approximately nothing —
+///   one relaxed atomic load, bounded here at well under a microsecond.
+#[test]
+fn observability_overhead_stays_within_the_bars() {
+    use stuc_obs::trace;
+    let engine = Engine::new();
+    let tid = workloads::path_tid(80, 0.5, 13);
+    let query = ConjunctiveQuery::parse("R(\"c5\", x), R(x, y), R(y, z)").unwrap();
+    engine.evaluate(&tid, &query).unwrap(); // compile + cache the lineage
+
+    // Both configurations answer identically (the tracer only records).
+    trace::set_enabled(true);
+    let traced_p = engine.evaluate(&tid, &query).unwrap().probability;
+    trace::set_enabled(false);
+    let plain_p = engine.evaluate(&tid, &query).unwrap().probability;
+    assert_eq!(traced_p.to_bits(), plain_p.to_bits());
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the 5% observability overhead bar (run in release)");
+        return;
+    }
+
+    let loop_once = || {
+        (0..64)
+            .map(|_| engine.evaluate(&tid, &query).unwrap().probability)
+            .sum::<f64>()
+    };
+    let baseline = timed(10, loop_once);
+    trace::set_enabled(true);
+    let traced = timed(10, loop_once);
+    trace::set_enabled(false);
+    trace::clear_events();
+    let ratio = traced.as_secs_f64() / baseline.as_secs_f64().max(f64::MIN_POSITIVE);
+    assert!(
+        ratio <= 1.05,
+        "tracing-enabled evaluation must stay within 5% of the disabled \
+         baseline ({baseline:?} -> {traced:?}, {ratio:.3}x)"
+    );
+
+    // Disabled spans: 10k of them in well under a millisecond, i.e. the
+    // instrumentation costs ~nothing when nobody asked for traces.
+    let disabled_spans = timed(10, || {
+        for _ in 0..10_000 {
+            let _span = trace::span("noop");
+        }
+    });
+    assert!(
+        disabled_spans < std::time::Duration::from_millis(1),
+        "10k disabled spans must cost well under 1ms, got {disabled_spans:?}"
+    );
+}
+
 /// Steady-state repeated evaluation performs zero table allocations,
 /// verified through the arena-reuse counter in `WmcReport`. Holds in every
 /// build profile.

@@ -26,6 +26,55 @@ use stuc_graph::graph::VertexId;
 use stuc_graph::nice::NiceDecomposition;
 use stuc_graph::repair::{repair_decomposition, RepairError};
 use stuc_graph::TreeDecomposition;
+use stuc_obs::metrics::{registry, Counter};
+
+/// Pre-resolved global counters of the counting sweeps (`stuc_sweep_*`):
+/// how many sweeps ran, how many dense-table entries they visited, and
+/// whether the reusable arena actually got reused (allocations == 0) or had
+/// to allocate (cold arena, or a concurrent sweep held the lock and the
+/// sweep fell back to a throwaway arena).
+struct SweepMetrics {
+    sweeps: Arc<Counter>,
+    table_entries: Arc<Counter>,
+    arena_allocations: Arc<Counter>,
+    arena_reuses: Arc<Counter>,
+}
+
+impl SweepMetrics {
+    fn observe(&self, nice_nodes: usize, table_allocations: usize) {
+        self.sweeps.inc();
+        self.table_entries.add(nice_nodes as u64);
+        self.arena_allocations.add(table_allocations as u64);
+        if table_allocations == 0 {
+            self.arena_reuses.inc();
+        }
+    }
+}
+
+fn sweep_metrics() -> &'static SweepMetrics {
+    static METRICS: OnceLock<SweepMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = registry();
+        SweepMetrics {
+            sweeps: reg.counter(
+                "stuc_sweep_runs_total",
+                "Counting sweeps over compiled circuits (single- and multi-scenario).",
+            ),
+            table_entries: reg.counter(
+                "stuc_sweep_table_entries_total",
+                "Nice-decomposition node tables visited by counting sweeps.",
+            ),
+            arena_allocations: reg.counter(
+                "stuc_sweep_arena_allocations_total",
+                "Dense sweep tables allocated (0 per sweep once arenas are warm).",
+            ),
+            arena_reuses: reg.counter(
+                "stuc_sweep_arena_reuses_total",
+                "Sweeps that ran entirely on reused arena tables (no allocation).",
+            ),
+        }
+    })
+}
 
 /// A lineage circuit compiled for repeated probability evaluation.
 ///
@@ -502,6 +551,7 @@ impl CompiledCircuit {
                 (p, arena.allocations())
             }
         };
+        sweep_metrics().observe(structure.nice.len(), table_allocations);
         Ok(WmcReport {
             probability,
             width: structure.width,
@@ -594,6 +644,7 @@ impl CompiledCircuit {
                 (all, arena.allocations())
             }
         };
+        sweep_metrics().observe(structure.nice.len(), table_allocations);
         Ok(WmcManyReport {
             probabilities,
             width: structure.width,

@@ -18,11 +18,13 @@
 //! stall the rest of the batch behind a static partition. Per-query errors
 //! stay per-query: one unsupported query does not poison the batch.
 
+use super::metrics::engine_metrics;
 use super::report::BatchReport;
 use super::{Engine, EvaluationReport, Representation, StucError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use stuc_obs::timer::Stopwatch;
+use stuc_obs::trace;
 
 impl Engine {
     /// Evaluates a batch of Boolean queries on one instance, in parallel.
@@ -74,7 +76,8 @@ impl Engine {
         R: Representation + Sync + ?Sized,
         R::Query: Sync,
     {
-        let started = Instant::now();
+        let _span = trace::span("evaluate_batch");
+        let started = Stopwatch::start();
 
         // Deduplicate identical queries up front (by their `Debug`
         // rendering, the same identity the lineage cache uses): each
@@ -150,7 +153,13 @@ impl Engine {
                 report
             })
             .collect();
-        BatchReport::assemble(reports, threads, started.elapsed())
+        let batch = BatchReport::assemble(reports, threads, started.elapsed());
+        // A batch never fails as a whole; count one call, and time it,
+        // regardless of per-query errors (which evaluate() already counted).
+        engine_metrics()
+            .evaluate_batch
+            .observe_ok(started.elapsed());
+        batch
     }
 
     /// How many workers a batch of `batch_size` queries runs on.

@@ -29,8 +29,12 @@
 //! Hit/miss counters are atomics bumped by the owner (the engine bumps
 //! them only after validating an entry), surfaced through
 //! [`CacheCounters`] so concurrency tests can prove that sharing actually
-//! happened.
+//! happened. Caches built with `ShardedCache::with_metrics` additionally
+//! mirror every counter bump into pre-resolved global
+//! [`stuc_obs`] handles, making hits/misses/races/evictions live metrics
+//! (`/metrics`) instead of pull-only snapshots.
 
+use super::metrics::CacheMetricHandles;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -54,6 +58,9 @@ pub struct CacheCounters {
     /// already-installed entry instead. Nonzero means several workers
     /// compiled the same key concurrently — possible, never wrong.
     pub races_lost: u64,
+    /// Entries dropped by the capacity (FIFO) bound. Explicit invalidation
+    /// (`drain_matching`, `clear`) is not counted here.
+    pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -82,6 +89,9 @@ pub(crate) struct ShardedCache<K, V> {
     hits: AtomicU64,
     misses: AtomicU64,
     races_lost: AtomicU64,
+    evictions: AtomicU64,
+    /// Global registry mirrors; `None` for bare test caches.
+    metrics: Option<CacheMetricHandles>,
 }
 
 impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
@@ -95,6 +105,29 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             races_lost: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            metrics: None,
+        }
+    }
+
+    /// Like [`ShardedCache::new`], with every counter mirrored into the
+    /// given global metric handles.
+    pub(crate) fn with_metrics(
+        capacity: usize,
+        shards: usize,
+        metrics: CacheMetricHandles,
+    ) -> Self {
+        let mut cache = Self::new(capacity, shards);
+        cache.metrics = Some(metrics);
+        cache
+    }
+
+    /// Adjusts the global resident-entry gauge by a delta. The gauge sums
+    /// over every cache sharing the handles (several engines may), so
+    /// mutations report deltas rather than overwriting the level.
+    fn gauge_entries(&self, delta: i64) {
+        if let Some(metrics) = &self.metrics {
+            metrics.entries.add(delta);
         }
     }
 
@@ -161,6 +194,9 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
             match shard.entry(key) {
                 Entry::Occupied(existing) => {
                     self.races_lost.fetch_add(1, Ordering::Relaxed);
+                    if let Some(metrics) = &self.metrics {
+                        metrics.races_lost.inc();
+                    }
                     return (existing.get().clone(), false);
                 }
                 Entry::Vacant(vacant) => {
@@ -168,6 +204,7 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
                 }
             }
         }
+        self.gauge_entries(1);
         self.order_lock().push_back(key);
         self.enforce_capacity();
         (value, true)
@@ -183,6 +220,7 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
         }
         let fresh_key = self.write(self.shard_of(&key)).insert(key, value).is_none();
         if fresh_key {
+            self.gauge_entries(1);
             self.order_lock().push_back(key);
             self.enforce_capacity();
         }
@@ -196,7 +234,13 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
             let Some(victim) = self.order_lock().pop_front() else {
                 break;
             };
-            self.write(self.shard_of(&victim)).remove(&victim);
+            if self.write(self.shard_of(&victim)).remove(&victim).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.gauge_entries(-1);
+                if let Some(metrics) = &self.metrics {
+                    metrics.evictions.inc();
+                }
+            }
         }
     }
 
@@ -212,6 +256,7 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
             }
         }
         if !drained.is_empty() {
+            self.gauge_entries(-(drained.len() as i64));
             self.order_lock()
                 .retain(|k| !drained.iter().any(|(drained_key, _)| drained_key == k));
         }
@@ -220,20 +265,30 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
 
     /// Drops every entry (counters are kept — they are lifetime totals).
     pub(crate) fn clear(&self) {
+        let mut dropped = 0i64;
         for index in 0..self.shards.len() {
-            self.write(index).clear();
+            let mut shard = self.write(index);
+            dropped += shard.len() as i64;
+            shard.clear();
         }
+        self.gauge_entries(-dropped);
         self.order_lock().clear();
     }
 
     /// Records one validated hit (bumped by the owner, not by `get`).
     pub(crate) fn note_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = &self.metrics {
+            metrics.hits.inc();
+        }
     }
 
     /// Records one miss (absent entry or failed revalidation).
     pub(crate) fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = &self.metrics {
+            metrics.misses.inc();
+        }
     }
 
     /// Snapshot of the counters plus the current entry count.
@@ -242,7 +297,24 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             races_lost: self.races_lost.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
+        }
+    }
+}
+
+impl<K, V> Drop for ShardedCache<K, V> {
+    fn drop(&mut self) {
+        // The global entries gauge sums over every cache sharing the
+        // handles; a dropped cache (engine torn down) must give its
+        // residents back or the gauge would drift upward forever.
+        if let Some(metrics) = &self.metrics {
+            let resident: usize = self
+                .shards
+                .iter_mut()
+                .map(|shard| shard.get_mut().map_or(0, |m| m.len()))
+                .sum();
+            metrics.entries.sub(resident as i64);
         }
     }
 }

@@ -1,0 +1,152 @@
+//! Pre-resolved metric handles for the engine's hot paths.
+//!
+//! Registration against the [`stuc_obs`] process-global registry happens
+//! once (lazily, on first engine use); afterwards every update is a relaxed
+//! atomic operation on a pre-resolved `Arc` handle. Metrics are
+//! process-cumulative: several engines in one process share the same
+//! counters, as is conventional for Prometheus exposition.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use stuc_obs::metrics::{registry, Counter, Gauge, Histogram};
+
+/// Calls / errors / latency of one engine entry point.
+pub(crate) struct EntryMetrics {
+    calls: Arc<Counter>,
+    errors: Arc<Counter>,
+    seconds: Arc<Histogram>,
+}
+
+impl EntryMetrics {
+    fn register(entry: &str, what: &str) -> Self {
+        let reg = registry();
+        EntryMetrics {
+            calls: reg.counter(
+                &format!("stuc_engine_{entry}_total"),
+                &format!("Calls to {what}."),
+            ),
+            errors: reg.counter(
+                &format!("stuc_engine_{entry}_errors_total"),
+                &format!("Failed calls to {what}."),
+            ),
+            seconds: reg.histogram(
+                &format!("stuc_engine_{entry}_seconds"),
+                &format!("Wall time of {what} calls."),
+            ),
+        }
+    }
+
+    /// One successful call of the given wall time.
+    pub(crate) fn observe_ok(&self, wall: Duration) {
+        self.calls.inc();
+        self.seconds.observe(wall);
+    }
+
+    /// One failed call.
+    pub(crate) fn observe_err(&self) {
+        self.calls.inc();
+        self.errors.inc();
+    }
+
+    /// Record from a `Result`: successes land in the latency histogram at
+    /// `wall`, failures only bump the counters.
+    pub(crate) fn observe<T, E>(&self, result: &Result<T, E>, wall: Duration) {
+        match result {
+            Ok(_) => self.observe_ok(wall),
+            Err(_) => self.observe_err(),
+        }
+    }
+}
+
+/// One bundle per public entry point.
+pub(crate) struct EngineMetrics {
+    pub(crate) evaluate: EntryMetrics,
+    pub(crate) evaluate_text: EntryMetrics,
+    pub(crate) evaluate_goal: EntryMetrics,
+    pub(crate) evaluate_batch: EntryMetrics,
+    pub(crate) reevaluate: EntryMetrics,
+    pub(crate) apply_update: EntryMetrics,
+    pub(crate) marginals: EntryMetrics,
+    pub(crate) sample_worlds: EntryMetrics,
+    pub(crate) most_probable_world: EntryMetrics,
+}
+
+/// The lazily-registered, process-global engine metrics.
+pub(crate) fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        evaluate: EntryMetrics::register("evaluate", "Engine::evaluate"),
+        evaluate_text: EntryMetrics::register("evaluate_text", "Engine::evaluate_text"),
+        evaluate_goal: EntryMetrics::register(
+            "evaluate_goal",
+            "Engine::evaluate_goal (per textual goal, including via evaluate_text)",
+        ),
+        evaluate_batch: EntryMetrics::register("evaluate_batch", "Engine::evaluate_batch"),
+        reevaluate: EntryMetrics::register(
+            "reevaluate",
+            "Engine::reevaluate_with_weights (single and many)",
+        ),
+        apply_update: EntryMetrics::register("apply_update", "Engine::apply_update"),
+        marginals: EntryMetrics::register("marginals", "Engine::marginals"),
+        sample_worlds: EntryMetrics::register(
+            "sample_worlds",
+            "Engine::sample_worlds / Engine::world_sampler",
+        ),
+        most_probable_world: EntryMetrics::register(
+            "most_probable_world",
+            "Engine::most_probable_world",
+        ),
+    })
+}
+
+/// Live counters of one engine cache, mirrored into the global registry
+/// alongside the per-engine [`CacheCounters`](super::CacheCounters)
+/// snapshots (which tests and `Engine::cache_stats` keep using).
+#[derive(Debug, Clone)]
+pub(crate) struct CacheMetricHandles {
+    pub(crate) hits: Arc<Counter>,
+    pub(crate) misses: Arc<Counter>,
+    pub(crate) races_lost: Arc<Counter>,
+    pub(crate) evictions: Arc<Counter>,
+    pub(crate) entries: Arc<Gauge>,
+}
+
+fn cache_metrics(cache: &str) -> CacheMetricHandles {
+    let reg = registry();
+    CacheMetricHandles {
+        hits: reg.counter(
+            &format!("stuc_cache_{cache}_hits_total"),
+            &format!("Validated hits on the {cache} cache (all engines)."),
+        ),
+        misses: reg.counter(
+            &format!("stuc_cache_{cache}_misses_total"),
+            &format!("Misses (absent or failed revalidation) on the {cache} cache."),
+        ),
+        races_lost: reg.counter(
+            &format!("stuc_cache_{cache}_races_lost_total"),
+            &format!("First-writer-wins publish races lost on the {cache} cache."),
+        ),
+        evictions: reg.counter(
+            &format!("stuc_cache_{cache}_evictions_total"),
+            &format!("Capacity (FIFO) evictions from the {cache} cache."),
+        ),
+        entries: reg.gauge(
+            &format!("stuc_cache_{cache}_entries"),
+            &format!("Entries resident in the {cache} cache (all engines)."),
+        ),
+    }
+}
+
+/// Global live counters of the structure-decomposition cache.
+pub(crate) fn decomposition_cache_metrics() -> CacheMetricHandles {
+    static METRICS: OnceLock<CacheMetricHandles> = OnceLock::new();
+    METRICS
+        .get_or_init(|| cache_metrics("decomposition"))
+        .clone()
+}
+
+/// Global live counters of the compiled-lineage cache.
+pub(crate) fn lineage_cache_metrics() -> CacheMetricHandles {
+    static METRICS: OnceLock<CacheMetricHandles> = OnceLock::new();
+    METRICS.get_or_init(|| cache_metrics("lineage")).clone()
+}

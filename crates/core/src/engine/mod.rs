@@ -77,6 +77,7 @@ pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod error;
+mod metrics;
 pub mod report;
 pub mod representation;
 pub mod text;
@@ -93,18 +94,22 @@ pub use stuc_incr::{Delta, DeltaOp, Updatable, UpdateLog};
 pub use stuc_infer::{
     InferError, InferenceReport, Marginals, MostProbableWorld, SampledWorlds, World, WorldSampler,
 };
+pub use stuc_obs::timer::{Stage, StageTimings};
 pub use text::{GoalEvaluation, TextEvaluation};
 pub use update::UpdateReport;
 
 use cache::ShardedCache;
+use metrics::{decomposition_cache_metrics, engine_metrics, lineage_cache_metrics};
 use representation::{fingerprint_debug, fingerprint_debug_pair_with, FNV_OFFSET_BASIS};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 use stuc_circuit::circuit::Circuit;
 use stuc_circuit::compiled::CompiledCircuit;
 use stuc_circuit::weights::Weights;
 use stuc_graph::elimination::{decompose_with_heuristic, EliminationHeuristic};
 use stuc_graph::TreeDecomposition;
+use stuc_obs::timer::{StageRecorder, Stopwatch};
+use stuc_obs::{slowlog, trace};
 use stuc_query::safe::is_hierarchical;
 
 /// Builder for [`Engine`]: heuristic, width budget, back-end policy and
@@ -228,8 +233,16 @@ impl EngineBuilder {
         let shards = self.cache_shards;
         Engine {
             config: self,
-            cache: ShardedCache::new(decomposition_capacity, shards),
-            lineage_cache: ShardedCache::new(lineage_capacity, shards),
+            cache: ShardedCache::with_metrics(
+                decomposition_capacity,
+                shards,
+                decomposition_cache_metrics(),
+            ),
+            lineage_cache: ShardedCache::with_metrics(
+                lineage_capacity,
+                shards,
+                lineage_cache_metrics(),
+            ),
         }
     }
 }
@@ -371,6 +384,18 @@ impl Engine {
         EngineBuilder::default().build()
     }
 
+    /// An engine with default configuration that additionally switches the
+    /// **process-global** span tracer on ([`stuc_obs::trace`]): every
+    /// evaluation records named stage spans into the bounded ring buffer,
+    /// exportable as Chrome trace-event JSON via
+    /// [`stuc_obs::trace::chrome_trace_json`] (or `stuc-serve
+    /// --trace-out=FILE`). The tracer outlives the engine; turn it back off
+    /// with `stuc_obs::trace::set_enabled(false)`.
+    pub fn with_tracing() -> Engine {
+        trace::set_enabled(true);
+        Engine::new()
+    }
+
     /// Starts configuring an engine.
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
@@ -441,7 +466,21 @@ impl Engine {
         representation: &R,
         query: &R::Query,
     ) -> Result<EvaluationReport, StucError> {
-        self.evaluate_inner(representation, query, None)
+        let _span = trace::span("evaluate");
+        let watch = Stopwatch::start();
+        let result = self.evaluate_inner(representation, query, None);
+        engine_metrics().evaluate.observe(&result, watch.elapsed());
+        if let Ok(report) = &result {
+            slowlog::global().note("evaluate", report.wall_time, report.trace_id, || {
+                format!(
+                    "backend={} gates={} facts={}",
+                    report.backend.name(),
+                    report.circuit_gates,
+                    report.fact_count
+                )
+            });
+        }
+        result
     }
 
     /// Re-evaluates a query under a different weight table — the what-if
@@ -487,7 +526,13 @@ impl Engine {
         query: &R::Query,
         weights: &Weights,
     ) -> Result<EvaluationReport, StucError> {
-        self.evaluate_inner(representation, query, Some(weights))
+        let _span = trace::span("reevaluate_with_weights");
+        let watch = Stopwatch::start();
+        let result = self.evaluate_inner(representation, query, Some(weights));
+        engine_metrics()
+            .reevaluate
+            .observe(&result, watch.elapsed());
+        result
     }
 
     /// Re-evaluates a query under **K** different weight tables in a single
@@ -539,6 +584,21 @@ impl Engine {
         query: &R::Query,
         scenarios: &[Weights],
     ) -> Result<Vec<EvaluationReport>, StucError> {
+        let _span = trace::span("reevaluate_with_weights_many");
+        let watch = Stopwatch::start();
+        let result = self.reevaluate_many_inner(representation, query, scenarios);
+        engine_metrics()
+            .reevaluate
+            .observe(&result, watch.elapsed());
+        result
+    }
+
+    fn reevaluate_many_inner<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        scenarios: &[Weights],
+    ) -> Result<Vec<EvaluationReport>, StucError> {
         if scenarios.is_empty() {
             return Ok(Vec::new());
         }
@@ -550,9 +610,9 @@ impl Engine {
                     .into(),
             });
         }
-        let started = Instant::now();
+        let mut rec = StageRecorder::new();
         let mut notes = Vec::new();
-        let (entry, cache_flags) = self.compiled_lineage(representation, query)?;
+        let (entry, cache_flags) = self.compiled_lineage(representation, query, &mut rec)?;
         if cache_flags.lineage_cached {
             notes.push("compiled lineage served from cache".to_string());
         }
@@ -598,6 +658,9 @@ impl Engine {
             }
             (probabilities, chosen.kind())
         };
+        rec.mark("sweep");
+        let wall_time = rec.elapsed();
+        let timings = rec.finish();
         Ok(probabilities
             .into_iter()
             .map(|probability| {
@@ -607,7 +670,8 @@ impl Engine {
                     entry.decomposition_width,
                     entry.compiled.len(),
                     representation.fact_count(),
-                    started,
+                    wall_time,
+                    timings.clone(),
                     cache_flags,
                     notes.clone(),
                 )
@@ -654,11 +718,18 @@ impl Engine {
         representation: &R,
         query: &R::Query,
     ) -> Result<Marginals, StucError> {
-        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
-        let mut result =
-            stuc_infer::marginals(&entry.compiled, &weights, self.config.width_budget)?;
-        result.report.lineage_cached = lineage_cached;
-        Ok(result)
+        let _span = trace::span("marginals");
+        let watch = Stopwatch::start();
+        let result = self.inference_input(representation, query).and_then(
+            |(entry, weights, lineage_cached)| {
+                let mut result =
+                    stuc_infer::marginals(&entry.compiled, &weights, self.config.width_budget)?;
+                result.report.lineage_cached = lineage_cached;
+                Ok(result)
+            },
+        );
+        engine_metrics().marginals.observe(&result, watch.elapsed());
+        result
     }
 
     /// Draws `count` i.i.d. possible worlds **exactly** proportional to
@@ -692,16 +763,25 @@ impl Engine {
         count: usize,
         seed: u64,
     ) -> Result<SampledWorlds, StucError> {
-        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
-        let mut result = stuc_infer::sample_worlds(
-            &entry.compiled,
-            &weights,
-            self.config.width_budget,
-            count,
-            seed,
-        )?;
-        result.report.lineage_cached = lineage_cached;
-        Ok(result)
+        let _span = trace::span("sample_worlds");
+        let watch = Stopwatch::start();
+        let result = self.inference_input(representation, query).and_then(
+            |(entry, weights, lineage_cached)| {
+                let mut result = stuc_infer::sample_worlds(
+                    &entry.compiled,
+                    &weights,
+                    self.config.width_budget,
+                    count,
+                    seed,
+                )?;
+                result.report.lineage_cached = lineage_cached;
+                Ok(result)
+            },
+        );
+        engine_metrics()
+            .sample_worlds
+            .observe(&result, watch.elapsed());
+        result
     }
 
     /// Builds a reusable exact [`WorldSampler`] for `(representation,
@@ -715,11 +795,20 @@ impl Engine {
         query: &R::Query,
         seed: u64,
     ) -> Result<WorldSampler, StucError> {
-        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
-        let mut sampler =
-            WorldSampler::new(&entry.compiled, &weights, self.config.width_budget, seed)?;
-        sampler.report_mut().lineage_cached = lineage_cached;
-        Ok(sampler)
+        let _span = trace::span("world_sampler");
+        let watch = Stopwatch::start();
+        let result = self.inference_input(representation, query).and_then(
+            |(entry, weights, lineage_cached)| {
+                let mut sampler =
+                    WorldSampler::new(&entry.compiled, &weights, self.config.width_budget, seed)?;
+                sampler.report_mut().lineage_cached = lineage_cached;
+                Ok(sampler)
+            },
+        );
+        engine_metrics()
+            .sample_worlds
+            .observe(&result, watch.elapsed());
+        result
     }
 
     /// The single most probable world in which the query holds, and its
@@ -744,11 +833,23 @@ impl Engine {
         representation: &R,
         query: &R::Query,
     ) -> Result<MostProbableWorld, StucError> {
-        let (entry, weights, lineage_cached) = self.inference_input(representation, query)?;
-        let mut result =
-            stuc_infer::most_probable_world(&entry.compiled, &weights, self.config.width_budget)?;
-        result.report.lineage_cached = lineage_cached;
-        Ok(result)
+        let _span = trace::span("most_probable_world");
+        let watch = Stopwatch::start();
+        let result = self.inference_input(representation, query).and_then(
+            |(entry, weights, lineage_cached)| {
+                let mut result = stuc_infer::most_probable_world(
+                    &entry.compiled,
+                    &weights,
+                    self.config.width_budget,
+                )?;
+                result.report.lineage_cached = lineage_cached;
+                Ok(result)
+            },
+        );
+        engine_metrics()
+            .most_probable_world
+            .observe(&result, watch.elapsed());
+        result
     }
 
     /// Shared entry of the posterior-inference modes: refuse the (circuitless)
@@ -768,7 +869,10 @@ impl Engine {
                     .into(),
             });
         }
-        let (entry, flags) = self.compiled_lineage(representation, query)?;
+        // Inference reports carry their own sweep counters, so the stage
+        // recorder here only feeds the tracer.
+        let mut rec = StageRecorder::new();
+        let (entry, flags) = self.compiled_lineage(representation, query, &mut rec)?;
         let weights = representation.weights()?;
         Ok((entry, weights, flags.lineage_cached))
     }
@@ -779,7 +883,7 @@ impl Engine {
         query: &R::Query,
         weight_override: Option<&Weights>,
     ) -> Result<EvaluationReport, StucError> {
-        let started = Instant::now();
+        let mut rec = StageRecorder::new();
         let mut notes = Vec::new();
 
         // Stage 1: the extensional fast path, which skips decomposition and
@@ -803,13 +907,15 @@ impl Engine {
                         query: extensional.query,
                     };
                     let probability = SafePlanBackend.solve(&task)?;
+                    rec.mark("safe-plan");
                     return Ok(self.report(
                         probability,
                         BackendKind::SafePlan,
                         None,
                         0,
                         representation.fact_count(),
-                        started,
+                        rec.elapsed(),
+                        rec.finish(),
                         CacheFlags::default(),
                         notes,
                     ));
@@ -826,13 +932,15 @@ impl Engine {
                                     "query is hierarchical; extensional safe plan selected"
                                         .to_string(),
                                 );
+                                rec.mark("safe-plan");
                                 return Ok(self.report(
                                     probability,
                                     BackendKind::SafePlan,
                                     None,
                                     0,
                                     representation.fact_count(),
-                                    started,
+                                    rec.elapsed(),
+                                    rec.finish(),
                                     CacheFlags::default(),
                                     notes,
                                 ));
@@ -859,7 +967,7 @@ impl Engine {
             });
         }
 
-        self.evaluate_on_circuit(representation, query, weight_override, started, notes)
+        self.evaluate_on_circuit(representation, query, weight_override, rec, notes)
     }
 
     /// Stages 2–4 of an evaluation: compiled lineage → weights → counting
@@ -872,13 +980,13 @@ impl Engine {
         representation: &R,
         query: &R::Query,
         weight_override: Option<&Weights>,
-        started: Instant,
+        mut rec: StageRecorder,
         mut notes: Vec<String>,
     ) -> Result<EvaluationReport, StucError> {
         // Stages 2 + 3: fetch (or build) the compiled lineage — the
         // decomposition of the structure graph, the lineage circuit, and the
         // decomposition of the circuit graph, all weight-independent.
-        let (entry, cache_flags) = self.compiled_lineage(representation, query)?;
+        let (entry, cache_flags) = self.compiled_lineage(representation, query, &mut rec)?;
         if cache_flags.lineage_cached {
             notes.push("compiled lineage served from cache".to_string());
         } else if cache_flags.decomposition_cached {
@@ -934,14 +1042,17 @@ impl Engine {
                 }
             }
         };
+        rec.skip();
         let probability = chosen.solve(&task)?;
+        rec.mark("sweep");
         Ok(self.report(
             probability,
             chosen.kind(),
             entry.decomposition_width,
             entry.compiled.len(),
             representation.fact_count(),
-            started,
+            rec.elapsed(),
+            rec.finish(),
             cache_flags,
             notes,
         ))
@@ -954,6 +1065,7 @@ impl Engine {
         &self,
         representation: &R,
         query: &R::Query,
+        rec: &mut StageRecorder,
     ) -> Result<(Arc<CompiledLineage>, CacheFlags), StucError> {
         // The instance is hashed over its `Debug` rendering (primary + check
         // hash in one pass); unlike the decomposition cache this does not go
@@ -973,6 +1085,7 @@ impl Engine {
             if let Some(entry) = self.lineage_cache.get(&key) {
                 if entry.query_repr == query_repr && entry.instance_check == instance_check {
                     self.lineage_cache.note_hit();
+                    rec.mark("cache-lookup");
                     return Ok((
                         entry,
                         CacheFlags {
@@ -990,7 +1103,9 @@ impl Engine {
         } else {
             None
         };
+        rec.mark("cache-lookup");
         let (decomposition, decomposition_cached) = self.decomposition_for(representation);
+        rec.mark("decompose");
         let outcome = representation.lineage(query, &decomposition)?;
         let build_notes = outcome.note.into_iter().collect();
         // Constant-fold and prune the raw lineage before compiling:
@@ -1001,6 +1116,7 @@ impl Engine {
         // shrink with it.
         let simplified = outcome.circuit.simplify()?;
         let compiled = CompiledCircuit::compile(Arc::new(simplified), self.config.heuristic)?;
+        rec.mark("compile-lineage");
         let (query_repr, instance_check, key) = match identity {
             Some((key, query_repr, instance_check)) => (query_repr, instance_check, Some(key)),
             None => (String::new(), 0, None),
@@ -1074,7 +1190,8 @@ impl Engine {
         representation: &R,
         query: &R::Query,
     ) -> Result<Circuit, StucError> {
-        let (entry, _) = self.compiled_lineage(representation, query)?;
+        let mut rec = StageRecorder::new();
+        let (entry, _) = self.compiled_lineage(representation, query, &mut rec)?;
         Ok(entry.compiled.source().as_ref().clone())
     }
 
@@ -1130,7 +1247,8 @@ impl Engine {
         decomposition_width: Option<usize>,
         circuit_gates: usize,
         fact_count: usize,
-        started: Instant,
+        wall_time: Duration,
+        stage_timings: StageTimings,
         cache_flags: CacheFlags,
         notes: Vec<String>,
     ) -> EvaluationReport {
@@ -1140,13 +1258,15 @@ impl Engine {
             decomposition_width,
             circuit_gates,
             fact_count,
-            wall_time: started.elapsed(),
+            wall_time,
             decomposition_cached: cache_flags.decomposition_cached,
             lineage_cached: cache_flags.lineage_cached,
             notes,
             // Only the textual front-end routes through the cost model;
             // `Engine::evaluate_text` fills this in after the fact.
             route: None,
+            trace_id: stuc_obs::next_trace_id(),
+            stage_timings,
         }
     }
 }

@@ -4,6 +4,7 @@
 
 use super::error::StucError;
 use std::time::Duration;
+use stuc_obs::StageTimings;
 
 /// The back-ends an [`crate::engine::Engine`] can dispatch to, and the
 /// policy values a caller can request.
@@ -92,6 +93,14 @@ pub struct EvaluationReport {
     /// `None` for programmatic [`crate::engine::Engine::evaluate`] calls,
     /// which bypass the cost model.
     pub route: Option<stuc_lang::cost::Route>,
+    /// Process-unique id of this evaluation, correlating the report with
+    /// the slow-query log and the span tracer.
+    pub trace_id: u64,
+    /// Per-stage wall-time breakdown (`parse`, `safe-plan`, `cache-lookup`,
+    /// `decompose`, `compile-lineage`, `sweep`, …), recorded on the same
+    /// monotonic clock as [`EvaluationReport::wall_time`], so
+    /// `stage_timings.total() <= wall_time` holds by construction.
+    pub stage_timings: StageTimings,
 }
 
 impl EvaluationReport {

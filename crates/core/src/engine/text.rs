@@ -26,14 +26,16 @@
 //! ```
 
 use super::backend::{Backend, EvaluationTask, SafePlanBackend};
+use super::metrics::engine_metrics;
 use super::report::{BackendKind, BackendPolicy, EvaluationReport};
 use super::representation::Representation;
 use super::{Engine, StucError};
-use std::time::Instant;
 use stuc_lang::ast::{RuleAst, UnionAst};
 use stuc_lang::cost::{CostModel, Route, RouteDecision};
 use stuc_lang::lower::{lower_goal, LoweredGoal};
 use stuc_lang::{parse_program, LangError};
+use stuc_obs::timer::{StageRecorder, Stopwatch};
+use stuc_obs::{slowlog, trace};
 use stuc_query::cq::ConjunctiveQuery;
 
 /// The outcome of evaluating one textual goal (`?- …`).
@@ -89,7 +91,38 @@ impl Engine {
     where
         R: Representation<Query = ConjunctiveQuery> + ?Sized,
     {
+        let _span = trace::span("evaluate_text");
+        let watch = Stopwatch::start();
+        let result = self.evaluate_text_inner(representation, src);
+        engine_metrics()
+            .evaluate_text
+            .observe(&result, watch.elapsed());
+        if let Ok(outcome) = &result {
+            for goal in &outcome.goals {
+                slowlog::global().note(
+                    "evaluate_text",
+                    goal.report.wall_time,
+                    goal.report.trace_id,
+                    || goal.source.clone(),
+                );
+            }
+        }
+        result
+    }
+
+    fn evaluate_text_inner<R>(
+        &self,
+        representation: &R,
+        src: &str,
+    ) -> Result<TextEvaluation, StucError>
+    where
+        R: Representation<Query = ConjunctiveQuery> + ?Sized,
+    {
+        // Parse is program-level (one parse serves every goal), so it shows
+        // up in the tracer rather than in any single goal's stage breakdown.
+        let parse_watch = Stopwatch::start();
         let program = parse_program(src).map_err(LangError::from)?;
+        trace::record_complete("parse", parse_watch.started_at(), parse_watch.elapsed());
         let fact_count = program.facts().count();
         if fact_count > 0 {
             return Err(StucError::TextFacts { count: fact_count });
@@ -116,8 +149,29 @@ impl Engine {
     where
         R: Representation<Query = ConjunctiveQuery> + ?Sized,
     {
-        let started = Instant::now();
+        let _span = trace::span("evaluate_goal");
+        let watch = Stopwatch::start();
+        let result = self.evaluate_goal_inner(representation, goal, rules);
+        engine_metrics()
+            .evaluate_goal
+            .observe(&result, watch.elapsed());
+        result
+    }
+
+    fn evaluate_goal_inner<R>(
+        &self,
+        representation: &R,
+        goal: &UnionAst,
+        rules: &[&RuleAst],
+    ) -> Result<GoalEvaluation, StucError>
+    where
+        R: Representation<Query = ConjunctiveQuery> + ?Sized,
+    {
+        // Safety analysis runs inside lowering, so the "lower" stage covers
+        // both; per-term circuit stages are absorbed from the term reports.
+        let mut rec = StageRecorder::new();
         let lowered = lower_goal(goal, rules).map_err(LangError::from)?;
+        rec.mark("lower");
 
         // Route with the cost model, then force the route when the engine's
         // policy pins a back-end (mirroring `evaluate`'s fixed-policy
@@ -131,6 +185,7 @@ impl Engine {
                 .filter_map(|t| t.query.as_ref())
                 .all(|q| self.has_cached_lineage(representation, q));
         let mut decision = CostModel::default().choose(&lowered, &stats, cached);
+        rec.mark("route");
         match self.config.policy {
             BackendPolicy::Fixed(BackendKind::SafePlan) => decision.route = Route::SafePlan,
             BackendPolicy::Fixed(_) => decision.route = Route::Circuit,
@@ -172,24 +227,29 @@ impl Engine {
         // clamps the signed sum into [0, 1].
         let mut term_reports: Vec<EvaluationReport> = Vec::new();
         let probability = match decision.route {
-            Route::SafePlan => lowered.combine(|query| {
-                let extensional = representation
-                    .extensional(query)
-                    .expect("checked above: every term offers the extensional path");
-                SafePlanBackend.solve(&EvaluationTask::Extensional {
-                    tid: extensional.tid,
-                    query: extensional.query,
-                })
-            })?,
+            Route::SafePlan => {
+                let p = lowered.combine(|query| {
+                    let extensional = representation
+                        .extensional(query)
+                        .expect("checked above: every term offers the extensional path");
+                    SafePlanBackend.solve(&EvaluationTask::Extensional {
+                        tid: extensional.tid,
+                        query: extensional.query,
+                    })
+                })?;
+                rec.mark("safe-plan");
+                p
+            }
             Route::Circuit => lowered.combine(|query| {
                 let report = self.evaluate_on_circuit(
                     representation,
                     query,
                     None,
-                    Instant::now(),
+                    StageRecorder::new(),
                     Vec::new(),
                 )?;
                 let p = report.probability;
+                rec.absorb(&report.stage_timings);
                 term_reports.push(report);
                 Ok::<f64, StucError>(p)
             })?,
@@ -222,13 +282,15 @@ impl Engine {
                 .max(),
             circuit_gates: term_reports.iter().map(|r| r.circuit_gates).sum(),
             fact_count: representation.fact_count(),
-            wall_time: started.elapsed(),
+            wall_time: rec.elapsed(),
             decomposition_cached: !term_reports.is_empty()
                 && term_reports.iter().all(|r| r.decomposition_cached),
             lineage_cached: !term_reports.is_empty()
                 && term_reports.iter().all(|r| r.lineage_cached),
             notes,
             route: Some(decision.route),
+            trace_id: stuc_obs::next_trace_id(),
+            stage_timings: rec.finish(),
         };
         Ok(GoalEvaluation {
             source: goal.to_string(),

@@ -20,15 +20,18 @@
 //! so operational dashboards (and the `a5_incremental_updates` bench) can
 //! watch the patch rate and the width drift.
 
+use super::metrics::engine_metrics;
 use super::{lineage_fingerprint_pair, Engine, Representation, StucError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use stuc_circuit::circuit::Gate;
 use stuc_graph::elimination::decompose_with_heuristic;
 use stuc_graph::repair::repair_decomposition;
 use stuc_graph::TreeDecomposition;
 use stuc_incr::{Delta, LineagePatch, LineagePatchStep, StructureImpact, Updatable};
+use stuc_obs::timer::Stopwatch;
+use stuc_obs::{slowlog, trace};
 
 /// What one [`Engine::apply_update`] call reused, patched and rebuilt.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -118,7 +121,36 @@ impl Engine {
     where
         R: Representation + Updatable<Query = <R as Representation>::Query> + ?Sized,
     {
-        let started = Instant::now();
+        let _span = trace::span("apply_update");
+        let watch = Stopwatch::start();
+        let result = self.apply_update_inner(representation, delta, watch);
+        engine_metrics()
+            .apply_update
+            .observe(&result, watch.elapsed());
+        if let Ok(report) = &result {
+            slowlog::global().note("apply_update", report.wall_time, 0, || {
+                format!(
+                    "+{} -{} ~{} patched={} dropped={}",
+                    report.inserted,
+                    report.deleted,
+                    report.reweighted,
+                    report.lineages_patched,
+                    report.lineages_dropped
+                )
+            });
+        }
+        result
+    }
+
+    fn apply_update_inner<R>(
+        &self,
+        representation: &mut R,
+        delta: &Delta,
+        watch: Stopwatch,
+    ) -> Result<UpdateReport, StucError>
+    where
+        R: Representation + Updatable<Query = <R as Representation>::Query> + ?Sized,
+    {
         let mut report = UpdateReport::default();
 
         let old_fingerprint = representation.fingerprint();
@@ -312,7 +344,7 @@ impl Engine {
             report.fell_back = true;
         }
 
-        report.wall_time = started.elapsed();
+        report.wall_time = watch.elapsed();
         Ok(report)
     }
 }

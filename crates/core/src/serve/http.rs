@@ -109,14 +109,17 @@ pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, Http
     )))
 }
 
-/// One response: status plus a JSON body. Rendering is deterministic —
+/// One response: status plus a body. Rendering is deterministic —
 /// fixed header set, fixed order, no timestamps.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// The JSON body.
+    /// The body.
     pub body: String,
+    /// The `Content-Type` header value (`application/json` unless built
+    /// with [`Response::text`]).
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -125,6 +128,17 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition format of
+    /// `GET /metrics` is text, not JSON).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -156,9 +170,10 @@ impl Response {
     /// The exact bytes on the wire.
     pub fn to_bytes(&self) -> Vec<u8> {
         format!(
-            "HTTP/1.1 {} {}\r\nServer: stuc-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nServer: stuc-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             self.body
         )

@@ -23,10 +23,15 @@
 //!
 //! Protocol: one request per connection (`Connection: close`), endpoints
 //! `POST /query` (body = `stuc-lang` rules + goals; inline facts are
-//! rejected — the instance is the one loaded at startup), `GET /health`,
-//! `GET /stats`. All responses are deterministic given the request and the
-//! loaded program, which is what the byte-exact golden protocol test
-//! (`tests/serve_golden.rs`, `ci/serve_session.golden`) pins down.
+//! rejected — the instance is the one loaded at startup; append
+//! `?timings=1` for a per-stage wall-time breakdown per goal),
+//! `GET /health`, `GET /stats`, `GET /metrics` (Prometheus text format),
+//! `GET /debug/slow` (the ring-buffered slow-query log). Default responses
+//! are deterministic given the request and the loaded program, which is
+//! what the byte-exact golden protocol test (`tests/serve_golden.rs`,
+//! `ci/serve_session.golden`) pins down; `/metrics`, `/debug/slow` and
+//! `?timings=1` responses carry live timings and are asserted by parsing,
+//! not byte equality.
 
 pub mod http;
 
@@ -34,13 +39,61 @@ use crate::engine::{Engine, StucError};
 use http::{escape_json, HttpError, Request, Response};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use stuc_data::tid::TidInstance;
 use stuc_lang::ast::RuleAst;
 use stuc_lang::lower::program_instance;
 use stuc_lang::{parse_program, LangError};
+use stuc_obs::metrics::{registry, Counter, Gauge, Histogram};
+use stuc_obs::{slowlog, Stopwatch};
+
+/// Pre-resolved global `stuc_serve_*` metric handles, mirroring the
+/// per-server [`ServeStats`] atomics into the process-wide registry (the
+/// per-server atomics stay authoritative for [`Server::stats`] and the
+/// golden-deterministic `/stats` endpoint).
+struct ServeMetrics {
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    rejected_overload: Arc<Counter>,
+    served: Arc<Counter>,
+    request_errors: Arc<Counter>,
+    request_seconds: Arc<Histogram>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = registry();
+        ServeMetrics {
+            queue_depth: reg.gauge(
+                "stuc_serve_queue_depth",
+                "Connections waiting in the bounded accept queue.",
+            ),
+            in_flight: reg.gauge(
+                "stuc_serve_in_flight",
+                "Requests currently being handled by workers.",
+            ),
+            rejected_overload: reg.counter(
+                "stuc_serve_rejected_overload_total",
+                "Connections rejected by admission control (queue full).",
+            ),
+            served: reg.counter(
+                "stuc_serve_requests_total",
+                "Requests answered (any status).",
+            ),
+            request_errors: reg.counter(
+                "stuc_serve_request_errors_total",
+                "Requests that failed to parse as HTTP (timeout included).",
+            ),
+            request_seconds: reg.histogram(
+                "stuc_serve_request_seconds",
+                "Wall time from dequeue to response written, per request.",
+            ),
+        }
+    })
+}
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -78,6 +131,10 @@ pub struct ServiceState {
     engine: Engine,
     instance: TidInstance,
     rules: Vec<RuleAst>,
+    /// Service-local trace-id sequence. Query responses carry this (not the
+    /// process-global id) so a fresh service produces the same ids for the
+    /// same request sequence — the byte-exact golden depends on it.
+    trace_seq: AtomicU64,
 }
 
 impl ServiceState {
@@ -87,6 +144,7 @@ impl ServiceState {
             engine,
             instance,
             rules,
+            trace_seq: AtomicU64::new(0),
         }
     }
 
@@ -117,8 +175,17 @@ impl ServiceState {
     /// Evaluates one request body (rules + goals) and renders the response.
     /// Exposed for the golden test, which also replays bodies in-process.
     pub fn respond(&self, request: &Request) -> Response {
-        match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/query") => self.respond_query(&request.body),
+        // Split an optional query string off the path: `/query?timings=1`
+        // routes like `/query` with the timings switch set.
+        let (path, params) = match request.path.split_once('?') {
+            Some((path, params)) => (path, params),
+            None => (request.path.as_str(), ""),
+        };
+        match (request.method.as_str(), path) {
+            ("POST", "/query") => {
+                let timings = params.split('&').any(|p| p == "timings=1");
+                self.respond_query(&request.body, timings)
+            }
             ("GET", "/health") => Response::json(
                 200,
                 format!(
@@ -127,6 +194,8 @@ impl ServiceState {
                     self.rule_count()
                 ),
             ),
+            ("GET", "/metrics") => Response::text(200, registry().render_prometheus()),
+            ("GET", "/debug/slow") => respond_slow(),
             (method, path) => Response::error(
                 404,
                 "not-found",
@@ -135,7 +204,7 @@ impl ServiceState {
         }
     }
 
-    fn respond_query(&self, body: &str) -> Response {
+    fn respond_query(&self, body: &str, timings: bool) -> Response {
         let program = match parse_program(body) {
             Ok(program) => program,
             Err(error) => return Response::error(400, "parse", &error.to_string()),
@@ -153,25 +222,93 @@ impl ServiceState {
         }
         let mut rules: Vec<&RuleAst> = self.rules.iter().collect();
         rules.extend(program.rules());
+        let trace_id = self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut results = Vec::new();
         for query in program.queries() {
-            match self.engine.evaluate_goal(&self.instance, &query.goal, &rules) {
-                Ok(goal) => results.push(format!(
-                    "{{\"goal\":\"{}\",\"probability\":{:.9},\"route\":\"{}\",\"backend\":\"{}\",\"lineage_cached\":{},\"gates\":{}}}",
-                    escape_json(&goal.source),
-                    goal.probability,
-                    goal.decision.route,
-                    goal.report.backend_name(),
-                    goal.report.lineage_cached,
-                    goal.report.circuit_gates
-                )),
+            match self
+                .engine
+                .evaluate_goal(&self.instance, &query.goal, &rules)
+            {
+                Ok(goal) => {
+                    // The slow-log entry carries the *service* trace id, the
+                    // same one the response body reports.
+                    slowlog::global().note("serve-query", goal.report.wall_time, trace_id, || {
+                        goal.source.clone()
+                    });
+                    let mut fields = format!(
+                        "{{\"goal\":\"{}\",\"probability\":{:.9},\"route\":\"{}\",\"backend\":\"{}\",\"lineage_cached\":{},\"gates\":{}",
+                        escape_json(&goal.source),
+                        goal.probability,
+                        goal.decision.route,
+                        goal.report.backend_name(),
+                        goal.report.lineage_cached,
+                        goal.report.circuit_gates
+                    );
+                    if timings {
+                        // Live microsecond laps: only rendered on request,
+                        // so the default response stays deterministic.
+                        let stages: Vec<String> = goal
+                            .report
+                            .stage_timings
+                            .stages()
+                            .iter()
+                            .map(|stage| {
+                                format!(
+                                    "{{\"stage\":\"{}\",\"micros\":{}}}",
+                                    escape_json(stage.name),
+                                    stage.duration.as_micros()
+                                )
+                            })
+                            .collect();
+                        fields.push_str(&format!(
+                            ",\"wall_micros\":{},\"stages\":[{}]",
+                            goal.report.wall_time.as_micros(),
+                            stages.join(",")
+                        ));
+                    }
+                    fields.push('}');
+                    results.push(fields);
+                }
                 Err(error) => {
                     return Response::error(422, "evaluate", &error.to_string());
                 }
             }
         }
-        Response::json(200, format!("{{\"results\":[{}]}}", results.join(",")))
+        Response::json(
+            200,
+            format!(
+                "{{\"trace_id\":{trace_id},\"results\":[{}]}}",
+                results.join(",")
+            ),
+        )
     }
+}
+
+/// Renders the process-global slow-query log (`GET /debug/slow`).
+fn respond_slow() -> Response {
+    let log = slowlog::global();
+    let entries: Vec<String> = log
+        .entries()
+        .iter()
+        .map(|entry| {
+            format!(
+                "{{\"seq\":{},\"what\":\"{}\",\"trace_id\":{},\"wall_micros\":{},\"detail\":\"{}\"}}",
+                entry.seq,
+                escape_json(entry.what),
+                entry.trace_id,
+                entry.wall.as_micros(),
+                escape_json(&entry.detail)
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"threshold_micros\":{},\"entries\":[{}]}}",
+            log.threshold().as_micros(),
+            entries.join(",")
+        ),
+    )
 }
 
 /// Lifetime counters of a running server, all atomics — cheap to bump on
@@ -313,9 +450,13 @@ impl Server {
                     .name(format!("stuc-serve-worker-{index}"))
                     .spawn(move || {
                         while let Some(connection) = queue.pop() {
+                            let metrics = serve_metrics();
+                            metrics.queue_depth.sub(1);
+                            metrics.in_flight.add(1);
                             stats.in_flight.fetch_add(1, Ordering::SeqCst);
                             handle_connection(connection, &state, &stats, &config);
                             stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+                            metrics.in_flight.sub(1);
                         }
                     })
                     .expect("spawn worker thread")
@@ -341,6 +482,7 @@ impl Server {
                         match queue.try_push(connection) {
                             Ok(()) => {
                                 stats.accepted.fetch_add(1, Ordering::SeqCst);
+                                serve_metrics().queue_depth.add(1);
                             }
                             Err(rejected) => {
                                 // Admission control: typed rejection, written
@@ -349,6 +491,7 @@ impl Server {
                                 connection = rejected;
                                 let _ = connection.set_write_timeout(Some(io_timeout));
                                 stats.rejected_overload.fetch_add(1, Ordering::SeqCst);
+                                serve_metrics().rejected_overload.inc();
                                 Response::error(
                                     503,
                                     "overload",
@@ -447,6 +590,7 @@ fn handle_connection(
     stats: &ServeStats,
     config: &ServeConfig,
 ) {
+    let watch = Stopwatch::start();
     let _ = connection.set_read_timeout(Some(config.io_timeout));
     let _ = connection.set_write_timeout(Some(config.io_timeout));
     let response = match http::read_request(&connection, config.max_body) {
@@ -460,15 +604,24 @@ fn handle_connection(
                     in_flight: stats.in_flight.load(Ordering::SeqCst),
                     queued: 0,
                 };
+                let caches = state.engine().cache_stats();
                 Response::json(
                     200,
                     format!(
-                        "{{\"accepted\":{},\"served\":{},\"rejected_overload\":{},\"request_errors\":{},\"in_flight\":{}}}",
+                        "{{\"accepted\":{},\"served\":{},\"rejected_overload\":{},\"request_errors\":{},\"in_flight\":{},\
+                         \"caches\":{{\"decompositions\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+                         \"lineages\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}}}",
                         snapshot.accepted,
                         snapshot.served,
                         snapshot.rejected_overload,
                         snapshot.request_errors,
-                        snapshot.in_flight
+                        snapshot.in_flight,
+                        caches.decompositions.hits,
+                        caches.decompositions.misses,
+                        caches.decompositions.evictions,
+                        caches.lineages.hits,
+                        caches.lineages.misses,
+                        caches.lineages.evictions,
                     ),
                 )
             }
@@ -476,6 +629,7 @@ fn handle_connection(
         },
         Err(HttpError::BodyTooLarge { declared, limit }) => {
             stats.request_errors.fetch_add(1, Ordering::SeqCst);
+            serve_metrics().request_errors.inc();
             Response::error(
                 413,
                 "too-large",
@@ -484,15 +638,20 @@ fn handle_connection(
         }
         Err(HttpError::Malformed(what)) => {
             stats.request_errors.fetch_add(1, Ordering::SeqCst);
+            serve_metrics().request_errors.inc();
             Response::error(400, "malformed", &format!("malformed request: {what}"))
         }
         Err(HttpError::Io(error)) => {
             stats.request_errors.fetch_add(1, Ordering::SeqCst);
+            serve_metrics().request_errors.inc();
             Response::error(408, "read", &format!("could not read request: {error}"))
         }
     };
     response.write_to(&mut connection);
     stats.served.fetch_add(1, Ordering::SeqCst);
+    let metrics = serve_metrics();
+    metrics.served.inc();
+    metrics.request_seconds.observe(watch.elapsed());
 }
 
 #[cfg(test)]

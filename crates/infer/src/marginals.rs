@@ -13,12 +13,12 @@
 use crate::report::InferenceReport;
 use crate::{ensure_budget, InferError};
 use std::collections::BTreeMap;
-use std::time::Instant;
 use stuc_circuit::circuit::VarId;
 use stuc_circuit::compiled::CompiledCircuit;
 use stuc_circuit::plan::SumProduct;
 use stuc_circuit::weights::Weights;
 use stuc_circuit::wmc::WmcError;
+use stuc_obs::Stopwatch;
 
 /// The posterior marginal `P(v | query)` of every fact variable, together
 /// with the evidence probability and the computation's provenance.
@@ -71,7 +71,7 @@ pub fn marginals(
     weights: &Weights,
     max_bag_size: usize,
 ) -> Result<Marginals, InferError> {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     ensure_budget(compiled, max_bag_size)?;
 
     let mut report = InferenceReport::default();

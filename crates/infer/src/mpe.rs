@@ -10,10 +10,10 @@
 use crate::report::InferenceReport;
 use crate::world::World;
 use crate::{ensure_budget, InferError};
-use std::time::Instant;
 use stuc_circuit::compiled::CompiledCircuit;
 use stuc_circuit::plan::MaxProduct;
 use stuc_circuit::weights::Weights;
+use stuc_obs::Stopwatch;
 
 /// The most probable world satisfying the compiled lineage, with its
 /// (prior, unnormalised) probability and the computation's provenance.
@@ -48,7 +48,7 @@ pub fn most_probable_world(
     weights: &Weights,
     max_bag_size: usize,
 ) -> Result<MostProbableWorld, InferError> {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     ensure_budget(compiled, max_bag_size)?;
     let Some(plan) = compiled.sweep_plan() else {
         return Err(InferError::Unplannable {

@@ -14,11 +14,11 @@ use crate::{ensure_budget, InferError};
 use rand::rngs::SplitMix64;
 use rand::Rng;
 use std::sync::Arc;
-use std::time::Instant;
 use stuc_circuit::circuit::VarId;
 use stuc_circuit::compiled::CompiledCircuit;
 use stuc_circuit::plan::{RetainedSweep, SumProduct, SweepPlan};
 use stuc_circuit::weights::Weights;
+use stuc_obs::Stopwatch;
 
 /// An exact sampler of possible worlds conditioned on the compiled
 /// lineage being true.
@@ -69,7 +69,7 @@ impl WorldSampler {
         max_bag_size: usize,
         seed: u64,
     ) -> Result<WorldSampler, InferError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         ensure_budget(compiled, max_bag_size)?;
         let Some(plan) = compiled.sweep_plan() else {
             return Err(InferError::Unplannable {
@@ -201,7 +201,7 @@ pub fn sample_worlds(
     count: usize,
     seed: u64,
 ) -> Result<SampledWorlds, InferError> {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut sampler = WorldSampler::new(compiled, weights, max_bag_size, seed)?;
     let worlds = sampler.sample_many(count);
     let mut report = sampler.report().clone();

@@ -1,0 +1,29 @@
+//! Zero-dependency observability for the stuc engine and query service.
+//!
+//! Three cooperating layers, all std-only so every workspace crate can use
+//! them without cycles:
+//!
+//! * [`metrics`] — a process-global registry of atomic [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket latency [`Histogram`]s. Registration takes a
+//!   lock once; the handles returned are plain atomics, so the hot path never
+//!   blocks. The whole registry renders to Prometheus text exposition format.
+//! * [`trace`] — a structured span tracer: a thread-local span stack over a
+//!   monotonic clock feeding a bounded ring buffer of finished spans,
+//!   exportable as Chrome trace-event JSON (`chrome://tracing`). Disabled by
+//!   default; a disabled [`trace::span`] is one relaxed atomic load.
+//! * [`timer`] — [`Stopwatch`] and [`StageRecorder`]: one monotonic clock per
+//!   operation from which both the wall time and the per-stage breakdown
+//!   ([`StageTimings`]) are derived, so the two can never disagree.
+//!
+//! [`slowlog`] adds a threshold-gated, ring-buffered log of slow operations
+//! on top, served by `stuc-serve` under `GET /debug/slow`.
+
+pub mod metrics;
+pub mod slowlog;
+pub mod timer;
+pub mod trace;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, MetricReading, MetricValue, Registry};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use timer::{next_trace_id, Stage, StageRecorder, StageTimings, Stopwatch};
+pub use trace::SpanGuard;

@@ -1,0 +1,421 @@
+//! Process-global, lock-free-on-the-hot-path metrics registry.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a write lock on a
+//! name-sorted map and returns an `Arc` handle; callers resolve their handles
+//! once (engine build, server spawn) and afterwards every update is a single
+//! relaxed atomic operation. Rendering walks the sorted map, so the
+//! Prometheus text output has a deterministic line order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, cache entry counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram over seconds, with quantile readout.
+///
+/// Bucket upper bounds are fixed at construction (the default ladder doubles
+/// from 1µs to ~16.8s), so observation is two relaxed increments plus an
+/// addition — no allocation, no lock. Quantiles interpolate linearly inside
+/// the bucket holding the requested rank, which bounds the error by the
+/// bucket width (a factor of two on the default ladder).
+#[derive(Debug)]
+pub struct Histogram {
+    /// Strictly increasing finite upper bounds, in seconds.
+    bounds: Vec<f64>,
+    /// One slot per bound plus a final overflow (+Inf) slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// The default latency ladder: 25 buckets doubling from 1µs to ~16.8s.
+    pub fn latency_bounds() -> Vec<f64> {
+        (0..25).map(|i| 1e-6 * f64::from(1u32 << i)).collect()
+    }
+
+    /// A histogram over the default latency ladder.
+    pub fn latency() -> Self {
+        Self::with_bounds(Self::latency_bounds())
+    }
+
+    /// A histogram with explicit upper bounds (must be strictly increasing).
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        self.observe_seconds(d.as_secs_f64());
+    }
+
+    /// Record one value, in seconds.
+    pub fn observe_seconds(&self, secs: f64) {
+        let secs = if secs.is_finite() && secs > 0.0 {
+            secs
+        } else {
+            0.0
+        };
+        let idx = self.bounds.partition_point(|b| *b < secs);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((secs * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// `(upper_bound, cumulative_count)` per bucket; the last entry is
+    /// `(+Inf, total)`. Cumulative, matching Prometheus `_bucket{le=...}`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, slot) in self.buckets.iter().enumerate() {
+            cum += slot.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, cum));
+        }
+        out
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) in seconds.
+    ///
+    /// Returns 0.0 on an empty histogram. Values landing in the overflow
+    /// bucket report the highest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, slot) in self.buckets.iter().enumerate() {
+            let here = slot.load(Ordering::Relaxed);
+            if (cum + here) as f64 >= target && here > 0 {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(b) => *b,
+                    // Overflow bucket: no finite upper edge to interpolate
+                    // toward, so report the last finite bound.
+                    None => return self.bounds.last().copied().unwrap_or(0.0),
+                };
+                let into = (target - cum as f64) / here as f64;
+                return lower + (upper - lower) * into;
+            }
+            cum += here;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Registered {
+    help: String,
+    metric: Metric,
+}
+
+/// A read of one registered metric, for programmatic consumers
+/// (REPL `:stats`, the richer `/stats` endpoint, tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricValue {
+    /// Registered metric name.
+    pub name: String,
+    /// Registered help text.
+    pub help: String,
+    /// The value at snapshot time.
+    pub reading: MetricReading,
+}
+
+/// The value part of a [`MetricValue`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricReading {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations in seconds.
+        sum_seconds: f64,
+        /// Estimated median.
+        p50: f64,
+        /// Estimated 90th percentile.
+        p90: f64,
+        /// Estimated 99th percentile.
+        p99: f64,
+    },
+}
+
+/// Name-sorted collection of metrics; see the module docs for the
+/// locking discipline.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, Registered>>,
+}
+
+impl Registry {
+    /// An empty registry. Most callers want the process-global
+    /// [`registry()`] instead.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register(name, help, || Metric::Counter(Arc::new(Counter::new())))
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register(name, help, || Metric::Gauge(Arc::new(Gauge::new())))
+    }
+
+    /// Get or create the histogram `name` over the default latency ladder.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.register(name, help, || {
+            Metric::Histogram(Arc::new(Histogram::latency()))
+        })
+    }
+
+    fn register<T: RegisteredKind>(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Arc<T> {
+        debug_assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !name.starts_with(|c: char| c.is_ascii_digit()),
+            "invalid metric name {name:?}"
+        );
+        if let Some(found) = T::extract(self.inner.read().unwrap().get(name)) {
+            return found;
+        }
+        let mut map = self.inner.write().unwrap();
+        let entry: &Registered = map.entry(name.to_string()).or_insert_with(|| Registered {
+            help: help.to_string(),
+            metric: make(),
+        });
+        T::extract(Some(entry)).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {}",
+                entry.metric.kind()
+            )
+        })
+    }
+
+    /// Read every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricValue> {
+        let map = self.inner.read().unwrap();
+        map.iter()
+            .map(|(name, reg)| MetricValue {
+                name: name.clone(),
+                help: reg.help.clone(),
+                reading: match &reg.metric {
+                    Metric::Counter(c) => MetricReading::Counter(c.get()),
+                    Metric::Gauge(g) => MetricReading::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricReading::Histogram {
+                        count: h.count(),
+                        sum_seconds: h.sum_seconds(),
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// Render every metric in Prometheus text exposition format,
+    /// name-sorted (hence deterministic up to the values themselves).
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.read().unwrap();
+        let mut out = String::new();
+        for (name, reg) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", reg.help);
+            let _ = writeln!(out, "# TYPE {name} {}", reg.metric.kind());
+            match &reg.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = if bound.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            format!("{bound}")
+                        };
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum_seconds());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Internal: ties each handle type to its `Metric` variant so `register`
+/// can be generic over the three kinds.
+trait RegisteredKind: Sized {
+    fn extract(reg: Option<&Registered>) -> Option<Arc<Self>>;
+}
+
+impl RegisteredKind for Counter {
+    fn extract(reg: Option<&Registered>) -> Option<Arc<Self>> {
+        match reg {
+            Some(Registered {
+                metric: Metric::Counter(c),
+                ..
+            }) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+}
+
+impl RegisteredKind for Gauge {
+    fn extract(reg: Option<&Registered>) -> Option<Arc<Self>> {
+        match reg {
+            Some(Registered {
+                metric: Metric::Gauge(g),
+                ..
+            }) => Some(Arc::clone(g)),
+            _ => None,
+        }
+    }
+}
+
+impl RegisteredKind for Histogram {
+    fn extract(reg: Option<&Registered>) -> Option<Arc<Self>> {
+        match reg {
+            Some(Registered {
+                metric: Metric::Histogram(h),
+                ..
+            }) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+}
+
+/// The process-global registry backing `/metrics`, `:stats` and every
+/// instrumented subsystem.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,113 @@
+//! Threshold-gated, ring-buffered log of slow operations.
+//!
+//! Instrumented call sites report every operation's wall time via
+//! [`SlowLog::note`]; only operations at or above the configurable threshold
+//! are retained (newest [`DEFAULT_CAPACITY`] of them). The detail string is
+//! built lazily so the fast path pays one atomic load and a comparison.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Entries retained by the global slow log.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// Default slow threshold: operations at or above this are logged.
+pub const DEFAULT_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// One retained slow operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Monotonic sequence number (process-wide, starts at 1).
+    pub seq: u64,
+    /// The operation (an engine entry point or serve endpoint).
+    pub what: &'static str,
+    /// Call-site detail (query text, backend, gate counts…).
+    pub detail: String,
+    /// Observed wall time.
+    pub wall: Duration,
+    /// Trace id of the operation, 0 if none was assigned.
+    pub trace_id: u64,
+}
+
+/// The ring buffer plus its threshold. See the module docs.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_nanos: AtomicU64,
+    seq: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A fresh log with the given threshold and capacity.
+    pub fn new(threshold: Duration, capacity: usize) -> Self {
+        SlowLog {
+            threshold_nanos: AtomicU64::new(duration_nanos(threshold)),
+            seq: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Current threshold.
+    pub fn threshold(&self) -> Duration {
+        Duration::from_nanos(self.threshold_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Change the threshold; applies to subsequent [`SlowLog::note`] calls.
+    pub fn set_threshold(&self, threshold: Duration) {
+        self.threshold_nanos
+            .store(duration_nanos(threshold), Ordering::Relaxed);
+    }
+
+    /// Report an operation; it is retained only if `wall` reaches the
+    /// threshold. Returns whether it was retained. `detail` is only
+    /// invoked for retained entries.
+    pub fn note(
+        &self,
+        what: &'static str,
+        wall: Duration,
+        trace_id: u64,
+        detail: impl FnOnce() -> String,
+    ) -> bool {
+        if duration_nanos(wall) < self.threshold_nanos.load(Ordering::Relaxed) {
+            return false;
+        }
+        let entry = SlowEntry {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            what,
+            detail: detail(),
+            wall,
+            trace_id,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Discard all retained entries.
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().clear();
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The process-global slow log (engine entry points and `stuc-serve`
+/// report into it; `GET /debug/slow` reads it).
+pub fn global() -> &'static SlowLog {
+    static GLOBAL: OnceLock<SlowLog> = OnceLock::new();
+    GLOBAL.get_or_init(|| SlowLog::new(DEFAULT_THRESHOLD, DEFAULT_CAPACITY))
+}

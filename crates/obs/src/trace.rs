@@ -1,0 +1,183 @@
+//! Structured span tracer: thread-local span stack, monotonic-clock timing,
+//! bounded ring buffer of finished spans, Chrome trace-event JSON export.
+//!
+//! Tracing is off by default. A disabled [`span`] costs one relaxed atomic
+//! load and constructs an inert guard — cheap enough to leave on every hot
+//! path. When enabled, opening a span bumps a thread-local depth counter and
+//! reads the clock; closing (guard drop) reads it again and pushes one
+//! [`SpanEvent`] into a global ring buffer capped at
+//! [`EVENT_CAPACITY`] events (oldest dropped first).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum finished spans retained; older events are dropped first.
+pub const EVENT_CAPACITY: usize = 16384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn the tracer on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is the tracer currently recording?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The instant all span timestamps are measured from (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small, monotonically assigned ids: thread 1 is the first thread that
+/// ever recorded a span. (`std::thread::ThreadId` has no stable u64 view.)
+fn current_thread_id() -> u64 {
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (a static literal at every call site).
+    pub name: &'static str,
+    /// Tracer-assigned id of the recording thread.
+    pub thread_id: u64,
+    /// Start, in microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Duration, in microseconds.
+    pub dur_us: u64,
+    /// Nesting depth at open time (0 = top level on that thread).
+    pub depth: u32,
+}
+
+fn events() -> &'static Mutex<VecDeque<SpanEvent>> {
+    static EVENTS: OnceLock<Mutex<VecDeque<SpanEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+fn push_event(event: SpanEvent) {
+    let mut ring = events().lock().unwrap();
+    if ring.len() == EVENT_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(event);
+}
+
+/// Closes its span on drop. Inert (a no-op to drop) when the tracer was
+/// disabled at open time, so toggling mid-span never unbalances the stack.
+#[derive(Debug)]
+#[must_use = "a span guard records its span when dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `Some` only if this guard bumped the depth counter and must record.
+    opened: Option<Instant>,
+    depth: u32,
+}
+
+/// Open a named span; the returned guard closes it when dropped.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name,
+            opened: None,
+            depth: 0,
+        };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        name,
+        opened: Some(Instant::now()),
+        depth,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(opened) = self.opened else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let start = opened.saturating_duration_since(epoch());
+        push_event(SpanEvent {
+            name: self.name,
+            thread_id: current_thread_id(),
+            start_us: start.as_micros() as u64,
+            dur_us: opened.elapsed().as_micros() as u64,
+            depth: self.depth,
+        });
+    }
+}
+
+/// Record an already-measured span (used by
+/// [`StageRecorder::mark`](crate::timer::StageRecorder::mark), whose laps
+/// are timed by the recorder's own clock). No-op when disabled.
+pub fn record_complete(name: &'static str, started: Instant, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    let start = started.saturating_duration_since(epoch());
+    push_event(SpanEvent {
+        name,
+        thread_id: current_thread_id(),
+        start_us: start.as_micros() as u64,
+        dur_us: dur.as_micros() as u64,
+        depth: DEPTH.with(|d| d.get()),
+    });
+}
+
+/// Current nesting depth on this thread (for tests and diagnostics).
+pub fn current_depth() -> u32 {
+    DEPTH.with(|d| d.get())
+}
+
+/// Copy the ring buffer without draining it.
+pub fn snapshot_events() -> Vec<SpanEvent> {
+    events().lock().unwrap().iter().cloned().collect()
+}
+
+/// Drain the ring buffer.
+pub fn drain_events() -> Vec<SpanEvent> {
+    events().lock().unwrap().drain(..).collect()
+}
+
+/// Discard all buffered events.
+pub fn clear_events() {
+    events().lock().unwrap().clear();
+}
+
+/// Render events as Chrome trace-event JSON, loadable in `chrome://tracing`
+/// or Perfetto ("X" complete events, microsecond timestamps).
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"stuc\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            ev.name, ev.start_us, ev.dur_us, ev.thread_id
+        );
+    }
+    out.push_str("]}");
+    out
+}

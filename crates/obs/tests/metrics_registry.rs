@@ -1,0 +1,160 @@
+//! Tests of the metrics layer: exactness of the atomic counters under
+//! contention, histogram quantiles against a sorted-vector oracle, and the
+//! shape of the Prometheus text rendering. All tests run against fresh
+//! [`Registry`] instances, never the process-global one, so concurrently
+//! running tests cannot see each other's updates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use stuc_obs::metrics::{Histogram, MetricReading, Registry};
+
+#[test]
+fn counters_and_gauges_are_exact_under_8_threads() {
+    let registry = Registry::new();
+    let counter = registry.counter("t_ops_total", "test ops");
+    let gauge = registry.gauge("t_level", "test level");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..50_000 {
+                    counter.inc();
+                }
+                for _ in 0..10_000 {
+                    counter.add(3);
+                    gauge.add(5);
+                    gauge.sub(2);
+                }
+            });
+        }
+    });
+    // Exact, not approximate: lock-free must not mean lossy.
+    assert_eq!(counter.get(), 8 * (50_000 + 3 * 10_000));
+    assert_eq!(gauge.get(), 8 * (5 - 2) * 10_000);
+}
+
+#[test]
+fn histogram_quantiles_match_a_sorted_vector_oracle() {
+    // Log-uniform samples spanning the default 1µs..16.8s latency ladder.
+    let mut rng = StdRng::seed_from_u64(42);
+    let samples: Vec<f64> = (0..2_000)
+        .map(|_| 2e-6 * 2f64.powf(rng.random_range(0.0..21.0)))
+        .collect();
+    let histogram = Histogram::latency();
+    for &s in &samples {
+        histogram.observe_seconds(s);
+    }
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    assert_eq!(histogram.count(), sorted.len() as u64);
+    let sum: f64 = sorted.iter().sum();
+    // The sum accumulates in integer nanoseconds: up to 1ns truncation per
+    // observation.
+    assert!((histogram.sum_seconds() - sum).abs() < 1e-9 * sorted.len() as f64 + 1e-9);
+
+    for q in [0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+        // The answer interpolates inside the bucket holding the requested
+        // rank; the true order statistic lives in the same bucket, and the
+        // ladder doubles, so both lie within a factor of two of each other.
+        let target = (q * sorted.len() as f64).max(1.0).ceil() as usize;
+        let oracle = sorted[target - 1];
+        let answer = histogram.quantile(q);
+        assert!(
+            answer > oracle / 2.0 && answer < 2.0 * oracle,
+            "q={q}: histogram said {answer}, oracle {oracle}"
+        );
+    }
+}
+
+#[test]
+fn quantiles_on_an_empty_histogram_are_zero() {
+    let histogram = Histogram::latency();
+    assert_eq!(histogram.count(), 0);
+    assert_eq!(histogram.quantile(0.5), 0.0);
+}
+
+#[test]
+fn cumulative_buckets_are_monotone_and_end_at_the_total() {
+    let histogram = Histogram::latency();
+    for micros in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+        histogram.observe(Duration::from_micros(micros));
+    }
+    let buckets = histogram.cumulative_buckets();
+    let mut last = 0;
+    for &(_, cum) in &buckets {
+        assert!(cum >= last, "cumulative counts must be monotone");
+        last = cum;
+    }
+    let (bound, total) = *buckets.last().unwrap();
+    assert!(bound.is_infinite(), "the ladder must end at +Inf");
+    assert_eq!(total, histogram.count());
+}
+
+#[test]
+fn prometheus_rendering_carries_help_type_and_samples() {
+    let registry = Registry::new();
+    registry.counter("t_requests_total", "Requests.").add(7);
+    registry.gauge("t_depth", "Queue depth.").set(-3);
+    let histogram = registry.histogram("t_seconds", "Latency.");
+    histogram.observe(Duration::from_micros(10));
+    histogram.observe(Duration::from_millis(5));
+
+    let text = registry.render_prometheus();
+    for expected in [
+        "# HELP t_requests_total Requests.",
+        "# TYPE t_requests_total counter",
+        "t_requests_total 7",
+        "# TYPE t_depth gauge",
+        "t_depth -3",
+        "# TYPE t_seconds histogram",
+        "t_seconds_bucket{le=\"+Inf\"} 2",
+        "t_seconds_count 2",
+        "t_seconds_sum ",
+    ] {
+        assert!(text.contains(expected), "missing {expected:?} in:\n{text}");
+    }
+    // Rendering is deterministic up to the values: same registry, same text.
+    assert_eq!(text, registry.render_prometheus());
+}
+
+#[test]
+fn snapshot_reads_every_kind() {
+    let registry = Registry::new();
+    registry.counter("t_c", "c").inc();
+    registry.gauge("t_g", "g").set(4);
+    registry
+        .histogram("t_h", "h")
+        .observe(Duration::from_micros(100));
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.len(), 3);
+    let find = |name: &str| snapshot.iter().find(|m| m.name == name).unwrap();
+    assert_eq!(find("t_c").reading, MetricReading::Counter(1));
+    assert_eq!(find("t_g").reading, MetricReading::Gauge(4));
+    assert!(matches!(
+        find("t_h").reading,
+        MetricReading::Histogram { count: 1, .. }
+    ));
+}
+
+#[test]
+fn registration_is_idempotent_per_kind() {
+    let registry = Registry::new();
+    let first = registry.counter("t_same", "one");
+    let second = registry.counter("t_same", "one");
+    first.inc();
+    second.inc();
+    // Same name, same kind: one shared counter, not two.
+    assert_eq!(first.get(), 2);
+    assert_eq!(registry.snapshot().len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "t_kinds")]
+fn registering_the_same_name_as_a_different_kind_panics() {
+    let registry = Registry::new();
+    let _counter = registry.counter("t_kinds", "a counter");
+    let _gauge = registry.gauge("t_kinds", "no, a gauge");
+}

@@ -29,6 +29,8 @@ commands:
   :load <path>   run a program file (facts, rules, goals) in this session
   :facts         list the session's facts
   :rules         list the session's rules
+  :stats         engine cache counters and process metrics
+  :trace on|off  toggle the span tracer (spans buffer process-wide)
   :clear         drop all facts and rules
   :quit          exit (also :exit, or end-of-input)
 statements (end each with '.'):
@@ -214,6 +216,42 @@ impl Session {
         self.run_program(&program, out)
     }
 
+    /// `:stats` — the engine's cache counters plus every registered process
+    /// metric. Live values, so the scripted golden session never calls it.
+    fn show_stats(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let caches = self.engine.cache_stats();
+        writeln!(
+            out,
+            "decomposition cache: {} hit(s), {} miss(es), {} eviction(s)",
+            caches.decompositions.hits,
+            caches.decompositions.misses,
+            caches.decompositions.evictions
+        )?;
+        writeln!(
+            out,
+            "lineage cache:       {} hit(s), {} miss(es), {} eviction(s)",
+            caches.lineages.hits, caches.lineages.misses, caches.lineages.evictions
+        )?;
+        for metric in stuc::obs::registry().snapshot() {
+            match metric.reading {
+                stuc::obs::MetricReading::Counter(v) => writeln!(out, "{} {}", metric.name, v)?,
+                stuc::obs::MetricReading::Gauge(v) => writeln!(out, "{} {}", metric.name, v)?,
+                stuc::obs::MetricReading::Histogram {
+                    count,
+                    sum_seconds,
+                    p50,
+                    p90,
+                    p99,
+                } => writeln!(
+                    out,
+                    "{} count={} sum={:.6}s p50={:.6}s p90={:.6}s p99={:.6}s",
+                    metric.name, count, sum_seconds, p50, p90, p99
+                )?,
+            }
+        }
+        Ok(())
+    }
+
     fn clear(&mut self, out: &mut impl Write) -> std::io::Result<()> {
         self.tid = TidInstance::new();
         self.facts.clear();
@@ -235,6 +273,22 @@ impl Session {
                 Some("quit") | Some("exit") => return Ok(false),
                 Some("facts") => self.list_facts(out)?,
                 Some("rules") => self.list_rules(out)?,
+                Some("stats") => self.show_stats(out)?,
+                Some("trace") => match words.next() {
+                    Some("on") => {
+                        stuc::obs::trace::set_enabled(true);
+                        writeln!(out, "tracing on")?;
+                    }
+                    Some("off") => {
+                        stuc::obs::trace::set_enabled(false);
+                        writeln!(
+                            out,
+                            "tracing off ({} span(s) buffered)",
+                            stuc::obs::trace::snapshot_events().len()
+                        )?;
+                    }
+                    _ => writeln!(out, "error: :trace needs on or off")?,
+                },
                 Some("clear") => self.clear(out)?,
                 Some("load") => match words.next() {
                     Some(path) => self.load(path, out)?,

@@ -14,8 +14,11 @@
 //! ```
 //!
 //! Endpoints: `POST /query` (stuc-lang rules + goals; inline facts are
-//! rejected), `GET /health`, `GET /stats`.
+//! rejected; `?timings=1` adds a per-stage breakdown), `GET /health`,
+//! `GET /stats`, `GET /metrics` (Prometheus text), `GET /debug/slow`.
 
+use std::time::Duration;
+use stuc::obs::{slowlog, trace};
 use stuc::serve::{ServeConfig, Server, ServiceState};
 use stuc::Engine;
 
@@ -23,7 +26,10 @@ const USAGE: &str = "usage: stuc-serve [options] program.stuc
 options:
   --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = any free port)
   --workers N        worker threads (default: one per core)
-  --queue N          accept-queue capacity before overload rejection (default 1024)";
+  --queue N          accept-queue capacity before overload rejection (default 1024)
+  --slow-ms N        slow-query log threshold in milliseconds (default 100)
+  --trace-out FILE   enable the span tracer and periodically flush a
+                     Chrome trace-event JSON file (open in chrome://tracing)";
 
 fn main() {
     let mut config = ServeConfig {
@@ -31,6 +37,7 @@ fn main() {
         ..ServeConfig::default()
     };
     let mut program_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,9 +51,37 @@ fn main() {
             },
             "--workers" => config.workers = numeric_flag(args.next(), "--workers"),
             "--queue" => config.queue_capacity = numeric_flag(args.next(), "--queue"),
+            "--slow-ms" => {
+                let ms = numeric_flag(args.next(), "--slow-ms");
+                slowlog::global().set_threshold(Duration::from_millis(ms as u64));
+            }
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => die("--trace-out needs a file path"),
+            },
+            arg if arg.starts_with("--trace-out=") => {
+                trace_out = Some(arg["--trace-out=".len()..].to_string());
+            }
             path if !path.starts_with('-') => program_path = Some(path.to_string()),
             other => die(&format!("unknown flag {other} (try --help)")),
         }
+    }
+    if let Some(path) = trace_out.clone() {
+        trace::set_enabled(true);
+        // Background flusher: rewrite the trace file from the event ring
+        // every few seconds (the ring keeps the most recent spans, so the
+        // file always holds a fresh window, even if the process is killed).
+        std::thread::Builder::new()
+            .name("stuc-serve-trace-flush".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_secs(5));
+                let events = trace::snapshot_events();
+                if let Err(error) = std::fs::write(&path, trace::chrome_trace_json(&events)) {
+                    eprintln!("warning: cannot write trace file {path}: {error}");
+                    return;
+                }
+            })
+            .expect("spawn trace flusher");
     }
     let Some(path) = program_path else {
         die("a program file is required (try --help)")

@@ -44,6 +44,10 @@
 //!   marginals in one backward sweep ([`Engine::marginals`]), exact world
 //!   sampling ([`Engine::sample_worlds`]), and max-product
 //!   most-probable-world ([`Engine::most_probable_world`]).
+//! * [`obs`] — zero-dependency observability: the process-global metrics
+//!   registry behind `GET /metrics`, the span tracer behind
+//!   `--trace-out`/[`Engine::with_tracing`], staged timers, and the
+//!   slow-query log.
 //! * [`core`] — the unified [`core::engine`] (plus the deprecated
 //!   pre-engine `TractablePipeline` shims and shared workload generators).
 //!
@@ -120,6 +124,7 @@ pub use stuc_graph as graph;
 pub use stuc_incr as incr;
 pub use stuc_infer as infer;
 pub use stuc_lang as lang;
+pub use stuc_obs as obs;
 pub use stuc_order as order;
 pub use stuc_prxml as prxml;
 pub use stuc_query as query;
