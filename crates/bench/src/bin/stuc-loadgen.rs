@@ -4,7 +4,7 @@
 //! latency histogram and server-side `/metrics` counter deltas to
 //! `BENCH_a8.json`.
 //!
-//! Two phases:
+//! Three phases:
 //!
 //! 1. **Throughput** — N client threads (default 1000, each a real TCP
 //!    connection per request, rotating over a mix of safe-plan and
@@ -13,9 +13,15 @@
 //!    latency and queries/sec.
 //! 2. **Overload probe** — a deliberately tiny server (1 worker, queue of
 //!    2) under a burst of concurrent clients. Admission control must answer
-//!    every surplus connection with a typed `503 overload` immediately:
-//!    the probe asserts rejections happened, every client got *some*
-//!    complete response (no hangs), and records the rejection count.
+//!    every surplus connection with a typed `503 overload` immediately;
+//!    clients retry those with capped exponential backoff + decorrelated
+//!    jitter (honoring `Retry-After`), so every request is eventually
+//!    answered: the probe asserts retries happened, nothing hung, and
+//!    records attempted/retried/failed counts.
+//! 3. **Degradation probe** — a tiny server with a cost ceiling between a
+//!    cheap and an expensive goal, saturated by both herds at once: every
+//!    cheap goal must keep answering (retrying through overload), while
+//!    the expensive herd must see `503 shed` responses.
 //!
 //! Offline-container friendly: `std::net` + threads only. Client threads
 //! use small stacks so 1000+ of them fit comfortably.
@@ -64,8 +70,19 @@ fn goal_mix() -> Vec<String> {
     goals
 }
 
-/// One request over a fresh connection; returns (status, latency).
-fn one_request(addr: SocketAddr, body: &str, timeout: Duration) -> Option<(u16, Duration)> {
+/// One parsed reply: status, client-observed latency, the `Retry-After`
+/// seconds when the server sent one, and whether the 503 was a cost-ceiling
+/// shed (as opposed to a queue-full overload).
+struct Reply {
+    status: u16,
+    latency: Duration,
+    retry_after: Option<u64>,
+    shed: bool,
+}
+
+/// One request over a fresh connection; `None` on any transport failure or
+/// truncated response.
+fn one_request(addr: SocketAddr, body: &str, timeout: Duration) -> Option<Reply> {
     let started = Instant::now();
     let stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
     stream.set_read_timeout(Some(timeout)).ok()?;
@@ -89,43 +106,164 @@ fn one_request(addr: SocketAddr, body: &str, timeout: Duration) -> Option<(u16, 
     if payload.len() != body_len {
         return None;
     }
-    Some((status, started.elapsed()))
+    let retry_after = response
+        .lines()
+        .find_map(|l| l.strip_prefix("Retry-After: "))
+        .and_then(|v| v.trim().parse().ok());
+    Some(Reply {
+        status,
+        latency: started.elapsed(),
+        retry_after,
+        shed: payload.contains("\"kind\":\"shed\""),
+    })
 }
 
+/// `splitmix64`: a tiny deterministic PRNG for backoff jitter — no `rand`
+/// dependency in the binary, and per-thread seeds keep runs reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Retry policy for 503 responses: capped exponential backoff with
+/// decorrelated jitter (each sleep drawn uniformly from
+/// `[floor, 3 × previous]`, clamped to `cap`), where the floor honors the
+/// server's `Retry-After` when present.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
+    max_attempts: u32,
+    base: Duration,
+    cap: Duration,
+}
+
+impl RetryPolicy {
+    /// Retries enabled: up to 4 attempts, 50 ms base, 2 s cap.
+    fn on() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+
+    /// A single attempt — 503s are terminal (the degradation probe counts
+    /// shed responses instead of retrying them away).
+    fn off() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+
+    /// The next decorrelated-jitter sleep after `previous`, floored at the
+    /// server's `Retry-After` (when any) and clamped to the cap.
+    fn backoff(&self, rng: &mut Rng, previous: Duration, retry_after: Option<u64>) -> Duration {
+        let floor = retry_after
+            .map(Duration::from_secs)
+            .unwrap_or(self.base)
+            .min(self.cap);
+        let high = (previous * 3).clamp(floor + Duration::from_millis(1), self.cap.max(floor));
+        let span_ms = (high - floor).as_millis().max(1) as u64;
+        floor + Duration::from_millis(rng.next() % span_ms)
+    }
+}
+
+/// What one logical request (including its retries) amounted to.
+enum RequestOutcome {
+    Ok(Duration),
+    Shed(Duration),
+    Overloaded(Duration),
+    Failed,
+}
+
+/// One logical request: retries 503s per `policy`, returns the terminal
+/// outcome plus how many retries it took.
+fn request_with_retries(
+    addr: SocketAddr,
+    body: &str,
+    timeout: Duration,
+    policy: RetryPolicy,
+    rng: &mut Rng,
+) -> (RequestOutcome, u64) {
+    let mut retried = 0u64;
+    let mut previous = policy.base;
+    loop {
+        match one_request(addr, body, timeout) {
+            Some(reply) if reply.status == 200 => {
+                return (RequestOutcome::Ok(reply.latency), retried)
+            }
+            Some(reply) if reply.status == 503 => {
+                if retried + 1 < policy.max_attempts as u64 {
+                    let sleep = policy.backoff(rng, previous, reply.retry_after);
+                    previous = sleep;
+                    retried += 1;
+                    std::thread::sleep(sleep);
+                    continue;
+                }
+                let outcome = if reply.shed {
+                    RequestOutcome::Shed(reply.latency)
+                } else {
+                    RequestOutcome::Overloaded(reply.latency)
+                };
+                return (outcome, retried);
+            }
+            Some(_) | None => return (RequestOutcome::Failed, retried),
+        }
+    }
+}
+
+#[derive(Default)]
 struct PhaseOutcome {
     latencies: Vec<Duration>,
     ok: u64,
     overloaded: u64,
+    shed: u64,
     failed: u64,
+    attempted: u64,
+    retried: u64,
     wall: Duration,
 }
 
-/// Fans `total_requests` over `connections` client threads against `addr`.
+/// Fans `total_requests` over `connections` client threads against `addr`,
+/// rotating over `goals` and retrying 503s per `policy`.
 fn drive(
     addr: SocketAddr,
     connections: usize,
     total_requests: usize,
     timeout: Duration,
+    goals: &[String],
+    policy: RetryPolicy,
 ) -> PhaseOutcome {
-    let goals = goal_mix();
     let cursor = AtomicUsize::new(0);
     let ok = AtomicU64::new(0);
     let overloaded = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
     let all_latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(total_requests));
     let started = Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
-            .map(|_| {
-                let goals = &goals;
+            .map(|thread_index| {
                 let cursor = &cursor;
                 let ok = &ok;
                 let overloaded = &overloaded;
+                let shed = &shed;
                 let failed = &failed;
+                let retried = &retried;
                 let all_latencies = &all_latencies;
                 std::thread::Builder::new()
                     .stack_size(128 * 1024)
                     .spawn_scoped(scope, move || {
+                        let mut rng = Rng(0x5AFE_u64 ^ ((thread_index as u64) << 17));
                         let mut local = Vec::new();
                         loop {
                             let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -133,16 +271,23 @@ fn drive(
                                 break;
                             }
                             let goal = &goals[index % goals.len()];
-                            match one_request(addr, goal, timeout) {
-                                Some((200, latency)) => {
+                            let (outcome, retries) =
+                                request_with_retries(addr, goal, timeout, policy, &mut rng);
+                            retried.fetch_add(retries, Ordering::Relaxed);
+                            match outcome {
+                                RequestOutcome::Ok(latency) => {
                                     ok.fetch_add(1, Ordering::Relaxed);
                                     local.push(latency);
                                 }
-                                Some((503, latency)) => {
+                                RequestOutcome::Shed(latency) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                    local.push(latency);
+                                }
+                                RequestOutcome::Overloaded(latency) => {
                                     overloaded.fetch_add(1, Ordering::Relaxed);
                                     local.push(latency);
                                 }
-                                Some(_) | None => {
+                                RequestOutcome::Failed => {
                                     failed.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
@@ -163,11 +308,18 @@ fn drive(
         .into_inner()
         .unwrap_or_else(|p| p.into_inner());
     latencies.sort_unstable();
+    let completed = ok.load(Ordering::Relaxed)
+        + overloaded.load(Ordering::Relaxed)
+        + shed.load(Ordering::Relaxed)
+        + failed.load(Ordering::Relaxed);
     PhaseOutcome {
         latencies,
         ok: ok.into_inner(),
         overloaded: overloaded.into_inner(),
+        shed: shed.into_inner(),
         failed: failed.into_inner(),
+        attempted: completed + retried.load(Ordering::Relaxed),
+        retried: retried.into_inner(),
         wall: started.elapsed(),
     }
 }
@@ -276,11 +428,31 @@ fn main() {
         .iter()
         .map(|name| scrape_metric(addr, name, timeout))
         .collect();
-    let outcome = drive(addr, connections, total_requests, timeout);
+    let outcome = drive(
+        addr,
+        connections,
+        total_requests,
+        timeout,
+        &goal_mix(),
+        RetryPolicy::on(),
+    );
     assert_eq!(
         outcome.failed, 0,
         "throughput phase must not drop requests (ok={}, overloaded={}, failed={})",
         outcome.ok, outcome.overloaded, outcome.failed
+    );
+    report_value(
+        SUITE,
+        "phase1_requests",
+        format!(
+            "attempted={} retried={} ok={} overloaded={} shed={} failed={}",
+            outcome.attempted,
+            outcome.retried,
+            outcome.ok,
+            outcome.overloaded,
+            outcome.shed,
+            outcome.failed
+        ),
     );
     for (name, baseline) in SCRAPED_COUNTERS.iter().zip(&baselines) {
         let Some(after) = scrape_metric(addr, name, timeout) else {
@@ -331,7 +503,7 @@ fn main() {
         server.shutdown();
     }
 
-    // --- phase 2: overload probe (admission control) -----------------------
+    // --- phase 2: overload probe (admission control + retry policy) --------
     if external_addr.is_none() {
         let state = ServiceState::from_program(Engine::new(), &path_program(60))
             .expect("workload program is well-formed");
@@ -345,14 +517,21 @@ fn main() {
             state,
         )
         .expect("bind overload server");
-        let burst = drive(tiny.addr(), 64, 256, timeout);
+        let burst = drive(
+            tiny.addr(),
+            64,
+            256,
+            timeout,
+            &goal_mix(),
+            RetryPolicy::on(),
+        );
         let stats = tiny.stats();
         report_value(
             SUITE,
             "overload_probe",
             format!(
-                "ok={} overloaded={} failed={} server={stats:?}",
-                burst.ok, burst.overloaded, burst.failed
+                "attempted={} retried={} ok={} overloaded={} failed={} server={stats:?}",
+                burst.attempted, burst.retried, burst.ok, burst.overloaded, burst.failed
             ),
         );
         assert_eq!(
@@ -360,12 +539,81 @@ fn main() {
             "overload must degrade to typed rejections, never to hangs or dropped connections"
         );
         assert!(
-            burst.overloaded > 0,
+            burst.retried > 0 || burst.overloaded > 0,
             "a 64-client burst against a 1-worker/queue-2 server must trip admission control"
         );
         assert_eq!(burst.ok + burst.overloaded, 256, "every request answered");
-        summary.record_count("serve_overload_rejections_64burst", burst.overloaded);
+        summary.record_count("serve_overload_rejections_64burst", stats.rejected_overload);
+        summary.record_count("serve_retries_64burst", burst.retried);
         tiny.shutdown();
+    }
+
+    // --- phase 3: degradation probe (cost-ceiling shedding) ----------------
+    if external_addr.is_none() {
+        let state = ServiceState::from_program(Engine::new(), &path_program(60))
+            .expect("workload program is well-formed");
+        let cheap_goal = "?- R(\"v0\", x).".to_string();
+        let pricey_goal = "?- R(\"v0\", x), R(x, y), R(y, z), R(z, w).".to_string();
+        let cheap_cost = state.estimate_cost(&cheap_goal).expect("estimate cheap");
+        let pricey_cost = state.estimate_cost(&pricey_goal).expect("estimate pricey");
+        assert!(
+            pricey_cost > cheap_cost,
+            "the cost model must separate the probe goals ({cheap_cost} vs {pricey_cost})"
+        );
+        let degraded = Server::spawn(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 8,
+                io_timeout: timeout,
+                shed_cost_ceiling: Some((cheap_cost + pricey_cost) / 2.0),
+                ..ServeConfig::default()
+            },
+            state,
+        )
+        .expect("bind degradation server");
+        let addr = degraded.addr();
+        // Both herds at once: the cheap one retries through overload and
+        // must land every request; the expensive one takes 503s as
+        // terminal so sheds are observable.
+        let (cheap, pricey) = std::thread::scope(|scope| {
+            let cheap =
+                scope.spawn(|| drive(addr, 8, 64, timeout, &[cheap_goal], RetryPolicy::on()));
+            let pricey =
+                scope.spawn(|| drive(addr, 8, 64, timeout, &[pricey_goal], RetryPolicy::off()));
+            (
+                cheap.join().expect("cheap herd"),
+                pricey.join().expect("pricey herd"),
+            )
+        });
+        let stats = degraded.stats();
+        report_value(
+            SUITE,
+            "degradation_probe",
+            format!(
+                "cheap: ok={} retried={} failed={} | pricey: ok={} shed={} overloaded={} failed={} | server={stats:?}",
+                cheap.ok,
+                cheap.retried,
+                cheap.failed,
+                pricey.ok,
+                pricey.shed,
+                pricey.overloaded,
+                pricey.failed
+            ),
+        );
+        assert_eq!(cheap.failed, 0, "cheap herd must never hang or drop");
+        assert_eq!(pricey.failed, 0, "pricey herd must never hang or drop");
+        assert_eq!(
+            cheap.ok, 64,
+            "every cheap goal must keep answering under saturation (shed={}, overloaded={})",
+            cheap.shed, cheap.overloaded
+        );
+        assert!(
+            pricey.shed > 0 || stats.shed > 0,
+            "the expensive herd must trip cost-ceiling shedding: {stats:?}"
+        );
+        summary.record_count("serve_degradation_cheap_ok_64", cheap.ok);
+        summary.record_count("serve_degradation_shed_64", stats.shed);
+        degraded.shutdown();
     }
 
     summary.write();

@@ -9,9 +9,10 @@
 //! be meaningless without optimisation.
 
 use std::sync::Arc;
+use std::time::Duration;
 use stuc_bench::timed;
 use stuc_circuit::compiled::CompiledCircuit;
-use stuc_core::engine::Engine;
+use stuc_core::engine::{Engine, EvalBudget};
 use stuc_core::workloads;
 use stuc_graph::elimination::EliminationHeuristic;
 use stuc_query::cq::ConjunctiveQuery;
@@ -285,6 +286,65 @@ fn observability_overhead_stays_within_the_bars() {
     assert!(
         disabled_spans < std::time::Duration::from_millis(1),
         "10k disabled spans must cost well under 1ms, got {disabled_spans:?}"
+    );
+}
+
+/// Budget checkpoints must be close to free: on the warm a2 workload under
+/// a far-away deadline (every checkpoint pays a real `Instant::now` poll),
+/// the wall time spent *inside* the polls — as reported by the engine's
+/// own `stuc_engine_budget_check_seconds` histogram — must stay at or
+/// below 2% of the evaluations' total wall time. Poll time and wall time
+/// come from the very same runs, so a noisy neighbour (CI runs this file's
+/// tests in parallel) inflates the denominator along with everything else
+/// instead of faking an overhead that is not there — which is why this is
+/// not an end-to-end A/B timing, where cross-run scheduler drift dwarfs a
+/// 2% bar.
+#[test]
+fn budget_checks_cost_at_most_2_percent_on_the_a2_sweep() {
+    let engine = Engine::new();
+    let tid = workloads::path_tid(450, 0.5, 13);
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    let far = EvalBudget::with_deadline(Duration::from_secs(3600));
+
+    // Agreement first, in every build profile: a budget that never trips
+    // changes nothing about the answer.
+    let plain = engine.evaluate(&tid, &query).unwrap().probability;
+    let budgeted = engine
+        .evaluate_with_budget(&tid, &query, &far)
+        .unwrap()
+        .probability;
+    assert_eq!(plain.to_bits(), budgeted.to_bits());
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the 2% budget overhead bar (run in release)");
+        return;
+    }
+    // The engine publishes per-evaluation poll time into this process-global
+    // histogram (registered during the agreement run above); the delta over
+    // N runs is the total cost of all budget checks in those runs.
+    let histogram = stuc_obs::metrics::registry().histogram(
+        "stuc_engine_budget_check_seconds",
+        "wall time spent polling evaluation budgets",
+    );
+    const RUNS: u32 = 300;
+    let spent_before = histogram.sum_seconds();
+    let started = std::time::Instant::now();
+    for _ in 0..RUNS {
+        std::hint::black_box(
+            engine
+                .evaluate_with_budget(&tid, &query, &far)
+                .unwrap()
+                .probability,
+        );
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let spent = histogram.sum_seconds() - spent_before;
+    let share = spent / wall.max(f64::MIN_POSITIVE);
+    assert!(
+        share <= 0.02,
+        "budget checks must cost at most 2% of the warm a2 sweep \
+         ({spent:.6}s of polls inside {wall:.6}s of evaluation, {:.2}%)",
+        share * 100.0
     );
 }
 

@@ -229,23 +229,33 @@ impl CompiledCircuit {
     /// on first use; `None` when the bags are too wide to plan densely
     /// (beyond [`MAX_PLANNED_BAG`] — the interpreted sweep still runs for
     /// counting, but plan-based consumers like the posterior-inference
-    /// subsystem in `stuc-infer` must fall back or refuse).
+    /// subsystem in `stuc-infer` must fall back or refuse) or when a
+    /// transient failure (a tripped evaluation budget, an injected fault)
+    /// interrupted the build this time.
     ///
     /// Callers enforcing an evaluation-time width budget should check
     /// [`CompiledCircuit::width`] themselves — the plan only refuses beyond
     /// its own dense-table bound.
     pub fn sweep_plan(&self) -> Option<&Arc<SweepPlan>> {
-        self.plan
-            .get_or_init(|| {
-                let structure = self.structure();
-                if structure.width + 1 > MAX_PLANNED_BAG {
-                    return None;
-                }
-                SweepPlan::build(&self.prepared, &structure.nice, self.output_gate)
-                    .ok()
-                    .map(Arc::new)
-            })
-            .as_ref()
+        self.try_sweep_plan().ok().flatten()
+    }
+
+    /// [`CompiledCircuit::sweep_plan`] with transient failures surfaced:
+    /// only a built plan or the permanent too-wide refusal is memoized. A
+    /// build interrupted by a budget trip or an injected fault returns the
+    /// error and leaves the cell empty, so the next call — after the
+    /// deadline is lifted or the fault cleared — builds the plan normally
+    /// instead of inheriting a permanently degraded sweep.
+    pub fn try_sweep_plan(&self) -> Result<Option<&Arc<SweepPlan>>, WmcError> {
+        if let Some(cell) = self.plan.get() {
+            return Ok(cell.as_ref());
+        }
+        let structure = self.structure();
+        if structure.width + 1 > MAX_PLANNED_BAG {
+            return Ok(self.plan.get_or_init(|| None).as_ref());
+        }
+        let plan = SweepPlan::build(&self.prepared, &structure.nice, self.output_gate)?;
+        Ok(self.plan.get_or_init(|| Some(Arc::new(plan))).as_ref())
     }
 
     /// The original (uncompiled) lineage circuit.
@@ -534,7 +544,7 @@ impl CompiledCircuit {
     pub fn run(&self, weights: &Weights, max_bag_size: usize) -> Result<WmcReport, WmcError> {
         self.ensure_width(max_bag_size)?;
         let structure = self.structure();
-        let Some(plan) = self.sweep_plan().cloned() else {
+        let Some(plan) = self.try_sweep_plan()?.cloned() else {
             return self.run_interpreted(weights, max_bag_size);
         };
         let (probability, table_allocations) = match self.arena.try_lock() {
@@ -602,7 +612,7 @@ impl CompiledCircuit {
     ) -> Result<WmcManyReport, WmcError> {
         self.ensure_width(max_bag_size)?;
         let structure = self.structure();
-        let Some(plan) = self.sweep_plan().cloned() else {
+        let Some(plan) = self.try_sweep_plan()?.cloned() else {
             let mut probabilities = Vec::with_capacity(scenarios.len());
             for weights in scenarios {
                 probabilities.push(self.run_interpreted(weights, max_bag_size)?.probability);

@@ -36,13 +36,18 @@ stuc_errors::stuc_error! {
         BranchBudgetExhausted,
         /// An underlying circuit error.
         Circuit(CircuitError),
+        /// The ambient evaluation budget (deadline or cancellation) tripped
+        /// mid-search.
+        Budget(stuc_fault::BudgetError),
     }
     display {
         Self::BranchBudgetExhausted => "DPLL branch budget exhausted",
         Self::Circuit(e) => "{e}",
+        Self::Budget(e) => "{e}",
     }
     from {
         CircuitError => Circuit,
+        stuc_fault::BudgetError => Budget,
     }
 }
 
@@ -114,6 +119,11 @@ impl SearchState<'_> {
         self.report.branches += 1;
         if self.report.branches > self.max_branches {
             return Err(DpllError::BranchBudgetExhausted);
+        }
+        // Cooperative deadline/cancellation, amortised alongside the branch
+        // budget: runaway searches answer within one check interval.
+        if self.report.branches.is_multiple_of(256) {
+            stuc_fault::budget::check("dpll branching")?;
         }
 
         let var = pick_branch_variable(circuit);

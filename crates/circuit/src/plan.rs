@@ -248,6 +248,7 @@ impl SweepPlan {
         nice: &NiceDecomposition,
         output_gate: usize,
     ) -> Result<SweepPlan, WmcError> {
+        stuc_fault::failpoint!("circuit-plan-build", WmcError::Fault);
         let max_bag = nice.max_bag_len();
         if max_bag > MAX_PLANNED_BAG {
             return Err(WmcError::WidthTooLarge {
@@ -284,7 +285,9 @@ impl SweepPlan {
             })
         };
 
+        let mut gate = stuc_fault::budget::Gate::every(64);
         for (idx, node) in nice.iter_bottom_up() {
+            gate.check("sweep plan build")?;
             let bag = node.bag_indices();
             let op = match &node.kind {
                 NiceNodeKind::Leaf => PlanOp::Leaf,
@@ -425,9 +428,17 @@ impl SweepPlan {
         weights: &Weights,
         arena: &mut SweepArena,
     ) -> Result<f64, WmcError> {
+        stuc_fault::failpoint!("circuit-sweep", WmcError::Fault);
+        // One unconditional poll per sweep: tiny circuits never reach the
+        // gated in-loop checks, yet time may already have been spent (e.g.
+        // a sleeping failpoint above) — without this, a tripped deadline on
+        // a 3-gate sweep would go unnoticed and the request would succeed.
+        stuc_fault::budget::check("circuit sweep")?;
         self.fill_slab(&[weights], arena)?;
         let mut total = 0.0f64;
+        let mut gate = stuc_fault::budget::Gate::every(256);
         for (idx, node) in self.nodes.iter().enumerate() {
+            gate.check("circuit sweep")?;
             let mut table = arena.take_zeroed(node.slot as usize, node.table_len);
             match node.op {
                 PlanOp::Leaf => table[0] = 1.0,
@@ -550,9 +561,14 @@ impl SweepPlan {
         if lanes == 0 {
             return Ok(Vec::new());
         }
+        stuc_fault::failpoint!("circuit-sweep", WmcError::Fault);
+        // See `run_in`: small circuits must still poll the budget once.
+        stuc_fault::budget::check("circuit sweep")?;
         self.fill_slab(scenarios, arena)?;
         let mut totals = vec![0.0f64; lanes];
+        let mut gate = stuc_fault::budget::Gate::every(256);
         for (idx, node) in self.nodes.iter().enumerate() {
+            gate.check("circuit sweep")?;
             let mut table = arena.take_zeroed(node.slot as usize, node.table_len * lanes);
             match node.op {
                 PlanOp::Leaf => table[..lanes].fill(1.0),
@@ -679,10 +695,14 @@ impl SweepPlan {
         &self,
         weights: &Weights,
     ) -> Result<RetainedSweep, WmcError> {
+        // See `run_in`: small circuits must still poll the budget once.
+        stuc_fault::budget::check("circuit sweep")?;
         let slab = self.slab_for(weights)?;
         let mut tables: Vec<Vec<f64>> = Vec::with_capacity(self.nodes.len());
         let mut value = 0.0f64;
+        let mut gate = stuc_fault::budget::Gate::every(256);
         for (idx, node) in self.nodes.iter().enumerate() {
+            gate.check("circuit sweep")?;
             let mut table = vec![0.0f64; node.table_len];
             match node.op {
                 PlanOp::Leaf => table[0] = 1.0,

@@ -43,13 +43,22 @@ stuc_errors::stuc_error! {
         },
         /// An underlying circuit error.
         Circuit(CircuitError),
+        /// The ambient evaluation budget (deadline or cancellation) tripped
+        /// during plan construction or a sweep.
+        Budget(stuc_fault::BudgetError),
+        /// An injected fault (only produced by armed failpoints under the
+        /// `fault-injection` feature; never in production builds).
+        Fault(String),
     }
     display {
         Self::WidthTooLarge { width, limit } => "circuit decomposition width {width} exceeds the configured limit {limit}",
         Self::Circuit(e) => "{e}",
+        Self::Budget(e) => "{e}",
+        Self::Fault(m) => "injected fault: {m}",
     }
     from {
         CircuitError => Circuit,
+        stuc_fault::BudgetError => Budget,
     }
 }
 

@@ -67,10 +67,9 @@ impl Engine {
     /// }
     /// ```
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panics (which only happens if an evaluation
-    /// itself panics — errors are returned, not thrown).
+    /// A panic inside one evaluation is caught at the per-query boundary
+    /// and surfaces as [`StucError::Internal`] in that query's slot — the
+    /// worker, the rest of the batch, and the engine's caches all survive.
     pub fn evaluate_batch<R>(&self, representation: &R, queries: &[R::Query]) -> BatchReport
     where
         R: Representation + Sync + ?Sized,
@@ -98,10 +97,13 @@ impl Engine {
             .collect();
 
         let threads = self.batch_worker_count(unique.len());
+        // The ambient budget (if any) is captured here and re-installed in
+        // every worker, so a deadline on the batch bounds all of its lanes.
+        let ambient = stuc_fault::budget::current();
         let unique_reports: Vec<Result<EvaluationReport, StucError>> = if threads <= 1 {
             unique
                 .iter()
-                .map(|query| self.evaluate(representation, query))
+                .map(|query| super::catch_panic(|| self.evaluate(representation, query)))
                 .collect()
         } else {
             // No pre-warm: workers that race on the same fingerprint publish
@@ -115,19 +117,36 @@ impl Engine {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(|| {
-                            let mut local = Vec::new();
-                            loop {
-                                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                                if index >= unique.len() {
-                                    break;
+                            let work = || {
+                                let mut local = Vec::new();
+                                loop {
+                                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if index >= unique.len() {
+                                        break;
+                                    }
+                                    // Panic isolation per query: a panicking
+                                    // evaluation fills its own slot with
+                                    // `StucError::Internal` and the worker
+                                    // moves on to the next query.
+                                    local.push((
+                                        index,
+                                        super::catch_panic(|| {
+                                            self.evaluate(representation, unique[index])
+                                        }),
+                                    ));
                                 }
-                                local.push((index, self.evaluate(representation, unique[index])));
+                                local
+                            };
+                            match ambient.clone() {
+                                Some(budget) => stuc_fault::budget::scope(budget, work),
+                                None => work(),
                             }
-                            local
                         })
                     })
                     .collect();
                 for handle in handles {
+                    // Workers cannot panic on the evaluation path (caught
+                    // above); this only guards allocation failure.
                     indexed.extend(handle.join().expect("batch worker panicked"));
                 }
             });
@@ -159,6 +178,37 @@ impl Engine {
         engine_metrics()
             .evaluate_batch
             .observe_ok(started.elapsed());
+        batch
+    }
+
+    /// [`Engine::evaluate_batch`] under a cooperative
+    /// [`EvalBudget`](super::EvalBudget): the budget is re-installed in
+    /// every worker thread, so one deadline bounds the whole batch. Queries
+    /// that trip it carry [`StucError::DeadlineExceeded`] /
+    /// [`StucError::Cancelled`] in their slots; queries that finished before
+    /// the trip keep their answers.
+    pub fn evaluate_batch_with_budget<R>(
+        &self,
+        representation: &R,
+        queries: &[R::Query],
+        budget: &super::EvalBudget,
+    ) -> BatchReport
+    where
+        R: Representation + Sync + ?Sized,
+        R::Query: Sync,
+    {
+        let (batch, stats) = stuc_fault::budget::scope_with_stats(budget.clone(), || {
+            self.evaluate_batch(representation, queries)
+        });
+        let metrics = engine_metrics();
+        metrics.budget_check_seconds.observe(stats.spent);
+        for report in &batch.reports {
+            match report {
+                Err(StucError::DeadlineExceeded { .. }) => metrics.deadline_exceeded.inc(),
+                Err(StucError::Cancelled { .. }) => metrics.cancelled.inc(),
+                _ => {}
+            }
+        }
         batch
     }
 

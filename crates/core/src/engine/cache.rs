@@ -189,6 +189,9 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
         if self.capacity == 0 {
             return (value, true);
         }
+        // Chaos probe *before* the shard lock: a panic here must leave the
+        // cache exactly as it was (no entry, no ledger slot, no gauge skew).
+        stuc_fault::failpoint!("cache-publish");
         {
             let mut shard = self.write(self.shard_of(&key));
             match shard.entry(key) {
@@ -230,6 +233,8 @@ impl<K: Hash + Eq + Copy, V: Clone> ShardedCache<K, V> {
     /// entries whose key is no longer resident (drained or replaced) are
     /// skipped. No two locks are ever held at once.
     fn enforce_capacity(&self) {
+        // Chaos probe outside both locks, once per eviction pass.
+        stuc_fault::failpoint!("cache-evict");
         while self.len() > self.capacity {
             let Some(victim) = self.order_lock().pop_front() else {
                 break;

@@ -92,6 +92,23 @@ stuc_errors::stuc_error! {
             /// How many fact statements the rejected program declares.
             count: usize,
         },
+        /// The evaluation's wall-clock deadline passed before it finished.
+        DeadlineExceeded {
+            /// The checkpoint (pipeline stage) that observed the expiry.
+            stage: &'static str,
+        },
+        /// The evaluation was cancelled (e.g. the requesting client
+        /// disconnected) before it finished.
+        Cancelled {
+            /// The checkpoint (pipeline stage) that observed the flag.
+            stage: &'static str,
+        },
+        /// A panic was caught and isolated (the engine stays usable); the
+        /// message is the panic payload when it was a string.
+        Internal {
+            /// The captured panic payload (or a placeholder).
+            message: String,
+        },
     }
     display {
         Self::Decomposition(e) => "{e}",
@@ -116,12 +133,13 @@ stuc_errors::stuc_error! {
         Self::Infer(e) => "{e}",
         Self::Lang(e) => "{e}",
         Self::TextFacts { count } => "program declares {count} inline fact(s), but evaluate_text evaluates against the instance passed in; build an instance from the facts with stuc_lang::lower::program_instance instead",
+        Self::DeadlineExceeded { stage } => "evaluation deadline exceeded during {stage}",
+        Self::Cancelled { stage } => "evaluation cancelled during {stage}",
+        Self::Internal { message } => "internal error (caught panic): {message}",
     }
     from {
         DecompositionError => Decomposition,
         CircuitError => Circuit,
-        WmcError => Wmc,
-        DpllError => Dpll,
         EnumerationError => Enumeration,
         ProvenanceError => Provenance,
         WorldError => World,
@@ -139,11 +157,49 @@ stuc_errors::stuc_error! {
     }
 }
 
+// Budget trips are detected deep inside the back-ends (sweeps, DPLL, the
+// chase, unfolding) and travel up as a `Budget` variant of the local error
+// enum; the conversions below unwrap them into the two top-level variants so
+// callers (and the HTTP layer) match on `DeadlineExceeded`/`Cancelled`
+// without knowing which loop noticed.
+impl From<stuc_fault::BudgetError> for StucError {
+    fn from(e: stuc_fault::BudgetError) -> Self {
+        match e {
+            stuc_fault::BudgetError::DeadlineExceeded { stage } => {
+                StucError::DeadlineExceeded { stage }
+            }
+            stuc_fault::BudgetError::Cancelled { stage } => StucError::Cancelled { stage },
+        }
+    }
+}
+
+impl From<WmcError> for StucError {
+    fn from(e: WmcError) -> Self {
+        match e {
+            WmcError::Budget(b) => b.into(),
+            other => StucError::Wmc(other),
+        }
+    }
+}
+
+impl From<DpllError> for StucError {
+    fn from(e: DpllError) -> Self {
+        match e {
+            DpllError::Budget(b) => b.into(),
+            other => StucError::Dpll(other),
+        }
+    }
+}
+
 // `LangError` is flattened on the way in, so an unsafe query caught during
 // lowering surfaces identically whether analysis or lowering spotted it.
 impl From<stuc_lang::LangError> for StucError {
     fn from(e: stuc_lang::LangError) -> Self {
-        StucError::Lang(e.flattened())
+        let flattened = e.flattened();
+        if let stuc_lang::LangError::Lower(stuc_lang::lower::LowerError::Budget(b)) = flattened {
+            return b.into();
+        }
+        StucError::Lang(flattened)
     }
 }
 
@@ -172,6 +228,9 @@ impl From<stuc_order::numeric::NumericOrderError> for StucError {
 
 impl From<stuc_rules::chase::ChaseError> for StucError {
     fn from(e: stuc_rules::chase::ChaseError) -> Self {
+        if let stuc_rules::chase::ChaseError::Budget(b) = e {
+            return b.into();
+        }
         StucError::BackendUnsupported {
             backend: "chase",
             reason: e.to_string(),

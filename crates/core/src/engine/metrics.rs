@@ -58,7 +58,7 @@ impl EntryMetrics {
     }
 }
 
-/// One bundle per public entry point.
+/// One bundle per public entry point, plus the fault-tolerance families.
 pub(crate) struct EngineMetrics {
     pub(crate) evaluate: EntryMetrics,
     pub(crate) evaluate_text: EntryMetrics,
@@ -69,6 +69,15 @@ pub(crate) struct EngineMetrics {
     pub(crate) marginals: EntryMetrics,
     pub(crate) sample_worlds: EntryMetrics,
     pub(crate) most_probable_world: EntryMetrics,
+    /// Evaluations that tripped their deadline (any stage).
+    pub(crate) deadline_exceeded: Arc<Counter>,
+    /// Evaluations cut short by a raised cancel flag.
+    pub(crate) cancelled: Arc<Counter>,
+    /// Panics caught and converted to `StucError::Internal`.
+    pub(crate) panics_caught: Arc<Counter>,
+    /// Total wall time one budgeted evaluation spent inside budget-checkpoint
+    /// polls (one observation per budgeted entry-point call).
+    pub(crate) budget_check_seconds: Arc<Histogram>,
 }
 
 /// The lazily-registered, process-global engine metrics.
@@ -95,6 +104,22 @@ pub(crate) fn engine_metrics() -> &'static EngineMetrics {
         most_probable_world: EntryMetrics::register(
             "most_probable_world",
             "Engine::most_probable_world",
+        ),
+        deadline_exceeded: registry().counter(
+            "stuc_engine_deadline_exceeded_total",
+            "Evaluations that exceeded their wall-clock deadline.",
+        ),
+        cancelled: registry().counter(
+            "stuc_engine_cancelled_total",
+            "Evaluations cancelled via a raised cancel flag.",
+        ),
+        panics_caught: registry().counter(
+            "stuc_engine_panics_caught_total",
+            "Panics caught at an isolation boundary and converted to StucError::Internal.",
+        ),
+        budget_check_seconds: registry().histogram(
+            "stuc_engine_budget_check_seconds",
+            "Per-call wall time spent inside budget checkpoint polls.",
         ),
     })
 }

@@ -77,7 +77,7 @@ pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod error;
-mod metrics;
+pub(crate) mod metrics;
 pub mod report;
 pub mod representation;
 pub mod text;
@@ -90,6 +90,7 @@ pub use cache::{CacheCounters, EngineCacheStats};
 pub use error::StucError;
 pub use report::{BackendKind, BackendPolicy, BatchReport, EvaluationReport};
 pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
+pub use stuc_fault::{BudgetError, CancelHandle, EvalBudget};
 pub use stuc_incr::{Delta, DeltaOp, Updatable, UpdateLog};
 pub use stuc_infer::{
     InferError, InferenceReport, Marginals, MostProbableWorld, SampledWorlds, World, WorldSampler,
@@ -479,6 +480,41 @@ impl Engine {
                     report.fact_count
                 )
             });
+        }
+        result
+    }
+
+    /// [`Engine::evaluate`] under a cooperative [`EvalBudget`]: the budget
+    /// is installed for the calling thread and polled at bounded intervals
+    /// inside every long-running stage (ordering, compilation, sweeps,
+    /// branching). A tripped deadline surfaces as
+    /// [`StucError::DeadlineExceeded`], a raised cancel flag as
+    /// [`StucError::Cancelled`] — both name the stage that noticed. Partial
+    /// artifacts of a tripped run are never published to the caches, so an
+    /// identical re-run without the budget produces the exact answer.
+    pub fn evaluate_with_budget<R: Representation + ?Sized>(
+        &self,
+        representation: &R,
+        query: &R::Query,
+        budget: &EvalBudget,
+    ) -> Result<EvaluationReport, StucError> {
+        self.budgeted(budget, || self.evaluate(representation, query))
+    }
+
+    /// Installs `budget` around `f`, records budget-check overhead into the
+    /// `stuc_engine_budget_check_seconds` histogram, and counts trips.
+    fn budgeted<T>(
+        &self,
+        budget: &EvalBudget,
+        f: impl FnOnce() -> Result<T, StucError>,
+    ) -> Result<T, StucError> {
+        let (result, stats) = stuc_fault::budget::scope_with_stats(budget.clone(), f);
+        let metrics = engine_metrics();
+        metrics.budget_check_seconds.observe(stats.spent);
+        match &result {
+            Err(StucError::DeadlineExceeded { .. }) => metrics.deadline_exceeded.inc(),
+            Err(StucError::Cancelled { .. }) => metrics.cancelled.inc(),
+            _ => {}
         }
         result
     }
@@ -883,6 +919,9 @@ impl Engine {
         query: &R::Query,
         weight_override: Option<&Weights>,
     ) -> Result<EvaluationReport, StucError> {
+        // Fail fast when the caller's deadline already passed (e.g. the
+        // request waited out its budget in the server's accept queue).
+        stuc_fault::budget::check("evaluation start")?;
         let mut rec = StageRecorder::new();
         let mut notes = Vec::new();
 
@@ -1106,6 +1145,10 @@ impl Engine {
         rec.mark("cache-lookup");
         let (decomposition, decomposition_cached) = self.decomposition_for(representation);
         rec.mark("decompose");
+        // A tripped budget degrades min-fill to a cheap ordering rather than
+        // erroring mid-loop; this checkpoint is where the degraded run turns
+        // into the typed error (before any lineage work is attempted).
+        stuc_fault::budget::check("structure decomposition")?;
         let outcome = representation.lineage(query, &decomposition)?;
         let build_notes = outcome.note.into_iter().collect();
         // Constant-fold and prune the raw lineage before compiling:
@@ -1115,8 +1158,13 @@ impl Engine {
         // the circuit-graph decomposition and every later counting sweep
         // shrink with it.
         let simplified = outcome.circuit.simplify()?;
+        stuc_fault::budget::check("lineage construction")?;
+        stuc_fault::failpoint!("lineage-compile", |m| StucError::Internal {
+            message: format!("injected fault: {m}"),
+        });
         let compiled = CompiledCircuit::compile(Arc::new(simplified), self.config.heuristic)?;
         rec.mark("compile-lineage");
+        stuc_fault::budget::check("lineage compilation")?;
         let (query_repr, instance_check, key) = match identity {
             Some((key, query_repr, instance_check)) => (query_repr, instance_check, Some(key)),
             None => (String::new(), 0, None),
@@ -1226,6 +1274,12 @@ impl Engine {
             self.cache.note_miss();
         }
         let decomposition = Arc::new(decompose_with_heuristic(&graph, self.config.heuristic));
+        if stuc_fault::budget::tripped() {
+            // The ordering may have taken the budget-tripped degraded path:
+            // keep the possibly low-quality decomposition out of the cache
+            // so an un-budgeted re-run rebuilds it at full quality.
+            return (decomposition, false);
+        }
         if stale_resident {
             // A fingerprint-colliding stranger holds the key: replace it, or
             // every future lookup would keep missing.
@@ -1276,6 +1330,29 @@ impl Engine {
 struct CacheFlags {
     decomposition_cached: bool,
     lineage_cached: bool,
+}
+
+/// Panic-isolation boundary: runs `f`, converting a panic into
+/// [`StucError::Internal`] carrying the panic payload (when it is a string)
+/// and bumping `stuc_engine_panics_caught_total`. The engine's caches are
+/// panic-safe by construction — entries are published atomically after being
+/// fully built, and the FIFO ledger is only appended under its own
+/// poison-recovering lock — so a caught panic leaves the engine usable.
+pub(crate) fn catch_panic<T>(f: impl FnOnce() -> Result<T, StucError>) -> Result<T, StucError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            engine_metrics().panics_caught.inc();
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(StucError::Internal { message })
+        }
+    }
 }
 
 #[cfg(test)]

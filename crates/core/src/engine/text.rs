@@ -110,6 +110,56 @@ impl Engine {
         result
     }
 
+    /// [`Engine::evaluate_text`] under a cooperative
+    /// [`EvalBudget`](super::EvalBudget): lowering/unfolding, decomposition,
+    /// compilation and every counting sweep poll the budget, so a tripped
+    /// deadline or cancellation surfaces as
+    /// [`StucError::DeadlineExceeded`] / [`StucError::Cancelled`] naming the
+    /// stage.
+    pub fn evaluate_text_with_budget<R>(
+        &self,
+        representation: &R,
+        src: &str,
+        budget: &super::EvalBudget,
+    ) -> Result<TextEvaluation, StucError>
+    where
+        R: Representation<Query = ConjunctiveQuery> + ?Sized,
+    {
+        self.budgeted(budget, || self.evaluate_text(representation, src))
+    }
+
+    /// Parses and lowers `src` without evaluating anything, returning the
+    /// cost model's estimate for the *cheaper* route of each goal, summed.
+    /// This is the admission-control signal behind the HTTP server's
+    /// cost-ceiling load shedding: abstract cost units, comparable across
+    /// queries against the same instance, cheap to compute (no
+    /// decomposition, no circuits).
+    pub fn estimate_text_cost<R>(&self, representation: &R, src: &str) -> Result<f64, StucError>
+    where
+        R: Representation<Query = ConjunctiveQuery> + ?Sized,
+    {
+        let program = parse_program(src).map_err(LangError::from)?;
+        let fact_count = program.facts().count();
+        if fact_count > 0 {
+            return Err(StucError::TextFacts { count: fact_count });
+        }
+        let rules = program.rules();
+        let stats = representation.relation_stats().unwrap_or_default();
+        let mut total = 0.0f64;
+        for query in program.queries() {
+            let lowered = lower_goal(&query.goal, &rules).map_err(LangError::from)?;
+            let cached = !lowered.terms.is_empty()
+                && lowered
+                    .terms
+                    .iter()
+                    .filter_map(|t| t.query.as_ref())
+                    .all(|q| self.has_cached_lineage(representation, q));
+            let decision = CostModel::default().choose(&lowered, &stats, cached);
+            total += decision.safe_cost.min(decision.circuit_cost);
+        }
+        Ok(total)
+    }
+
     fn evaluate_text_inner<R>(
         &self,
         representation: &R,
@@ -130,6 +180,7 @@ impl Engine {
         let rules = program.rules();
         let mut goals = Vec::new();
         for query in program.queries() {
+            stuc_fault::budget::check("goal evaluation")?;
             goals.push(self.evaluate_goal(representation, &query.goal, &rules)?);
         }
         Ok(TextEvaluation { goals })
@@ -241,6 +292,7 @@ impl Engine {
                 p
             }
             Route::Circuit => lowered.combine(|query| {
+                stuc_fault::budget::check("inclusion-exclusion term")?;
                 let report = self.evaluate_on_circuit(
                     representation,
                     query,

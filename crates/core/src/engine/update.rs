@@ -142,6 +142,24 @@ impl Engine {
         result
     }
 
+    /// [`Engine::apply_update`] under a cooperative
+    /// [`EvalBudget`](super::EvalBudget). Budget checkpoints sit between the
+    /// maintenance phases (and inside the repair/patch loops they call), so
+    /// a tripped deadline surfaces as
+    /// [`StucError::DeadlineExceeded`](super::StucError) after the current
+    /// phase completes — the instance mutation itself is never torn.
+    pub fn apply_update_with_budget<R>(
+        &self,
+        representation: &mut R,
+        delta: &Delta,
+        budget: &super::EvalBudget,
+    ) -> Result<UpdateReport, StucError>
+    where
+        R: Representation + Updatable<Query = <R as Representation>::Query> + ?Sized,
+    {
+        self.budgeted(budget, || self.apply_update(representation, delta))
+    }
+
     fn apply_update_inner<R>(
         &self,
         representation: &mut R,
@@ -188,6 +206,10 @@ impl Engine {
         }
 
         // --- decomposition maintenance -------------------------------------
+        // The mutation is committed and the stale entries are already pulled
+        // out: from here on a budget trip only costs cache warmth (dropped
+        // entries rebuild lazily), never consistency.
+        stuc_fault::budget::check("update: decomposition maintenance")?;
         if let Some(old) = old_decomposition {
             report.width_before = Some(old.width());
             let patched: Option<TreeDecomposition> = match &application.structure {
@@ -245,7 +267,9 @@ impl Engine {
 
         // --- compiled-lineage maintenance ----------------------------------
         let structure_width = report.width_after;
+        let mut budget_gate = stuc_fault::budget::Gate::every(4);
         for (key, entry) in stale_lineages {
+            budget_gate.check("update: lineage maintenance")?;
             if key.2 != self.config.heuristic {
                 report.lineages_dropped += 1;
                 continue;

@@ -57,6 +57,7 @@ impl std::fmt::Display for HttpError {
 /// Reads one request from the stream (blocking, honouring the stream's
 /// read timeout). `max_body` bounds the accepted `Content-Length`.
 pub fn read_request(stream: &TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    stuc_fault::failpoint!("serve-read", |m| HttpError::Io(std::io::Error::other(m)));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).map_err(HttpError::Io)?;
@@ -120,6 +121,10 @@ pub struct Response {
     /// The `Content-Type` header value (`application/json` unless built
     /// with [`Response::text`]).
     pub content_type: &'static str,
+    /// Optional `Retry-After` header in seconds, rendered only when set —
+    /// load-shedding and overload responses carry it so clients can back
+    /// off a sensible amount instead of guessing.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -129,6 +134,7 @@ impl Response {
             status,
             body: body.into(),
             content_type: "application/json",
+            retry_after: None,
         }
     }
 
@@ -139,7 +145,15 @@ impl Response {
             status,
             body: body.into(),
             content_type: "text/plain; version=0.0.4",
+            retry_after: None,
         }
+    }
+
+    /// Adds a `Retry-After` header (seconds). The value is a fixed small
+    /// integer chosen by policy, so rendering stays deterministic.
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// A typed error body: `{"error":{"kind":…,"message":…}}`.
@@ -162,19 +176,28 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }
 
-    /// The exact bytes on the wire.
+    /// The exact bytes on the wire. `Retry-After` renders between
+    /// `Content-Length` and `Connection` only when set, so responses
+    /// without it are byte-identical to earlier releases.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let retry_after = match self.retry_after {
+            Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+            None => String::new(),
+        };
         format!(
-            "HTTP/1.1 {} {}\r\nServer: stuc-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nServer: stuc-serve\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len(),
+            retry_after,
             self.body
         )
         .into_bytes()
@@ -183,6 +206,7 @@ impl Response {
     /// Writes the response (best-effort: a peer that hung up mid-write is
     /// its own problem, not the server's).
     pub fn write_to(&self, stream: &mut TcpStream) {
+        stuc_fault::failpoint!("serve-write");
         let _ = stream.write_all(&self.to_bytes());
         let _ = stream.flush();
     }
@@ -218,6 +242,22 @@ mod tests {
         assert!(text.contains("Connection: close\r\n\r\n"));
         assert!(text.ends_with("{\"error\":{\"kind\":\"overload\",\"message\":\"queue full\"}}"));
         assert_eq!(bytes, response.to_bytes(), "rendering must be stable");
+        // No Retry-After header unless explicitly set.
+        assert!(!text.contains("Retry-After"));
+    }
+
+    #[test]
+    fn retry_after_renders_only_when_set() {
+        let shed = Response::error(503, "shed", "cost over ceiling").with_retry_after(1);
+        let text = String::from_utf8(shed.to_bytes()).unwrap();
+        assert!(
+            text.contains("\r\nRetry-After: 1\r\nConnection: close\r\n"),
+            "{text}"
+        );
+        let timeout = Response::error(504, "deadline", "too slow");
+        let text = String::from_utf8(timeout.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 504 Gateway Timeout\r\n"));
+        assert!(!text.contains("Retry-After"));
     }
 
     #[test]

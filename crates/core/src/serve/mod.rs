@@ -19,7 +19,28 @@
 //!   reporting per-goal probability, cost-model route, back-end and
 //!   cache-hit flag in the JSON response;
 //! * a [`ServeStats`] block of atomics (accepted / served / rejected /
-//!   in-flight / errors) that tests and the `/stats` endpoint read.
+//!   in-flight / shed / timed-out / errors) that tests and the `/stats`
+//!   endpoint read.
+//!
+//! Fault tolerance, layered over that skeleton:
+//!
+//! * **deadlines** — [`ServeConfig::deadline`] caps every request,
+//!   tightened per request by `?deadline_ms=`, anchored at *accept* time
+//!   so queueing counts; requests that expired in the queue are answered
+//!   `504` without touching the engine, and evaluation trips surface as
+//!   typed `504 {"error":{"kind":"deadline",…}}` naming nothing the
+//!   client should not see (the stage is in the message);
+//! * **cancellation** — a per-request watcher polls the socket during
+//!   evaluation and raises the budget's cancel flag when the client
+//!   disconnects, so abandoned work stops at the next checkpoint;
+//! * **panic isolation** — the whole request path runs under
+//!   `catch_unwind`; a panic (bug or injected fault) becomes a typed
+//!   `500` and the worker survives;
+//! * **load shedding** — beyond queue-full rejection,
+//!   [`ServeConfig::shed_cost_ceiling`] sheds queries whose cost-model
+//!   estimate exceeds the ceiling while other connections wait
+//!   (`503 {"error":{"kind":"shed",…}}` + `Retry-After`), so cheap goals
+//!   keep answering under saturation.
 //!
 //! Protocol: one request per connection (`Connection: close`), endpoints
 //! `POST /query` (body = `stuc-lang` rules + goals; inline facts are
@@ -35,13 +56,14 @@
 
 pub mod http;
 
-use crate::engine::{Engine, StucError};
+use crate::engine::metrics::engine_metrics;
+use crate::engine::{CancelHandle, Engine, EvalBudget, StucError};
 use http::{escape_json, HttpError, Request, Response};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use stuc_data::tid::TidInstance;
 use stuc_lang::ast::RuleAst;
 use stuc_lang::lower::program_instance;
@@ -60,6 +82,7 @@ struct ServeMetrics {
     served: Arc<Counter>,
     request_errors: Arc<Counter>,
     request_seconds: Arc<Histogram>,
+    shed: Arc<Counter>,
 }
 
 fn serve_metrics() -> &'static ServeMetrics {
@@ -91,6 +114,10 @@ fn serve_metrics() -> &'static ServeMetrics {
                 "stuc_serve_request_seconds",
                 "Wall time from dequeue to response written, per request.",
             ),
+            shed: reg.counter(
+                "stuc_serve_shed_total",
+                "Queries shed by the cost ceiling under queue pressure.",
+            ),
         }
     })
 }
@@ -110,6 +137,18 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// Maximum accepted request-body size in bytes.
     pub max_body: usize,
+    /// Server-wide per-request deadline, anchored at *accept* time (so
+    /// time spent waiting in the queue counts against it). `None` means
+    /// unlimited. Clients may tighten it per request with `?deadline_ms=`
+    /// but can never exceed it.
+    pub deadline: Option<Duration>,
+    /// Cost-ceiling load shedding: when set and the server is under
+    /// pressure (other connections are waiting in the queue when a request
+    /// reaches a worker), queries whose cost-model estimate exceeds this
+    /// ceiling are shed with `503 {"error":{"kind":"shed",…}}` and a
+    /// `Retry-After` header instead of being evaluated — expensive queries
+    /// go first, cheap ones keep answering.
+    pub shed_cost_ceiling: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +159,8 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             io_timeout: Duration::from_secs(10),
             max_body: 64 * 1024,
+            deadline: None,
+            shed_cost_ceiling: None,
         }
     }
 }
@@ -170,6 +211,16 @@ impl ServiceState {
     /// Rules in scope for every request.
     pub fn rule_count(&self) -> usize {
         self.rules.len()
+    }
+
+    /// The cost model's estimate for a request body (sum over its goals of
+    /// the cheaper route's cost), the admission-control signal behind
+    /// load shedding. Goals over predicates only the *service* program
+    /// defines are estimated as base scans (the estimate parses the body
+    /// stand-alone), which under-counts derived goals — acceptable for a
+    /// shedding heuristic, which fails open on any error anyway.
+    pub fn estimate_cost(&self, body: &str) -> Result<f64, StucError> {
+        self.engine.estimate_text_cost(&self.instance, body)
     }
 
     /// Evaluates one request body (rules + goals) and renders the response.
@@ -225,10 +276,13 @@ impl ServiceState {
         let trace_id = self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let mut results = Vec::new();
         for query in program.queries() {
-            match self
-                .engine
-                .evaluate_goal(&self.instance, &query.goal, &rules)
-            {
+            // Panic isolation: a panic inside evaluation (bug or injected
+            // fault) becomes a typed 500 for this request; the worker
+            // thread and the shared engine survive.
+            match crate::engine::catch_panic(|| {
+                self.engine
+                    .evaluate_goal(&self.instance, &query.goal, &rules)
+            }) {
                 Ok(goal) => {
                     // The slow-log entry carries the *service* trace id, the
                     // same one the response body reports.
@@ -268,6 +322,30 @@ impl ServiceState {
                     }
                     fields.push('}');
                     results.push(fields);
+                }
+                Err(StucError::DeadlineExceeded { stage }) => {
+                    engine_metrics().deadline_exceeded.inc();
+                    return Response::error(
+                        504,
+                        "deadline",
+                        &format!("deadline exceeded during {stage}"),
+                    );
+                }
+                Err(StucError::Cancelled { stage }) => {
+                    engine_metrics().cancelled.inc();
+                    return Response::error(
+                        504,
+                        "cancelled",
+                        &format!("evaluation cancelled during {stage} (client went away?)"),
+                    );
+                }
+                Err(StucError::Internal { message }) => {
+                    // Panics land in the slow log with the goal that caused
+                    // them: `/debug/slow` is the operator's first stop.
+                    slowlog::global().note("serve-panic", Duration::ZERO, trace_id, || {
+                        format!("{}: {message}", query.goal)
+                    });
+                    return Response::error(500, "internal", &message);
                 }
                 Err(error) => {
                     return Response::error(422, "evaluate", &error.to_string());
@@ -320,6 +398,8 @@ pub struct ServeStats {
     served: AtomicU64,
     request_errors: AtomicU64,
     in_flight: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeStats`] plus the live queue depth.
@@ -335,11 +415,18 @@ pub struct ServeSnapshot {
     pub request_errors: u64,
     /// Requests currently being handled by workers.
     pub in_flight: u64,
+    /// Queries shed by the cost ceiling under queue pressure.
+    pub shed: u64,
+    /// Requests answered with a deadline/cancellation timeout (expired in
+    /// the queue or tripped during evaluation).
+    pub timed_out: u64,
     /// Connections currently waiting in the accept queue.
     pub queued: usize,
 }
 
-/// The bounded hand-off between the acceptor and the workers.
+/// The bounded hand-off between the acceptor and the workers. Each entry
+/// carries its *accept* timestamp so deadlines count queue time and
+/// already-expired requests can be rejected without evaluation.
 #[derive(Debug)]
 struct ConnQueue {
     inner: Mutex<VecQueue>,
@@ -349,7 +436,7 @@ struct ConnQueue {
 
 #[derive(Debug, Default)]
 struct VecQueue {
-    connections: std::collections::VecDeque<TcpStream>,
+    connections: std::collections::VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -363,23 +450,23 @@ impl ConnQueue {
     }
 
     /// Admission control: enqueue, or hand the connection back on overflow.
-    fn try_push(&self, connection: TcpStream) -> Result<(), TcpStream> {
+    fn try_push(&self, connection: TcpStream, accepted_at: Instant) -> Result<(), TcpStream> {
         let mut queue = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if queue.closed || queue.connections.len() >= self.capacity {
             return Err(connection);
         }
-        queue.connections.push_back(connection);
+        queue.connections.push_back((connection, accepted_at));
         drop(queue);
         self.available.notify_one();
         Ok(())
     }
 
     /// Blocks until a connection is available; `None` once closed and empty.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
         let mut queue = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(connection) = queue.connections.pop_front() {
-                return Some(connection);
+            if let Some(entry) = queue.connections.pop_front() {
+                return Some(entry);
             }
             if queue.closed {
                 return None;
@@ -404,6 +491,77 @@ impl ConnQueue {
     fn close(&self) {
         self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed = true;
         self.available.notify_all();
+    }
+}
+
+/// Watches a connection for client disconnect while its query evaluates,
+/// raising `cancel` on EOF so the engine's budget checkpoints abandon the
+/// work (there is nobody left to answer).
+///
+/// Mechanics: the socket fd is duplicated (`try_clone`) and polled with a
+/// non-blocking `peek` every ~20 ms. `O_NONBLOCK` lives on the shared open
+/// file description, so the watcher **must** be dropped (which joins the
+/// poller and restores blocking mode) before the worker writes the
+/// response. A client that half-closes its write side after sending the
+/// request is indistinguishable from one that hung up and is treated as
+/// gone.
+struct DisconnectWatcher {
+    done: Arc<AtomicBool>,
+    handle: Option<JoinHandle<TcpStream>>,
+}
+
+impl DisconnectWatcher {
+    fn spawn(connection: &TcpStream, cancel: CancelHandle) -> DisconnectWatcher {
+        let done = Arc::new(AtomicBool::new(false));
+        let handle = connection.try_clone().ok().and_then(|probe| {
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name("stuc-serve-watch".into())
+                .spawn(move || {
+                    if probe.set_nonblocking(true).is_err() {
+                        return probe;
+                    }
+                    let mut buffer = [0u8; 1];
+                    while !done.load(Ordering::SeqCst) {
+                        match probe.peek(&mut buffer) {
+                            // EOF: the client is gone (or half-closed).
+                            Ok(0) => {
+                                cancel.cancel();
+                                break;
+                            }
+                            // Early bytes of a pipelined request; ignore.
+                            Ok(_) => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                            // Reset/any hard error: nobody to answer.
+                            Err(_) => {
+                                cancel.cancel();
+                                break;
+                            }
+                        }
+                        // Parked, not slept: the worker's Drop unparks us,
+                        // so finishing a request never waits out the poll
+                        // interval.
+                        std::thread::park_timeout(Duration::from_millis(20));
+                    }
+                    probe
+                })
+                .ok()
+        });
+        DisconnectWatcher { done, handle }
+    }
+}
+
+impl Drop for DisconnectWatcher {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            // Join first so no poll races the restore, then put the shared
+            // file description back in blocking mode for the response write.
+            if let Ok(probe) = handle.join() {
+                let _ = probe.set_nonblocking(false);
+            }
+        }
     }
 }
 
@@ -440,28 +598,41 @@ impl Server {
                 .unwrap_or(1),
             n => n,
         };
-        let workers = (0..worker_count)
-            .map(|index| {
-                let state = Arc::clone(&state);
-                let stats = Arc::clone(&stats);
-                let queue = Arc::clone(&queue);
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("stuc-serve-worker-{index}"))
-                    .spawn(move || {
-                        while let Some(connection) = queue.pop() {
-                            let metrics = serve_metrics();
-                            metrics.queue_depth.sub(1);
-                            metrics.in_flight.add(1);
-                            stats.in_flight.fetch_add(1, Ordering::SeqCst);
-                            handle_connection(connection, &state, &stats, &config);
-                            stats.in_flight.fetch_sub(1, Ordering::SeqCst);
-                            metrics.in_flight.sub(1);
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(worker_count);
+        for index in 0..worker_count {
+            let state = Arc::clone(&state);
+            let stats = Arc::clone(&stats);
+            let queue = Arc::clone(&queue);
+            let config = config.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("stuc-serve-worker-{index}"))
+                .spawn(move || {
+                    while let Some((connection, accepted_at)) = queue.pop() {
+                        let metrics = serve_metrics();
+                        metrics.queue_depth.sub(1);
+                        metrics.in_flight.add(1);
+                        stats.in_flight.fetch_add(1, Ordering::SeqCst);
+                        // Belt and braces over the per-request catch inside
+                        // handle_connection: even a panic while *writing*
+                        // the response (past that catch) must not kill the
+                        // worker — the connection is lost, the pool is not.
+                        let _ = crate::engine::catch_panic(|| {
+                            handle_connection(
+                                connection,
+                                accepted_at,
+                                &state,
+                                &stats,
+                                &config,
+                                &queue,
+                            );
+                            Ok(())
+                        });
+                        stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        metrics.in_flight.sub(1);
+                    }
+                })?;
+            workers.push(worker);
+        }
 
         let acceptor = {
             let stats = Arc::clone(&stats);
@@ -476,36 +647,43 @@ impl Server {
                         if stop.load(Ordering::SeqCst) {
                             break;
                         }
-                        let Ok(mut connection) = connection else {
-                            continue;
-                        };
-                        match queue.try_push(connection) {
-                            Ok(()) => {
-                                stats.accepted.fetch_add(1, Ordering::SeqCst);
-                                serve_metrics().queue_depth.add(1);
+                        // A panic on the accept path (e.g. an injected
+                        // serve-accept fault) drops this one connection,
+                        // never the acceptor thread.
+                        let _ = crate::engine::catch_panic(|| {
+                            stuc_fault::failpoint!("serve-accept");
+                            let Ok(mut connection) = connection else {
+                                return Ok(());
+                            };
+                            match queue.try_push(connection, Instant::now()) {
+                                Ok(()) => {
+                                    stats.accepted.fetch_add(1, Ordering::SeqCst);
+                                    serve_metrics().queue_depth.add(1);
+                                }
+                                Err(rejected) => {
+                                    // Admission control: typed rejection,
+                                    // written inline (small fixed-size
+                                    // response), never a stall.
+                                    connection = rejected;
+                                    let _ = connection.set_write_timeout(Some(io_timeout));
+                                    stats.rejected_overload.fetch_add(1, Ordering::SeqCst);
+                                    serve_metrics().rejected_overload.inc();
+                                    Response::error(
+                                        503,
+                                        "overload",
+                                        &format!(
+                                            "request queue full (capacity {capacity}); retry later"
+                                        ),
+                                    )
+                                    .with_retry_after(1)
+                                    .write_to(&mut connection);
+                                    reject_close(connection);
+                                }
                             }
-                            Err(rejected) => {
-                                // Admission control: typed rejection, written
-                                // inline (small fixed-size response), never a
-                                // stall.
-                                connection = rejected;
-                                let _ = connection.set_write_timeout(Some(io_timeout));
-                                stats.rejected_overload.fetch_add(1, Ordering::SeqCst);
-                                serve_metrics().rejected_overload.inc();
-                                Response::error(
-                                    503,
-                                    "overload",
-                                    &format!(
-                                        "request queue full (capacity {capacity}); retry later"
-                                    ),
-                                )
-                                .write_to(&mut connection);
-                                reject_close(connection);
-                            }
-                        }
+                            Ok(())
+                        });
                     }
-                })
-                .expect("spawn acceptor thread")
+                })?
         };
 
         Ok(Server {
@@ -537,6 +715,8 @@ impl Server {
             served: self.stats.served.load(Ordering::SeqCst),
             request_errors: self.stats.request_errors.load(Ordering::SeqCst),
             in_flight: self.stats.in_flight.load(Ordering::SeqCst),
+            shed: self.stats.shed.load(Ordering::SeqCst),
+            timed_out: self.stats.timed_out.load(Ordering::SeqCst),
             queued: self.queue.len(),
         }
     }
@@ -582,51 +762,194 @@ fn reject_close(mut connection: TcpStream) {
     }
 }
 
-/// One connection end to end: read a request, route it, write the
-/// response, close. Errors become typed 4xx responses (best effort).
-fn handle_connection(
-    mut connection: TcpStream,
+/// The client's `?deadline_ms=` request parameter, when present and
+/// numeric.
+fn deadline_ms_param(path: &str) -> Option<u64> {
+    let (_, params) = path.split_once('?')?;
+    params
+        .split('&')
+        .find_map(|p| p.strip_prefix("deadline_ms=")?.parse().ok())
+}
+
+/// Handles `POST /query` under the fault-tolerance policies, in order:
+///
+/// 1. **Deadline-aware queueing** — the effective deadline is the server's
+///    cap tightened by `?deadline_ms=`, anchored at *accept* time; a
+///    request that expired while queued is answered `504` immediately,
+///    sparing the engine work nobody is waiting for.
+/// 2. **Cost-ceiling shedding** — under pressure (other connections are
+///    waiting in the queue right now), a query whose cost-model estimate
+///    exceeds the configured ceiling is shed with `503` + `Retry-After`
+///    (estimate errors fail open: evaluation produces the typed error).
+/// 3. **Budgeted evaluation** — the budget (deadline + a disconnect-raised
+///    cancel flag) is installed for the evaluation scope; the engine's
+///    checkpoints surface trips as typed `504` responses.
+fn handle_query(
+    connection: &TcpStream,
+    request: &Request,
+    accepted_at: Instant,
     state: &ServiceState,
     stats: &ServeStats,
     config: &ServeConfig,
+    queue: &ConnQueue,
+) -> Response {
+    let client_ms = deadline_ms_param(&request.path).map(Duration::from_millis);
+    let effective = match (config.deadline, client_ms) {
+        (Some(server), Some(client)) => Some(server.min(client)),
+        (server, client) => server.or(client),
+    };
+    let deadline_at = effective.map(|limit| accepted_at + limit);
+
+    if let Some(deadline) = deadline_at {
+        if Instant::now() >= deadline {
+            stats.timed_out.fetch_add(1, Ordering::SeqCst);
+            engine_metrics().deadline_exceeded.inc();
+            return Response::error(
+                504,
+                "deadline",
+                "deadline expired while the request was queued; evaluation was not started",
+            );
+        }
+    }
+
+    if let Some(ceiling) = config.shed_cost_ceiling {
+        let under_pressure = queue.len() > 0;
+        if under_pressure {
+            if let Ok(cost) = state.estimate_cost(&request.body) {
+                if cost > ceiling {
+                    stats.shed.fetch_add(1, Ordering::SeqCst);
+                    serve_metrics().shed.inc();
+                    return Response::error(
+                        503,
+                        "shed",
+                        &format!(
+                            "query cost estimate {cost:.1} exceeds the ceiling {ceiling:.1} \
+                             and the server is under load; retry later"
+                        ),
+                    )
+                    .with_retry_after(1);
+                }
+            }
+        }
+    }
+
+    let cancel = CancelHandle::new();
+    let mut budget = match deadline_at {
+        Some(deadline) => EvalBudget::with_deadline_at(deadline),
+        None => EvalBudget::unlimited(),
+    };
+    budget = budget.cancelled_by(&cancel);
+    let watcher = DisconnectWatcher::spawn(connection, cancel);
+    let (response, budget_stats) =
+        stuc_fault::budget::scope_with_stats(budget, || state.respond(request));
+    // Joins the poller and restores blocking mode before the response write.
+    drop(watcher);
+    engine_metrics()
+        .budget_check_seconds
+        .observe(budget_stats.spent);
+    if response.status == 504 {
+        stats.timed_out.fetch_add(1, Ordering::SeqCst);
+    }
+    response
+}
+
+/// One connection end to end: read a request, route it, write the
+/// response, close. Errors become typed 4xx/5xx responses (best effort),
+/// and a panic anywhere on the request path (reading included) becomes a
+/// typed 500 — the worker thread always survives to take the next
+/// connection.
+fn handle_connection(
+    mut connection: TcpStream,
+    accepted_at: Instant,
+    state: &ServiceState,
+    stats: &ServeStats,
+    config: &ServeConfig,
+    queue: &ConnQueue,
 ) {
     let watch = Stopwatch::start();
     let _ = connection.set_read_timeout(Some(config.io_timeout));
     let _ = connection.set_write_timeout(Some(config.io_timeout));
-    let response = match http::read_request(&connection, config.max_body) {
-        Ok(request) => match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/stats") => {
-                let snapshot = ServeSnapshot {
-                    accepted: stats.accepted.load(Ordering::SeqCst),
-                    rejected_overload: stats.rejected_overload.load(Ordering::SeqCst),
-                    served: stats.served.load(Ordering::SeqCst),
-                    request_errors: stats.request_errors.load(Ordering::SeqCst),
-                    in_flight: stats.in_flight.load(Ordering::SeqCst),
-                    queued: 0,
-                };
-                let caches = state.engine().cache_stats();
-                Response::json(
-                    200,
-                    format!(
-                        "{{\"accepted\":{},\"served\":{},\"rejected_overload\":{},\"request_errors\":{},\"in_flight\":{},\
-                         \"caches\":{{\"decompositions\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
-                         \"lineages\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}}}",
-                        snapshot.accepted,
-                        snapshot.served,
-                        snapshot.rejected_overload,
-                        snapshot.request_errors,
-                        snapshot.in_flight,
-                        caches.decompositions.hits,
-                        caches.decompositions.misses,
-                        caches.decompositions.evictions,
-                        caches.lineages.hits,
-                        caches.lineages.misses,
-                        caches.lineages.evictions,
-                    ),
-                )
+    let response = crate::engine::catch_panic(|| {
+        Ok(route_request(
+            &connection,
+            accepted_at,
+            state,
+            stats,
+            config,
+            queue,
+        ))
+    })
+    .unwrap_or_else(|error| match error {
+        StucError::Internal { message } => Response::error(500, "internal", &message),
+        other => Response::error(500, "internal", &other.to_string()),
+    });
+    response.write_to(&mut connection);
+    stats.served.fetch_add(1, Ordering::SeqCst);
+    let metrics = serve_metrics();
+    metrics.served.inc();
+    metrics.request_seconds.observe(watch.elapsed());
+}
+
+/// Reads and routes one request (the panic-isolated part of
+/// [`handle_connection`]).
+fn route_request(
+    connection: &TcpStream,
+    accepted_at: Instant,
+    state: &ServiceState,
+    stats: &ServeStats,
+    config: &ServeConfig,
+    queue: &ConnQueue,
+) -> Response {
+    match http::read_request(connection, config.max_body) {
+        Ok(request) => {
+            let path = request.path.split('?').next().unwrap_or("");
+            match (request.method.as_str(), path) {
+                ("GET", "/stats") => {
+                    let snapshot = ServeSnapshot {
+                        accepted: stats.accepted.load(Ordering::SeqCst),
+                        rejected_overload: stats.rejected_overload.load(Ordering::SeqCst),
+                        served: stats.served.load(Ordering::SeqCst),
+                        request_errors: stats.request_errors.load(Ordering::SeqCst),
+                        in_flight: stats.in_flight.load(Ordering::SeqCst),
+                        shed: stats.shed.load(Ordering::SeqCst),
+                        timed_out: stats.timed_out.load(Ordering::SeqCst),
+                        queued: 0,
+                    };
+                    let caches = state.engine().cache_stats();
+                    Response::json(
+                        200,
+                        format!(
+                            "{{\"accepted\":{},\"served\":{},\"rejected_overload\":{},\"request_errors\":{},\"in_flight\":{},\"shed\":{},\"timed_out\":{},\
+                             \"caches\":{{\"decompositions\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+                             \"lineages\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}}}",
+                            snapshot.accepted,
+                            snapshot.served,
+                            snapshot.rejected_overload,
+                            snapshot.request_errors,
+                            snapshot.in_flight,
+                            snapshot.shed,
+                            snapshot.timed_out,
+                            caches.decompositions.hits,
+                            caches.decompositions.misses,
+                            caches.decompositions.evictions,
+                            caches.lineages.hits,
+                            caches.lineages.misses,
+                            caches.lineages.evictions,
+                        ),
+                    )
+                }
+                ("POST", "/query") => handle_query(
+                    connection,
+                    &request,
+                    accepted_at,
+                    state,
+                    stats,
+                    config,
+                    queue,
+                ),
+                _ => state.respond(&request),
             }
-            _ => state.respond(&request),
-        },
+        }
         Err(HttpError::BodyTooLarge { declared, limit }) => {
             stats.request_errors.fetch_add(1, Ordering::SeqCst);
             serve_metrics().request_errors.inc();
@@ -646,12 +969,7 @@ fn handle_connection(
             serve_metrics().request_errors.inc();
             Response::error(408, "read", &format!("could not read request: {error}"))
         }
-    };
-    response.write_to(&mut connection);
-    stats.served.fetch_add(1, Ordering::SeqCst);
-    let metrics = serve_metrics();
-    metrics.served.inc();
-    metrics.request_seconds.observe(watch.elapsed());
+    }
 }
 
 #[cfg(test)]
@@ -723,6 +1041,124 @@ mod tests {
         let snapshot = server.stats();
         assert!(snapshot.served >= 6);
         assert_eq!(snapshot.rejected_overload, 0);
+        server.shutdown();
+    }
+
+    /// Holds the worker (or a queue slot) hostage: declares a body it never
+    /// sends, so the server blocks reading until the stream is dropped.
+    fn stall(addr: SocketAddr) -> TcpStream {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /query HTTP/1.1\r\nContent-Length: 64\r\n\r\npartial")
+            .unwrap();
+        stream
+    }
+
+    #[test]
+    fn a_zero_deadline_request_gets_a_typed_504_without_evaluation() {
+        let state = ServiceState::from_program(Engine::new(), PROGRAM).unwrap();
+        let server = Server::spawn(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            state,
+        )
+        .unwrap();
+        let addr = server.addr();
+        // Anchored at accept time, a 0 ms deadline has always expired by
+        // the time a worker dequeues the connection.
+        let body = "?- Train(x, y).";
+        let response = request(
+            addr,
+            &format!(
+                "POST /query?deadline_ms=0 HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(response.contains("504 Gateway Timeout"), "{response}");
+        assert!(response.contains("\"kind\":\"deadline\""), "{response}");
+        assert!(
+            response.contains("expired while the request was queued"),
+            "{response}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.timed_out, 1, "{stats:?}");
+        // The engine stays healthy: the same goal without a deadline
+        // answers exactly.
+        let ok = post_query(addr, body);
+        assert!(ok.contains("\"probability\":0.980000000"), "{ok}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expensive_queries_are_shed_under_pressure_while_cheap_ones_answer() {
+        let state = ServiceState::from_program(Engine::new(), PROGRAM).unwrap();
+        let cheap_goal = "?- Train(x, y).";
+        let pricey_goal = "?- Train(x, y), Train(y, z), Train(z, w).";
+        let cheap_cost = state.estimate_cost(cheap_goal).unwrap();
+        let pricey_cost = state.estimate_cost(pricey_goal).unwrap();
+        assert!(
+            pricey_cost > cheap_cost,
+            "cost model must separate the goals: {cheap_cost} vs {pricey_cost}"
+        );
+        let server = Server::spawn(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 8,
+                // Short, so dropped hostages release the worker quickly.
+                io_timeout: Duration::from_millis(500),
+                shed_cost_ceiling: Some((cheap_cost + pricey_cost) / 2.0),
+                ..ServeConfig::default()
+            },
+            state,
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let wait_until = |what: &str, ready: &dyn Fn(&ServeSnapshot) -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let stats = server.stats();
+                if ready(&stats) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "server never {what}: {stats:?}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+
+        // Occupy the single worker, then queue the expensive probe and one
+        // more hostage behind it: when the worker finally dequeues the
+        // probe, the queue is provably non-empty — pressure, not a race.
+        let hostage_worker = stall(addr);
+        wait_until("picked up the first hostage", &|s| {
+            s.in_flight == 1 && s.queued == 0
+        });
+        let probe = std::thread::spawn(move || post_query(addr, pricey_goal));
+        wait_until("queued the probe", &|s| s.queued == 1);
+        let hostage_queue = stall(addr);
+        wait_until("queued the second hostage", &|s| s.queued == 2);
+        drop(hostage_worker);
+
+        let shed = probe.join().unwrap();
+        assert!(shed.contains("503 Service Unavailable"), "{shed}");
+        assert!(shed.contains("\"kind\":\"shed\""), "{shed}");
+        assert!(shed.contains("Retry-After: 1"), "{shed}");
+        drop(hostage_queue);
+        wait_until("drained the hostages", &|s| {
+            s.queued == 0 && s.in_flight == 0
+        });
+
+        // Cheap goals keep answering — exactly — and an idle server serves
+        // even the expensive goal (shedding needs pressure, not just cost).
+        let cheap = post_query(addr, cheap_goal);
+        assert!(cheap.contains("\"probability\":0.980000000"), "{cheap}");
+        let pricey = post_query(addr, pricey_goal);
+        assert!(pricey.contains("200 OK"), "{pricey}");
+        let stats = server.stats();
+        assert_eq!(stats.shed, 1, "{stats:?}");
         server.shutdown();
     }
 

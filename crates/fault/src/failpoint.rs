@@ -1,0 +1,199 @@
+//! Compile-time-gated named failpoints, in the style of fail-rs but with
+//! zero dependencies. A failpoint is a named probe planted at a fault-prone
+//! site (cache publish, plan build, serve read, ...). Tests arm it through
+//! the process-global registry to panic, sleep, or yield an error string;
+//! unarmed probes only bump a hit counter.
+//!
+//! The whole registry only exists when the `fault-injection` feature is on;
+//! the [`failpoint!`](crate::failpoint!) macro expands to nothing otherwise,
+//! so production builds carry no probe code.
+
+/// What an armed failpoint does when evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailAction {
+    /// Panic with a message naming the failpoint.
+    Panic,
+    /// Sleep this many milliseconds, then continue normally.
+    SleepMs(u64),
+    /// Yield this error message to the probe site (which maps it into its
+    /// own typed error). Ignored at infallible sites.
+    Error(String),
+}
+
+#[cfg(feature = "fault-injection")]
+mod registry {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    #[derive(Default)]
+    struct Entry {
+        action: Option<FailAction>,
+        hits: u64,
+    }
+
+    fn table() -> &'static Mutex<HashMap<String, Entry>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+        TABLE.get_or_init(Mutex::default)
+    }
+
+    fn with_table<T>(f: impl FnOnce(&mut HashMap<String, Entry>) -> T) -> T {
+        // Chaos tests arm failpoints to panic while the lock is *not* held;
+        // recover from poisoning anyway so one panicking test cannot wedge
+        // the registry for the rest of the suite.
+        let mut guard = table().lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut guard)
+    }
+
+    /// Arms `name` with `action`; replaces any previous action.
+    pub fn arm(name: &str, action: FailAction) {
+        with_table(|t| t.entry(name.to_owned()).or_default().action = Some(action));
+    }
+
+    /// Disarms `name` (hit counter is preserved).
+    pub fn disarm(name: &str) {
+        with_table(|t| {
+            if let Some(entry) = t.get_mut(name) {
+                entry.action = None;
+            }
+        });
+    }
+
+    /// Disarms every failpoint.
+    pub fn disarm_all() {
+        with_table(|t| {
+            for entry in t.values_mut() {
+                entry.action = None;
+            }
+        });
+    }
+
+    /// Times the probe at `name` was evaluated (armed or not) since process
+    /// start. Registers the name on first query.
+    pub fn hits(name: &str) -> u64 {
+        with_table(|t| t.get(name).map_or(0, |e| e.hits))
+    }
+
+    /// Every failpoint name the process has evaluated or armed, sorted.
+    pub fn registered() -> Vec<String> {
+        let mut names = with_table(|t| t.keys().cloned().collect::<Vec<_>>());
+        names.sort();
+        names
+    }
+
+    /// RAII arming: disarms on drop so a failing assertion cannot leave the
+    /// fault armed for later tests.
+    pub struct ArmGuard {
+        name: String,
+    }
+
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            disarm(&self.name);
+        }
+    }
+
+    /// Arms `name` and returns a guard that disarms it on drop.
+    pub fn arm_guard(name: &str, action: FailAction) -> ArmGuard {
+        arm(name, action);
+        ArmGuard {
+            name: name.to_owned(),
+        }
+    }
+
+    /// Probe evaluation: bumps the hit counter and applies the armed action.
+    /// `Panic` panics here; `SleepMs` sleeps here; `Error` returns its
+    /// message for the site to wrap. Called via the [`failpoint!`](crate::failpoint!) macro.
+    pub fn eval(name: &'static str) -> Option<String> {
+        let action = with_table(|t| {
+            let entry = t.entry(name.to_owned()).or_default();
+            entry.hits += 1;
+            entry.action.clone()
+        });
+        match action {
+            None => None,
+            Some(FailAction::Panic) => panic!("failpoint '{name}' armed to panic"),
+            Some(FailAction::SleepMs(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                None
+            }
+            Some(FailAction::Error(message)) => Some(message),
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use registry::{arm, arm_guard, disarm, disarm_all, eval, hits, registered, ArmGuard};
+
+/// Plants a named failpoint.
+///
+/// Two forms:
+///
+/// * `failpoint!("name")` — infallible site. An armed `Panic` panics, an
+///   armed `SleepMs` sleeps; an armed `Error` is ignored (the site has no
+///   error channel).
+/// * `failpoint!("name", |msg| expr)` — fallible site. Additionally, an
+///   armed `Error(msg)` makes the enclosing function `return Err(expr)`
+///   with the closure applied to the message.
+///
+/// Both forms expand to nothing unless the *consuming* crate enables its
+/// `fault-injection` feature (which must forward to
+/// `stuc-fault/fault-injection`).
+#[macro_export]
+macro_rules! failpoint {
+    ($name:literal) => {
+        #[cfg(feature = "fault-injection")]
+        {
+            let _ = $crate::failpoint::eval($name);
+        }
+    };
+    ($name:literal, $wrap:expr) => {
+        #[cfg(feature = "fault-injection")]
+        {
+            if let Some(message) = $crate::failpoint::eval($name) {
+                return Err(($wrap)(message));
+            }
+        }
+    };
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_probe_counts_hits() {
+        let before = hits("test-unarmed");
+        assert_eq!(eval("test-unarmed"), None);
+        assert_eq!(hits("test-unarmed"), before + 1);
+        assert!(registered().contains(&"test-unarmed".to_owned()));
+    }
+
+    #[test]
+    fn error_mode_yields_message_and_guard_disarms() {
+        {
+            let _guard = arm_guard("test-error", FailAction::Error("boom".into()));
+            assert_eq!(eval("test-error"), Some("boom".into()));
+        }
+        assert_eq!(eval("test-error"), None);
+    }
+
+    #[test]
+    fn panic_mode_panics() {
+        let _guard = arm_guard("test-panic", FailAction::Panic);
+        let caught = std::panic::catch_unwind(|| eval("test-panic"));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn macro_fallible_form_returns_error() {
+        fn site() -> Result<u32, String> {
+            failpoint!("test-macro", |m: String| format!("wrapped: {m}"));
+            Ok(7)
+        }
+        assert_eq!(site(), Ok(7));
+        let _guard = arm_guard("test-macro", FailAction::Error("injected".into()));
+        assert_eq!(site(), Err("wrapped: injected".to_owned()));
+    }
+}

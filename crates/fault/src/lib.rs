@@ -1,0 +1,22 @@
+//! Fault-tolerance primitives for the stuc engine: cooperative evaluation
+//! budgets (wall-clock deadlines plus shared cancellation flags) and
+//! compile-time-gated named failpoints for chaos testing.
+//!
+//! The crate has zero dependencies and two halves:
+//!
+//! * [`budget`] — an ambient, thread-local [`EvalBudget`] installed with
+//!   [`budget::scope`] and polled from long-running loops with
+//!   [`budget::check`] (fallible code) or [`budget::tripped`] (infallible
+//!   code that degrades instead of erroring). When no budget is installed
+//!   the poll is a single thread-local read, so undeadlined evaluation pays
+//!   essentially nothing.
+//! * [`mod@failpoint`] — a registry of named fault sites that tests arm to
+//!   panic, sleep, or return an error. The [`failpoint!`] macro expands to
+//!   nothing unless the consuming crate enables its `fault-injection`
+//!   feature (which forwards to `stuc-fault/fault-injection`), so release
+//!   builds carry no probe code at all.
+
+pub mod budget;
+pub mod failpoint;
+
+pub use budget::{BudgetError, BudgetStats, CancelHandle, EvalBudget};

@@ -138,7 +138,16 @@ fn min_fill_order(g: &Graph) -> EliminationOrder {
     let mut order = Vec::with_capacity(n);
     let mut fill: Vec<usize> = (0..n).map(|v| adjacency.fill_in_count(v)).collect();
 
-    for _ in 0..n {
+    for step in 0..n {
+        // Quadratic selection is the one ordering loop that can hold a
+        // worker for seconds: when the ambient budget trips, degrade to the
+        // identifier-order tail (still a valid elimination order, just
+        // lower quality) and let the caller's next fallible checkpoint
+        // surface the typed error.
+        if step.is_multiple_of(64) && stuc_fault::budget::tripped() {
+            order.extend((0..n).filter(|&v| alive[v]).map(VertexId));
+            break;
+        }
         let next = (0..n)
             .filter(|&v| alive[v])
             .min_by_key(|&v| (fill[v], v))
@@ -177,7 +186,13 @@ pub fn reference_min_fill_order(g: &Graph) -> EliminationOrder {
     let mut order = Vec::with_capacity(n);
     let mut fill: Vec<usize> = (0..n).map(|v| fill_in_count(&adjacency, v)).collect();
 
-    for _ in 0..n {
+    for step in 0..n {
+        // Same degrade-on-trip fallback as the bitset path, so the two
+        // implementations stay order-identical under any budget state.
+        if step.is_multiple_of(64) && stuc_fault::budget::tripped() {
+            order.extend((0..n).filter(|&v| alive[v]).map(VertexId));
+            break;
+        }
         let next = (0..n)
             .filter(|&v| alive[v])
             .min_by_key(|&v| (fill[v], v))
@@ -397,6 +412,8 @@ pub fn order_width(g: &Graph, order: &EliminationOrder) -> usize {
 ///
 /// This is the main entry point used by the rest of STUC.
 pub fn decompose_with_heuristic(g: &Graph, heuristic: EliminationHeuristic) -> TreeDecomposition {
+    // Infallible site: an armed Error action is ignored, Panic/Sleep apply.
+    stuc_fault::failpoint!("graph-decompose");
     let order = elimination_order(g, heuristic);
     decompose_with_order(g, &order)
 }

@@ -46,10 +46,15 @@ stuc_errors::stuc_error! {
         /// The patched decomposition failed post-repair validation — a bug
         /// guard, surfaced instead of propagating a broken decomposition.
         Invalid(DecompositionError),
+        /// An injected fault (only produced by armed failpoints under the
+        /// `fault-injection` feature; never in production builds). The
+        /// engine reacts exactly as for `BudgetExceeded`: full rebuild.
+        Fault(String),
     }
     display {
         Self::BudgetExceeded { bag_size, budget } => "repaired bag size {bag_size} exceeds budget {budget}",
         Self::Invalid(e) => "repaired decomposition is invalid: {e}",
+        Self::Fault(m) => "injected fault: {m}",
     }
     from {
         DecompositionError => Invalid,
@@ -85,6 +90,7 @@ pub fn repair_decomposition(
     new_cliques: &[Vec<VertexId>],
     max_bag_size: usize,
 ) -> Result<(TreeDecomposition, RepairReport), RepairError> {
+    stuc_fault::failpoint!("graph-repair", RepairError::Fault);
     let mut patched = td.clone();
     let mut report = RepairReport {
         width_before: td.width(),

@@ -71,6 +71,9 @@ stuc_errors::stuc_error! {
         /// An internal rule-construction failure (should not happen after
         /// the analysis pass).
         Rule(String),
+        /// The ambient evaluation budget (deadline or cancellation) tripped
+        /// during unfolding.
+        Budget(stuc_fault::BudgetError),
     }
     display {
         Self::RecursiveProgram => "recursive rule sets cannot be unfolded into unions of conjunctive queries",
@@ -80,9 +83,11 @@ stuc_errors::stuc_error! {
         Self::NegatedIntensional { relation } => "negated atom over rule-defined relation {relation} is not supported",
         Self::Safety(error) => "safety violation: {error}",
         Self::Rule(message) => "invalid rule: {message}",
+        Self::Budget(e) => "{e}",
     }
     from {
         SafetyError => Safety,
+        stuc_fault::BudgetError => Budget,
     }
 }
 
@@ -262,7 +267,9 @@ fn unfold_conjunct(
     };
     let mut worklist = vec![initial];
     let mut done: Vec<Conjunct> = Vec::new();
+    let mut budget_gate = stuc_fault::budget::Gate::every(64);
     while let Some(current) = worklist.pop() {
+        budget_gate.check("rule unfolding")?;
         let intensional = current
             .positives
             .iter()

@@ -59,10 +59,17 @@ stuc_errors::stuc_error! {
         TooManyDerivedFacts,
         /// A probability computation failed (width or size limits).
         Probability(String),
+        /// The ambient evaluation budget (deadline or cancellation) tripped
+        /// mid-chase.
+        Budget(stuc_fault::BudgetError),
     }
     display {
         Self::TooManyDerivedFacts => "too many derived facts",
         Self::Probability(e) => "probability computation failed: {e}",
+        Self::Budget(e) => "{e}",
+    }
+    from {
+        stuc_fault::BudgetError => Budget,
     }
 }
 
@@ -123,11 +130,14 @@ impl ProbabilisticChase {
         type AppliedMatch = (usize, Vec<FactId>, Vec<(String, String)>);
         let mut applied: BTreeSet<AppliedMatch> = BTreeSet::new();
 
+        let mut budget_gate = stuc_fault::budget::Gate::every(64);
         for _round in 0..self.config.max_rounds {
+            stuc_fault::budget::check("chase round")?;
             let mut new_facts_this_round = 0usize;
             for (rule_index, rule) in self.rules.iter().enumerate() {
                 let matches = all_matches(&instance, &rule.body_query());
                 for m in matches {
+                    budget_gate.check("chase matches")?;
                     let bindings: Vec<(String, String)> = m
                         .assignment
                         .iter()

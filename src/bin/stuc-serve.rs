@@ -27,6 +27,12 @@ options:
   --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = any free port)
   --workers N        worker threads (default: one per core)
   --queue N          accept-queue capacity before overload rejection (default 1024)
+  --deadline-ms N    per-request deadline in milliseconds, anchored at accept
+                     time; clients may tighten it with ?deadline_ms= but never
+                     exceed it (default: unlimited)
+  --shed-cost N      cost-model ceiling for load shedding: under queue pressure,
+                     queries estimated above N are answered 503 + Retry-After
+                     instead of evaluated (default: off)
   --slow-ms N        slow-query log threshold in milliseconds (default 100)
   --trace-out FILE   enable the span tracer and periodically flush a
                      Chrome trace-event JSON file (open in chrome://tracing)";
@@ -51,6 +57,16 @@ fn main() {
             },
             "--workers" => config.workers = numeric_flag(args.next(), "--workers"),
             "--queue" => config.queue_capacity = numeric_flag(args.next(), "--queue"),
+            "--deadline-ms" => {
+                let ms = numeric_flag(args.next(), "--deadline-ms");
+                config.deadline = Some(Duration::from_millis(ms as u64));
+            }
+            "--shed-cost" => match args.next().as_deref().map(str::parse::<f64>) {
+                Some(Ok(ceiling)) if ceiling.is_finite() && ceiling >= 0.0 => {
+                    config.shed_cost_ceiling = Some(ceiling);
+                }
+                _ => die("--shed-cost needs a non-negative number"),
+            },
             "--slow-ms" => {
                 let ms = numeric_flag(args.next(), "--slow-ms");
                 slowlog::global().set_threshold(Duration::from_millis(ms as u64));

@@ -48,6 +48,10 @@
 //!   registry behind `GET /metrics`, the span tracer behind
 //!   `--trace-out`/[`Engine::with_tracing`], staged timers, and the
 //!   slow-query log.
+//! * [`fault`] — fault tolerance primitives: cooperative evaluation
+//!   budgets (deadlines + cancellation, [`EvalBudget`]) polled at engine
+//!   checkpoints, and the compile-time-gated failpoint registry behind
+//!   the chaos suite (`--features fault-injection`).
 //! * [`core`] — the unified [`core::engine`] (plus the deprecated
 //!   pre-engine `TractablePipeline` shims and shared workload generators).
 //!
@@ -120,6 +124,7 @@ pub use stuc_circuit as circuit;
 pub use stuc_cond as cond;
 pub use stuc_core as core;
 pub use stuc_data as data;
+pub use stuc_fault as fault;
 pub use stuc_graph as graph;
 pub use stuc_incr as incr;
 pub use stuc_infer as infer;
@@ -131,10 +136,11 @@ pub use stuc_query as query;
 pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
-    Backend, BackendKind, BackendPolicy, BatchReport, CacheCounters, Delta, DeltaOp, Engine,
-    EngineBuilder, EngineCacheStats, EvaluationReport, GoalEvaluation, InferenceReport, Marginals,
-    MostProbableWorld, ReprKind, Representation, SampledWorlds, StucError, TextEvaluation,
-    Updatable, UpdateLog, UpdateReport, World, WorldSampler,
+    Backend, BackendKind, BackendPolicy, BatchReport, BudgetError, CacheCounters, CancelHandle,
+    Delta, DeltaOp, Engine, EngineBuilder, EngineCacheStats, EvalBudget, EvaluationReport,
+    GoalEvaluation, InferenceReport, Marginals, MostProbableWorld, ReprKind, Representation,
+    SampledWorlds, StucError, TextEvaluation, Updatable, UpdateLog, UpdateReport, World,
+    WorldSampler,
 };
 pub use stuc_core::serve;
 pub use stuc_lang::{LangError, ParseError};

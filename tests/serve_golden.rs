@@ -5,9 +5,10 @@
 //! Every response is deterministic by construction: the header set is fixed
 //! (no `Date`), probabilities use `{:.9}`, the route/back-end strings are
 //! float-free, and the overload message depends only on the configured
-//! capacity. The transcript covers the four protocol outcomes the service
+//! capacity. The transcript covers the protocol outcomes the service
 //! promises: a safe-plan goal, a circuit-bound goal, a typed parse error,
-//! and a typed `503 overload` rejection from admission control.
+//! a typed `504` for a deadline that expired in the queue, and a typed
+//! `503 overload` rejection (with `Retry-After`) from admission control.
 //!
 //! When a legitimate change alters the transcript, regenerate it with
 //! `STUC_GOLDEN_WRITE=1 cargo test --test serve_golden`.
@@ -129,6 +130,15 @@ fn scripted_session_matches_the_golden_transcript() {
     record(
         "POST /query ?- Train(x  (parse error)",
         post_query(addr, "?- Train(x"),
+    );
+    // A zero deadline, anchored at accept time, has always expired by the
+    // time a worker dequeues the connection — the typed 504 is certain.
+    record(
+        "POST /query?deadline_ms=0 ?- Train(x, y).  (deadline expired in queue)",
+        exchange(
+            addr,
+            "POST /query?deadline_ms=0 HTTP/1.1\r\nContent-Length: 15\r\n\r\n?- Train(x, y).",
+        ),
     );
     record(
         "GET /nope  (unknown endpoint)",
