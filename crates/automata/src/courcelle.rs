@@ -21,7 +21,7 @@
 //!   single pass: linear time in the instance for a fixed query and width,
 //!   which is Theorem 1.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use stuc_circuit::circuit::{Circuit, GateId, VarId};
 use stuc_data::instance::{ConstId, FactId, Instance};
 use stuc_data::tid::TidInstance;
@@ -296,11 +296,11 @@ pub fn cq_lineage_circuit(
     };
 
     // tables[node]: state → gate.
-    let mut tables: Vec<HashMap<MatchState, GateId>> = Vec::with_capacity(nice.len());
+    let mut tables: Vec<BTreeMap<MatchState, GateId>> = Vec::with_capacity(nice.len());
 
     for (idx, node) in nice.iter_bottom_up() {
         // Structural step.
-        let mut contributions: HashMap<MatchState, Vec<GateId>> = HashMap::new();
+        let mut contributions: BTreeMap<MatchState, Vec<GateId>> = BTreeMap::new();
         match &node.kind {
             NiceNodeKind::Leaf => {
                 contributions
@@ -358,7 +358,7 @@ pub fn cq_lineage_circuit(
         }
 
         // Collapse contributions into one OR gate per state.
-        let mut table = HashMap::with_capacity(contributions.len());
+        let mut table = BTreeMap::new();
         for (state, gates) in contributions {
             let gate = if gates.len() == 1 {
                 gates[0]
@@ -397,7 +397,7 @@ pub fn cq_probability_tid(
 
     type DetState = Vec<MatchState>; // sorted, deduplicated
                                      // distributions[node]: det-state → probability.
-    let mut distributions: Vec<HashMap<DetState, f64>> = Vec::with_capacity(nice.len());
+    let mut distributions: Vec<BTreeMap<DetState, f64>> = Vec::with_capacity(nice.len());
 
     let normalise = |mut states: Vec<MatchState>| -> DetState {
         states.sort();
@@ -406,7 +406,7 @@ pub fn cq_probability_tid(
     };
 
     for (idx, node) in nice.iter_bottom_up() {
-        let mut dist: HashMap<DetState, f64> = HashMap::new();
+        let mut dist: BTreeMap<DetState, f64> = BTreeMap::new();
         match &node.kind {
             NiceNodeKind::Leaf => {
                 dist.insert(vec![compiled.initial_state()], 1.0);
@@ -450,7 +450,7 @@ pub fn cq_probability_tid(
             if facts.len() > MAX_ANCHORED_FACTS {
                 return Err(CourcelleError::TooManyAnchoredFacts(facts.len()));
             }
-            let mut with_facts: HashMap<DetState, f64> = HashMap::new();
+            let mut with_facts: BTreeMap<DetState, f64> = BTreeMap::new();
             for (states, &p) in &dist {
                 for mask in 0..(1u64 << facts.len()) {
                     let mut weight = 1.0;

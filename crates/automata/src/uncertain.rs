@@ -21,7 +21,7 @@
 //!   algorithm behind the local-uncertainty tractability and Theorem 1.
 
 use crate::bta::BottomUpTreeAutomaton;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use stuc_circuit::circuit::{Circuit, CircuitError, GateId, VarId};
 use stuc_circuit::weights::Weights;
 
@@ -319,10 +319,11 @@ impl UncertainTree {
             weights.weight(v, true)?;
         }
         // distributions[node]: map from reachable-state-set to probability.
-        let mut distributions: Vec<HashMap<Vec<usize>, f64>> = Vec::with_capacity(self.nodes.len());
+        let mut distributions: Vec<BTreeMap<Vec<usize>, f64>> =
+            Vec::with_capacity(self.nodes.len());
 
         for node in &self.nodes {
-            let mut dist: HashMap<Vec<usize>, f64> = HashMap::new();
+            let mut dist: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
             // Enumerate local valuations with their probabilities.
             for mask in 0..(1usize << node.variables.len()) {
                 let mut local_probability = 1.0;

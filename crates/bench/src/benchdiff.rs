@@ -1,0 +1,697 @@
+//! Bench-trajectory parsing and regression gating — the library behind the
+//! `stuc-benchdiff` binary.
+//!
+//! The committed `BENCH_*.json` files are JSON-lines append logs: every CI
+//! run (or curated local run) appends one row per `(suite, case)` with the
+//! numbers that run measured. That makes each file a *trajectory* — and a
+//! trajectory is checkable: the newest row of a case should not be much
+//! worse than the best the case has ever been. This module parses the rows
+//! (hand-rolled JSON scanner; the container is offline and the workspace
+//! takes no new dependencies), validates them against the row schema, and
+//! applies the regression gate:
+//!
+//! * `best_ns` rows (lower is better): newest vs. the minimum of all prior
+//!   rows of the same case; regression when `newest > best * (1 + tol)`.
+//! * `rate_per_sec` rows (higher is better): newest vs. the maximum prior;
+//!   regression when `newest < best * (1 - tol)`.
+//! * count-only and histogram rows are validated but not gated — they
+//!   record workload shape (rejection counts, latency buckets), not speed.
+//!
+//! The default tolerance is 25%: generous enough for shared-runner noise on
+//! the committed trajectories, tight enough to catch a real pessimization.
+//! Cases with a single row pass vacuously (nothing to compare).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default regression tolerance: newest may be up to 25% worse than the
+/// best prior measurement before the gate trips.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (objects, arrays, strings, numbers, bools)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64` — every bench number fits
+/// (nanosecond counts stay below 2^53 by ~3 months of wall time).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source key order (bench rows never repeat keys).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON value from `text` (trailing whitespace allowed,
+/// anything else is an error).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::String(key) => key,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::String(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex =
+                                    std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (bytes is valid UTF-8:
+                        // it came from a &str).
+                        let rest = std::str::from_utf8(&bytes[*pos..]).expect("input was a str");
+                        let c = rest.chars().next().expect("non-empty by the match");
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("not a number: {text:?}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Row schema
+// ---------------------------------------------------------------------------
+
+/// One validated bench row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Suite tag (`"a2"`, `"a7"`, …).
+    pub suite: String,
+    /// Case name, unique within a suite per run.
+    pub case: String,
+    /// Best-of-N wall time in nanoseconds (timing rows).
+    pub best_ns: Option<u64>,
+    /// Throughput in operations per second (rate rows).
+    pub rate_per_sec: Option<f64>,
+    /// An event count (count rows and histogram rows).
+    pub count: Option<u64>,
+    /// Speedup factor vs. the row's designated baseline, informational.
+    pub speedup_vs_baseline: Option<f64>,
+    /// 1-based line number in its source file, for error messages.
+    pub line: usize,
+}
+
+/// Every key the row schema knows. Anything else is a schema error — the
+/// row logs are an interface, and typos silently dropping a measurement
+/// are exactly what `--validate` exists to catch.
+const KNOWN_KEYS: &[&str] = &[
+    "suite",
+    "case",
+    "best_ns",
+    "rate_per_sec",
+    "count",
+    "speedup_vs_baseline",
+    "p50_ns",
+    "p90_ns",
+    "p99_ns",
+    "buckets",
+];
+
+fn non_negative_int(row: &Json, key: &str) -> Result<Option<u64>, String> {
+    match row.get(key) {
+        None => Ok(None),
+        Some(value) => {
+            let n = value
+                .as_f64()
+                .ok_or_else(|| format!("{key} must be a number"))?;
+            if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+                return Err(format!("{key} must be a non-negative integer, got {n}"));
+            }
+            Ok(Some(n as u64))
+        }
+    }
+}
+
+/// Validates one parsed line against the row schema.
+pub fn validate_row(value: &Json, line: usize) -> Result<BenchRow, String> {
+    let Json::Object(members) = value else {
+        return Err("row must be a JSON object".into());
+    };
+    for (key, _) in members {
+        if !KNOWN_KEYS.contains(&key.as_str()) {
+            return Err(format!("unknown key {key:?}"));
+        }
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for (key, _) in members {
+        if seen.contains(&key.as_str()) {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        seen.push(key);
+    }
+    let suite = value
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("missing string key \"suite\"")?
+        .to_string();
+    let case = value
+        .get("case")
+        .and_then(Json::as_str)
+        .ok_or("missing string key \"case\"")?
+        .to_string();
+    if suite.is_empty() || case.is_empty() {
+        return Err("suite and case must be non-empty".into());
+    }
+    let best_ns = non_negative_int(value, "best_ns")?;
+    let count = non_negative_int(value, "count")?;
+    let rate_per_sec = match value.get("rate_per_sec") {
+        None => None,
+        Some(rate) => {
+            let rate = rate.as_f64().ok_or("rate_per_sec must be a number")?;
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(format!("rate_per_sec must be finite and >= 0, got {rate}"));
+            }
+            Some(rate)
+        }
+    };
+    let speedup_vs_baseline = match value.get("speedup_vs_baseline") {
+        None => None,
+        Some(speedup) => {
+            let speedup = speedup
+                .as_f64()
+                .ok_or("speedup_vs_baseline must be a number")?;
+            if !(speedup.is_finite() && speedup > 0.0) {
+                return Err(format!(
+                    "speedup_vs_baseline must be finite and > 0, got {speedup}"
+                ));
+            }
+            Some(speedup)
+        }
+    };
+    // Percentile fields: valid standalone (stuc-loadgen logs exact tail
+    // latencies that way) or alongside a histogram's count + buckets.
+    // Informational either way — tail latency under load is too noisy on
+    // shared runners to gate at a fixed tolerance.
+    let mut has_percentile = false;
+    for pct in ["p50_ns", "p90_ns", "p99_ns"] {
+        if value.get(pct).is_some() {
+            non_negative_int(value, pct)?;
+            has_percentile = true;
+        }
+    }
+    if best_ns.is_none() && count.is_none() && !has_percentile {
+        return Err("row carries no measurement (best_ns, count, or a percentile)".into());
+    }
+    // Histogram bucket arrays must be cumulative: counts non-decreasing,
+    // bounds strictly increasing.
+    if let Some(buckets) = value.get("buckets") {
+        let Json::Array(buckets) = buckets else {
+            return Err("buckets must be an array".into());
+        };
+        let mut last_le = None;
+        let mut last_count = None;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let le = non_negative_int(bucket, "le_ns")?
+                .ok_or_else(|| format!("bucket {i} lacks le_ns"))?;
+            let bucket_count = non_negative_int(bucket, "count")?
+                .ok_or_else(|| format!("bucket {i} lacks count"))?;
+            if let Json::Object(members) = bucket {
+                if members.len() != 2 {
+                    return Err(format!("bucket {i} has extra keys"));
+                }
+            }
+            if last_le.is_some_and(|prev| le <= prev) {
+                return Err(format!("bucket {i} bound {le} not increasing"));
+            }
+            if last_count.is_some_and(|prev| bucket_count < prev) {
+                return Err(format!("bucket {i} count {bucket_count} decreasing"));
+            }
+            last_le = Some(le);
+            last_count = Some(bucket_count);
+        }
+    }
+    Ok(BenchRow {
+        suite,
+        case,
+        best_ns,
+        rate_per_sec,
+        count,
+        speedup_vs_baseline,
+        line,
+    })
+}
+
+/// Parses and validates a whole JSON-lines file. Blank lines are allowed;
+/// every error is reported with its line number, and one bad line does not
+/// hide the rest.
+pub fn parse_rows(text: &str) -> (Vec<BenchRow>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_json(line).and_then(|value| validate_row(&value, line_no)) {
+            Ok(row) => rows.push(row),
+            Err(error) => errors.push(format!("line {line_no}: {error}")),
+        }
+    }
+    (rows, errors)
+}
+
+// ---------------------------------------------------------------------------
+// The regression gate
+// ---------------------------------------------------------------------------
+
+/// The verdict for one `(suite, case)` trajectory with at least two
+/// comparable measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDiff {
+    /// Suite tag.
+    pub suite: String,
+    /// Case name.
+    pub case: String,
+    /// What was compared: `"best_ns"` or `"rate_per_sec"`.
+    pub metric: &'static str,
+    /// The best prior measurement (min ns / max rate).
+    pub best_prior: f64,
+    /// The newest measurement.
+    pub newest: f64,
+    /// Signed relative change, positive = worse (slower / lower rate).
+    pub ratio_worse: f64,
+    /// `ratio_worse > tolerance`.
+    pub regressed: bool,
+}
+
+/// Compares every case's newest measurement against its best prior one.
+/// Cases with fewer than two rows of a metric are skipped (no trajectory
+/// yet). Rows are assumed to be in append order, as `parse_rows` returns
+/// them.
+pub fn diff_rows(rows: &[BenchRow], tolerance: f64) -> Vec<CaseDiff> {
+    // (suite, case) → ordered best_ns / rate trajectories.
+    let mut times: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    let mut rates: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+    for row in rows {
+        let key = (row.suite.clone(), row.case.clone());
+        if let Some(ns) = row.best_ns {
+            times.entry(key.clone()).or_default().push(ns as f64);
+        }
+        if let Some(rate) = row.rate_per_sec {
+            rates.entry(key).or_default().push(rate);
+        }
+    }
+    let mut diffs = Vec::new();
+    for ((suite, case), trajectory) in &times {
+        if trajectory.len() < 2 {
+            continue;
+        }
+        let newest = *trajectory.last().expect("len >= 2");
+        let best_prior = trajectory[..trajectory.len() - 1]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        // Lower is better; guard the all-zero case (0 → 0 is no change).
+        let ratio_worse = if best_prior > 0.0 {
+            newest / best_prior - 1.0
+        } else if newest > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        diffs.push(CaseDiff {
+            suite: suite.clone(),
+            case: case.clone(),
+            metric: "best_ns",
+            best_prior,
+            newest,
+            ratio_worse,
+            regressed: ratio_worse > tolerance,
+        });
+    }
+    for ((suite, case), trajectory) in &rates {
+        if trajectory.len() < 2 {
+            continue;
+        }
+        let newest = *trajectory.last().expect("len >= 2");
+        let best_prior = trajectory[..trajectory.len() - 1]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Higher is better.
+        let ratio_worse = if best_prior > 0.0 {
+            1.0 - newest / best_prior
+        } else {
+            0.0
+        };
+        diffs.push(CaseDiff {
+            suite: suite.clone(),
+            case: case.clone(),
+            metric: "rate_per_sec",
+            best_prior,
+            newest,
+            ratio_worse,
+            regressed: ratio_worse > tolerance,
+        });
+    }
+    diffs
+}
+
+/// Renders the diff table: one aligned line per compared case, regressions
+/// marked, sorted worst-first within each metric.
+pub fn render_table(diffs: &[CaseDiff], tolerance: f64) -> String {
+    let mut sorted: Vec<&CaseDiff> = diffs.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.ratio_worse
+            .partial_cmp(&a.ratio_worse)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let case_width = sorted
+        .iter()
+        .map(|d| d.suite.len() + d.case.len() + 1)
+        .chain(std::iter::once("suite/case".len()))
+        .max()
+        .unwrap_or(10);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<case_width$}  {:>12}  {:>14}  {:>14}  {:>8}  verdict",
+        "suite/case", "metric", "best prior", "newest", "change"
+    );
+    for diff in sorted {
+        let name = format!("{}/{}", diff.suite, diff.case);
+        let (prior, newest) = match diff.metric {
+            "best_ns" => (
+                format!("{} ns", diff.best_prior as u64),
+                format!("{} ns", diff.newest as u64),
+            ),
+            _ => (
+                format!("{:.1}/s", diff.best_prior),
+                format!("{:.1}/s", diff.newest),
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{:<case_width$}  {:>12}  {:>14}  {:>14}  {:>+7.1}%  {}",
+            name,
+            diff.metric,
+            prior,
+            newest,
+            diff.ratio_worse * 100.0,
+            if diff.regressed { "REGRESSION" } else { "ok" }
+        );
+    }
+    let regressions = diffs.iter().filter(|d| d.regressed).count();
+    let _ = writeln!(
+        out,
+        "{} case(s) compared, {} regression(s) beyond {:.0}%",
+        diffs.len(),
+        regressions,
+        tolerance * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed_bench_files() -> Vec<std::path::PathBuf> {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let mut files: Vec<_> = std::fs::read_dir(&root)
+            .expect("repo root listable")
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn every_committed_trajectory_parses_validates_and_passes_the_gate() {
+        let files = committed_bench_files();
+        assert!(!files.is_empty(), "no BENCH_*.json at the repo root");
+        for path in files {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let (rows, errors) = parse_rows(&text);
+            assert!(errors.is_empty(), "{}: {errors:?}", path.display());
+            assert!(!rows.is_empty(), "{}: no rows", path.display());
+            let diffs = diff_rows(&rows, DEFAULT_TOLERANCE);
+            let regressed: Vec<_> = diffs.iter().filter(|d| d.regressed).collect();
+            assert!(
+                regressed.is_empty(),
+                "{}: committed trajectory regresses: {regressed:?}",
+                path.display()
+            );
+        }
+    }
+
+    #[test]
+    fn an_injected_regression_trips_the_gate_and_shows_in_the_table() {
+        let log = r#"{"suite":"x","case":"sweep","best_ns":1000}
+{"suite":"x","case":"sweep","best_ns":900}
+{"suite":"x","case":"sweep","best_ns":1200}
+{"suite":"x","case":"steady","best_ns":500}
+{"suite":"x","case":"steady","best_ns":510}
+"#;
+        let (rows, errors) = parse_rows(log);
+        assert!(errors.is_empty(), "{errors:?}");
+        let diffs = diff_rows(&rows, DEFAULT_TOLERANCE);
+        // sweep: newest 1200 vs best prior 900 → +33% → regression.
+        let sweep = diffs
+            .iter()
+            .find(|d| d.case == "sweep")
+            .expect("sweep compared");
+        assert!(sweep.regressed, "{sweep:?}");
+        assert!((sweep.ratio_worse - 1.0 / 3.0).abs() < 1e-9);
+        // steady: +2% → fine.
+        let steady = diffs
+            .iter()
+            .find(|d| d.case == "steady")
+            .expect("steady compared");
+        assert!(!steady.regressed, "{steady:?}");
+        let table = render_table(&diffs, DEFAULT_TOLERANCE);
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("x/sweep"), "{table}");
+        assert!(table.contains("1 regression(s) beyond 25%"), "{table}");
+    }
+
+    #[test]
+    fn a_throughput_drop_is_a_regression_a_latency_drop_is_not() {
+        let log = r#"{"suite":"x","case":"rate","best_ns":100,"rate_per_sec":1000.0}
+{"suite":"x","case":"rate","best_ns":100,"rate_per_sec":600.0}
+"#;
+        let (rows, errors) = parse_rows(log);
+        assert!(errors.is_empty(), "{errors:?}");
+        let diffs = diff_rows(&rows, DEFAULT_TOLERANCE);
+        let rate = diffs
+            .iter()
+            .find(|d| d.metric == "rate_per_sec")
+            .expect("rate compared");
+        assert!(rate.regressed, "rate 1000 → 600 is a 40% drop: {rate:?}");
+        let time = diffs
+            .iter()
+            .find(|d| d.metric == "best_ns")
+            .expect("time compared");
+        assert!(!time.regressed, "{time:?}");
+    }
+
+    #[test]
+    fn single_row_cases_pass_vacuously() {
+        let (rows, errors) = parse_rows(r#"{"suite":"x","case":"only","best_ns":5}"#);
+        assert!(errors.is_empty());
+        assert!(diff_rows(&rows, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_rows_with_line_numbers() {
+        let log = r#"{"suite":"x","case":"ok","best_ns":5}
+{"suite":"x","best_ns":5}
+{"suite":"x","case":"neg","best_ns":-1}
+{"suite":"x","case":"none"}
+{"suite":"x","case":"typo","best_nanos":5}
+not json at all
+{"suite":"x","case":"frac","best_ns":1.5}
+"#;
+        let (rows, errors) = parse_rows(log);
+        assert_eq!(rows.len(), 1, "only the first row is valid");
+        assert_eq!(errors.len(), 6, "{errors:?}");
+        assert!(errors[0].starts_with("line 2: missing string key \"case\""));
+        assert!(errors[1].contains("non-negative integer"));
+        assert!(errors[2].contains("no measurement"));
+        assert!(errors[3].contains("unknown key \"best_nanos\""));
+        assert!(errors[4].starts_with("line 6:"));
+        assert!(errors[5].contains("non-negative integer"));
+    }
+
+    #[test]
+    fn histogram_rows_validate_their_buckets() {
+        let good = r#"{"suite":"x","case":"h","count":10,"p50_ns":5,"buckets":[{"le_ns":1,"count":2},{"le_ns":2,"count":10}]}"#;
+        let (rows, errors) = parse_rows(good);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(rows[0].count, Some(10));
+
+        let decreasing = r#"{"suite":"x","case":"h","count":10,"buckets":[{"le_ns":1,"count":5},{"le_ns":2,"count":3}]}"#;
+        let (_, errors) = parse_rows(decreasing);
+        assert!(errors[0].contains("decreasing"), "{errors:?}");
+
+        let unordered = r#"{"suite":"x","case":"h","count":10,"buckets":[{"le_ns":5,"count":1},{"le_ns":2,"count":3}]}"#;
+        let (_, errors) = parse_rows(unordered);
+        assert!(errors[0].contains("not increasing"), "{errors:?}");
+    }
+}

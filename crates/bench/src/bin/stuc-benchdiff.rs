@@ -1,0 +1,116 @@
+//! `stuc-benchdiff` — the bench-trajectory regression gate.
+//!
+//! The committed `BENCH_*.json` files are JSON-lines append logs of bench
+//! measurements. This tool parses them, validates every row against the
+//! schema, and compares each case's newest measurement with the best one
+//! seen earlier in its trajectory:
+//!
+//! ```text
+//! stuc-benchdiff                      # gate BENCH_*.json in the cwd
+//! stuc-benchdiff --threshold 10 ...   # tighten the tolerance to 10%
+//! stuc-benchdiff --validate ...       # schema-check only, no gate
+//! stuc-benchdiff BENCH_a2.json        # explicit files
+//! ```
+//!
+//! Exit status: 0 clean, 1 a case regressed beyond the tolerance, 2 a file
+//! was unreadable or a row failed validation.
+
+use std::process::ExitCode;
+
+use stuc_bench::benchdiff::{diff_rows, parse_rows, render_table, BenchRow, DEFAULT_TOLERANCE};
+
+const USAGE: &str = "usage: stuc-benchdiff [--threshold PCT] [--validate] [FILES...]\n\
+  --threshold PCT  regression tolerance in percent (default 25)\n\
+  --validate       schema-check the rows and stop (no regression gate)\n\
+  FILES            JSON-lines bench logs (default: BENCH_*.json in the cwd)";
+
+fn default_files() -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut validate_only = false;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--validate" => validate_only = true,
+            "--threshold" => {
+                let Some(pct) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("error: --threshold needs a number (percent)\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if !(pct.is_finite() && pct >= 0.0) {
+                    eprintln!("error: --threshold must be finite and >= 0");
+                    return ExitCode::from(2);
+                }
+                tolerance = pct / 100.0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        files = default_files();
+    }
+    if files.is_empty() {
+        eprintln!("error: no BENCH_*.json files found (pass paths explicitly)\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut all_rows: Vec<BenchRow> = Vec::new();
+    let mut invalid = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("error: {file}: {error}");
+                invalid = true;
+                continue;
+            }
+        };
+        let (rows, errors) = parse_rows(&text);
+        for error in &errors {
+            eprintln!("error: {file}: {error}");
+        }
+        invalid |= !errors.is_empty();
+        println!("{file}: {} row(s), {} error(s)", rows.len(), errors.len());
+        all_rows.extend(rows);
+    }
+    if invalid {
+        return ExitCode::from(2);
+    }
+    if validate_only {
+        println!(
+            "{} row(s) validated across {} file(s)",
+            all_rows.len(),
+            files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let diffs = diff_rows(&all_rows, tolerance);
+    print!("{}", render_table(&diffs, tolerance));
+    if diffs.iter().any(|diff| diff.regressed) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -37,7 +37,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use stuc_bench::{report_value, BenchSummary};
+use stuc_bench::{report_value, BenchSummary, Quantile};
 use stuc_core::serve::{ServeConfig, Server, ServiceState};
 use stuc_core::Engine;
 use stuc_obs::metrics::Histogram;
@@ -489,9 +489,21 @@ fn main() {
             outcome.ok as f64 / outcome.wall.as_secs_f64().max(f64::MIN_POSITIVE)
         ),
     );
-    summary.record(&format!("serve_p50_latency_{connections}conns"), p50);
-    summary.record(&format!("serve_p90_latency_{connections}conns"), p90);
-    summary.record(&format!("serve_p99_latency_{connections}conns"), p99);
+    summary.record_percentile(
+        &format!("serve_p50_latency_{connections}conns"),
+        Quantile::P50,
+        p50,
+    );
+    summary.record_percentile(
+        &format!("serve_p90_latency_{connections}conns"),
+        Quantile::P90,
+        p90,
+    );
+    summary.record_percentile(
+        &format!("serve_p99_latency_{connections}conns"),
+        Quantile::P99,
+        p99,
+    );
     summary.record_rate(
         &format!("serve_throughput_{connections}conns"),
         outcome.ok,

@@ -11,6 +11,8 @@
 use criterion::Criterion;
 use std::time::Duration;
 
+pub mod benchdiff;
+
 /// The Criterion configuration shared by every STUC bench: few samples,
 /// short measurement windows, no plots.
 pub fn criterion_config() -> Criterion {
@@ -39,6 +41,29 @@ pub fn timed<R>(runs: usize, mut f: impl FnMut() -> R) -> Duration {
         best = best.min(started.elapsed());
     }
     best
+}
+
+/// The latency percentiles [`BenchSummary::record_percentile`] can log,
+/// each mapped to its row key in the `BENCH_*.json` schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantile {
+    /// Median — `"p50_ns"`.
+    P50,
+    /// 90th percentile — `"p90_ns"`.
+    P90,
+    /// 99th percentile — `"p99_ns"`.
+    P99,
+}
+
+impl Quantile {
+    /// The JSON key this quantile is written under.
+    pub fn key(self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50_ns",
+            Quantile::P90 => "p90_ns",
+            Quantile::P99 => "p99_ns",
+        }
+    }
 }
 
 /// Machine-readable benchmark summary, appended to `BENCH_<suite>.json` so
@@ -119,6 +144,21 @@ impl BenchSummary {
             nanos(histogram.quantile(0.90)),
             nanos(histogram.quantile(0.99)),
             buckets.join(",")
+        ));
+    }
+
+    /// Records one exact latency percentile (`{"suite","case","p90_ns"}`).
+    /// Distinct from [`record`](Self::record): a tail percentile under load
+    /// is a distribution statistic, not a best-of-N time, so `stuc-benchdiff`
+    /// tracks it without gating it — shared-runner tail noise routinely
+    /// exceeds any tolerance tight enough to catch real regressions.
+    pub fn record_percentile(&mut self, case: &str, quantile: Quantile, value: Duration) {
+        self.lines.push(format!(
+            "{{\"suite\":\"{}\",\"case\":\"{}\",\"{}\":{}}}",
+            json_escape(&self.suite),
+            json_escape(case),
+            quantile.key(),
+            value.as_nanos()
         ));
     }
 

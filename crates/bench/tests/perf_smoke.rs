@@ -289,6 +289,55 @@ fn observability_overhead_stays_within_the_bars() {
     );
 }
 
+/// The sampling profiler must be close to free for the profiled process.
+/// On the warm a2 sweep (cached lineage, pure counting):
+///
+/// * with the profiler **enabled** (span-stack shadow maintained) and a
+///   live sampler thread reading it at the default 99 Hz, the evaluate
+///   loop stays within 5% of the profiler-disabled baseline;
+/// * the answers are bit-identical either way — sampling only *reads*.
+#[test]
+fn profiler_overhead_stays_within_the_bar() {
+    use stuc_obs::profile;
+    let engine = Engine::new();
+    let tid = workloads::path_tid(80, 0.5, 13);
+    let query = ConjunctiveQuery::parse("R(x, y), R(y, z)").unwrap();
+    engine.evaluate(&tid, &query).unwrap(); // compile + cache the lineage
+
+    profile::set_enabled(true);
+    let profiled_p = engine.evaluate(&tid, &query).unwrap().probability;
+    profile::set_enabled(false);
+    let plain_p = engine.evaluate(&tid, &query).unwrap().probability;
+    assert_eq!(profiled_p.to_bits(), plain_p.to_bits());
+
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping the 5% profiler overhead bar (run in release)");
+        return;
+    }
+
+    let loop_once = || {
+        (0..64)
+            .map(|_| engine.evaluate(&tid, &query).unwrap().probability)
+            .sum::<f64>()
+    };
+    let baseline = timed(10, loop_once);
+    profile::set_enabled(true);
+    let sampler = profile::Sampler::start(profile::default_hz());
+    let profiled = timed(10, loop_once);
+    let report = sampler.stop();
+    profile::set_enabled(false);
+    let ratio = profiled.as_secs_f64() / baseline.as_secs_f64().max(f64::MIN_POSITIVE);
+    assert!(
+        ratio <= 1.05,
+        "profiled evaluation must stay within 5% of the disabled baseline \
+         ({baseline:?} -> {profiled:?}, {ratio:.3}x)"
+    );
+    assert!(
+        report.total_samples > 0,
+        "the sampler must actually have taken samples while the loop ran"
+    );
+}
+
 /// Budget checkpoints must be close to free: on the warm a2 workload under
 /// a far-away deadline (every checkpoint pays a real `Instant::now` poll),
 /// the wall time spent *inside* the polls — as reported by the engine's

@@ -387,6 +387,13 @@ impl SweepPlan {
         self.slot_count
     }
 
+    /// Total dense table entries across every node of the sweep (the sum of
+    /// `1 << |bag|`) — the work one single-lane sweep performs, and the
+    /// number EXPLAIN reports as the plan's table volume.
+    pub fn table_entry_count(&self) -> usize {
+        self.nodes.iter().map(|node| node.table_len).sum()
+    }
+
     /// Resolves `weights` into the dense `[w_false, w_true]`-per-slot slab,
     /// laid out lane-major: `slab[(slot * 2 + value) * lanes + lane]`.
     fn fill_slab(

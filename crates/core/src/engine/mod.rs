@@ -77,6 +77,7 @@ pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod error;
+pub mod explain;
 pub(crate) mod metrics;
 pub mod report;
 pub mod representation;
@@ -88,6 +89,10 @@ pub use backend::{
 };
 pub use cache::{CacheCounters, EngineCacheStats};
 pub use error::StucError;
+pub use explain::{
+    CacheExplanation, CacheSideExplanation, CircuitExplanation, ExplainOutcome, QueryExplanation,
+    RouteExplanation, SafePlanEligibility, SweepPlanStats,
+};
 pub use report::{BackendKind, BackendPolicy, BatchReport, EvaluationReport};
 pub use representation::{ExtensionalInput, LineageOutcome, ReprKind, Representation};
 pub use stuc_fault::{BudgetError, CancelHandle, EvalBudget};
@@ -471,15 +476,18 @@ impl Engine {
         let watch = Stopwatch::start();
         let result = self.evaluate_inner(representation, query, None);
         engine_metrics().evaluate.observe(&result, watch.elapsed());
-        if let Ok(report) = &result {
-            slowlog::global().note("evaluate", report.wall_time, report.trace_id, || {
-                format!(
-                    "backend={} gates={} facts={}",
-                    report.backend.name(),
-                    report.circuit_gates,
-                    report.fact_count
-                )
-            });
+        match &result {
+            Ok(report) => {
+                slowlog::global().note("evaluate", report.wall_time, report.trace_id, || {
+                    format!(
+                        "backend={} gates={} facts={}",
+                        report.backend.name(),
+                        report.circuit_gates,
+                        report.fact_count
+                    )
+                });
+            }
+            Err(err) => note_eval_failure("evaluate", err, watch.elapsed()),
         }
         result
     }
@@ -1350,9 +1358,25 @@ pub(crate) fn catch_panic<T>(f: impl FnOnce() -> Result<T, StucError>) -> Result
             } else {
                 "non-string panic payload".to_string()
             };
+            slowlog::global()
+                .note_failure("evaluate", "panic", Duration::ZERO, 0, || message.clone());
             Err(StucError::Internal { message })
         }
     }
+}
+
+/// Report a failed evaluation to the slow log: deadline trips, cancellations
+/// and caught panics are outliers regardless of how quickly they died, so
+/// `GET /debug/slow` should show them next to the slow successes. Other
+/// error kinds (parse errors, unsafe queries…) are ordinary outcomes and are
+/// not logged.
+pub(crate) fn note_eval_failure(what: &'static str, err: &StucError, wall: Duration) {
+    let (outcome, stage) = match err {
+        StucError::DeadlineExceeded { stage } => ("deadline-exceeded", *stage),
+        StucError::Cancelled { stage } => ("cancelled", *stage),
+        _ => return,
+    };
+    slowlog::global().note_failure(what, outcome, wall, 0, || format!("stage={stage}"));
 }
 
 #[cfg(test)]

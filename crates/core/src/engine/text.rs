@@ -97,15 +97,18 @@ impl Engine {
         engine_metrics()
             .evaluate_text
             .observe(&result, watch.elapsed());
-        if let Ok(outcome) = &result {
-            for goal in &outcome.goals {
-                slowlog::global().note(
-                    "evaluate_text",
-                    goal.report.wall_time,
-                    goal.report.trace_id,
-                    || goal.source.clone(),
-                );
+        match &result {
+            Ok(outcome) => {
+                for goal in &outcome.goals {
+                    slowlog::global().note(
+                        "evaluate_text",
+                        goal.report.wall_time,
+                        goal.report.trace_id,
+                        || goal.source.clone(),
+                    );
+                }
             }
+            Err(err) => super::note_eval_failure("evaluate_text", err, watch.elapsed()),
         }
         result
     }
@@ -355,7 +358,7 @@ impl Engine {
 
 /// A deterministic, float-free one-liner describing what lowering did —
 /// golden-output friendly for the REPL.
-fn lowering_note(lowered: &LoweredGoal) -> String {
+pub(crate) fn lowering_note(lowered: &LoweredGoal) -> String {
     let mut parts = vec![format!(
         "lowered to {} inclusion-exclusion term(s) over {} conjunct(s)",
         lowered.terms.len(),

@@ -235,7 +235,8 @@ impl ServiceState {
         match (request.method.as_str(), path) {
             ("POST", "/query") => {
                 let timings = params.split('&').any(|p| p == "timings=1");
-                self.respond_query(&request.body, timings)
+                let explain = params.split('&').any(|p| p == "explain=1");
+                self.respond_query(&request.body, timings, explain)
             }
             ("GET", "/health") => Response::json(
                 200,
@@ -247,6 +248,7 @@ impl ServiceState {
             ),
             ("GET", "/metrics") => Response::text(200, registry().render_prometheus()),
             ("GET", "/debug/slow") => respond_slow(),
+            ("GET", "/debug/profile") => respond_profile(params),
             (method, path) => Response::error(
                 404,
                 "not-found",
@@ -255,7 +257,7 @@ impl ServiceState {
         }
     }
 
-    fn respond_query(&self, body: &str, timings: bool) -> Response {
+    fn respond_query(&self, body: &str, timings: bool, explain: bool) -> Response {
         let program = match parse_program(body) {
             Ok(program) => program,
             Err(error) => return Response::error(400, "parse", &error.to_string()),
@@ -320,11 +322,42 @@ impl ServiceState {
                             stages.join(",")
                         ));
                     }
+                    if explain {
+                        // The explanation runs *after* the evaluation, so
+                        // it sees the cache the run just warmed and agrees
+                        // with the report above on route/backend/width.
+                        // Its JSON is deterministic (no floats, no
+                        // timings), so it is part of the golden protocol.
+                        match self
+                            .engine
+                            .explain_goal(&self.instance, &query.goal, &rules)
+                        {
+                            Ok(explanation) => {
+                                fields.push_str(&format!(",\"explain\":{}", explanation.to_json()));
+                            }
+                            Err(error) => {
+                                fields.push_str(&format!(
+                                    ",\"explain_error\":\"{}\"",
+                                    escape_json(&error.to_string())
+                                ));
+                            }
+                        }
+                    }
                     fields.push('}');
                     results.push(fields);
                 }
                 Err(StucError::DeadlineExceeded { stage }) => {
                     engine_metrics().deadline_exceeded.inc();
+                    // Failed evaluations are outliers by definition:
+                    // retained past the threshold, tagged with the stage
+                    // that noticed the trip.
+                    slowlog::global().note_failure(
+                        "serve-query",
+                        "deadline-exceeded",
+                        Duration::ZERO,
+                        trace_id,
+                        || format!("{}: stage={stage}", query.goal),
+                    );
                     return Response::error(
                         504,
                         "deadline",
@@ -333,6 +366,13 @@ impl ServiceState {
                 }
                 Err(StucError::Cancelled { stage }) => {
                     engine_metrics().cancelled.inc();
+                    slowlog::global().note_failure(
+                        "serve-query",
+                        "cancelled",
+                        Duration::ZERO,
+                        trace_id,
+                        || format!("{}: stage={stage}", query.goal),
+                    );
                     return Response::error(
                         504,
                         "cancelled",
@@ -342,9 +382,13 @@ impl ServiceState {
                 Err(StucError::Internal { message }) => {
                     // Panics land in the slow log with the goal that caused
                     // them: `/debug/slow` is the operator's first stop.
-                    slowlog::global().note("serve-panic", Duration::ZERO, trace_id, || {
-                        format!("{}: {message}", query.goal)
-                    });
+                    slowlog::global().note_failure(
+                        "serve-query",
+                        "panic",
+                        Duration::ZERO,
+                        trace_id,
+                        || format!("{}: {message}", query.goal),
+                    );
                     return Response::error(500, "internal", &message);
                 }
                 Err(error) => {
@@ -370,9 +414,10 @@ fn respond_slow() -> Response {
         .iter()
         .map(|entry| {
             format!(
-                "{{\"seq\":{},\"what\":\"{}\",\"trace_id\":{},\"wall_micros\":{},\"detail\":\"{}\"}}",
+                "{{\"seq\":{},\"what\":\"{}\",\"outcome\":\"{}\",\"trace_id\":{},\"wall_micros\":{},\"detail\":\"{}\"}}",
                 entry.seq,
                 escape_json(entry.what),
+                escape_json(entry.outcome),
                 entry.trace_id,
                 entry.wall.as_micros(),
                 escape_json(&entry.detail)
@@ -387,6 +432,47 @@ fn respond_slow() -> Response {
             entries.join(",")
         ),
     )
+}
+
+/// `GET /debug/profile?seconds=N&hz=H` — block this worker for `N`
+/// seconds sampling every registered thread's span-stack shadow, then
+/// return the aggregate as collapsed flamegraph stacks (`stack count`
+/// lines, `flamegraph.pl`/speedscope-compatible). Other workers keep
+/// serving queries while one samples.
+///
+/// Gated on the profiler being armed (`--profile-hz` on `stuc-serve`, or
+/// `stuc_obs::profile::set_enabled(true)` in-process): an unarmed process
+/// has no span shadows to sample, so the endpoint answers a typed `409`
+/// instead of returning 100% idle samples.
+fn respond_profile(params: &str) -> Response {
+    if !stuc_obs::profile::enabled() {
+        return Response::error(
+            409,
+            "profiling-disabled",
+            "the sampling profiler is off; start stuc-serve with --profile-hz N",
+        );
+    }
+    let mut seconds = 2.0f64;
+    let mut hz = stuc_obs::profile::default_hz();
+    for param in params.split('&') {
+        if let Some(value) = param.strip_prefix("seconds=") {
+            match value.parse::<f64>() {
+                Ok(s) if s.is_finite() && s > 0.0 => seconds = s,
+                _ => return Response::error(400, "profile", "seconds= needs a positive number"),
+            }
+        } else if let Some(value) = param.strip_prefix("hz=") {
+            match value.parse::<u32>() {
+                Ok(h) if h > 0 => hz = h,
+                _ => return Response::error(400, "profile", "hz= needs a positive integer"),
+            }
+        }
+    }
+    // Bound the worker-blocking window and the sampling rate: profiling is
+    // diagnostics, not a denial-of-service lever.
+    let seconds = seconds.min(60.0);
+    let hz = hz.min(1000);
+    let report = stuc_obs::profile::sample_for(Duration::from_secs_f64(seconds), hz);
+    Response::text(200, report.flamegraph_collapsed())
 }
 
 /// Lifetime counters of a running server, all atomics — cheap to bump on
@@ -804,6 +890,13 @@ fn handle_query(
         if Instant::now() >= deadline {
             stats.timed_out.fetch_add(1, Ordering::SeqCst);
             engine_metrics().deadline_exceeded.inc();
+            slowlog::global().note_failure(
+                "serve-queue",
+                "deadline-exceeded",
+                accepted_at.elapsed(),
+                0,
+                || "deadline expired while the request was queued".to_string(),
+            );
             return Response::error(
                 504,
                 "deadline",

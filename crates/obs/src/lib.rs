@@ -16,14 +16,19 @@
 //!   ([`StageTimings`]) are derived, so the two can never disagree.
 //!
 //! [`slowlog`] adds a threshold-gated, ring-buffered log of slow operations
-//! on top, served by `stuc-serve` under `GET /debug/slow`.
+//! on top, served by `stuc-serve` under `GET /debug/slow`, and [`profile`]
+//! adds a sampling wall-clock profiler: the span RAII mirrors the current
+//! stack into a lock-free per-thread shadow, and a background [`Sampler`]
+//! aggregates snapshots into collapsed-stack flamegraph text.
 
 pub mod metrics;
+pub mod profile;
 pub mod slowlog;
 pub mod timer;
 pub mod trace;
 
 pub use metrics::{registry, Counter, Gauge, Histogram, MetricReading, MetricValue, Registry};
+pub use profile::{ProfileReport, Sampler};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use timer::{next_trace_id, Stage, StageRecorder, StageTimings, Stopwatch};
 pub use trace::SpanGuard;

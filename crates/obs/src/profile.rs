@@ -1,0 +1,460 @@
+//! Sampling wall-clock profiler: a lock-free per-thread shadow of the span
+//! stack, a background sampler thread, and collapsed-stack ("flamegraph")
+//! aggregation — zero dependencies, like the rest of this crate.
+//!
+//! # Design
+//!
+//! The tracer in [`crate::trace`] already brackets every interesting region
+//! with a RAII span guard. Profiling piggybacks on those call sites: when
+//! profiling is enabled, opening a span pushes one frame onto this module's
+//! [`SpanStack`] — a fixed-depth array the owning thread writes and the
+//! sampler thread reads without any lock. Closing the span pops it.
+//!
+//! A frame is a single `AtomicU32` holding an *intern id* rather than the
+//! `&'static str` itself: a `&str` is a two-word fat pointer and cannot be
+//! read atomically, so a concurrent sampler could observe the pointer of one
+//! name with the length of another. Interning reduces each frame to one
+//! word; the id-to-name table only ever grows, so a sampled id is always
+//! valid (or zero, meaning "slot not yet written", which the sampler
+//! skips). The intern fast path is a thread-local pointer-keyed cache — no
+//! lock is taken after the first time a thread sees a given name.
+//!
+//! The sampler ([`Sampler::start`]) wakes `hz` times per second, snapshots
+//! every registered thread's stack, and counts identical stacks in a map.
+//! Reads are racy by design: a sample taken mid-push may see a stale or
+//! half-updated stack. For a statistical profiler that is one possibly
+//! misattributed sample, not a correctness problem — every observable value
+//! is a previously published id or zero.
+//!
+//! # Overhead policy
+//!
+//! Disabled (the default), a span costs one extra relaxed atomic load.
+//! Enabled, a push is a cache lookup plus two relaxed stores and one
+//! release store; a pop is one release store. The release bar in
+//! `perf_smoke` asserts the whole arrangement stays within 5% of the
+//! profiler-off baseline on the warm a2 sweep.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+/// Deepest span nesting the shadow stack records; deeper frames are
+/// truncated (the stack still balances — only the snapshot is capped).
+pub const MAX_DEPTH: usize = 32;
+
+/// Default sampling frequency, in samples per second per thread.
+pub const DEFAULT_HZ: u32 = 99;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn shadow-stack writes on or off process-wide. The sampler only sees
+/// stacks recorded while this was on; [`Sampler::start`] enables it
+/// automatically for the sampling window.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Are span open/close events currently mirrored to the shadow stacks?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static CONFIGURED_HZ: AtomicU32 = AtomicU32::new(DEFAULT_HZ);
+
+/// Set the process-wide default sampling rate (what `stuc-serve
+/// --profile-hz N` configures; `GET /debug/profile` uses it when the
+/// request names no `hz=`). Zero is coerced to [`DEFAULT_HZ`].
+pub fn set_default_hz(hz: u32) {
+    CONFIGURED_HZ.store(if hz == 0 { DEFAULT_HZ } else { hz }, Ordering::Relaxed);
+}
+
+/// The process-wide default sampling rate ([`DEFAULT_HZ`] unless
+/// [`set_default_hz`] changed it).
+pub fn default_hz() -> u32 {
+    CONFIGURED_HZ.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------------
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    /// Pointer-keyed cache: the same `&'static str` literal has a stable
+    /// address, so after the first lookup a thread never locks again.
+    static NAME_CACHE: RefCell<HashMap<usize, u32>> = RefCell::new(HashMap::new());
+}
+
+/// Intern a span name, returning its 1-based id (0 is reserved for "empty
+/// frame slot").
+fn intern(name: &'static str) -> u32 {
+    NAME_CACHE.with(|cache| {
+        let key = name.as_ptr() as usize;
+        if let Some(&id) = cache.borrow().get(&key) {
+            return id;
+        }
+        let mut table = names().lock().unwrap();
+        // Dedupe by content so equal names from different call sites merge
+        // in the flamegraph.
+        let id = match table.iter().position(|&n| n == name) {
+            Some(pos) => (pos + 1) as u32,
+            None => {
+                table.push(name);
+                table.len() as u32
+            }
+        };
+        drop(table);
+        cache.borrow_mut().insert(key, id);
+        id
+    })
+}
+
+/// Resolve an intern id back to its name (sampler side).
+fn resolve(id: u32) -> Option<&'static str> {
+    let table = names().lock().unwrap();
+    table.get((id as usize).checked_sub(1)?).copied()
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread shadow stacks
+// ---------------------------------------------------------------------------
+
+/// Lock-free shadow of one thread's span stack: `depth` frames of intern
+/// ids, written only by the owning thread, read by the sampler.
+pub struct SpanStack {
+    depth: AtomicUsize,
+    frames: [AtomicU32; MAX_DEPTH],
+}
+
+impl SpanStack {
+    fn new() -> Self {
+        Self {
+            depth: AtomicUsize::new(0),
+            frames: [const { AtomicU32::new(0) }; MAX_DEPTH],
+        }
+    }
+
+    fn push(&self, id: u32) {
+        let depth = self.depth.load(Ordering::Relaxed);
+        if depth < MAX_DEPTH {
+            self.frames[depth].store(id, Ordering::Relaxed);
+        }
+        // Publish the frame before the new depth becomes visible.
+        self.depth.store(depth + 1, Ordering::Release);
+    }
+
+    fn pop(&self) {
+        let depth = self.depth.load(Ordering::Relaxed);
+        self.depth.store(depth.saturating_sub(1), Ordering::Release);
+    }
+
+    /// Snapshot the current stack as intern ids, shallowest first. Empty
+    /// when the thread is idle (no open span).
+    fn snapshot(&self) -> Vec<u32> {
+        let depth = self.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+        let mut ids = Vec::with_capacity(depth);
+        for frame in &self.frames[..depth] {
+            let id = frame.load(Ordering::Relaxed);
+            if id != 0 {
+                ids.push(id);
+            }
+        }
+        ids
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Weak<SpanStack>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Weak<SpanStack>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static STACK: Arc<SpanStack> = {
+        let stack = Arc::new(SpanStack::new());
+        let mut threads = registry().lock().unwrap();
+        threads.retain(|weak| weak.strong_count() > 0);
+        threads.push(Arc::downgrade(&stack));
+        stack
+    };
+}
+
+/// Mirror a span open onto this thread's shadow stack. Called by the span
+/// RAII in [`crate::trace`]; returns `true` when a matching
+/// [`on_span_close`] is owed (so toggling mid-span never unbalances).
+pub(crate) fn on_span_open(name: &'static str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    let id = intern(name);
+    STACK.with(|stack| stack.push(id));
+    true
+}
+
+/// Mirror a span close; pairs with a `true` return from [`on_span_open`].
+pub(crate) fn on_span_close() {
+    STACK.with(|stack| stack.pop());
+}
+
+/// Number of live registered thread stacks (diagnostics and tests).
+pub fn registered_threads() -> usize {
+    let mut threads = registry().lock().unwrap();
+    threads.retain(|weak| weak.strong_count() > 0);
+    threads.len()
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+/// Aggregated result of one sampling window.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Collapsed stacks (`"outer;inner"`) to sample counts, sorted by
+    /// stack text — deterministic given the same sample multiset.
+    pub stacks: BTreeMap<String, u64>,
+    /// Per-thread snapshots taken, including idle (empty-stack) ones.
+    pub total_samples: u64,
+    /// Snapshots that found no open span on the thread.
+    pub idle_samples: u64,
+    /// Configured sampling frequency.
+    pub hz: u32,
+    /// Wall-clock length of the window.
+    pub duration: Duration,
+}
+
+impl ProfileReport {
+    /// Render in collapsed-stack format: one `stack count` line per
+    /// distinct stack, sorted, ready for `flamegraph.pl` / speedscope /
+    /// inferno. Idle samples are summarised in a trailing comment line so
+    /// the busy fraction can be read off the text alone.
+    pub fn flamegraph_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.stacks {
+            let _ = writeln!(out, "{stack} {count}");
+        }
+        let _ = writeln!(
+            out,
+            "# {} samples over {:?} at {} Hz ({} idle)",
+            self.total_samples, self.duration, self.hz, self.idle_samples
+        );
+        out
+    }
+}
+
+struct SamplerShared {
+    stop: AtomicBool,
+    counts: Mutex<HashMap<Vec<u32>, u64>>,
+    total: AtomicUsize,
+    idle: AtomicUsize,
+}
+
+/// A running background sampler. Stops (and restores the previous
+/// enabled-state) on [`Sampler::stop`] or drop.
+pub struct Sampler {
+    shared: Arc<SamplerShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    started: Instant,
+    hz: u32,
+    was_enabled: bool,
+}
+
+impl Sampler {
+    /// Spawn the background sampler thread at `hz` samples per second
+    /// (clamped to 1..=1000). Shadow-stack writes are enabled for the
+    /// lifetime of the sampler and restored to their prior state on stop.
+    pub fn start(hz: u32) -> Self {
+        let hz = hz.clamp(1, 1000);
+        let was_enabled = enabled();
+        set_enabled(true);
+        let shared = Arc::new(SamplerShared {
+            stop: AtomicBool::new(false),
+            counts: Mutex::new(HashMap::new()),
+            total: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+        });
+        let worker = Arc::clone(&shared);
+        let period = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+        let handle = std::thread::Builder::new()
+            .name("stuc-profiler".into())
+            .spawn(move || {
+                while !worker.stop.load(Ordering::Relaxed) {
+                    let stacks: Vec<Arc<SpanStack>> = {
+                        let mut threads = registry().lock().unwrap();
+                        threads.retain(|weak| weak.strong_count() > 0);
+                        threads.iter().filter_map(Weak::upgrade).collect()
+                    };
+                    let mut counts = worker.counts.lock().unwrap();
+                    for stack in stacks {
+                        let ids = stack.snapshot();
+                        worker.total.fetch_add(1, Ordering::Relaxed);
+                        if ids.is_empty() {
+                            worker.idle.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            *counts.entry(ids).or_insert(0) += 1;
+                        }
+                    }
+                    drop(counts);
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn stuc-profiler thread");
+        Self {
+            shared,
+            handle: Some(handle),
+            started: Instant::now(),
+            hz,
+            was_enabled,
+        }
+    }
+
+    /// Aggregate what has been collected so far without stopping.
+    pub fn snapshot(&self) -> ProfileReport {
+        let counts = self.shared.counts.lock().unwrap();
+        let mut stacks = BTreeMap::new();
+        for (ids, count) in counts.iter() {
+            let text: Vec<&str> = ids.iter().map(|&id| resolve(id).unwrap_or("?")).collect();
+            *stacks.entry(text.join(";")).or_insert(0) += count;
+        }
+        ProfileReport {
+            stacks,
+            total_samples: self.shared.total.load(Ordering::Relaxed) as u64,
+            idle_samples: self.shared.idle.load(Ordering::Relaxed) as u64,
+            hz: self.hz,
+            duration: self.started.elapsed(),
+        }
+    }
+
+    /// Stop the sampler thread and return the final aggregate.
+    pub fn stop(mut self) -> ProfileReport {
+        self.halt();
+        self.snapshot()
+    }
+
+    fn halt(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        set_enabled(self.was_enabled);
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.halt();
+        }
+    }
+}
+
+/// Convenience: sample for `duration` at `hz` and return the aggregate.
+/// Blocks the calling thread for the window.
+pub fn sample_for(duration: Duration, hz: u32) -> ProfileReport {
+    let sampler = Sampler::start(hz);
+    std::thread::sleep(duration);
+    sampler.stop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace;
+
+    /// The profiler state is process-global; tests that enable it
+    /// serialize on this lock.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn interning_dedupes_by_content_and_is_stable() {
+        let a = intern("profile-test-alpha");
+        let b = intern("profile-test-beta");
+        let a2 = intern("profile-test-alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(resolve(a), Some("profile-test-alpha"));
+        assert_eq!(resolve(0), None);
+    }
+
+    #[test]
+    fn shadow_stack_balances_and_truncates_past_max_depth() {
+        let stack = SpanStack::new();
+        for _ in 0..(MAX_DEPTH + 4) {
+            stack.push(intern("deep"));
+        }
+        assert_eq!(stack.snapshot().len(), MAX_DEPTH);
+        for _ in 0..(MAX_DEPTH + 4) {
+            stack.pop();
+        }
+        assert!(stack.snapshot().is_empty());
+        // Popping an already-empty stack saturates instead of wrapping.
+        stack.pop();
+        assert!(stack.snapshot().is_empty());
+    }
+
+    #[test]
+    fn sampler_sees_a_busy_thread_and_renders_collapsed_text() {
+        let _guard = test_lock();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_worker = Arc::clone(&stop);
+        let sampler = Sampler::start(500);
+        let busy = std::thread::spawn(move || {
+            let _outer = trace::span("profile-busy-outer");
+            let _inner = trace::span("profile-busy-inner");
+            while !stop_worker.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        stop.store(true, Ordering::Relaxed);
+        busy.join().unwrap();
+        let report = sampler.stop();
+        assert!(report.total_samples > 0);
+        let key = "profile-busy-outer;profile-busy-inner";
+        assert!(
+            report.stacks.contains_key(key),
+            "expected stack {key:?} in {:?}",
+            report.stacks
+        );
+        let text = report.flamegraph_collapsed();
+        assert!(text.contains(key));
+        assert!(text.lines().last().unwrap().starts_with("# "));
+    }
+
+    #[test]
+    fn sampler_restores_the_previous_enabled_state() {
+        let _guard = test_lock();
+        set_enabled(false);
+        let sampler = Sampler::start(100);
+        assert!(enabled());
+        let _ = sampler.stop();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn disabled_profiling_records_nothing() {
+        let _guard = test_lock();
+        set_enabled(false);
+        assert!(!on_span_open("profile-disabled"));
+        let report = {
+            // Zero-length window: start and stop immediately; no thread in
+            // this test opens a span while enabled.
+            let sampler = Sampler::start(1000);
+            std::thread::sleep(Duration::from_millis(20));
+            sampler.stop()
+        };
+        assert!(!report.stacks.keys().any(|k| k.contains("profile-disabled")));
+    }
+}

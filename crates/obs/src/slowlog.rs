@@ -4,6 +4,11 @@
 //! [`SlowLog::note`]; only operations at or above the configurable threshold
 //! are retained (newest [`DEFAULT_CAPACITY`] of them). The detail string is
 //! built lazily so the fast path pays one atomic load and a comparison.
+//!
+//! Failed evaluations — deadline-exceeded, cancelled, or panicked — are
+//! outliers regardless of how fast they died, so [`SlowLog::note_failure`]
+//! bypasses the threshold and always retains, tagging the entry with its
+//! [`SlowEntry::outcome`].
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +34,10 @@ pub struct SlowEntry {
     pub wall: Duration,
     /// Trace id of the operation, 0 if none was assigned.
     pub trace_id: u64,
+    /// How the operation ended: `"slow"` for threshold-retained successes,
+    /// or a failure kind (`"deadline-exceeded"`, `"cancelled"`, `"panic"`)
+    /// for entries retained by [`SlowLog::note_failure`].
+    pub outcome: &'static str,
 }
 
 /// The ring buffer plus its threshold. See the module docs.
@@ -75,19 +84,47 @@ impl SlowLog {
         if duration_nanos(wall) < self.threshold_nanos.load(Ordering::Relaxed) {
             return false;
         }
+        self.retain(what, "slow", wall, trace_id, detail());
+        true
+    }
+
+    /// Report a *failed* operation (deadline exceeded, cancelled,
+    /// panicked…). Always retained, regardless of the threshold — a fault
+    /// that killed an evaluation in a microsecond is still an outlier.
+    /// `outcome` names the failure kind; put the stage it died in (and any
+    /// query context) in `detail`.
+    pub fn note_failure(
+        &self,
+        what: &'static str,
+        outcome: &'static str,
+        wall: Duration,
+        trace_id: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.retain(what, outcome, wall, trace_id, detail());
+    }
+
+    fn retain(
+        &self,
+        what: &'static str,
+        outcome: &'static str,
+        wall: Duration,
+        trace_id: u64,
+        detail: String,
+    ) {
         let entry = SlowEntry {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             what,
-            detail: detail(),
+            detail,
             wall,
             trace_id,
+            outcome,
         };
         let mut ring = self.ring.lock().unwrap();
         if ring.len() == self.capacity {
             ring.pop_front();
         }
         ring.push_back(entry);
-        true
     }
 
     /// The retained entries, oldest first.

@@ -87,15 +87,21 @@ pub struct SpanGuard {
     /// `Some` only if this guard bumped the depth counter and must record.
     opened: Option<Instant>,
     depth: u32,
+    /// Whether this guard pushed a frame onto the profiler's shadow stack
+    /// (and therefore owes a pop), decided at open time so toggling the
+    /// profiler mid-span never unbalances the stack.
+    profiled: bool,
 }
 
 /// Open a named span; the returned guard closes it when dropped.
 pub fn span(name: &'static str) -> SpanGuard {
+    let profiled = crate::profile::on_span_open(name);
     if !enabled() {
         return SpanGuard {
             name,
             opened: None,
             depth: 0,
+            profiled,
         };
     }
     let depth = DEPTH.with(|d| {
@@ -107,11 +113,15 @@ pub fn span(name: &'static str) -> SpanGuard {
         name,
         opened: Some(Instant::now()),
         depth,
+        profiled,
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.profiled {
+            crate::profile::on_span_close();
+        }
         let Some(opened) = self.opened else {
             return;
         };

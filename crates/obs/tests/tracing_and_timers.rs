@@ -272,3 +272,30 @@ fn slow_log_gates_on_threshold_and_builds_detail_lazily() {
     log.clear();
     assert!(log.entries().is_empty());
 }
+
+#[test]
+fn failures_bypass_the_slow_threshold_and_carry_their_outcome() {
+    let log = SlowLog::new(Duration::from_secs(10), 4);
+    // A sub-threshold success is dropped…
+    assert!(!log.note("evaluate", Duration::from_micros(5), 1, || "ok".into()));
+    // …but a sub-threshold failure is always an outlier.
+    log.note_failure(
+        "evaluate",
+        "deadline-exceeded",
+        Duration::from_micros(5),
+        2,
+        || "stage=compile-circuit".into(),
+    );
+    log.note_failure("evaluate", "panic", Duration::ZERO, 3, || {
+        "stage=count".into()
+    });
+    let entries = log.entries();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(entries[0].outcome, "deadline-exceeded");
+    assert_eq!(entries[0].detail, "stage=compile-circuit");
+    assert_eq!(entries[1].outcome, "panic");
+    // Threshold-retained successes are tagged "slow".
+    log.set_threshold(Duration::ZERO);
+    assert!(log.note("evaluate", Duration::ZERO, 4, || "ok".into()));
+    assert_eq!(log.entries().last().unwrap().outcome, "slow");
+}

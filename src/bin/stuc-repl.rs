@@ -5,7 +5,7 @@
 //! (`H(x) :- B(x).`) accumulate for goal unfolding, and goals (`?- R(x).`)
 //! evaluate immediately, printing the probability, the cost-model route and
 //! the engine's strategy notes. Colon commands (`:help`, `:load`, `:facts`,
-//! `:rules`, `:clear`, `:quit`) manage the session.
+//! `:rules`, `:explain`, `:clear`, `:quit`) manage the session.
 //!
 //! The loop is plain `BufRead` over stdin — no readline, no external
 //! dependencies — and its output is deterministic unless `--timing` is
@@ -30,6 +30,7 @@ commands:
   :facts         list the session's facts
   :rules         list the session's rules
   :stats         engine cache counters and process metrics
+  :explain ?- G. explain a goal's plan (route, backend, width) without running it
   :trace on|off  toggle the span tracer (spans buffer process-wide)
   :clear         drop all facts and rules
   :quit          exit (also :exit, or end-of-input)
@@ -170,6 +171,32 @@ impl Session {
         }
     }
 
+    /// `:explain` — parse goals and print the engine's plan explanation
+    /// for each, without evaluating. Deterministic output (no floats, no
+    /// timings), so the scripted golden session covers it.
+    fn explain_source(&mut self, src: &str, out: &mut impl Write) -> std::io::Result<()> {
+        let program = match parse_program(src) {
+            Ok(program) => program,
+            Err(error) => return writeln!(out, "error: {error}"),
+        };
+        for statement in &program.statements {
+            let StatementAst::Query(query) = statement else {
+                writeln!(out, "error: :explain takes goals only (?- ...)")?;
+                continue;
+            };
+            if let Err(error) = check_goal_with(&query.goal, &mut self.arities) {
+                writeln!(out, "error: {error}")?;
+                continue;
+            }
+            let rules: Vec<&RuleAst> = self.rules.iter().collect();
+            match self.engine.explain_goal(&self.tid, &query.goal, &rules) {
+                Ok(explanation) => write!(out, "{}", explanation.render_text())?,
+                Err(error) => writeln!(out, "error: {error}")?,
+            }
+        }
+        Ok(())
+    }
+
     fn list_facts(&self, out: &mut impl Write) -> std::io::Result<()> {
         if self.facts.is_empty() {
             return writeln!(out, "(no facts)");
@@ -289,6 +316,14 @@ impl Session {
                     }
                     _ => writeln!(out, "error: :trace needs on or off")?,
                 },
+                Some("explain") => {
+                    let rest = command["explain".len()..].trim();
+                    if rest.is_empty() {
+                        writeln!(out, "error: :explain needs a goal (e.g. :explain ?- R(x).)")?;
+                    } else {
+                        self.explain_source(rest, out)?;
+                    }
+                }
                 Some("clear") => self.clear(out)?,
                 Some("load") => match words.next() {
                     Some(path) => self.load(path, out)?,

@@ -14,8 +14,11 @@
 //! ```
 //!
 //! Endpoints: `POST /query` (stuc-lang rules + goals; inline facts are
-//! rejected; `?timings=1` adds a per-stage breakdown), `GET /health`,
-//! `GET /stats`, `GET /metrics` (Prometheus text), `GET /debug/slow`.
+//! rejected; `?timings=1` adds a per-stage breakdown, `?explain=1` embeds
+//! the engine's query-plan explanation per goal), `GET /health`,
+//! `GET /stats`, `GET /metrics` (Prometheus text), `GET /debug/slow`, and
+//! — when `--profile-hz` armed the sampling profiler —
+//! `GET /debug/profile?seconds=N` (collapsed flamegraph stacks).
 
 use std::time::Duration;
 use stuc::obs::{slowlog, trace};
@@ -34,6 +37,8 @@ options:
                      queries estimated above N are answered 503 + Retry-After
                      instead of evaluated (default: off)
   --slow-ms N        slow-query log threshold in milliseconds (default 100)
+  --profile-hz N     arm the sampling wall-clock profiler at N Hz and enable
+                     GET /debug/profile?seconds=S (collapsed flamegraph stacks)
   --trace-out FILE   enable the span tracer and periodically flush a
                      Chrome trace-event JSON file (open in chrome://tracing)";
 
@@ -67,6 +72,11 @@ fn main() {
                 }
                 _ => die("--shed-cost needs a non-negative number"),
             },
+            "--profile-hz" => {
+                let hz = numeric_flag(args.next(), "--profile-hz");
+                stuc::obs::profile::set_default_hz(hz as u32);
+                stuc::obs::profile::set_enabled(true);
+            }
             "--slow-ms" => {
                 let ms = numeric_flag(args.next(), "--slow-ms");
                 slowlog::global().set_threshold(Duration::from_millis(ms as u64));

@@ -136,11 +136,12 @@ pub use stuc_query as query;
 pub use stuc_rules as rules;
 
 pub use stuc_core::engine::{
-    Backend, BackendKind, BackendPolicy, BatchReport, BudgetError, CacheCounters, CancelHandle,
-    Delta, DeltaOp, Engine, EngineBuilder, EngineCacheStats, EvalBudget, EvaluationReport,
-    GoalEvaluation, InferenceReport, Marginals, MostProbableWorld, ReprKind, Representation,
-    SampledWorlds, StucError, TextEvaluation, Updatable, UpdateLog, UpdateReport, World,
-    WorldSampler,
+    Backend, BackendKind, BackendPolicy, BatchReport, BudgetError, CacheCounters, CacheExplanation,
+    CacheSideExplanation, CancelHandle, CircuitExplanation, Delta, DeltaOp, Engine, EngineBuilder,
+    EngineCacheStats, EvalBudget, EvaluationReport, ExplainOutcome, GoalEvaluation,
+    InferenceReport, Marginals, MostProbableWorld, QueryExplanation, ReprKind, Representation,
+    RouteExplanation, SafePlanEligibility, SampledWorlds, StucError, SweepPlanStats,
+    TextEvaluation, Updatable, UpdateLog, UpdateReport, World, WorldSampler,
 };
 pub use stuc_core::serve;
 pub use stuc_lang::{LangError, ParseError};

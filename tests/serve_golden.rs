@@ -127,6 +127,23 @@ fn scripted_session_matches_the_golden_transcript() {
         "POST /query ?- Hop(x, y), Hop(y, z).  (circuit)",
         post_query(addr, "?- Hop(x, y), Hop(y, z)."),
     );
+    // The explanation is evaluated *after* the query it annotates, so it
+    // reports the cache the run just warmed — the same provenance a warm
+    // re-run would see. The previous exchange compiled this goal's
+    // lineage, making the whole explain body deterministic.
+    record(
+        "POST /query?explain=1 ?- Hop(x, y), Hop(y, z).  (explain)",
+        {
+            let body = "?- Hop(x, y), Hop(y, z).";
+            exchange(
+                addr,
+                &format!(
+                    "POST /query?explain=1 HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                ),
+            )
+        },
+    );
     record(
         "POST /query ?- Train(x  (parse error)",
         post_query(addr, "?- Train(x"),

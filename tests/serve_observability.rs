@@ -187,5 +187,31 @@ fn the_slow_log_retains_queries_above_the_threshold() {
         body.contains("\"what\":\"serve-query\""),
         "the query just posted must be retained: {body}"
     );
+    assert!(body.contains("\"outcome\":\"slow\""), "{body}");
     assert!(body.contains("\"wall_micros\":"), "{body}");
+}
+
+#[test]
+fn the_slow_log_retains_failed_evaluations_regardless_of_threshold() {
+    // A huge threshold: no *success* would ever be retained…
+    slowlog::global().set_threshold(Duration::from_secs(3600));
+    let server = spawn_server();
+    let addr = server.addr();
+
+    // …but a request whose deadline expired in the queue is a failed
+    // outlier and must land in the log no matter how fast it died.
+    // (`deadline_ms=0` is anchored at accept time, so the trip is certain.)
+    let response = post_query(addr, "/query?deadline_ms=0", "?- Train(x, y).");
+    assert!(response.contains("504"), "{response}");
+
+    let slow = get(addr, "/debug/slow");
+    server.shutdown();
+    slowlog::global().set_threshold(slowlog::DEFAULT_THRESHOLD);
+
+    let body = body_of(&slow);
+    assert!(
+        body.contains("\"outcome\":\"deadline-exceeded\""),
+        "failed evaluation missing from the slow log: {body}"
+    );
+    assert!(body.contains("\"what\":\"serve-queue\""), "{body}");
 }
